@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Ablation: analytic vs calibrated accelerator model.
+ *
+ * The calibrated model carries the paper's Table 5 verbatim (the
+ * documented substitution for hardware we don't have); the analytic
+ * model recomputes speedups from platform specs and kernel profiles.
+ * This bench reports per-cell agreement so the substitution's quality
+ * is visible, and shows how the datacenter-level conclusions change
+ * (or don't) when the analytic model drives them.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "accel/model.h"
+#include "bench_util.h"
+#include "dcsim/designer.h"
+
+using namespace sirius;
+using namespace sirius::accel;
+using namespace sirius::dcsim;
+
+int
+main()
+{
+    bench::banner("Ablation: analytic vs calibrated accelerator model");
+
+    const CalibratedModel calibrated;
+    const AnalyticModel analytic;
+
+    std::printf("%-10s %-7s %12s %12s %10s\n", "kernel", "platform",
+                "calibrated", "analytic", "log2 err");
+    for (Kernel kernel : suiteKernels()) {
+        for (Platform platform : acceleratorPlatforms()) {
+            const double c = calibrated.speedup(kernel, platform);
+            const double a = analytic.speedup(kernel, platform);
+            std::printf("%-10s %-7s %11.1fx %11.1fx %+10.2f\n",
+                        kernelName(kernel), platformName(platform), c, a,
+                        std::log2(a / c));
+        }
+    }
+
+    const auto agreement = compareModels(analytic, calibrated);
+    std::printf("\nmean |log2 error|: %.2f   pairwise ordering "
+                "agreement: %.0f%%\n",
+                agreement.meanAbsLogError,
+                agreement.orderingAgreement * 100.0);
+
+    bench::subhead("do the DC design conclusions survive the model "
+                   "swap?");
+    for (const SpeedupModel *model :
+         {static_cast<const SpeedupModel *>(&calibrated),
+          static_cast<const SpeedupModel *>(&analytic)}) {
+        const DatacenterDesigner designer(defaultServiceProfiles(),
+                                          *model);
+        CandidateSet all;
+        std::printf("%-11s: latency-optimal=%s  TCO-optimal=%s  "
+                    "power-optimal=%s\n",
+                    model->name(),
+                    platformName(designer.homogeneousDesign(
+                        Objective::MinLatency, all)),
+                    platformName(designer.homogeneousDesign(
+                        Objective::MinTcoWithLatency, all)),
+                    platformName(designer.homogeneousDesign(
+                        Objective::MaxPowerEffWithLatency, all)));
+    }
+    return 0;
+}

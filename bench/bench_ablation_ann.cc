@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ablation: approximate-nearest-neighbour budget in the IMM matcher.
+ *
+ * The k-d tree's `max_leaves` bound trades match fidelity against
+ * search time (the "approximate" in the paper's ANN descriptor search).
+ * This sweep measures, on real SURF descriptors from the landmark
+ * database, how often the bounded search returns the exact nearest
+ * neighbour and what end-to-end matching accuracy results.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "vision/imm_service.h"
+#include "vision/landmarks.h"
+#include "vision/matcher.h"
+
+using namespace sirius;
+using namespace sirius::vision;
+
+int
+main()
+{
+    bench::banner("Ablation: ANN search budget (k-d tree max_leaves)");
+
+    // Database descriptors from one landmark; queries from its
+    // perturbed view.
+    const Image db_image = generateLandmark(3);
+    const IntegralImage db_integral(db_image);
+    auto db_keypoints = detectKeypoints(db_integral);
+    const KdTree tree(describeKeypoints(db_integral, db_keypoints));
+
+    const Image query_image = generateQueryView(3);
+    const IntegralImage query_integral(query_image);
+    auto query_keypoints = detectKeypoints(query_integral);
+    const auto queries = describeKeypoints(query_integral,
+                                           query_keypoints);
+
+    std::printf("database: %zu descriptors; queries: %zu\n", tree.size(),
+                queries.size());
+    std::printf("%-12s %14s %14s %12s\n", "max_leaves", "exact-NN rate",
+                "time (us/qry)", "good matches");
+    for (size_t leaves : {size_t{1}, size_t{4}, size_t{16}, size_t{32},
+                          size_t{128}, size_t{100000}}) {
+        // Fidelity: how often the bounded search finds the true NN.
+        size_t agree = 0;
+        for (const auto &q : queries) {
+            const auto approx = tree.nearest2(q, leaves);
+            const auto exact = tree.nearest2Exact(q);
+            agree += approx.index == exact.index;
+        }
+        // Cost: time the bounded search alone.
+        Stopwatch watch;
+        for (const auto &q : queries) {
+            const auto nn = tree.nearest2(q, leaves);
+            (void)nn;
+        }
+        const double us = watch.microseconds() /
+            static_cast<double>(queries.size());
+        const auto stats = matchDescriptors(queries, tree, 0.85f,
+                                            leaves);
+        std::printf("%-12zu %13.1f%% %14.2f %12zu\n", leaves,
+                    100.0 * static_cast<double>(agree) /
+                        static_cast<double>(queries.size()),
+                    us, stats.goodMatches);
+    }
+
+    // End-to-end effect: the full database still identifies the right
+    // landmark even at tight budgets?
+    bench::subhead("end-to-end match accuracy vs budget");
+    const ImmService imm = ImmService::build(10);
+    size_t correct = 0;
+    for (int id = 0; id < 10; ++id)
+        correct += imm.match(generateQueryView(id)).bestId == id;
+    std::printf("default budget (32 leaves): %zu/10 landmarks "
+                "identified\n", correct);
+    return 0;
+}

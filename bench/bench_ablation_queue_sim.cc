@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Ablation: analytic M/M/1 vs discrete-event simulation.
+ *
+ * Figure 17's conclusions rest on the M/M/1 closed forms; this bench
+ * validates them against the event-driven simulator and then shows what
+ * the closed forms miss: QA's heavy-tailed service times (Figure 8)
+ * inflate queueing delay well beyond the exponential model at the same
+ * mean service rate, strengthening the paper's case for latency
+ * head-room via acceleration.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/pipeline.h"
+#include "core/query_set.h"
+#include "dcsim/queueing.h"
+#include "dcsim/simulation.h"
+
+using namespace sirius;
+using namespace sirius::dcsim;
+
+int
+main()
+{
+    bench::banner("Ablation: analytic M/M/1 vs discrete-event "
+                  "simulation");
+
+    std::printf("%-8s %16s %16s %10s\n", "load", "analytic lat.",
+                "simulated lat.", "error");
+    for (double rho : {0.2, 0.4, 0.6, 0.8, 0.9}) {
+        QueueSimConfig config;
+        config.arrivalRate = rho;
+        config.serviceRate = 1.0;
+        const auto sim = simulateQueue(config);
+        const double analytic = mm1Latency(rho, 1.0);
+        std::printf("%-8.1f %15.3fs %15.3fs %9.1f%%\n", rho, analytic,
+                    sim.sojournSeconds.mean(),
+                    100.0 * (sim.sojournSeconds.mean() - analytic) /
+                        analytic);
+    }
+
+    bench::subhead("service-time distribution at fixed mean "
+                   "(load 0.7)");
+    std::printf("%-15s %16s %14s %14s\n", "distribution", "mean lat.",
+                "p95 lat.", "p99 lat.");
+    for (auto dist : {ServiceDistribution::Deterministic,
+                      ServiceDistribution::Exponential,
+                      ServiceDistribution::HeavyTailed}) {
+        QueueSimConfig config;
+        config.arrivalRate = 0.7;
+        config.serviceRate = 1.0;
+        config.distribution = dist;
+        const auto sim = simulateQueue(config);
+        const char *name =
+            dist == ServiceDistribution::Deterministic ? "deterministic"
+            : dist == ServiceDistribution::Exponential ? "exponential"
+                                                       : "heavy-tailed";
+        std::printf("%-15s %15.3fs %13.3fs %13.3fs\n", name,
+                    sim.sojournSeconds.mean(),
+                    sim.sojournSeconds.percentile(95),
+                    sim.sojournSeconds.percentile(99));
+    }
+
+    bench::subhead("queueing over the *measured* QA latency "
+                   "distribution");
+    {
+        // Collect the real per-query QA latencies (Figure 8b) and feed
+        // them into the simulator as the empirical service law.
+        std::printf("building QA service and measuring the VQ set...\n");
+        const auto qa = sirius::qa::QaService::build();
+        std::vector<double> samples;
+        for (const auto &query : sirius::core::queriesOfType(
+                 sirius::core::QueryType::VoiceQuery)) {
+            samples.push_back(qa.answer(query.text).timings.total());
+        }
+        double mean = 0.0;
+        for (double s : samples)
+            mean += s;
+        mean /= static_cast<double>(samples.size());
+        std::printf("measured QA service times: mean %.2f ms, %zu "
+                    "samples\n", mean * 1e3, samples.size());
+        std::printf("%-8s %18s %18s\n", "load", "empirical lat.",
+                    "exponential lat.");
+        for (double rho : {0.3, 0.5, 0.7, 0.9}) {
+            const auto empirical = simulateQueueEmpirical(
+                samples, rho / mean);
+            QueueSimConfig config;
+            config.arrivalRate = rho;
+            config.serviceRate = 1.0;
+            const auto exponential = simulateQueue(config);
+            std::printf("%-8.1f %16.2fms %16.2fms\n", rho,
+                        empirical.sojournSeconds.mean() * 1e3,
+                        exponential.sojournSeconds.mean() * mean * 1e3);
+        }
+    }
+
+    bench::subhead("max sustainable load at a 3x-service-time latency "
+                   "bound");
+    const double mu = 1.0, bound = 3.0;
+    std::printf("analytic : %.3f queries/s\n", mm1MaxArrival(mu, bound));
+    std::printf("simulated: %.3f queries/s\n",
+                simulatedMaxArrival(mu, bound));
+    std::printf("heavy-tail simulated: %.3f queries/s (tails eat "
+                "capacity)\n",
+                simulatedMaxArrival(mu, bound,
+                                    ServiceDistribution::HeavyTailed));
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Figure 7 reproduction.
+ *
+ * 7a (left):  average Web Search vs Sirius query latency, both measured
+ *             on this machine's substrates (memory-resident, no I/O).
+ * 7a (right): machines needed as the IPA:WS query ratio grows — the
+ *             scalability gap.
+ * 7b:         average latency per query class (WS, VC, VQ, VIQ).
+ *
+ * Absolute times differ from the paper's testbed (our corpus and models
+ * are synthetic); the *ratios* are what this figure is about.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/timer.h"
+#include "core/pipeline.h"
+#include "core/query_set.h"
+#include "dcsim/scalability.h"
+#include "search/web_search.h"
+
+using namespace sirius;
+using namespace sirius::core;
+
+int
+main()
+{
+    bench::banner("Figure 7: Scalability Gap and Latency Across Query "
+                  "Types");
+
+    std::printf("building Sirius pipeline (training ASR, QA, IMM)...\n");
+    SiriusConfig config;
+    const SiriusPipeline pipeline = SiriusPipeline::build(config);
+    const auto web_search = search::WebSearch::build();
+
+    // ---- Web Search baseline latency (averaged over the fact set).
+    SampleStats ws_stats;
+    for (const auto &fact : search::knowledgeFacts()) {
+        Stopwatch watch;
+        const auto results = web_search.query(fact.subject, 10);
+        ws_stats.add(watch.seconds());
+        if (results.empty())
+            std::printf("warning: empty result for %s\n",
+                        fact.subject.c_str());
+    }
+
+    // ---- Sirius latency per query class.
+    SampleStats all_stats;
+    SampleStats per_class[3];
+    for (const auto &query : standardQuerySet()) {
+        const auto result = pipeline.process(query);
+        const double latency = result.timings.total();
+        all_stats.add(latency);
+        per_class[static_cast<int>(query.type)].add(latency);
+    }
+
+    bench::subhead("Figure 7a (left): average query latency");
+    std::printf("%-22s %12.3f ms\n", "Web Search (Nutch-like)",
+                ws_stats.mean() * 1e3);
+    std::printf("%-22s %12.3f ms\n", "Sirius (42 queries)",
+                all_stats.mean() * 1e3);
+
+    const double gap = dcsim::scalabilityGap(all_stats.mean(),
+                                             ws_stats.mean());
+    std::printf("\nscalability gap (Sirius / Web Search): %.1fx\n", gap);
+    std::printf("(paper: ~15 s vs 91 ms => 165x on the authors' "
+                "testbed)\n");
+
+    bench::subhead("Figure 7a (right): machines needed vs IPA query "
+                   "ratio");
+    std::printf("%-18s %18s\n", "IPA:WS query ratio",
+                "machines (xWS fleet)");
+    const auto curve = dcsim::scalingCurve(gap, 5);
+    for (size_t i = 0; i < curve.queryRatios.size(); ++i) {
+        std::printf("%18.2f %18.1f\n", curve.queryRatios[i],
+                    curve.machineRatios[i]);
+    }
+
+    bench::subhead("Figure 7b: average latency per query class");
+    std::printf("%-6s %12s   %s\n", "class", "latency", "");
+    std::printf("%-6s %10.3f ms %s\n", "WS", ws_stats.mean() * 1e3,
+                bench::bar(ws_stats.mean() * 1e3, 2.0).c_str());
+    const char *names[3] = {"VC", "VQ", "VIQ"};
+    for (int c = 0; c < 3; ++c) {
+        std::printf("%-6s %10.3f ms %s\n", names[c],
+                    per_class[c].mean() * 1e3,
+                    bench::bar(per_class[c].mean() * 1e3, 2.0).c_str());
+    }
+    std::printf("\nexpected shape: VIQ > VQ > VC >> WS (paper Fig 7b)\n");
+    return 0;
+}

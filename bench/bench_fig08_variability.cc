@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 8 reproduction: latency variability across services and its
+ * cause.
+ *
+ * 8a: latency distribution per service (ASR, QA, IMM) — QA has by far
+ *     the widest spread.
+ * 8b: per-VQ-query breakdown of QA time across its hot components.
+ * 8c: correlation between QA latency and document-filter hits.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "core/pipeline.h"
+#include "core/query_set.h"
+
+using namespace sirius;
+using namespace sirius::core;
+
+int
+main()
+{
+    bench::banner("Figure 8: Sirius Variability Across Query Types and "
+                  "Causes");
+    std::printf("building Sirius pipeline...\n");
+    const SiriusPipeline pipeline = SiriusPipeline::build();
+
+    SampleStats asr_stats, qa_stats, imm_stats;
+    std::vector<double> qa_latencies, filter_hits;
+
+    bench::subhead("Figure 8b: QA component breakdown per VQ query");
+    std::printf("%-55s %9s %9s %9s %9s %7s\n", "query", "stem(ms)",
+                "regex(ms)", "crf(ms)", "total(ms)", "hits");
+    for (const auto &query : standardQuerySet()) {
+        const auto result = pipeline.process(query);
+        if (result.timings.asr.total() > 0)
+            asr_stats.add(result.timings.asr.total());
+        if (result.timings.imm.total() > 0)
+            imm_stats.add(result.timings.imm.total());
+        if (result.timings.qa.total() > 0)
+            qa_stats.add(result.timings.qa.total());
+
+        if (query.type == QueryType::VoiceQuery) {
+            const auto qa = pipeline.qa().answer(query.text);
+            qa_latencies.push_back(qa.timings.total());
+            filter_hits.push_back(
+                static_cast<double>(qa.filterHits));
+            std::printf("%-55s %9.2f %9.2f %9.2f %9.2f %7zu\n",
+                        query.text.c_str(), qa.timings.stemmer * 1e3,
+                        qa.timings.regex * 1e3, qa.timings.crf * 1e3,
+                        qa.timings.total() * 1e3, qa.filterHits);
+        }
+    }
+
+    bench::subhead("Figure 8a: latency distribution per service (ms)");
+    std::printf("%-6s %10s %10s %10s %10s %12s\n", "svc", "min", "median",
+                "max", "mean", "max/min");
+    auto row = [](const char *name, const SampleStats &stats) {
+        std::printf("%-6s %10.2f %10.2f %10.2f %10.2f %12.1f\n", name,
+                    stats.min() * 1e3, stats.median() * 1e3,
+                    stats.max() * 1e3, stats.mean() * 1e3,
+                    stats.min() > 0 ? stats.max() / stats.min() : 0.0);
+    };
+    row("ASR", asr_stats);
+    row("QA", qa_stats);
+    row("IMM", imm_stats);
+    std::printf("\nexpected shape: QA's spread dominates (paper: 1.7 s "
+                "to 35 s); ASR and IMM are narrow\n");
+
+    bench::subhead("Figure 8c: QA latency vs document-filter hits");
+    const double r = pearsonCorrelation(filter_hits, qa_latencies);
+    std::printf("Pearson correlation(filter hits, latency) = %.3f\n", r);
+    std::printf("(paper demonstrates a strong positive correlation; "
+                "filters doing more hit-processing work take longer)\n");
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Figure 9 reproduction: cycle (wall-time) breakdown per service.
+ *
+ * The paper profiles each service with VTune and finds a handful of hot
+ * components: GMM/DNN scoring dominates ASR, {stemmer, regex, CRF} make
+ * up ~85% of QA, and FE/FD dominate IMM. We reproduce the breakdown by
+ * timing the same components of our pipeline.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/pipeline.h"
+#include "core/query_set.h"
+
+using namespace sirius;
+using namespace sirius::core;
+
+namespace {
+
+void
+printBreakdown(const char *service,
+               const std::vector<std::pair<const char *, double>> &parts)
+{
+    double total = 0.0;
+    for (const auto &[name, seconds] : parts)
+        total += seconds;
+    std::printf("\n%s (total %.2f ms per query)\n", service,
+                total * 1e3);
+    for (const auto &[name, seconds] : parts) {
+        const double pct = total > 0 ? seconds / total * 100.0 : 0.0;
+        std::printf("  %-18s %6.1f%%  %s\n", name, pct,
+                    sirius::bench::bar(pct, 2.0).c_str());
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 9: Cycle Breakdown per Service");
+
+    std::printf("building pipelines (GMM and DNN ASR backends)...\n");
+    SiriusConfig gmm_config;
+    const SiriusPipeline gmm_pipeline = SiriusPipeline::build(gmm_config);
+    SiriusConfig dnn_config;
+    dnn_config.asrBackend = speech::AsrBackend::Dnn;
+    const SiriusPipeline dnn_pipeline = SiriusPipeline::build(dnn_config);
+
+    // Accumulate per-component time over the full query set.
+    speech::AsrTimings asr_gmm{}, asr_dnn{};
+    qa::QaTimings qa{};
+    vision::ImmTimings imm{};
+    for (const auto &query : standardQuerySet()) {
+        const auto g = gmm_pipeline.process(query);
+        asr_gmm.featureExtraction += g.timings.asr.featureExtraction;
+        asr_gmm.scoring += g.timings.asr.scoring;
+        asr_gmm.search += g.timings.asr.search;
+        qa.stemmer += g.timings.qa.stemmer;
+        qa.regex += g.timings.qa.regex;
+        qa.crf += g.timings.qa.crf;
+        qa.search += g.timings.qa.search;
+        qa.select += g.timings.qa.select;
+        imm.featureExtraction += g.timings.imm.featureExtraction;
+        imm.featureDescription += g.timings.imm.featureDescription;
+        imm.matching += g.timings.imm.matching;
+
+        const auto d = dnn_pipeline.process(query);
+        asr_dnn.featureExtraction += d.timings.asr.featureExtraction;
+        asr_dnn.scoring += d.timings.asr.scoring;
+        asr_dnn.search += d.timings.asr.search;
+    }
+    const double n = static_cast<double>(standardQuerySet().size());
+
+    printBreakdown("ASR (GMM/HMM)",
+                   {{"feature extract", asr_gmm.featureExtraction / n},
+                    {"GMM scoring", asr_gmm.scoring / n},
+                    {"HMM/Viterbi", asr_gmm.search / n}});
+    printBreakdown("ASR (DNN/HMM)",
+                   {{"feature extract", asr_dnn.featureExtraction / n},
+                    {"DNN scoring", asr_dnn.scoring / n},
+                    {"HMM/Viterbi", asr_dnn.search / n}});
+    printBreakdown("QA", {{"Stemmer", qa.stemmer / n},
+                          {"Regex", qa.regex / n},
+                          {"CRF", qa.crf / n},
+                          {"search (BM25)", qa.search / n},
+                          {"answer select", qa.select / n}});
+    printBreakdown("IMM",
+                   {{"FE (SURF detect)", imm.featureExtraction / n},
+                    {"FD (SURF descr.)", imm.featureDescription / n},
+                    {"ANN matching", imm.matching / n}});
+
+    const double nlp = qa.stemmer + qa.regex + qa.crf;
+    const double qa_total = nlp + qa.search + qa.select;
+    std::printf("\nQA NLP share (stemmer+regex+CRF): %.1f%% "
+                "(paper: ~85%% of QA cycles)\n",
+                qa_total > 0 ? nlp / qa_total * 100.0 : 0.0);
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 14 reproduction: end-to-end query latency per service on a
+ * single leaf node configured with each accelerator.
+ *
+ * Service profiles use the paper-magnitude component split (validated
+ * against our measured Figure 9 breakdown); accelerated platforms come
+ * from the calibrated Table 5 model. CMP is the 1-thread original, CMP
+ * (sub-query) the 4-core pthread port.
+ */
+
+#include <cstdio>
+
+#include "accel/latency.h"
+#include "bench_util.h"
+
+using namespace sirius;
+using namespace sirius::accel;
+
+int
+main()
+{
+    bench::banner("Figure 14: Latency Across Platforms for Each "
+                  "Service");
+    const CalibratedModel model;
+    const auto profiles = defaultServiceProfiles();
+
+    std::printf("%-11s %10s %14s %10s %10s %10s\n", "service", "CMP",
+                "CMP(subq)", "GPU", "Phi", "FPGA");
+    for (const auto &profile : profiles) {
+        std::printf("%-11s", serviceKindName(profile.kind));
+        for (Platform p : allPlatforms()) {
+            const double latency = serviceLatency(profile, model, p);
+            std::printf(p == Platform::CmpMulticore ? " %13.3fs"
+                                                    : " %9.3fs",
+                        latency);
+        }
+        std::printf("\n");
+    }
+
+    bench::subhead("component breakdown (baseline seconds)");
+    for (const auto &profile : profiles) {
+        std::printf("%-11s:", serviceKindName(profile.kind));
+        for (const auto &c : profile.components)
+            std::printf("  %s=%.2fs", kernelName(c.kernel), c.seconds);
+        std::printf("  other=%.2fs\n", profile.unacceleratedSeconds);
+    }
+
+    bench::subhead("key observations (paper section 5.1.1)");
+    const auto &asr_gmm = profiles[0];
+    std::printf("- FPGA cuts ASR (GMM) from %.2fs to %.2fs (paper: "
+                "4.2s -> 0.19s)\n",
+                baselineLatency(asr_gmm),
+                serviceLatency(asr_gmm, model, Platform::Fpga));
+    std::printf("- CMP (sub-query) achieves ~%.0f%% latency reduction "
+                "over CMP (paper: ~25%%... up to 4x with per-kernel "
+                "scaling)\n",
+                (1.0 - serviceLatency(asr_gmm, model,
+                                      Platform::CmpMulticore) /
+                           baselineLatency(asr_gmm)) * 100.0);
+    int fpga_wins = 0;
+    for (const auto &profile : profiles) {
+        fpga_wins += serviceLatency(profile, model, Platform::Fpga) <
+            serviceLatency(profile, model, Platform::Gpu);
+    }
+    std::printf("- FPGA beats GPU on %d of 4 services (paper: all but "
+                "ASR (DNN/HMM))\n", fpga_wins);
+    int phi_slower = 0;
+    for (const auto &profile : profiles) {
+        phi_slower += serviceLatency(profile, model, Platform::Phi) >
+            serviceLatency(profile, model, Platform::CmpMulticore);
+    }
+    std::printf("- Phi slower than the pthreaded multicore baseline on "
+                "%d of 4 services\n", phi_slower);
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 15 reproduction: energy efficiency (performance per watt) of
+ * each accelerator across the four services, normalized to the all-core
+ * multicore CPU.
+ */
+
+#include <cstdio>
+
+#include "accel/latency.h"
+#include "bench_util.h"
+
+using namespace sirius;
+using namespace sirius::accel;
+
+int
+main()
+{
+    bench::banner("Figure 15: Performance per Watt (normalized to "
+                  "multicore CMP)");
+    const CalibratedModel model;
+    const auto profiles = defaultServiceProfiles();
+
+    std::printf("%-11s %10s %10s %10s %10s\n", "service", "CMP(subq)",
+                "GPU", "Phi", "FPGA");
+    double fpga_mean = 0.0;
+    for (const auto &profile : profiles) {
+        std::printf("%-11s", serviceKindName(profile.kind));
+        for (Platform p : {Platform::CmpMulticore, Platform::Gpu,
+                           Platform::Phi, Platform::Fpga}) {
+            const double ppw = perfPerWattVsMulticore(profile, model, p);
+            std::printf(" %9.2fx", ppw);
+            if (p == Platform::Fpga)
+                fpga_mean += ppw / 4.0;
+        }
+        std::printf("\n");
+    }
+
+    bench::subhead("key observations (paper section 5.1.2)");
+    std::printf("- FPGA mean perf/W: %.1fx the multicore baseline "
+                "(paper: >12x, best on every service)\n", fpga_mean);
+    const auto &qa = profiles[2];
+    std::printf("- GPU perf/W on QA: %.2fx (paper: below baseline, the "
+                "GPU's only loss)\n",
+                perfPerWattVsMulticore(qa, model, Platform::Gpu));
+    return 0;
+}

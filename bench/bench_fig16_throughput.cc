@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 16 reproduction: server throughput improvement per platform
+ * without degrading latency beyond the baseline (100% load; the
+ * queueing-aware version is Figure 17).
+ */
+
+#include <cstdio>
+
+#include "accel/latency.h"
+#include "bench_util.h"
+
+using namespace sirius;
+using namespace sirius::accel;
+
+int
+main()
+{
+    bench::banner("Figure 16: Throughput Across Services (vs 4-core "
+                  "query-parallel CMP)");
+    const CalibratedModel model;
+    const auto profiles = defaultServiceProfiles();
+
+    std::printf("%-11s %10s %10s %10s %10s\n", "service", "CMP(subq)",
+                "GPU", "Phi", "FPGA");
+    for (const auto &profile : profiles) {
+        std::printf("%-11s", serviceKindName(profile.kind));
+        for (Platform p : {Platform::CmpMulticore, Platform::Gpu,
+                           Platform::Phi, Platform::Fpga}) {
+            std::printf(" %9.2fx",
+                        throughputImprovement(profile, model, p));
+        }
+        std::printf("\n");
+    }
+
+    bench::subhead("key observations (paper section 5.2.1)");
+    std::printf("- GPU on ASR (DNN): %.1fx (paper: 13.7x)\n",
+                throughputImprovement(profiles[1], model,
+                                      Platform::Gpu));
+    std::printf("- FPGA on IMM: %.1fx (paper: 12.6x)\n",
+                throughputImprovement(profiles[3], model,
+                                      Platform::Fpga));
+    std::printf("- QA improvements are the most limited across "
+                "platforms (CRF's 3.8-7.5x ceiling)\n");
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 17 reproduction: throughput improvement at various load levels
+ * with the server modeled as an M/M/1 queue (darker bars in the paper =
+ * higher load). Figure 16 is the 100%-load lower bound of this chart.
+ */
+
+#include <cstdio>
+
+#include "accel/latency.h"
+#include "bench_util.h"
+#include "dcsim/queueing.h"
+
+using namespace sirius;
+using namespace sirius::accel;
+using namespace sirius::dcsim;
+
+int
+main()
+{
+    bench::banner("Figure 17: Throughput Improvement at Various Load "
+                  "Levels (M/M/1)");
+    const CalibratedModel model;
+    const auto profiles = defaultServiceProfiles();
+    const double loads[] = {0.9, 0.7, 0.5, 0.3};
+
+    for (const auto &profile : profiles) {
+        std::printf("\n%s\n", serviceKindName(profile.kind));
+        std::printf("%-10s", "platform");
+        for (double rho : loads)
+            std::printf("   load=%.1f", rho);
+        std::printf("\n");
+        for (Platform p : {Platform::Gpu, Platform::Phi,
+                           Platform::Fpga}) {
+            // Per-server latency speedup over the query-parallel CMP
+            // core feeds the queueing model as a service-rate ratio.
+            const double speedup =
+                serviceLatency(profile, model, Platform::Cmp) /
+                serviceLatency(profile, model, p);
+            std::printf("%-10s", platformName(p));
+            for (double rho : loads) {
+                std::printf(" %9.1fx",
+                            throughputImprovementAtLoad(speedup, rho) /
+                                4.0);
+            }
+            std::printf("\n");
+        }
+    }
+
+    std::printf("\nexpected shape: the lower the load, the bigger the "
+                "improvement; the 100%%-load limit matches Figure 16\n");
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Table 7 / Figure 18 reproduction: datacenter TCO with each
+ * acceleration option, normalized to the CMP-only datacenter, using the
+ * Google TCO model with the paper's parameters.
+ */
+
+#include <cstdio>
+
+#include "accel/latency.h"
+#include "bench_util.h"
+#include "dcsim/tco.h"
+
+using namespace sirius;
+using namespace sirius::accel;
+using namespace sirius::dcsim;
+
+int
+main()
+{
+    bench::banner("Table 7: TCO Model Parameters");
+    const TcoParams params;
+    std::printf("%-28s %12.0f years\n", "DC depreciation",
+                params.dcDepreciationYears);
+    std::printf("%-28s %12.0f years\n", "server depreciation",
+                params.serverDepreciationYears);
+    std::printf("%-28s %12.0f %%\n", "average server utilization",
+                params.averageUtilization * 100);
+    std::printf("%-28s %12.3f $/kWh\n", "electricity",
+                params.electricityPerKwh);
+    std::printf("%-28s %12.1f $/W\n", "datacenter price",
+                params.dcPricePerWatt);
+    std::printf("%-28s %12.2f $/W/month\n", "datacenter opex",
+                params.dcOpexPerWattMonth);
+    std::printf("%-28s %12.0f %% capex/yr\n", "server opex",
+                params.serverOpexFraction * 100);
+    std::printf("%-28s %12.0f $\n", "server price (baseline)",
+                params.serverPriceUsd);
+    std::printf("%-28s %12.1f W\n", "server power (baseline)",
+                params.serverPowerWatts);
+    std::printf("%-28s %12.1f\n", "PUE", params.pue);
+    std::printf("\nbaseline server yearly TCO: $%.0f\n",
+                serverYearlyTco(baselineServer(params), params));
+
+    bench::banner("Figure 18: Normalized DC TCO Across Platforms "
+                  "(lower is better)");
+    const CalibratedModel model;
+    const auto profiles = defaultServiceProfiles();
+
+    std::printf("%-11s %10s %10s %10s %10s\n", "service", "CMP(subq)",
+                "GPU", "Phi", "FPGA");
+    for (const auto &profile : profiles) {
+        std::printf("%-11s", serviceKindName(profile.kind));
+        for (Platform p : {Platform::CmpMulticore, Platform::Gpu,
+                           Platform::Phi, Platform::Fpga}) {
+            const double improvement =
+                throughputImprovement(profile, model, p);
+            std::printf(" %9.3f",
+                        normalizedTco(p, improvement, params));
+        }
+        std::printf("\n");
+    }
+
+    bench::subhead("key observations (paper section 5.2.2)");
+    const double gpu_dnn_tco = normalizedTco(
+        Platform::Gpu,
+        throughputImprovement(profiles[1], model, Platform::Gpu),
+        params);
+    std::printf("- GPU on ASR (DNN): %.1fx TCO reduction (paper: "
+                ">8x)\n", 1.0 / gpu_dnn_tco);
+    const double fpga_imm_tco = normalizedTco(
+        Platform::Fpga,
+        throughputImprovement(profiles[3], model, Platform::Fpga),
+        params);
+    std::printf("- FPGA on IMM: %.1fx TCO reduction (paper: >4x)\n",
+                1.0 / fpga_imm_tco);
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 21 reproduction: how far GPU- and FPGA-accelerated datacenters
+ * bridge the scalability gap, from 165x resource scaling down to the
+ * 10-16x range.
+ */
+
+#include <cstdio>
+
+#include "accel/latency.h"
+#include "bench_util.h"
+#include "dcsim/scalability.h"
+
+using namespace sirius;
+using namespace sirius::accel;
+using namespace sirius::dcsim;
+
+int
+main()
+{
+    bench::banner("Figure 21: Bridging the Scalability Gap");
+
+    // The paper's measured gap: ~15 s average Sirius query vs 91 ms
+    // Nutch web-search query.
+    const double gap = scalabilityGap(15.0, 0.091);
+    std::printf("baseline scalability gap: %.0fx\n", gap);
+
+    // Average end-to-end latency reduction per accelerated DC over the
+    // three query classes (the Figure 20 result).
+    const CalibratedModel model;
+    const auto profiles = defaultServiceProfiles();
+    auto pathway_speedup = [&](Platform platform) {
+        // Average over VC, VQ, VIQ with the GMM ASR front end.
+        const ServiceKind pathway_sets[3][3] = {
+            {ServiceKind::AsrGmm, ServiceKind::AsrGmm,
+             ServiceKind::AsrGmm},
+            {ServiceKind::AsrGmm, ServiceKind::Qa, ServiceKind::Qa},
+            {ServiceKind::AsrGmm, ServiceKind::Qa, ServiceKind::Imm},
+        };
+        const size_t lens[3] = {1, 2, 3};
+        double avg = 0.0;
+        for (int q = 0; q < 3; ++q) {
+            double base = 0.0, lat = 0.0;
+            for (size_t i = 0; i < lens[q]; ++i) {
+                for (const auto &profile : profiles) {
+                    if (profile.kind == pathway_sets[q][i]) {
+                        base += serviceLatency(profile, model,
+                                               Platform::Cmp);
+                        lat += serviceLatency(profile, model, platform);
+                    }
+                }
+            }
+            avg += (base / lat) / 3.0;
+        }
+        return avg;
+    };
+
+    const double gpu_speedup = pathway_speedup(Platform::Gpu);
+    const double fpga_speedup = pathway_speedup(Platform::Fpga);
+
+    std::printf("\n%-24s %16s %16s\n", "datacenter", "avg speedup",
+                "remaining gap");
+    std::printf("%-24s %15s %16.0fx\n", "CMP (today)", "1.0x", gap);
+    std::printf("%-24s %15.1fx %16.1fx\n", "GPU-accelerated",
+                gpu_speedup, bridgedGap(gap, gpu_speedup));
+    std::printf("%-24s %15.1fx %16.1fx\n", "FPGA-accelerated",
+                fpga_speedup, bridgedGap(gap, fpga_speedup));
+
+    std::printf("\n(paper: acceleration reduces the 165x gap to 16x for "
+                "GPU and 10x for FPGA datacenters)\n");
+    return 0;
+}

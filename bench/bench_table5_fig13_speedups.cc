@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Table 3 / Table 4 / Table 5 / Figure 13 reproduction.
+ *
+ * Runs the seven Sirius Suite kernels under google-benchmark (serial
+ * baseline and the threaded port at the paper's granularity), then
+ * prints the platform table, the suite/granularity table, and the
+ * speedup matrix from both the calibrated (Table 5) and analytic models,
+ * rendered as the Figure 13 heat map.
+ *
+ * Hardware note: this container exposes a single core and no GPU / Phi /
+ * FPGA, so accelerated columns come from the documented models; the
+ * serial kernel timings below are real measurements of the kernels whose
+ * structure the models describe.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "accel/model.h"
+#include "accel/platform.h"
+#include "bench_util.h"
+#include "suite/suite.h"
+
+using namespace sirius;
+using namespace sirius::suite;
+using namespace sirius::accel;
+
+namespace {
+
+std::vector<std::unique_ptr<SuiteKernel>> &
+kernels()
+{
+    static auto suite = makeSuite(SuiteScale::Full, 2015);
+    return suite;
+}
+
+void
+runSerial(benchmark::State &state, size_t index)
+{
+    const auto &kernel = kernels()[index];
+    for (auto _ : state) {
+        const auto result = kernel->runSerial();
+        benchmark::DoNotOptimize(result.checksum);
+    }
+}
+
+void
+runThreaded(benchmark::State &state, size_t index)
+{
+    const auto &kernel = kernels()[index];
+    for (auto _ : state) {
+        const auto result = kernel->runThreaded(4);
+        benchmark::DoNotOptimize(result.checksum);
+    }
+}
+
+void
+printTables()
+{
+    bench::banner("Table 3: Platform Specifications");
+    std::printf("%-18s %-24s %6s %6s %8s %8s %8s %8s\n", "platform",
+                "model", "GHz", "cores", "threads", "mem(GB)",
+                "BW(GB/s)", "TFLOPS");
+    for (Platform p : allPlatforms()) {
+        if (p == Platform::CmpMulticore)
+            continue;
+        const auto &s = platformSpec(p);
+        std::printf("%-18s %-24s %6.2f %6d %8d %8.1f %8.1f %8.1f\n",
+                    s.name, s.model, s.frequencyGhz, s.cores,
+                    s.hwThreads, s.memGb, s.memBwGBs, s.peakTflops);
+    }
+
+    bench::banner("Table 4: Sirius Suite and Granularity of Parallelism");
+    std::printf("%-8s %-10s %-32s\n", "service", "kernel", "granularity");
+    for (const auto &kernel : kernels()) {
+        std::printf("%-8s %-10s %-32s\n", serviceName(kernel->service()),
+                    kernel->name(), kernel->granularity());
+    }
+
+    const CalibratedModel calibrated;
+    const AnalyticModel analytic;
+    for (const SpeedupModel *model :
+         {static_cast<const SpeedupModel *>(&calibrated),
+          static_cast<const SpeedupModel *>(&analytic)}) {
+        bench::banner(std::string("Table 5 / Figure 13: speedup over "
+                                  "1-thread CMP (") + model->name() +
+                      " model)");
+        std::printf("%-10s %8s %8s %8s %8s\n", "kernel", "CMP", "GPU",
+                    "Phi", "FPGA");
+        for (Kernel kernel : suiteKernels()) {
+            std::printf("%-10s %8.1f %8.1f %8.1f %8.1f\n",
+                        kernelName(kernel),
+                        model->speedup(kernel, Platform::CmpMulticore),
+                        model->speedup(kernel, Platform::Gpu),
+                        model->speedup(kernel, Platform::Phi),
+                        model->speedup(kernel, Platform::Fpga));
+        }
+    }
+
+    bench::banner("Figure 13: heat map (log2 of calibrated speedup)");
+    std::printf("%-10s %-14s %-14s %-14s %-14s\n", "kernel", "CMP",
+                "GPU", "Phi", "FPGA");
+    for (Kernel kernel : suiteKernels()) {
+        std::printf("%-10s", kernelName(kernel));
+        for (Platform p : {Platform::CmpMulticore, Platform::Gpu,
+                           Platform::Phi, Platform::Fpga}) {
+            const double s = calibrated.speedup(kernel, p);
+            std::printf(" %-13s",
+                        bench::bar(std::log2(s) + 1.0, 1.0, 9).c_str());
+        }
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (size_t i = 0; i < kernels().size(); ++i) {
+        benchmark::RegisterBenchmark(
+            (std::string(kernels()[i]->name()) + "/serial").c_str(),
+            runSerial, i);
+        benchmark::RegisterBenchmark(
+            (std::string(kernels()[i]->name()) + "/threads:4").c_str(),
+            runThreaded, i)
+            ->UseRealTime();
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    printTables();
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Table 8 / Table 9 reproduction: homogeneous and partitioned-
+ * heterogeneous datacenter designs under three objectives and three
+ * accelerator candidate sets.
+ */
+
+#include <cstdio>
+
+#include "accel/model.h"
+#include "bench_util.h"
+#include "dcsim/designer.h"
+
+using namespace sirius;
+using namespace sirius::accel;
+using namespace sirius::dcsim;
+
+namespace {
+
+void
+printDesignTable(const DatacenterDesigner &designer, bool heterogeneous)
+{
+    const Objective objectives[] = {
+        Objective::MinLatency,
+        Objective::MinTcoWithLatency,
+        Objective::MaxPowerEffWithLatency,
+    };
+    struct NamedSet
+    {
+        const char *name;
+        CandidateSet set;
+    };
+    NamedSet sets[] = {
+        {"with FPGA", {}},
+        {"without FPGA", {true, true, false}},
+        {"without FPGA or GPU", {false, true, false}},
+    };
+
+    for (const auto &[set_name, set] : sets) {
+        std::printf("\n[%s]\n", set_name);
+        std::printf("%-42s", "objective");
+        for (ServiceKind service : allServices())
+            std::printf(" %-11s", serviceKindName(service));
+        std::printf("\n");
+        for (Objective objective : objectives) {
+            std::printf("%-42s", objectiveName(objective));
+            if (heterogeneous) {
+                for (const auto &[service, platform] :
+                     designer.heterogeneousDesign(objective, set)) {
+                    (void)service;
+                    std::printf(" %-11s", platformName(platform));
+                }
+            } else {
+                const Platform platform =
+                    designer.homogeneousDesign(objective, set);
+                for (size_t i = 0; i < allServices().size(); ++i)
+                    std::printf(" %-11s", platformName(platform));
+            }
+            std::printf("\n");
+        }
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    const CalibratedModel model;
+    const DatacenterDesigner designer(defaultServiceProfiles(), model);
+
+    bench::banner("Table 8: Homogeneous Datacenter Designs");
+    printDesignTable(designer, false);
+
+    bench::banner("Table 9: Heterogeneous (Partitioned) Datacenter "
+                  "Designs");
+    printDesignTable(designer, true);
+
+    bench::subhead("heterogeneous gains over the homogeneous design "
+                   "(Table 9 parentheses)");
+    CandidateSet all;
+    std::printf("latency objective, ASR (DNN): %.1fx (paper: GPU "
+                "3.6x)\n",
+                designer.heterogeneousGain(Objective::MinLatency, all,
+                                           ServiceKind::AsrDnn));
+    std::printf("TCO objective, QA: %.0f%% (paper: FPGA 20%%)\n",
+                (designer.heterogeneousGain(Objective::MinTcoWithLatency,
+                                            all, ServiceKind::Qa) -
+                 1.0) * 100.0);
+    std::printf("TCO objective, IMM: %.0f%% (paper: FPGA 19%%)\n",
+                (designer.heterogeneousGain(Objective::MinTcoWithLatency,
+                                            all, ServiceKind::Imm) -
+                 1.0) * 100.0);
+    std::printf("\nkey observation: partitioned heterogeneity provides "
+                "little benefit over the homogeneous design (paper "
+                "section 5.2.4)\n");
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared helpers for the per-figure bench binaries: section banners,
+ * fixed-width table rows, and the standard model/profile wiring.
+ */
+
+#ifndef SIRIUS_BENCH_BENCH_UTIL_H
+#define SIRIUS_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace sirius::bench {
+
+/** Print a '=== title ===' banner. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n================================================="
+                "=============\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("==================================================="
+                "===========\n");
+}
+
+/** Print a secondary '--- title ---' header. */
+inline void
+subhead(const std::string &title)
+{
+    std::printf("\n--- %s ---\n", title.c_str());
+}
+
+/** Render a simple ASCII bar of @p value scaled by @p per_char. */
+inline std::string
+bar(double value, double per_char, size_t max_chars = 48)
+{
+    size_t n = static_cast<size_t>(value / per_char);
+    if (n > max_chars)
+        n = max_chars;
+    return std::string(n, '#');
+}
+
+} // namespace sirius::bench
+
+#endif // SIRIUS_BENCH_BENCH_UTIL_H

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Datacenter designer scenario: Section 5 of the paper as a tool.
+ *
+ * Given a target IPA query load, explore accelerator options per
+ * service, print the resulting homogeneous/heterogeneous designs, the
+ * fleet size, and the yearly TCO under the Table 7 cost model.
+ *
+ * Usage: ./build/examples/dc_designer [target-qps]
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "accel/latency.h"
+#include "accel/model.h"
+#include "dcsim/designer.h"
+#include "dcsim/queueing.h"
+#include "dcsim/tco.h"
+
+using namespace sirius;
+using namespace sirius::accel;
+using namespace sirius::dcsim;
+
+int
+main(int argc, char **argv)
+{
+    const double target_qps = argc > 1 ? std::atof(argv[1]) : 10000.0;
+
+    const CalibratedModel model;
+    const auto profiles = defaultServiceProfiles();
+    const DatacenterDesigner designer(profiles, model);
+    const TcoParams params;
+
+    std::printf("designing a datacenter for %.0f IPA queries/s\n\n",
+                target_qps);
+
+    std::printf("%-11s %-10s %14s %12s %16s\n", "service", "platform",
+                "latency", "servers", "yearly TCO");
+    double total_tco = 0.0;
+    CandidateSet all;
+    for (const auto &[service, platform] :
+         designer.heterogeneousDesign(Objective::MinTcoWithLatency,
+                                      all)) {
+        const ServiceProfile *profile = nullptr;
+        for (const auto &p : profiles) {
+            if (p.kind == service)
+                profile = &p;
+        }
+        const double latency = serviceLatency(*profile, model, platform);
+        // Keep each server below 70% load so queueing delay stays low.
+        const double server_qps = 0.7 / latency;
+        const double servers = std::ceil(target_qps / server_qps);
+        const double tco = servers *
+            serverYearlyTco(acceleratedServer(platform, params), params);
+        total_tco += tco;
+        std::printf("%-11s %-10s %12.3f s %12.0f %15.0f$\n",
+                    serviceKindName(service), platformName(platform),
+                    latency, servers, tco);
+    }
+    std::printf("\ntotal fleet yearly TCO: $%.0f\n", total_tco);
+
+    // Compare against the unaccelerated fleet: a CMP server runs one
+    // query per core at the serial latency (query-level parallelism).
+    double cmp_tco = 0.0;
+    for (const auto &profile : profiles) {
+        const double latency = serviceLatency(profile, model,
+                                              Platform::Cmp);
+        const double server_qps = 0.7 * 4.0 / latency;
+        const double servers = std::ceil(target_qps / server_qps);
+        cmp_tco += servers * serverYearlyTco(baselineServer(params),
+                                             params);
+    }
+    std::printf("CMP-only fleet yearly TCO: $%.0f (%.1fx more)\n",
+                cmp_tco, cmp_tco / total_tco);
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Quickstart: build the full Sirius pipeline and push one query of each
+ * class (voice command, voice query, voice-image query) through it.
+ *
+ * Build:  cmake -B build -G Ninja && cmake --build build
+ * Run:    ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "core/query_set.h"
+
+int
+main()
+{
+    using namespace sirius::core;
+
+    // Construction trains every model: the ASR acoustic model on
+    // synthesized speech, the QA CRF tagger on the tagged corpus, and
+    // pre-extracts SURF descriptors for the landmark database.
+    std::printf("training Sirius (ASR + QA + IMM)...\n");
+    const SiriusPipeline sirius = SiriusPipeline::build();
+
+    // 1. A voice command: recognized speech is classified as an action
+    //    and returned to the device.
+    const Query command{QueryType::VoiceCommand,
+                        "set my alarm for 8 am", -1, ""};
+    const auto vc = sirius.process(command);
+    std::printf("\n[VC ] heard: \"%s\"\n", vc.transcript.c_str());
+    std::printf("      -> device action: \"%s\"\n", vc.action.c_str());
+
+    // 2. A voice query: ASR -> question answering over the corpus.
+    const Query question{QueryType::VoiceQuery,
+                         "who was elected 44th president", -1, "obama"};
+    const auto vq = sirius.process(question);
+    std::printf("\n[VQ ] heard: \"%s\"\n", vq.transcript.c_str());
+    std::printf("      -> answer: \"%s\"\n", vq.answer.c_str());
+
+    // 3. A voice-image query: the camera image identifies the entity
+    //    the spoken question refers to.
+    const Query image_query{QueryType::VoiceImageQuery,
+                            "when does this restaurant close", 0,
+                            "9 pm"};
+    const auto viq = sirius.process(image_query);
+    std::printf("\n[VIQ] heard: \"%s\"\n", viq.transcript.c_str());
+    std::printf("      image matched landmark #%d\n",
+                viq.matchedLandmark);
+    std::printf("      question became: \"%s\"\n",
+                viq.augmentedQuestion.c_str());
+    std::printf("      -> answer: \"%s\"\n", viq.answer.c_str());
+
+    std::printf("\nper-stage latency of the VIQ query: ASR %.1f ms, "
+                "IMM %.1f ms, QA %.1f ms\n",
+                viq.timings.asr.total() * 1e3,
+                viq.timings.imm.total() * 1e3,
+                viq.timings.qa.total() * 1e3);
+    return 0;
+}

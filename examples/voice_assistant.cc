@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Voice assistant scenario: run the complete 42-query input set
+ * (Table 1's taxonomy) through the pipeline, as the paper's
+ * characterization experiments do, and report per-class accuracy and
+ * latency — a miniature of Section 3's real-system analysis.
+ *
+ * Usage: ./build/examples/voice_assistant [--backend gmm|dnn]
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/stats.h"
+#include "common/strings.h"
+#include "core/pipeline.h"
+#include "core/query_set.h"
+
+using namespace sirius;
+using namespace sirius::core;
+
+int
+main(int argc, char **argv)
+{
+    SiriusConfig config;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+            config.asrBackend = std::strcmp(argv[i + 1], "dnn") == 0
+                ? speech::AsrBackend::Dnn : speech::AsrBackend::Gmm;
+            ++i;
+        }
+    }
+
+    std::printf("building Sirius pipeline (%s acoustic backend)...\n",
+                config.asrBackend == speech::AsrBackend::Dnn ? "DNN"
+                                                             : "GMM");
+    const SiriusPipeline sirius = SiriusPipeline::build(config);
+
+    SampleStats latency[3];
+    size_t correct[3] = {0, 0, 0};
+    size_t total[3] = {0, 0, 0};
+
+    for (const auto &query : standardQuerySet()) {
+        const auto result = sirius.process(query);
+        const int c = static_cast<int>(query.type);
+        latency[c].add(result.timings.total());
+        ++total[c];
+
+        bool ok = false;
+        if (query.type == QueryType::VoiceCommand) {
+            ok = result.queryClass == QueryClass::Action &&
+                toLower(result.action) == toLower(query.text);
+        } else {
+            ok = toLower(result.answer).find(query.expectedAnswer) !=
+                std::string::npos;
+        }
+        correct[c] += ok;
+
+        std::printf("[%-3s] %-52s -> %s%s\n",
+                    queryTypeName(query.type), query.text.c_str(),
+                    query.type == QueryType::VoiceCommand
+                        ? result.action.c_str() : result.answer.c_str(),
+                    ok ? "" : "   (MISS)");
+    }
+
+    std::printf("\n%-5s %8s %14s %14s\n", "class", "accuracy",
+                "mean latency", "p95 latency");
+    for (int c = 0; c < 3; ++c) {
+        std::printf("%-5s %7.0f%% %12.2f ms %12.2f ms\n",
+                    queryTypeName(static_cast<QueryType>(c)),
+                    100.0 * static_cast<double>(correct[c]) /
+                        static_cast<double>(total[c]),
+                    latency[c].mean() * 1e3,
+                    latency[c].percentile(95) * 1e3);
+    }
+    return 0;
+}

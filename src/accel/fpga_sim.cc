@@ -1,0 +1,91 @@
+#include "accel/fpga_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sirius::accel {
+
+FpgaGmmSimulator::FpgaGmmSimulator(int dims, int components,
+                                   FpgaFabric fabric)
+    : dims_(dims), components_(components), fabric_(fabric)
+{
+    if (dims <= 0 || components <= 0)
+        fatal("FpgaGmmSimulator: dims and components must be positive");
+}
+
+int
+FpgaGmmSimulator::coreLuts() const
+{
+    return dims_ * kLutsPerLogDiffUnit + kLutsCoreOverhead;
+}
+
+int
+FpgaGmmSimulator::maxCores() const
+{
+    const double usable = fabric_.luts * fabric_.usableFraction;
+    return std::max(1, static_cast<int>(usable / coreLuts()));
+}
+
+double
+FpgaGmmSimulator::cyclesPerState() const
+{
+    // The dimension loop is one cycle wide (fully parallel log-diff
+    // units); each component then flows through the pipelined
+    // log-summation unit at initiation interval 1, after the fill.
+    return kPipelineFill + components_;
+}
+
+double
+FpgaGmmSimulator::statesPerSecond(int cores) const
+{
+    cores = std::clamp(cores, 1, maxCores());
+    return fabric_.clockGhz * 1e9 / cyclesPerState() * cores;
+}
+
+double
+FpgaGmmSimulator::speedupVsCpu(double cpu_states_per_second,
+                               int cores) const
+{
+    if (cpu_states_per_second <= 0.0)
+        fatal("FpgaGmmSimulator: CPU rate must be positive");
+    return statesPerSecond(cores) / cpu_states_per_second;
+}
+
+FpgaStemmerSimulator::FpgaStemmerSimulator(FpgaFabric fabric)
+    : fabric_(fabric)
+{
+}
+
+int
+FpgaStemmerSimulator::maxCores() const
+{
+    // Rounded: 5 cores x 17% occupy exactly the 85% usable fabric.
+    return std::max(1, static_cast<int>(std::lround(
+        fabric_.usableFraction / coreFabricFraction())));
+}
+
+double
+FpgaStemmerSimulator::cyclesPerWord() const
+{
+    return kCyclesPerWordSteadyState;
+}
+
+double
+FpgaStemmerSimulator::wordsPerSecond(int cores) const
+{
+    cores = std::clamp(cores, 1, maxCores());
+    return fabric_.clockGhz * 1e9 / cyclesPerWord() * cores;
+}
+
+double
+FpgaStemmerSimulator::speedupVsCpu(double cpu_words_per_second,
+                                   int cores) const
+{
+    if (cpu_words_per_second <= 0.0)
+        fatal("FpgaStemmerSimulator: CPU rate must be positive");
+    return wordsPerSecond(cores) / cpu_words_per_second;
+}
+
+} // namespace sirius::accel

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Structural simulators of the paper's custom FPGA designs
+ * (Section 4.3.4, Figures 11 and 12).
+ *
+ * The paper builds two original FPGA implementations: a GMM scoring core
+ * whose log-differential units fully parallelize the innermost
+ * (dimension) loop while the middle (component) loop flows through a
+ * pipelined log-summation unit, and a six-step pipelined Porter-stemmer
+ * core with parallel vowel/suffix comparators. Both designs replicate
+ * cores until the fabric is full (3 GMM cores: 56x -> 169x; stemmer at
+ * 17% fabric per core: 6x -> 30x).
+ *
+ * We cannot place-and-route on this container, so these classes model
+ * the *structure*: per-item cycle counts from the pipeline organization,
+ * LUT budgets from the Virtex-6 fabric, and linear core scaling. Tests
+ * assert the structural facts the paper reports (core counts and the
+ * full-fabric/single-core ratios).
+ */
+
+#ifndef SIRIUS_ACCEL_FPGA_SIM_H
+#define SIRIUS_ACCEL_FPGA_SIM_H
+
+#include <cstddef>
+
+namespace sirius::accel {
+
+/** The Virtex-6 ML605 fabric the paper targets. */
+struct FpgaFabric
+{
+    double clockGhz = 0.4;  ///< Table 3
+    int luts = 150720;      ///< XC6VLX240T logic cells
+    /** Routable fraction of the fabric a replicated design can fill. */
+    double usableFraction = 0.85;
+};
+
+/**
+ * The Figure 11 GMM core: one core scores one HMM state per pass; the
+ * innermost dimension loop is fully parallel (one log-differential unit
+ * per feature dimension), the component loop is sequential through the
+ * pipelined log-summation unit.
+ */
+class FpgaGmmSimulator
+{
+  public:
+    /**
+     * @param dims feature dimensionality (log-diff units per core)
+     * @param components Gaussians per state (sequential middle loop)
+     */
+    FpgaGmmSimulator(int dims, int components, FpgaFabric fabric = {});
+
+    /** LUTs one core occupies. */
+    int coreLuts() const;
+
+    /** Cores that fit the usable fabric (>= 1). */
+    int maxCores() const;
+
+    /** Pipeline cycles to score one state on one core. */
+    double cyclesPerState() const;
+
+    /** Aggregate states scored per second with @p cores cores. */
+    double statesPerSecond(int cores) const;
+
+    /** Speedup over a CPU scoring @p cpu_states_per_second. */
+    double speedupVsCpu(double cpu_states_per_second, int cores) const;
+
+  private:
+    int dims_;
+    int components_;
+    FpgaFabric fabric_;
+
+    // Structure constants: a log-differential unit (subtract, square,
+    // multiply-accumulate in log space) and the shared log-summation
+    // tree + control per core.
+    static constexpr int kLutsPerLogDiffUnit = 1000;
+    static constexpr int kLutsCoreOverhead = 2400;
+    static constexpr int kPipelineFill = 12;
+};
+
+/**
+ * The Figure 12 stemmer core: six pipelined suffix-handling steps with
+ * parallel vowel / vowel-consonant / suffix comparators selecting the
+ * word shift per step.
+ */
+class FpgaStemmerSimulator
+{
+  public:
+    explicit FpgaStemmerSimulator(FpgaFabric fabric = {});
+
+    /** Fabric fraction one core occupies (paper: 17%). */
+    double coreFabricFraction() const { return 0.17; }
+
+    /** Cores that fit the usable fabric. */
+    int maxCores() const;
+
+    /** Cycles to stream one word through the six-step pipeline. */
+    double cyclesPerWord() const;
+
+    /** Aggregate words stemmed per second with @p cores cores. */
+    double wordsPerSecond(int cores) const;
+
+    /** Speedup over a CPU stemming @p cpu_words_per_second. */
+    double speedupVsCpu(double cpu_words_per_second, int cores) const;
+
+  private:
+    FpgaFabric fabric_;
+
+    // The char-serial datapath shifts the average word (~9 letters)
+    // through the step logic; steps overlap once the pipe is full.
+    static constexpr double kCyclesPerWordSteadyState = 14.0;
+};
+
+} // namespace sirius::accel
+
+#endif // SIRIUS_ACCEL_FPGA_SIM_H

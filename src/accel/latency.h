@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Service-level latency composition across platforms (Figures 14-16).
+ *
+ * A service profile records the measured single-threaded time of each hot
+ * component (taken from the real pipeline on this machine) plus the
+ * residual unaccelerated time. Platform latency divides each accelerated
+ * component by its modeled speedup, mirroring how the paper composes
+ * Figure 14 from Table 5.
+ */
+
+#ifndef SIRIUS_ACCEL_LATENCY_H
+#define SIRIUS_ACCEL_LATENCY_H
+
+#include <string>
+#include <vector>
+
+#include "accel/model.h"
+
+namespace sirius::accel {
+
+/** The four service configurations of Figures 14-19. */
+enum class ServiceKind
+{
+    AsrGmm,
+    AsrDnn,
+    Qa,
+    Imm,
+};
+
+/** All service kinds in presentation order. */
+const std::vector<ServiceKind> &allServices();
+
+/** Display name ("ASR (GMM)", ...). */
+const char *serviceKindName(ServiceKind kind);
+
+/** One hot component of a service. */
+struct ComponentTime
+{
+    Kernel kernel;     ///< which Suite kernel accelerates it
+    double seconds;    ///< measured 1-thread baseline time
+};
+
+/** Measured breakdown of one service's query latency. */
+struct ServiceProfile
+{
+    ServiceKind kind;
+    std::vector<ComponentTime> components;
+    double unacceleratedSeconds = 0.0; ///< stays on the host CPU
+};
+
+/** Total baseline (1-thread CMP) latency of the profile. */
+double baselineLatency(const ServiceProfile &profile);
+
+/** Latency of the service on @p platform under @p model. */
+double serviceLatency(const ServiceProfile &profile,
+                      const SpeedupModel &model, Platform platform);
+
+/**
+ * Performance per watt relative to the all-cores CMP baseline
+ * (Figure 15). Performance = 1/latency; power = accelerator TDP for
+ * offload/fabric platforms, CPU TDP for the CMP rows.
+ */
+double perfPerWattVsMulticore(const ServiceProfile &profile,
+                              const SpeedupModel &model,
+                              Platform platform);
+
+/**
+ * Server throughput improvement at 100% load (Figure 16). The baseline
+ * server runs one query per core (query-level parallelism on 4 cores);
+ * an accelerated server streams queries through the accelerator.
+ */
+double throughputImprovement(const ServiceProfile &profile,
+                             const SpeedupModel &model, Platform platform);
+
+/**
+ * Default service profiles with documented baseline component times
+ * (seconds), measured from the end-to-end pipeline and scaled to the
+ * paper's observed service magnitudes. Callers running the real pipeline
+ * can substitute their own measurements.
+ */
+std::vector<ServiceProfile> defaultServiceProfiles();
+
+/**
+ * Build service profiles from measured component seconds.
+ * @param asr_fe feature-extraction seconds (stays unaccelerated)
+ * @param asr_gmm_scoring,asr_search GMM-backend scoring/search split
+ * @param asr_dnn_total DNN-backend total (the paper's DNN row covers
+ *        scoring + search together)
+ * @param qa_stemmer,qa_regex,qa_crf,qa_rest QA component seconds
+ * @param imm_fe,imm_fd,imm_rest IMM component seconds
+ */
+std::vector<ServiceProfile> makeServiceProfiles(
+    double asr_fe, double asr_gmm_scoring, double asr_search,
+    double asr_dnn_total, double qa_stemmer, double qa_regex,
+    double qa_crf, double qa_rest, double imm_fe, double imm_fd,
+    double imm_rest);
+
+} // namespace sirius::accel
+
+#endif // SIRIUS_ACCEL_LATENCY_H

@@ -1,0 +1,214 @@
+#include "accel/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "accel/uarch.h"
+#include "common/logging.h"
+
+namespace sirius::accel {
+
+const std::vector<Kernel> &
+suiteKernels()
+{
+    static const std::vector<Kernel> kernels = {
+        Kernel::Gmm, Kernel::Dnn, Kernel::Stemmer, Kernel::Regex,
+        Kernel::Crf, Kernel::Fe, Kernel::Fd,
+    };
+    return kernels;
+}
+
+const char *
+kernelName(Kernel kernel)
+{
+    switch (kernel) {
+      case Kernel::Gmm: return "GMM";
+      case Kernel::Dnn: return "DNN";
+      case Kernel::Stemmer: return "Stemmer";
+      case Kernel::Regex: return "Regex";
+      case Kernel::Crf: return "CRF";
+      case Kernel::Fe: return "FE";
+      case Kernel::Fd: return "FD";
+      case Kernel::HmmSearch: return "HMM";
+      case Kernel::HmmSearchDnn: return "HMM (RASR)";
+    }
+    return "?";
+}
+
+const KernelProfile &
+kernelProfile(Kernel kernel)
+{
+    // Profiles characterize each kernel's parallel structure; values are
+    // derived from the kernels' source structure (see src/suite) and the
+    // paper's porting notes in Section 4.4.
+    static const KernelProfile gmm = {
+        0.999, 8.0, 0.95, 0.05, 0.95, 0.95};
+    static const KernelProfile dnn = {
+        0.995, 24.0, 0.98, 0.02, 0.60, 0.90};
+    static const KernelProfile stemmer = {
+        0.999, 0.6, 0.30, 0.90, 0.18, 0.80};
+    static const KernelProfile regex = {
+        0.999, 4.0, 0.95, 0.30, 0.95, 0.85};
+    static const KernelProfile crf = {
+        0.960, 2.0, 0.12, 0.55, 0.05, 0.80};
+    static const KernelProfile fe = {
+        0.950, 4.0, 0.40, 0.30, 0.22, 0.85};
+    static const KernelProfile fd = {
+        0.999, 8.0, 0.95, 0.10, 0.45, 0.90};
+    static const KernelProfile hmm = {
+        0.600, 1.0, 0.10, 0.80, 0.25, 0.80};
+    static const KernelProfile hmm_dnn = {
+        0.990, 4.0, 0.80, 0.30, 0.01, 0.90};
+    switch (kernel) {
+      case Kernel::Gmm: return gmm;
+      case Kernel::Dnn: return dnn;
+      case Kernel::Stemmer: return stemmer;
+      case Kernel::Regex: return regex;
+      case Kernel::Crf: return crf;
+      case Kernel::Fe: return fe;
+      case Kernel::Fd: return fd;
+      case Kernel::HmmSearch: return hmm;
+      case Kernel::HmmSearchDnn: return hmm_dnn;
+    }
+    panic("kernelProfile: unknown kernel");
+}
+
+double
+CalibratedModel::speedup(Kernel kernel, Platform platform) const
+{
+    if (platform == Platform::Cmp)
+        return 1.0;
+    // Table 5 of the paper. CMP column is the 4-core pthreads port;
+    // bracketed FPGA/GPU cells cite prior literature as the paper does.
+    // The HMM row is the paper's stated assumption: a 3.7x accelerated
+    // search from [35] used "as a reasonable lower bound" wherever a
+    // custom kernel or literature value is used, and a 2.0x multicore
+    // share for the CMP port.
+    struct Row
+    {
+        double cmp, gpu, phi, fpga;
+    };
+    auto row = [kernel]() -> Row {
+        switch (kernel) {
+          case Kernel::Gmm: return {3.5, 70.0, 1.1, 169.0};
+          case Kernel::Dnn: return {6.0, 54.7, 11.2, 110.5};
+          case Kernel::Stemmer: return {4.0, 6.2, 5.6, 30.0};
+          case Kernel::Regex: return {3.9, 48.0, 1.1, 168.2};
+          case Kernel::Crf: return {3.7, 3.8, 4.7, 7.5};
+          case Kernel::Fe: return {5.2, 10.5, 2.5, 34.6};
+          case Kernel::Fd: return {5.9, 120.5, 12.7, 75.5};
+          case Kernel::HmmSearch: return {2.0, 3.7, 2.0, 3.7};
+          // RASR parallelizes search together with DNN scoring on the
+          // GPU/Phi (Table 5 footnote); the FPGA only gets the [35]
+          // search assumption.
+          case Kernel::HmmSearchDnn: return {6.0, 54.7, 11.2, 3.7};
+        }
+        panic("CalibratedModel: unknown kernel");
+    }();
+    switch (platform) {
+      case Platform::CmpMulticore: return row.cmp;
+      case Platform::Gpu: return row.gpu;
+      case Platform::Phi: return row.phi;
+      case Platform::Fpga: return row.fpga;
+      default: return 1.0;
+    }
+}
+
+double
+baselineSustainedGflops(Kernel kernel)
+{
+    // One Haswell core retiring scalar FP: frequency x 2 flops/cycle,
+    // derated by the kernel's useful-work (retiring) cycle share from
+    // the Figure-10 microarchitecture profile. This couples the
+    // analytic model's baseline to the same data the paper's IPC study
+    // uses.
+    const double scalar_gflops =
+        platformSpec(Platform::Cmp).frequencyGhz * 2.0;
+    return scalar_gflops * microarchProfile(kernel).retiring;
+}
+
+double
+AnalyticModel::sustained(Kernel kernel, const PlatformSpec &spec,
+                         double parallel_threads) const
+{
+    const KernelProfile &profile = kernelProfile(kernel);
+    (void)parallel_threads;
+
+    if (spec.simdReliance == 0.0) {
+        // FPGA: a custom pipeline at fabric frequency with a tailored
+        // data layout; off-chip bandwidth is not the limiter (the paper
+        // notes the fabric's "very efficient computation and data
+        // layout"), so effectiveness is the fraction of the fabric the
+        // kernel's datapath can fill.
+        return spec.peakTflops * 1000.0 * profile.fpgaPipelineFactor;
+    }
+    // SIMD machines lose lanes to non-vectorizable work and throughput
+    // to control divergence; modelEfficiency captures how much of the
+    // remaining peak irregular server kernels achieve in practice.
+    const double lanes = 1.0 -
+        spec.simdReliance * (1.0 - profile.simdEfficiency);
+    const double divergence_loss = std::max(
+        0.02, 1.0 - spec.divergencePenalty * profile.divergence);
+    const double compute =
+        spec.peakTflops * 1000.0 * lanes * divergence_loss;
+    // Roofline: device memory bandwidth caps sustained throughput.
+    const double memory =
+        spec.memBwGBs * profile.arithmeticIntensity;
+    return std::min(compute, memory) * spec.modelEfficiency;
+}
+
+double
+AnalyticModel::speedup(Kernel kernel, Platform platform) const
+{
+    if (platform == Platform::Cmp)
+        return 1.0;
+    const KernelProfile &profile = kernelProfile(kernel);
+    const double base = baselineSustainedGflops(kernel);
+
+    double raw;
+    if (platform == Platform::CmpMulticore) {
+        // The pthread port scales across 4 cores with a little SMT help.
+        raw = 4.0 * 1.15;
+    } else {
+        const PlatformSpec &spec = platformSpec(platform);
+        double accel = sustained(kernel, spec, 1.0);
+        if (spec.offload)
+            accel *= profile.offloadEfficiency;
+        raw = std::max(1e-6, accel / std::max(1e-9, base));
+    }
+
+    // Amdahl over the kernel's parallel fraction.
+    const double p = profile.parallelFraction;
+    return 1.0 / ((1.0 - p) + p / raw);
+}
+
+ModelAgreement
+compareModels(const SpeedupModel &a, const SpeedupModel &b)
+{
+    ModelAgreement result;
+    std::vector<double> va, vb;
+    for (Kernel kernel : suiteKernels()) {
+        for (Platform platform : acceleratorPlatforms()) {
+            va.push_back(a.speedup(kernel, platform));
+            vb.push_back(b.speedup(kernel, platform));
+        }
+    }
+    double err = 0.0;
+    for (size_t i = 0; i < va.size(); ++i)
+        err += std::fabs(std::log2(va[i] / vb[i]));
+    result.meanAbsLogError = err / static_cast<double>(va.size());
+
+    size_t agree = 0, total = 0;
+    for (size_t i = 0; i < va.size(); ++i) {
+        for (size_t j = i + 1; j < va.size(); ++j) {
+            ++total;
+            if ((va[i] < va[j]) == (vb[i] < vb[j]))
+                ++agree;
+        }
+    }
+    result.orderingAgreement = total == 0
+        ? 1.0 : static_cast<double>(agree) / static_cast<double>(total);
+    return result;
+}
+
+} // namespace sirius::accel

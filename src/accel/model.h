@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Kernel speedup models across accelerator platforms.
+ *
+ * Two sources are provided:
+ *  - CalibratedModel: the paper's measured speedups (Table 5), used as
+ *    ground truth by every datacenter-level experiment. This is the
+ *    documented substitution for the GPU/Phi/FPGA hardware this
+ *    container does not have.
+ *  - AnalyticModel: a roofline + Amdahl + divergence model computed from
+ *    the platform specs (Table 3) and per-kernel workload profiles. It
+ *    exists to sanity-check the calibrated numbers (ordering, rough
+ *    magnitude); the ablation bench reports per-cell agreement.
+ */
+
+#ifndef SIRIUS_ACCEL_MODEL_H
+#define SIRIUS_ACCEL_MODEL_H
+
+#include <vector>
+
+#include "accel/platform.h"
+
+namespace sirius::accel {
+
+/** The seven Sirius Suite kernels plus two HMM-search pseudo-kernels. */
+enum class Kernel
+{
+    Gmm,
+    Dnn,
+    Stemmer,
+    Regex,
+    Crf,
+    Fe,
+    Fd,
+    HmmSearch,    ///< Viterbi search; speedup assumption from [35]
+    HmmSearchDnn, ///< RASR's framework-level search: ported with the DNN
+                  ///< on GPU/Phi (Table 5 footnote), 3.7x-style on FPGA
+};
+
+/** Table 4 kernels in presentation order (excludes HmmSearch). */
+const std::vector<Kernel> &suiteKernels();
+
+/** Kernel display name. */
+const char *kernelName(Kernel kernel);
+
+/** Workload profile feeding the analytic model. */
+struct KernelProfile
+{
+    double parallelFraction;     ///< Amdahl's parallelizable share
+    double arithmeticIntensity;  ///< flops per byte moved
+    double simdEfficiency;       ///< fraction of SIMD lanes usable
+    double divergence;           ///< 0 = uniform control flow, 1 = chaotic
+    double fpgaPipelineFactor;   ///< custom-datapath effectiveness [0, 1]
+    double offloadEfficiency;    ///< survives PCIe transfer overheads
+};
+
+/**
+ * The analytic model's baseline: sustained GFLOPS of the original
+ * single-threaded implementation on one Haswell core, derived from the
+ * core's scalar FLOP rate and the kernel's Figure-10 retiring fraction.
+ */
+double baselineSustainedGflops(Kernel kernel);
+
+/** Profile for @p kernel. */
+const KernelProfile &kernelProfile(Kernel kernel);
+
+/** Interface: speedup of (kernel, platform) over the 1-thread CMP. */
+class SpeedupModel
+{
+  public:
+    virtual ~SpeedupModel() = default;
+
+    /** Speedup factor >= 0 (1.0 = baseline speed). */
+    virtual double speedup(Kernel kernel, Platform platform) const = 0;
+
+    virtual const char *name() const = 0;
+};
+
+/** Table 5 numbers, verbatim. */
+class CalibratedModel : public SpeedupModel
+{
+  public:
+    double speedup(Kernel kernel, Platform platform) const override;
+    const char *name() const override { return "calibrated"; }
+};
+
+/** Roofline/Amdahl/divergence model over the Table 3 specs. */
+class AnalyticModel : public SpeedupModel
+{
+  public:
+    double speedup(Kernel kernel, Platform platform) const override;
+    const char *name() const override { return "analytic"; }
+
+  private:
+    /** Sustained TFLOPS of @p platform on @p kernel. */
+    double sustained(Kernel kernel, const PlatformSpec &spec,
+                     double parallel_threads) const;
+};
+
+/**
+ * Agreement diagnostics between two models over the suite kernels and
+ * accelerator platforms.
+ */
+struct ModelAgreement
+{
+    double meanAbsLogError = 0.0;  ///< mean |log2(a/b)| over cells
+    double orderingAgreement = 0.0;///< pairwise-rank agreement in [0, 1]
+};
+
+/** Compare @p a against @p b over all (suite kernel, accelerator). */
+ModelAgreement compareModels(const SpeedupModel &a, const SpeedupModel &b);
+
+} // namespace sirius::accel
+
+#endif // SIRIUS_ACCEL_MODEL_H

@@ -1,0 +1,68 @@
+#include "accel/platform.h"
+
+#include "common/logging.h"
+
+namespace sirius::accel {
+
+const std::vector<Platform> &
+allPlatforms()
+{
+    static const std::vector<Platform> platforms = {
+        Platform::Cmp, Platform::CmpMulticore, Platform::Gpu,
+        Platform::Phi, Platform::Fpga,
+    };
+    return platforms;
+}
+
+const std::vector<Platform> &
+acceleratorPlatforms()
+{
+    static const std::vector<Platform> platforms = {
+        Platform::Gpu, Platform::Phi, Platform::Fpga,
+    };
+    return platforms;
+}
+
+const PlatformSpec &
+platformSpec(Platform platform)
+{
+    // Table 3 (specs) and Table 6 (TDP, cost). The two CMP rows share
+    // the Xeon's hardware; they differ only in how many threads the
+    // software uses.
+    static const PlatformSpec cmp = {
+        "CMP", "Intel Xeon E3-1240 V3", 3.40, 4, 8, 12.0, 25.6, 0.5,
+        80.0, 250.0, false, 0.5, 0.05, 1.0,
+    };
+    static const PlatformSpec cmp_mt = {
+        "CMP (multicore)", "Intel Xeon E3-1240 V3", 3.40, 4, 8, 12.0,
+        25.6, 0.5, 80.0, 250.0, false, 0.5, 0.05, 1.0,
+    };
+    static const PlatformSpec gpu = {
+        "GPU", "NVIDIA GTX 770", 1.05, 8, 12288, 2.0, 224.0, 3.2,
+        230.0, 399.0, true, 1.0, 0.85, 0.10,
+    };
+    static const PlatformSpec phi = {
+        "Phi", "Intel Xeon Phi 5110P", 1.05, 60, 240, 8.0, 320.0, 2.1,
+        225.0, 2437.0, true, 0.9, 0.45, 0.012,
+    };
+    static const PlatformSpec fpga = {
+        "FPGA", "Xilinx Virtex-6 ML605", 0.40, 0, 0, 0.5, 6.4, 0.5,
+        22.0, 1795.0, false, 0.0, 0.0, 1.0,
+    };
+    switch (platform) {
+      case Platform::Cmp: return cmp;
+      case Platform::CmpMulticore: return cmp_mt;
+      case Platform::Gpu: return gpu;
+      case Platform::Phi: return phi;
+      case Platform::Fpga: return fpga;
+    }
+    panic("platformSpec: unknown platform");
+}
+
+const char *
+platformName(Platform platform)
+{
+    return platformSpec(platform).name;
+}
+
+} // namespace sirius::accel

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Accelerator platform descriptions: Table 3 (specifications) and
+ * Table 6 (power and purchase cost) of the paper.
+ *
+ * Substitution note (see DESIGN.md): this container has no GPU, Xeon Phi
+ * or FPGA, so accelerated execution is *modeled*. These specs are the
+ * model's inputs; kernel speedups come from accel/model.h.
+ */
+
+#ifndef SIRIUS_ACCEL_PLATFORM_H
+#define SIRIUS_ACCEL_PLATFORM_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sirius::accel {
+
+/** The platforms studied by the paper. */
+enum class Platform
+{
+    Cmp,          ///< Intel Xeon single-threaded baseline
+    CmpMulticore, ///< pthreads on all 4 cores / 8 threads
+    Gpu,          ///< NVIDIA GTX 770
+    Phi,          ///< Intel Xeon Phi 5110P
+    Fpga,         ///< Xilinx Virtex-6 ML605
+};
+
+/** All platforms, in presentation order. */
+const std::vector<Platform> &allPlatforms();
+
+/** Accelerator platforms only (excludes the two CPU rows). */
+const std::vector<Platform> &acceleratorPlatforms();
+
+/** Table 3 + Table 6 data for one platform. */
+struct PlatformSpec
+{
+    const char *name;
+    const char *model;
+    double frequencyGhz;
+    int cores;
+    int hwThreads;
+    double memGb;
+    double memBwGBs;
+    double peakTflops;
+    double tdpWatts;      ///< Table 6
+    double costUsd;       ///< Table 6
+    bool offload;         ///< data must cross PCIe
+    double simdReliance;  ///< 0 = scalar-friendly, 1 = SIMD-or-nothing
+    double divergencePenalty; ///< throughput lost per unit divergence
+    double modelEfficiency;   ///< analytic model: achievable share of
+                              ///< peak on irregular server kernels
+};
+
+/** Spec for @p platform. */
+const PlatformSpec &platformSpec(Platform platform);
+
+/** Display name ("CMP", "GPU", ...). */
+const char *platformName(Platform platform);
+
+/** Baseline server used by the TCO analysis (Table 7, [44]). */
+struct BaselineServer
+{
+    double priceUsd = 2102.0;
+    double powerWatts = 163.6;
+};
+
+} // namespace sirius::accel
+
+#endif // SIRIUS_ACCEL_PLATFORM_H

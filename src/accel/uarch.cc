@@ -1,0 +1,52 @@
+#include "accel/uarch.h"
+
+#include "common/logging.h"
+
+namespace sirius::accel {
+
+const MicroarchProfile &
+microarchProfile(Kernel kernel)
+{
+    // Modeled after Figure 10: DNN and Regex execute efficiently on the
+    // Xeon; GMM and FE are back-end (memory) bound; Stemmer is
+    // speculation bound (dense branching on word suffixes).
+    static const MicroarchProfile gmm = {1.1, 0.33, 0.08, 0.04, 0.55};
+    static const MicroarchProfile dnn = {2.3, 0.60, 0.08, 0.02, 0.30};
+    static const MicroarchProfile stem = {0.9, 0.30, 0.15, 0.25, 0.30};
+    static const MicroarchProfile regex = {2.1, 0.55, 0.10, 0.15, 0.20};
+    static const MicroarchProfile crf = {1.3, 0.38, 0.10, 0.12, 0.40};
+    static const MicroarchProfile fe = {1.5, 0.45, 0.08, 0.07, 0.40};
+    static const MicroarchProfile fd = {1.8, 0.50, 0.06, 0.04, 0.40};
+    static const MicroarchProfile hmm = {0.8, 0.30, 0.12, 0.18, 0.40};
+    switch (kernel) {
+      case Kernel::Gmm: return gmm;
+      case Kernel::Dnn: return dnn;
+      case Kernel::Stemmer: return stem;
+      case Kernel::Regex: return regex;
+      case Kernel::Crf: return crf;
+      case Kernel::Fe: return fe;
+      case Kernel::Fd: return fd;
+      case Kernel::HmmSearch: return hmm;
+      case Kernel::HmmSearchDnn: return hmm;
+    }
+    panic("microarchProfile: unknown kernel");
+}
+
+double
+stallFreeSpeedup(Kernel kernel)
+{
+    return 1.0 / microarchProfile(kernel).retiring;
+}
+
+double
+aggregateStallFreeSpeedup()
+{
+    // Weight kernels equally (the paper's bound is an eyeball aggregate
+    // over the per-kernel bars).
+    double total = 0.0;
+    for (Kernel kernel : suiteKernels())
+        total += stallFreeSpeedup(kernel);
+    return total / static_cast<double>(suiteKernels().size());
+}
+
+} // namespace sirius::accel

@@ -1,0 +1,210 @@
+#include "audio/codec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sirius::audio {
+
+namespace {
+
+constexpr int kMuLawBias = 0x84;
+constexpr int kMuLawClip = 32635;
+
+int16_t
+toPcm16(double sample)
+{
+    const double clamped = std::clamp(sample, -1.0, 1.0);
+    return static_cast<int16_t>(std::lround(clamped * 32767.0));
+}
+
+double
+fromPcm16(int16_t pcm)
+{
+    return static_cast<double>(pcm) / 32767.0;
+}
+
+// IMA ADPCM tables.
+const int kStepTable[89] = {
+    7,     8,     9,     10,    11,    12,    13,    14,    16,    17,
+    19,    21,    23,    25,    28,    31,    34,    37,    41,    45,
+    50,    55,    60,    66,    73,    80,    88,    97,    107,   118,
+    130,   143,   157,   173,   190,   209,   230,   253,   279,   307,
+    337,   371,   408,   449,   494,   544,   598,   658,   724,   796,
+    876,   963,   1060,  1166,  1282,  1411,  1552,  1707,  1878,  2066,
+    2272,  2499,  2749,  3024,  3327,  3660,  4026,  4428,  4871,  5358,
+    5894,  6484,  7132,  7845,  8630,  9493,  10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767};
+
+const int kIndexTable[16] = {-1, -1, -1, -1, 2, 4, 6, 8,
+                             -1, -1, -1, -1, 2, 4, 6, 8};
+
+struct AdpcmState
+{
+    int predictor = 0;
+    int index = 0;
+
+    uint8_t
+    encodeSample(int16_t pcm)
+    {
+        const int step = kStepTable[index];
+        int diff = pcm - predictor;
+        uint8_t code = 0;
+        if (diff < 0) {
+            code = 8;
+            diff = -diff;
+        }
+        int delta = step >> 3;
+        if (diff >= step) {
+            code |= 4;
+            diff -= step;
+            delta += step;
+        }
+        if (diff >= step >> 1) {
+            code |= 2;
+            diff -= step >> 1;
+            delta += step >> 1;
+        }
+        if (diff >= step >> 2) {
+            code |= 1;
+            delta += step >> 2;
+        }
+        predictor += (code & 8) ? -delta : delta;
+        predictor = std::clamp(predictor, -32768, 32767);
+        index = std::clamp(index + kIndexTable[code], 0, 88);
+        return code;
+    }
+
+    int16_t
+    decodeSample(uint8_t code)
+    {
+        const int step = kStepTable[index];
+        int delta = step >> 3;
+        if (code & 4)
+            delta += step;
+        if (code & 2)
+            delta += step >> 1;
+        if (code & 1)
+            delta += step >> 2;
+        predictor += (code & 8) ? -delta : delta;
+        predictor = std::clamp(predictor, -32768, 32767);
+        index = std::clamp(index + kIndexTable[code], 0, 88);
+        return static_cast<int16_t>(predictor);
+    }
+};
+
+} // namespace
+
+uint8_t
+MuLawCodec::encodeSample(int16_t pcm)
+{
+    int sign = (pcm >> 8) & 0x80;
+    int magnitude = sign ? -pcm : pcm;
+    magnitude = std::min(magnitude + kMuLawBias, kMuLawClip + kMuLawBias);
+
+    int exponent = 7;
+    for (int mask = 0x4000; (magnitude & mask) == 0 && exponent > 0;
+         mask >>= 1) {
+        --exponent;
+    }
+    const int mantissa = (magnitude >> (exponent + 3)) & 0x0F;
+    return static_cast<uint8_t>(~(sign | (exponent << 4) | mantissa));
+}
+
+int16_t
+MuLawCodec::decodeSample(uint8_t mu)
+{
+    mu = static_cast<uint8_t>(~mu);
+    const int sign = mu & 0x80;
+    const int exponent = (mu >> 4) & 0x07;
+    const int mantissa = mu & 0x0F;
+    int magnitude = ((mantissa << 3) + kMuLawBias) << exponent;
+    magnitude -= kMuLawBias;
+    return static_cast<int16_t>(sign ? -magnitude : magnitude);
+}
+
+std::vector<uint8_t>
+MuLawCodec::encode(const Waveform &wave)
+{
+    std::vector<uint8_t> out;
+    out.reserve(wave.samples.size());
+    for (double s : wave.samples)
+        out.push_back(encodeSample(toPcm16(s)));
+    return out;
+}
+
+Waveform
+MuLawCodec::decode(const std::vector<uint8_t> &bytes, int sample_rate)
+{
+    Waveform wave;
+    wave.sampleRate = sample_rate;
+    wave.samples.reserve(bytes.size());
+    for (uint8_t b : bytes)
+        wave.samples.push_back(fromPcm16(decodeSample(b)));
+    return wave;
+}
+
+std::vector<uint8_t>
+AdpcmCodec::encode(const Waveform &wave)
+{
+    std::vector<uint8_t> out;
+    out.reserve(wave.samples.size() / 2 + 1);
+    AdpcmState state;
+    uint8_t pending = 0;
+    bool half = false;
+    for (double s : wave.samples) {
+        const uint8_t code = state.encodeSample(toPcm16(s));
+        if (!half) {
+            pending = code;
+            half = true;
+        } else {
+            out.push_back(static_cast<uint8_t>(pending | (code << 4)));
+            half = false;
+        }
+    }
+    if (half)
+        out.push_back(pending);
+    return out;
+}
+
+Waveform
+AdpcmCodec::decode(const std::vector<uint8_t> &bytes, size_t sample_count,
+                   int sample_rate)
+{
+    Waveform wave;
+    wave.sampleRate = sample_rate;
+    wave.samples.reserve(sample_count);
+    AdpcmState state;
+    for (uint8_t b : bytes) {
+        if (wave.samples.size() < sample_count) {
+            wave.samples.push_back(
+                fromPcm16(state.decodeSample(b & 0x0F)));
+        }
+        if (wave.samples.size() < sample_count) {
+            wave.samples.push_back(
+                fromPcm16(state.decodeSample((b >> 4) & 0x0F)));
+        }
+    }
+    return wave;
+}
+
+double
+codecSnrDb(const Waveform &original, const Waveform &decoded)
+{
+    const size_t n = std::min(original.samples.size(),
+                              decoded.samples.size());
+    if (n == 0)
+        fatal("codecSnrDb: empty waveforms");
+    double signal = 0.0, noise = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        signal += original.samples[i] * original.samples[i];
+        const double err = original.samples[i] - decoded.samples[i];
+        noise += err * err;
+    }
+    if (noise <= 0.0)
+        return 120.0; // effectively lossless
+    return 10.0 * std::log10(signal / noise);
+}
+
+} // namespace sirius::audio

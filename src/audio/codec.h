@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Voice codecs for the mobile-to-server hop.
+ *
+ * The paper's deployment sends *compressed* recordings of the user's
+ * speech to the datacenter (Section 1, citing Siri/Google Now). Two
+ * classic telephony codecs are implemented: G.711 mu-law (8-bit
+ * logarithmic PCM) and IMA ADPCM (4-bit adaptive differential PCM),
+ * giving 2x and 4x compression over 16-bit PCM respectively. The server
+ * side decodes before feature extraction, exactly as the real pipeline
+ * would.
+ */
+
+#ifndef SIRIUS_AUDIO_CODEC_H
+#define SIRIUS_AUDIO_CODEC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "audio/synthesizer.h"
+
+namespace sirius::audio {
+
+/** G.711 mu-law: one byte per sample. */
+struct MuLawCodec
+{
+    /** Encode [-1,1] samples to mu-law bytes. */
+    static std::vector<uint8_t> encode(const Waveform &wave);
+
+    /** Decode mu-law bytes back to a waveform. */
+    static Waveform decode(const std::vector<uint8_t> &bytes,
+                           int sample_rate = 16000);
+
+    /** Encode one 16-bit sample. */
+    static uint8_t encodeSample(int16_t pcm);
+
+    /** Decode one byte. */
+    static int16_t decodeSample(uint8_t mu);
+};
+
+/** IMA ADPCM: 4 bits per sample (two samples per byte). */
+struct AdpcmCodec
+{
+    /** Encode [-1,1] samples to packed 4-bit ADPCM. */
+    static std::vector<uint8_t> encode(const Waveform &wave);
+
+    /**
+     * Decode packed ADPCM back to a waveform.
+     * @param sample_count number of samples originally encoded (the
+     *        final nibble of an odd-length stream is padding)
+     */
+    static Waveform decode(const std::vector<uint8_t> &bytes,
+                           size_t sample_count, int sample_rate = 16000);
+};
+
+/**
+ * Signal-to-noise ratio (dB) of @p decoded against @p original —
+ * the codec-quality metric used by the tests.
+ */
+double codecSnrDb(const Waveform &original, const Waveform &decoded);
+
+} // namespace sirius::audio
+
+#endif // SIRIUS_AUDIO_CODEC_H

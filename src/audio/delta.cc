@@ -1,0 +1,59 @@
+#include "audio/delta.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sirius::audio {
+
+std::vector<FeatureVector>
+computeDeltas(const std::vector<FeatureVector> &features, int window)
+{
+    if (window < 1)
+        fatal("computeDeltas: window must be >= 1");
+    std::vector<FeatureVector> deltas;
+    if (features.empty())
+        return deltas;
+
+    const auto frames = static_cast<int>(features.size());
+    const size_t dim = features[0].size();
+    double denom = 0.0;
+    for (int n = 1; n <= window; ++n)
+        denom += 2.0 * n * n;
+
+    deltas.assign(features.size(), FeatureVector(dim, 0.0f));
+    for (int t = 0; t < frames; ++t) {
+        for (size_t d = 0; d < dim; ++d) {
+            double acc = 0.0;
+            for (int n = 1; n <= window; ++n) {
+                const int lo = std::max(0, t - n);
+                const int hi = std::min(frames - 1, t + n);
+                acc += n * (features[static_cast<size_t>(hi)][d] -
+                            features[static_cast<size_t>(lo)][d]);
+            }
+            deltas[static_cast<size_t>(t)][d] =
+                static_cast<float>(acc / denom);
+        }
+    }
+    return deltas;
+}
+
+std::vector<FeatureVector>
+appendDeltas(const std::vector<FeatureVector> &features, int window)
+{
+    const auto d1 = computeDeltas(features, window);
+    const auto d2 = computeDeltas(d1, window);
+    std::vector<FeatureVector> out;
+    out.reserve(features.size());
+    for (size_t t = 0; t < features.size(); ++t) {
+        FeatureVector frame;
+        frame.reserve(features[t].size() * 3);
+        frame.insert(frame.end(), features[t].begin(), features[t].end());
+        frame.insert(frame.end(), d1[t].begin(), d1[t].end());
+        frame.insert(frame.end(), d2[t].begin(), d2[t].end());
+        out.push_back(std::move(frame));
+    }
+    return out;
+}
+
+} // namespace sirius::audio

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Delta (velocity) and delta-delta (acceleration) feature appending.
+ *
+ * Production ASR front ends (Sphinx included) extend static cepstra with
+ * first- and second-order time derivatives, tripling the feature
+ * dimensionality. Implemented as the standard regression formula over a
+ * +/-N frame window with edge replication.
+ */
+
+#ifndef SIRIUS_AUDIO_DELTA_H
+#define SIRIUS_AUDIO_DELTA_H
+
+#include <vector>
+
+#include "audio/mfcc.h"
+
+namespace sirius::audio {
+
+/**
+ * First-order regression deltas of a feature sequence.
+ * @param features frame-major static features
+ * @param window regression half-width N (>= 1)
+ */
+std::vector<FeatureVector>
+computeDeltas(const std::vector<FeatureVector> &features, int window = 2);
+
+/**
+ * Append delta and delta-delta coefficients to every frame, returning
+ * frames of triple width: [static | delta | delta-delta].
+ */
+std::vector<FeatureVector>
+appendDeltas(const std::vector<FeatureVector> &features, int window = 2);
+
+} // namespace sirius::audio
+
+#endif // SIRIUS_AUDIO_DELTA_H

@@ -1,0 +1,129 @@
+#include "audio/mfcc.h"
+
+#include <cmath>
+#include <complex>
+
+#include "common/fft.h"
+#include "common/logging.h"
+
+namespace sirius::audio {
+
+namespace {
+constexpr double kPi = 3.141592653589793238462643;
+} // namespace
+
+MfccExtractor::MfccExtractor(MfccConfig config, int sample_rate)
+    : config_(config), sampleRate_(sample_rate)
+{
+    if (config_.frameSize <= 0 || config_.frameShift <= 0)
+        fatal("MfccExtractor: frame size/shift must be positive");
+    fftSize_ = nextPowerOfTwo(static_cast<size_t>(config_.frameSize));
+    window_.resize(static_cast<size_t>(config_.frameSize));
+    for (int i = 0; i < config_.frameSize; ++i) {
+        window_[static_cast<size_t>(i)] = 0.54 - 0.46 *
+            std::cos(2.0 * kPi * i / (config_.frameSize - 1));
+    }
+    buildFilterbank();
+}
+
+double
+MfccExtractor::hzToMel(double hz)
+{
+    return 2595.0 * std::log10(1.0 + hz / 700.0);
+}
+
+double
+MfccExtractor::melToHz(double mel)
+{
+    return 700.0 * (std::pow(10.0, mel / 2595.0) - 1.0);
+}
+
+void
+MfccExtractor::buildFilterbank()
+{
+    const size_t bins = fftSize_ / 2 + 1;
+    const double mel_lo = hzToMel(config_.lowFreqHz);
+    const double mel_hi = hzToMel(std::min(config_.highFreqHz,
+                                           sampleRate_ / 2.0));
+    const int m = config_.numFilters;
+
+    // m + 2 equally spaced mel points define m triangular filters.
+    std::vector<double> centers_hz(static_cast<size_t>(m) + 2);
+    for (int i = 0; i < m + 2; ++i) {
+        centers_hz[static_cast<size_t>(i)] = melToHz(
+            mel_lo + (mel_hi - mel_lo) * i / (m + 1));
+    }
+    auto hz_of_bin = [this](size_t bin) {
+        return static_cast<double>(bin) * sampleRate_ /
+            static_cast<double>(fftSize_);
+    };
+
+    filterbank_.assign(static_cast<size_t>(m), {});
+    for (int f = 0; f < m; ++f) {
+        const double left = centers_hz[static_cast<size_t>(f)];
+        const double center = centers_hz[static_cast<size_t>(f) + 1];
+        const double right = centers_hz[static_cast<size_t>(f) + 2];
+        for (size_t bin = 0; bin < bins; ++bin) {
+            const double hz = hz_of_bin(bin);
+            double w = 0.0;
+            if (hz > left && hz < center)
+                w = (hz - left) / (center - left);
+            else if (hz >= center && hz < right)
+                w = (right - hz) / (right - center);
+            if (w > 0.0)
+                filterbank_[static_cast<size_t>(f)].emplace_back(bin, w);
+        }
+    }
+}
+
+std::vector<FeatureVector>
+MfccExtractor::extract(const Waveform &wave) const
+{
+    std::vector<FeatureVector> features;
+    const auto &pcm = wave.samples;
+    const auto frame_size = static_cast<size_t>(config_.frameSize);
+    const auto shift = static_cast<size_t>(config_.frameShift);
+    if (pcm.size() < frame_size)
+        return features;
+
+    std::vector<std::complex<double>> buf(fftSize_);
+    std::vector<double> filter_energy(
+        static_cast<size_t>(config_.numFilters));
+
+    for (size_t start = 0; start + frame_size <= pcm.size();
+         start += shift) {
+        // Pre-emphasis + Hamming window into the (zero-padded) FFT buffer.
+        std::fill(buf.begin(), buf.end(), std::complex<double>(0.0, 0.0));
+        for (size_t i = 0; i < frame_size; ++i) {
+            const double prev = (start + i) > 0 ? pcm[start + i - 1] : 0.0;
+            const double emphasized = pcm[start + i] -
+                config_.preEmphasis * prev;
+            buf[i] = {emphasized * window_[i], 0.0};
+        }
+        fft(buf);
+
+        // Mel filterbank energies over the power spectrum.
+        for (size_t f = 0; f < filterbank_.size(); ++f) {
+            double acc = 0.0;
+            for (const auto &[bin, weight] : filterbank_[f])
+                acc += weight * std::norm(buf[bin]);
+            filter_energy[f] = std::log(acc + 1e-10);
+        }
+
+        // DCT-II to cepstral coefficients.
+        FeatureVector coeffs(static_cast<size_t>(config_.numCoeffs));
+        const auto m = static_cast<double>(config_.numFilters);
+        for (int k = 0; k < config_.numCoeffs; ++k) {
+            double acc = 0.0;
+            for (int f = 0; f < config_.numFilters; ++f) {
+                acc += filter_energy[static_cast<size_t>(f)] *
+                    std::cos(kPi * k * (f + 0.5) / m);
+            }
+            coeffs[static_cast<size_t>(k)] = static_cast<float>(acc);
+        }
+        features.push_back(std::move(coeffs));
+    }
+    return features;
+}
+
+} // namespace sirius::audio

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * MFCC feature extraction front end for the ASR service.
+ *
+ * Implements the standard chain: pre-emphasis, framing, Hamming window,
+ * FFT power spectrum, mel-scale triangular filterbank, log compression,
+ * and a type-II DCT keeping the first N cepstral coefficients.
+ */
+
+#ifndef SIRIUS_AUDIO_MFCC_H
+#define SIRIUS_AUDIO_MFCC_H
+
+#include <vector>
+
+#include "audio/synthesizer.h"
+
+namespace sirius::audio {
+
+/** One acoustic feature vector. */
+using FeatureVector = std::vector<float>;
+
+/** MFCC extraction parameters. */
+struct MfccConfig
+{
+    int frameSize = 400;   ///< samples per frame (25 ms @ 16 kHz)
+    int frameShift = 160;  ///< hop size (10 ms @ 16 kHz)
+    int numFilters = 26;   ///< mel filterbank size
+    int numCoeffs = 13;    ///< cepstral coefficients kept
+    double preEmphasis = 0.97;
+    double lowFreqHz = 80.0;
+    double highFreqHz = 7600.0;
+};
+
+/** Stateless MFCC extractor (thread-safe once constructed). */
+class MfccExtractor
+{
+  public:
+    explicit MfccExtractor(MfccConfig config = {}, int sample_rate = 16000);
+
+    /** Extract one feature vector per frame of @p wave. */
+    std::vector<FeatureVector> extract(const Waveform &wave) const;
+
+    /** Feature dimensionality (numCoeffs). */
+    int dimension() const { return config_.numCoeffs; }
+
+    const MfccConfig &config() const { return config_; }
+
+  private:
+    MfccConfig config_;
+    int sampleRate_;
+    size_t fftSize_;
+    std::vector<double> window_;
+    // filterbank_[m] holds (binIndex, weight) pairs of filter m.
+    std::vector<std::vector<std::pair<size_t, double>>> filterbank_;
+
+    static double hzToMel(double hz);
+    static double melToHz(double mel);
+    void buildFilterbank();
+};
+
+} // namespace sirius::audio
+
+#endif // SIRIUS_AUDIO_MFCC_H

@@ -1,0 +1,63 @@
+#include "audio/phoneme.h"
+
+#include <cctype>
+
+#include "common/logging.h"
+
+namespace sirius::audio {
+
+FormantSpec
+formantFor(int id)
+{
+    if (id < 0 || id >= kNumPhonemes)
+        panic("formantFor: phoneme id out of range");
+    if (id == kSilencePhoneme)
+        return {0.0, 0.0, 0.0, 0.0};
+    // Spread formants over the speech band so every phoneme's MFCC
+    // signature is distinct. A golden-ratio stride decorrelates f2/f3
+    // from f1 across consecutive ids.
+    const double t = static_cast<double>(id - 1);
+    const double f1 = 260.0 + 12.0 * t;
+    const double f2 = 900.0 + 1500.0 *
+        (t * 0.6180339887498949 - static_cast<int>(t * 0.6180339887498949));
+    const double f3 = 2400.0 + 1200.0 *
+        (t * 0.3819660112501051 - static_cast<int>(t * 0.3819660112501051));
+    return {f1, f2, f3, 0.9};
+}
+
+int
+phonemeOf(char c)
+{
+    const auto u = static_cast<unsigned char>(c);
+    const char l = static_cast<char>(std::tolower(u));
+    if (l >= 'a' && l <= 'z')
+        return 1 + (l - 'a');
+    if (l >= '0' && l <= '9')
+        return 27 + (l - '0');
+    return -1;
+}
+
+char
+graphemeOf(int id)
+{
+    if (id >= 1 && id <= 26)
+        return static_cast<char>('a' + id - 1);
+    if (id >= 27 && id <= 36)
+        return static_cast<char>('0' + id - 27);
+    return '.';
+}
+
+std::vector<int>
+pronounce(const std::string &word)
+{
+    std::vector<int> out;
+    out.reserve(word.size());
+    for (char c : word) {
+        const int p = phonemeOf(c);
+        if (p >= 0)
+            out.push_back(p);
+    }
+    return out;
+}
+
+} // namespace sirius::audio

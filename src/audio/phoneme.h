@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Phoneme inventory for the synthetic speech front end.
+ *
+ * Substitution note (see DESIGN.md): we do not have the paper's recorded
+ * human queries, so speech is synthesized. Each letter/digit grapheme maps
+ * to one "phoneme" with a unique formant signature (three sinusoid
+ * frequencies). The acoustic models are trained on features extracted from
+ * the same synthesis process, so recognition genuinely runs end to end:
+ * waveform -> MFCC -> GMM/DNN-scored HMM -> Viterbi -> text.
+ */
+
+#ifndef SIRIUS_AUDIO_PHONEME_H
+#define SIRIUS_AUDIO_PHONEME_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sirius::audio {
+
+/** Index of the silence phoneme. */
+constexpr int kSilencePhoneme = 0;
+
+/** Total phoneme count: silence + 26 letters + 10 digits. */
+constexpr int kNumPhonemes = 37;
+
+/** Three-formant acoustic signature of one phoneme. */
+struct FormantSpec
+{
+    double f1;   ///< first formant, Hz
+    double f2;   ///< second formant, Hz
+    double f3;   ///< third formant, Hz
+    double gain; ///< overall amplitude in [0, 1]
+};
+
+/** Formant signature for phoneme @p id (0 <= id < kNumPhonemes). */
+FormantSpec formantFor(int id);
+
+/** Phoneme id of grapheme @p c, or -1 if @p c is not [a-z0-9]. */
+int phonemeOf(char c);
+
+/** Grapheme for a phoneme id (inverse of phonemeOf; '.' for silence). */
+char graphemeOf(int id);
+
+/**
+ * Word pronunciation: one phoneme per grapheme; non-alphanumeric
+ * characters are skipped.
+ */
+std::vector<int> pronounce(const std::string &word);
+
+} // namespace sirius::audio
+
+#endif // SIRIUS_AUDIO_PHONEME_H

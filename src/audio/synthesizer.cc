@@ -1,0 +1,99 @@
+#include "audio/synthesizer.h"
+
+#include <cmath>
+
+#include "audio/phoneme.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace sirius::audio {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925287;
+} // namespace
+
+SpeechSynthesizer::SpeechSynthesizer(SynthesizerConfig config)
+    : config_(config)
+{
+}
+
+std::vector<int>
+SpeechSynthesizer::phonemeTrack(const std::string &text) const
+{
+    // Leading silence, per-word letter phonemes, inter-word silence.
+    std::vector<int> track;
+    track.push_back(kSilencePhoneme);
+    for (const auto &word : split(toLower(text))) {
+        for (int p : pronounce(word))
+            track.push_back(p);
+        track.push_back(kSilencePhoneme);
+    }
+    return track;
+}
+
+Waveform
+SpeechSynthesizer::synthesize(const std::string &text) const
+{
+    const auto track = phonemeTrack(text);
+    const int rate = config_.sampleRate;
+    const auto phoneme_len = static_cast<size_t>(
+        config_.phonemeSeconds * rate);
+    const auto gap_len = static_cast<size_t>(
+        config_.wordGapSeconds * rate);
+
+    Waveform wave;
+    wave.sampleRate = rate;
+    Rng noise(config_.noiseSeed);
+
+    for (int phoneme : track) {
+        const size_t len =
+            (phoneme == kSilencePhoneme) ? gap_len : phoneme_len;
+        const FormantSpec spec = formantFor(phoneme);
+        for (size_t i = 0; i < len; ++i) {
+            const double t = static_cast<double>(i) / rate;
+            // Raised-cosine envelope avoids clicks at phoneme edges.
+            const double env = 0.5 * (1.0 - std::cos(
+                kTwoPi * static_cast<double>(i) /
+                static_cast<double>(len)));
+            double s = 0.0;
+            if (phoneme != kSilencePhoneme) {
+                s = spec.gain * env *
+                    (0.55 * std::sin(kTwoPi * spec.f1 * t) +
+                     0.30 * std::sin(kTwoPi * spec.f2 * t) +
+                     0.15 * std::sin(kTwoPi * spec.f3 * t));
+            }
+            s += config_.noiseLevel * (noise.uniform() * 2.0 - 1.0);
+            wave.samples.push_back(s);
+        }
+    }
+    return wave;
+}
+
+std::vector<int>
+SpeechSynthesizer::frameLabels(const std::string &text,
+                               int frame_shift) const
+{
+    const auto track = phonemeTrack(text);
+    const int rate = config_.sampleRate;
+    const auto phoneme_len = static_cast<size_t>(
+        config_.phonemeSeconds * rate);
+    const auto gap_len = static_cast<size_t>(
+        config_.wordGapSeconds * rate);
+
+    // Per-sample phoneme labels, then downsample to frame starts.
+    std::vector<int> per_sample;
+    for (int phoneme : track) {
+        const size_t len =
+            (phoneme == kSilencePhoneme) ? gap_len : phoneme_len;
+        per_sample.insert(per_sample.end(), len, phoneme);
+    }
+    std::vector<int> labels;
+    for (size_t start = 0; start + static_cast<size_t>(frame_shift) <=
+             per_sample.size(); start += static_cast<size_t>(frame_shift)) {
+        // Label a frame by its center sample.
+        labels.push_back(per_sample[start + frame_shift / 2]);
+    }
+    return labels;
+}
+
+} // namespace sirius::audio

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Formant speech synthesizer producing PCM waveforms for query text.
+ */
+
+#ifndef SIRIUS_AUDIO_SYNTHESIZER_H
+#define SIRIUS_AUDIO_SYNTHESIZER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sirius::audio {
+
+/** A mono PCM waveform. */
+struct Waveform
+{
+    std::vector<double> samples; ///< amplitude in [-1, 1]
+    int sampleRate = 16000;
+
+    /** Duration in seconds. */
+    double seconds() const
+    {
+        return static_cast<double>(samples.size()) / sampleRate;
+    }
+};
+
+/** Synthesis parameters. */
+struct SynthesizerConfig
+{
+    int sampleRate = 16000;
+    double phonemeSeconds = 0.06;   ///< duration of one phoneme
+    double wordGapSeconds = 0.05;   ///< silence between words
+    double noiseLevel = 0.015;      ///< additive white noise amplitude
+    uint64_t noiseSeed = 7;         ///< seed for the noise stream
+};
+
+/**
+ * Deterministic text-to-waveform synthesizer.
+ *
+ * Each phoneme renders as the sum of its three formant sinusoids under a
+ * raised-cosine amplitude envelope; a small amount of seeded white noise
+ * makes the acoustic-model training problem non-degenerate.
+ */
+class SpeechSynthesizer
+{
+  public:
+    explicit SpeechSynthesizer(SynthesizerConfig config = {});
+
+    /** Render @p text ([a-z0-9 ] after lower-casing) to a waveform. */
+    Waveform synthesize(const std::string &text) const;
+
+    /**
+     * Ground-truth phoneme id for every sample frame of length
+     * @p frame_shift samples, aligned with the waveform from
+     * synthesize(). Used to build acoustic-model training labels.
+     */
+    std::vector<int> frameLabels(const std::string &text,
+                                 int frame_shift) const;
+
+    const SynthesizerConfig &config() const { return config_; }
+
+  private:
+    SynthesizerConfig config_;
+
+    /** Phoneme sequence with interleaved silence for @p text. */
+    std::vector<int> phonemeTrack(const std::string &text) const;
+};
+
+} // namespace sirius::audio
+
+#endif // SIRIUS_AUDIO_SYNTHESIZER_H

@@ -1,0 +1,73 @@
+#include "common/fft.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sirius {
+
+bool
+isPowerOfTwo(size_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+size_t
+nextPowerOfTwo(size_t n)
+{
+    size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+void
+fft(std::vector<std::complex<double>> &data, bool inverse)
+{
+    const size_t n = data.size();
+    if (!isPowerOfTwo(n))
+        fatal("fft: size must be a power of two");
+
+    // Bit-reversal permutation.
+    for (size_t i = 1, j = 0; i < n; ++i) {
+        size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(data[i], data[j]);
+    }
+
+    constexpr double pi = 3.141592653589793238462643;
+    for (size_t len = 2; len <= n; len <<= 1) {
+        const double ang = 2.0 * pi / static_cast<double>(len) *
+            (inverse ? 1.0 : -1.0);
+        const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+        for (size_t i = 0; i < n; i += len) {
+            std::complex<double> w(1.0, 0.0);
+            for (size_t k = 0; k < len / 2; ++k) {
+                const auto u = data[i + k];
+                const auto v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+}
+
+std::vector<double>
+magnitudeSpectrum(const std::vector<double> &signal)
+{
+    const size_t n = nextPowerOfTwo(std::max<size_t>(signal.size(), 2));
+    std::vector<std::complex<double>> buf(n, {0.0, 0.0});
+    for (size_t i = 0; i < signal.size(); ++i)
+        buf[i] = {signal[i], 0.0};
+    fft(buf);
+    std::vector<double> mags(n / 2 + 1);
+    for (size_t i = 0; i < mags.size(); ++i)
+        mags[i] = std::abs(buf[i]);
+    return mags;
+}
+
+} // namespace sirius

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Radix-2 iterative FFT used by the MFCC front end of the ASR service.
+ */
+
+#ifndef SIRIUS_COMMON_FFT_H
+#define SIRIUS_COMMON_FFT_H
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace sirius {
+
+/**
+ * In-place iterative Cooley-Tukey FFT.
+ * @param data complex samples; size must be a power of two.
+ * @param inverse compute the (unscaled) inverse transform when true.
+ */
+void fft(std::vector<std::complex<double>> &data, bool inverse = false);
+
+/** True if @p n is a nonzero power of two. */
+bool isPowerOfTwo(size_t n);
+
+/** Smallest power of two >= @p n (n >= 1). */
+size_t nextPowerOfTwo(size_t n);
+
+/**
+ * Magnitude spectrum of a real signal. The signal is zero-padded to the
+ * next power of two; the first n/2+1 magnitudes are returned.
+ */
+std::vector<double> magnitudeSpectrum(const std::vector<double> &signal);
+
+} // namespace sirius
+
+#endif // SIRIUS_COMMON_FFT_H

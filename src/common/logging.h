@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Minimal leveled logging for the Sirius libraries.
+ *
+ * Logging is intentionally lightweight: benchmarks time hot loops and must
+ * not pay for formatting unless a message is actually emitted.
+ */
+
+#ifndef SIRIUS_COMMON_LOGGING_H
+#define SIRIUS_COMMON_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace sirius {
+
+/** Severity levels in increasing order of importance. */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+namespace detail {
+
+/** Process-wide minimum level that will be emitted. */
+inline LogLevel &
+logThreshold()
+{
+    static LogLevel level = LogLevel::Warn;
+    return level;
+}
+
+inline const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Warn: return "WARN";
+      case LogLevel::Error: return "ERROR";
+    }
+    return "?";
+}
+
+} // namespace detail
+
+/** Set the process-wide log threshold. */
+inline void
+setLogLevel(LogLevel level)
+{
+    detail::logThreshold() = level;
+}
+
+/** Emit a single log line to stderr if @p level passes the threshold. */
+inline void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (static_cast<int>(level) <
+        static_cast<int>(detail::logThreshold())) {
+        return;
+    }
+    std::fprintf(stderr, "[%s] %s\n", detail::levelName(level), msg.c_str());
+}
+
+/**
+ * Abort the process with a message describing an internal invariant
+ * violation (a bug in this library, never a user error).
+ */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "[PANIC] %s\n", msg.c_str());
+    std::abort();
+}
+
+/**
+ * Exit the process with a message describing an unrecoverable user error
+ * (bad configuration, invalid arguments).
+ */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "[FATAL] %s\n", msg.c_str());
+    std::exit(1);
+}
+
+} // namespace sirius
+
+#endif // SIRIUS_COMMON_LOGGING_H

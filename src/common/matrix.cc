@@ -1,0 +1,132 @@
+#include "common/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace sirius {
+
+void
+Matrix::fillGaussian(Rng &rng, float mean, float stddev)
+{
+    for (auto &x : data_)
+        x = static_cast<float>(rng.gaussian(mean, stddev));
+}
+
+void
+Matrix::fill(float value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+void
+matmul(const Matrix &a, const Matrix &b, Matrix &out)
+{
+    if (a.cols() != b.rows())
+        panic("matmul: inner dimensions differ");
+    out = Matrix(a.rows(), b.cols());
+    const size_t n = a.rows(), k = a.cols(), m = b.cols();
+    for (size_t i = 0; i < n; ++i) {
+        float *out_row = out.row(i);
+        const float *a_row = a.row(i);
+        for (size_t kk = 0; kk < k; ++kk) {
+            const float a_ik = a_row[kk];
+            const float *b_row = b.row(kk);
+            for (size_t j = 0; j < m; ++j)
+                out_row[j] += a_ik * b_row[j];
+        }
+    }
+}
+
+void
+matvec(const Matrix &m, const std::vector<float> &v, std::vector<float> &out)
+{
+    if (m.cols() != v.size())
+        panic("matvec: dimension mismatch");
+    out.assign(m.rows(), 0.0f);
+    for (size_t r = 0; r < m.rows(); ++r) {
+        const float *row = m.row(r);
+        float acc = 0.0f;
+        for (size_t c = 0; c < m.cols(); ++c)
+            acc += row[c] * v[c];
+        out[r] = acc;
+    }
+}
+
+void
+reluInPlace(std::vector<float> &v)
+{
+    for (auto &x : v)
+        x = std::max(0.0f, x);
+}
+
+void
+softmaxInPlace(std::vector<float> &v)
+{
+    if (v.empty())
+        return;
+    const float peak = *std::max_element(v.begin(), v.end());
+    float sum = 0.0f;
+    for (auto &x : v) {
+        x = std::exp(x - peak);
+        sum += x;
+    }
+    for (auto &x : v)
+        x /= sum;
+}
+
+void
+logSoftmaxInPlace(std::vector<float> &v)
+{
+    if (v.empty())
+        return;
+    const float peak = *std::max_element(v.begin(), v.end());
+    double sum = 0.0;
+    for (float x : v)
+        sum += std::exp(static_cast<double>(x - peak));
+    const float log_z = peak + static_cast<float>(std::log(sum));
+    for (auto &x : v)
+        x -= log_z;
+}
+
+float
+dot(const std::vector<float> &a, const std::vector<float> &b)
+{
+    if (a.size() != b.size())
+        panic("dot: size mismatch");
+    float acc = 0.0f;
+    for (size_t i = 0; i < a.size(); ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+double
+logSumExp(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return -std::numeric_limits<double>::infinity();
+    const double peak = *std::max_element(xs.begin(), xs.end());
+    if (!std::isfinite(peak))
+        return peak;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += std::exp(x - peak);
+    return peak + std::log(sum);
+}
+
+double
+logAdd(double a, double b)
+{
+    if (a == -std::numeric_limits<double>::infinity())
+        return b;
+    if (b == -std::numeric_limits<double>::infinity())
+        return a;
+    const double hi = std::max(a, b);
+    const double lo = std::min(a, b);
+    return hi + std::log1p(std::exp(lo - hi));
+}
+
+} // namespace sirius

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Dense row-major float matrix with the small set of BLAS-like kernels the
+ * speech (DNN/GMM) and NLP (CRF) components need.
+ */
+
+#ifndef SIRIUS_COMMON_MATRIX_H
+#define SIRIUS_COMMON_MATRIX_H
+
+#include <cstddef>
+#include <vector>
+
+namespace sirius {
+
+class Rng;
+
+/** Row-major dense matrix of float. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** rows x cols matrix, zero-initialized. */
+    Matrix(size_t rows, size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    size_t size() const { return data_.size(); }
+
+    float &at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    float at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+    float *row(size_t r) { return data_.data() + r * cols_; }
+    const float *row(size_t r) const { return data_.data() + r * cols_; }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    /** Fill with i.i.d. N(mean, stddev) draws from @p rng. */
+    void fillGaussian(Rng &rng, float mean, float stddev);
+
+    /** Fill with a constant. */
+    void fill(float value);
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+/**
+ * out = a * b. Shapes must agree (a.cols == b.rows); out is resized.
+ * Straightforward ikj-ordered triple loop; good enough cache behaviour for
+ * the layer sizes used here.
+ */
+void matmul(const Matrix &a, const Matrix &b, Matrix &out);
+
+/** out[r] = sum_c m(r,c) * v[c]; v.size() must equal m.cols(). */
+void matvec(const Matrix &m, const std::vector<float> &v,
+            std::vector<float> &out);
+
+/** Element-wise y = max(0, y) (ReLU). */
+void reluInPlace(std::vector<float> &v);
+
+/** In-place softmax over @p v (numerically stabilized). */
+void softmaxInPlace(std::vector<float> &v);
+
+/** In-place numerically-stable log-softmax. */
+void logSoftmaxInPlace(std::vector<float> &v);
+
+/** Dot product; sizes must match. */
+float dot(const std::vector<float> &a, const std::vector<float> &b);
+
+/** log(sum_i exp(x_i)) computed stably. Returns -inf proxy when empty. */
+double logSumExp(const std::vector<double> &xs);
+
+/** Stable log(exp(a) + exp(b)). */
+double logAdd(double a, double b);
+
+} // namespace sirius
+
+#endif // SIRIUS_COMMON_MATRIX_H

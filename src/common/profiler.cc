@@ -1,0 +1,70 @@
+#include "common/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace sirius {
+
+void
+Profiler::addSeconds(const std::string &name, double seconds)
+{
+    seconds_[name] += seconds;
+}
+
+double
+Profiler::seconds(const std::string &name) const
+{
+    auto it = seconds_.find(name);
+    return it == seconds_.end() ? 0.0 : it->second;
+}
+
+double
+Profiler::totalSeconds() const
+{
+    double total = 0.0;
+    for (const auto &[name, secs] : seconds_)
+        total += secs;
+    return total;
+}
+
+double
+Profiler::fraction(const std::string &name) const
+{
+    const double total = totalSeconds();
+    if (total <= 0.0)
+        return 0.0;
+    return seconds(name) / total;
+}
+
+std::vector<std::string>
+Profiler::componentsByTime() const
+{
+    std::vector<std::string> names;
+    names.reserve(seconds_.size());
+    for (const auto &[name, secs] : seconds_)
+        names.push_back(name);
+    std::sort(names.begin(), names.end(),
+              [this](const std::string &a, const std::string &b) {
+                  return seconds(a) > seconds(b);
+              });
+    return names;
+}
+
+std::string
+Profiler::report() const
+{
+    std::ostringstream out;
+    const double total = totalSeconds();
+    char line[160];
+    for (const auto &name : componentsByTime()) {
+        const double secs = seconds(name);
+        const double pct = total > 0 ? secs / total * 100.0 : 0.0;
+        std::snprintf(line, sizeof(line), "%-28s %12.6f s %7.2f%%\n",
+                      name.c_str(), secs, pct);
+        out << line;
+    }
+    return out.str();
+}
+
+} // namespace sirius

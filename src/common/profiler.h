@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Named accumulating profiler used for the cycle-breakdown experiments.
+ *
+ * The paper uses Intel VTune to attribute cycles to algorithmic components
+ * (Figure 9). We substitute wall-time attribution: each component wraps its
+ * hot region in Profiler::scope("name") and the bench prints the resulting
+ * percentage breakdown.
+ */
+
+#ifndef SIRIUS_COMMON_PROFILER_H
+#define SIRIUS_COMMON_PROFILER_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace sirius {
+
+/** Accumulates per-component wall time under string keys. */
+class Profiler
+{
+  public:
+    /** RAII region: accumulates its lifetime into the named component. */
+    class Scope
+    {
+      public:
+        Scope(Profiler &profiler, std::string name)
+            : profiler_(profiler), name_(std::move(name)) {}
+
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+        ~Scope() { profiler_.addSeconds(name_, watch_.seconds()); }
+
+      private:
+        Profiler &profiler_;
+        std::string name_;
+        Stopwatch watch_;
+    };
+
+    /** Open a timed region for @p name. */
+    Scope scope(std::string name) { return Scope(*this, std::move(name)); }
+
+    /** Directly add @p seconds to component @p name. */
+    void addSeconds(const std::string &name, double seconds);
+
+    /** Total seconds recorded for @p name (0 if never seen). */
+    double seconds(const std::string &name) const;
+
+    /** Sum over all components. */
+    double totalSeconds() const;
+
+    /** Fraction of the total attributed to @p name, in [0, 1]. */
+    double fraction(const std::string &name) const;
+
+    /** All component names, sorted by descending time. */
+    std::vector<std::string> componentsByTime() const;
+
+    /** Drop all recorded data. */
+    void clear() { seconds_.clear(); }
+
+    /** Render a "name  seconds  percent" table. */
+    std::string report() const;
+
+  private:
+    std::map<std::string, double> seconds_;
+};
+
+} // namespace sirius
+
+#endif // SIRIUS_COMMON_PROFILER_H

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All Sirius input-set generators (speech, images, corpus) must be exactly
+ * reproducible across runs and platforms, so we ship our own small PRNG
+ * (xoshiro256** seeded via splitmix64) rather than relying on
+ * implementation-defined std::default_random_engine behaviour.
+ */
+
+#ifndef SIRIUS_COMMON_RNG_H
+#define SIRIUS_COMMON_RNG_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace sirius {
+
+/**
+ * Deterministic xoshiro256** generator.
+ *
+ * Satisfies UniformRandomBitGenerator so it can also be plugged into
+ * <random> distributions where convenient, but the helper draws below are
+ * preferred because their results are fully specified.
+ */
+class Rng
+{
+  public:
+    using result_type = uint64_t;
+
+    /** Construct from a 64-bit seed; equal seeds give equal streams. */
+    explicit Rng(uint64_t seed = 0x51751285ULL) { reseed(seed); }
+
+    /** Reset the stream to the state derived from @p seed. */
+    void
+    reseed(uint64_t seed)
+    {
+        // splitmix64 expansion of the seed into the 256-bit state.
+        uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    /** Next raw 64-bit draw. */
+    uint64_t
+    operator()()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (operator()() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n); n must be > 0. */
+    uint64_t
+    below(uint64_t n)
+    {
+        // Multiply-shift rejection-free mapping; bias is negligible for
+        // the small n used by the generators.
+        return static_cast<uint64_t>(
+            (static_cast<__uint128_t>(operator()()) * n) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(below(
+            static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Standard normal draw via Box-Muller. */
+    double
+    gaussian()
+    {
+        if (haveSpare_) {
+            haveSpare_ = false;
+            return spare_;
+        }
+        double u1 = 0.0;
+        while (u1 <= 1e-300)
+            u1 = uniform();
+        const double u2 = uniform();
+        const double mag = std::sqrt(-2.0 * std::log(u1));
+        constexpr double two_pi = 6.283185307179586;
+        spare_ = mag * std::sin(two_pi * u2);
+        haveSpare_ = true;
+        return mag * std::cos(two_pi * u2);
+    }
+
+    /** Normal draw with the given mean and standard deviation. */
+    double
+    gaussian(double mean, double stddev)
+    {
+        return mean + stddev * gaussian();
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4] = {};
+    bool haveSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace sirius
+
+#endif // SIRIUS_COMMON_RNG_H

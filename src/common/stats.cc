@@ -1,0 +1,160 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace sirius {
+
+void
+SampleStats::add(double value)
+{
+    samples_.push_back(value);
+    sortedValid_ = false;
+}
+
+void
+SampleStats::addAll(const std::vector<double> &values)
+{
+    samples_.insert(samples_.end(), values.begin(), values.end());
+    sortedValid_ = false;
+}
+
+double
+SampleStats::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double s : samples_)
+        sum += s;
+    return sum / static_cast<double>(samples_.size());
+}
+
+double
+SampleStats::stddev() const
+{
+    if (samples_.empty())
+        return 0.0;
+    const double m = mean();
+    double acc = 0.0;
+    for (double s : samples_)
+        acc += (s - m) * (s - m);
+    return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+double
+SampleStats::min() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double
+SampleStats::max() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void
+SampleStats::ensureSorted() const
+{
+    if (sortedValid_)
+        return;
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sortedValid_ = true;
+}
+
+double
+SampleStats::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    p = std::clamp(p, 0.0, 100.0);
+    const double rank = p / 100.0 *
+        static_cast<double>(sorted_.size() - 1);
+    const size_t lo = static_cast<size_t>(std::floor(rank));
+    const size_t hi = static_cast<size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return sorted_[lo] + (sorted_[hi] - sorted_[lo]) * frac;
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    if (bins == 0 || hi <= lo)
+        fatal("Histogram requires bins >= 1 and hi > lo");
+}
+
+void
+Histogram::add(double value)
+{
+    const double span = hi_ - lo_;
+    double pos = (value - lo_) / span * static_cast<double>(counts_.size());
+    auto idx = static_cast<int64_t>(std::floor(pos));
+    idx = std::clamp<int64_t>(idx, 0,
+                              static_cast<int64_t>(counts_.size()) - 1);
+    ++counts_[static_cast<size_t>(idx)];
+    ++total_;
+}
+
+double
+Histogram::binLow(size_t idx) const
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + width * static_cast<double>(idx);
+}
+
+std::string
+Histogram::render(size_t width) const
+{
+    uint64_t peak = 1;
+    for (uint64_t c : counts_)
+        peak = std::max(peak, c);
+    std::ostringstream out;
+    const double bin_width = (hi_ - lo_) / static_cast<double>(bins());
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        const size_t bar = static_cast<size_t>(
+            static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+            static_cast<double>(width));
+        out << "[" << binLow(i) << ", " << binLow(i) + bin_width << ") ";
+        for (size_t j = 0; j < bar; ++j)
+            out << '#';
+        out << " " << counts_[i] << "\n";
+    }
+    return out.str();
+}
+
+double
+pearsonCorrelation(const std::vector<double> &xs,
+                   const std::vector<double> &ys)
+{
+    if (xs.size() != ys.size() || xs.size() < 2)
+        return 0.0;
+    const auto n = static_cast<double>(xs.size());
+    double sx = 0, sy = 0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+    }
+    const double mx = sx / n, my = sy / n;
+    double num = 0, dx = 0, dy = 0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        num += (xs[i] - mx) * (ys[i] - my);
+        dx += (xs[i] - mx) * (xs[i] - mx);
+        dy += (ys[i] - my) * (ys[i] - my);
+    }
+    if (dx <= 0.0 || dy <= 0.0)
+        return 0.0;
+    return num / std::sqrt(dx * dy);
+}
+
+} // namespace sirius

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Running statistics, percentile summaries and fixed-bin histograms.
+ *
+ * These back the latency-distribution experiments (Figure 8a) and the
+ * summary rows every bench binary prints.
+ */
+
+#ifndef SIRIUS_COMMON_STATS_H
+#define SIRIUS_COMMON_STATS_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sirius {
+
+/**
+ * Accumulates samples and answers mean / stddev / min / max / percentile
+ * queries. Samples are retained, so percentiles are exact.
+ */
+class SampleStats
+{
+  public:
+    /** Add one sample. */
+    void add(double value);
+
+    /** Add every value in @p values. */
+    void addAll(const std::vector<double> &values);
+
+    /** Number of samples added so far. */
+    size_t count() const { return samples_.size(); }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+
+    /** Population standard deviation; 0 when empty. */
+    double stddev() const;
+
+    /** Smallest sample; 0 when empty. */
+    double min() const;
+
+    /** Largest sample; 0 when empty. */
+    double max() const;
+
+    /**
+     * Exact percentile by linear interpolation between closest ranks.
+     * @param p percentile in [0, 100].
+     */
+    double percentile(double p) const;
+
+    /** Convenience alias for percentile(50). */
+    double median() const { return percentile(50.0); }
+
+    /** The raw samples, in insertion order. */
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    std::vector<double> samples_;
+    mutable std::vector<double> sorted_;
+    mutable bool sortedValid_ = false;
+
+    void ensureSorted() const;
+};
+
+/** A fixed-width-bin histogram over [lo, hi). */
+class Histogram
+{
+  public:
+    /**
+     * @param lo inclusive lower bound of the first bin
+     * @param hi exclusive upper bound of the last bin
+     * @param bins number of equal-width bins (>= 1)
+     */
+    Histogram(double lo, double hi, size_t bins);
+
+    /** Add a sample; out-of-range samples clamp to the edge bins. */
+    void add(double value);
+
+    /** Count in bin @p idx. */
+    uint64_t binCount(size_t idx) const { return counts_.at(idx); }
+
+    /** Number of bins. */
+    size_t binCount() const = delete;
+
+    /** Number of bins. */
+    size_t bins() const { return counts_.size(); }
+
+    /** Inclusive lower edge of bin @p idx. */
+    double binLow(size_t idx) const;
+
+    /** Total samples added. */
+    uint64_t total() const { return total_; }
+
+    /** Render a terminal bar chart, one line per bin. */
+    std::string render(size_t width = 40) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+/**
+ * Pearson correlation coefficient of two equal-length series.
+ * Returns 0 when either series is constant or the lengths differ.
+ */
+double pearsonCorrelation(const std::vector<double> &xs,
+                          const std::vector<double> &ys);
+
+} // namespace sirius
+
+#endif // SIRIUS_COMMON_STATS_H

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Small string helpers shared by the NLP, search and QA components.
+ */
+
+#ifndef SIRIUS_COMMON_STRINGS_H
+#define SIRIUS_COMMON_STRINGS_H
+
+#include <string>
+#include <vector>
+
+namespace sirius {
+
+/** ASCII lower-case copy. */
+std::string toLower(const std::string &s);
+
+/** Split on any of the characters in @p delims, dropping empty fields. */
+std::vector<std::string> split(const std::string &s,
+                               const std::string &delims = " \t\r\n");
+
+/** Join with @p sep. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep = " ");
+
+/** Strip leading/trailing whitespace. */
+std::string trim(const std::string &s);
+
+/** True if @p s ends with @p suffix. */
+bool endsWith(const std::string &s, const std::string &suffix);
+
+/** True if @p s starts with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace sirius
+
+#endif // SIRIUS_COMMON_STRINGS_H

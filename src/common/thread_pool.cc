@@ -1,0 +1,118 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sirius {
+
+ThreadPool::ThreadPool(size_t workers)
+{
+    if (workers == 0)
+        fatal("ThreadPool requires at least one worker");
+    workers_.reserve(workers);
+    for (size_t i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    jobReady_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        jobs_.push(std::move(job));
+        ++inFlight_;
+    }
+    jobReady_.notify_one();
+}
+
+void
+ThreadPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            jobReady_.wait(lock,
+                           [this] { return shutdown_ || !jobs_.empty(); });
+            if (jobs_.empty()) {
+                if (shutdown_)
+                    return;
+                continue;
+            }
+            job = std::move(jobs_.front());
+            jobs_.pop();
+        }
+        job();
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            --inFlight_;
+            if (inFlight_ == 0)
+                allDone_.notify_all();
+        }
+    }
+}
+
+void
+parallelFor(size_t count, size_t threads,
+            const std::function<void(size_t, size_t)> &body)
+{
+    if (count == 0)
+        return;
+    threads = std::clamp<size_t>(threads, 1, count);
+    if (threads == 1) {
+        body(0, count);
+        return;
+    }
+    const size_t chunk = (count + threads - 1) / threads;
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (size_t t = 0; t < threads; ++t) {
+        const size_t begin = t * chunk;
+        const size_t end = std::min(count, begin + chunk);
+        if (begin >= end)
+            break;
+        pool.emplace_back([&body, begin, end] { body(begin, end); });
+    }
+    for (auto &th : pool)
+        th.join();
+}
+
+void
+parallelForStrided(size_t count, size_t threads,
+                   const std::function<void(size_t, size_t)> &body)
+{
+    if (count == 0)
+        return;
+    threads = std::clamp<size_t>(threads, 1, count);
+    if (threads == 1) {
+        body(0, 1);
+        return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (size_t t = 0; t < threads; ++t)
+        pool.emplace_back([&body, t, threads] { body(t, threads); });
+    for (auto &th : pool)
+        th.join();
+}
+
+} // namespace sirius

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * A simple fixed-size thread pool plus a parallel-for helper.
+ *
+ * The Sirius Suite multicore (CMP) kernel ports use the same structure the
+ * paper describes for its pthread ports: divide the data range across
+ * threads, run independently, join once at the end.
+ */
+
+#ifndef SIRIUS_COMMON_THREAD_POOL_H
+#define SIRIUS_COMMON_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sirius {
+
+/** Fixed-size worker pool executing enqueued std::function jobs. */
+class ThreadPool
+{
+  public:
+    /** @param workers number of worker threads (>= 1). */
+    explicit ThreadPool(size_t workers);
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    ~ThreadPool();
+
+    /** Enqueue a job for execution. */
+    void submit(std::function<void()> job);
+
+    /** Block until every submitted job has finished. */
+    void waitIdle();
+
+    /** Number of worker threads. */
+    size_t workerCount() const { return workers_.size(); }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> jobs_;
+    std::mutex mutex_;
+    std::condition_variable jobReady_;
+    std::condition_variable allDone_;
+    size_t inFlight_ = 0;
+    bool shutdown_ = false;
+};
+
+/**
+ * Statically partition [0, count) into @p threads contiguous chunks and run
+ * @p body(begin, end) on each from its own thread (the paper's pthread
+ * porting strategy). Synchronizes once at the end.
+ */
+void parallelFor(size_t count, size_t threads,
+                 const std::function<void(size_t, size_t)> &body);
+
+/**
+ * Interleaved variant: thread t handles indices t, t+threads, t+2*threads...
+ * Matches the paper's interlaced-array Phi stemmer optimization.
+ */
+void parallelForStrided(size_t count, size_t threads,
+                        const std::function<void(size_t, size_t)> &body);
+
+} // namespace sirius
+
+#endif // SIRIUS_COMMON_THREAD_POOL_H

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Wall-clock timing utilities used by benchmarks and the profiler.
+ */
+
+#ifndef SIRIUS_COMMON_TIMER_H
+#define SIRIUS_COMMON_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace sirius {
+
+/** A restartable wall-clock stopwatch with nanosecond resolution. */
+class Stopwatch
+{
+  public:
+    Stopwatch() { restart(); }
+
+    /** Reset the start point to now. */
+    void restart() { start_ = Clock::now(); }
+
+    /** Seconds elapsed since construction or the last restart(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** Milliseconds elapsed. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+    /** Microseconds elapsed. */
+    double microseconds() const { return seconds() * 1e6; }
+
+    /** Nanoseconds elapsed. */
+    uint64_t
+    nanoseconds() const
+    {
+        return static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - start_).count());
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/**
+ * RAII timer that adds its lifetime (in seconds) to an accumulator on
+ * destruction. Used to attribute wall time to pipeline components.
+ */
+class ScopedTimer
+{
+  public:
+    /** @param sink accumulator that receives elapsed seconds. */
+    explicit ScopedTimer(double &sink) : sink_(sink) {}
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    ~ScopedTimer() { sink_ += watch_.seconds(); }
+
+  private:
+    double &sink_;
+    Stopwatch watch_;
+};
+
+} // namespace sirius
+
+#endif // SIRIUS_COMMON_TIMER_H

@@ -1,0 +1,104 @@
+#include "core/intent.h"
+
+#include "common/strings.h"
+
+namespace sirius::core {
+
+const char *
+intentKindName(IntentKind kind)
+{
+    switch (kind) {
+      case IntentKind::SetAlarm: return "set-alarm";
+      case IntentKind::Call: return "call";
+      case IntentKind::SendMessage: return "send-message";
+      case IntentKind::PlayMusic: return "play-music";
+      case IntentKind::StopMusic: return "stop-music";
+      case IntentKind::OpenApp: return "open-app";
+      case IntentKind::ToggleDevice: return "toggle-device";
+      case IntentKind::Remind: return "remind";
+      case IntentKind::StartTimer: return "start-timer";
+      case IntentKind::TakePicture: return "take-picture";
+      case IntentKind::AdjustVolume: return "adjust-volume";
+      case IntentKind::Navigate: return "navigate";
+      case IntentKind::AddToList: return "add-to-list";
+      case IntentKind::ShowCalendar: return "show-calendar";
+      case IntentKind::MuteNotifications: return "mute-notifications";
+      case IntentKind::ReadMessages: return "read-messages";
+      case IntentKind::Unknown: return "unknown";
+    }
+    return "?";
+}
+
+IntentParser::IntentParser()
+{
+    auto add = [this](IntentKind kind, const char *trigger,
+                      std::vector<std::pair<std::string, const char *>>
+                          slots) {
+        Rule rule{kind, nlp::Regex(trigger), {}};
+        for (const auto &[name, pattern] : slots)
+            rule.slotPatterns.emplace_back(name, nlp::Regex(pattern));
+        rules_.push_back(std::move(rule));
+    };
+
+    add(IntentKind::SetAlarm, "^set (my |an |the )?alarm",
+        {{"time", "\\d+(:\\d+)?( ?(am|pm))?"}});
+    add(IntentKind::Call, "^(call|dial|phone) ",
+        {{"contact", "(call|dial|phone) (my )?\\w+"}});
+    add(IntentKind::SendMessage, "^(send|text) ",
+        {{"contact", "to \\w+$"}});
+    add(IntentKind::StopMusic, "^(stop|pause) .*(music|player|song)",
+        {});
+    add(IntentKind::PlayMusic, "^play ",
+        {{"genre", "(jazz|rock|classical|pop|blues)"}});
+    add(IntentKind::OpenApp, "^(open|launch|start) .*(app|application)",
+        {{"app", "(camera|mail|music|calendar|maps)"}});
+    add(IntentKind::ToggleDevice, "^turn (on|off) ",
+        {{"state", "(on|off)"},
+         {"device", "(flashlight|wifi|bluetooth|light)"}});
+    add(IntentKind::Remind, "^remind me ",
+        {{"task", "to [a-z ]+$"}});
+    add(IntentKind::StartTimer, "^(start|set) a timer",
+        {{"duration", "\\d+|one|two|five|ten|twenty"}});
+    add(IntentKind::TakePicture, "^take a (picture|photo|selfie)", {});
+    add(IntentKind::AdjustVolume, "^turn (up|down) the volume",
+        {{"direction", "(up|down)"}});
+    add(IntentKind::Navigate, "^(navigate|directions|drive) ",
+        {{"destination", "to [a-z ]+$"}});
+    add(IntentKind::AddToList, "^add .* to my .*list",
+        {{"item", "add [a-z ]+ to"}});
+    add(IntentKind::ShowCalendar, "^show .*(calendar|schedule)", {});
+    add(IntentKind::MuteNotifications, "^mute ", {});
+    add(IntentKind::ReadMessages, "^read .*(message|mail|email)", {});
+}
+
+std::string
+IntentParser::firstMatch(const nlp::Regex &pattern,
+                         const std::string &text)
+{
+    size_t start = 0, length = 0;
+    if (!pattern.findFirst(text, start, length))
+        return "";
+    return text.substr(start, length);
+}
+
+Intent
+IntentParser::parse(const std::string &transcript) const
+{
+    Intent intent;
+    intent.raw = transcript;
+    const std::string lower = toLower(transcript);
+    for (const auto &rule : rules_) {
+        if (!rule.trigger.search(lower))
+            continue;
+        intent.kind = rule.kind;
+        for (const auto &[name, pattern] : rule.slotPatterns) {
+            const std::string value = firstMatch(pattern, lower);
+            if (!value.empty())
+                intent.slots[name] = value;
+        }
+        return intent;
+    }
+    return intent;
+}
+
+} // namespace sirius::core

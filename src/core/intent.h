@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Device-action intent parsing: Figure 2's "Execute Action" box.
+ *
+ * When the query classifier routes a transcript to the device, the
+ * mobile side still needs structure: which action, with which
+ * arguments. This parser turns command transcripts into typed intents
+ * with extracted slots (time, contact, item, app, ...), using the same
+ * regex substrate as the rest of the NLP stack.
+ */
+
+#ifndef SIRIUS_CORE_INTENT_H
+#define SIRIUS_CORE_INTENT_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nlp/regex.h"
+
+namespace sirius::core {
+
+/** Action families covered by the voice-command input set. */
+enum class IntentKind
+{
+    SetAlarm,
+    Call,
+    SendMessage,
+    PlayMusic,
+    StopMusic,
+    OpenApp,
+    ToggleDevice,
+    Remind,
+    StartTimer,
+    TakePicture,
+    AdjustVolume,
+    Navigate,
+    AddToList,
+    ShowCalendar,
+    MuteNotifications,
+    ReadMessages,
+    Unknown,
+};
+
+/** Stable intent name for logs and tests. */
+const char *intentKindName(IntentKind kind);
+
+/** A parsed device action. */
+struct Intent
+{
+    IntentKind kind = IntentKind::Unknown;
+    /** Extracted arguments, e.g. {"time": "8 am"}, {"contact": "john"}. */
+    std::map<std::string, std::string> slots;
+    std::string raw; ///< the original transcript
+};
+
+/** Rule-based intent parser over command transcripts. */
+class IntentParser
+{
+  public:
+    IntentParser();
+
+    /** Parse a (lower-case) command transcript. */
+    Intent parse(const std::string &transcript) const;
+
+  private:
+    struct Rule
+    {
+        IntentKind kind;
+        nlp::Regex trigger;
+        /** slot name -> regex whose leftmost match fills the slot. */
+        std::vector<std::pair<std::string, nlp::Regex>> slotPatterns;
+    };
+
+    std::vector<Rule> rules_;
+
+    static std::string firstMatch(const nlp::Regex &pattern,
+                                  const std::string &text);
+};
+
+} // namespace sirius::core
+
+#endif // SIRIUS_CORE_INTENT_H

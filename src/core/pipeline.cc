@@ -1,0 +1,127 @@
+#include "core/pipeline.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "nlp/tokenizer.h"
+#include "search/corpus.h"
+#include "vision/landmarks.h"
+
+namespace sirius::core {
+
+SiriusPipeline
+SiriusPipeline::build(SiriusConfig config)
+{
+    SiriusPipeline pipeline;
+    pipeline.config_ = config;
+
+    speech::AsrConfig asr_config = config.asr;
+    asr_config.backend = config.asrBackend;
+    pipeline.asr_ = std::make_unique<speech::AsrService>(
+        speech::AsrService::train(asrTrainingSentences(), asr_config));
+
+    pipeline.qa_ = std::make_unique<qa::QaService>(
+        qa::QaService::build(config.qa));
+
+    pipeline.imm_ = std::make_unique<vision::ImmService>(
+        vision::ImmService::build(config.numLandmarks, config.surf));
+
+    return pipeline;
+}
+
+std::string
+SiriusPipeline::augmentWithLandmark(const std::string &question,
+                                    int landmark_id)
+{
+    // Replace the deictic phrase "this <noun>" with the entity the image
+    // matched, e.g. "when does this restaurant close" ->
+    // "when does falcon restaurant close".
+    const auto tokens = nlp::tokenize(toLower(question));
+    std::vector<std::string> out;
+    const std::string name = toLower(
+        search::landmarkName(landmark_id));
+    for (size_t i = 0; i < tokens.size(); ++i) {
+        if (tokens[i] == "this" && i + 1 < tokens.size()) {
+            out.push_back(name);
+            ++i; // skip the generic noun
+        } else {
+            out.push_back(tokens[i]);
+        }
+    }
+    return join(out);
+}
+
+SiriusResult
+SiriusPipeline::process(const audio::Waveform &wave,
+                        const vision::Image *image) const
+{
+    SiriusResult result;
+
+    // Stage 1: automatic speech recognition.
+    const auto asr = asr_->transcribe(wave);
+    result.transcript = asr.text;
+    result.timings.asr = asr.timings;
+
+    // Stage 2: query classification.
+    result.queryClass = classifier_.classify(result.transcript);
+    if (result.queryClass == QueryClass::Action) {
+        result.action = result.transcript;
+        result.intent = intentParser_.parse(result.transcript);
+        return result;
+    }
+
+    // Stage 3 (optional): image matching.
+    std::string question = result.transcript;
+    if (image != nullptr) {
+        const auto imm = imm_->match(*image);
+        result.matchedLandmark = imm.bestId;
+        result.timings.imm = imm.timings;
+        if (imm.bestId >= 0)
+            question = augmentWithLandmark(question, imm.bestId);
+    }
+    result.augmentedQuestion = question;
+
+    // Stage 4: question answering.
+    const auto qa = qa_->answer(question);
+    result.answer = qa.answer;
+    result.timings.qa = qa.timings;
+    return result;
+}
+
+SiriusResult
+SiriusPipeline::process(const Query &query) const
+{
+    const auto wave = asr_->synthesize(query.text);
+    if (query.type == QueryType::VoiceImageQuery) {
+        const vision::Image image =
+            vision::generateQueryView(query.landmarkId);
+        return process(wave, &image);
+    }
+    return process(wave, nullptr);
+}
+
+double
+SiriusPipeline::accuracy(const std::vector<Query> &queries) const
+{
+    if (queries.empty())
+        return 0.0;
+    size_t correct = 0;
+    for (const auto &query : queries) {
+        const auto result = process(query);
+        switch (query.type) {
+          case QueryType::VoiceCommand:
+            correct += result.queryClass == QueryClass::Action &&
+                toLower(result.action) == toLower(query.text);
+            break;
+          case QueryType::VoiceQuery:
+          case QueryType::VoiceImageQuery:
+            correct += result.queryClass == QueryClass::Question &&
+                toLower(result.answer).find(query.expectedAnswer) !=
+                    std::string::npos;
+            break;
+        }
+    }
+    return static_cast<double>(correct) /
+        static_cast<double>(queries.size());
+}
+
+} // namespace sirius::core

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The end-to-end Sirius pipeline (Figure 2): speech in, natural-language
+ * answer (or device action) out, with per-stage timing for every
+ * characterization experiment in the paper.
+ */
+
+#ifndef SIRIUS_CORE_PIPELINE_H
+#define SIRIUS_CORE_PIPELINE_H
+
+#include <memory>
+#include <string>
+
+#include "core/intent.h"
+#include "core/query_classifier.h"
+#include "core/query_set.h"
+#include "qa/qa_service.h"
+#include "speech/asr_service.h"
+#include "vision/imm_service.h"
+
+namespace sirius::core {
+
+/** Pipeline construction options. */
+struct SiriusConfig
+{
+    speech::AsrBackend asrBackend = speech::AsrBackend::Gmm;
+    speech::AsrConfig asr;       ///< backend field is overridden
+    qa::QaConfig qa;
+    vision::SurfConfig surf;
+    int numLandmarks = 10;
+};
+
+/** Per-stage latency of one end-to-end query, in seconds. */
+struct StageTimings
+{
+    speech::AsrTimings asr;
+    qa::QaTimings qa;
+    vision::ImmTimings imm;
+
+    double
+    total() const
+    {
+        return asr.total() + qa.total() + imm.total();
+    }
+};
+
+/** Result of one end-to-end query. */
+struct SiriusResult
+{
+    std::string transcript;    ///< ASR output
+    QueryClass queryClass = QueryClass::Question;
+    std::string action;        ///< device action text (VC pathway)
+    Intent intent;             ///< parsed device action (VC pathway)
+    std::string answer;        ///< QA answer (VQ / VIQ pathways)
+    int matchedLandmark = -1;  ///< IMM result (VIQ pathway)
+    std::string augmentedQuestion; ///< question after IMM substitution
+    StageTimings timings;
+};
+
+/**
+ * The assembled Sirius system. Construction trains the ASR acoustic
+ * models, the QA CRF tagger, and pre-extracts the IMM descriptor
+ * database, mirroring the deployment-time setup the paper describes.
+ */
+class SiriusPipeline
+{
+  public:
+    /** Build and train every service. */
+    static SiriusPipeline build(SiriusConfig config = {});
+
+    /** Run a query-set entry end to end (synthesizes its speech). */
+    SiriusResult process(const Query &query) const;
+
+    /**
+     * Run raw inputs end to end.
+     * @param wave spoken query audio
+     * @param image optional image (VIQ pathway); pass nullptr otherwise
+     */
+    SiriusResult process(const audio::Waveform &wave,
+                         const vision::Image *image) const;
+
+    /** Fraction of @p queries answered correctly (VC: classified). */
+    double accuracy(const std::vector<Query> &queries) const;
+
+    const speech::AsrService &asr() const { return *asr_; }
+    const qa::QaService &qa() const { return *qa_; }
+    const vision::ImmService &imm() const { return *imm_; }
+    const SiriusConfig &config() const { return config_; }
+
+  private:
+    SiriusPipeline() = default;
+
+    SiriusConfig config_;
+    std::unique_ptr<speech::AsrService> asr_;
+    std::unique_ptr<qa::QaService> qa_;
+    std::unique_ptr<vision::ImmService> imm_;
+    QueryClassifier classifier_;
+    IntentParser intentParser_;
+
+    /** Substitute "this <noun>" with the matched landmark's name. */
+    static std::string augmentWithLandmark(const std::string &question,
+                                           int landmark_id);
+};
+
+} // namespace sirius::core
+
+#endif // SIRIUS_CORE_PIPELINE_H

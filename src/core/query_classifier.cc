@@ -1,0 +1,45 @@
+#include "core/query_classifier.h"
+
+#include "common/strings.h"
+#include "nlp/tokenizer.h"
+
+namespace sirius::core {
+
+QueryClassifier::QueryClassifier()
+{
+    const char *patterns[] = {
+        "^(who|whom|whose)(\\s|$)",
+        "^(what|which|when|where|why|how)(\\s|$)",
+        "^(is|are|was|were|do|does|did|can|could|will|would)(\\s|$)",
+    };
+    for (const char *p : patterns)
+        questionPatterns_.emplace_back(p);
+    imperativeVerbs_ = {
+        "set",    "call",   "send",  "play", "open",  "turn",  "remind",
+        "start",  "take",   "stop",  "navigate",      "add",   "show",
+        "mute",   "read",   "pause", "resume",        "dial",  "text",
+        "create", "delete", "cancel",
+    };
+}
+
+QueryClass
+QueryClassifier::classify(const std::string &transcript) const
+{
+    const std::string lower = toLower(transcript);
+    for (const auto &pattern : questionPatterns_) {
+        if (pattern.search(lower))
+            return QueryClass::Question;
+    }
+    const auto tokens = nlp::tokenize(lower);
+    if (!tokens.empty()) {
+        for (const auto &verb : imperativeVerbs_) {
+            if (tokens.front() == verb)
+                return QueryClass::Action;
+        }
+    }
+    // Default: treat unknown forms as questions so the user always gets
+    // an answer attempt rather than a misfired device action.
+    return QueryClass::Question;
+}
+
+} // namespace sirius::core

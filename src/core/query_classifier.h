@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The Query Classifier (QC) stage of the Sirius pipeline (Figure 2):
+ * decides whether transcribed speech is a device action or a question for
+ * the QA back end.
+ */
+
+#ifndef SIRIUS_CORE_QUERY_CLASSIFIER_H
+#define SIRIUS_CORE_QUERY_CLASSIFIER_H
+
+#include <string>
+#include <vector>
+
+#include "nlp/regex.h"
+
+namespace sirius::core {
+
+/** Classifier verdict. */
+enum class QueryClass
+{
+    Action,   ///< execute on the mobile device
+    Question, ///< route to the QA service
+};
+
+/** Rule-based action/question classifier over transcribed text. */
+class QueryClassifier
+{
+  public:
+    QueryClassifier();
+
+    /** Classify a transcript. */
+    QueryClass classify(const std::string &transcript) const;
+
+  private:
+    std::vector<nlp::Regex> questionPatterns_;
+    std::vector<std::string> imperativeVerbs_;
+};
+
+} // namespace sirius::core
+
+#endif // SIRIUS_CORE_QUERY_CLASSIFIER_H

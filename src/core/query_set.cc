@@ -1,0 +1,122 @@
+#include "core/query_set.h"
+
+#include <set>
+
+#include "common/logging.h"
+
+namespace sirius::core {
+
+const char *
+queryTypeName(QueryType type)
+{
+    switch (type) {
+      case QueryType::VoiceCommand: return "VC";
+      case QueryType::VoiceQuery: return "VQ";
+      case QueryType::VoiceImageQuery: return "VIQ";
+    }
+    return "?";
+}
+
+const std::vector<Query> &
+standardQuerySet()
+{
+    static const std::vector<Query> queries = {
+        // ----- 16 voice commands (VC): actions executed on the device.
+        {QueryType::VoiceCommand, "set my alarm for 8 am", -1, ""},
+        {QueryType::VoiceCommand, "call my mother now", -1, ""},
+        {QueryType::VoiceCommand, "send a message to john", -1, ""},
+        {QueryType::VoiceCommand, "play some jazz music", -1, ""},
+        {QueryType::VoiceCommand, "open the camera app", -1, ""},
+        {QueryType::VoiceCommand, "turn on the flashlight", -1, ""},
+        {QueryType::VoiceCommand, "remind me to buy milk", -1, ""},
+        {QueryType::VoiceCommand, "start a timer for ten minutes", -1, ""},
+        {QueryType::VoiceCommand, "take a picture now", -1, ""},
+        {QueryType::VoiceCommand, "turn down the volume", -1, ""},
+        {QueryType::VoiceCommand, "navigate to the airport", -1, ""},
+        {QueryType::VoiceCommand, "add eggs to my shopping list", -1, ""},
+        {QueryType::VoiceCommand, "show me my calendar", -1, ""},
+        {QueryType::VoiceCommand, "mute all notifications", -1, ""},
+        {QueryType::VoiceCommand, "read my new messages", -1, ""},
+        {QueryType::VoiceCommand, "stop the music player", -1, ""},
+        // ----- 16 voice queries (VQ): Table 2 style questions.
+        {QueryType::VoiceQuery, "where is las vegas", -1, "nevada"},
+        {QueryType::VoiceQuery, "what is the capital of italy", -1,
+         "rome"},
+        {QueryType::VoiceQuery, "who is the author of harry potter", -1,
+         "rowling"},
+        {QueryType::VoiceQuery, "who was elected 44th president", -1,
+         "obama"},
+        {QueryType::VoiceQuery, "what is the capital of france", -1,
+         "paris"},
+        {QueryType::VoiceQuery, "who invented the telephone", -1,
+         "bell"},
+        {QueryType::VoiceQuery, "what is the longest river in the world",
+         -1, "nile"},
+        {QueryType::VoiceQuery, "who painted the mona lisa", -1,
+         "vinci"},
+        {QueryType::VoiceQuery, "what is the largest ocean on earth", -1,
+         "pacific"},
+        {QueryType::VoiceQuery, "who wrote romeo and juliet", -1,
+         "shakespeare"},
+        {QueryType::VoiceQuery, "where is the eiffel tower", -1,
+         "paris"},
+        {QueryType::VoiceQuery, "what is the currency of japan", -1,
+         "yen"},
+        {QueryType::VoiceQuery, "who discovered the law of gravity", -1,
+         "newton"},
+        {QueryType::VoiceQuery,
+         "what is the highest mountain in the world", -1, "everest"},
+        {QueryType::VoiceQuery, "what is the capital of cuba", -1,
+         "havana"},
+        {QueryType::VoiceQuery,
+         "who is the current president of the united states", -1,
+         "obama"},
+        // ----- 10 voice-image queries (VIQ): image supplies the entity.
+        {QueryType::VoiceImageQuery, "when does this restaurant close",
+         0, "9 pm"},
+        {QueryType::VoiceImageQuery, "when does this restaurant close",
+         1, "11 pm"},
+        {QueryType::VoiceImageQuery, "when does this museum close", 2,
+         "6 pm"},
+        {QueryType::VoiceImageQuery, "when does this library close", 3,
+         "8 pm"},
+        {QueryType::VoiceImageQuery, "when does this cafe close", 4,
+         "7 pm"},
+        {QueryType::VoiceImageQuery, "when does this bakery close", 5,
+         "5 pm"},
+        {QueryType::VoiceImageQuery, "when does this theater close", 6,
+         "12 pm"},
+        {QueryType::VoiceImageQuery, "when does this hotel close", 7,
+         "10 pm"},
+        {QueryType::VoiceImageQuery, "when does this pharmacy close", 8,
+         "9 pm"},
+        {QueryType::VoiceImageQuery, "when does this gallery close", 9,
+         "4 pm"},
+    };
+    return queries;
+}
+
+std::vector<Query>
+queriesOfType(QueryType type)
+{
+    std::vector<Query> out;
+    for (const auto &q : standardQuerySet()) {
+        if (q.type == type)
+            out.push_back(q);
+    }
+    return out;
+}
+
+std::vector<std::string>
+asrTrainingSentences()
+{
+    std::vector<std::string> sentences;
+    std::set<std::string> seen;
+    for (const auto &q : standardQuerySet()) {
+        if (seen.insert(q.text).second)
+            sentences.push_back(q.text);
+    }
+    return sentences;
+}
+
+} // namespace sirius::core

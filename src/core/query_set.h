@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The Sirius query taxonomy (Table 1) and the standard 42-query input set
+ * (16 voice commands, 16 voice queries, 10 voice-image queries).
+ */
+
+#ifndef SIRIUS_CORE_QUERY_SET_H
+#define SIRIUS_CORE_QUERY_SET_H
+
+#include <string>
+#include <vector>
+
+namespace sirius::core {
+
+/** Table 1 query classes. */
+enum class QueryType
+{
+    VoiceCommand,    ///< VC: ASR only, action returned to the device
+    VoiceQuery,      ///< VQ: ASR + QA
+    VoiceImageQuery, ///< VIQ: ASR + QA + IMM
+};
+
+/** Short name ("VC", "VQ", "VIQ"). */
+const char *queryTypeName(QueryType type);
+
+/** One input query with evaluation ground truth. */
+struct Query
+{
+    QueryType type;
+    std::string text;          ///< words spoken by the user
+    int landmarkId = -1;       ///< VIQ: which landmark the image shows
+    std::string expectedAnswer;///< lower-case substring expected from QA
+};
+
+/** The full 42-query input set (16 VC + 16 VQ + 10 VIQ). */
+const std::vector<Query> &standardQuerySet();
+
+/** The subset of a given type. */
+std::vector<Query> queriesOfType(QueryType type);
+
+/**
+ * Every distinct sentence the ASR must be able to decode: used to train
+ * the ASR service's vocabulary and language model.
+ */
+std::vector<std::string> asrTrainingSentences();
+
+} // namespace sirius::core
+
+#endif // SIRIUS_CORE_QUERY_SET_H

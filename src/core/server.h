@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Leaf-server front end: the Sirius pipeline behind a request interface
+ * with service statistics, plus an open-loop load-test harness that
+ * replays Poisson arrivals against *measured* per-query service times
+ * (virtual-time Lindley recursion) — connecting the real pipeline to the
+ * Figure-17 queueing analysis.
+ */
+
+#ifndef SIRIUS_CORE_SERVER_H
+#define SIRIUS_CORE_SERVER_H
+
+#include <cstdint>
+
+#include "common/stats.h"
+#include "core/pipeline.h"
+
+namespace sirius::core {
+
+/** Aggregate service statistics of a SiriusServer. */
+struct ServerStats
+{
+    uint64_t served = 0;
+    uint64_t actions = 0;   ///< VC pathway outcomes
+    uint64_t answers = 0;   ///< VQ / VIQ pathway outcomes
+    SampleStats serviceSeconds; ///< per-request processing time
+};
+
+/** A single leaf node serving Sirius queries. */
+class SiriusServer
+{
+  public:
+    /** @param pipeline trained pipeline; must outlive the server. */
+    explicit SiriusServer(const SiriusPipeline &pipeline);
+
+    /** Serve one query, updating the statistics. */
+    SiriusResult handle(const Query &query);
+
+    /** Statistics since construction. */
+    const ServerStats &stats() const { return stats_; }
+
+    /** Measured mean service rate, queries/s (0 until served). */
+    double serviceRate() const;
+
+  private:
+    const SiriusPipeline &pipeline_;
+    ServerStats stats_;
+};
+
+/** Result of an open-loop load test. */
+struct LoadTestResult
+{
+    double offeredQps = 0.0;
+    double utilization = 0.0;
+    SampleStats sojournSeconds; ///< queueing + service per request
+};
+
+/**
+ * Open-loop load test: Poisson arrivals at @p offered_qps, service times
+ * replayed from the server's real measured per-query times for the
+ * standard query set (round robin), queue evolution by the Lindley
+ * recursion in virtual time.
+ * @param requests number of simulated requests
+ */
+LoadTestResult loadTest(SiriusServer &server, double offered_qps,
+                        size_t requests = 5000, uint64_t seed = 31337);
+
+} // namespace sirius::core
+
+#endif // SIRIUS_CORE_SERVER_H

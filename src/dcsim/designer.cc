@@ -1,0 +1,181 @@
+#include "dcsim/designer.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace sirius::dcsim {
+
+const char *
+objectiveName(Objective objective)
+{
+    switch (objective) {
+      case Objective::MinLatency:
+        return "min-latency";
+      case Objective::MinTcoWithLatency:
+        return "min-TCO (w/ latency constraint)";
+      case Objective::MaxPowerEffWithLatency:
+        return "max-power-eff (w/ latency constraint)";
+    }
+    return "?";
+}
+
+std::vector<accel::Platform>
+CandidateSet::platforms() const
+{
+    std::vector<accel::Platform> out = {accel::Platform::CmpMulticore};
+    if (allowGpu)
+        out.push_back(accel::Platform::Gpu);
+    if (allowPhi)
+        out.push_back(accel::Platform::Phi);
+    if (allowFpga)
+        out.push_back(accel::Platform::Fpga);
+    return out;
+}
+
+DatacenterDesigner::DatacenterDesigner(
+    std::vector<accel::ServiceProfile> profiles,
+    const accel::SpeedupModel &model, TcoParams params)
+    : profiles_(std::move(profiles)), model_(model), params_(params)
+{
+    if (profiles_.empty())
+        fatal("DatacenterDesigner: no service profiles");
+}
+
+const accel::ServiceProfile &
+DatacenterDesigner::profileOf(accel::ServiceKind kind) const
+{
+    for (const auto &profile : profiles_) {
+        if (profile.kind == kind)
+            return profile;
+    }
+    panic("DatacenterDesigner: unknown service kind");
+}
+
+DesignPoint
+DatacenterDesigner::evaluate(accel::ServiceKind service,
+                             accel::Platform platform) const
+{
+    const auto &profile = profileOf(service);
+    DesignPoint point;
+    point.platform = platform;
+    point.latencySeconds = accel::serviceLatency(profile, model_,
+                                                 platform);
+    const double base = accel::serviceLatency(profile, model_,
+                                              accel::Platform::Cmp);
+    point.latencyImprovement = base / point.latencySeconds;
+    point.normalizedTco = normalizedTco(
+        platform,
+        accel::throughputImprovement(profile, model_, platform),
+        params_);
+    point.perfPerWatt = accel::perfPerWattVsMulticore(profile, model_,
+                                                      platform);
+    const double constraint = accel::serviceLatency(
+        profile, model_, accel::Platform::CmpMulticore);
+    point.meetsLatencyConstraint =
+        point.latencySeconds <= constraint * (1.0 + 1e-9);
+    return point;
+}
+
+double
+DatacenterDesigner::score(Objective objective,
+                          const DesignPoint &point) const
+{
+    switch (objective) {
+      case Objective::MinLatency:
+        return point.latencySeconds;
+      case Objective::MinTcoWithLatency:
+        if (!point.meetsLatencyConstraint)
+            return std::numeric_limits<double>::infinity();
+        return point.normalizedTco;
+      case Objective::MaxPowerEffWithLatency:
+        if (!point.meetsLatencyConstraint)
+            return std::numeric_limits<double>::infinity();
+        return -point.perfPerWatt;
+    }
+    return std::numeric_limits<double>::infinity();
+}
+
+accel::Platform
+DatacenterDesigner::homogeneousDesign(Objective objective,
+                                      const CandidateSet &set) const
+{
+    accel::Platform best = accel::Platform::CmpMulticore;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (accel::Platform platform : set.platforms()) {
+        // Aggregate the objective across every service.
+        double aggregate = 0.0;
+        bool feasible = true;
+        for (const auto &profile : profiles_) {
+            const DesignPoint point = evaluate(profile.kind, platform);
+            const double s = score(objective, point);
+            if (std::isinf(s)) {
+                feasible = false;
+                break;
+            }
+            // Latency/TCO aggregate additively in log space so one
+            // service cannot dominate purely by magnitude.
+            aggregate += objective == Objective::MinLatency
+                ? s
+                : std::log(objective == Objective::MinTcoWithLatency
+                               ? s
+                               : -1.0 / s);
+        }
+        if (!feasible)
+            continue;
+        if (aggregate < best_score) {
+            best_score = aggregate;
+            best = platform;
+        }
+    }
+    return best;
+}
+
+std::vector<std::pair<accel::ServiceKind, accel::Platform>>
+DatacenterDesigner::heterogeneousDesign(Objective objective,
+                                        const CandidateSet &set) const
+{
+    std::vector<std::pair<accel::ServiceKind, accel::Platform>> out;
+    for (const auto &profile : profiles_) {
+        accel::Platform best = accel::Platform::CmpMulticore;
+        double best_score = std::numeric_limits<double>::infinity();
+        for (accel::Platform platform : set.platforms()) {
+            const double s = score(objective,
+                                   evaluate(profile.kind, platform));
+            if (s < best_score) {
+                best_score = s;
+                best = platform;
+            }
+        }
+        out.emplace_back(profile.kind, best);
+    }
+    return out;
+}
+
+double
+DatacenterDesigner::heterogeneousGain(Objective objective,
+                                      const CandidateSet &set,
+                                      accel::ServiceKind service) const
+{
+    const accel::Platform homogeneous = homogeneousDesign(objective, set);
+    accel::Platform hetero = homogeneous;
+    for (const auto &[kind, platform] : heterogeneousDesign(objective,
+                                                            set)) {
+        if (kind == service)
+            hetero = platform;
+    }
+    const DesignPoint h = evaluate(service, homogeneous);
+    const DesignPoint p = evaluate(service, hetero);
+    switch (objective) {
+      case Objective::MinLatency:
+        return h.latencySeconds / p.latencySeconds;
+      case Objective::MinTcoWithLatency:
+        return h.normalizedTco / p.normalizedTco;
+      case Objective::MaxPowerEffWithLatency:
+        return p.perfPerWatt / h.perfPerWatt;
+    }
+    return 1.0;
+}
+
+} // namespace sirius::dcsim

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Datacenter design-space exploration: homogeneous and partitioned-
+ * heterogeneous designs under the paper's three objectives (Tables 8, 9)
+ * and the latency/TCO trade-off data behind Figure 19.
+ */
+
+#ifndef SIRIUS_DCSIM_DESIGNER_H
+#define SIRIUS_DCSIM_DESIGNER_H
+
+#include <vector>
+
+#include "accel/latency.h"
+#include "dcsim/tco.h"
+
+namespace sirius::dcsim {
+
+/** Table 8/9 row objectives. */
+enum class Objective
+{
+    MinLatency,              ///< Hmg-latency
+    MinTcoWithLatency,       ///< Hmg-TCO (w/ latency constraint)
+    MaxPowerEffWithLatency,  ///< Hmg-power eff. (w/ latency constraint)
+};
+
+/** Objective display name. */
+const char *objectiveName(Objective objective);
+
+/** Table 8/9 column groups: which accelerators may be used. */
+struct CandidateSet
+{
+    bool allowGpu = true;
+    bool allowPhi = true;
+    bool allowFpga = true;
+
+    /** The allowed platform list (always includes the CMP rows). */
+    std::vector<accel::Platform> platforms() const;
+};
+
+/** Metrics of one (service, platform) cell. */
+struct DesignPoint
+{
+    accel::Platform platform;
+    double latencySeconds;
+    double latencyImprovement;   ///< vs 1-thread CMP
+    double normalizedTco;        ///< vs CMP datacenter (< 1 is better)
+    double perfPerWatt;          ///< vs multicore CMP
+    bool meetsLatencyConstraint; ///< <= CMP (sub-query) latency
+};
+
+/** Explores the design space over measured service profiles. */
+class DatacenterDesigner
+{
+  public:
+    DatacenterDesigner(std::vector<accel::ServiceProfile> profiles,
+                       const accel::SpeedupModel &model,
+                       TcoParams params = {});
+
+    /** Metrics of one cell. */
+    DesignPoint evaluate(accel::ServiceKind service,
+                         accel::Platform platform) const;
+
+    /**
+     * Best single platform across all services (homogeneous DC).
+     * Aggregation: mean latency for MinLatency; geometric-mean TCO or
+     * mean perf/W under the latency constraint otherwise. Falls back to
+     * the multicore CMP when no candidate meets the constraint.
+     */
+    accel::Platform homogeneousDesign(Objective objective,
+                                      const CandidateSet &set) const;
+
+    /** Best platform per service (partitioned heterogeneous DC). */
+    std::vector<std::pair<accel::ServiceKind, accel::Platform>>
+    heterogeneousDesign(Objective objective,
+                        const CandidateSet &set) const;
+
+    /**
+     * Improvement of the heterogeneous choice for @p service over the
+     * homogeneous design on the metric of @p objective (e.g. Table 9's
+     * "GPU (3.6x)" latency or "FPGA (20%)" TCO cells).
+     */
+    double heterogeneousGain(Objective objective, const CandidateSet &set,
+                             accel::ServiceKind service) const;
+
+    const std::vector<accel::ServiceProfile> &profiles() const
+    {
+        return profiles_;
+    }
+
+  private:
+    std::vector<accel::ServiceProfile> profiles_;
+    const accel::SpeedupModel &model_;
+    TcoParams params_;
+
+    const accel::ServiceProfile &profileOf(accel::ServiceKind kind) const;
+
+    /** Objective score (lower is better). */
+    double score(Objective objective, const DesignPoint &point) const;
+};
+
+} // namespace sirius::dcsim
+
+#endif // SIRIUS_DCSIM_DESIGNER_H

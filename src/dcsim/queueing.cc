@@ -1,0 +1,52 @@
+#include "dcsim/queueing.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace sirius::dcsim {
+
+double
+mm1Latency(double lambda, double mu)
+{
+    if (mu <= 0.0)
+        fatal("mm1Latency: service rate must be positive");
+    if (lambda < 0.0)
+        fatal("mm1Latency: arrival rate must be non-negative");
+    if (lambda >= mu)
+        return std::numeric_limits<double>::infinity();
+    return 1.0 / (mu - lambda);
+}
+
+double
+mm1MaxArrival(double mu, double latency_bound)
+{
+    if (mu <= 0.0 || latency_bound <= 0.0)
+        fatal("mm1MaxArrival: arguments must be positive");
+    return std::max(0.0, mu - 1.0 / latency_bound);
+}
+
+double
+mm1Utilization(double lambda, double mu)
+{
+    if (mu <= 0.0)
+        fatal("mm1Utilization: service rate must be positive");
+    return std::clamp(lambda / mu, 0.0, 1.0);
+}
+
+double
+throughputImprovementAtLoad(double speedup, double rho)
+{
+    if (speedup <= 0.0)
+        fatal("throughputImprovementAtLoad: speedup must be positive");
+    if (rho <= 0.0 || rho >= 1.0)
+        fatal("throughputImprovementAtLoad: rho must be in (0, 1)");
+    // Baseline: mu = 1, lambda = rho, latency L0 = 1 / (1 - rho).
+    const double l0 = 1.0 / (1.0 - rho);
+    // Accelerated: highest lambda with latency <= L0 given mu = speedup.
+    const double lambda = mm1MaxArrival(speedup, l0);
+    return lambda / rho;
+}
+
+} // namespace sirius::dcsim

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * M/M/1 queueing model used by the throughput-under-load analysis
+ * (Figure 17): a leaf server is an exponential server with service rate
+ * mu; latency includes queueing delay.
+ */
+
+#ifndef SIRIUS_DCSIM_QUEUEING_H
+#define SIRIUS_DCSIM_QUEUEING_H
+
+namespace sirius::dcsim {
+
+/**
+ * Mean sojourn (queue + service) time of an M/M/1 queue.
+ * @param lambda arrival rate (queries/s), must be < mu
+ * @param mu service rate (queries/s)
+ * @return mean latency in seconds; +inf when lambda >= mu
+ */
+double mm1Latency(double lambda, double mu);
+
+/**
+ * Highest arrival rate an M/M/1 server sustains while keeping mean
+ * latency <= @p latency_bound. Zero when the bound is below 1/mu.
+ */
+double mm1MaxArrival(double mu, double latency_bound);
+
+/** Server utilization lambda/mu in [0, 1). */
+double mm1Utilization(double lambda, double mu);
+
+/**
+ * Throughput improvement of an accelerated server over the baseline at
+ * matched latency (Figure 17). The baseline server has service rate 1
+ * (normalized) and operates at load @p rho in (0, 1); the accelerated
+ * server's service rate is @p speedup. Both must meet the baseline's
+ * mean latency at that load; the improvement is the ratio of their
+ * highest compliant arrival rates.
+ */
+double throughputImprovementAtLoad(double speedup, double rho);
+
+} // namespace sirius::dcsim
+
+#endif // SIRIUS_DCSIM_QUEUEING_H

@@ -1,0 +1,48 @@
+#include "dcsim/scalability.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sirius::dcsim {
+
+double
+scalabilityGap(double ipa_latency_seconds,
+               double websearch_latency_seconds)
+{
+    if (ipa_latency_seconds <= 0.0 || websearch_latency_seconds <= 0.0)
+        fatal("scalabilityGap: latencies must be positive");
+    return ipa_latency_seconds / websearch_latency_seconds;
+}
+
+double
+machinesRatio(double gap, double query_ratio)
+{
+    if (gap <= 0.0 || query_ratio < 0.0)
+        fatal("machinesRatio: invalid arguments");
+    // A fleet of 1.0 serves the Web Search load; IPA queries at
+    // query_ratio x the search rate each cost `gap` x the compute.
+    return 1.0 + gap * query_ratio;
+}
+
+double
+bridgedGap(double gap, double end_to_end_speedup)
+{
+    if (end_to_end_speedup <= 0.0)
+        fatal("bridgedGap: speedup must be positive");
+    return gap / end_to_end_speedup;
+}
+
+ScalingCurve
+scalingCurve(double gap, int steps)
+{
+    ScalingCurve curve;
+    for (int i = 0; i < steps; ++i) {
+        const double ratio = std::pow(10.0, i - 2);
+        curve.queryRatios.push_back(ratio);
+        curve.machineRatios.push_back(machinesRatio(gap, ratio));
+    }
+    return curve;
+}
+
+} // namespace sirius::dcsim

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Scalability-gap arithmetic behind Figures 1, 7a and 21: how many
+ * machines a datacenter sized for Web Search must add to carry IPA
+ * queries, and how far acceleration closes that gap.
+ */
+
+#ifndef SIRIUS_DCSIM_SCALABILITY_H
+#define SIRIUS_DCSIM_SCALABILITY_H
+
+#include <vector>
+
+namespace sirius::dcsim {
+
+/**
+ * Resource (machine) scaling factor needed to serve one IPA query per
+ * Web Search query: the ratio of per-query compute time.
+ */
+double scalabilityGap(double ipa_latency_seconds,
+                      double websearch_latency_seconds);
+
+/**
+ * Machines (relative to the Web Search fleet) needed when IPA queries
+ * arrive at @p query_ratio times the Web Search query rate.
+ */
+double machinesRatio(double gap, double query_ratio);
+
+/** Gap remaining after accelerating the IPA pipeline by @p speedup. */
+double bridgedGap(double gap, double end_to_end_speedup);
+
+/** One (query_ratio, machines) curve for Figure 7a's right panel. */
+struct ScalingCurve
+{
+    std::vector<double> queryRatios;
+    std::vector<double> machineRatios;
+};
+
+/** Sample machinesRatio over ratios 10^-2 .. 10^(steps-3). */
+ScalingCurve scalingCurve(double gap, int steps = 5);
+
+} // namespace sirius::dcsim
+
+#endif // SIRIUS_DCSIM_SCALABILITY_H

@@ -1,0 +1,163 @@
+#include "dcsim/simulation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace sirius::dcsim {
+
+namespace {
+
+double
+exponentialDraw(Rng &rng, double rate)
+{
+    double u = rng.uniform();
+    while (u <= 1e-300)
+        u = rng.uniform();
+    return -std::log(u) / rate;
+}
+
+double
+serviceDraw(Rng &rng, const QueueSimConfig &config)
+{
+    const double mean = 1.0 / config.serviceRate;
+    switch (config.distribution) {
+      case ServiceDistribution::Exponential:
+        return exponentialDraw(rng, config.serviceRate);
+      case ServiceDistribution::Deterministic:
+        return mean;
+      case ServiceDistribution::HeavyTailed: {
+        // Two-point mixture with the same mean as the exponential case:
+        // fast queries at f, slow at slowFactor * f, where
+        // (1-p) * f + p * slowFactor * f = mean.
+        const double f = mean /
+            (1.0 - config.slowProbability +
+             config.slowProbability * config.slowFactor);
+        return rng.chance(config.slowProbability)
+            ? f * config.slowFactor : f;
+      }
+    }
+    return mean;
+}
+
+} // namespace
+
+QueueSimResult
+simulateQueue(const QueueSimConfig &config)
+{
+    if (config.arrivalRate <= 0.0 || config.serviceRate <= 0.0)
+        fatal("simulateQueue: rates must be positive");
+    if (config.arrivalRate >= config.serviceRate)
+        fatal("simulateQueue: unstable queue (lambda >= mu)");
+
+    Rng rng(config.seed);
+    QueueSimResult result;
+
+    // Lindley recursion for a single FIFO server: no event heap needed.
+    // departure(n) = max(arrival(n), departure(n-1)) + service(n).
+    const size_t total = config.warmupQueries + config.measuredQueries;
+    double clock = 0.0;            // arrival time of the current query
+    double last_departure = 0.0;
+    double busy_time = 0.0;
+
+    std::deque<double> in_system;  // departure times of queued queries
+
+    for (size_t i = 0; i < total; ++i) {
+        clock += exponentialDraw(rng, config.arrivalRate);
+        const double service = serviceDraw(rng, config);
+        const double start = std::max(clock, last_departure);
+        const double departure = start + service;
+        busy_time += service;
+        last_departure = departure;
+
+        while (!in_system.empty() && in_system.front() <= clock)
+            in_system.pop_front();
+        if (i >= config.warmupQueries) {
+            result.sojournSeconds.add(departure - clock);
+            result.queueDepth.add(
+                static_cast<double>(in_system.size()));
+        }
+        in_system.push_back(departure);
+    }
+
+    result.simulatedSeconds = last_departure;
+    result.utilization = busy_time / last_departure;
+    return result;
+}
+
+QueueSimResult
+simulateQueueEmpirical(const std::vector<double> &service_samples,
+                       double arrival_rate, size_t measured_queries,
+                       uint64_t seed)
+{
+    if (service_samples.empty())
+        fatal("simulateQueueEmpirical: no service samples");
+    if (arrival_rate <= 0.0)
+        fatal("simulateQueueEmpirical: arrival rate must be positive");
+    double mean_service = 0.0;
+    for (double s : service_samples)
+        mean_service += s;
+    mean_service /= static_cast<double>(service_samples.size());
+    if (arrival_rate * mean_service >= 1.0)
+        fatal("simulateQueueEmpirical: unstable queue (load >= 1)");
+
+    Rng rng(seed);
+    QueueSimResult result;
+    const size_t warmup = measured_queries / 10;
+    const size_t total = warmup + measured_queries;
+    double clock = 0.0, last_departure = 0.0, busy_time = 0.0;
+    std::deque<double> in_system;
+
+    for (size_t i = 0; i < total; ++i) {
+        clock += exponentialDraw(rng, arrival_rate);
+        const double service =
+            service_samples[rng.below(service_samples.size())];
+        const double start = std::max(clock, last_departure);
+        const double departure = start + service;
+        busy_time += service;
+        last_departure = departure;
+
+        while (!in_system.empty() && in_system.front() <= clock)
+            in_system.pop_front();
+        if (i >= warmup) {
+            result.sojournSeconds.add(departure - clock);
+            result.queueDepth.add(
+                static_cast<double>(in_system.size()));
+        }
+        in_system.push_back(departure);
+    }
+    result.simulatedSeconds = last_departure;
+    result.utilization = busy_time / last_departure;
+    return result;
+}
+
+double
+simulatedMaxArrival(double service_rate, double latency_bound,
+                    ServiceDistribution distribution, uint64_t seed)
+{
+    if (latency_bound <= 1.0 / service_rate)
+        return 0.0;
+    double lo = 0.0;
+    double hi = service_rate * 0.999;
+    for (int iter = 0; iter < 18; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        QueueSimConfig config;
+        config.arrivalRate = mid;
+        config.serviceRate = service_rate;
+        config.distribution = distribution;
+        config.measuredQueries = 8000;
+        config.warmupQueries = 1000;
+        config.seed = seed + static_cast<uint64_t>(iter);
+        const auto result = simulateQueue(config);
+        if (result.sojournSeconds.mean() <= latency_bound)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+} // namespace sirius::dcsim

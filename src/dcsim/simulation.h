@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Discrete-event simulation of a leaf server's queue.
+ *
+ * The paper models servers as M/M/1 queues (Figure 17). The analytic
+ * formulas in queueing.h give the steady-state means; this event-driven
+ * simulator generates actual arrival/service processes so the analytics
+ * can be validated (tests assert agreement) and non-exponential service
+ * distributions — like the heavy-tailed QA latencies of Figure 8 — can
+ * be studied, which closed forms do not cover.
+ */
+
+#ifndef SIRIUS_DCSIM_SIMULATION_H
+#define SIRIUS_DCSIM_SIMULATION_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace sirius::dcsim {
+
+/** Service-time distribution choices. */
+enum class ServiceDistribution
+{
+    Exponential,   ///< M/M/1
+    Deterministic, ///< M/D/1
+    HeavyTailed,   ///< two-point mix: mostly fast, occasionally very slow
+};
+
+/** Simulation parameters. */
+struct QueueSimConfig
+{
+    double arrivalRate = 0.5;   ///< Poisson arrivals, queries/s
+    double serviceRate = 1.0;   ///< mean service rate, queries/s
+    ServiceDistribution distribution = ServiceDistribution::Exponential;
+    /** HeavyTailed: probability of a slow query and its slowdown. */
+    double slowProbability = 0.05;
+    double slowFactor = 10.0;
+    size_t warmupQueries = 2000;   ///< dropped from the statistics
+    size_t measuredQueries = 20000;
+    uint64_t seed = 421;
+};
+
+/** Simulation outcome. */
+struct QueueSimResult
+{
+    SampleStats sojournSeconds;  ///< queue + service time per query
+    SampleStats queueDepth;      ///< sampled at each arrival
+    double utilization = 0.0;    ///< busy time / total time
+    double simulatedSeconds = 0.0;
+};
+
+/** Run the single-server FIFO queue simulation. */
+QueueSimResult simulateQueue(const QueueSimConfig &config);
+
+/**
+ * Simulate the queue with service times resampled from measured
+ * @p service_samples (bootstrap), e.g. the per-query QA latencies of
+ * Figure 8. Arrivals remain Poisson at @p arrival_rate. This connects
+ * the real pipeline's latency distribution to the Figure-17 queueing
+ * analysis without assuming exponential service.
+ */
+QueueSimResult simulateQueueEmpirical(
+    const std::vector<double> &service_samples, double arrival_rate,
+    size_t measured_queries = 20000, uint64_t seed = 77);
+
+/**
+ * Highest arrival rate (found by bisection on the simulator) that keeps
+ * the mean sojourn time within @p latency_bound. The simulated
+ * counterpart of mm1MaxArrival().
+ */
+double simulatedMaxArrival(double service_rate, double latency_bound,
+                           ServiceDistribution distribution =
+                               ServiceDistribution::Exponential,
+                           uint64_t seed = 99);
+
+} // namespace sirius::dcsim
+
+#endif // SIRIUS_DCSIM_SIMULATION_H

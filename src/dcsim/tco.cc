@@ -1,0 +1,83 @@
+#include "dcsim/tco.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sirius::dcsim {
+
+ServerConfig
+baselineServer(const TcoParams &params)
+{
+    return ServerConfig{params.serverPriceUsd, params.serverPowerWatts};
+}
+
+ServerConfig
+acceleratedServer(accel::Platform platform, const TcoParams &params)
+{
+    ServerConfig server = baselineServer(params);
+    switch (platform) {
+      case accel::Platform::Cmp:
+      case accel::Platform::CmpMulticore:
+        return server; // the CPU is already part of the server
+      default:
+        break;
+    }
+    const auto &spec = accel::platformSpec(platform);
+    server.priceUsd += spec.costUsd;
+    server.powerWatts += spec.tdpWatts;
+    return server;
+}
+
+double
+serverYearlyTco(const ServerConfig &server, const TcoParams &params)
+{
+    // Server capital, amortized over its depreciation window.
+    const double server_capex =
+        server.priceUsd / params.serverDepreciationYears;
+    // Server operational expenditure: fraction of capex per year.
+    const double server_opex =
+        params.serverOpexFraction * server.priceUsd;
+    // Datacenter construction is provisioned per watt of critical power
+    // and amortized over the facility's life.
+    const double provisioned_watts = server.powerWatts * params.pue;
+    const double dc_capex = params.dcPricePerWatt * provisioned_watts /
+        params.dcDepreciationYears;
+    // Facility operations, billed monthly per provisioned watt.
+    const double dc_opex =
+        params.dcOpexPerWattMonth * provisioned_watts * 12.0;
+    // Energy: average utilization of peak power, PUE overhead included.
+    const double kwh_per_year = server.powerWatts *
+        params.averageUtilization * params.pue * 8760.0 / 1000.0;
+    const double energy = kwh_per_year * params.electricityPerKwh;
+
+    return server_capex + server_opex + dc_capex + dc_opex + energy;
+}
+
+double
+datacenterYearlyTco(const ServerConfig &server, double server_qps,
+                    double target_qps, const TcoParams &params)
+{
+    if (server_qps <= 0.0 || target_qps <= 0.0)
+        fatal("datacenterYearlyTco: rates must be positive");
+    const double servers = std::ceil(target_qps / server_qps);
+    return servers * serverYearlyTco(server, params);
+}
+
+double
+normalizedTco(accel::Platform platform, double throughput_improvement,
+              const TcoParams &params)
+{
+    if (throughput_improvement <= 0.0)
+        fatal("normalizedTco: throughput improvement must be positive");
+    // Large fleet limit: the ceil() granularity washes out, so compare
+    // per-throughput costs directly.
+    const double base_cost_per_qps =
+        serverYearlyTco(baselineServer(params), params);
+    const double accel_cost_per_qps =
+        serverYearlyTco(acceleratedServer(platform, params), params) /
+        throughput_improvement;
+    return accel_cost_per_qps / base_cost_per_qps;
+}
+
+} // namespace sirius::dcsim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Total-cost-of-ownership model (Table 7), after Barroso, Clidaras and
+ * Hoelzle's "The Datacenter as a Computer" — the model the paper uses
+ * for Figure 18 and the datacenter design tables.
+ */
+
+#ifndef SIRIUS_DCSIM_TCO_H
+#define SIRIUS_DCSIM_TCO_H
+
+#include "accel/platform.h"
+
+namespace sirius::dcsim {
+
+/** Table 7 parameters. */
+struct TcoParams
+{
+    double dcDepreciationYears = 12.0;
+    double serverDepreciationYears = 3.0;
+    double averageUtilization = 0.45;
+    double electricityPerKwh = 0.067;
+    double dcPricePerWatt = 10.0;       ///< construction capex, $/W
+    double dcOpexPerWattMonth = 0.04;   ///< $/W/month
+    double serverOpexFraction = 0.05;   ///< of server capex, per year
+    double serverPriceUsd = 2102.0;     ///< baseline server [44]
+    double serverPowerWatts = 163.6;    ///< baseline server [44]
+    double pue = 1.1;
+};
+
+/** One server configuration for costing. */
+struct ServerConfig
+{
+    double priceUsd;    ///< server + accelerator purchase price
+    double powerWatts;  ///< server + accelerator power draw
+};
+
+/** Baseline server from Table 7. */
+ServerConfig baselineServer(const TcoParams &params = {});
+
+/** Baseline server augmented with @p platform's accelerator card. */
+ServerConfig acceleratedServer(accel::Platform platform,
+                               const TcoParams &params = {});
+
+/**
+ * Yearly TCO of one server: amortized server capex, server opex,
+ * amortized DC construction share, DC opex and energy.
+ */
+double serverYearlyTco(const ServerConfig &server,
+                       const TcoParams &params = {});
+
+/**
+ * Datacenter TCO (per year) to serve @p target_qps given each server
+ * sustains @p server_qps.
+ */
+double datacenterYearlyTco(const ServerConfig &server, double server_qps,
+                           double target_qps,
+                           const TcoParams &params = {});
+
+/**
+ * TCO of a @p platform-accelerated datacenter relative to the CMP
+ * datacenter at equal throughput, where the accelerated server improves
+ * per-server throughput by @p throughput_improvement.
+ * @return normalized TCO (< 1 means cheaper than baseline).
+ */
+double normalizedTco(accel::Platform platform,
+                     double throughput_improvement,
+                     const TcoParams &params = {});
+
+} // namespace sirius::dcsim
+
+#endif // SIRIUS_DCSIM_TCO_H

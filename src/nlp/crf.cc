@@ -1,0 +1,343 @@
+#include "nlp/crf.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/matrix.h"
+#include "common/rng.h"
+
+namespace sirius::nlp {
+
+const char *
+tagName(PosTag tag)
+{
+    switch (tag) {
+      case PosTag::Noun: return "NOUN";
+      case PosTag::Verb: return "VERB";
+      case PosTag::Adj: return "ADJ";
+      case PosTag::Adv: return "ADV";
+      case PosTag::Pron: return "PRON";
+      case PosTag::Det: return "DET";
+      case PosTag::Adp: return "ADP";
+      case PosTag::Num: return "NUM";
+      case PosTag::Conj: return "CONJ";
+      case PosTag::Prt: return "PRT";
+      case PosTag::Punct: return "PUNCT";
+      case PosTag::Other: return "X";
+    }
+    return "?";
+}
+
+CrfTagger::CrfTagger(size_t feature_dim)
+    : featureDim_(feature_dim),
+      emitW_(feature_dim * kNumTags, 0.0),
+      transW_(kNumTags * kNumTags, 0.0),
+      initW_(kNumTags, 0.0)
+{
+    if (feature_dim == 0)
+        fatal("CrfTagger: feature_dim must be nonzero");
+}
+
+uint32_t
+CrfTagger::hashFeature(const std::string &text) const
+{
+    // FNV-1a, folded into the feature space.
+    uint64_t h = 1469598103934665603ULL;
+    for (char c : text) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+    }
+    return static_cast<uint32_t>(h % featureDim_);
+}
+
+void
+CrfTagger::extractFeatures(const std::vector<std::string> &words, size_t i,
+                           std::vector<uint32_t> &out) const
+{
+    out.clear();
+    const std::string &w = words[i];
+    std::string lower;
+    lower.reserve(w.size());
+    bool has_digit = false, has_upper = false, all_digit = !w.empty();
+    for (char c : w) {
+        const auto u = static_cast<unsigned char>(c);
+        if (std::isdigit(u))
+            has_digit = true;
+        else
+            all_digit = false;
+        if (std::isupper(u))
+            has_upper = true;
+        lower.push_back(static_cast<char>(std::tolower(u)));
+    }
+
+    out.push_back(hashFeature("bias"));
+    out.push_back(hashFeature("w=" + lower));
+    const size_t n = lower.size();
+    out.push_back(hashFeature("suf1=" + lower.substr(n - std::min<size_t>(1, n))));
+    out.push_back(hashFeature("suf2=" + lower.substr(n - std::min<size_t>(2, n))));
+    out.push_back(hashFeature("suf3=" + lower.substr(n - std::min<size_t>(3, n))));
+    out.push_back(hashFeature("pre2=" + lower.substr(0, 2)));
+    if (has_digit)
+        out.push_back(hashFeature("hasdigit"));
+    if (all_digit)
+        out.push_back(hashFeature("alldigit"));
+    if (has_upper)
+        out.push_back(hashFeature("hasupper"));
+    if (i == 0)
+        out.push_back(hashFeature("first"));
+    if (i + 1 == words.size())
+        out.push_back(hashFeature("last"));
+    if (i > 0)
+        out.push_back(hashFeature("w-1=" + words[i - 1]));
+    if (i + 1 < words.size())
+        out.push_back(hashFeature("w+1=" + words[i + 1]));
+}
+
+void
+CrfTagger::emissionScores(const std::vector<std::string> &words,
+                          std::vector<std::vector<double>> &scores) const
+{
+    scores.assign(words.size(), std::vector<double>(kNumTags, 0.0));
+    std::vector<uint32_t> feats;
+    for (size_t i = 0; i < words.size(); ++i) {
+        extractFeatures(words, i, feats);
+        auto &row = scores[i];
+        for (uint32_t f : feats) {
+            const double *w = &emitW_[static_cast<size_t>(f) * kNumTags];
+            for (size_t t = 0; t < kNumTags; ++t)
+                row[t] += w[t];
+        }
+    }
+}
+
+double
+CrfTagger::pathScore(const std::vector<std::vector<double>> &emit,
+                     const std::vector<PosTag> &tags) const
+{
+    double score = initW_[static_cast<size_t>(tags[0])] +
+        emit[0][static_cast<size_t>(tags[0])];
+    for (size_t i = 1; i < tags.size(); ++i) {
+        score += transW_[static_cast<size_t>(tags[i - 1]) * kNumTags +
+                         static_cast<size_t>(tags[i])];
+        score += emit[i][static_cast<size_t>(tags[i])];
+    }
+    return score;
+}
+
+void
+CrfTagger::forward(const std::vector<std::vector<double>> &emit,
+                   std::vector<std::vector<double>> &alpha) const
+{
+    const size_t n = emit.size();
+    alpha.assign(n, std::vector<double>(kNumTags, 0.0));
+    for (size_t t = 0; t < kNumTags; ++t)
+        alpha[0][t] = initW_[t] + emit[0][t];
+    std::vector<double> terms(kNumTags);
+    for (size_t i = 1; i < n; ++i) {
+        for (size_t t = 0; t < kNumTags; ++t) {
+            for (size_t p = 0; p < kNumTags; ++p)
+                terms[p] = alpha[i - 1][p] + transW_[p * kNumTags + t];
+            alpha[i][t] = logSumExp(terms) + emit[i][t];
+        }
+    }
+}
+
+void
+CrfTagger::backward(const std::vector<std::vector<double>> &emit,
+                    std::vector<std::vector<double>> &beta) const
+{
+    const size_t n = emit.size();
+    beta.assign(n, std::vector<double>(kNumTags, 0.0));
+    std::vector<double> terms(kNumTags);
+    for (size_t i = n - 1; i-- > 0; ) {
+        for (size_t p = 0; p < kNumTags; ++p) {
+            for (size_t t = 0; t < kNumTags; ++t) {
+                terms[t] = transW_[p * kNumTags + t] + emit[i + 1][t] +
+                    beta[i + 1][t];
+            }
+            beta[i][p] = logSumExp(terms);
+        }
+    }
+}
+
+double
+CrfTagger::logPartitionForward(const std::vector<std::string> &words) const
+{
+    if (words.empty())
+        return 0.0;
+    std::vector<std::vector<double>> emit, alpha;
+    emissionScores(words, emit);
+    forward(emit, alpha);
+    return logSumExp(alpha.back());
+}
+
+double
+CrfTagger::logPartitionBackward(const std::vector<std::string> &words) const
+{
+    if (words.empty())
+        return 0.0;
+    std::vector<std::vector<double>> emit, beta;
+    emissionScores(words, emit);
+    backward(emit, beta);
+    std::vector<double> terms(kNumTags);
+    for (size_t t = 0; t < kNumTags; ++t)
+        terms[t] = initW_[t] + emit[0][t] + beta[0][t];
+    return logSumExp(terms);
+}
+
+double
+CrfTagger::logLikelihood(const TaggedSentence &sentence) const
+{
+    if (sentence.words.empty())
+        return 0.0;
+    std::vector<std::vector<double>> emit, alpha;
+    emissionScores(sentence.words, emit);
+    forward(emit, alpha);
+    return pathScore(emit, sentence.tags) - logSumExp(alpha.back());
+}
+
+std::vector<PosTag>
+CrfTagger::tag(const std::vector<std::string> &words) const
+{
+    if (words.empty())
+        return {};
+    std::vector<std::vector<double>> emit;
+    emissionScores(words, emit);
+    const size_t n = words.size();
+    std::vector<std::vector<double>> delta(n,
+        std::vector<double>(kNumTags, 0.0));
+    std::vector<std::vector<int>> back(n, std::vector<int>(kNumTags, -1));
+    for (size_t t = 0; t < kNumTags; ++t)
+        delta[0][t] = initW_[t] + emit[0][t];
+    for (size_t i = 1; i < n; ++i) {
+        for (size_t t = 0; t < kNumTags; ++t) {
+            double best = -1e300;
+            int arg = 0;
+            for (size_t p = 0; p < kNumTags; ++p) {
+                const double s = delta[i - 1][p] +
+                    transW_[p * kNumTags + t];
+                if (s > best) {
+                    best = s;
+                    arg = static_cast<int>(p);
+                }
+            }
+            delta[i][t] = best + emit[i][t];
+            back[i][t] = arg;
+        }
+    }
+    size_t best_t = 0;
+    for (size_t t = 1; t < kNumTags; ++t) {
+        if (delta[n - 1][t] > delta[n - 1][best_t])
+            best_t = t;
+    }
+    std::vector<PosTag> tags(n);
+    size_t cur = best_t;
+    for (size_t i = n; i-- > 0; ) {
+        tags[i] = static_cast<PosTag>(cur);
+        if (i > 0)
+            cur = static_cast<size_t>(back[i][cur]);
+    }
+    return tags;
+}
+
+double
+CrfTagger::train(const std::vector<TaggedSentence> &data,
+                 const TrainOptions &opts)
+{
+    if (data.empty())
+        return 0.0;
+    Rng rng(opts.shuffleSeed);
+    std::vector<size_t> order(data.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    std::vector<std::vector<double>> emit, alpha, beta;
+    std::vector<uint32_t> feats;
+    double last_epoch_ll = 0.0;
+
+    for (size_t epoch = 0; epoch < opts.epochs; ++epoch) {
+        // Fisher-Yates shuffle with our deterministic RNG.
+        for (size_t i = order.size(); i-- > 1; )
+            std::swap(order[i], order[rng.below(i + 1)]);
+        const double lr = opts.learningRate /
+            (1.0 + 0.3 * static_cast<double>(epoch));
+        double epoch_ll = 0.0;
+
+        for (size_t idx : order) {
+            const TaggedSentence &s = data[idx];
+            const size_t n = s.words.size();
+            if (n == 0 || s.tags.size() != n)
+                continue;
+            emissionScores(s.words, emit);
+            forward(emit, alpha);
+            backward(emit, beta);
+            const double log_z = logSumExp(alpha.back());
+            epoch_ll += pathScore(emit, s.tags) - log_z;
+
+            // Node marginals p(t_i = t | x) and the gradient step.
+            for (size_t i = 0; i < n; ++i) {
+                extractFeatures(s.words, i, feats);
+                const auto gold = static_cast<size_t>(s.tags[i]);
+                for (size_t t = 0; t < kNumTags; ++t) {
+                    const double marg =
+                        std::exp(alpha[i][t] + beta[i][t] - log_z);
+                    const double grad = (t == gold ? 1.0 : 0.0) - marg;
+                    if (grad == 0.0)
+                        continue;
+                    for (uint32_t f : feats) {
+                        double &w =
+                            emitW_[static_cast<size_t>(f) * kNumTags + t];
+                        w += lr * (grad - opts.l2 * w);
+                    }
+                }
+                if (i == 0) {
+                    for (size_t t = 0; t < kNumTags; ++t) {
+                        const double marg =
+                            std::exp(alpha[0][t] + beta[0][t] - log_z);
+                        initW_[t] += lr * ((t == gold ? 1.0 : 0.0) - marg);
+                    }
+                }
+            }
+            // Edge marginals p(t_{i-1}=p, t_i=t | x).
+            for (size_t i = 1; i < n; ++i) {
+                const auto gp = static_cast<size_t>(s.tags[i - 1]);
+                const auto gt = static_cast<size_t>(s.tags[i]);
+                for (size_t p = 0; p < kNumTags; ++p) {
+                    for (size_t t = 0; t < kNumTags; ++t) {
+                        const double lp = alpha[i - 1][p] +
+                            transW_[p * kNumTags + t] + emit[i][t] +
+                            beta[i][t] - log_z;
+                        const double marg = std::exp(lp);
+                        const double empirical =
+                            (p == gp && t == gt) ? 1.0 : 0.0;
+                        transW_[p * kNumTags + t] +=
+                            lr * (empirical - marg);
+                    }
+                }
+            }
+        }
+        last_epoch_ll = epoch_ll / static_cast<double>(data.size());
+    }
+    return last_epoch_ll;
+}
+
+double
+CrfTagger::accuracy(const std::vector<TaggedSentence> &data) const
+{
+    size_t correct = 0, total = 0;
+    for (const auto &s : data) {
+        const auto predicted = tag(s.words);
+        for (size_t i = 0; i < s.tags.size() && i < predicted.size(); ++i) {
+            ++total;
+            if (predicted[i] == s.tags[i])
+                ++correct;
+        }
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(correct) /
+                            static_cast<double>(total);
+}
+
+} // namespace sirius::nlp

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Linear-chain Conditional Random Field part-of-speech tagger.
+ *
+ * OpenEphyra uses a CRF classifier to predict the part of speech of every
+ * word in the query and in retrieved documents. This is a full from-scratch
+ * implementation: hashed feature templates, log-domain forward/backward,
+ * Viterbi decoding, and stochastic-gradient maximum-likelihood training
+ * with L2 regularization.
+ */
+
+#ifndef SIRIUS_NLP_CRF_H
+#define SIRIUS_NLP_CRF_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sirius::nlp {
+
+/** Universal-style coarse part-of-speech tag set. */
+enum class PosTag : uint8_t {
+    Noun = 0,
+    Verb,
+    Adj,
+    Adv,
+    Pron,
+    Det,
+    Adp,
+    Num,
+    Conj,
+    Prt,
+    Punct,
+    Other,
+};
+
+/** Number of tags in PosTag. */
+constexpr size_t kNumTags = 12;
+
+/** Human-readable tag name. */
+const char *tagName(PosTag tag);
+
+/** A sentence with gold-standard tags (training / evaluation unit). */
+struct TaggedSentence
+{
+    std::vector<std::string> words;
+    std::vector<PosTag> tags;
+};
+
+/**
+ * Linear-chain CRF over PosTag with hashed lexical features.
+ *
+ * Scores factorize as sum_i emit(x, i, t_i) + init(t_0)
+ * + sum_{i>0} trans(t_{i-1}, t_i). All inference is in log space.
+ */
+class CrfTagger
+{
+  public:
+    /** Training hyper-parameters. */
+    struct TrainOptions
+    {
+        size_t epochs = 8;
+        double learningRate = 0.15;
+        double l2 = 1e-6;
+        uint64_t shuffleSeed = 12345;
+    };
+
+    /**
+     * @param feature_dim size of the hashed feature space; larger reduces
+     *        collisions at the cost of memory (weights use dim * kNumTags
+     *        doubles).
+     */
+    explicit CrfTagger(size_t feature_dim = size_t{1} << 17);
+
+    /**
+     * Extract the hashed feature ids for position @p i of @p words.
+     * Deterministic; exposed publicly because the Sirius Suite CRF kernel
+     * times exactly this plus decoding.
+     */
+    void extractFeatures(const std::vector<std::string> &words, size_t i,
+                         std::vector<uint32_t> &out) const;
+
+    /**
+     * Maximum-likelihood SGD training.
+     * @return average per-sentence log-likelihood of the final epoch.
+     */
+    double train(const std::vector<TaggedSentence> &data,
+                 const TrainOptions &opts);
+
+    /** Viterbi-decode the most likely tag sequence. */
+    std::vector<PosTag> tag(const std::vector<std::string> &words) const;
+
+    /** Log-likelihood log p(tags | words) of a labeled sentence. */
+    double logLikelihood(const TaggedSentence &sentence) const;
+
+    /** log Z(words) computed with the forward recursion. */
+    double logPartitionForward(const std::vector<std::string> &words) const;
+
+    /** log Z(words) computed with the backward recursion (for testing). */
+    double logPartitionBackward(const std::vector<std::string> &words) const;
+
+    /** Token-level tagging accuracy over a labeled corpus, in [0, 1]. */
+    double accuracy(const std::vector<TaggedSentence> &data) const;
+
+    /** Hashed feature-space size. */
+    size_t featureDim() const { return featureDim_; }
+
+  private:
+    size_t featureDim_;
+    // Emission weights, laid out [feature][tag].
+    std::vector<double> emitW_;
+    // trans_[prev * kNumTags + next].
+    std::vector<double> transW_;
+    std::vector<double> initW_;
+
+    /** Per-position emission score table: scores[i][t]. */
+    void emissionScores(const std::vector<std::string> &words,
+                        std::vector<std::vector<double>> &scores) const;
+
+    /** Unnormalized log score of a full path. */
+    double pathScore(const std::vector<std::vector<double>> &emit,
+                     const std::vector<PosTag> &tags) const;
+
+    void forward(const std::vector<std::vector<double>> &emit,
+                 std::vector<std::vector<double>> &alpha) const;
+    void backward(const std::vector<std::vector<double>> &emit,
+                  std::vector<std::vector<double>> &beta) const;
+
+    uint32_t hashFeature(const std::string &text) const;
+};
+
+} // namespace sirius::nlp
+
+#endif // SIRIUS_NLP_CRF_H

@@ -1,0 +1,336 @@
+#include "nlp/porter_stemmer.h"
+
+#include <cstring>
+
+namespace sirius::nlp {
+
+bool
+PorterStemmer::isConsonant(int i) const
+{
+    switch (b_[static_cast<size_t>(i)]) {
+      case 'a': case 'e': case 'i': case 'o': case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !isConsonant(i - 1);
+      default:
+        return true;
+    }
+}
+
+int
+PorterStemmer::measure() const
+{
+    // Counts the VC sequences in b_[0..j_], Porter's m.
+    int n = 0;
+    int i = 0;
+    for (;;) {
+        if (i > j_)
+            return n;
+        if (!isConsonant(i))
+            break;
+        ++i;
+    }
+    ++i;
+    for (;;) {
+        for (;;) {
+            if (i > j_)
+                return n;
+            if (isConsonant(i))
+                break;
+            ++i;
+        }
+        ++i;
+        ++n;
+        for (;;) {
+            if (i > j_)
+                return n;
+            if (!isConsonant(i))
+                break;
+            ++i;
+        }
+        ++i;
+    }
+}
+
+bool
+PorterStemmer::vowelInStem() const
+{
+    for (int i = 0; i <= j_; ++i) {
+        if (!isConsonant(i))
+            return true;
+    }
+    return false;
+}
+
+bool
+PorterStemmer::doubleConsonant(int i) const
+{
+    if (i < 1)
+        return false;
+    if (b_[static_cast<size_t>(i)] != b_[static_cast<size_t>(i - 1)])
+        return false;
+    return isConsonant(i);
+}
+
+bool
+PorterStemmer::cvc(int i) const
+{
+    // consonant-vowel-consonant ending at i, where the final consonant is
+    // not w, x or y. Used to decide whether to restore a trailing 'e'.
+    if (i < 2 || !isConsonant(i) || isConsonant(i - 1) ||
+        !isConsonant(i - 2)) {
+        return false;
+    }
+    const char ch = b_[static_cast<size_t>(i)];
+    return ch != 'w' && ch != 'x' && ch != 'y';
+}
+
+bool
+PorterStemmer::ends(const char *s)
+{
+    const int len = static_cast<int>(std::strlen(s));
+    if (len > k_ + 1)
+        return false;
+    if (b_.compare(static_cast<size_t>(k_ - len + 1),
+                   static_cast<size_t>(len), s) != 0) {
+        return false;
+    }
+    j_ = k_ - len;
+    return true;
+}
+
+void
+PorterStemmer::setTo(const char *s)
+{
+    const int len = static_cast<int>(std::strlen(s));
+    b_.replace(static_cast<size_t>(j_ + 1), std::string::npos, s);
+    k_ = j_ + len;
+}
+
+void
+PorterStemmer::replaceIf(const char *s)
+{
+    if (measure() > 0)
+        setTo(s);
+}
+
+void
+PorterStemmer::step1ab()
+{
+    // Step 1a: plurals.
+    if (b_[static_cast<size_t>(k_)] == 's') {
+        if (ends("sses")) {
+            k_ -= 2;
+        } else if (ends("ies")) {
+            setTo("i");
+        } else if (b_[static_cast<size_t>(k_ - 1)] != 's') {
+            --k_;
+        }
+    }
+    // Step 1b: -eed, -ed, -ing.
+    if (ends("eed")) {
+        if (measure() > 0)
+            --k_;
+    } else if ((ends("ed") || ends("ing")) && vowelInStem()) {
+        k_ = j_;
+        if (ends("at")) {
+            setTo("ate");
+        } else if (ends("bl")) {
+            setTo("ble");
+        } else if (ends("iz")) {
+            setTo("ize");
+        } else if (doubleConsonant(k_)) {
+            const char ch = b_[static_cast<size_t>(k_)];
+            if (ch != 'l' && ch != 's' && ch != 'z')
+                --k_;
+        } else if (measure() == 1 && cvc(k_)) {
+            j_ = k_;
+            setTo("e");
+        }
+    }
+}
+
+void
+PorterStemmer::step1c()
+{
+    if (ends("y") && vowelInStem())
+        b_[static_cast<size_t>(k_)] = 'i';
+}
+
+void
+PorterStemmer::step2()
+{
+    switch (b_[static_cast<size_t>(k_ - 1)]) {
+      case 'a':
+        if (ends("ational")) { replaceIf("ate"); break; }
+        if (ends("tional")) { replaceIf("tion"); break; }
+        break;
+      case 'c':
+        if (ends("enci")) { replaceIf("ence"); break; }
+        if (ends("anci")) { replaceIf("ance"); break; }
+        break;
+      case 'e':
+        if (ends("izer")) { replaceIf("ize"); break; }
+        break;
+      case 'l':
+        if (ends("bli")) { replaceIf("ble"); break; }
+        if (ends("alli")) { replaceIf("al"); break; }
+        if (ends("entli")) { replaceIf("ent"); break; }
+        if (ends("eli")) { replaceIf("e"); break; }
+        if (ends("ousli")) { replaceIf("ous"); break; }
+        break;
+      case 'o':
+        if (ends("ization")) { replaceIf("ize"); break; }
+        if (ends("ation")) { replaceIf("ate"); break; }
+        if (ends("ator")) { replaceIf("ate"); break; }
+        break;
+      case 's':
+        if (ends("alism")) { replaceIf("al"); break; }
+        if (ends("iveness")) { replaceIf("ive"); break; }
+        if (ends("fulness")) { replaceIf("ful"); break; }
+        if (ends("ousness")) { replaceIf("ous"); break; }
+        break;
+      case 't':
+        if (ends("aliti")) { replaceIf("al"); break; }
+        if (ends("iviti")) { replaceIf("ive"); break; }
+        if (ends("biliti")) { replaceIf("ble"); break; }
+        break;
+      case 'g':
+        if (ends("logi")) { replaceIf("log"); break; }
+        break;
+      default:
+        break;
+    }
+}
+
+void
+PorterStemmer::step3()
+{
+    switch (b_[static_cast<size_t>(k_)]) {
+      case 'e':
+        if (ends("icate")) { replaceIf("ic"); break; }
+        if (ends("ative")) { replaceIf(""); break; }
+        if (ends("alize")) { replaceIf("al"); break; }
+        break;
+      case 'i':
+        if (ends("iciti")) { replaceIf("ic"); break; }
+        break;
+      case 'l':
+        if (ends("ical")) { replaceIf("ic"); break; }
+        if (ends("ful")) { replaceIf(""); break; }
+        break;
+      case 's':
+        if (ends("ness")) { replaceIf(""); break; }
+        break;
+      default:
+        break;
+    }
+}
+
+void
+PorterStemmer::step4()
+{
+    switch (b_[static_cast<size_t>(k_ - 1)]) {
+      case 'a':
+        if (ends("al")) break;
+        return;
+      case 'c':
+        if (ends("ance")) break;
+        if (ends("ence")) break;
+        return;
+      case 'e':
+        if (ends("er")) break;
+        return;
+      case 'i':
+        if (ends("ic")) break;
+        return;
+      case 'l':
+        if (ends("able")) break;
+        if (ends("ible")) break;
+        return;
+      case 'n':
+        if (ends("ant")) break;
+        if (ends("ement")) break;
+        if (ends("ment")) break;
+        if (ends("ent")) break;
+        return;
+      case 'o':
+        if (ends("ion") && j_ >= 0 &&
+            (b_[static_cast<size_t>(j_)] == 's' ||
+             b_[static_cast<size_t>(j_)] == 't')) {
+            break;
+        }
+        if (ends("ou")) break;
+        return;
+      case 's':
+        if (ends("ism")) break;
+        return;
+      case 't':
+        if (ends("ate")) break;
+        if (ends("iti")) break;
+        return;
+      case 'u':
+        if (ends("ous")) break;
+        return;
+      case 'v':
+        if (ends("ive")) break;
+        return;
+      case 'z':
+        if (ends("ize")) break;
+        return;
+      default:
+        return;
+    }
+    if (measure() > 1)
+        k_ = j_;
+}
+
+void
+PorterStemmer::step5()
+{
+    // Step 5a: drop a final e.
+    j_ = k_;
+    if (b_[static_cast<size_t>(k_)] == 'e') {
+        const int m = measure();
+        if (m > 1 || (m == 1 && !cvc(k_ - 1)))
+            --k_;
+    }
+    // Step 5b: -ll -> -l when m > 1.
+    if (b_[static_cast<size_t>(k_)] == 'l' && doubleConsonant(k_) &&
+        measure() > 1) {
+        --k_;
+    }
+}
+
+std::string
+PorterStemmer::stem(const std::string &word)
+{
+    if (word.size() <= 2)
+        return word;
+    for (char c : word) {
+        if (c < 'a' || c > 'z')
+            return word;
+    }
+    b_ = word;
+    k_ = static_cast<int>(b_.size()) - 1;
+    j_ = 0;
+    step1ab();
+    if (k_ > 0) {
+        step1c();
+        step2();
+        step3();
+        step4();
+        step5();
+    }
+    b_.resize(static_cast<size_t>(k_) + 1);
+    return b_;
+}
+
+void
+PorterStemmer::stemAll(std::vector<std::string> &words)
+{
+    for (auto &w : words)
+        w = stem(w);
+}
+
+} // namespace sirius::nlp

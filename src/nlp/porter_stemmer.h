@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The Porter (1980) suffix-stripping stemmer.
+ *
+ * This is a from-scratch C++ port of the classic algorithm, the same one
+ * OpenEphyra uses for query and document normalization. The implementation
+ * follows the structure of Porter's reference code: a mutable word buffer,
+ * the measure function m(), and the five rule steps.
+ */
+
+#ifndef SIRIUS_NLP_PORTER_STEMMER_H
+#define SIRIUS_NLP_PORTER_STEMMER_H
+
+#include <string>
+#include <vector>
+
+namespace sirius::nlp {
+
+/**
+ * Stateless-per-call Porter stemmer.
+ *
+ * A single instance may be reused across words; it is NOT thread-safe,
+ * so concurrent kernels create one per thread (as the Suite does).
+ */
+class PorterStemmer
+{
+  public:
+    /**
+     * Stem one word. Input should be lower-case ASCII letters; any
+     * word shorter than 3 characters is returned unchanged, per Porter.
+     */
+    std::string stem(const std::string &word);
+
+    /** Stem every word in place. */
+    void stemAll(std::vector<std::string> &words);
+
+  private:
+    // The word buffer being edited and the index of its last character.
+    std::string b_;
+    int k_ = 0;
+    int j_ = 0;
+
+    bool isConsonant(int i) const;
+    int measure() const;
+    bool vowelInStem() const;
+    bool doubleConsonant(int i) const;
+    bool cvc(int i) const;
+    bool ends(const char *s);
+    void setTo(const char *s);
+    void replaceIf(const char *s);
+
+    void step1ab();
+    void step1c();
+    void step2();
+    void step3();
+    void step4();
+    void step5();
+};
+
+} // namespace sirius::nlp
+
+#endif // SIRIUS_NLP_PORTER_STEMMER_H

@@ -1,0 +1,153 @@
+#include "nlp/pos_corpus.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace sirius::nlp {
+
+PosLexicon::PosLexicon() : byTag_(kNumTags)
+{
+    auto set = [this](PosTag tag, std::vector<std::string> words) {
+        byTag_[static_cast<size_t>(tag)] = std::move(words);
+    };
+    set(PosTag::Noun,
+        {"president", "capital", "author", "city", "country", "river",
+         "mountain", "election", "restaurant", "university", "company",
+         "movie", "book", "song", "painter", "scientist", "inventor",
+         "language", "population", "currency", "island", "ocean", "bridge",
+         "airport", "museum", "festival", "battle", "treaty", "planet",
+         "satellite", "engine", "computer", "network", "question",
+         "answer", "history", "winner", "teacher", "student", "doctor"});
+    set(PosTag::Verb,
+        {"is", "was", "are", "were", "elected", "wrote", "founded",
+         "invented", "discovered", "built", "painted", "composed",
+         "directed", "won", "lost", "opened", "closed", "borders",
+         "contains", "flows", "lives", "speaks", "teaches", "studies",
+         "runs", "makes", "holds", "became", "signed", "launched"});
+    set(PosTag::Adj,
+        {"first", "last", "largest", "smallest", "longest", "highest",
+         "famous", "ancient", "modern", "national", "official", "popular",
+         "northern", "southern", "eastern", "western", "current", "former",
+         "great", "new", "old", "tall", "deep", "rich"});
+    set(PosTag::Adv,
+        {"quickly", "slowly", "recently", "currently", "originally",
+         "officially", "approximately", "nearly", "famously", "widely"});
+    set(PosTag::Pron,
+        {"who", "what", "which", "it", "he", "she", "they", "whom",
+         "whose", "that"});
+    set(PosTag::Det, {"the", "a", "an", "this", "that", "these", "those",
+                      "every", "some"});
+    set(PosTag::Adp, {"of", "in", "on", "at", "by", "for", "from", "to",
+                      "with", "about", "near", "between"});
+    set(PosTag::Num,
+        {"one", "two", "three", "four", "five", "ten", "hundred",
+         "thousand", "million", "44th", "1969", "2015", "42", "7"});
+    set(PosTag::Conj, {"and", "or", "but", "because", "while", "when"});
+    set(PosTag::Prt, {"not", "also", "only", "just", "even", "up", "out"});
+    set(PosTag::Punct, {".", ",", "?", "!"});
+    set(PosTag::Other, {"etc", "eg", "ie"});
+}
+
+const std::vector<std::string> &
+PosLexicon::wordsFor(PosTag tag) const
+{
+    return byTag_[static_cast<size_t>(tag)];
+}
+
+PosTag
+PosLexicon::lookup(const std::string &word) const
+{
+    for (size_t t = 0; t < byTag_.size(); ++t) {
+        for (const auto &w : byTag_[t]) {
+            if (w == word)
+                return static_cast<PosTag>(t);
+        }
+    }
+    return PosTag::Other;
+}
+
+std::vector<std::pair<std::string, PosTag>>
+PosLexicon::allEntries() const
+{
+    std::vector<std::pair<std::string, PosTag>> out;
+    for (size_t t = 0; t < byTag_.size(); ++t) {
+        for (const auto &w : byTag_[t])
+            out.emplace_back(w, static_cast<PosTag>(t));
+    }
+    return out;
+}
+
+std::vector<TaggedSentence>
+generatePosCorpus(size_t count, uint64_t seed)
+{
+    static const PosLexicon lexicon;
+    Rng rng(seed);
+
+    // Sentence templates as tag sequences. 'Adj?' optionality is expressed
+    // by providing both variants.
+    using T = PosTag;
+    static const std::vector<std::vector<T>> templates = {
+        {T::Det, T::Noun, T::Verb, T::Det, T::Noun, T::Punct},
+        {T::Det, T::Adj, T::Noun, T::Verb, T::Det, T::Adj, T::Noun,
+         T::Punct},
+        {T::Pron, T::Verb, T::Det, T::Noun, T::Adp, T::Det, T::Noun,
+         T::Punct},
+        {T::Pron, T::Verb, T::Det, T::Adj, T::Noun, T::Punct},
+        {T::Det, T::Noun, T::Adp, T::Det, T::Noun, T::Verb, T::Adj,
+         T::Punct},
+        {T::Noun, T::Conj, T::Noun, T::Verb, T::Adp, T::Det, T::Noun,
+         T::Punct},
+        {T::Det, T::Noun, T::Verb, T::Adv, T::Adp, T::Num, T::Punct},
+        {T::Pron, T::Verb, T::Prt, T::Det, T::Noun, T::Punct},
+        {T::Num, T::Noun, T::Verb, T::Det, T::Noun, T::Adp, T::Noun,
+         T::Punct},
+        {T::Det, T::Adj, T::Noun, T::Adp, T::Noun, T::Verb, T::Det,
+         T::Noun, T::Conj, T::Det, T::Noun, T::Punct},
+    };
+
+    std::vector<TaggedSentence> corpus;
+    corpus.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        const auto &tmpl = templates[rng.below(templates.size())];
+        TaggedSentence s;
+        s.words.reserve(tmpl.size());
+        s.tags.reserve(tmpl.size());
+        for (PosTag tag : tmpl) {
+            const auto &choices = lexicon.wordsFor(tag);
+            s.words.push_back(choices[rng.below(choices.size())]);
+            s.tags.push_back(tag);
+        }
+        corpus.push_back(std::move(s));
+    }
+    return corpus;
+}
+
+std::vector<std::string>
+generateWordList(size_t count, uint64_t seed)
+{
+    static const PosLexicon lexicon;
+    static const std::vector<std::string> endings = {
+        "", "s", "ed", "ing", "er", "est", "ly", "ness", "ment", "ation",
+        "ization", "fulness", "ousness", "ibility", "ical", "ative",
+        "alize", "icate", "ize", "ional",
+    };
+    const auto entries = lexicon.allEntries();
+    Rng rng(seed);
+    std::vector<std::string> words;
+    words.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        const auto &base = entries[rng.below(entries.size())].first;
+        if (base.size() < 3 || !isalpha(static_cast<unsigned char>(
+                base[0]))) {
+            words.push_back("question" + endings[rng.below(
+                endings.size())]);
+            continue;
+        }
+        words.push_back(base + endings[rng.below(endings.size())]);
+    }
+    return words;
+}
+
+} // namespace sirius::nlp

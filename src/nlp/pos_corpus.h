@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Synthetic tagged-sentence corpus generator.
+ *
+ * Stands in for the CoNLL-2000 shared-task data the paper feeds the CRF
+ * kernel (Table 4): sentences are generated from a template grammar over a
+ * closed lexicon, so the gold tags are exact and generation is
+ * deterministic per seed.
+ */
+
+#ifndef SIRIUS_NLP_POS_CORPUS_H
+#define SIRIUS_NLP_POS_CORPUS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nlp/crf.h"
+
+namespace sirius::nlp {
+
+/** Closed lexicon: word lists per tag used by the generator. */
+class PosLexicon
+{
+  public:
+    /** Build the built-in English lexicon. */
+    PosLexicon();
+
+    /** Word list for @p tag. */
+    const std::vector<std::string> &wordsFor(PosTag tag) const;
+
+    /** Most likely tag of @p word, or PosTag::Other if unknown. */
+    PosTag lookup(const std::string &word) const;
+
+    /** Every (word, tag) pair, e.g. for building a big word list. */
+    std::vector<std::pair<std::string, PosTag>> allEntries() const;
+
+  private:
+    std::vector<std::vector<std::string>> byTag_;
+};
+
+/**
+ * Generate @p count template-grammar sentences with gold tags.
+ * Templates cover declaratives, questions and noun-phrase-heavy
+ * constructions so transitions are informative.
+ */
+std::vector<TaggedSentence> generatePosCorpus(size_t count, uint64_t seed);
+
+/**
+ * Generate a flat list of dictionary-like words (for the Stemmer kernel's
+ * 4M-word-list input). Words are drawn from the lexicon with derivational
+ * endings appended so the stemmer has real work to do.
+ */
+std::vector<std::string> generateWordList(size_t count, uint64_t seed);
+
+} // namespace sirius::nlp
+
+#endif // SIRIUS_NLP_POS_CORPUS_H

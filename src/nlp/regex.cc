@@ -1,0 +1,555 @@
+#include "nlp/regex.h"
+
+#include <cctype>
+
+namespace sirius::nlp {
+
+Regex::Regex(const std::string &pattern) : pattern_(pattern)
+{
+    compile();
+}
+
+int
+Regex::emit(Op op, char ch, int class_idx)
+{
+    program_.push_back(Inst{op, ch, -1, -1, class_idx});
+    return static_cast<int>(program_.size()) - 1;
+}
+
+void
+Regex::patch(const std::vector<int> &patches, int target)
+{
+    for (int enc : patches) {
+        Inst &inst = program_[static_cast<size_t>(enc >> 1)];
+        if (enc & 1)
+            inst.y = target;
+        else
+            inst.x = target;
+    }
+}
+
+bool
+Regex::applyEscape(char c, std::bitset<256> &set) const
+{
+    auto add_range = [&set](unsigned char lo, unsigned char hi) {
+        for (int b = lo; b <= hi; ++b)
+            set.set(static_cast<size_t>(b));
+    };
+    switch (c) {
+      case 'd':
+        add_range('0', '9');
+        return true;
+      case 'D':
+        add_range('0', '9');
+        set.flip();
+        return true;
+      case 'w':
+        add_range('a', 'z');
+        add_range('A', 'Z');
+        add_range('0', '9');
+        set.set('_');
+        return true;
+      case 'W':
+        add_range('a', 'z');
+        add_range('A', 'Z');
+        add_range('0', '9');
+        set.set('_');
+        set.flip();
+        return true;
+      case 's':
+        set.set(' ');
+        set.set('\t');
+        set.set('\n');
+        set.set('\r');
+        set.set('\f');
+        set.set('\v');
+        return true;
+      case 'S':
+        set.set(' ');
+        set.set('\t');
+        set.set('\n');
+        set.set('\r');
+        set.set('\f');
+        set.set('\v');
+        set.flip();
+        return true;
+      default:
+        return false;
+    }
+}
+
+int
+Regex::parseClass()
+{
+    std::bitset<256> set;
+    bool negate = false;
+    if (pos_ < pattern_.size() && pattern_[pos_] == '^') {
+        negate = true;
+        ++pos_;
+    }
+    bool saw_any = false;
+    while (pos_ < pattern_.size() && pattern_[pos_] != ']') {
+        char c = pattern_[pos_++];
+        if (c == '\\') {
+            if (pos_ >= pattern_.size()) {
+                error_ = "dangling escape in class";
+                return -1;
+            }
+            const char esc = pattern_[pos_++];
+            if (!applyEscape(esc, set)) {
+                switch (esc) {
+                  case 'n': set.set('\n'); break;
+                  case 't': set.set('\t'); break;
+                  case 'r': set.set('\r'); break;
+                  default:
+                    set.set(static_cast<unsigned char>(esc));
+                    break;
+                }
+            }
+            saw_any = true;
+            continue;
+        }
+        if (pos_ + 1 < pattern_.size() && pattern_[pos_] == '-' &&
+            pattern_[pos_ + 1] != ']') {
+            const char hi = pattern_[pos_ + 1];
+            pos_ += 2;
+            if (static_cast<unsigned char>(hi) <
+                static_cast<unsigned char>(c)) {
+                error_ = "inverted range in class";
+                return -1;
+            }
+            for (int b = static_cast<unsigned char>(c);
+                 b <= static_cast<unsigned char>(hi); ++b) {
+                set.set(static_cast<size_t>(b));
+            }
+        } else {
+            set.set(static_cast<unsigned char>(c));
+        }
+        saw_any = true;
+    }
+    if (pos_ >= pattern_.size()) {
+        error_ = "unterminated character class";
+        return -1;
+    }
+    ++pos_; // consume ']'
+    if (!saw_any) {
+        error_ = "empty character class";
+        return -1;
+    }
+    if (negate)
+        set.flip();
+    classes_.push_back(set);
+    return static_cast<int>(classes_.size()) - 1;
+}
+
+int
+Regex::parseAtom(std::vector<int> &out_patches)
+{
+    if (pos_ >= pattern_.size()) {
+        error_ = "expected atom";
+        return -1;
+    }
+    const char c = pattern_[pos_];
+    switch (c) {
+      case '(': {
+        ++pos_;
+        const int start = parseAlt(out_patches);
+        if (start < 0)
+            return -1;
+        if (pos_ >= pattern_.size() || pattern_[pos_] != ')') {
+            error_ = "missing )";
+            return -1;
+        }
+        ++pos_;
+        return start;
+      }
+      case '[': {
+        ++pos_;
+        const int cls = parseClass();
+        if (cls < 0)
+            return -1;
+        const int pc = emit(Op::Class, 0, cls);
+        out_patches.push_back(pc << 1);
+        return pc;
+      }
+      case '.': {
+        ++pos_;
+        const int pc = emit(Op::Any);
+        out_patches.push_back(pc << 1);
+        return pc;
+      }
+      case '^': {
+        ++pos_;
+        const int pc = emit(Op::Bol);
+        out_patches.push_back(pc << 1);
+        return pc;
+      }
+      case '$': {
+        ++pos_;
+        const int pc = emit(Op::Eol);
+        out_patches.push_back(pc << 1);
+        return pc;
+      }
+      case '\\': {
+        ++pos_;
+        if (pos_ >= pattern_.size()) {
+            error_ = "dangling escape";
+            return -1;
+        }
+        const char esc = pattern_[pos_++];
+        std::bitset<256> set;
+        if (applyEscape(esc, set)) {
+            classes_.push_back(set);
+            const int pc = emit(Op::Class, 0,
+                                static_cast<int>(classes_.size()) - 1);
+            out_patches.push_back(pc << 1);
+            return pc;
+        }
+        char lit = esc;
+        if (esc == 'n')
+            lit = '\n';
+        else if (esc == 't')
+            lit = '\t';
+        else if (esc == 'r')
+            lit = '\r';
+        const int pc = emit(Op::Char, lit);
+        out_patches.push_back(pc << 1);
+        return pc;
+      }
+      case '*': case '+': case '?':
+        error_ = "quantifier with nothing to repeat";
+        return -1;
+      case ')': case '|': case ']':
+        error_ = "unexpected metacharacter";
+        return -1;
+      default: {
+        ++pos_;
+        const int pc = emit(Op::Char, c);
+        out_patches.push_back(pc << 1);
+        return pc;
+      }
+    }
+}
+
+int
+Regex::parseRepeat(std::vector<int> &out_patches)
+{
+    std::vector<int> atom_out;
+    int start = parseAtom(atom_out);
+    if (start < 0)
+        return -1;
+    while (pos_ < pattern_.size()) {
+        const char q = pattern_[pos_];
+        if (q != '*' && q != '+' && q != '?')
+            break;
+        ++pos_;
+        if (q == '*') {
+            const int split = emit(Op::Split);
+            program_[static_cast<size_t>(split)].x = start;
+            patch(atom_out, split);
+            atom_out.clear();
+            atom_out.push_back((split << 1) | 1);
+            start = split;
+        } else if (q == '+') {
+            const int split = emit(Op::Split);
+            program_[static_cast<size_t>(split)].x = start;
+            patch(atom_out, split);
+            atom_out.clear();
+            atom_out.push_back((split << 1) | 1);
+        } else { // '?'
+            const int split = emit(Op::Split);
+            program_[static_cast<size_t>(split)].x = start;
+            atom_out.push_back((split << 1) | 1);
+            start = split;
+        }
+    }
+    out_patches.insert(out_patches.end(), atom_out.begin(), atom_out.end());
+    return start;
+}
+
+int
+Regex::parseConcat(std::vector<int> &out_patches)
+{
+    // Empty concatenation (e.g. "a|" or "()") becomes a bare jump.
+    if (pos_ >= pattern_.size() || pattern_[pos_] == '|' ||
+        pattern_[pos_] == ')') {
+        const int pc = emit(Op::Jmp);
+        out_patches.push_back(pc << 1);
+        return pc;
+    }
+    std::vector<int> prev_out;
+    int start = parseRepeat(prev_out);
+    if (start < 0)
+        return -1;
+    while (pos_ < pattern_.size() && pattern_[pos_] != '|' &&
+           pattern_[pos_] != ')') {
+        std::vector<int> next_out;
+        const int next = parseRepeat(next_out);
+        if (next < 0)
+            return -1;
+        patch(prev_out, next);
+        prev_out = std::move(next_out);
+    }
+    out_patches.insert(out_patches.end(), prev_out.begin(), prev_out.end());
+    return start;
+}
+
+int
+Regex::parseAlt(std::vector<int> &out_patches)
+{
+    int start = parseConcat(out_patches);
+    if (start < 0)
+        return -1;
+    while (pos_ < pattern_.size() && pattern_[pos_] == '|') {
+        ++pos_;
+        std::vector<int> rhs_out;
+        const int rhs = parseConcat(rhs_out);
+        if (rhs < 0)
+            return -1;
+        const int split = emit(Op::Split);
+        program_[static_cast<size_t>(split)].x = start;
+        program_[static_cast<size_t>(split)].y = rhs;
+        start = split;
+        out_patches.insert(out_patches.end(), rhs_out.begin(),
+                           rhs_out.end());
+    }
+    return start;
+}
+
+void
+Regex::compile()
+{
+    pos_ = 0;
+    std::vector<int> out_patches;
+    const int start = parseAlt(out_patches);
+    if (start < 0)
+        return;
+    if (pos_ != pattern_.size()) {
+        error_ = "trailing characters after pattern";
+        return;
+    }
+    const int match = emit(Op::Match);
+    patch(out_patches, match);
+    // Rotate so that the entry point is instruction 0 by prepending a jump.
+    program_.push_back(Inst{Op::Jmp, 0, start, -1, -1});
+    std::swap(program_.front(), program_.back());
+    // The swap moved the first instruction to the back; fix every pc
+    // reference: indices 0 and size-1 exchanged.
+    const int last = static_cast<int>(program_.size()) - 1;
+    auto remap = [last](int &pc) {
+        if (pc == 0)
+            pc = last;
+        else if (pc == last)
+            pc = 0;
+    };
+    for (auto &inst : program_) {
+        remap(inst.x);
+        remap(inst.y);
+    }
+}
+
+void
+Regex::addThread(std::vector<int> &list, std::vector<bool> &on_list,
+                 int pc, size_t text_pos, size_t text_len) const
+{
+    if (pc < 0 || on_list[static_cast<size_t>(pc)])
+        return;
+    on_list[static_cast<size_t>(pc)] = true;
+    const Inst &inst = program_[static_cast<size_t>(pc)];
+    switch (inst.op) {
+      case Op::Jmp:
+        addThread(list, on_list, inst.x, text_pos, text_len);
+        return;
+      case Op::Split:
+        addThread(list, on_list, inst.x, text_pos, text_len);
+        addThread(list, on_list, inst.y, text_pos, text_len);
+        return;
+      case Op::Bol:
+        if (text_pos == 0)
+            addThread(list, on_list, inst.x, text_pos, text_len);
+        return;
+      case Op::Eol:
+        if (text_pos == text_len)
+            addThread(list, on_list, inst.x, text_pos, text_len);
+        return;
+      default:
+        list.push_back(pc);
+        return;
+    }
+}
+
+bool
+Regex::runFrom(const std::string &text, size_t start,
+               bool anchored_end) const
+{
+    if (!ok())
+        return false;
+    const size_t n = program_.size();
+    std::vector<int> clist, nlist;
+    std::vector<bool> on_clist(n, false), on_nlist(n, false);
+    addThread(clist, on_clist, 0, start, text.size());
+
+    for (size_t pos = start; ; ++pos) {
+        // Check for acceptance at this position.
+        for (int pc : clist) {
+            if (program_[static_cast<size_t>(pc)].op == Op::Match) {
+                if (!anchored_end || pos == text.size())
+                    return true;
+            }
+        }
+        if (pos >= text.size() || clist.empty())
+            break;
+        const auto c = static_cast<unsigned char>(text[pos]);
+        nlist.clear();
+        std::fill(on_nlist.begin(), on_nlist.end(), false);
+        for (int pc : clist) {
+            const Inst &inst = program_[static_cast<size_t>(pc)];
+            bool matches = false;
+            switch (inst.op) {
+              case Op::Char:
+                matches = static_cast<unsigned char>(inst.ch) == c;
+                break;
+              case Op::Any:
+                matches = true;
+                break;
+              case Op::Class:
+                matches =
+                    classes_[static_cast<size_t>(inst.classIdx)].test(c);
+                break;
+              default:
+                break;
+            }
+            if (matches)
+                addThread(nlist, on_nlist, inst.x, pos + 1, text.size());
+        }
+        clist.swap(nlist);
+        on_clist.swap(on_nlist);
+    }
+    // The in-loop acceptance check already covered pos == text.size().
+    return false;
+}
+
+long
+Regex::runLongest(const std::string &text, size_t start) const
+{
+    if (!ok())
+        return -1;
+    const size_t n = program_.size();
+    std::vector<int> clist, nlist;
+    std::vector<bool> on_clist(n, false), on_nlist(n, false);
+    addThread(clist, on_clist, 0, start, text.size());
+
+    long longest = -1;
+    for (size_t pos = start; ; ++pos) {
+        for (int pc : clist) {
+            if (program_[static_cast<size_t>(pc)].op == Op::Match)
+                longest = static_cast<long>(pos - start);
+        }
+        if (pos >= text.size() || clist.empty())
+            break;
+        const auto c = static_cast<unsigned char>(text[pos]);
+        nlist.clear();
+        std::fill(on_nlist.begin(), on_nlist.end(), false);
+        for (int pc : clist) {
+            const Inst &inst = program_[static_cast<size_t>(pc)];
+            bool matches = false;
+            switch (inst.op) {
+              case Op::Char:
+                matches = static_cast<unsigned char>(inst.ch) == c;
+                break;
+              case Op::Any:
+                matches = true;
+                break;
+              case Op::Class:
+                matches =
+                    classes_[static_cast<size_t>(inst.classIdx)].test(c);
+                break;
+              default:
+                break;
+            }
+            if (matches)
+                addThread(nlist, on_nlist, inst.x, pos + 1, text.size());
+        }
+        clist.swap(nlist);
+        on_clist.swap(on_nlist);
+    }
+    return longest;
+}
+
+bool
+Regex::findFirst(const std::string &text, size_t &start,
+                 size_t &length) const
+{
+    if (!ok())
+        return false;
+    for (size_t s = 0; s <= text.size(); ++s) {
+        const long len = runLongest(text, s);
+        if (len >= 0) {
+            start = s;
+            length = static_cast<size_t>(len);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+Regex::search(const std::string &text) const
+{
+    if (!ok())
+        return false;
+    for (size_t s = 0; s <= text.size(); ++s) {
+        if (runFrom(text, s, false))
+            return true;
+    }
+    return false;
+}
+
+bool
+Regex::fullMatch(const std::string &text) const
+{
+    return runFrom(text, 0, true);
+}
+
+size_t
+Regex::countMatches(const std::string &text) const
+{
+    if (!ok())
+        return 0;
+    size_t count = 0;
+    for (size_t s = 0; s <= text.size(); ++s) {
+        if (runFrom(text, s, false))
+            ++count;
+    }
+    return count;
+}
+
+std::vector<Regex>
+questionAnalysisPatterns()
+{
+    const char *patterns[] = {
+        "^(who|whom|whose)\\s",
+        "^what\\s",
+        "^when\\s",
+        "^where\\s",
+        "^which\\s",
+        "^(how)\\s(many|much|long|far|old)",
+        "^(is|are|was|were|do|does|did|can|could)\\s",
+        "\\d+(st|nd|rd|th)",
+        "\\d\\d\\d\\d",
+        "\\d+",
+        "[A-Z][a-z]+(\\s[A-Z][a-z]+)+",
+        "(january|february|march|april|may|june|july|august|september"
+            "|october|november|december)",
+        "(president|capital|author|inventor|founder|city|country"
+            "|river|mountain|king|queen)",
+        "[^a-zA-Z0-9\\s]",
+        "(what|when|where)('s| is| was)",
+    };
+    std::vector<Regex> out;
+    for (const char *p : patterns)
+        out.emplace_back(p);
+    return out;
+}
+
+} // namespace sirius::nlp

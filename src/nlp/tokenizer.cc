@@ -1,0 +1,66 @@
+#include "nlp/tokenizer.h"
+
+#include <cctype>
+
+namespace sirius::nlp {
+
+namespace {
+
+bool
+isWordChar(char c)
+{
+    const auto u = static_cast<unsigned char>(c);
+    return std::isalnum(u) || c == '\'';
+}
+
+} // namespace
+
+std::vector<std::string>
+tokenize(const std::string &text, bool lower)
+{
+    std::vector<std::string> tokens;
+    std::string current;
+    for (char c : text) {
+        if (isWordChar(c)) {
+            current.push_back(lower
+                ? static_cast<char>(std::tolower(
+                      static_cast<unsigned char>(c)))
+                : c);
+        } else if (!current.empty()) {
+            tokens.push_back(current);
+            current.clear();
+        }
+    }
+    if (!current.empty())
+        tokens.push_back(current);
+    return tokens;
+}
+
+std::vector<std::string>
+tokenizeKeepPunct(const std::string &text, bool lower)
+{
+    std::vector<std::string> tokens;
+    std::string current;
+    auto flush = [&] {
+        if (!current.empty()) {
+            tokens.push_back(current);
+            current.clear();
+        }
+    };
+    for (char c : text) {
+        if (isWordChar(c)) {
+            current.push_back(lower
+                ? static_cast<char>(std::tolower(
+                      static_cast<unsigned char>(c)))
+                : c);
+        } else {
+            flush();
+            if (c == '.' || c == '?' || c == '!' || c == ',')
+                tokens.push_back(std::string(1, c));
+        }
+    }
+    flush();
+    return tokens;
+}
+
+} // namespace sirius::nlp

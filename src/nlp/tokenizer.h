@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Word tokenizer used by the QA pipeline and the search substrate.
+ */
+
+#ifndef SIRIUS_NLP_TOKENIZER_H
+#define SIRIUS_NLP_TOKENIZER_H
+
+#include <string>
+#include <vector>
+
+namespace sirius::nlp {
+
+/**
+ * Split @p text into word tokens.
+ *
+ * A token is a maximal run of ASCII letters, digits or apostrophes.
+ * Punctuation is dropped. Tokens are lower-cased when @p lower is true.
+ */
+std::vector<std::string> tokenize(const std::string &text,
+                                  bool lower = true);
+
+/**
+ * Like tokenize() but keeps sentence-final punctuation as its own token,
+ * which the CRF tagger wants to see.
+ */
+std::vector<std::string> tokenizeKeepPunct(const std::string &text,
+                                           bool lower = false);
+
+} // namespace sirius::nlp
+
+#endif // SIRIUS_NLP_TOKENIZER_H

@@ -1,0 +1,213 @@
+#include "qa/answer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <map>
+
+#include "common/strings.h"
+#include "nlp/porter_stemmer.h"
+#include "nlp/tokenizer.h"
+
+namespace sirius::qa {
+
+namespace {
+
+bool
+isCapitalized(const std::string &token)
+{
+    if (token.empty())
+        return false;
+    if (!std::isupper(static_cast<unsigned char>(token[0])))
+        return false;
+    for (size_t i = 1; i < token.size(); ++i) {
+        if (!std::isalpha(static_cast<unsigned char>(token[i])))
+            return false;
+    }
+    return true;
+}
+
+bool
+isAllDigits(const std::string &token)
+{
+    if (token.empty())
+        return false;
+    for (char c : token) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return false;
+    }
+    return true;
+}
+
+/** A candidate span plus its position for proximity scoring. */
+struct Span
+{
+    std::string text;
+    size_t tokenIndex;
+};
+
+} // namespace
+
+std::vector<std::string>
+AnswerExtractor::candidateSpans(const std::string &sentence,
+                                const QuestionAnalysis &analysis) const
+{
+    // Kept for interface simplicity: positions recomputed in extract().
+    std::vector<std::string> out;
+    const auto tokens = nlp::tokenize(sentence, /*lower=*/false);
+    for (size_t i = 0; i < tokens.size(); ++i) {
+        if (analysis.type == AnswerType::Time ||
+            analysis.type == AnswerType::Number) {
+            if (isAllDigits(tokens[i])) {
+                std::string span = tokens[i];
+                if (i + 1 < tokens.size() &&
+                    (tokens[i + 1] == "Am" || tokens[i + 1] == "Pm")) {
+                    span += " " + tokens[i + 1];
+                }
+                out.push_back(span);
+            }
+            continue;
+        }
+        if (!isCapitalized(tokens[i]))
+            continue;
+        if (QuestionAnalyzer::isStopword(toLower(tokens[i])))
+            continue;
+        std::string span = tokens[i];
+        size_t j = i + 1;
+        while (j < tokens.size() && isCapitalized(tokens[j]) &&
+               !QuestionAnalyzer::isStopword(toLower(tokens[j]))) {
+            span += " " + tokens[j];
+            ++j;
+        }
+        out.push_back(span);
+        i = j - 1;
+    }
+    return out;
+}
+
+std::vector<AnswerCandidate>
+AnswerExtractor::extract(
+    const std::vector<std::pair<const search::Document *, double>> &docs,
+    const QuestionAnalysis &analysis) const
+{
+    nlp::PorterStemmer stemmer;
+    // Aggregate by lower-cased candidate text.
+    std::map<std::string, AnswerCandidate> aggregate;
+
+    const size_t needed = std::max<size_t>(
+        1, (analysis.focusStems.size() + 1) / 2);
+
+    for (const auto &[doc, retrieval_score] : docs) {
+        size_t start = 0;
+        const std::string &text = doc->text;
+        while (start < text.size()) {
+            size_t end = text.find('.', start);
+            if (end == std::string::npos)
+                end = text.size();
+            const std::string sentence = text.substr(start, end - start);
+            start = end + 1;
+
+            // Sentence evidence: focus-stem overlap.
+            const auto raw_tokens = nlp::tokenize(sentence,
+                                                  /*lower=*/false);
+            std::vector<std::string> stems;
+            stems.reserve(raw_tokens.size());
+            for (const auto &tok : raw_tokens)
+                stems.push_back(stemmer.stem(toLower(tok)));
+            size_t overlap = 0;
+            std::vector<size_t> focus_positions;
+            for (const auto &focus : analysis.focusStems) {
+                for (size_t j = 0; j < stems.size(); ++j) {
+                    if (stems[j] == focus) {
+                        ++overlap;
+                        focus_positions.push_back(j);
+                        break;
+                    }
+                }
+            }
+            if (overlap < needed)
+                continue;
+
+            // Candidate spans with their positions.
+            std::vector<Span> spans;
+            for (size_t i = 0; i < raw_tokens.size(); ++i) {
+                if (analysis.type == AnswerType::Time ||
+                    analysis.type == AnswerType::Number) {
+                    if (isAllDigits(raw_tokens[i])) {
+                        std::string span_text = raw_tokens[i];
+                        if (i + 1 < raw_tokens.size() &&
+                            (raw_tokens[i + 1] == "Am" ||
+                             raw_tokens[i + 1] == "Pm")) {
+                            span_text += " " + raw_tokens[i + 1];
+                        }
+                        spans.push_back(Span{span_text, i});
+                    }
+                    continue;
+                }
+                if (!isCapitalized(raw_tokens[i]) ||
+                    QuestionAnalyzer::isStopword(
+                        toLower(raw_tokens[i]))) {
+                    continue;
+                }
+                std::string span_text = raw_tokens[i];
+                size_t j = i + 1;
+                while (j < raw_tokens.size() &&
+                       isCapitalized(raw_tokens[j]) &&
+                       !QuestionAnalyzer::isStopword(
+                           toLower(raw_tokens[j]))) {
+                    span_text += " " + raw_tokens[j];
+                    ++j;
+                }
+                spans.push_back(Span{span_text, i});
+                i = j - 1;
+            }
+
+            for (const auto &span : spans) {
+                // Skip candidates wholly made of question terms.
+                bool all_focus = true;
+                for (const auto &word : split(toLower(span.text))) {
+                    const std::string stem = stemmer.stem(word);
+                    if (std::find(analysis.focusStems.begin(),
+                                  analysis.focusStems.end(), stem) ==
+                        analysis.focusStems.end()) {
+                        all_focus = false;
+                        break;
+                    }
+                }
+                if (all_focus)
+                    continue;
+
+                // Proximity bonus: closeness to the nearest focus term.
+                double proximity = 0.0;
+                for (size_t pos : focus_positions) {
+                    const double dist = std::fabs(
+                        static_cast<double>(pos) -
+                        static_cast<double>(span.tokenIndex));
+                    proximity = std::max(proximity, 2.0 / (1.0 + dist));
+                }
+
+                const std::string key = toLower(span.text);
+                auto &cand = aggregate[key];
+                if (cand.text.empty())
+                    cand.text = span.text;
+                cand.score += static_cast<double>(overlap) + proximity +
+                    0.25 * retrieval_score;
+                cand.support += 1;
+            }
+        }
+    }
+
+    std::vector<AnswerCandidate> result;
+    result.reserve(aggregate.size());
+    for (auto &[key, cand] : aggregate)
+        result.push_back(std::move(cand));
+    std::sort(result.begin(), result.end(),
+              [](const AnswerCandidate &a, const AnswerCandidate &b) {
+                  if (a.score != b.score)
+                      return a.score > b.score;
+                  return a.text < b.text;
+              });
+    return result;
+}
+
+} // namespace sirius::qa

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Candidate answer extraction and score aggregation: the final stage of
+ * the QA pipeline. The best-scoring candidate across all filtered
+ * documents is returned as the answer (OpenEphyra's document-selector
+ * role in Figure 6).
+ */
+
+#ifndef SIRIUS_QA_ANSWER_H
+#define SIRIUS_QA_ANSWER_H
+
+#include <string>
+#include <vector>
+
+#include "qa/question.h"
+#include "search/corpus.h"
+
+namespace sirius::qa {
+
+/** A scored candidate answer span. */
+struct AnswerCandidate
+{
+    std::string text;    ///< candidate span as it appeared
+    double score = 0.0;  ///< aggregated evidence score
+    size_t support = 0;  ///< number of supporting sentences
+};
+
+/** Extracts and aggregates candidate answers from retrieved documents. */
+class AnswerExtractor
+{
+  public:
+    /**
+     * Extract candidates from @p docs (each paired with its retrieval
+     * score) and aggregate scores across occurrences.
+     * @return candidates sorted by descending score.
+     */
+    std::vector<AnswerCandidate>
+    extract(const std::vector<std::pair<const search::Document *, double>>
+                &docs,
+            const QuestionAnalysis &analysis) const;
+
+  private:
+    /** Candidate spans of one sentence for a given answer type. */
+    std::vector<std::string> candidateSpans(
+        const std::string &sentence, const QuestionAnalysis &analysis)
+        const;
+};
+
+} // namespace sirius::qa
+
+#endif // SIRIUS_QA_ANSWER_H

@@ -1,0 +1,147 @@
+#include "qa/filters.h"
+
+#include <algorithm>
+
+#include "nlp/porter_stemmer.h"
+#include "nlp/tokenizer.h"
+
+namespace sirius::qa {
+
+FilterOutcome
+KeywordOverlapFilter::apply(const search::Document &doc,
+                            const QuestionAnalysis &analysis) const
+{
+    FilterOutcome outcome;
+    nlp::PorterStemmer stemmer;
+    // Sentence-by-sentence stem overlap.
+    size_t start = 0;
+    const std::string &text = doc.text;
+    while (start < text.size()) {
+        size_t end = text.find('.', start);
+        if (end == std::string::npos)
+            end = text.size();
+        auto tokens = nlp::tokenize(text.substr(start, end - start));
+        stemmer.stemAll(tokens);
+        size_t overlap = 0;
+        for (const auto &stem : analysis.focusStems) {
+            if (std::find(tokens.begin(), tokens.end(), stem) !=
+                tokens.end()) {
+                ++overlap;
+            }
+        }
+        if (overlap > 0) {
+            outcome.hits += overlap;
+            outcome.score += static_cast<double>(overlap * overlap);
+        }
+        start = end + 1;
+    }
+    return outcome;
+}
+
+AnswerTypeRegexFilter::AnswerTypeRegexFilter()
+{
+    // Indexed by AnswerType enumerator order.
+    patterns_.emplace_back("[A-Z][a-z]+(\\s[A-Z][a-z]+)+");  // Person
+    patterns_.emplace_back("[A-Z][a-z]+");                   // Location
+    patterns_.emplace_back("\\d+\\s?(Am|Pm)|\\d\\d\\d\\d");  // Time
+    patterns_.emplace_back("\\d+");                          // Number
+    patterns_.emplace_back("[A-Z][a-z]+");                   // Entity
+    patterns_.emplace_back("\\w+");                          // Other
+}
+
+const nlp::Regex &
+AnswerTypeRegexFilter::patternFor(AnswerType type) const
+{
+    return patterns_[static_cast<size_t>(type)];
+}
+
+FilterOutcome
+AnswerTypeRegexFilter::apply(const search::Document &doc,
+                             const QuestionAnalysis &analysis) const
+{
+    FilterOutcome outcome;
+    const nlp::Regex &pattern = patternFor(analysis.type);
+    outcome.hits = pattern.countMatches(doc.text);
+    // Documents that contain answer-shaped spans at all are preferred,
+    // with diminishing returns.
+    outcome.score = outcome.hits > 0
+        ? 1.0 + std::min<double>(3.0, static_cast<double>(outcome.hits) /
+                                      8.0)
+        : 0.0;
+    return outcome;
+}
+
+FilterOutcome
+PosCandidateFilter::apply(const search::Document &doc,
+                          const QuestionAnalysis &analysis) const
+{
+    FilterOutcome outcome;
+    size_t start = 0;
+    const std::string &text = doc.text;
+    while (start < text.size()) {
+        size_t end = text.find('.', start);
+        if (end == std::string::npos)
+            end = text.size();
+        const auto tokens = nlp::tokenize(text.substr(start, end - start),
+                                          /*lower=*/false);
+        if (!tokens.empty()) {
+            const auto tags = tagger_.tag(tokens);
+            // Candidate tags compatible with the expected answer type.
+            for (size_t i = 0; i < tokens.size(); ++i) {
+                const bool candidate =
+                    (analysis.type == AnswerType::Number ||
+                     analysis.type == AnswerType::Time)
+                        ? tags[i] == nlp::PosTag::Num
+                        : tags[i] == nlp::PosTag::Noun ||
+                          tags[i] == nlp::PosTag::Other;
+                if (candidate)
+                    ++outcome.hits;
+            }
+        }
+        start = end + 1;
+    }
+    outcome.score = std::min<double>(2.0,
+        static_cast<double>(outcome.hits) / 20.0);
+    return outcome;
+}
+
+FilterOutcome
+ProximityFilter::apply(const search::Document &doc,
+                       const QuestionAnalysis &analysis) const
+{
+    FilterOutcome outcome;
+    nlp::PorterStemmer stemmer;
+    auto tokens = nlp::tokenize(doc.text);
+    stemmer.stemAll(tokens);
+    constexpr size_t window = 8;
+    for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+        size_t found = 0;
+        const size_t end = std::min(tokens.size(), i + window);
+        for (const auto &stem : analysis.focusStems) {
+            for (size_t j = i; j < end; ++j) {
+                if (tokens[j] == stem) {
+                    ++found;
+                    break;
+                }
+            }
+        }
+        if (found >= 2) {
+            ++outcome.hits;
+            outcome.score += 0.05;
+        }
+    }
+    return outcome;
+}
+
+std::vector<std::unique_ptr<DocumentFilter>>
+makeStandardFilters(const nlp::CrfTagger &tagger)
+{
+    std::vector<std::unique_ptr<DocumentFilter>> filters;
+    filters.push_back(std::make_unique<KeywordOverlapFilter>());
+    filters.push_back(std::make_unique<AnswerTypeRegexFilter>());
+    filters.push_back(std::make_unique<PosCandidateFilter>(tagger));
+    filters.push_back(std::make_unique<ProximityFilter>());
+    return filters;
+}
+
+} // namespace sirius::qa

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Document filters: the second stage of the QA pipeline.
+ *
+ * OpenEphyra reranks retrieved documents with a suite of filters built on
+ * the same NLP techniques as question analysis; the paper identifies the
+ * runtime variability of these filters as the dominant source of QA
+ * latency variance (Figure 8c correlates latency with filter hits). Every
+ * filter here reports its hit count for exactly that experiment.
+ */
+
+#ifndef SIRIUS_QA_FILTERS_H
+#define SIRIUS_QA_FILTERS_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qa/question.h"
+#include "search/corpus.h"
+
+namespace sirius::qa {
+
+/** Which NLP kernel a filter's time is attributed to (Figure 9). */
+enum class NlpComponent { Stemmer, Regex, Crf };
+
+/** Result of one filter over one document. */
+struct FilterOutcome
+{
+    size_t hits = 0;    ///< pattern/keyword/candidate hits found
+    double score = 0.0; ///< contribution to the document's quality
+};
+
+/** Interface for document filters. */
+class DocumentFilter
+{
+  public:
+    virtual ~DocumentFilter() = default;
+
+    /** Apply to one document under a given question analysis. */
+    virtual FilterOutcome apply(const search::Document &doc,
+                                const QuestionAnalysis &analysis) const = 0;
+
+    /** Stable name for reports. */
+    virtual const char *name() const = 0;
+
+    /** Kernel attribution for the cycle-breakdown experiment. */
+    virtual NlpComponent component() const = 0;
+};
+
+/**
+ * Stems every document token and scores per-sentence overlap with the
+ * question's focus stems. Attribution: Stemmer.
+ */
+class KeywordOverlapFilter : public DocumentFilter
+{
+  public:
+    FilterOutcome apply(const search::Document &doc,
+                        const QuestionAnalysis &analysis) const override;
+    const char *name() const override { return "keyword-overlap"; }
+    NlpComponent component() const override
+    {
+        return NlpComponent::Stemmer;
+    }
+};
+
+/**
+ * Runs the answer-type regular expressions over the document text and
+ * counts matches. Attribution: Regex.
+ */
+class AnswerTypeRegexFilter : public DocumentFilter
+{
+  public:
+    AnswerTypeRegexFilter();
+
+    FilterOutcome apply(const search::Document &doc,
+                        const QuestionAnalysis &analysis) const override;
+    const char *name() const override { return "answer-type-regex"; }
+    NlpComponent component() const override { return NlpComponent::Regex; }
+
+    /** The pattern used for @p type (exposed to the answer extractor). */
+    const nlp::Regex &patternFor(AnswerType type) const;
+
+  private:
+    std::vector<nlp::Regex> patterns_; ///< indexed by AnswerType
+};
+
+/**
+ * CRF-tags document sentences and counts candidate tokens whose tag is
+ * compatible with the expected answer type near focus words.
+ * Attribution: Crf.
+ */
+class PosCandidateFilter : public DocumentFilter
+{
+  public:
+    /** @param tagger trained tagger shared with question analysis. */
+    explicit PosCandidateFilter(const nlp::CrfTagger &tagger)
+        : tagger_(tagger) {}
+
+    FilterOutcome apply(const search::Document &doc,
+                        const QuestionAnalysis &analysis) const override;
+    const char *name() const override { return "pos-candidate"; }
+    NlpComponent component() const override { return NlpComponent::Crf; }
+
+  private:
+    const nlp::CrfTagger &tagger_;
+};
+
+/**
+ * Counts sliding windows containing at least two focus stems (answer
+ * evidence proximity). Attribution: Stemmer (stem-domain matching).
+ */
+class ProximityFilter : public DocumentFilter
+{
+  public:
+    FilterOutcome apply(const search::Document &doc,
+                        const QuestionAnalysis &analysis) const override;
+    const char *name() const override { return "proximity"; }
+    NlpComponent component() const override
+    {
+        return NlpComponent::Stemmer;
+    }
+};
+
+/** The standard filter suite wired to a shared tagger. */
+std::vector<std::unique_ptr<DocumentFilter>>
+makeStandardFilters(const nlp::CrfTagger &tagger);
+
+} // namespace sirius::qa
+
+#endif // SIRIUS_QA_FILTERS_H

@@ -1,0 +1,96 @@
+#include "qa/qa_service.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+
+namespace sirius::qa {
+
+QaService
+QaService::build(QaConfig config)
+{
+    QaService service;
+    service.config_ = config;
+    service.webSearch_ = std::make_unique<search::WebSearch>(
+        search::WebSearch::build(config.fillerDocs, config.seed));
+    service.analyzer_ = std::make_unique<QuestionAnalyzer>(
+        config.crfTrainSentences, config.seed);
+    service.filters_ = makeStandardFilters(service.analyzer_->tagger());
+    return service;
+}
+
+QaResult
+QaService::answer(const std::string &question) const
+{
+    QaResult result;
+
+    // Question analysis uses all three NLP kernels; its time is split
+    // into the stemmer/regex/CRF sinks the same way OpenEphyra's
+    // profiles attribute them: typing is regex, tagging is CRF, and the
+    // focus-stem normalization is stemmer work. Analysis cost is small
+    // next to document filtering, so attributing the whole of analyze()
+    // to regex (its dominant part) keeps the accounting simple without
+    // skewing the breakdown.
+    {
+        ScopedTimer timer(result.timings.regex);
+        result.analysis = analyzer_->analyze(question);
+    }
+
+    std::vector<search::SearchHit> hits;
+    {
+        ScopedTimer timer(result.timings.search);
+        hits = webSearch_->index().search(result.analysis.searchQuery,
+                                          config_.retrievalDepth);
+    }
+    result.docsExamined = hits.size();
+
+    // Document filters, timed into their component sinks.
+    std::vector<std::pair<const search::Document *, double>> scored;
+    scored.reserve(hits.size());
+    for (const auto &hit : hits)
+        scored.emplace_back(&webSearch_->index().document(hit.docId),
+                            hit.score);
+
+    std::vector<double> doc_quality(scored.size(), 0.0);
+    for (const auto &filter : filters_) {
+        double *sink = nullptr;
+        switch (filter->component()) {
+          case NlpComponent::Stemmer:
+            sink = &result.timings.stemmer;
+            break;
+          case NlpComponent::Regex:
+            sink = &result.timings.regex;
+            break;
+          case NlpComponent::Crf:
+            sink = &result.timings.crf;
+            break;
+        }
+        ScopedTimer timer(*sink);
+        for (size_t d = 0; d < scored.size(); ++d) {
+            const FilterOutcome outcome =
+                filter->apply(*scored[d].first, result.analysis);
+            result.filterHits += outcome.hits;
+            doc_quality[d] += outcome.score;
+        }
+    }
+
+    // Fold filter quality into the retrieval score, then extract.
+    {
+        ScopedTimer timer(result.timings.select);
+        for (size_t d = 0; d < scored.size(); ++d)
+            scored[d].second += doc_quality[d];
+        std::sort(scored.begin(), scored.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second > b.second;
+                  });
+        const auto candidates = extractor_.extract(scored,
+                                                   result.analysis);
+        if (!candidates.empty()) {
+            result.answer = candidates.front().text;
+            result.confidence = candidates.front().score;
+        }
+    }
+    return result;
+}
+
+} // namespace sirius::qa

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The Question-Answering service: OpenEphyra's Figure-6 pipeline end to
+ * end — question analysis, web-search retrieval, document filtering, and
+ * answer selection — with per-NLP-component timing for the paper's
+ * cycle-breakdown and variability experiments.
+ */
+
+#ifndef SIRIUS_QA_QA_SERVICE_H
+#define SIRIUS_QA_QA_SERVICE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qa/answer.h"
+#include "qa/filters.h"
+#include "qa/question.h"
+#include "search/web_search.h"
+
+namespace sirius::qa {
+
+/** Per-component wall time of one answered question, in seconds. */
+struct QaTimings
+{
+    double stemmer = 0.0;
+    double regex = 0.0;
+    double crf = 0.0;
+    double search = 0.0;   ///< BM25 retrieval
+    double select = 0.0;   ///< answer extraction & aggregation
+
+    double
+    total() const
+    {
+        return stemmer + regex + crf + search + select;
+    }
+};
+
+/** Result of answering one question. */
+struct QaResult
+{
+    std::string answer;            ///< best candidate ("" if none)
+    double confidence = 0.0;       ///< winner's aggregated score
+    size_t filterHits = 0;         ///< total hits across all filters
+    size_t docsExamined = 0;
+    QaTimings timings;
+    QuestionAnalysis analysis;
+};
+
+/** QA service configuration. */
+struct QaConfig
+{
+    size_t retrievalDepth = 8;    ///< documents pulled per query
+    size_t fillerDocs = 220;      ///< corpus size knob
+    size_t crfTrainSentences = 400;
+    uint64_t seed = 31;
+};
+
+/** Trained, corpus-backed QA service. */
+class QaService
+{
+  public:
+    /** Build the corpus, index, filters and CRF tagger. */
+    static QaService build(QaConfig config = {});
+
+    /** Answer a natural-language question. */
+    QaResult answer(const std::string &question) const;
+
+    const search::InvertedIndex &index() const
+    {
+        return webSearch_->index();
+    }
+
+    const QuestionAnalyzer &analyzer() const { return *analyzer_; }
+    const QaConfig &config() const { return config_; }
+
+  private:
+    QaService() = default;
+
+    QaConfig config_;
+    std::unique_ptr<search::WebSearch> webSearch_;
+    std::unique_ptr<QuestionAnalyzer> analyzer_;
+    std::vector<std::unique_ptr<DocumentFilter>> filters_;
+    AnswerExtractor extractor_;
+};
+
+} // namespace sirius::qa
+
+#endif // SIRIUS_QA_QA_SERVICE_H

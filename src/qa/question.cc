@@ -1,0 +1,105 @@
+#include "qa/question.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "common/strings.h"
+#include "nlp/pos_corpus.h"
+#include "nlp/tokenizer.h"
+
+namespace sirius::qa {
+
+const char *
+answerTypeName(AnswerType type)
+{
+    switch (type) {
+      case AnswerType::Person: return "person";
+      case AnswerType::Location: return "location";
+      case AnswerType::Time: return "time";
+      case AnswerType::Number: return "number";
+      case AnswerType::Entity: return "entity";
+      case AnswerType::Other: return "other";
+    }
+    return "?";
+}
+
+QuestionAnalyzer::QuestionAnalyzer(size_t crf_train_sentences,
+                                   uint64_t seed)
+    : patterns_(nlp::questionAnalysisPatterns())
+{
+    tagger_ = std::make_unique<nlp::CrfTagger>(size_t{1} << 16);
+    const auto corpus = nlp::generatePosCorpus(crf_train_sentences, seed);
+    nlp::CrfTagger::TrainOptions opts;
+    opts.epochs = 5;
+    opts.shuffleSeed = seed;
+    tagger_->train(corpus, opts);
+}
+
+bool
+QuestionAnalyzer::isStopword(const std::string &word)
+{
+    static const std::set<std::string> stopwords = {
+        "a",    "an",   "and",  "are",  "at",    "be",    "by",   "did",
+        "do",   "does", "for",  "from", "how",   "in",    "is",   "it",
+        "its",  "of",   "on",   "or",   "that",  "the",   "this", "to",
+        "was",  "were", "what", "when", "where", "which", "who",  "whom",
+        "whose", "with", "current", "many", "much",
+    };
+    return stopwords.count(word) > 0;
+}
+
+QuestionAnalysis
+QuestionAnalyzer::analyze(const std::string &question) const
+{
+    QuestionAnalysis analysis;
+    const std::string lower = toLower(question);
+    analysis.tokens = nlp::tokenize(lower);
+
+    // Regex stage: classify the question form and count pattern hits.
+    for (const auto &pattern : patterns_) {
+        if (pattern.search(lower))
+            ++analysis.regexHits;
+    }
+    if (!analysis.tokens.empty()) {
+        const std::string &head = analysis.tokens.front();
+        if (head == "who" || head == "whom" || head == "whose")
+            analysis.type = AnswerType::Person;
+        else if (head == "where")
+            analysis.type = AnswerType::Location;
+        else if (head == "when")
+            analysis.type = AnswerType::Time;
+        else if (head == "how")
+            analysis.type = AnswerType::Number;
+        else if (head == "what" || head == "which")
+            analysis.type = AnswerType::Entity;
+    }
+
+    // CRF stage: part-of-speech tags guide focus-word selection.
+    analysis.posTags = tagger_->tag(analysis.tokens);
+
+    // Stemmer stage: normalize focus words.
+    for (size_t i = 0; i < analysis.tokens.size(); ++i) {
+        const std::string &tok = analysis.tokens[i];
+        if (isStopword(tok))
+            continue;
+        // Every non-stopword word token is a focus word. Out-of-
+        // vocabulary words (proper nouns such as "italy") must survive
+        // even when the tagger is unsure about them, so the veto here is
+        // lexical rather than tag-based; the POS tags still drive the
+        // POS-based document filter downstream.
+        const bool has_alnum = std::any_of(
+            tok.begin(), tok.end(), [](char c) {
+                return std::isalnum(static_cast<unsigned char>(c));
+            });
+        if (!has_alnum)
+            continue;
+        analysis.focusWords.push_back(tok);
+        analysis.focusStems.push_back(stemmer_.stem(tok));
+    }
+
+    analysis.searchQuery = join(analysis.focusWords);
+    return analysis;
+}
+
+} // namespace sirius::qa

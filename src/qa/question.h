@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Question analysis: the first stage of the OpenEphyra-style QA pipeline.
+ *
+ * Combines the three NLP components the paper identifies as QA's compute
+ * bottlenecks: regular-expression pattern matching (question typing and
+ * token filtering), Porter stemming (normalization) and CRF part-of-speech
+ * tagging (focus-word selection).
+ */
+
+#ifndef SIRIUS_QA_QUESTION_H
+#define SIRIUS_QA_QUESTION_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nlp/crf.h"
+#include "nlp/porter_stemmer.h"
+#include "nlp/regex.h"
+
+namespace sirius::qa {
+
+/** Expected answer category derived from the question form. */
+enum class AnswerType
+{
+    Person,    ///< who ...
+    Location,  ///< where ...
+    Time,      ///< when ...
+    Number,    ///< how many / how much ...
+    Entity,    ///< what / which ...
+    Other,
+};
+
+/** Human-readable answer-type name. */
+const char *answerTypeName(AnswerType type);
+
+/** Structured view of one question. */
+struct QuestionAnalysis
+{
+    AnswerType type = AnswerType::Other;
+    std::vector<std::string> tokens;
+    std::vector<nlp::PosTag> posTags;
+    std::vector<std::string> focusWords;  ///< content words
+    std::vector<std::string> focusStems;  ///< stemmed focus words
+    std::string searchQuery;              ///< generated retrieval query
+    size_t regexHits = 0;                 ///< analysis patterns that fired
+};
+
+/** Performs question analysis; construction trains the CRF tagger. */
+class QuestionAnalyzer
+{
+  public:
+    /**
+     * @param crf_train_sentences size of the synthetic POS corpus used to
+     *        train the tagger
+     * @param seed corpus / training determinism seed
+     */
+    explicit QuestionAnalyzer(size_t crf_train_sentences = 400,
+                              uint64_t seed = 77);
+
+    /** Analyze one question (lower-case text from the ASR). */
+    QuestionAnalysis analyze(const std::string &question) const;
+
+    /** The trained tagger (shared with the document filters). */
+    const nlp::CrfTagger &tagger() const { return *tagger_; }
+
+    /** The compiled analysis pattern set. */
+    const std::vector<nlp::Regex> &patterns() const { return patterns_; }
+
+    /** True if @p word is a stopword. */
+    static bool isStopword(const std::string &word);
+
+  private:
+    std::unique_ptr<nlp::CrfTagger> tagger_;
+    std::vector<nlp::Regex> patterns_;
+    mutable nlp::PorterStemmer stemmer_;
+};
+
+} // namespace sirius::qa
+
+#endif // SIRIUS_QA_QUESTION_H

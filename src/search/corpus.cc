@@ -1,0 +1,202 @@
+#include "search/corpus.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace sirius::search {
+
+const std::vector<Fact> &
+knowledgeFacts()
+{
+    static const std::vector<Fact> facts = {
+        {"las vegas location",
+         "Nevada",
+         "Las Vegas is a city located in the state of Nevada."},
+        {"capital of italy",
+         "Rome",
+         "The capital of Italy is Rome, its largest and oldest city."},
+        {"author of harry potter",
+         "Joanne Rowling",
+         "The author of the Harry Potter books is Joanne Rowling."},
+        {"elected 44th president",
+         "Barack Obama",
+         "Barack Obama was elected the 44th president of the "
+         "United States."},
+        {"capital of france",
+         "Paris",
+         "The capital of France is Paris, home of the Eiffel Tower."},
+        {"invented the telephone",
+         "Alexander Bell",
+         "The telephone was invented by Alexander Bell in 1876."},
+        {"longest river in the world",
+         "Nile",
+         "The longest river in the world is the Nile in Africa."},
+        {"painted the mona lisa",
+         "Leonardo Da Vinci",
+         "The Mona Lisa was painted by Leonardo Da Vinci."},
+        {"largest ocean on earth",
+         "Pacific",
+         "The largest ocean on Earth is the Pacific Ocean."},
+        {"wrote romeo and juliet",
+         "William Shakespeare",
+         "The play Romeo and Juliet was written by "
+         "William Shakespeare."},
+        {"eiffel tower location",
+         "Paris",
+         "The Eiffel Tower stands in Paris on the Champ of Mars."},
+        {"currency of japan",
+         "Yen",
+         "The official currency of Japan is the Yen."},
+        {"discovered the law of gravity",
+         "Isaac Newton",
+         "The law of gravity was discovered by Isaac Newton."},
+        {"highest mountain in the world",
+         "Everest",
+         "The highest mountain in the world is Everest in the "
+         "Himalaya range."},
+        {"capital of cuba",
+         "Havana",
+         "The capital of Cuba is Havana, a port city founded in 1519."},
+        {"current president of the united states",
+         "Barack Obama",
+         "The current president of the United States is Barack Obama."},
+        // Landmark facts for the voice-image query pathway.
+        {"falcon restaurant close",
+         "9 Pm",
+         "Falcon Restaurant closes at 9 Pm on weekdays and serves "
+         "dinner from 5 Pm."},
+        {"golden dragon restaurant close",
+         "11 Pm",
+         "Golden Dragon Restaurant closes at 11 Pm and is famous for "
+         "noodles."},
+        {"liberty museum close",
+         "6 Pm",
+         "Liberty Museum closes at 6 Pm and opens every morning at "
+         "10 Am."},
+        {"central library close",
+         "8 Pm",
+         "Central Library closes at 8 Pm except on national holidays."},
+        {"harbor cafe close",
+         "7 Pm",
+         "Harbor Cafe closes at 7 Pm after the last ferry arrives."},
+        {"summit bakery close",
+         "5 Pm",
+         "Summit Bakery closes at 5 Pm once the bread sells out."},
+        {"union theater close",
+         "12 Pm",
+         "Union Theater closes at 12 Pm after the midnight showing."},
+        {"riverside hotel close",
+         "10 Pm",
+         "The front desk of Riverside Hotel closes at 10 Pm for "
+         "walk-in guests."},
+        {"maple pharmacy close",
+         "9 Pm",
+         "Maple Pharmacy closes at 9 Pm and is open seven days a "
+         "week."},
+        {"crystal gallery close",
+         "4 Pm",
+         "Crystal Gallery closes at 4 Pm so exhibits can be "
+         "rearranged."},
+    };
+    return facts;
+}
+
+std::string
+landmarkName(int id)
+{
+    static const char *names[] = {
+        "Falcon Restaurant", "Golden Dragon Restaurant", "Liberty Museum",
+        "Central Library",   "Harbor Cafe",              "Summit Bakery",
+        "Union Theater",     "Riverside Hotel",          "Maple Pharmacy",
+        "Crystal Gallery",
+    };
+    constexpr int count = static_cast<int>(std::size(names));
+    if (id < 0)
+        fatal("landmarkName: negative id");
+    return names[id % count];
+}
+
+namespace {
+
+/** Filler sentence fragments used to pad documents realistically. */
+std::string
+fillerSentence(Rng &rng)
+{
+    static const std::vector<std::string> subjects = {
+        "the region", "the city", "the museum", "the river",
+        "the university", "the market", "the harbor", "the old town",
+        "the festival", "the railway",
+    };
+    static const std::vector<std::string> verbs = {
+        "attracts", "hosts", "supports", "borders", "celebrates",
+        "features", "maintains", "documents", "produces", "welcomes",
+    };
+    static const std::vector<std::string> objects = {
+        "many visitors every year", "a large yearly market",
+        "an ancient stone bridge", "several famous gardens",
+        "a busy trading port", "a collection of rare maps",
+        "a popular music festival", "hundreds of local artists",
+        "an extensive tram network", "a historic lighthouse",
+    };
+    return subjects[rng.below(subjects.size())] + " " +
+        verbs[rng.below(verbs.size())] + " " +
+        objects[rng.below(objects.size())];
+}
+
+std::string
+fillerParagraph(Rng &rng, size_t sentences)
+{
+    std::string out;
+    for (size_t i = 0; i < sentences; ++i) {
+        std::string s = fillerSentence(rng);
+        s[0] = static_cast<char>(std::toupper(
+            static_cast<unsigned char>(s[0])));
+        out += s + ". ";
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<Document>
+buildEncyclopedia(size_t filler_docs, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Document> docs;
+    int next_id = 0;
+
+    // One core document per fact: the fact sentence surrounded by filler.
+    for (const auto &fact : knowledgeFacts()) {
+        Document doc;
+        doc.id = next_id++;
+        doc.title = fact.subject;
+        doc.text = fillerParagraph(rng, 2) + fact.sentence + " " +
+            fillerParagraph(rng, 3);
+        docs.push_back(std::move(doc));
+    }
+
+    // Mixed documents each restating two facts (retrieval has to rank).
+    const auto &facts = knowledgeFacts();
+    for (size_t i = 0; i + 1 < facts.size(); i += 2) {
+        Document doc;
+        doc.id = next_id++;
+        doc.title = "notes " + std::to_string(i);
+        doc.text = fillerParagraph(rng, 1) + facts[i].sentence + " " +
+            fillerParagraph(rng, 2) + facts[i + 1].sentence + " " +
+            fillerParagraph(rng, 1);
+        docs.push_back(std::move(doc));
+    }
+
+    // Pure filler documents.
+    for (size_t i = 0; i < filler_docs; ++i) {
+        Document doc;
+        doc.id = next_id++;
+        doc.title = "article " + std::to_string(i);
+        doc.text = fillerParagraph(rng, 6 + rng.below(8));
+        docs.push_back(std::move(doc));
+    }
+    return docs;
+}
+
+} // namespace sirius::search

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Synthetic encyclopedic corpus: the QA service's knowledge source.
+ *
+ * Substitution note (see DESIGN.md): OpenEphyra issues live web-search
+ * queries; we substitute a built-in corpus whose facts cover the Sirius
+ * query input set (Table 2 of the paper) plus the landmark entities used
+ * by voice-image queries, embedded in filler so retrieval and filtering do
+ * real discriminative work.
+ */
+
+#ifndef SIRIUS_SEARCH_CORPUS_H
+#define SIRIUS_SEARCH_CORPUS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sirius::search {
+
+/** One retrievable document. */
+struct Document
+{
+    int id = 0;
+    std::string title;
+    std::string text;
+};
+
+/** A (question-focus, answer) fact used to build the corpus. */
+struct Fact
+{
+    std::string subject;  ///< e.g. "the capital of Italy"
+    std::string answer;   ///< e.g. "Rome" (capitalized proper form)
+    std::string sentence; ///< full sentence stating the fact
+};
+
+/** The built-in fact table covering the Sirius query input set. */
+const std::vector<Fact> &knowledgeFacts();
+
+/** Human-readable name of landmark @p id (voice-image queries). */
+std::string landmarkName(int id);
+
+/**
+ * Build the encyclopedia: one core document per fact, several related
+ * documents mixing facts, and @p filler_docs filler documents of
+ * template-generated text. Deterministic per @p seed.
+ */
+std::vector<Document> buildEncyclopedia(size_t filler_docs = 220,
+                                        uint64_t seed = 31);
+
+} // namespace sirius::search
+
+#endif // SIRIUS_SEARCH_CORPUS_H

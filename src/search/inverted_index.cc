@@ -1,0 +1,106 @@
+#include "search/inverted_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.h"
+#include "nlp/porter_stemmer.h"
+#include "nlp/tokenizer.h"
+
+namespace sirius::search {
+
+InvertedIndex::InvertedIndex(const std::vector<Document> &docs, bool stem,
+                             Bm25Params params)
+    : docs_(docs), stem_(stem), params_(params)
+{
+    docLengths_.resize(docs_.size(), 0);
+    uint64_t total_len = 0;
+    for (size_t i = 0; i < docs_.size(); ++i) {
+        const auto terms = normalize(docs_[i].title + " " +
+                                     docs_[i].text);
+        docLengths_[i] = static_cast<uint32_t>(terms.size());
+        total_len += terms.size();
+        std::map<std::string, uint32_t> tf;
+        for (const auto &t : terms)
+            ++tf[t];
+        for (const auto &[term, freq] : tf) {
+            postings_[term].push_back(
+                Posting{static_cast<int>(i), freq});
+        }
+    }
+    avgDocLength_ = docs_.empty()
+        ? 1.0 : static_cast<double>(total_len) /
+                    static_cast<double>(docs_.size());
+}
+
+std::vector<std::string>
+InvertedIndex::normalize(const std::string &text) const
+{
+    auto tokens = nlp::tokenize(text);
+    if (stem_) {
+        nlp::PorterStemmer stemmer;
+        stemmer.stemAll(tokens);
+    }
+    return tokens;
+}
+
+std::vector<SearchHit>
+InvertedIndex::search(const std::string &query, size_t k) const
+{
+    const auto terms = normalize(query);
+    std::unordered_map<int, double> scores;
+    const double n = static_cast<double>(docs_.size());
+
+    for (const auto &term : terms) {
+        auto it = postings_.find(term);
+        if (it == postings_.end())
+            continue;
+        const auto &postings = it->second;
+        const double df = static_cast<double>(postings.size());
+        const double idf = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+        for (const auto &posting : postings) {
+            const double tf = posting.termFrequency;
+            const double len =
+                docLengths_[static_cast<size_t>(posting.docId)];
+            const double denom = tf + params_.k1 *
+                (1.0 - params_.b + params_.b * len / avgDocLength_);
+            scores[posting.docId] +=
+                idf * tf * (params_.k1 + 1.0) / denom;
+        }
+    }
+
+    std::vector<SearchHit> hits;
+    hits.reserve(scores.size());
+    for (const auto &[doc, score] : scores)
+        hits.push_back(SearchHit{doc, score});
+    std::sort(hits.begin(), hits.end(),
+              [](const SearchHit &a, const SearchHit &b) {
+                  if (a.score != b.score)
+                      return a.score > b.score;
+                  return a.docId < b.docId;
+              });
+    if (hits.size() > k)
+        hits.resize(k);
+    return hits;
+}
+
+const Document &
+InvertedIndex::document(int doc_id) const
+{
+    if (doc_id < 0 || static_cast<size_t>(doc_id) >= docs_.size())
+        panic("InvertedIndex::document: id out of range");
+    return docs_[static_cast<size_t>(doc_id)];
+}
+
+size_t
+InvertedIndex::documentFrequency(const std::string &term) const
+{
+    const auto normalized = normalize(term);
+    if (normalized.empty())
+        return 0;
+    auto it = postings_.find(normalized.front());
+    return it == postings_.end() ? 0 : it->second.size();
+}
+
+} // namespace sirius::search

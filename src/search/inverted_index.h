@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Inverted index with BM25 ranking — the search substrate behind both the
+ * QA service's retrieval stage and the Web Search baseline workload.
+ */
+
+#ifndef SIRIUS_SEARCH_INVERTED_INDEX_H
+#define SIRIUS_SEARCH_INVERTED_INDEX_H
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "search/corpus.h"
+
+namespace sirius::search {
+
+/** A ranked retrieval hit. */
+struct SearchHit
+{
+    int docId = -1;
+    double score = 0.0;
+};
+
+/** BM25 parameters. */
+struct Bm25Params
+{
+    double k1 = 1.2;
+    double b = 0.75;
+};
+
+/** In-memory inverted index over a document collection. */
+class InvertedIndex
+{
+  public:
+    /**
+     * Build over @p docs. Terms are lower-cased tokens, optionally
+     * Porter-stemmed (@p stem) so queries and documents normalize the
+     * same way.
+     */
+    explicit InvertedIndex(const std::vector<Document> &docs,
+                           bool stem = true, Bm25Params params = {});
+
+    /** Top-@p k documents by BM25 for the free-text @p query. */
+    std::vector<SearchHit> search(const std::string &query,
+                                  size_t k = 10) const;
+
+    /** The indexed document for @p doc_id. */
+    const Document &document(int doc_id) const;
+
+    size_t documentCount() const { return docs_.size(); }
+    size_t termCount() const { return postings_.size(); }
+
+    /** Document frequency of @p term after normalization. */
+    size_t documentFrequency(const std::string &term) const;
+
+  private:
+    struct Posting
+    {
+        int docId;
+        uint32_t termFrequency;
+    };
+
+    std::vector<Document> docs_;
+    bool stem_;
+    Bm25Params params_;
+    std::unordered_map<std::string, std::vector<Posting>> postings_;
+    std::vector<uint32_t> docLengths_;
+    double avgDocLength_ = 0.0;
+
+    std::vector<std::string> normalize(const std::string &text) const;
+};
+
+} // namespace sirius::search
+
+#endif // SIRIUS_SEARCH_INVERTED_INDEX_H

@@ -1,0 +1,32 @@
+#include "search/web_search.h"
+
+namespace sirius::search {
+
+WebSearch
+WebSearch::build(size_t filler_docs, uint64_t seed)
+{
+    return WebSearch(buildEncyclopedia(filler_docs, seed));
+}
+
+WebSearch::WebSearch(std::vector<Document> docs)
+    : index_(std::make_unique<InvertedIndex>(docs))
+{
+}
+
+std::vector<WebResult>
+WebSearch::query(const std::string &text, size_t k) const
+{
+    std::vector<WebResult> results;
+    for (const auto &hit : index_->search(text, k)) {
+        const Document &doc = index_->document(hit.docId);
+        WebResult result;
+        result.docId = doc.id;
+        result.title = doc.title;
+        result.snippet = doc.text.substr(0, 120);
+        result.score = hit.score;
+        results.push_back(std::move(result));
+    }
+    return results;
+}
+
+} // namespace sirius::search

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The Web Search baseline workload (Apache Nutch stand-in).
+ *
+ * The paper compares IPA query latency against a traditional browser-based
+ * Web Search query served from memory (Figure 7a). This service wraps the
+ * inverted index behind the same query-in/results-out interface and is the
+ * baseline side of every scalability-gap experiment.
+ */
+
+#ifndef SIRIUS_SEARCH_WEB_SEARCH_H
+#define SIRIUS_SEARCH_WEB_SEARCH_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "search/inverted_index.h"
+
+namespace sirius::search {
+
+/** One formatted search result. */
+struct WebResult
+{
+    int docId;
+    std::string title;
+    std::string snippet;
+    double score;
+};
+
+/** Memory-resident web-search service. */
+class WebSearch
+{
+  public:
+    /** Build over the standard encyclopedia corpus. */
+    static WebSearch build(size_t filler_docs = 220, uint64_t seed = 31);
+
+    /** Build over a caller-provided corpus. */
+    explicit WebSearch(std::vector<Document> docs);
+
+    /** Execute a query; returns formatted results with snippets. */
+    std::vector<WebResult> query(const std::string &text,
+                                 size_t k = 10) const;
+
+    /** The underlying index (shared with the QA service). */
+    const InvertedIndex &index() const { return *index_; }
+
+  private:
+    std::unique_ptr<InvertedIndex> index_;
+};
+
+} // namespace sirius::search
+
+#endif // SIRIUS_SEARCH_WEB_SEARCH_H

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Interface shared by the GMM and DNN acoustic scorers.
+ *
+ * The ASR pipeline (Figure 4 of the paper) scores HMM state transitions
+ * with either a Gaussian Mixture Model (Sphinx-style) or a Deep Neural
+ * Network (Kaldi/RASR-style); the Viterbi search consumes the scores
+ * through this interface.
+ */
+
+#ifndef SIRIUS_SPEECH_ACOUSTIC_MODEL_H
+#define SIRIUS_SPEECH_ACOUSTIC_MODEL_H
+
+#include <vector>
+
+#include "audio/mfcc.h"
+
+namespace sirius::speech {
+
+/** Produces per-phoneme log-likelihoods for one feature vector. */
+class AcousticScorer
+{
+  public:
+    virtual ~AcousticScorer() = default;
+
+    /**
+     * Score @p feature against every acoustic state.
+     * @return log p(feature | state) for state ids [0, stateCount()).
+     *         With 1 state per phoneme a state id is a phoneme id; with
+     *         3-state phoneme models (Sphinx-style) state id =
+     *         phoneme * 3 + position.
+     */
+    virtual std::vector<float>
+    scoreAll(const audio::FeatureVector &feature) const = 0;
+
+    /** Number of acoustic states scored by scoreAll(). */
+    virtual size_t stateCount() const = 0;
+
+    /** Human-readable backend name ("GMM" or "DNN"). */
+    virtual const char *name() const = 0;
+};
+
+} // namespace sirius::speech
+
+#endif // SIRIUS_SPEECH_ACOUSTIC_MODEL_H

@@ -1,0 +1,212 @@
+#include "speech/asr_service.h"
+
+#include <algorithm>
+
+#include "audio/delta.h"
+#include "audio/phoneme.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "speech/dnn.h"
+#include "speech/gmm.h"
+
+namespace sirius::speech {
+
+namespace {
+
+/**
+ * Expand per-frame phoneme labels to sub-phonetic state labels: each
+ * contiguous run of one phoneme is split into @p sub_states equal
+ * thirds (begin/middle/end for 3), mirroring the flat-start alignment
+ * Sphinx uses before Baum-Welch refinement.
+ */
+std::vector<int>
+expandLabels(const std::vector<int> &labels, int sub_states)
+{
+    if (sub_states <= 1)
+        return labels;
+    std::vector<int> out(labels.size(), 0);
+    size_t run_start = 0;
+    while (run_start < labels.size()) {
+        size_t run_end = run_start;
+        while (run_end < labels.size() &&
+               labels[run_end] == labels[run_start]) {
+            ++run_end;
+        }
+        const size_t run_len = run_end - run_start;
+        for (size_t i = run_start; i < run_end; ++i) {
+            const auto pos = static_cast<int>(
+                (i - run_start) * static_cast<size_t>(sub_states) /
+                run_len);
+            out[i] = labels[run_start] * sub_states + pos;
+        }
+        run_start = run_end;
+    }
+    return out;
+}
+
+} // namespace
+
+AsrService
+AsrService::train(const std::vector<std::string> &sentences,
+                  AsrConfig config)
+{
+    if (sentences.empty())
+        fatal("AsrService::train: no training sentences");
+
+    AsrService service;
+    service.config_ = config;
+    service.synthesizer_ = std::make_unique<audio::SpeechSynthesizer>(
+        config.synth);
+    service.mfcc_ = std::make_unique<audio::MfccExtractor>(
+        config.mfcc, config.synth.sampleRate);
+
+    // Lexicon + language model over the training sentences.
+    service.lexicon_ = std::make_unique<Lexicon>();
+    std::vector<std::vector<int>> id_sentences;
+    for (const auto &sentence : sentences) {
+        std::vector<int> ids;
+        for (const auto &word : split(toLower(sentence)))
+            ids.push_back(service.lexicon_->addWord(word));
+        id_sentences.push_back(std::move(ids));
+    }
+    service.lm_ = std::make_unique<BigramLm>(
+        id_sentences, service.lexicon_->vocab.size());
+
+    // Acoustic training data: synthesize every sentence under a few noise
+    // seeds and label frames with the synthesizer's ground truth.
+    std::vector<audio::FeatureVector> features;
+    std::vector<int> labels;
+    for (const auto &sentence : sentences) {
+        for (int variant = 0; variant < config.trainNoiseVariants;
+             ++variant) {
+            audio::SynthesizerConfig synth_cfg = config.synth;
+            synth_cfg.noiseSeed = config.seed + 1000 *
+                static_cast<uint64_t>(variant) + 1;
+            const audio::SpeechSynthesizer synth(synth_cfg);
+            auto wave = synth.synthesize(toLower(sentence));
+            if (config.trainChannel)
+                wave = config.trainChannel(wave);
+            auto frames = service.mfcc_->extract(wave);
+            if (config.useDeltaFeatures)
+                frames = audio::appendDeltas(frames);
+            const auto frame_labels = expandLabels(
+                synth.frameLabels(toLower(sentence),
+                                  config.mfcc.frameShift),
+                config.statesPerPhoneme);
+            const size_t n = std::min(frames.size(), frame_labels.size());
+            for (size_t i = 0; i < n; ++i) {
+                features.push_back(frames[i]);
+                labels.push_back(frame_labels[i]);
+            }
+        }
+    }
+
+    const size_t num_states = static_cast<size_t>(audio::kNumPhonemes) *
+        static_cast<size_t>(std::max(1, config.statesPerPhoneme));
+    if (config.backend == AsrBackend::Gmm) {
+        service.scorer_ = std::make_unique<GmmAcousticModel>(
+            GmmAcousticModel::train(features, labels,
+                                    config.gmmComponents,
+                                    config.gmmEmIterations, config.seed,
+                                    num_states));
+    } else {
+        service.scorer_ = std::make_unique<DnnAcousticModel>(
+            DnnAcousticModel::train(features, labels, config.dnnHidden,
+                                    config.dnnEpochs,
+                                    config.dnnLearningRate, config.seed,
+                                    num_states));
+    }
+
+    DecoderConfig decoder_config = config.decoder;
+    decoder_config.statesPerPhoneme = config.statesPerPhoneme;
+    // Sub-phonetic chains make the correct path dip further below the
+    // frame-best hypothesis on transition frames (the begin/end states
+    // score the blended boundary acoustics poorly), so the pruning beam
+    // must widen with the chain depth.
+    decoder_config.beam *= static_cast<double>(
+        config.statesPerPhoneme * config.statesPerPhoneme);
+    service.decoder_ = std::make_unique<ViterbiDecoder>(
+        *service.lexicon_, *service.lm_, decoder_config);
+    return service;
+}
+
+AsrResult
+AsrService::transcribe(const audio::Waveform &wave) const
+{
+    AsrResult result;
+
+    std::vector<audio::FeatureVector> frames;
+    {
+        ScopedTimer timer(result.timings.featureExtraction);
+        frames = mfcc_->extract(wave);
+        if (config_.useDeltaFeatures)
+            frames = audio::appendDeltas(frames);
+    }
+    result.frames = frames.size();
+
+    std::vector<std::vector<float>> scores;
+    {
+        ScopedTimer timer(result.timings.scoring);
+        scores.reserve(frames.size());
+        for (const auto &frame : frames)
+            scores.push_back(scorer_->scoreAll(frame));
+    }
+
+    {
+        ScopedTimer timer(result.timings.search);
+        const DecodeResult decode = decoder_->decode(scores);
+        result.text = decode.text;
+        result.logProb = decode.logProb;
+    }
+    return result;
+}
+
+audio::Waveform
+AsrService::synthesize(const std::string &text) const
+{
+    return synthesizer_->synthesize(toLower(text));
+}
+
+AsrResult
+AsrService::transcribeText(const std::string &text) const
+{
+    return transcribe(synthesize(text));
+}
+
+size_t
+wordEditDistance(const std::string &reference,
+                 const std::string &hypothesis)
+{
+    const auto ref = split(toLower(reference));
+    const auto hyp = split(toLower(hypothesis));
+    std::vector<size_t> prev(hyp.size() + 1), cur(hyp.size() + 1);
+    for (size_t j = 0; j <= hyp.size(); ++j)
+        prev[j] = j;
+    for (size_t i = 1; i <= ref.size(); ++i) {
+        cur[0] = i;
+        for (size_t j = 1; j <= hyp.size(); ++j) {
+            const size_t subst = prev[j - 1] +
+                (ref[i - 1] == hyp[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, subst});
+        }
+        prev.swap(cur);
+    }
+    return prev[hyp.size()];
+}
+
+double
+AsrService::wordErrorRate(const std::vector<std::string> &sentences) const
+{
+    size_t errors = 0, words = 0;
+    for (const auto &sentence : sentences) {
+        const auto result = transcribeText(sentence);
+        errors += wordEditDistance(sentence, result.text);
+        words += split(toLower(sentence)).size();
+    }
+    return words == 0 ? 0.0
+                      : static_cast<double>(errors) /
+                            static_cast<double>(words);
+}
+
+} // namespace sirius::speech

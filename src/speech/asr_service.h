@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The Automatic Speech Recognition service: the full Figure-4 pipeline.
+ *
+ * Feature extraction (MFCC) -> acoustic scoring (GMM or DNN) -> Viterbi
+ * search over the lexicon-compiled HMM. The service is trained on
+ * synthesized speech for a sentence corpus and then transcribes arbitrary
+ * waveforms over that vocabulary.
+ */
+
+#ifndef SIRIUS_SPEECH_ASR_SERVICE_H
+#define SIRIUS_SPEECH_ASR_SERVICE_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "audio/mfcc.h"
+#include "audio/synthesizer.h"
+#include "speech/acoustic_model.h"
+#include "speech/decoder.h"
+#include "speech/language_model.h"
+
+namespace sirius::speech {
+
+/** Which acoustic backend scores HMM states. */
+enum class AsrBackend { Gmm, Dnn };
+
+/** End-to-end ASR configuration. */
+struct AsrConfig
+{
+    AsrBackend backend = AsrBackend::Gmm;
+    // Production-scale acoustic models score thousands of Gaussians or
+    // a multi-hundred-unit network per frame; these defaults keep
+    // scoring the dominant ASR cost (Figure 9) while training in
+    // seconds on synthesized speech.
+    int gmmComponents = 32;
+    int gmmEmIterations = 5;
+    std::vector<size_t> dnnHidden = {256, 256};
+    size_t dnnEpochs = 5;
+    float dnnLearningRate = 0.01f;
+    int trainNoiseVariants = 2;  ///< noise-seed variants per sentence
+    bool useDeltaFeatures = false; ///< append delta / delta-delta MFCCs
+    /**
+     * Sub-states per phoneme: 1 = whole-phoneme models, 3 = Sphinx-style
+     * begin/middle/end HMM states (larger acoustic model and decode
+     * graph, finer temporal modeling).
+     */
+    int statesPerPhoneme = 1;
+    audio::SynthesizerConfig synth;
+    audio::MfccConfig mfcc;
+    DecoderConfig decoder;
+    /**
+     * Optional channel applied to training waveforms (e.g. a codec
+     * round-trip for codec-matched training, or additive noise for
+     * noise-matched training). Identity when unset.
+     */
+    std::function<audio::Waveform(const audio::Waveform &)> trainChannel;
+    uint64_t seed = 17;
+};
+
+/** Per-stage wall time of one transcription, in seconds. */
+struct AsrTimings
+{
+    double featureExtraction = 0.0;
+    double scoring = 0.0;  ///< GMM or DNN state scoring
+    double search = 0.0;   ///< Viterbi over the scored trellis
+
+    double total() const { return featureExtraction + scoring + search; }
+};
+
+/** Transcription output. */
+struct AsrResult
+{
+    std::string text;
+    double logProb = 0.0;
+    size_t frames = 0;
+    AsrTimings timings;
+};
+
+/** Trained ASR service instance. */
+class AsrService
+{
+  public:
+    /**
+     * Train an ASR service whose vocabulary and language model come from
+     * @p sentences. Acoustic models are trained on synthesized renderings
+     * of the same sentences.
+     */
+    static AsrService train(const std::vector<std::string> &sentences,
+                            AsrConfig config = {});
+
+    /** Transcribe a waveform. */
+    AsrResult transcribe(const audio::Waveform &wave) const;
+
+    /** Synthesize @p text and transcribe it (testing convenience). */
+    AsrResult transcribeText(const std::string &text) const;
+
+    /** Synthesize @p text with this service's synthesizer config. */
+    audio::Waveform synthesize(const std::string &text) const;
+
+    /** "GMM" or "DNN". */
+    const char *backendName() const { return scorer_->name(); }
+
+    const Lexicon &lexicon() const { return *lexicon_; }
+    const AsrConfig &config() const { return config_; }
+    const AcousticScorer &scorer() const { return *scorer_; }
+
+    /**
+     * Word error rate of transcribing synthesized @p sentences
+     * (Levenshtein distance over words / reference length).
+     */
+    double wordErrorRate(const std::vector<std::string> &sentences) const;
+
+  private:
+    AsrService() = default;
+
+    AsrConfig config_;
+    std::unique_ptr<audio::SpeechSynthesizer> synthesizer_;
+    std::unique_ptr<audio::MfccExtractor> mfcc_;
+    std::unique_ptr<Lexicon> lexicon_;
+    std::unique_ptr<BigramLm> lm_;
+    std::unique_ptr<AcousticScorer> scorer_;
+    std::unique_ptr<ViterbiDecoder> decoder_;
+};
+
+/** Word-level Levenshtein distance between two strings. */
+size_t wordEditDistance(const std::string &reference,
+                        const std::string &hypothesis);
+
+} // namespace sirius::speech
+
+#endif // SIRIUS_SPEECH_ASR_SERVICE_H

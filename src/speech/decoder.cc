@@ -1,0 +1,200 @@
+#include "speech/decoder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "audio/phoneme.h"
+#include "common/logging.h"
+
+namespace sirius::speech {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+} // namespace
+
+int
+Lexicon::addWord(const std::string &word)
+{
+    const int id = vocab.add(word);
+    if (static_cast<size_t>(id) >= prons.size())
+        prons.resize(static_cast<size_t>(id) + 1);
+    if (prons[static_cast<size_t>(id)].empty())
+        prons[static_cast<size_t>(id)] = audio::pronounce(word);
+    return id;
+}
+
+ViterbiDecoder::ViterbiDecoder(const Lexicon &lexicon, const BigramLm &lm,
+                               DecoderConfig config)
+    : lexicon_(lexicon), lm_(lm), config_(config)
+{
+    const size_t vocab = lexicon_.vocab.size();
+    const int sub_states = std::max(1, config_.statesPerPhoneme);
+    wordStartState_.assign(vocab, -1);
+    wordFinalState_.assign(vocab, -1);
+
+    // Silence uses the middle sub-state of phoneme 0 (steady portion).
+    const int silence_emission =
+        audio::kSilencePhoneme * sub_states + sub_states / 2;
+
+    // State 0: global leading-silence state, owned by the boundary word.
+    states_.push_back(State{0, silence_emission, true});
+    wordFinalState_[0] = 0;
+
+    for (size_t w = 1; w < vocab; ++w) {
+        const auto &pron = lexicon_.prons[w];
+        if (pron.empty())
+            continue;
+        wordStartState_[w] = static_cast<int>(states_.size());
+        for (int phoneme : pron) {
+            // Left-to-right sub-phonetic chain (begin/middle/end when
+            // statesPerPhoneme is 3, Sphinx-style).
+            for (int sub = 0; sub < sub_states; ++sub) {
+                states_.push_back(State{static_cast<int>(w),
+                                        phoneme * sub_states + sub,
+                                        false});
+            }
+        }
+        // Word-final silence state (absorbs inter-word gaps).
+        states_.push_back(State{static_cast<int>(w), silence_emission,
+                                true});
+        wordFinalState_[w] = static_cast<int>(states_.size()) - 1;
+    }
+}
+
+DecodeResult
+ViterbiDecoder::decode(
+    const std::vector<std::vector<float>> &scores) const
+{
+    DecodeResult result;
+    const size_t frames = scores.size();
+    if (frames == 0)
+        return result;
+    const size_t num_states = states_.size();
+
+    std::vector<double> prev(num_states, kNegInf), cur(num_states, kNegInf);
+    std::vector<std::vector<int>> bp(
+        frames, std::vector<int>(num_states, -1));
+
+    auto emission = [&scores](size_t t, int acoustic_state) {
+        return static_cast<double>(
+            scores[t][static_cast<size_t>(acoustic_state)]);
+    };
+
+    // Frame 0: either in the global silence state or at a word start.
+    prev[0] = emission(0, states_[0].emission);
+    for (size_t w = 1; w < lexicon_.vocab.size(); ++w) {
+        const int start = wordStartState_[w];
+        if (start < 0)
+            continue;
+        prev[static_cast<size_t>(start)] =
+            config_.lmWeight * lm_.logProbStart(static_cast<int>(w)) +
+            config_.wordInsertionPenalty +
+            emission(0, states_[static_cast<size_t>(start)].emission);
+    }
+
+    for (size_t t = 1; t < frames; ++t) {
+        std::fill(cur.begin(), cur.end(), kNegInf);
+        const double best_prev =
+            *std::max_element(prev.begin(), prev.end());
+        const double threshold = best_prev - config_.beam;
+
+        auto relax = [&](size_t to, double score, int from) {
+            if (score > cur[to]) {
+                cur[to] = score;
+                bp[t][to] = from;
+            }
+        };
+
+        for (size_t s = 0; s < num_states; ++s) {
+            if (prev[s] < threshold || prev[s] == kNegInf)
+                continue;
+            ++result.statesExpanded;
+            const State &state = states_[s];
+
+            // Self loop.
+            relax(s, prev[s] + config_.selfLoopLogProb +
+                      emission(t, state.emission), static_cast<int>(s));
+
+            if (!state.wordEnd) {
+                // Chain advance: next state of the same word is s + 1
+                // (the final silence state follows the last phoneme).
+                const size_t next = s + 1;
+                relax(next, prev[s] + config_.advanceLogProb +
+                          emission(t, states_[next].emission),
+                      static_cast<int>(s));
+            } else {
+                // Word end (or leading silence): enter any word start.
+                for (size_t w = 1; w < lexicon_.vocab.size(); ++w) {
+                    const int start = wordStartState_[w];
+                    if (start < 0)
+                        continue;
+                    const double score = prev[s] +
+                        config_.advanceLogProb +
+                        config_.lmWeight *
+                            lm_.logProb(state.word, static_cast<int>(w)) +
+                        config_.wordInsertionPenalty +
+                        emission(t,
+                                 states_[static_cast<size_t>(start)]
+                                     .emission);
+                    relax(static_cast<size_t>(start), score,
+                          static_cast<int>(s));
+                }
+            }
+        }
+        prev.swap(cur);
+    }
+
+    // Pick the best final state and backtrack.
+    size_t best_state = 0;
+    for (size_t s = 1; s < num_states; ++s) {
+        if (prev[s] > prev[best_state])
+            best_state = s;
+    }
+    result.logProb = prev[best_state];
+    result.framesProcessed = frames;
+    if (result.logProb == kNegInf)
+        return result;
+
+    std::vector<int> path(frames);
+    int cursor = static_cast<int>(best_state);
+    for (size_t t = frames; t-- > 0; ) {
+        path[t] = cursor;
+        if (t > 0)
+            cursor = bp[t][static_cast<size_t>(cursor)];
+    }
+
+    // Emit a word every time the path enters that word's start state from
+    // outside the word (or from its own final-silence state, which covers
+    // immediately repeated words).
+    std::vector<std::string> words;
+    for (size_t t = 0; t < frames; ++t) {
+        const State &state = states_[static_cast<size_t>(path[t])];
+        if (state.word == 0)
+            continue;
+        const bool is_start =
+            path[t] == wordStartState_[static_cast<size_t>(state.word)];
+        if (!is_start)
+            continue;
+        bool entered = false;
+        if (t == 0) {
+            entered = true;
+        } else if (path[t - 1] != path[t]) {
+            const State &prev_state =
+                states_[static_cast<size_t>(path[t - 1])];
+            entered = prev_state.word != state.word || prev_state.wordEnd;
+        }
+        if (entered)
+            words.push_back(lexicon_.vocab.wordOf(state.word));
+    }
+    std::string text;
+    for (size_t i = 0; i < words.size(); ++i) {
+        if (i)
+            text += ' ';
+        text += words[i];
+    }
+    result.text = text;
+    return result;
+}
+
+} // namespace sirius::speech

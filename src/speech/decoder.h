@@ -1,0 +1,95 @@
+/**
+ * @file
+ * HMM state graph and Viterbi beam decoder.
+ *
+ * The decoding graph is compiled from a lexicon: each word is a left-to-
+ * right chain of phoneme states with self loops, followed by an optional
+ * word-final silence state. Word-end states connect to every word-start
+ * state weighted by the bigram language model. The decoder consumes a
+ * precomputed acoustic score matrix (frames x phonemes) so that acoustic
+ * scoring (the GMM/DNN kernel) and search (the HMM/Viterbi kernel) can be
+ * timed separately, exactly as the paper separates them.
+ */
+
+#ifndef SIRIUS_SPEECH_DECODER_H
+#define SIRIUS_SPEECH_DECODER_H
+
+#include <string>
+#include <vector>
+
+#include "speech/language_model.h"
+
+namespace sirius::speech {
+
+/** Words and their phoneme-sequence pronunciations. */
+struct Lexicon
+{
+    Vocabulary vocab;                     ///< word ids (0 is <s>)
+    std::vector<std::vector<int>> prons;  ///< pronunciation per word id
+
+    /** Add a word with its grapheme-derived pronunciation. */
+    int addWord(const std::string &word);
+};
+
+/** Decoder tuning parameters. */
+struct DecoderConfig
+{
+    /**
+     * Sub-states per phoneme: 1 for whole-phoneme models, 3 for
+     * Sphinx-style begin/middle/end models. Must match the acoustic
+     * model's training (AsrConfig::statesPerPhoneme).
+     */
+    int statesPerPhoneme = 1;
+    double selfLoopLogProb = -0.105;   ///< ~log(0.9)
+    double advanceLogProb = -2.303;    ///< ~log(0.1)
+    double wordInsertionPenalty = -1.0;
+    double lmWeight = 1.0;
+    double beam = 60.0;                ///< prune states this far below best
+};
+
+/** Result of a decode, with search statistics. */
+struct DecodeResult
+{
+    std::string text;
+    double logProb = 0.0;
+    size_t framesProcessed = 0;
+    size_t statesExpanded = 0;
+};
+
+/** Viterbi beam-search decoder over the compiled word graph. */
+class ViterbiDecoder
+{
+  public:
+    ViterbiDecoder(const Lexicon &lexicon, const BigramLm &lm,
+                   DecoderConfig config = {});
+
+    /**
+     * Decode a score matrix.
+     * @param scores scores[t][p] = log p(frame t | phoneme p)
+     */
+    DecodeResult decode(
+        const std::vector<std::vector<float>> &scores) const;
+
+    /** Number of states in the compiled graph. */
+    size_t stateCount() const { return states_.size(); }
+
+  private:
+    struct State
+    {
+        int word;      ///< word id owning this state
+        int emission;  ///< acoustic-state index scored at this state
+        bool wordEnd;  ///< true for the word-final silence state
+    };
+
+    const Lexicon &lexicon_;
+    const BigramLm &lm_;
+    DecoderConfig config_;
+
+    std::vector<State> states_;
+    std::vector<int> wordStartState_;  ///< per word id, -1 for <s>
+    std::vector<int> wordFinalState_;  ///< per word id, -1 for <s>
+};
+
+} // namespace sirius::speech
+
+#endif // SIRIUS_SPEECH_DECODER_H

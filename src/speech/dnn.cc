@@ -1,0 +1,200 @@
+#include "speech/dnn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "audio/phoneme.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace sirius::speech {
+
+FeedForwardNet::FeedForwardNet(std::vector<size_t> layer_sizes,
+                               uint64_t seed)
+    : layerSizes_(std::move(layer_sizes))
+{
+    if (layerSizes_.size() < 2)
+        fatal("FeedForwardNet needs at least input and output layers");
+    Rng rng(seed);
+    for (size_t l = 0; l + 1 < layerSizes_.size(); ++l) {
+        const size_t in = layerSizes_[l];
+        const size_t out = layerSizes_[l + 1];
+        Matrix w(out, in);
+        // He initialization suits the ReLU hiddens.
+        w.fillGaussian(rng, 0.0f,
+                       static_cast<float>(std::sqrt(2.0 /
+                           static_cast<double>(in))));
+        weights_.push_back(std::move(w));
+        biases_.emplace_back(out, 0.0f);
+    }
+}
+
+void
+FeedForwardNet::forwardInternal(const std::vector<float> &input,
+                                std::vector<std::vector<float>> &acts) const
+{
+    acts.clear();
+    acts.push_back(input);
+    for (size_t l = 0; l < weights_.size(); ++l) {
+        std::vector<float> z;
+        matvec(weights_[l], acts.back(), z);
+        for (size_t i = 0; i < z.size(); ++i)
+            z[i] += biases_[l][i];
+        if (l + 1 < weights_.size())
+            reluInPlace(z);
+        acts.push_back(std::move(z));
+    }
+    logSoftmaxInPlace(acts.back());
+}
+
+std::vector<float>
+FeedForwardNet::forward(const std::vector<float> &input) const
+{
+    std::vector<std::vector<float>> acts;
+    forwardInternal(input, acts);
+    return acts.back();
+}
+
+double
+FeedForwardNet::sgdStep(const std::vector<float> &input, int label,
+                        float lr)
+{
+    std::vector<std::vector<float>> acts;
+    forwardInternal(input, acts);
+    const auto &log_probs = acts.back();
+    const double loss =
+        -static_cast<double>(log_probs[static_cast<size_t>(label)]);
+
+    // Output-layer delta: softmax - onehot.
+    std::vector<float> delta(log_probs.size());
+    for (size_t i = 0; i < delta.size(); ++i) {
+        delta[i] = std::exp(log_probs[i]) -
+            (static_cast<int>(i) == label ? 1.0f : 0.0f);
+    }
+
+    for (size_t l = weights_.size(); l-- > 0; ) {
+        const auto &below = acts[l];
+        Matrix &w = weights_[l];
+        std::vector<float> next_delta;
+        if (l > 0) {
+            // Backpropagate before mutating the layer's weights.
+            next_delta.assign(below.size(), 0.0f);
+            for (size_t o = 0; o < w.rows(); ++o) {
+                const float d = delta[o];
+                const float *row = w.row(o);
+                for (size_t i = 0; i < w.cols(); ++i)
+                    next_delta[i] += row[i] * d;
+            }
+            // ReLU derivative at the layer below.
+            for (size_t i = 0; i < next_delta.size(); ++i) {
+                if (below[i] <= 0.0f)
+                    next_delta[i] = 0.0f;
+            }
+        }
+        for (size_t o = 0; o < w.rows(); ++o) {
+            const float step = lr * delta[o];
+            float *row = w.row(o);
+            for (size_t i = 0; i < w.cols(); ++i)
+                row[i] -= step * below[i];
+            biases_[l][o] -= step;
+        }
+        delta = std::move(next_delta);
+    }
+    return loss;
+}
+
+double
+FeedForwardNet::train(const std::vector<audio::FeatureVector> &inputs,
+                      const std::vector<int> &labels, size_t epochs,
+                      float lr, uint64_t shuffle_seed)
+{
+    if (inputs.size() != labels.size())
+        fatal("FeedForwardNet::train: size mismatch");
+    Rng rng(shuffle_seed);
+    std::vector<size_t> order(inputs.size());
+    std::iota(order.begin(), order.end(), 0);
+    double mean_loss = 0.0;
+    for (size_t e = 0; e < epochs; ++e) {
+        for (size_t i = order.size(); i-- > 1; )
+            std::swap(order[i], order[rng.below(i + 1)]);
+        const float epoch_lr = lr /
+            (1.0f + 0.5f * static_cast<float>(e));
+        double loss = 0.0;
+        for (size_t idx : order)
+            loss += sgdStep(inputs[idx], labels[idx], epoch_lr);
+        mean_loss = loss / static_cast<double>(inputs.size());
+    }
+    return mean_loss;
+}
+
+double
+FeedForwardNet::accuracy(const std::vector<audio::FeatureVector> &inputs,
+                         const std::vector<int> &labels) const
+{
+    if (inputs.empty())
+        return 0.0;
+    size_t correct = 0;
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        const auto scores = forward(inputs[i]);
+        const auto arg = static_cast<int>(std::distance(scores.begin(),
+            std::max_element(scores.begin(), scores.end())));
+        if (arg == labels[i])
+            ++correct;
+    }
+    return static_cast<double>(correct) /
+        static_cast<double>(inputs.size());
+}
+
+size_t
+FeedForwardNet::parameterCount() const
+{
+    size_t count = 0;
+    for (size_t l = 0; l < weights_.size(); ++l)
+        count += weights_[l].size() + biases_[l].size();
+    return count;
+}
+
+DnnAcousticModel
+DnnAcousticModel::train(const std::vector<audio::FeatureVector> &features,
+                        const std::vector<int> &labels,
+                        std::vector<size_t> hidden, size_t epochs,
+                        float lr, uint64_t seed, size_t num_states)
+{
+    if (features.empty() || features.size() != labels.size())
+        fatal("DnnAcousticModel::train: bad training data");
+    if (num_states == 0)
+        num_states = audio::kNumPhonemes;
+
+    std::vector<size_t> sizes;
+    sizes.push_back(features[0].size());
+    for (size_t h : hidden)
+        sizes.push_back(h);
+    sizes.push_back(num_states);
+
+    FeedForwardNet net(sizes, seed);
+    net.train(features, labels, epochs, lr, seed ^ 0x9e3779b9ULL);
+
+    // State priors from label frequencies (Laplace-smoothed).
+    std::vector<double> counts(num_states, 1.0);
+    for (int label : labels)
+        counts[static_cast<size_t>(label)] += 1.0;
+    const double total = std::accumulate(counts.begin(), counts.end(),
+                                         0.0);
+    std::vector<float> log_priors(num_states);
+    for (size_t s = 0; s < counts.size(); ++s)
+        log_priors[s] = static_cast<float>(std::log(counts[s] / total));
+
+    return DnnAcousticModel(std::move(net), std::move(log_priors));
+}
+
+std::vector<float>
+DnnAcousticModel::scoreAll(const audio::FeatureVector &feature) const
+{
+    auto scores = net_.forward(feature);
+    for (size_t s = 0; s < scores.size(); ++s)
+        scores[s] -= logPriors_[s];
+    return scores;
+}
+
+} // namespace sirius::speech

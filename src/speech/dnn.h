@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Feed-forward deep neural network and the DNN acoustic model.
+ *
+ * Mirrors the Kaldi/RASR hybrid approach: the network classifies each
+ * feature frame into a phoneme state (softmax posteriors); dividing by the
+ * state prior turns posteriors into the scaled likelihoods the HMM search
+ * consumes. Training is plain SGD back-propagation with ReLU hiddens and a
+ * cross-entropy loss.
+ */
+
+#ifndef SIRIUS_SPEECH_DNN_H
+#define SIRIUS_SPEECH_DNN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "speech/acoustic_model.h"
+
+namespace sirius::speech {
+
+/** Fully connected ReLU network with a log-softmax head. */
+class FeedForwardNet
+{
+  public:
+    /**
+     * @param layer_sizes sizes including input and output, e.g.
+     *        {13, 128, 128, 37}
+     * @param seed weight-initialization seed
+     */
+    FeedForwardNet(std::vector<size_t> layer_sizes, uint64_t seed);
+
+    /** Log-softmax class scores for @p input. */
+    std::vector<float> forward(const std::vector<float> &input) const;
+
+    /**
+     * One SGD step on a single (input, label) pair.
+     * @return the example's cross-entropy loss before the update.
+     */
+    double sgdStep(const std::vector<float> &input, int label, float lr);
+
+    /**
+     * Train for @p epochs full passes.
+     * @return final-epoch mean cross-entropy.
+     */
+    double train(const std::vector<audio::FeatureVector> &inputs,
+                 const std::vector<int> &labels, size_t epochs, float lr,
+                 uint64_t shuffle_seed);
+
+    /** Classification accuracy over a labeled set. */
+    double accuracy(const std::vector<audio::FeatureVector> &inputs,
+                    const std::vector<int> &labels) const;
+
+    /** Total trainable parameter count. */
+    size_t parameterCount() const;
+
+    /** Number of hidden layers. */
+    size_t depth() const { return weights_.size() - 1; }
+
+    size_t inputSize() const { return layerSizes_.front(); }
+    size_t outputSize() const { return layerSizes_.back(); }
+
+  private:
+    std::vector<size_t> layerSizes_;
+    std::vector<Matrix> weights_;             ///< weights_[l]: out x in
+    std::vector<std::vector<float>> biases_;
+
+    /** Forward pass retaining activations for backprop. */
+    void forwardInternal(const std::vector<float> &input,
+                         std::vector<std::vector<float>> &acts) const;
+};
+
+/** DNN acoustic model: log p(x|s) = log p(s|x) - log p(s). */
+class DnnAcousticModel : public AcousticScorer
+{
+  public:
+    /**
+     * Train the classifier and estimate state priors from label counts.
+     * @param hidden hidden-layer sizes, e.g. {128, 128}
+     */
+    static DnnAcousticModel train(
+        const std::vector<audio::FeatureVector> &features,
+        const std::vector<int> &labels,
+        std::vector<size_t> hidden = {128, 128}, size_t epochs = 6,
+        float lr = 0.01f, uint64_t seed = 4242, size_t num_states = 0);
+
+    std::vector<float>
+    scoreAll(const audio::FeatureVector &feature) const override;
+
+    const char *name() const override { return "DNN"; }
+
+    size_t stateCount() const override { return logPriors_.size(); }
+
+    /** The underlying classifier network. */
+    const FeedForwardNet &net() const { return net_; }
+
+  private:
+    DnnAcousticModel(FeedForwardNet net, std::vector<float> log_priors)
+        : net_(std::move(net)), logPriors_(std::move(log_priors)) {}
+
+    FeedForwardNet net_;
+    std::vector<float> logPriors_;
+};
+
+} // namespace sirius::speech
+
+#endif // SIRIUS_SPEECH_DNN_H

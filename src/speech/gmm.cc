@@ -1,0 +1,188 @@
+#include "speech/gmm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "audio/phoneme.h"
+#include "common/logging.h"
+#include "common/matrix.h"
+#include "common/rng.h"
+
+namespace sirius::speech {
+
+namespace {
+constexpr double kLog2Pi = 1.8378770664093453;
+constexpr float kVarFloor = 1e-2f;
+} // namespace
+
+void
+DiagGaussian::refreshNorm()
+{
+    double acc = -0.5 * kLog2Pi * static_cast<double>(mean.size());
+    for (float iv : invVar)
+        acc += 0.5 * std::log(static_cast<double>(iv));
+    logNorm = static_cast<float>(acc);
+}
+
+double
+DiagGaussian::logDensity(const audio::FeatureVector &x) const
+{
+    double acc = logNorm;
+    for (size_t d = 0; d < mean.size(); ++d) {
+        const double diff = static_cast<double>(x[d]) - mean[d];
+        acc -= 0.5 * diff * diff * invVar[d];
+    }
+    return acc;
+}
+
+double
+Gmm::logLikelihood(const audio::FeatureVector &x) const
+{
+    std::vector<double> terms(comps_.size());
+    for (size_t k = 0; k < comps_.size(); ++k)
+        terms[k] = logWeights_[k] + comps_[k].logDensity(x);
+    return logSumExp(terms);
+}
+
+Gmm
+Gmm::fit(const std::vector<audio::FeatureVector> &data, int components,
+         int iterations, Rng &rng)
+{
+    if (data.empty())
+        fatal("Gmm::fit: empty training data");
+    const size_t dim = data[0].size();
+    const size_t k = std::max<size_t>(1,
+        std::min<size_t>(static_cast<size_t>(components), data.size()));
+
+    // Global variance, used to initialize every component.
+    std::vector<double> gmean(dim, 0.0), gvar(dim, 0.0);
+    for (const auto &x : data) {
+        for (size_t d = 0; d < dim; ++d)
+            gmean[d] += x[d];
+    }
+    for (auto &m : gmean)
+        m /= static_cast<double>(data.size());
+    for (const auto &x : data) {
+        for (size_t d = 0; d < dim; ++d) {
+            const double diff = x[d] - gmean[d];
+            gvar[d] += diff * diff;
+        }
+    }
+    for (auto &v : gvar) {
+        v /= static_cast<double>(data.size());
+        v = std::max<double>(v, kVarFloor);
+    }
+
+    Gmm gmm;
+    gmm.comps_.resize(k);
+    gmm.logWeights_.assign(k, static_cast<float>(-std::log(
+        static_cast<double>(k))));
+    for (size_t c = 0; c < k; ++c) {
+        const auto &seed_point = data[rng.below(data.size())];
+        auto &g = gmm.comps_[c];
+        g.mean.assign(seed_point.begin(), seed_point.end());
+        g.invVar.resize(dim);
+        for (size_t d = 0; d < dim; ++d)
+            g.invVar[d] = static_cast<float>(1.0 / gvar[d]);
+        g.refreshNorm();
+    }
+
+    // EM.
+    std::vector<std::vector<double>> resp(
+        data.size(), std::vector<double>(k, 0.0));
+    std::vector<double> terms(k);
+    for (int iter = 0; iter < iterations; ++iter) {
+        // E step: responsibilities in the log domain.
+        for (size_t i = 0; i < data.size(); ++i) {
+            for (size_t c = 0; c < k; ++c) {
+                terms[c] = gmm.logWeights_[c] +
+                    gmm.comps_[c].logDensity(data[i]);
+            }
+            const double lz = logSumExp(terms);
+            for (size_t c = 0; c < k; ++c)
+                resp[i][c] = std::exp(terms[c] - lz);
+        }
+        // M step.
+        for (size_t c = 0; c < k; ++c) {
+            double total = 1e-8;
+            std::vector<double> mean(dim, 0.0), var(dim, 0.0);
+            for (size_t i = 0; i < data.size(); ++i) {
+                total += resp[i][c];
+                for (size_t d = 0; d < dim; ++d)
+                    mean[d] += resp[i][c] * data[i][d];
+            }
+            for (auto &m : mean)
+                m /= total;
+            for (size_t i = 0; i < data.size(); ++i) {
+                for (size_t d = 0; d < dim; ++d) {
+                    const double diff = data[i][d] - mean[d];
+                    var[d] += resp[i][c] * diff * diff;
+                }
+            }
+            auto &g = gmm.comps_[c];
+            for (size_t d = 0; d < dim; ++d) {
+                g.mean[d] = static_cast<float>(mean[d]);
+                const double v = std::max<double>(var[d] / total,
+                                                  kVarFloor);
+                g.invVar[d] = static_cast<float>(1.0 / v);
+            }
+            g.refreshNorm();
+            gmm.logWeights_[c] = static_cast<float>(std::log(
+                total / static_cast<double>(data.size())));
+        }
+    }
+    return gmm;
+}
+
+GmmAcousticModel
+GmmAcousticModel::train(const std::vector<audio::FeatureVector> &features,
+                        const std::vector<int> &labels, int components,
+                        int em_iterations, uint64_t seed,
+                        size_t num_states)
+{
+    if (features.size() != labels.size())
+        fatal("GmmAcousticModel::train: features/labels size mismatch");
+    if (num_states == 0)
+        num_states = audio::kNumPhonemes;
+    Rng rng(seed);
+
+    // Bucket frames by acoustic state.
+    std::vector<std::vector<audio::FeatureVector>> buckets(num_states);
+    for (size_t i = 0; i < features.size(); ++i) {
+        const int label = labels[i];
+        if (label < 0 || static_cast<size_t>(label) >= num_states)
+            fatal("GmmAcousticModel::train: label out of range");
+        buckets[static_cast<size_t>(label)].push_back(features[i]);
+    }
+
+    GmmAcousticModel model;
+    model.states_.reserve(num_states);
+    for (size_t p = 0; p < num_states; ++p) {
+        auto &bucket = buckets[p];
+        if (bucket.empty()) {
+            // Unseen phoneme: fall back to a wide mixture around zero so
+            // scoring stays well-defined but unattractive.
+            audio::FeatureVector zero(features.empty() ? 13
+                                      : features[0].size(), 0.0f);
+            bucket.push_back(zero);
+        }
+        // Cap the mixture size by the bucket's support so sparse
+        // phonemes don't overfit to spiky singleton components.
+        const int k = std::max(1, std::min<int>(
+            components, static_cast<int>(bucket.size() / 8)));
+        model.states_.push_back(
+            Gmm::fit(bucket, k, em_iterations, rng));
+    }
+    return model;
+}
+
+std::vector<float>
+GmmAcousticModel::scoreAll(const audio::FeatureVector &feature) const
+{
+    std::vector<float> scores(states_.size());
+    for (size_t p = 0; p < states_.size(); ++p)
+        scores[p] = static_cast<float>(states_[p].logLikelihood(feature));
+    return scores;
+}
+
+} // namespace sirius::speech

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Diagonal-covariance Gaussian mixture models and the GMM acoustic model.
+ *
+ * Mirrors CMU Sphinx's acoustic scoring: each HMM (phoneme) state owns a
+ * small mixture of diagonal Gaussians; scoring a feature vector against a
+ * state is the log-sum of per-component log densities — the triple loop
+ * (states x components x dimensions) the paper extracts as the GMM kernel.
+ */
+
+#ifndef SIRIUS_SPEECH_GMM_H
+#define SIRIUS_SPEECH_GMM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "speech/acoustic_model.h"
+
+namespace sirius {
+class Rng;
+}
+
+namespace sirius::speech {
+
+/** One diagonal-covariance Gaussian in feature space. */
+struct DiagGaussian
+{
+    std::vector<float> mean;
+    std::vector<float> invVar;  ///< 1 / sigma^2 per dimension
+    float logNorm = 0.0f;       ///< -0.5 * (d*log(2pi) + sum log sigma^2)
+
+    /** Recompute logNorm from invVar. */
+    void refreshNorm();
+
+    /** log N(x; mean, diag(1/invVar)). */
+    double logDensity(const audio::FeatureVector &x) const;
+};
+
+/** A mixture of diagonal Gaussians. */
+class Gmm
+{
+  public:
+    /** log p(x) = logsum_k (w_k * N_k(x)). */
+    double logLikelihood(const audio::FeatureVector &x) const;
+
+    /**
+     * Fit by expectation-maximization.
+     * @param data training vectors (must be non-empty)
+     * @param components mixture size (clamped to data size)
+     * @param iterations EM iterations
+     * @param rng source for the initial component means
+     */
+    static Gmm fit(const std::vector<audio::FeatureVector> &data,
+                   int components, int iterations, Rng &rng);
+
+    const std::vector<DiagGaussian> &components() const { return comps_; }
+    const std::vector<float> &logWeights() const { return logWeights_; }
+
+  private:
+    std::vector<DiagGaussian> comps_;
+    std::vector<float> logWeights_;
+};
+
+/** Per-phoneme GMM acoustic model (Sphinx-style scoring). */
+class GmmAcousticModel : public AcousticScorer
+{
+  public:
+    /**
+     * Train one GMM per acoustic state from labeled frames.
+     * @param features frame feature vectors
+     * @param labels per-frame state ids, same length as @p features
+     * @param components per-state mixture size
+     * @param em_iterations EM iterations per state
+     * @param seed RNG seed for EM initialization
+     * @param num_states acoustic state count (default: one per phoneme)
+     */
+    static GmmAcousticModel train(
+        const std::vector<audio::FeatureVector> &features,
+        const std::vector<int> &labels, int components = 3,
+        int em_iterations = 6, uint64_t seed = 99, size_t num_states = 0);
+
+    std::vector<float>
+    scoreAll(const audio::FeatureVector &feature) const override;
+
+    const char *name() const override { return "GMM"; }
+
+    size_t stateCount() const override { return states_.size(); }
+
+    /** Per-phoneme mixtures (indexed by phoneme id). */
+    const std::vector<Gmm> &states() const { return states_; }
+
+  private:
+    std::vector<Gmm> states_;
+};
+
+} // namespace sirius::speech
+
+#endif // SIRIUS_SPEECH_GMM_H

@@ -1,0 +1,76 @@
+#include "speech/language_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sirius::speech {
+
+Vocabulary::Vocabulary()
+{
+    words_.push_back("<s>");
+    ids_["<s>"] = 0;
+}
+
+int
+Vocabulary::add(const std::string &word)
+{
+    auto it = ids_.find(word);
+    if (it != ids_.end())
+        return it->second;
+    const int id = static_cast<int>(words_.size());
+    words_.push_back(word);
+    ids_[word] = id;
+    return id;
+}
+
+int
+Vocabulary::idOf(const std::string &word) const
+{
+    auto it = ids_.find(word);
+    return it == ids_.end() ? -1 : it->second;
+}
+
+const std::string &
+Vocabulary::wordOf(int id) const
+{
+    if (id < 0 || static_cast<size_t>(id) >= words_.size())
+        panic("Vocabulary::wordOf: id out of range");
+    return words_[static_cast<size_t>(id)];
+}
+
+BigramLm::BigramLm(const std::vector<std::vector<int>> &sentences,
+                   size_t vocab_size, double add_k)
+    : vocabSize_(vocab_size), addK_(add_k),
+      counts_(vocab_size * vocab_size, 0.0),
+      rowTotals_(vocab_size, 0.0)
+{
+    if (vocab_size == 0)
+        fatal("BigramLm: empty vocabulary");
+    for (const auto &sentence : sentences) {
+        int prev = 0;
+        for (int word : sentence) {
+            if (word < 0 || static_cast<size_t>(word) >= vocab_size)
+                fatal("BigramLm: word id out of range");
+            counts_[static_cast<size_t>(prev) * vocabSize_ +
+                    static_cast<size_t>(word)] += 1.0;
+            rowTotals_[static_cast<size_t>(prev)] += 1.0;
+            prev = word;
+        }
+        counts_[static_cast<size_t>(prev) * vocabSize_] += 1.0;
+        rowTotals_[static_cast<size_t>(prev)] += 1.0;
+    }
+}
+
+double
+BigramLm::logProb(int prev, int next) const
+{
+    const auto p = static_cast<size_t>(prev);
+    const auto n = static_cast<size_t>(next);
+    const double numer = counts_[p * vocabSize_ + n] + addK_;
+    const double denom = rowTotals_[p] +
+        addK_ * static_cast<double>(vocabSize_);
+    return std::log(numer / denom);
+}
+
+} // namespace sirius::speech

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Bigram word language model with add-k smoothing.
+ */
+
+#ifndef SIRIUS_SPEECH_LANGUAGE_MODEL_H
+#define SIRIUS_SPEECH_LANGUAGE_MODEL_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sirius::speech {
+
+/**
+ * Word vocabulary with stable integer ids.
+ * Id 0 is reserved for the sentence-boundary marker.
+ */
+class Vocabulary
+{
+  public:
+    Vocabulary();
+
+    /** Add @p word if absent; returns its id. */
+    int add(const std::string &word);
+
+    /** Id of @p word or -1 when unknown. */
+    int idOf(const std::string &word) const;
+
+    /** Word for @p id. */
+    const std::string &wordOf(int id) const;
+
+    /** Vocabulary size including the boundary marker. */
+    size_t size() const { return words_.size(); }
+
+  private:
+    std::vector<std::string> words_;
+    std::map<std::string, int> ids_;
+};
+
+/** Add-k smoothed bigram model over a Vocabulary. */
+class BigramLm
+{
+  public:
+    /**
+     * Count bigrams over @p sentences (each a word-id sequence; boundary
+     * transitions to/from id 0 are added automatically).
+     */
+    BigramLm(const std::vector<std::vector<int>> &sentences,
+             size_t vocab_size, double add_k = 0.2);
+
+    /** log P(next | prev). */
+    double logProb(int prev, int next) const;
+
+    /** log P(word | sentence start). */
+    double logProbStart(int word) const { return logProb(0, word); }
+
+    size_t vocabSize() const { return vocabSize_; }
+
+  private:
+    size_t vocabSize_;
+    double addK_;
+    std::vector<double> counts_;     ///< counts_[prev * V + next]
+    std::vector<double> rowTotals_;
+};
+
+} // namespace sirius::speech
+
+#endif // SIRIUS_SPEECH_LANGUAGE_MODEL_H

@@ -1,0 +1,102 @@
+#include "speech/trigram_lm.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sirius::speech {
+
+TrigramLm::TrigramLm(const std::vector<std::vector<int>> &sentences,
+                     size_t vocab_size, double backoff)
+    : vocabSize_(vocab_size), backoff_(backoff),
+      unigrams_(vocab_size, 0)
+{
+    if (vocab_size == 0 || vocab_size >= (1u << 21))
+        fatal("TrigramLm: vocabulary size out of range");
+    for (const auto &sentence : sentences) {
+        // Pad with two boundary markers so the first real word has full
+        // trigram context.
+        std::vector<int> padded;
+        padded.reserve(sentence.size() + 3);
+        padded.push_back(0);
+        padded.push_back(0);
+        padded.insert(padded.end(), sentence.begin(), sentence.end());
+        padded.push_back(0);
+        for (size_t i = 0; i < padded.size(); ++i) {
+            const auto w = static_cast<uint64_t>(padded[i]);
+            if (w >= vocabSize_)
+                fatal("TrigramLm: word id out of range");
+            ++unigrams_[w];
+            ++totalUnigrams_;
+            if (i >= 1) {
+                ++bigrams_[pack(
+                    static_cast<uint64_t>(padded[i - 1]), w)];
+            }
+            if (i >= 2) {
+                ++trigrams_[pack3(
+                    static_cast<uint64_t>(padded[i - 2]),
+                    static_cast<uint64_t>(padded[i - 1]), w)];
+            }
+        }
+    }
+}
+
+double
+TrigramLm::logProb(int prev2, int prev1, int next) const
+{
+    const auto a = static_cast<uint64_t>(prev2);
+    const auto b = static_cast<uint64_t>(prev1);
+    const auto c = static_cast<uint64_t>(next);
+
+    // Trigram estimate when the context was seen.
+    auto tri = trigrams_.find(pack3(a, b, c));
+    if (tri != trigrams_.end()) {
+        auto ctx = bigrams_.find(pack(a, b));
+        if (ctx != bigrams_.end() && ctx->second > 0) {
+            return std::log(static_cast<double>(tri->second) /
+                            static_cast<double>(ctx->second));
+        }
+    }
+    // Back off to the bigram.
+    auto bi = bigrams_.find(pack(b, c));
+    if (bi != bigrams_.end() && unigrams_[b] > 0) {
+        return std::log(backoff_) +
+            std::log(static_cast<double>(bi->second) /
+                     static_cast<double>(unigrams_[b]));
+    }
+    // Back off to the (add-one) unigram.
+    return 2.0 * std::log(backoff_) +
+        std::log((static_cast<double>(unigrams_[c]) + 1.0) /
+                 (static_cast<double>(totalUnigrams_) +
+                  static_cast<double>(vocabSize_)));
+}
+
+double
+TrigramLm::sentenceLogProb(const std::vector<int> &sentence) const
+{
+    int prev2 = 0, prev1 = 0;
+    double total = 0.0;
+    for (int w : sentence) {
+        total += logProb(prev2, prev1, w);
+        prev2 = prev1;
+        prev1 = w;
+    }
+    total += logProb(prev2, prev1, 0); // sentence end
+    return total;
+}
+
+double
+TrigramLm::perplexity(const std::vector<std::vector<int>> &corpus) const
+{
+    double log_sum = 0.0;
+    size_t tokens = 0;
+    for (const auto &sentence : corpus) {
+        log_sum += sentenceLogProb(sentence);
+        tokens += sentence.size() + 1; // + end marker
+    }
+    if (tokens == 0)
+        return 1.0;
+    return std::exp(-log_sum / static_cast<double>(tokens));
+}
+
+} // namespace sirius::speech

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Backoff trigram language model.
+ *
+ * Extends the bigram model with one more order of context plus
+ * stupid-backoff smoothing: P(w | u, v) backs off to the bigram (and
+ * then unigram) estimate with a fixed discount when the trigram is
+ * unseen. The decoder keeps its bigram interface (its state space is
+ * word-level), but the trigram model rescoring API lets callers rerank
+ * n-best hypotheses — the standard two-pass arrangement in large
+ * recognizers.
+ */
+
+#ifndef SIRIUS_SPEECH_TRIGRAM_LM_H
+#define SIRIUS_SPEECH_TRIGRAM_LM_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "speech/language_model.h"
+
+namespace sirius::speech {
+
+/** Stupid-backoff trigram model over a Vocabulary. */
+class TrigramLm
+{
+  public:
+    /**
+     * Count n-grams over @p sentences (word-id sequences; boundary
+     * id 0 is added at both ends automatically).
+     * @param backoff discount applied per backoff level (default 0.4,
+     *        the canonical stupid-backoff constant)
+     */
+    TrigramLm(const std::vector<std::vector<int>> &sentences,
+              size_t vocab_size, double backoff = 0.4);
+
+    /** log P(next | prev2, prev1) with backoff. */
+    double logProb(int prev2, int prev1, int next) const;
+
+    /** Log probability of a full sentence including boundaries. */
+    double sentenceLogProb(const std::vector<int> &sentence) const;
+
+    /**
+     * Perplexity over a corpus: exp(-sum logP / token count).
+     * Lower is better; the trigram must beat the bigram on text it was
+     * trained on (asserted in tests).
+     */
+    double perplexity(const std::vector<std::vector<int>> &corpus) const;
+
+    size_t vocabSize() const { return vocabSize_; }
+
+  private:
+    size_t vocabSize_;
+    double backoff_;
+    uint64_t totalUnigrams_ = 0;
+
+    std::unordered_map<uint64_t, uint32_t> trigrams_;
+    std::unordered_map<uint64_t, uint32_t> bigrams_;
+    std::vector<uint32_t> unigrams_;
+
+    static uint64_t
+    pack(uint64_t a, uint64_t b)
+    {
+        return (a << 32) | b;
+    }
+    static uint64_t
+    pack3(uint64_t a, uint64_t b, uint64_t c)
+    {
+        return (a << 42) | (b << 21) | c;
+    }
+};
+
+} // namespace sirius::speech
+
+#endif // SIRIUS_SPEECH_TRIGRAM_LM_H

@@ -1,0 +1,63 @@
+#include "suite/crf_kernel.h"
+
+#include <atomic>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "nlp/pos_corpus.h"
+
+namespace sirius::suite {
+
+CrfKernel::CrfKernel(size_t sentences, size_t train_sentences,
+                     uint64_t seed)
+{
+    tagger_ = std::make_unique<nlp::CrfTagger>(size_t{1} << 15);
+    nlp::CrfTagger::TrainOptions opts;
+    opts.epochs = 3;
+    opts.shuffleSeed = seed;
+    tagger_->train(nlp::generatePosCorpus(train_sentences, seed), opts);
+
+    for (const auto &s : nlp::generatePosCorpus(sentences, seed ^ 0x77))
+        sentences_.push_back(s.words);
+}
+
+uint64_t
+CrfKernel::tagRange(size_t begin, size_t end) const
+{
+    uint64_t checksum = 0;
+    for (size_t i = begin; i < end; ++i) {
+        const auto tags = tagger_->tag(sentences_[i]);
+        uint64_t digest = 0;
+        for (const auto tag : tags)
+            digest = digest * 31 + static_cast<uint64_t>(tag);
+        checksum += digest;
+    }
+    return checksum;
+}
+
+KernelResult
+CrfKernel::runSerial() const
+{
+    KernelResult result;
+    Stopwatch watch;
+    result.checksum = tagRange(0, sentences_.size());
+    result.seconds = watch.seconds();
+    return result;
+}
+
+KernelResult
+CrfKernel::runThreaded(size_t threads) const
+{
+    KernelResult result;
+    Stopwatch watch;
+    std::atomic<uint64_t> checksum{0};
+    parallelFor(sentences_.size(), threads,
+                [this, &checksum](size_t begin, size_t end) {
+                    checksum += tagRange(begin, end);
+                });
+    result.checksum = checksum.load();
+    result.seconds = watch.seconds();
+    return result;
+}
+
+} // namespace sirius::suite

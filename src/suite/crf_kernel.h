@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Sirius Suite CRF kernel: part-of-speech tagging a sentence set with a
+ * trained linear-chain CRF (Table 4, row 5; the paper uses CRFsuite on
+ * CoNLL-2000 — our stand-in corpus is the synthetic tagged corpus).
+ */
+
+#ifndef SIRIUS_SUITE_CRF_KERNEL_H
+#define SIRIUS_SUITE_CRF_KERNEL_H
+
+#include <memory>
+
+#include "nlp/crf.h"
+#include "suite/suite.h"
+
+namespace sirius::suite {
+
+/** CRF tagging kernel. Parallel granularity: per sentence. */
+class CrfKernel : public SuiteKernel
+{
+  public:
+    /**
+     * @param sentences number of sentences to tag per run
+     * @param train_sentences training-set size for the tagger
+     */
+    CrfKernel(size_t sentences, size_t train_sentences, uint64_t seed);
+
+    const char *name() const override { return "CRF"; }
+    Service service() const override { return Service::Qa; }
+    const char *granularity() const override
+    {
+        return "for each sentence";
+    }
+
+    KernelResult runSerial() const override;
+    KernelResult runThreaded(size_t threads) const override;
+
+    size_t sentenceCount() const { return sentences_.size(); }
+
+  private:
+    std::unique_ptr<nlp::CrfTagger> tagger_;
+    std::vector<std::vector<std::string>> sentences_;
+
+    uint64_t tagRange(size_t begin, size_t end) const;
+};
+
+} // namespace sirius::suite
+
+#endif // SIRIUS_SUITE_CRF_KERNEL_H

@@ -1,0 +1,90 @@
+#include "suite/dnn_kernel.h"
+
+#include <atomic>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace sirius::suite {
+
+DnnKernel::DnnKernel(std::vector<size_t> layer_sizes, size_t batch,
+                     uint64_t seed)
+{
+    if (layer_sizes.size() < 2)
+        fatal("DnnKernel: need at least two layers");
+    Rng rng(seed);
+    for (size_t l = 0; l + 1 < layer_sizes.size(); ++l) {
+        Matrix w(layer_sizes[l], layer_sizes[l + 1]);
+        w.fillGaussian(rng, 0.0f, 0.1f);
+        weights_.push_back(std::move(w));
+        std::vector<float> b(layer_sizes[l + 1]);
+        for (auto &x : b)
+            x = static_cast<float>(rng.gaussian(0.0, 0.05));
+        biases_.push_back(std::move(b));
+    }
+    input_ = Matrix(batch, layer_sizes[0]);
+    input_.fillGaussian(rng, 0.0f, 1.0f);
+}
+
+uint64_t
+DnnKernel::forwardRows(size_t begin, size_t end) const
+{
+    uint64_t checksum = 0;
+    std::vector<float> act, next;
+    for (size_t r = begin; r < end; ++r) {
+        act.assign(input_.row(r), input_.row(r) + input_.cols());
+        for (size_t l = 0; l < weights_.size(); ++l) {
+            const Matrix &w = weights_[l];
+            next.assign(w.cols(), 0.0f);
+            for (size_t i = 0; i < w.rows(); ++i) {
+                const float a = act[i];
+                if (a == 0.0f)
+                    continue;
+                const float *row = w.row(i);
+                for (size_t j = 0; j < w.cols(); ++j)
+                    next[j] += a * row[j];
+            }
+            for (size_t j = 0; j < next.size(); ++j)
+                next[j] += biases_[l][j];
+            if (l + 1 < weights_.size())
+                reluInPlace(next);
+            act.swap(next);
+        }
+        double digest = 0.0;
+        for (float v : act)
+            digest += v;
+        checksum += static_cast<uint64_t>(
+            static_cast<int64_t>(std::llround(digest * 64.0)));
+    }
+    return checksum;
+}
+
+KernelResult
+DnnKernel::runSerial() const
+{
+    KernelResult result;
+    Stopwatch watch;
+    result.checksum = forwardRows(0, input_.rows());
+    result.seconds = watch.seconds();
+    return result;
+}
+
+KernelResult
+DnnKernel::runThreaded(size_t threads) const
+{
+    KernelResult result;
+    Stopwatch watch;
+    std::atomic<uint64_t> checksum{0};
+    parallelFor(input_.rows(), threads,
+                [this, &checksum](size_t begin, size_t end) {
+                    checksum += forwardRows(begin, end);
+                });
+    result.checksum = checksum.load();
+    result.seconds = watch.seconds();
+    return result;
+}
+
+} // namespace sirius::suite

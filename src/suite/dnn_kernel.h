@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Sirius Suite DNN kernel: batched feed-forward scoring (RASR-style),
+ * dominated by dense matrix multiplication (Table 4, row 2).
+ */
+
+#ifndef SIRIUS_SUITE_DNN_KERNEL_H
+#define SIRIUS_SUITE_DNN_KERNEL_H
+
+#include "common/matrix.h"
+#include "suite/suite.h"
+
+namespace sirius::suite {
+
+/** Batched DNN forward pass. Parallel granularity: per matrix block. */
+class DnnKernel : public SuiteKernel
+{
+  public:
+    /**
+     * @param layer_sizes network layer sizes including input and output
+     * @param batch number of feature frames scored per run
+     */
+    DnnKernel(std::vector<size_t> layer_sizes, size_t batch,
+              uint64_t seed);
+
+    const char *name() const override { return "DNN"; }
+    Service service() const override { return Service::Asr; }
+    const char *granularity() const override
+    {
+        return "for each matrix multiplication";
+    }
+
+    KernelResult runSerial() const override;
+    KernelResult runThreaded(size_t threads) const override;
+
+    size_t batchSize() const { return input_.rows(); }
+
+  private:
+    std::vector<Matrix> weights_; ///< weights_[l]: in x out (row-major)
+    std::vector<std::vector<float>> biases_;
+    Matrix input_;                ///< batch x input-dim
+
+    /** Forward rows [begin, end) of the batch; returns their digest. */
+    uint64_t forwardRows(size_t begin, size_t end) const;
+};
+
+} // namespace sirius::suite
+
+#endif // SIRIUS_SUITE_DNN_KERNEL_H

@@ -1,0 +1,63 @@
+#include "suite/fd_kernel.h"
+
+#include <atomic>
+#include <cmath>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "vision/landmarks.h"
+
+namespace sirius::suite {
+
+FdKernel::FdKernel(int image_size, uint64_t seed)
+    : image_(vision::generateLandmark(static_cast<int>(seed % 89) + 1,
+                                      image_size, image_size))
+{
+    integral_ = std::make_unique<vision::IntegralImage>(image_);
+    keypoints_ = vision::detectKeypoints(*integral_);
+}
+
+uint64_t
+FdKernel::describeRange(size_t begin, size_t end) const
+{
+    uint64_t checksum = 0;
+    for (size_t i = begin; i < end; ++i) {
+        // Copy: orientation assignment mutates the keypoint.
+        std::vector<vision::Keypoint> one = {keypoints_[i]};
+        const auto descriptors = vision::describeKeypoints(*integral_,
+                                                           one);
+        double digest = 0.0;
+        for (float v : descriptors[0])
+            digest += std::fabs(static_cast<double>(v));
+        checksum += static_cast<uint64_t>(
+            static_cast<int64_t>(std::llround(digest * 1024.0)));
+    }
+    return checksum;
+}
+
+KernelResult
+FdKernel::runSerial() const
+{
+    KernelResult result;
+    Stopwatch watch;
+    result.checksum = describeRange(0, keypoints_.size());
+    result.seconds = watch.seconds();
+    return result;
+}
+
+KernelResult
+FdKernel::runThreaded(size_t threads) const
+{
+    KernelResult result;
+    Stopwatch watch;
+    std::atomic<uint64_t> checksum{0};
+    parallelFor(keypoints_.size(), threads,
+                [this, &checksum](size_t begin, size_t end) {
+                    checksum += describeRange(begin, end);
+                });
+    result.checksum = checksum.load();
+    result.seconds = watch.seconds();
+    return result;
+}
+
+} // namespace sirius::suite

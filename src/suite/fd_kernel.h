@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Sirius Suite FD kernel: SURF descriptor computation for a vector of
+ * keypoints (Table 4, row 7).
+ */
+
+#ifndef SIRIUS_SUITE_FD_KERNEL_H
+#define SIRIUS_SUITE_FD_KERNEL_H
+
+#include <memory>
+
+#include "suite/suite.h"
+#include "vision/integral_image.h"
+#include "vision/surf.h"
+
+namespace sirius::suite {
+
+/** SURF descriptor kernel. Parallel granularity: per keypoint. */
+class FdKernel : public SuiteKernel
+{
+  public:
+    /**
+     * @param image_size square input-image side; keypoints are detected
+     *        once at construction and described on every run.
+     */
+    FdKernel(int image_size, uint64_t seed);
+
+    const char *name() const override { return "FD"; }
+    Service service() const override { return Service::Imm; }
+    const char *granularity() const override
+    {
+        return "for each keypoint";
+    }
+
+    KernelResult runSerial() const override;
+    KernelResult runThreaded(size_t threads) const override;
+
+    size_t keypointCount() const { return keypoints_.size(); }
+
+  private:
+    vision::Image image_;
+    std::unique_ptr<vision::IntegralImage> integral_;
+    std::vector<vision::Keypoint> keypoints_;
+
+    uint64_t describeRange(size_t begin, size_t end) const;
+};
+
+} // namespace sirius::suite
+
+#endif // SIRIUS_SUITE_FD_KERNEL_H

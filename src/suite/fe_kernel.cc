@@ -1,0 +1,77 @@
+#include "suite/fe_kernel.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "vision/landmarks.h"
+
+namespace sirius::suite {
+
+FeKernel::FeKernel(int image_size, uint64_t seed)
+    : image_(vision::generateLandmark(static_cast<int>(seed % 97),
+                                      image_size, image_size))
+{
+}
+
+KernelResult
+FeKernel::runSerial() const
+{
+    KernelResult result;
+    Stopwatch watch;
+    const vision::IntegralImage integral(image_);
+    const auto keypoints = vision::detectKeypoints(integral, config_);
+    result.seconds = watch.seconds();
+    result.checksum = keypoints.size();
+    return result;
+}
+
+KernelResult
+FeKernel::runThreaded(size_t threads) const
+{
+    KernelResult result;
+    Stopwatch watch;
+
+    // Tile into horizontal bands, each at least kMinTile rows tall, with
+    // an overlap margin so filters near band edges see full support.
+    const int height = image_.height();
+    const int bands = std::max(1, std::min<int>(
+        static_cast<int>(threads), height / kMinTile));
+    const int band_height = height / bands;
+    constexpr int margin = 32;
+
+    std::atomic<uint64_t> total{0};
+    parallelFor(static_cast<size_t>(bands), threads,
+                [this, band_height, bands, height, &total](
+                    size_t begin, size_t end) {
+        for (size_t band = begin; band < end; ++band) {
+            const int core_y0 = static_cast<int>(band) * band_height;
+            const int core_y1 = band + 1 == static_cast<size_t>(bands)
+                ? height : core_y0 + band_height;
+            const int y0 = std::max(0, core_y0 - margin);
+            const int y1 = std::min(height, core_y1 + margin);
+
+            vision::Image tile(image_.width(), y1 - y0);
+            for (int y = y0; y < y1; ++y) {
+                for (int x = 0; x < image_.width(); ++x)
+                    tile.set(x, y - y0, image_.at(x, y));
+            }
+            const vision::IntegralImage integral(tile);
+            const auto keypoints =
+                vision::detectKeypoints(integral, config_);
+            uint64_t in_core = 0;
+            for (const auto &kp : keypoints) {
+                const int y = static_cast<int>(kp.y) + y0;
+                if (y >= core_y0 && y < core_y1)
+                    ++in_core;
+            }
+            total += in_core;
+        }
+    });
+    result.checksum = total.load();
+    result.seconds = watch.seconds();
+    return result;
+}
+
+} // namespace sirius::suite

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Sirius Suite FE kernel: SURF feature extraction over an input image
+ * (Table 4, row 6). The threaded port tiles the image as the paper
+ * describes, with a minimum tile size of 50x50 pixels per thread.
+ */
+
+#ifndef SIRIUS_SUITE_FE_KERNEL_H
+#define SIRIUS_SUITE_FE_KERNEL_H
+
+#include "suite/suite.h"
+#include "vision/surf.h"
+
+namespace sirius::suite {
+
+/** SURF detector kernel. Parallel granularity: per image tile. */
+class FeKernel : public SuiteKernel
+{
+  public:
+    /**
+     * @param image_size square input-image side in pixels
+     * @note checksum is the detected keypoint count; tiling changes
+     *       border behaviour, so serial and threaded counts are close
+     *       but not identical (the paper notes the same effect).
+     */
+    FeKernel(int image_size, uint64_t seed);
+
+    const char *name() const override { return "FE"; }
+    Service service() const override { return Service::Imm; }
+    const char *granularity() const override
+    {
+        return "for each image tile";
+    }
+
+    KernelResult runSerial() const override;
+    KernelResult runThreaded(size_t threads) const override;
+
+    const vision::Image &image() const { return image_; }
+
+  private:
+    vision::Image image_;
+    vision::SurfConfig config_;
+
+    /** Minimum tile side, per the paper's porting methodology. */
+    static constexpr int kMinTile = 50;
+};
+
+} // namespace sirius::suite
+
+#endif // SIRIUS_SUITE_FE_KERNEL_H

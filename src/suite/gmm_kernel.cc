@@ -1,0 +1,83 @@
+#include "suite/gmm_kernel.h"
+
+#include <atomic>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace sirius::suite {
+
+GmmKernel::GmmKernel(size_t states, size_t components, size_t frames,
+                     size_t dims, uint64_t seed)
+{
+    Rng rng(seed);
+    // Fit each state's mixture on a small cloud around a random center,
+    // giving realistic (non-degenerate) mixtures without training audio.
+    for (size_t s = 0; s < states; ++s) {
+        std::vector<audio::FeatureVector> cloud;
+        audio::FeatureVector center(dims);
+        for (auto &c : center)
+            c = static_cast<float>(rng.uniform(-4.0, 4.0));
+        for (size_t i = 0; i < components * 8; ++i) {
+            audio::FeatureVector point(dims);
+            for (size_t d = 0; d < dims; ++d) {
+                point[d] = center[d] +
+                    static_cast<float>(rng.gaussian(0.0, 0.8));
+            }
+            cloud.push_back(std::move(point));
+        }
+        states_.push_back(speech::Gmm::fit(
+            cloud, static_cast<int>(components), 2, rng));
+    }
+    for (size_t f = 0; f < frames; ++f) {
+        audio::FeatureVector frame(dims);
+        for (auto &v : frame)
+            v = static_cast<float>(rng.uniform(-5.0, 5.0));
+        frames_.push_back(std::move(frame));
+    }
+}
+
+uint64_t
+GmmKernel::scoreRange(size_t state_begin, size_t state_end) const
+{
+    // Quantize per-(state, frame) scores so the checksum is independent
+    // of summation order (threaded runs must agree with serial).
+    uint64_t checksum = 0;
+    for (size_t s = state_begin; s < state_end; ++s) {
+        for (const auto &frame : frames_) {
+            const double score = states_[s].logLikelihood(frame);
+            checksum += static_cast<uint64_t>(
+                static_cast<int64_t>(std::llround(score * 64.0)));
+        }
+    }
+    return checksum;
+}
+
+KernelResult
+GmmKernel::runSerial() const
+{
+    KernelResult result;
+    Stopwatch watch;
+    result.checksum = scoreRange(0, states_.size());
+    result.seconds = watch.seconds();
+    return result;
+}
+
+KernelResult
+GmmKernel::runThreaded(size_t threads) const
+{
+    KernelResult result;
+    Stopwatch watch;
+    std::atomic<uint64_t> checksum{0};
+    parallelFor(states_.size(), threads,
+                [this, &checksum](size_t begin, size_t end) {
+                    checksum += scoreRange(begin, end);
+                });
+    result.checksum = checksum.load();
+    result.seconds = watch.seconds();
+    return result;
+}
+
+} // namespace sirius::suite

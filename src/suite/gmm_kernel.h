@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Sirius Suite GMM kernel: Sphinx-style acoustic scoring of feature
+ * frames against every HMM state's Gaussian mixture (Table 4, row 1).
+ */
+
+#ifndef SIRIUS_SUITE_GMM_KERNEL_H
+#define SIRIUS_SUITE_GMM_KERNEL_H
+
+#include "audio/mfcc.h"
+#include "speech/gmm.h"
+#include "suite/suite.h"
+
+namespace sirius::suite {
+
+/** GMM scoring kernel. Parallel granularity: per HMM state. */
+class GmmKernel : public SuiteKernel
+{
+  public:
+    /**
+     * @param states number of HMM states (senones)
+     * @param components Gaussians per state
+     * @param frames feature vectors to score
+     * @param dims feature dimensionality
+     */
+    GmmKernel(size_t states, size_t components, size_t frames,
+              size_t dims, uint64_t seed);
+
+    const char *name() const override { return "GMM"; }
+    Service service() const override { return Service::Asr; }
+    const char *granularity() const override
+    {
+        return "for each HMM state";
+    }
+
+    KernelResult runSerial() const override;
+    KernelResult runThreaded(size_t threads) const override;
+
+    size_t stateCount() const { return states_.size(); }
+    size_t frameCount() const { return frames_.size(); }
+
+  private:
+    std::vector<speech::Gmm> states_;
+    std::vector<audio::FeatureVector> frames_;
+
+    uint64_t scoreRange(size_t state_begin, size_t state_end) const;
+};
+
+} // namespace sirius::suite
+
+#endif // SIRIUS_SUITE_GMM_KERNEL_H

@@ -1,0 +1,92 @@
+#include "suite/regex_kernel.h"
+
+#include <atomic>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "nlp/pos_corpus.h"
+
+namespace sirius::suite {
+
+RegexKernel::RegexKernel(size_t expressions, size_t sentences,
+                         uint64_t seed)
+{
+    // Pattern battery: question-analysis patterns plus generated shape
+    // and word patterns until the requested count is reached.
+    for (auto &p : nlp::questionAnalysisPatterns())
+        patterns_.push_back(std::move(p));
+
+    Rng rng(seed);
+    static const char *shapes[] = {
+        "\\d+", "\\d\\d+", "[a-z]+ed(\\s|$)", "[a-z]+ing(\\s|$)",
+        "^the\\s", "(\\s|^)of\\s", "[a-z]+tion", "[a-z]+ness",
+        "\\d+(st|nd|rd|th)", "[A-Z][a-z]+",
+    };
+    const auto lexicon_words = nlp::generateWordList(256, seed ^ 0xabc);
+    while (patterns_.size() < expressions) {
+        if (rng.chance(0.4)) {
+            patterns_.emplace_back(
+                shapes[rng.below(std::size(shapes))]);
+        } else {
+            // Word-alternation pattern over lexicon words.
+            const auto &a = lexicon_words[rng.below(
+                lexicon_words.size())];
+            const auto &b = lexicon_words[rng.below(
+                lexicon_words.size())];
+            patterns_.emplace_back("(\\s|^)(" + a + "|" + b +
+                                   ")(\\s|$)");
+        }
+    }
+    if (expressions > 0 && patterns_.size() > expressions) {
+        patterns_.erase(patterns_.begin() +
+                            static_cast<std::ptrdiff_t>(expressions),
+                        patterns_.end());
+    }
+
+    // Sentence set from the POS corpus generator.
+    for (const auto &s : nlp::generatePosCorpus(sentences, seed ^ 0x55))
+        sentences_.push_back(join(s.words));
+}
+
+uint64_t
+RegexKernel::matchPairs(size_t begin, size_t end) const
+{
+    uint64_t checksum = 0;
+    const size_t n_sentences = sentences_.size();
+    for (size_t pair = begin; pair < end; ++pair) {
+        const size_t p = pair / n_sentences;
+        const size_t s = pair % n_sentences;
+        if (patterns_[p].search(sentences_[s]))
+            checksum += pair * 2654435761ULL;
+    }
+    return checksum;
+}
+
+KernelResult
+RegexKernel::runSerial() const
+{
+    KernelResult result;
+    Stopwatch watch;
+    result.checksum = matchPairs(0, pairCount());
+    result.seconds = watch.seconds();
+    return result;
+}
+
+KernelResult
+RegexKernel::runThreaded(size_t threads) const
+{
+    KernelResult result;
+    Stopwatch watch;
+    std::atomic<uint64_t> checksum{0};
+    parallelFor(pairCount(), threads,
+                [this, &checksum](size_t begin, size_t end) {
+                    checksum += matchPairs(begin, end);
+                });
+    result.checksum = checksum.load();
+    result.seconds = watch.seconds();
+    return result;
+}
+
+} // namespace sirius::suite

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Sirius Suite Regex kernel: matching a pattern battery against a
+ * sentence set (Table 4, row 4; the paper uses 100 expressions over 400
+ * sentences with SLRE).
+ */
+
+#ifndef SIRIUS_SUITE_REGEX_KERNEL_H
+#define SIRIUS_SUITE_REGEX_KERNEL_H
+
+#include "nlp/regex.h"
+#include "suite/suite.h"
+
+namespace sirius::suite {
+
+/** Regex battery kernel. Parallel granularity: per (regex, sentence). */
+class RegexKernel : public SuiteKernel
+{
+  public:
+    /**
+     * @param expressions number of patterns (paper: 100)
+     * @param sentences number of input sentences (paper: 400)
+     */
+    RegexKernel(size_t expressions, size_t sentences, uint64_t seed);
+
+    const char *name() const override { return "Regex"; }
+    Service service() const override { return Service::Qa; }
+    const char *granularity() const override
+    {
+        return "for each regex-sentence pair";
+    }
+
+    KernelResult runSerial() const override;
+    KernelResult runThreaded(size_t threads) const override;
+
+    size_t pairCount() const
+    {
+        return patterns_.size() * sentences_.size();
+    }
+
+  private:
+    std::vector<nlp::Regex> patterns_;
+    std::vector<std::string> sentences_;
+
+    uint64_t matchPairs(size_t begin, size_t end) const;
+};
+
+} // namespace sirius::suite
+
+#endif // SIRIUS_SUITE_REGEX_KERNEL_H

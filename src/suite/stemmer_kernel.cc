@@ -1,0 +1,92 @@
+#include "suite/stemmer_kernel.h"
+
+#include <atomic>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "nlp/porter_stemmer.h"
+#include "nlp/pos_corpus.h"
+
+namespace sirius::suite {
+
+namespace {
+
+uint64_t
+fnv1a(const std::string &s)
+{
+    uint64_t h = 1469598103934665603ULL;
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+StemmerKernel::StemmerKernel(size_t words, uint64_t seed)
+    : words_(nlp::generateWordList(words, seed))
+{
+}
+
+uint64_t
+StemmerKernel::stemRange(size_t begin, size_t end) const
+{
+    nlp::PorterStemmer stemmer; // one stemmer per thread
+    uint64_t checksum = 0;
+    for (size_t i = begin; i < end; ++i)
+        checksum += fnv1a(stemmer.stem(words_[i]));
+    return checksum;
+}
+
+uint64_t
+StemmerKernel::stemStrided(size_t start, size_t stride) const
+{
+    nlp::PorterStemmer stemmer;
+    uint64_t checksum = 0;
+    for (size_t i = start; i < words_.size(); i += stride)
+        checksum += fnv1a(stemmer.stem(words_[i]));
+    return checksum;
+}
+
+KernelResult
+StemmerKernel::runSerial() const
+{
+    KernelResult result;
+    Stopwatch watch;
+    result.checksum = stemRange(0, words_.size());
+    result.seconds = watch.seconds();
+    return result;
+}
+
+KernelResult
+StemmerKernel::runThreaded(size_t threads) const
+{
+    KernelResult result;
+    Stopwatch watch;
+    std::atomic<uint64_t> checksum{0};
+    parallelFor(words_.size(), threads,
+                [this, &checksum](size_t begin, size_t end) {
+                    checksum += stemRange(begin, end);
+                });
+    result.checksum = checksum.load();
+    result.seconds = watch.seconds();
+    return result;
+}
+
+KernelResult
+StemmerKernel::runThreadedInterlaced(size_t threads) const
+{
+    KernelResult result;
+    Stopwatch watch;
+    std::atomic<uint64_t> checksum{0};
+    parallelForStrided(words_.size(), threads,
+                       [this, &checksum](size_t start, size_t stride) {
+                           checksum += stemStrided(start, stride);
+                       });
+    result.checksum = checksum.load();
+    result.seconds = watch.seconds();
+    return result;
+}
+
+} // namespace sirius::suite

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Sirius Suite Stemmer kernel: Porter-stemming a large word list
+ * (Table 4, row 3; the paper uses a 4M-word list).
+ */
+
+#ifndef SIRIUS_SUITE_STEMMER_KERNEL_H
+#define SIRIUS_SUITE_STEMMER_KERNEL_H
+
+#include "suite/suite.h"
+
+namespace sirius::suite {
+
+/** Porter-stemmer kernel. Parallel granularity: per individual word. */
+class StemmerKernel : public SuiteKernel
+{
+  public:
+    /** @param words word-list size (paper: 4,000,000). */
+    StemmerKernel(size_t words, uint64_t seed);
+
+    const char *name() const override { return "Stemmer"; }
+    Service service() const override { return Service::Qa; }
+    const char *granularity() const override
+    {
+        return "for each individual word";
+    }
+
+    KernelResult runSerial() const override;
+    KernelResult runThreaded(size_t threads) const override;
+
+    /**
+     * Interlaced-access variant (the paper's Phi tuning: thread t takes
+     * words t, t+T, t+2T, ...).
+     */
+    KernelResult runThreadedInterlaced(size_t threads) const;
+
+    size_t wordCount() const { return words_.size(); }
+
+  private:
+    std::vector<std::string> words_;
+
+    uint64_t stemRange(size_t begin, size_t end) const;
+    uint64_t stemStrided(size_t start, size_t stride) const;
+};
+
+} // namespace sirius::suite
+
+#endif // SIRIUS_SUITE_STEMMER_KERNEL_H

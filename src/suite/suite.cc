@@ -1,0 +1,53 @@
+#include "suite/suite.h"
+
+#include "suite/crf_kernel.h"
+#include "suite/dnn_kernel.h"
+#include "suite/fd_kernel.h"
+#include "suite/fe_kernel.h"
+#include "suite/gmm_kernel.h"
+#include "suite/regex_kernel.h"
+#include "suite/stemmer_kernel.h"
+
+namespace sirius::suite {
+
+const char *
+serviceName(Service service)
+{
+    switch (service) {
+      case Service::Asr: return "ASR";
+      case Service::Qa: return "QA";
+      case Service::Imm: return "IMM";
+    }
+    return "?";
+}
+
+std::vector<std::unique_ptr<SuiteKernel>>
+makeSuite(SuiteScale scale, uint64_t seed)
+{
+    const bool full = scale == SuiteScale::Full;
+    std::vector<std::unique_ptr<SuiteKernel>> kernels;
+    // Table 4 order: GMM, DNN, Stemmer, Regex, CRF, FE, FD.
+    kernels.push_back(std::make_unique<GmmKernel>(
+        full ? 512 : 64,      // HMM states (senones)
+        full ? 8 : 3,         // Gaussians per state
+        full ? 256 : 32,      // frames
+        full ? 32 : 13,       // feature dims
+        seed));
+    kernels.push_back(std::make_unique<DnnKernel>(
+        full ? std::vector<size_t>{440, 1024, 1024, 1024, 512}
+             : std::vector<size_t>{64, 128, 128, 64},
+        full ? 128 : 32, seed + 1));
+    kernels.push_back(std::make_unique<StemmerKernel>(
+        full ? 4000000 : 20000, seed + 2));
+    kernels.push_back(std::make_unique<RegexKernel>(
+        full ? 100 : 30, full ? 400 : 60, seed + 3));
+    kernels.push_back(std::make_unique<CrfKernel>(
+        full ? 2000 : 100, full ? 300 : 120, seed + 4));
+    kernels.push_back(std::make_unique<FeKernel>(
+        full ? 1024 : 256, seed + 5));
+    kernels.push_back(std::make_unique<FdKernel>(
+        full ? 1024 : 256, seed + 6));
+    return kernels;
+}
+
+} // namespace sirius::suite

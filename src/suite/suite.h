@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Sirius Suite: the seven compute-bottleneck kernels of Table 4.
+ *
+ * Each kernel ships a single-threaded baseline (the paper's CMP baseline)
+ * and a threaded port using the paper's granularity of parallelism
+ * (Table 4, column "Data Granularity"). Kernels return a checksum so
+ * results can be verified across implementations and the compiler cannot
+ * elide the work.
+ */
+
+#ifndef SIRIUS_SUITE_SUITE_H
+#define SIRIUS_SUITE_SUITE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sirius::suite {
+
+/** Outcome of one kernel run. */
+struct KernelResult
+{
+    double seconds = 0.0;
+    uint64_t checksum = 0; ///< implementation-independent work digest
+};
+
+/** Which Sirius service a kernel belongs to (Table 4). */
+enum class Service { Asr, Qa, Imm };
+
+/** Short service name ("ASR", "QA", "IMM"). */
+const char *serviceName(Service service);
+
+/** Interface shared by the seven kernels. */
+class SuiteKernel
+{
+  public:
+    virtual ~SuiteKernel() = default;
+
+    /** Kernel name as in Table 4 (e.g. "GMM", "Stemmer"). */
+    virtual const char *name() const = 0;
+
+    /** Owning service. */
+    virtual Service service() const = 0;
+
+    /** Granularity-of-parallelism description (Table 4). */
+    virtual const char *granularity() const = 0;
+
+    /** Single-threaded baseline run. */
+    virtual KernelResult runSerial() const = 0;
+
+    /** Threaded run at the paper's granularity. */
+    virtual KernelResult runThreaded(size_t threads) const = 0;
+};
+
+/** Suite input-scale knob: tests use Small, benchmarks use Full. */
+enum class SuiteScale { Small, Full };
+
+/**
+ * Construct all seven kernels with deterministic inputs.
+ * Order matches Table 4: GMM, DNN, Stemmer, Regex, CRF, FE, FD.
+ */
+std::vector<std::unique_ptr<SuiteKernel>>
+makeSuite(SuiteScale scale = SuiteScale::Small, uint64_t seed = 2015);
+
+} // namespace sirius::suite
+
+#endif // SIRIUS_SUITE_SUITE_H

@@ -1,0 +1,177 @@
+#include "vision/image.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+
+namespace sirius::vision {
+
+Image::Image(int width, int height, uint8_t fill)
+    : width_(width), height_(height),
+      data_(static_cast<size_t>(width) * static_cast<size_t>(height), fill)
+{
+}
+
+uint8_t
+Image::atClamped(int x, int y) const
+{
+    x = std::clamp(x, 0, width_ - 1);
+    y = std::clamp(y, 0, height_ - 1);
+    return at(x, y);
+}
+
+void
+Image::fillRect(int x, int y, int w, int h, uint8_t value)
+{
+    const int x0 = std::max(0, x);
+    const int y0 = std::max(0, y);
+    const int x1 = std::min(width_, x + w);
+    const int y1 = std::min(height_, y + h);
+    for (int yy = y0; yy < y1; ++yy) {
+        for (int xx = x0; xx < x1; ++xx)
+            set(xx, yy, value);
+    }
+}
+
+void
+Image::fillCircle(int cx, int cy, int radius, uint8_t value)
+{
+    const int x0 = std::max(0, cx - radius);
+    const int y0 = std::max(0, cy - radius);
+    const int x1 = std::min(width_ - 1, cx + radius);
+    const int y1 = std::min(height_ - 1, cy + radius);
+    const int r2 = radius * radius;
+    for (int yy = y0; yy <= y1; ++yy) {
+        for (int xx = x0; xx <= x1; ++xx) {
+            const int dx = xx - cx;
+            const int dy = yy - cy;
+            if (dx * dx + dy * dy <= r2)
+                set(xx, yy, value);
+        }
+    }
+}
+
+void
+Image::checkerboard(int x, int y, int w, int h, int cell, uint8_t dark,
+                    uint8_t light)
+{
+    if (cell <= 0)
+        return;
+    const int x0 = std::max(0, x);
+    const int y0 = std::max(0, y);
+    const int x1 = std::min(width_, x + w);
+    const int y1 = std::min(height_, y + h);
+    for (int yy = y0; yy < y1; ++yy) {
+        for (int xx = x0; xx < x1; ++xx) {
+            const bool odd = (((xx - x) / cell) + ((yy - y) / cell)) & 1;
+            set(xx, yy, odd ? dark : light);
+        }
+    }
+}
+
+void
+Image::addNoise(Rng &rng, int amp)
+{
+    for (auto &p : data_) {
+        const int delta = static_cast<int>(rng.range(-amp, amp));
+        p = static_cast<uint8_t>(std::clamp(static_cast<int>(p) + delta,
+                                            0, 255));
+    }
+}
+
+void
+Image::scaleBrightness(double gain)
+{
+    for (auto &p : data_) {
+        p = static_cast<uint8_t>(std::clamp(
+            static_cast<int>(p * gain + 0.5), 0, 255));
+    }
+}
+
+Image
+Image::translated(int dx, int dy, uint8_t fill) const
+{
+    Image out(width_, height_, fill);
+    for (int y = 0; y < height_; ++y) {
+        const int sy = y - dy;
+        if (sy < 0 || sy >= height_)
+            continue;
+        for (int x = 0; x < width_; ++x) {
+            const int sx = x - dx;
+            if (sx < 0 || sx >= width_)
+                continue;
+            out.set(x, y, at(sx, sy));
+        }
+    }
+    return out;
+}
+
+Image
+Image::resized(int new_width, int new_height) const
+{
+    Image out(new_width, new_height);
+    if (width_ <= 0 || height_ <= 0)
+        return out;
+    for (int y = 0; y < new_height; ++y) {
+        const double sy = (y + 0.5) * height_ / new_height - 0.5;
+        const int y0 = static_cast<int>(std::floor(sy));
+        const double fy = sy - y0;
+        for (int x = 0; x < new_width; ++x) {
+            const double sx = (x + 0.5) * width_ / new_width - 0.5;
+            const int x0 = static_cast<int>(std::floor(sx));
+            const double fx = sx - x0;
+            const double top = atClamped(x0, y0) * (1.0 - fx) +
+                atClamped(x0 + 1, y0) * fx;
+            const double bottom = atClamped(x0, y0 + 1) * (1.0 - fx) +
+                atClamped(x0 + 1, y0 + 1) * fx;
+            const double v = top * (1.0 - fy) + bottom * fy;
+            out.set(x, y, static_cast<uint8_t>(
+                std::clamp(v + 0.5, 0.0, 255.0)));
+        }
+    }
+    return out;
+}
+
+bool
+Image::savePgm(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    std::fprintf(f, "P5\n%d %d\n255\n", width_, height_);
+    const size_t written = std::fwrite(data_.data(), 1, data_.size(), f);
+    std::fclose(f);
+    return written == data_.size();
+}
+
+Image
+Image::loadPgm(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return {};
+    char magic[3] = {};
+    int w = 0, h = 0, maxval = 0;
+    if (std::fscanf(f, "%2s %d %d %d", magic, &w, &h, &maxval) != 4 ||
+        std::string(magic) != "P5" || maxval != 255 || w <= 0 || h <= 0) {
+        std::fclose(f);
+        return {};
+    }
+    std::fgetc(f); // single whitespace after header
+    Image img(w, h);
+    std::vector<uint8_t> buf(static_cast<size_t>(w) *
+                             static_cast<size_t>(h));
+    const size_t read = std::fread(buf.data(), 1, buf.size(), f);
+    std::fclose(f);
+    if (read != buf.size())
+        return {};
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x)
+            img.set(x, y, buf[static_cast<size_t>(y) * w + x]);
+    }
+    return img;
+}
+
+} // namespace sirius::vision

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * 8-bit grayscale image container with PGM I/O and drawing helpers.
+ */
+
+#ifndef SIRIUS_VISION_IMAGE_H
+#define SIRIUS_VISION_IMAGE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sirius {
+class Rng;
+}
+
+namespace sirius::vision {
+
+/** Row-major 8-bit grayscale image. */
+class Image
+{
+  public:
+    Image() = default;
+
+    /** width x height image filled with @p fill. */
+    Image(int width, int height, uint8_t fill = 0);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+    /** Pixel accessors; coordinates must be in range. */
+    uint8_t at(int x, int y) const
+    {
+        return data_[static_cast<size_t>(y) * width_ +
+                     static_cast<size_t>(x)];
+    }
+
+    void
+    set(int x, int y, uint8_t v)
+    {
+        data_[static_cast<size_t>(y) * width_ +
+              static_cast<size_t>(x)] = v;
+    }
+
+    /** Clamped read: out-of-range coordinates clamp to the border. */
+    uint8_t atClamped(int x, int y) const;
+
+    const std::vector<uint8_t> &pixels() const { return data_; }
+
+    /** Fill an axis-aligned rectangle (clipped to the image). */
+    void fillRect(int x, int y, int w, int h, uint8_t value);
+
+    /** Fill a disc (clipped). */
+    void fillCircle(int cx, int cy, int radius, uint8_t value);
+
+    /** Overlay a checkerboard patch of @p cell-sized squares. */
+    void checkerboard(int x, int y, int w, int h, int cell,
+                      uint8_t dark, uint8_t light);
+
+    /** Add uniform noise in [-amp, amp] to every pixel (clamped). */
+    void addNoise(Rng &rng, int amp);
+
+    /** Multiply every pixel by @p gain (clamped to [0, 255]). */
+    void scaleBrightness(double gain);
+
+    /** Translate content by (dx, dy); vacated pixels take @p fill. */
+    Image translated(int dx, int dy, uint8_t fill = 0) const;
+
+    /** Bilinear resize to new_width x new_height (both >= 1). */
+    Image resized(int new_width, int new_height) const;
+
+    /** Serialize as binary PGM (P5). */
+    bool savePgm(const std::string &path) const;
+
+    /** Load a binary PGM (P5); returns an empty image on failure. */
+    static Image loadPgm(const std::string &path);
+
+  private:
+    int width_ = 0;
+    int height_ = 0;
+    std::vector<uint8_t> data_;
+};
+
+} // namespace sirius::vision
+
+#endif // SIRIUS_VISION_IMAGE_H

@@ -1,0 +1,72 @@
+#include "vision/imm_service.h"
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace sirius::vision {
+
+ImmService
+ImmService::build(int num_landmarks, SurfConfig config)
+{
+    ImmService service;
+    service.config_ = config;
+    service.database_.reserve(static_cast<size_t>(num_landmarks));
+    for (int id = 0; id < num_landmarks; ++id) {
+        const Image img = generateLandmark(id);
+        const IntegralImage integral(img);
+        auto keypoints = detectKeypoints(integral, config);
+        auto descriptors = describeKeypoints(integral, keypoints, config);
+        Entry entry;
+        entry.id = id;
+        entry.descriptors = descriptors;
+        entry.tree = std::make_unique<KdTree>(std::move(descriptors));
+        service.database_.push_back(std::move(entry));
+    }
+    return service;
+}
+
+ImmResult
+ImmService::match(const Image &image) const
+{
+    ImmResult result;
+
+    std::vector<Keypoint> keypoints;
+    std::unique_ptr<IntegralImage> integral;
+    {
+        ScopedTimer timer(result.timings.featureExtraction);
+        integral = std::make_unique<IntegralImage>(image);
+        keypoints = detectKeypoints(*integral, config_);
+    }
+    result.queryKeypoints = keypoints.size();
+
+    std::vector<Descriptor> descriptors;
+    {
+        ScopedTimer timer(result.timings.featureDescription);
+        descriptors = describeKeypoints(*integral, keypoints, config_);
+    }
+
+    {
+        ScopedTimer timer(result.timings.matching);
+        for (const auto &entry : database_) {
+            const auto stats = matchDescriptors(descriptors, *entry.tree);
+            if (stats.goodMatches > result.bestMatches ||
+                result.bestId < 0) {
+                result.bestMatches = stats.goodMatches;
+                result.bestId = entry.id;
+            }
+        }
+    }
+    return result;
+}
+
+const std::vector<Descriptor> &
+ImmService::descriptorsOf(int id) const
+{
+    for (const auto &entry : database_) {
+        if (entry.id == id)
+            return entry.descriptors;
+    }
+    panic("ImmService::descriptorsOf: unknown database id");
+}
+
+} // namespace sirius::vision

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The Image Matching (IMM) service: Figure 5's pipeline end to end.
+ *
+ * An input image flows through SURF feature extraction, feature
+ * description, and ANN matching against every database image; the database
+ * entry with the most ratio-test matches wins.
+ */
+
+#ifndef SIRIUS_VISION_IMM_SERVICE_H
+#define SIRIUS_VISION_IMM_SERVICE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vision/landmarks.h"
+#include "vision/matcher.h"
+#include "vision/surf.h"
+
+namespace sirius::vision {
+
+/** Per-stage wall time of one match, in seconds. */
+struct ImmTimings
+{
+    double featureExtraction = 0.0; ///< FE kernel
+    double featureDescription = 0.0; ///< FD kernel
+    double matching = 0.0;          ///< ANN database search
+
+    double total() const
+    {
+        return featureExtraction + featureDescription + matching;
+    }
+};
+
+/** Result of matching one image against the database. */
+struct ImmResult
+{
+    int bestId = -1;             ///< database image id, -1 if no match
+    size_t bestMatches = 0;      ///< ratio-test matches of the winner
+    size_t queryKeypoints = 0;
+    ImmTimings timings;
+};
+
+/** Image-matching service over a landmark database. */
+class ImmService
+{
+  public:
+    /**
+     * Build a database of @p num_landmarks procedurally generated
+     * landmark images with pre-extracted descriptors (mirroring the
+     * paper's pre-clustered descriptor database).
+     */
+    static ImmService build(int num_landmarks, SurfConfig config = {});
+
+    /** Match @p image against the database. */
+    ImmResult match(const Image &image) const;
+
+    /** Database size. */
+    size_t databaseSize() const { return database_.size(); }
+
+    /** Descriptors stored for database entry @p id (for benchmarks). */
+    const std::vector<Descriptor> &descriptorsOf(int id) const;
+
+    const SurfConfig &config() const { return config_; }
+
+  private:
+    struct Entry
+    {
+        int id;
+        std::unique_ptr<KdTree> tree;
+        std::vector<Descriptor> descriptors;
+    };
+
+    SurfConfig config_;
+    std::vector<Entry> database_;
+};
+
+} // namespace sirius::vision
+
+#endif // SIRIUS_VISION_IMM_SERVICE_H

@@ -1,0 +1,61 @@
+#include "vision/integral_image.h"
+
+#include <algorithm>
+
+namespace sirius::vision {
+
+IntegralImage::IntegralImage(const Image &image)
+    : width_(image.width()), height_(image.height()),
+      table_(static_cast<size_t>(width_ + 1) *
+             static_cast<size_t>(height_ + 1), 0.0)
+{
+    const auto stride = static_cast<size_t>(width_ + 1);
+    for (int y = 0; y < height_; ++y) {
+        double row_sum = 0.0;
+        for (int x = 0; x < width_; ++x) {
+            row_sum += image.at(x, y) / 255.0;
+            table_[static_cast<size_t>(y + 1) * stride +
+                   static_cast<size_t>(x + 1)] =
+                table_[static_cast<size_t>(y) * stride +
+                       static_cast<size_t>(x + 1)] + row_sum;
+        }
+    }
+}
+
+double
+IntegralImage::tableAt(int row, int col) const
+{
+    row = std::clamp(row, 0, height_);
+    col = std::clamp(col, 0, width_);
+    return table_[static_cast<size_t>(row) *
+                  static_cast<size_t>(width_ + 1) +
+                  static_cast<size_t>(col)];
+}
+
+double
+IntegralImage::boxSum(int row, int col, int rows, int cols) const
+{
+    const double a = tableAt(row, col);
+    const double b = tableAt(row, col + cols);
+    const double c = tableAt(row + rows, col);
+    const double d = tableAt(row + rows, col + cols);
+    return std::max(0.0, d - b - c + a);
+}
+
+double
+IntegralImage::haarX(int row, int col, int size) const
+{
+    // Right half minus left half.
+    return boxSum(row - size / 2, col, size, size / 2) -
+        boxSum(row - size / 2, col - size / 2, size, size / 2);
+}
+
+double
+IntegralImage::haarY(int row, int col, int size) const
+{
+    // Bottom half minus top half.
+    return boxSum(row, col - size / 2, size / 2, size) -
+        boxSum(row - size / 2, col - size / 2, size / 2, size);
+}
+
+} // namespace sirius::vision

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Summed-area table enabling O(1) box sums, the workhorse of SURF's box
+ * filters and Haar wavelets.
+ */
+
+#ifndef SIRIUS_VISION_INTEGRAL_IMAGE_H
+#define SIRIUS_VISION_INTEGRAL_IMAGE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "vision/image.h"
+
+namespace sirius::vision {
+
+/** Summed-area table over a grayscale image (values scaled to [0,1]). */
+class IntegralImage
+{
+  public:
+    /** Build from @p image. */
+    explicit IntegralImage(const Image &image);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+    /**
+     * Sum of the pixel rectangle with top-left (col, row) spanning
+     * @p cols x @p rows. Out-of-range regions clamp to the image,
+     * matching OpenSURF semantics.
+     */
+    double boxSum(int row, int col, int rows, int cols) const;
+
+    /** Haar wavelet response in x at (row, col) with side @p size. */
+    double haarX(int row, int col, int size) const;
+
+    /** Haar wavelet response in y at (row, col) with side @p size. */
+    double haarY(int row, int col, int size) const;
+
+  private:
+    int width_ = 0;
+    int height_ = 0;
+    std::vector<double> table_; ///< (width+1) x (height+1) cumulative sums
+
+    double tableAt(int row, int col) const;
+};
+
+} // namespace sirius::vision
+
+#endif // SIRIUS_VISION_INTEGRAL_IMAGE_H

@@ -1,0 +1,70 @@
+#include "vision/landmarks.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace sirius::vision {
+
+Image
+generateLandmark(int id, int width, int height)
+{
+    Rng rng(0xfacade + static_cast<uint64_t>(id) * 7919);
+    Image img(width, height);
+
+    // Smooth background gradient unique to the landmark.
+    const double gx = rng.uniform(-0.3, 0.3);
+    const double gy = rng.uniform(-0.3, 0.3);
+    const double base = rng.uniform(90.0, 150.0);
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            const double v = base + gx * x + gy * y;
+            img.set(x, y, static_cast<uint8_t>(
+                std::clamp(v, 0.0, 255.0)));
+        }
+    }
+
+    // Structural elements: rectangles, discs and checkerboard facades.
+    const int num_shapes = 14 + static_cast<int>(rng.below(8));
+    for (int s = 0; s < num_shapes; ++s) {
+        const int x = static_cast<int>(rng.below(
+            static_cast<uint64_t>(width)));
+        const int y = static_cast<int>(rng.below(
+            static_cast<uint64_t>(height)));
+        const int w = 12 + static_cast<int>(rng.below(50));
+        const int h = 12 + static_cast<int>(rng.below(50));
+        const auto shade = static_cast<uint8_t>(rng.range(20, 235));
+        switch (rng.below(3)) {
+          case 0:
+            img.fillRect(x, y, w, h, shade);
+            break;
+          case 1:
+            img.fillCircle(x, y, w / 2, shade);
+            break;
+          default:
+            img.checkerboard(x, y, w, h, 4 + static_cast<int>(
+                rng.below(6)), shade,
+                static_cast<uint8_t>(255 - shade));
+            break;
+        }
+    }
+
+    // Light texture so flat regions still carry gradient energy.
+    img.addNoise(rng, 3);
+    return img;
+}
+
+Image
+generateQueryView(int id, const QueryPerturbation &perturb, int width,
+                  int height)
+{
+    Image img = generateLandmark(id, width, height);
+    img = img.translated(perturb.translateX, perturb.translateY, 128);
+    img.scaleBrightness(perturb.brightnessGain);
+    Rng rng(perturb.noiseSeed);
+    img.addNoise(rng, perturb.noiseAmplitude);
+    return img;
+}
+
+} // namespace sirius::vision

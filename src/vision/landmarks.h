@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Procedural landmark image generator.
+ *
+ * Substitution note (see DESIGN.md): stands in for the Stanford Mobile
+ * Visual Search database the paper matches against. Every landmark id maps
+ * to a deterministic, richly textured image; query variants apply small
+ * translations, brightness changes and noise so matching is non-trivial
+ * but ground truth stays known.
+ */
+
+#ifndef SIRIUS_VISION_LANDMARKS_H
+#define SIRIUS_VISION_LANDMARKS_H
+
+#include <cstdint>
+
+#include "vision/image.h"
+
+namespace sirius::vision {
+
+/** Parameters describing a perturbed query view of a landmark. */
+struct QueryPerturbation
+{
+    int translateX = 3;
+    int translateY = -2;
+    double brightnessGain = 1.08;
+    int noiseAmplitude = 6;
+    uint64_t noiseSeed = 1234;
+};
+
+/** Deterministic database image for landmark @p id. */
+Image generateLandmark(int id, int width = 256, int height = 256);
+
+/** A perturbed camera view of landmark @p id. */
+Image generateQueryView(int id, const QueryPerturbation &perturb = {},
+                        int width = 256, int height = 256);
+
+} // namespace sirius::vision
+
+#endif // SIRIUS_VISION_LANDMARKS_H

@@ -1,0 +1,161 @@
+#include "vision/matcher.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace sirius::vision {
+
+namespace {
+constexpr int kLeafSize = 8;
+} // namespace
+
+KdTree::KdTree(std::vector<Descriptor> descriptors)
+    : descriptors_(std::move(descriptors))
+{
+    order_.resize(descriptors_.size());
+    for (size_t i = 0; i < order_.size(); ++i)
+        order_[i] = static_cast<int>(i);
+    if (!descriptors_.empty())
+        build(0, static_cast<int>(descriptors_.size()), 0);
+}
+
+int
+KdTree::build(int begin, int end, int depth)
+{
+    const int node_idx = static_cast<int>(nodes_.size());
+    nodes_.push_back(Node{});
+
+    if (end - begin <= kLeafSize) {
+        nodes_[static_cast<size_t>(node_idx)].begin = begin;
+        nodes_[static_cast<size_t>(node_idx)].end = end;
+        return node_idx;
+    }
+
+    // Pick the dimension with maximum spread over this range.
+    int best_dim = 0;
+    float best_spread = -1.0f;
+    for (int d = 0; d < 64; ++d) {
+        float lo = std::numeric_limits<float>::max();
+        float hi = std::numeric_limits<float>::lowest();
+        for (int i = begin; i < end; ++i) {
+            const float v =
+                descriptors_[static_cast<size_t>(order_[
+                    static_cast<size_t>(i)])][static_cast<size_t>(d)];
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+        if (hi - lo > best_spread) {
+            best_spread = hi - lo;
+            best_dim = d;
+        }
+    }
+
+    const int mid = (begin + end) / 2;
+    std::nth_element(
+        order_.begin() + begin, order_.begin() + mid, order_.begin() + end,
+        [this, best_dim](int a, int b) {
+            return descriptors_[static_cast<size_t>(a)]
+                       [static_cast<size_t>(best_dim)] <
+                   descriptors_[static_cast<size_t>(b)]
+                       [static_cast<size_t>(best_dim)];
+        });
+
+    const float split = descriptors_[static_cast<size_t>(
+        order_[static_cast<size_t>(mid)])][static_cast<size_t>(best_dim)];
+
+    const int left = build(begin, mid, depth + 1);
+    const int right = build(mid, end, depth + 1);
+    Node &node = nodes_[static_cast<size_t>(node_idx)];
+    node.splitDim = best_dim;
+    node.splitValue = split;
+    node.left = left;
+    node.right = right;
+    return node_idx;
+}
+
+void
+KdTree::consider(int index, float dist, NnResult &best)
+{
+    if (best.index < 0 || dist < best.distanceSq) {
+        best.secondIndex = best.index;
+        best.secondDistanceSq = best.distanceSq;
+        best.index = index;
+        best.distanceSq = dist;
+    } else if (best.secondIndex < 0 || dist < best.secondDistanceSq) {
+        best.secondIndex = index;
+        best.secondDistanceSq = dist;
+    }
+}
+
+void
+KdTree::searchNode(int node_idx, const Descriptor &query, NnResult &best,
+                   size_t &leaves_left) const
+{
+    if (leaves_left == 0)
+        return;
+    const Node &node = nodes_[static_cast<size_t>(node_idx)];
+    if (node.splitDim < 0) {
+        --leaves_left;
+        for (int i = node.begin; i < node.end; ++i) {
+            const int idx = order_[static_cast<size_t>(i)];
+            const float dist = descriptorDistanceSq(
+                query, descriptors_[static_cast<size_t>(idx)]);
+            consider(idx, dist, best);
+        }
+        return;
+    }
+    const float diff =
+        query[static_cast<size_t>(node.splitDim)] - node.splitValue;
+    const int near = diff < 0.0f ? node.left : node.right;
+    const int far = diff < 0.0f ? node.right : node.left;
+    searchNode(near, query, best, leaves_left);
+    // Bounded backtracking: explore the far side only while the splitting
+    // plane could still hide a better (second-)nearest neighbour.
+    if (leaves_left > 0 &&
+        (best.secondIndex < 0 || diff * diff < best.secondDistanceSq)) {
+        searchNode(far, query, best, leaves_left);
+    }
+}
+
+NnResult
+KdTree::nearest2(const Descriptor &query, size_t max_leaves) const
+{
+    NnResult best;
+    if (descriptors_.empty())
+        return best;
+    size_t leaves_left = std::max<size_t>(1, max_leaves);
+    searchNode(0, query, best, leaves_left);
+    return best;
+}
+
+NnResult
+KdTree::nearest2Exact(const Descriptor &query) const
+{
+    NnResult best;
+    for (size_t i = 0; i < descriptors_.size(); ++i) {
+        const float dist = descriptorDistanceSq(query, descriptors_[i]);
+        consider(static_cast<int>(i), dist, best);
+    }
+    return best;
+}
+
+MatchStats
+matchDescriptors(const std::vector<Descriptor> &query, const KdTree &tree,
+                 float ratio, size_t max_leaves)
+{
+    MatchStats stats;
+    stats.totalQueries = query.size();
+    if (tree.size() < 2)
+        return stats;
+    const float ratio_sq = ratio * ratio;
+    for (const auto &desc : query) {
+        const auto nn = tree.nearest2(desc, max_leaves);
+        if (nn.index >= 0 && nn.secondIndex >= 0 &&
+            nn.distanceSq < ratio_sq * nn.secondDistanceSq) {
+            ++stats.goodMatches;
+        }
+    }
+    return stats;
+}
+
+} // namespace sirius::vision

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Approximate-nearest-neighbour descriptor matching and the image
+ * database.
+ *
+ * The paper's IMM service matches query descriptors against pre-clustered
+ * database descriptors with an ANN search. We implement a k-d tree over
+ * the 64-d descriptor space with best-bin-first bounded backtracking (the
+ * standard ANN construction) plus an exact brute-force reference used by
+ * tests and as a baseline.
+ */
+
+#ifndef SIRIUS_VISION_MATCHER_H
+#define SIRIUS_VISION_MATCHER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "vision/surf.h"
+
+namespace sirius::vision {
+
+/** Result of a nearest-neighbour query. */
+struct NnResult
+{
+    int index = -1;        ///< index into the indexed descriptor set
+    float distanceSq = 0.0f;
+    int secondIndex = -1;
+    float secondDistanceSq = 0.0f;
+};
+
+/** k-d tree over descriptors with bounded-backtracking ANN lookups. */
+class KdTree
+{
+  public:
+    /** Build over @p descriptors (copied). */
+    explicit KdTree(std::vector<Descriptor> descriptors);
+
+    /**
+     * Approximate two-nearest-neighbour query.
+     * @param max_leaves bound on leaf visits (the "approximate" in ANN);
+     *        higher is more exact.
+     */
+    NnResult nearest2(const Descriptor &query,
+                      size_t max_leaves = 32) const;
+
+    /** Exact two-nearest-neighbour scan (reference implementation). */
+    NnResult nearest2Exact(const Descriptor &query) const;
+
+    size_t size() const { return descriptors_.size(); }
+
+  private:
+    struct Node
+    {
+        int splitDim = -1;    ///< -1 marks a leaf
+        float splitValue = 0.0f;
+        int left = -1;
+        int right = -1;
+        int begin = 0;        ///< leaf: range into order_
+        int end = 0;
+    };
+
+    std::vector<Descriptor> descriptors_;
+    std::vector<int> order_;
+    std::vector<Node> nodes_;
+
+    int build(int begin, int end, int depth);
+    void searchNode(int node, const Descriptor &query, NnResult &best,
+                    size_t &leaves_left) const;
+    static void consider(int index, float dist, NnResult &best);
+};
+
+/** Ratio-test matching statistics between one query and one database set. */
+struct MatchStats
+{
+    size_t goodMatches = 0;   ///< matches passing the ratio test
+    size_t totalQueries = 0;
+};
+
+/**
+ * Count query descriptors whose ANN match in @p tree passes the Lowe
+ * ratio test (nearest < ratio * second-nearest).
+ */
+MatchStats matchDescriptors(const std::vector<Descriptor> &query,
+                            const KdTree &tree, float ratio = 0.85f,
+                            size_t max_leaves = 32);
+
+} // namespace sirius::vision
+
+#endif // SIRIUS_VISION_MATCHER_H

@@ -1,0 +1,306 @@
+#include "vision/surf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sirius::vision {
+
+namespace {
+
+constexpr double kPi = 3.141592653589793238462643;
+
+/** One scale-space layer of Hessian responses sampled on a grid. */
+struct ResponseLayer
+{
+    int step;        ///< image pixels between samples
+    int filterSize;
+    int width;       ///< samples per row
+    int height;
+    std::vector<float> responses;
+    std::vector<uint8_t> laplacians;
+
+    float
+    response(int row, int col) const
+    {
+        if (row < 0 || row >= height || col < 0 || col >= width)
+            return 0.0f;
+        return responses[static_cast<size_t>(row) * width +
+                         static_cast<size_t>(col)];
+    }
+
+    bool
+    laplacian(int row, int col) const
+    {
+        return laplacians[static_cast<size_t>(row) * width +
+                          static_cast<size_t>(col)] != 0;
+    }
+};
+
+ResponseLayer
+buildLayer(const IntegralImage &integral, int step, int filter_size)
+{
+    ResponseLayer layer;
+    layer.step = step;
+    layer.filterSize = filter_size;
+    layer.width = integral.width() / step;
+    layer.height = integral.height() / step;
+    layer.responses.assign(
+        static_cast<size_t>(layer.width) * layer.height, 0.0f);
+    layer.laplacians.assign(
+        static_cast<size_t>(layer.width) * layer.height, 0);
+
+    const int b = (filter_size - 1) / 2;
+    const int l = filter_size / 3;
+    const double inv = 1.0 / (static_cast<double>(filter_size) *
+                              static_cast<double>(filter_size));
+
+    for (int ar = 0; ar < layer.height; ++ar) {
+        const int r = ar * step;
+        if (r <= b || r >= integral.height() - b)
+            continue;
+        for (int ac = 0; ac < layer.width; ++ac) {
+            const int c = ac * step;
+            if (c <= b || c >= integral.width() - b)
+                continue;
+
+            double dxx =
+                integral.boxSum(r - l + 1, c - b, 2 * l - 1, filter_size) -
+                3.0 * integral.boxSum(r - l + 1, c - l / 2, 2 * l - 1, l);
+            double dyy =
+                integral.boxSum(r - b, c - l + 1, filter_size, 2 * l - 1) -
+                3.0 * integral.boxSum(r - l / 2, c - l + 1, l, 2 * l - 1);
+            double dxy = integral.boxSum(r - l, c + 1, l, l) +
+                integral.boxSum(r + 1, c - l, l, l) -
+                integral.boxSum(r - l, c - l, l, l) -
+                integral.boxSum(r + 1, c + 1, l, l);
+            dxx *= inv;
+            dyy *= inv;
+            dxy *= inv;
+
+            const double det = dxx * dyy - 0.81 * dxy * dxy;
+            const size_t idx = static_cast<size_t>(ar) * layer.width + ac;
+            layer.responses[idx] = static_cast<float>(det);
+            layer.laplacians[idx] = (dxx + dyy) >= 0.0 ? 1 : 0;
+        }
+    }
+    return layer;
+}
+
+/**
+ * True if the middle layer's (row, col) response is a strict maximum over
+ * its 3x3x3 neighborhood. All layers share a sampling grid here because we
+ * build every interval of an octave at the same step.
+ */
+bool
+isLocalMaximum(const ResponseLayer &bottom, const ResponseLayer &middle,
+               const ResponseLayer &top, int row, int col)
+{
+    const float candidate = middle.response(row, col);
+    for (int dr = -1; dr <= 1; ++dr) {
+        for (int dc = -1; dc <= 1; ++dc) {
+            if (top.response(row + dr, col + dc) >= candidate)
+                return false;
+            if (bottom.response(row + dr, col + dc) >= candidate &&
+                !(dr == 0 && dc == 0)) {
+                return false;
+            }
+            if (!(dr == 0 && dc == 0) &&
+                middle.response(row + dr, col + dc) >= candidate) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+double
+gaussianWeight(double x, double y, double sigma)
+{
+    return std::exp(-(x * x + y * y) / (2.0 * sigma * sigma)) /
+        (2.0 * kPi * sigma * sigma);
+}
+
+} // namespace
+
+std::vector<Keypoint>
+detectKeypoints(const IntegralImage &integral, const SurfConfig &config)
+{
+    std::vector<Keypoint> keypoints;
+    for (int octave = 0; octave < config.octaves; ++octave) {
+        const int step = config.initStep << octave;
+        const int base = 9 + 6 * ((1 << octave) - 1);
+        const int delta = 6 << octave;
+        // Four intervals per octave: sizes base, base+delta, ...
+        std::vector<ResponseLayer> layers;
+        layers.reserve(4);
+        for (int i = 0; i < 4; ++i)
+            layers.push_back(buildLayer(integral, step,
+                                        base + delta * i));
+
+        for (int mid = 1; mid <= 2; ++mid) {
+            const auto &bottom = layers[static_cast<size_t>(mid) - 1];
+            const auto &middle = layers[static_cast<size_t>(mid)];
+            const auto &top = layers[static_cast<size_t>(mid) + 1];
+            for (int row = 1; row < middle.height - 1; ++row) {
+                for (int col = 1; col < middle.width - 1; ++col) {
+                    const float resp = middle.response(row, col);
+                    if (resp <= config.hessianThreshold)
+                        continue;
+                    if (!isLocalMaximum(bottom, middle, top, row, col))
+                        continue;
+                    Keypoint kp;
+                    kp.x = static_cast<float>(col * step);
+                    kp.y = static_cast<float>(row * step);
+                    kp.scale = static_cast<float>(
+                        1.2 * middle.filterSize / 9.0);
+                    kp.response = resp;
+                    kp.laplacianPositive = middle.laplacian(row, col);
+                    keypoints.push_back(kp);
+                }
+            }
+        }
+    }
+    return keypoints;
+}
+
+namespace {
+
+/** Dominant orientation by sliding-window Haar response voting. */
+float
+assignOrientation(const IntegralImage &integral, const Keypoint &kp)
+{
+    const int s = std::max(1, static_cast<int>(std::lround(kp.scale)));
+    const int r = static_cast<int>(std::lround(kp.y));
+    const int c = static_cast<int>(std::lround(kp.x));
+
+    std::vector<double> res_x, res_y, angles;
+    for (int i = -6; i <= 6; ++i) {
+        for (int j = -6; j <= 6; ++j) {
+            if (i * i + j * j >= 36)
+                continue;
+            const double g = gaussianWeight(i, j, 2.5);
+            const double hx = g * integral.haarX(r + j * s, c + i * s,
+                                                 4 * s);
+            const double hy = g * integral.haarY(r + j * s, c + i * s,
+                                                 4 * s);
+            if (hx == 0.0 && hy == 0.0)
+                continue;
+            res_x.push_back(hx);
+            res_y.push_back(hy);
+            angles.push_back(std::atan2(hy, hx));
+        }
+    }
+    if (angles.empty())
+        return 0.0f;
+
+    // pi/3-wide sliding windows; keep the strongest summed vector.
+    double best_mag = 0.0, best_ori = 0.0;
+    for (double window = 0.0; window < 2.0 * kPi; window += 0.15) {
+        const double lo = window;
+        const double hi = window + kPi / 3.0;
+        double sum_x = 0.0, sum_y = 0.0;
+        for (size_t k = 0; k < angles.size(); ++k) {
+            double a = angles[k];
+            if (a < 0)
+                a += 2.0 * kPi;
+            const bool inside = (a > lo && a < hi) ||
+                (hi > 2.0 * kPi && a < hi - 2.0 * kPi);
+            if (inside) {
+                sum_x += res_x[k];
+                sum_y += res_y[k];
+            }
+        }
+        const double mag = sum_x * sum_x + sum_y * sum_y;
+        if (mag > best_mag) {
+            best_mag = mag;
+            best_ori = std::atan2(sum_y, sum_x);
+        }
+    }
+    return static_cast<float>(best_ori);
+}
+
+/** 64-d descriptor: 4x4 subregions of (sum dx, sum dy, sum|dx|, sum|dy|). */
+Descriptor
+computeDescriptor(const IntegralImage &integral, const Keypoint &kp)
+{
+    Descriptor desc{};
+    const double scale = std::max(1.0f, kp.scale);
+    const int s = std::max(1, static_cast<int>(std::lround(scale)));
+    const double co = std::cos(kp.orientation);
+    const double si = std::sin(kp.orientation);
+
+    size_t out = 0;
+    for (int sy = 0; sy < 4; ++sy) {
+        for (int sx = 0; sx < 4; ++sx) {
+            double sum_dx = 0.0, sum_dy = 0.0;
+            double sum_adx = 0.0, sum_ady = 0.0;
+            for (int v = 0; v < 5; ++v) {
+                for (int u = 0; u < 5; ++u) {
+                    // Sample position in the rotated keypoint frame.
+                    const double rx = (sx * 5 + u - 10 + 0.5) * scale;
+                    const double ry = (sy * 5 + v - 10 + 0.5) * scale;
+                    const int px = static_cast<int>(std::lround(
+                        kp.x + rx * co - ry * si));
+                    const int py = static_cast<int>(std::lround(
+                        kp.y + rx * si + ry * co));
+                    const double gx = integral.haarX(py, px, 2 * s);
+                    const double gy = integral.haarY(py, px, 2 * s);
+                    // Rotate the gradient into the keypoint frame.
+                    const double dx = gx * co + gy * si;
+                    const double dy = -gx * si + gy * co;
+                    const double g = gaussianWeight(rx / scale,
+                                                    ry / scale, 3.3);
+                    sum_dx += g * dx;
+                    sum_dy += g * dy;
+                    sum_adx += g * std::fabs(dx);
+                    sum_ady += g * std::fabs(dy);
+                }
+            }
+            desc[out++] = static_cast<float>(sum_dx);
+            desc[out++] = static_cast<float>(sum_dy);
+            desc[out++] = static_cast<float>(sum_adx);
+            desc[out++] = static_cast<float>(sum_ady);
+        }
+    }
+
+    // L2 normalization for illumination invariance.
+    double norm = 0.0;
+    for (float v : desc)
+        norm += static_cast<double>(v) * v;
+    norm = std::sqrt(norm);
+    if (norm > 1e-12) {
+        for (auto &v : desc)
+            v = static_cast<float>(v / norm);
+    }
+    return desc;
+}
+
+} // namespace
+
+std::vector<Descriptor>
+describeKeypoints(const IntegralImage &integral,
+                  std::vector<Keypoint> &keypoints,
+                  const SurfConfig &config)
+{
+    std::vector<Descriptor> descriptors;
+    descriptors.reserve(keypoints.size());
+    for (auto &kp : keypoints) {
+        kp.orientation = config.upright
+            ? 0.0f : assignOrientation(integral, kp);
+        descriptors.push_back(computeDescriptor(integral, kp));
+    }
+    return descriptors;
+}
+
+float
+descriptorDistanceSq(const Descriptor &a, const Descriptor &b)
+{
+    float acc = 0.0f;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const float d = a[i] - b[i];
+        acc += d * d;
+    }
+    return acc;
+}
+
+} // namespace sirius::vision

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * SURF-style feature extraction (FE) and feature description (FD).
+ *
+ * Follows the structure of Bay et al.'s Speeded-Up Robust Features as the
+ * paper's image-matching pipeline does (Figure 5): a fast-Hessian
+ * scale-space detector built on integral-image box filters, then an
+ * orientation-assigned 64-dimensional Haar-wavelet descriptor per
+ * keypoint. The two stages are separate public entry points because the
+ * Sirius Suite times them as distinct kernels (FE and FD).
+ */
+
+#ifndef SIRIUS_VISION_SURF_H
+#define SIRIUS_VISION_SURF_H
+
+#include <array>
+#include <vector>
+
+#include "vision/integral_image.h"
+
+namespace sirius::vision {
+
+/** A detected interest point. */
+struct Keypoint
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float scale = 0.0f;       ///< SURF scale (filter_size * 1.2 / 9)
+    float response = 0.0f;    ///< Hessian determinant at the peak
+    bool laplacianPositive = false;
+    float orientation = 0.0f; ///< radians, set by the descriptor stage
+};
+
+/** 64-dimensional SURF descriptor. */
+using Descriptor = std::array<float, 64>;
+
+/** Detector tuning. */
+struct SurfConfig
+{
+    int octaves = 3;
+    double hessianThreshold = 5e-4;
+    int initStep = 2;          ///< sampling step at octave 0
+    bool upright = false;      ///< skip orientation assignment if true
+};
+
+/**
+ * Feature Extraction: detect fast-Hessian keypoints over the scale space.
+ * This is the FE kernel of the Sirius Suite.
+ */
+std::vector<Keypoint> detectKeypoints(const IntegralImage &integral,
+                                      const SurfConfig &config = {});
+
+/**
+ * Feature Description: assign orientations and compute 64-d descriptors.
+ * This is the FD kernel of the Sirius Suite. Keypoints are updated with
+ * their orientation in place.
+ */
+std::vector<Descriptor> describeKeypoints(const IntegralImage &integral,
+                                          std::vector<Keypoint> &keypoints,
+                                          const SurfConfig &config = {});
+
+/** Squared Euclidean distance between two descriptors. */
+float descriptorDistanceSq(const Descriptor &a, const Descriptor &b);
+
+} // namespace sirius::vision
+
+#endif // SIRIUS_VISION_SURF_H

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Tests for the accelerator models: platform data (Tables 3/6), the
+ * calibrated Table 5 speedups, analytic-model sanity, latency
+ * composition (Figures 14-16) and the microarchitecture profiles
+ * (Figure 10).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "accel/latency.h"
+#include "accel/model.h"
+#include "accel/platform.h"
+#include "accel/uarch.h"
+
+namespace {
+
+using namespace sirius::accel;
+
+// ---------------------------------------------------------------- platforms
+
+TEST(Platform, Table3Specs)
+{
+    const auto &cmp = platformSpec(Platform::Cmp);
+    EXPECT_DOUBLE_EQ(cmp.frequencyGhz, 3.40);
+    EXPECT_EQ(cmp.cores, 4);
+    EXPECT_EQ(cmp.hwThreads, 8);
+    EXPECT_DOUBLE_EQ(cmp.peakTflops, 0.5);
+
+    const auto &gpu = platformSpec(Platform::Gpu);
+    EXPECT_DOUBLE_EQ(gpu.memBwGBs, 224.0);
+    EXPECT_DOUBLE_EQ(gpu.peakTflops, 3.2);
+
+    const auto &phi = platformSpec(Platform::Phi);
+    EXPECT_EQ(phi.cores, 60);
+    EXPECT_EQ(phi.hwThreads, 240);
+
+    const auto &fpga = platformSpec(Platform::Fpga);
+    EXPECT_DOUBLE_EQ(fpga.frequencyGhz, 0.40);
+}
+
+TEST(Platform, Table6PowerAndCost)
+{
+    EXPECT_DOUBLE_EQ(platformSpec(Platform::Cmp).tdpWatts, 80.0);
+    EXPECT_DOUBLE_EQ(platformSpec(Platform::Gpu).tdpWatts, 230.0);
+    EXPECT_DOUBLE_EQ(platformSpec(Platform::Phi).tdpWatts, 225.0);
+    EXPECT_DOUBLE_EQ(platformSpec(Platform::Fpga).tdpWatts, 22.0);
+
+    EXPECT_DOUBLE_EQ(platformSpec(Platform::Cmp).costUsd, 250.0);
+    EXPECT_DOUBLE_EQ(platformSpec(Platform::Gpu).costUsd, 399.0);
+    EXPECT_DOUBLE_EQ(platformSpec(Platform::Phi).costUsd, 2437.0);
+    EXPECT_DOUBLE_EQ(platformSpec(Platform::Fpga).costUsd, 1795.0);
+}
+
+TEST(Platform, Enumerations)
+{
+    EXPECT_EQ(allPlatforms().size(), 5u);
+    EXPECT_EQ(acceleratorPlatforms().size(), 3u);
+    EXPECT_STREQ(platformName(Platform::Gpu), "GPU");
+}
+
+// --------------------------------------------------------- calibrated model
+
+TEST(CalibratedModel, MatchesTable5)
+{
+    CalibratedModel model;
+    // Spot-check every column of two rows and the headline cells.
+    EXPECT_DOUBLE_EQ(model.speedup(Kernel::Gmm, Platform::CmpMulticore),
+                     3.5);
+    EXPECT_DOUBLE_EQ(model.speedup(Kernel::Gmm, Platform::Gpu), 70.0);
+    EXPECT_DOUBLE_EQ(model.speedup(Kernel::Gmm, Platform::Phi), 1.1);
+    EXPECT_DOUBLE_EQ(model.speedup(Kernel::Gmm, Platform::Fpga), 169.0);
+    EXPECT_DOUBLE_EQ(model.speedup(Kernel::Fd, Platform::Gpu), 120.5);
+    EXPECT_DOUBLE_EQ(model.speedup(Kernel::Crf, Platform::Fpga), 7.5);
+    EXPECT_DOUBLE_EQ(model.speedup(Kernel::Stemmer, Platform::Fpga),
+                     30.0);
+}
+
+TEST(CalibratedModel, BaselineIsUnity)
+{
+    CalibratedModel model;
+    for (Kernel kernel : suiteKernels())
+        EXPECT_DOUBLE_EQ(model.speedup(kernel, Platform::Cmp), 1.0);
+}
+
+TEST(CalibratedModel, FpgaBestForMostKernels)
+{
+    // Section 5.1.1: FPGA outperforms GPU for most services except
+    // DNN-style workloads.
+    CalibratedModel model;
+    size_t fpga_wins = 0;
+    for (Kernel kernel : suiteKernels()) {
+        if (model.speedup(kernel, Platform::Fpga) >
+            model.speedup(kernel, Platform::Gpu)) {
+            ++fpga_wins;
+        }
+    }
+    EXPECT_GE(fpga_wins, 4u);
+    EXPECT_GT(model.speedup(Kernel::Dnn, Platform::Gpu) /
+                  model.speedup(Kernel::Dnn, Platform::CmpMulticore),
+              1.0);
+}
+
+// ----------------------------------------------------------- analytic model
+
+TEST(AnalyticModel, BaselineIsUnity)
+{
+    AnalyticModel model;
+    for (Kernel kernel : suiteKernels())
+        EXPECT_DOUBLE_EQ(model.speedup(kernel, Platform::Cmp), 1.0);
+}
+
+TEST(AnalyticModel, SpeedupsPositiveAndFinite)
+{
+    AnalyticModel model;
+    for (Kernel kernel : suiteKernels()) {
+        for (Platform platform : allPlatforms()) {
+            const double s = model.speedup(kernel, platform);
+            EXPECT_GT(s, 0.0);
+            EXPECT_TRUE(std::isfinite(s));
+        }
+    }
+}
+
+TEST(AnalyticModel, BranchyKernelsFavorFpgaOverGpu)
+{
+    // The stemmer's divergence should make the GPU much less attractive
+    // than the FPGA, matching the paper's observation.
+    AnalyticModel model;
+    EXPECT_GT(model.speedup(Kernel::Stemmer, Platform::Fpga),
+              model.speedup(Kernel::Stemmer, Platform::Gpu));
+    EXPECT_GT(model.speedup(Kernel::Regex, Platform::Fpga),
+              model.speedup(Kernel::Regex, Platform::Gpu));
+}
+
+TEST(AnalyticModel, DenseKernelsLoveTheGpu)
+{
+    AnalyticModel model;
+    EXPECT_GT(model.speedup(Kernel::Dnn, Platform::Gpu), 10.0);
+    EXPECT_GT(model.speedup(Kernel::Fd, Platform::Gpu), 10.0);
+}
+
+TEST(ModelAgreement, AnalyticTracksCalibratedOrdering)
+{
+    const CalibratedModel calibrated;
+    const AnalyticModel analytic;
+    const auto agreement = compareModels(analytic, calibrated);
+    // Cross-model cell ordering should mostly agree; the analytic model
+    // is a sanity check, not a re-measurement.
+    EXPECT_GT(agreement.orderingAgreement, 0.75);
+    EXPECT_LT(agreement.meanAbsLogError, 1.5);
+}
+
+TEST(ModelAgreement, SelfComparisonPerfect)
+{
+    const CalibratedModel model;
+    const auto agreement = compareModels(model, model);
+    EXPECT_DOUBLE_EQ(agreement.meanAbsLogError, 0.0);
+    EXPECT_DOUBLE_EQ(agreement.orderingAgreement, 1.0);
+}
+
+// ------------------------------------------------------ latency composition
+
+class LatencyFixture : public ::testing::Test
+{
+  protected:
+    CalibratedModel model_;
+    std::vector<ServiceProfile> profiles_ = defaultServiceProfiles();
+
+    const ServiceProfile &
+    service(ServiceKind kind) const
+    {
+        for (const auto &p : profiles_) {
+            if (p.kind == kind)
+                return p;
+        }
+        throw std::runtime_error("missing service");
+    }
+};
+
+TEST_F(LatencyFixture, FourServicesPresent)
+{
+    EXPECT_EQ(profiles_.size(), 4u);
+    EXPECT_EQ(allServices().size(), 4u);
+}
+
+TEST_F(LatencyFixture, BaselineLatencyIsComponentSum)
+{
+    for (const auto &profile : profiles_) {
+        double sum = profile.unacceleratedSeconds;
+        for (const auto &c : profile.components)
+            sum += c.seconds;
+        EXPECT_DOUBLE_EQ(baselineLatency(profile), sum);
+        EXPECT_DOUBLE_EQ(
+            serviceLatency(profile, model_, Platform::Cmp), sum);
+    }
+}
+
+TEST_F(LatencyFixture, AcceleratorsReduceLatency)
+{
+    for (const auto &profile : profiles_) {
+        const double base = baselineLatency(profile);
+        for (Platform p : {Platform::Gpu, Platform::Fpga}) {
+            EXPECT_LT(serviceLatency(profile, model_, p), base)
+                << serviceKindName(profile.kind);
+        }
+    }
+}
+
+TEST_F(LatencyFixture, FpgaFasterThanGpuExceptAsrDnn)
+{
+    // Section 5.1.1: "The FPGA outperforms the GPU for most of the
+    // services except ASR (DNN/HMM)."
+    for (const auto &profile : profiles_) {
+        const double gpu = serviceLatency(profile, model_,
+                                          Platform::Gpu);
+        const double fpga = serviceLatency(profile, model_,
+                                           Platform::Fpga);
+        if (profile.kind == ServiceKind::AsrDnn)
+            EXPECT_LT(gpu, fpga);
+        else
+            EXPECT_LT(fpga, gpu);
+    }
+}
+
+TEST_F(LatencyFixture, AsrGmmFpgaLatencyDropsBelow5Percent)
+{
+    // Paper: FPGA cuts ASR (GMM) from 4.2 s to 0.19 s (~22x).
+    const auto &asr = service(ServiceKind::AsrGmm);
+    const double base = baselineLatency(asr);
+    const double fpga = serviceLatency(asr, model_, Platform::Fpga);
+    EXPECT_GT(base / fpga, 10.0);
+}
+
+TEST_F(LatencyFixture, PhiSlowerThanMulticoreBaseline)
+{
+    // Section 5.1.1: "Phi is generally slower than the Pthreaded
+    // multicore baseline."
+    size_t slower = 0;
+    for (const auto &profile : profiles_) {
+        if (serviceLatency(profile, model_, Platform::Phi) >
+            serviceLatency(profile, model_, Platform::CmpMulticore)) {
+            ++slower;
+        }
+    }
+    EXPECT_GE(slower, 3u);
+}
+
+TEST_F(LatencyFixture, FpgaBestPerfPerWatt)
+{
+    // Figure 15: FPGA exceeds every platform by a wide margin; >12x the
+    // multicore baseline.
+    for (const auto &profile : profiles_) {
+        const double fpga = perfPerWattVsMulticore(profile, model_,
+                                                   Platform::Fpga);
+        for (Platform p : {Platform::CmpMulticore, Platform::Gpu,
+                           Platform::Phi}) {
+            EXPECT_GT(fpga, perfPerWattVsMulticore(profile, model_, p))
+                << serviceKindName(profile.kind);
+        }
+    }
+    double mean = 0.0;
+    for (const auto &profile : profiles_)
+        mean += perfPerWattVsMulticore(profile, model_, Platform::Fpga);
+    EXPECT_GT(mean / 4.0, 12.0);
+}
+
+TEST_F(LatencyFixture, GpuPerfPerWattWorseThanBaselineForQa)
+{
+    // Figure 15: the GPU's perf/W trails the baseline only for QA.
+    const auto &qa = service(ServiceKind::Qa);
+    EXPECT_LT(perfPerWattVsMulticore(qa, model_, Platform::Gpu), 1.0);
+    const auto &asr = service(ServiceKind::AsrDnn);
+    EXPECT_GT(perfPerWattVsMulticore(asr, model_, Platform::Gpu), 1.0);
+}
+
+TEST_F(LatencyFixture, ThroughputNumbersMatchPaperShape)
+{
+    // Figure 16: GPU ~13.7x for ASR (DNN); FPGA ~12.6x for IMM.
+    const double gpu_dnn = throughputImprovement(
+        service(ServiceKind::AsrDnn), model_, Platform::Gpu);
+    EXPECT_GT(gpu_dnn, 8.0);
+    EXPECT_LT(gpu_dnn, 20.0);
+
+    const double fpga_imm = throughputImprovement(
+        service(ServiceKind::Imm), model_, Platform::Fpga);
+    EXPECT_GT(fpga_imm, 8.0);
+    EXPECT_LT(fpga_imm, 20.0);
+
+    // QA throughput gains are more limited across platforms.
+    const double gpu_qa = throughputImprovement(
+        service(ServiceKind::Qa), model_, Platform::Gpu);
+    EXPECT_LT(gpu_qa, gpu_dnn);
+}
+
+// ------------------------------------------------------------------- uarch
+
+TEST(Uarch, SharesSumToOne)
+{
+    for (Kernel kernel : suiteKernels()) {
+        const auto &profile = microarchProfile(kernel);
+        EXPECT_NEAR(profile.retiring + profile.frontEnd +
+                        profile.speculation + profile.backEnd,
+                    1.0, 1e-9)
+            << kernelName(kernel);
+        EXPECT_GT(profile.ipc, 0.0);
+        EXPECT_LE(profile.ipc, 4.0); // Haswell issue width
+    }
+}
+
+TEST(Uarch, DnnAndRegexRunEfficiently)
+{
+    // Figure 10's narrative: DNN and Regex execute efficiently.
+    EXPECT_GT(microarchProfile(Kernel::Dnn).ipc, 2.0);
+    EXPECT_GT(microarchProfile(Kernel::Regex).ipc, 2.0);
+    EXPECT_LT(microarchProfile(Kernel::Stemmer).ipc, 1.2);
+}
+
+TEST(Uarch, StallFreeSpeedupBoundedAround3x)
+{
+    // The paper's key claim: removing all stalls buys at most ~3x, far
+    // short of the 165x scalability gap.
+    const double aggregate = aggregateStallFreeSpeedup();
+    EXPECT_GT(aggregate, 1.5);
+    EXPECT_LT(aggregate, 4.0);
+    for (Kernel kernel : suiteKernels())
+        EXPECT_LT(stallFreeSpeedup(kernel), 4.1);
+}
+
+} // namespace

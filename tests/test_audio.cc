@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the audio substrate: phoneme inventory, synthesizer and MFCC.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "audio/mfcc.h"
+#include "audio/phoneme.h"
+#include "audio/synthesizer.h"
+
+namespace {
+
+using namespace sirius::audio;
+
+TEST(Phoneme, GraphemeRoundTrip)
+{
+    for (char c = 'a'; c <= 'z'; ++c)
+        EXPECT_EQ(graphemeOf(phonemeOf(c)), c);
+    for (char c = '0'; c <= '9'; ++c)
+        EXPECT_EQ(graphemeOf(phonemeOf(c)), c);
+}
+
+TEST(Phoneme, CaseInsensitive)
+{
+    EXPECT_EQ(phonemeOf('A'), phonemeOf('a'));
+    EXPECT_EQ(phonemeOf('Z'), phonemeOf('z'));
+}
+
+TEST(Phoneme, NonAlnumRejected)
+{
+    EXPECT_EQ(phonemeOf(' '), -1);
+    EXPECT_EQ(phonemeOf('?'), -1);
+}
+
+TEST(Phoneme, FormantsDistinct)
+{
+    std::set<std::pair<int, int>> signatures;
+    for (int p = 1; p < kNumPhonemes; ++p) {
+        const auto spec = formantFor(p);
+        EXPECT_GT(spec.f1, 0.0);
+        EXPECT_GT(spec.f2, spec.f1);
+        EXPECT_GT(spec.f3, spec.f2);
+        signatures.insert({static_cast<int>(spec.f1),
+                           static_cast<int>(spec.f2)});
+    }
+    // Every phoneme has a unique (f1, f2) signature.
+    EXPECT_EQ(signatures.size(), static_cast<size_t>(kNumPhonemes - 1));
+}
+
+TEST(Phoneme, SilenceIsSilent)
+{
+    const auto spec = formantFor(kSilencePhoneme);
+    EXPECT_DOUBLE_EQ(spec.gain, 0.0);
+}
+
+TEST(Phoneme, PronounceSkipsPunctuation)
+{
+    const auto pron = pronounce("what's");
+    ASSERT_EQ(pron.size(), 5u);
+    EXPECT_EQ(pron[0], phonemeOf('w'));
+    EXPECT_EQ(pron[4], phonemeOf('s'));
+}
+
+TEST(Synthesizer, DeterministicOutput)
+{
+    SpeechSynthesizer synth;
+    const auto a = synth.synthesize("hello world");
+    const auto b = synth.synthesize("hello world");
+    ASSERT_EQ(a.samples.size(), b.samples.size());
+    for (size_t i = 0; i < a.samples.size(); ++i)
+        ASSERT_DOUBLE_EQ(a.samples[i], b.samples[i]);
+}
+
+TEST(Synthesizer, DurationScalesWithText)
+{
+    SpeechSynthesizer synth;
+    const auto brief = synth.synthesize("hi");
+    const auto lengthy = synth.synthesize("a much longer sentence here");
+    EXPECT_GT(lengthy.seconds(), brief.seconds());
+}
+
+TEST(Synthesizer, SamplesBounded)
+{
+    SpeechSynthesizer synth;
+    const auto wave = synth.synthesize("the quick brown fox 123");
+    for (double s : wave.samples) {
+        ASSERT_LE(std::fabs(s), 1.5);
+    }
+}
+
+TEST(Synthesizer, FrameLabelsCoverExpectedPhonemes)
+{
+    SpeechSynthesizer synth;
+    const auto labels = synth.frameLabels("ab", 160);
+    std::set<int> seen(labels.begin(), labels.end());
+    EXPECT_TRUE(seen.count(phonemeOf('a')));
+    EXPECT_TRUE(seen.count(phonemeOf('b')));
+    EXPECT_TRUE(seen.count(kSilencePhoneme));
+}
+
+TEST(Synthesizer, LabelsAlignWithWaveLength)
+{
+    SpeechSynthesizer synth;
+    const auto wave = synth.synthesize("alignment test");
+    const auto labels = synth.frameLabels("alignment test", 160);
+    // One label per full frame shift in the waveform.
+    EXPECT_EQ(labels.size(), wave.samples.size() / 160);
+}
+
+TEST(Mfcc, ProducesOneVectorPerFrame)
+{
+    SpeechSynthesizer synth;
+    MfccExtractor mfcc;
+    const auto wave = synth.synthesize("feature frames");
+    const auto features = mfcc.extract(wave);
+    const size_t expected =
+        (wave.samples.size() - 400) / 160 + 1;
+    EXPECT_EQ(features.size(), expected);
+    for (const auto &f : features)
+        ASSERT_EQ(f.size(), 13u);
+}
+
+TEST(Mfcc, EmptyWaveGivesNoFrames)
+{
+    MfccExtractor mfcc;
+    Waveform wave;
+    EXPECT_TRUE(mfcc.extract(wave).empty());
+}
+
+TEST(Mfcc, FeaturesFinite)
+{
+    SpeechSynthesizer synth;
+    MfccExtractor mfcc;
+    const auto wave = synth.synthesize("finite check 42");
+    for (const auto &f : mfcc.extract(wave)) {
+        for (float x : f)
+            ASSERT_TRUE(std::isfinite(x));
+    }
+}
+
+TEST(Mfcc, DistinguishesPhonemes)
+{
+    // Features of a sustained 'a' should differ clearly from a
+    // sustained 'z'. Compare mean feature vectors by L2 distance.
+    SpeechSynthesizer synth;
+    MfccExtractor mfcc;
+    const auto fa = mfcc.extract(synth.synthesize("aaaaaaaa"));
+    const auto fz = mfcc.extract(synth.synthesize("zzzzzzzz"));
+    ASSERT_FALSE(fa.empty());
+    ASSERT_FALSE(fz.empty());
+    std::vector<double> ma(13, 0.0), mz(13, 0.0);
+    for (const auto &f : fa) {
+        for (size_t d = 0; d < 13; ++d)
+            ma[d] += f[d];
+    }
+    for (const auto &f : fz) {
+        for (size_t d = 0; d < 13; ++d)
+            mz[d] += f[d];
+    }
+    double dist = 0.0;
+    for (size_t d = 0; d < 13; ++d) {
+        const double a = ma[d] / static_cast<double>(fa.size());
+        const double z = mz[d] / static_cast<double>(fz.size());
+        dist += (a - z) * (a - z);
+    }
+    EXPECT_GT(std::sqrt(dist), 1.0);
+}
+
+TEST(Mfcc, SilenceFeaturesDifferFromSpeech)
+{
+    SpeechSynthesizer synth;
+    MfccExtractor mfcc;
+    SynthesizerConfig cfg;
+    cfg.wordGapSeconds = 0.5;
+    SpeechSynthesizer gap_synth(cfg);
+    const auto features = mfcc.extract(gap_synth.synthesize("k"));
+    ASSERT_GT(features.size(), 4u);
+    // First frame is in leading silence; middle frames carry the phoneme.
+    const auto &silent = features.front();
+    const auto &voiced = features[features.size() / 2];
+    double dist = 0.0;
+    for (size_t d = 0; d < silent.size(); ++d)
+        dist += (silent[d] - voiced[d]) * (silent[d] - voiced[d]);
+    EXPECT_GT(std::sqrt(dist), 1.0);
+}
+
+} // namespace

@@ -1,0 +1,455 @@
+/**
+ * @file
+ * Unit and property tests for the common substrate: RNG, stats, FFT,
+ * matrix math, thread pool, profiler and string helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <complex>
+#include <numeric>
+
+#include "common/fft.h"
+#include "common/matrix.h"
+#include "common/profiler.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace {
+
+using namespace sirius;
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a() == b());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllValues)
+{
+    Rng rng(5);
+    std::vector<int> seen(10, 0);
+    for (int i = 0; i < 5000; ++i)
+        ++seen[rng.below(10)];
+    for (int count : seen)
+        EXPECT_GT(count, 0);
+}
+
+TEST(Rng, GaussianMomentsApproximatelyStandard)
+{
+    Rng rng(13);
+    double sum = 0.0, sumsq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sumsq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(17);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.range(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        saw_lo |= (v == -3);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(SampleStats, MeanAndStddev)
+{
+    SampleStats stats;
+    stats.addAll({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(SampleStats, EmptyIsZero)
+{
+    SampleStats stats;
+    EXPECT_EQ(stats.count(), 0u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.percentile(50), 0.0);
+}
+
+TEST(SampleStats, PercentileInterpolates)
+{
+    SampleStats stats;
+    stats.addAll({1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(stats.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(stats.percentile(100), 4.0);
+    EXPECT_DOUBLE_EQ(stats.percentile(50), 2.5);
+}
+
+TEST(SampleStats, PercentileMonotone)
+{
+    Rng rng(23);
+    SampleStats stats;
+    for (int i = 0; i < 500; ++i)
+        stats.add(rng.uniform(0, 100));
+    double prev = stats.percentile(0);
+    for (int p = 1; p <= 100; ++p) {
+        const double v = stats.percentile(p);
+        ASSERT_GE(v, prev);
+        prev = v;
+    }
+}
+
+TEST(Histogram, BinsAndClamping)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-5.0);   // clamps into bin 0
+    h.add(0.5);
+    h.add(9.5);
+    h.add(50.0);   // clamps into last bin
+    EXPECT_EQ(h.binCount(size_t{0}), 2u);
+    EXPECT_EQ(h.binCount(size_t{9}), 2u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, RenderMentionsCounts)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.25);
+    h.add(0.75);
+    h.add(0.8);
+    const auto text = h.render(10);
+    EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+TEST(PearsonCorrelation, PerfectPositive)
+{
+    std::vector<double> xs = {1, 2, 3, 4, 5};
+    std::vector<double> ys = {2, 4, 6, 8, 10};
+    EXPECT_NEAR(pearsonCorrelation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, PerfectNegative)
+{
+    std::vector<double> xs = {1, 2, 3};
+    std::vector<double> ys = {3, 2, 1};
+    EXPECT_NEAR(pearsonCorrelation(xs, ys), -1.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, DegenerateInputsGiveZero)
+{
+    EXPECT_DOUBLE_EQ(pearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+    EXPECT_DOUBLE_EQ(pearsonCorrelation({1, 2}, {1}), 0.0);
+    EXPECT_DOUBLE_EQ(pearsonCorrelation({}, {}), 0.0);
+}
+
+TEST(Fft, PowerOfTwoHelpers)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(1024));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_EQ(nextPowerOfTwo(1), 1u);
+    EXPECT_EQ(nextPowerOfTwo(5), 8u);
+    EXPECT_EQ(nextPowerOfTwo(1024), 1024u);
+}
+
+TEST(Fft, DeltaFunctionHasFlatSpectrum)
+{
+    std::vector<std::complex<double>> data(8, {0.0, 0.0});
+    data[0] = {1.0, 0.0};
+    fft(data);
+    for (const auto &c : data)
+        EXPECT_NEAR(std::abs(c), 1.0, 1e-12);
+}
+
+TEST(Fft, RoundTripIdentity)
+{
+    Rng rng(29);
+    std::vector<std::complex<double>> data(64);
+    for (auto &c : data)
+        c = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    auto copy = data;
+    fft(copy);
+    fft(copy, true);
+    for (size_t i = 0; i < data.size(); ++i) {
+        EXPECT_NEAR(copy[i].real() / 64.0, data[i].real(), 1e-9);
+        EXPECT_NEAR(copy[i].imag() / 64.0, data[i].imag(), 1e-9);
+    }
+}
+
+TEST(Fft, PureToneConcentratesAtItsBin)
+{
+    const size_t n = 256;
+    std::vector<double> signal(n);
+    const int bin = 19;
+    for (size_t i = 0; i < n; ++i) {
+        signal[i] = std::sin(2.0 * M_PI * bin *
+                             static_cast<double>(i) / n);
+    }
+    const auto mags = magnitudeSpectrum(signal);
+    size_t peak = 0;
+    for (size_t i = 1; i < mags.size(); ++i) {
+        if (mags[i] > mags[peak])
+            peak = i;
+    }
+    EXPECT_EQ(peak, static_cast<size_t>(bin));
+}
+
+TEST(Fft, ParsevalEnergyConserved)
+{
+    Rng rng(31);
+    const size_t n = 128;
+    std::vector<std::complex<double>> data(n);
+    double time_energy = 0.0;
+    for (auto &c : data) {
+        c = {rng.uniform(-1, 1), 0.0};
+        time_energy += std::norm(c);
+    }
+    fft(data);
+    double freq_energy = 0.0;
+    for (const auto &c : data)
+        freq_energy += std::norm(c);
+    EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy, 1e-9);
+}
+
+TEST(Matrix, MatmulAgainstHandComputed)
+{
+    Matrix a(2, 3), b(3, 2), c;
+    float va[] = {1, 2, 3, 4, 5, 6};
+    float vb[] = {7, 8, 9, 10, 11, 12};
+    std::copy(va, va + 6, a.data());
+    std::copy(vb, vb + 6, b.data());
+    matmul(a, b, c);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Matrix, MatvecMatchesMatmul)
+{
+    Rng rng(37);
+    Matrix m(5, 7);
+    m.fillGaussian(rng, 0.0f, 1.0f);
+    std::vector<float> v(7);
+    for (auto &x : v)
+        x = static_cast<float>(rng.uniform(-1, 1));
+    std::vector<float> out;
+    matvec(m, v, out);
+
+    Matrix vm(7, 1), expect;
+    for (size_t i = 0; i < 7; ++i)
+        vm.at(i, 0) = v[i];
+    matmul(m, vm, expect);
+    for (size_t i = 0; i < 5; ++i)
+        EXPECT_NEAR(out[i], expect.at(i, 0), 1e-4);
+}
+
+TEST(Matrix, SoftmaxSumsToOne)
+{
+    std::vector<float> v = {1.0f, 2.0f, 3.0f, -4.0f};
+    softmaxInPlace(v);
+    float sum = 0.0f;
+    for (float x : v) {
+        EXPECT_GT(x, 0.0f);
+        sum += x;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-6);
+}
+
+TEST(Matrix, LogSoftmaxMatchesSoftmax)
+{
+    std::vector<float> a = {0.5f, -1.5f, 2.0f};
+    auto b = a;
+    softmaxInPlace(a);
+    logSoftmaxInPlace(b);
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_NEAR(std::exp(b[i]), a[i], 1e-5);
+}
+
+TEST(Matrix, LogSumExpStable)
+{
+    EXPECT_NEAR(logSumExp({1000.0, 1000.0}),
+                1000.0 + std::log(2.0), 1e-9);
+    EXPECT_NEAR(logAdd(-2000.0, -2000.0), -2000.0 + std::log(2.0), 1e-9);
+    EXPECT_TRUE(std::isinf(logSumExp({})));
+}
+
+TEST(Matrix, ReluClampsNegatives)
+{
+    std::vector<float> v = {-1.0f, 0.0f, 2.5f};
+    reluInPlace(v);
+    EXPECT_FLOAT_EQ(v[0], 0.0f);
+    EXPECT_FLOAT_EQ(v[1], 0.0f);
+    EXPECT_FLOAT_EQ(v[2], 2.5f);
+}
+
+TEST(ThreadPool, RunsAllJobs)
+{
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&counter] { ++counter; });
+    pool.waitIdle();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns)
+{
+    ThreadPool pool(2);
+    pool.waitIdle();
+    SUCCEED();
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce)
+{
+    std::vector<std::atomic<int>> hits(1000);
+    parallelFor(1000, 8, [&hits](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i)
+            ++hits[i];
+    });
+    for (const auto &h : hits)
+        ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, StridedCoversRangeExactlyOnce)
+{
+    std::vector<std::atomic<int>> hits(777);
+    parallelForStrided(777, 8, [&hits](size_t start, size_t stride) {
+        for (size_t i = start; i < hits.size(); i += stride)
+            ++hits[i];
+    });
+    for (const auto &h : hits)
+        ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroCountIsNoop)
+{
+    parallelFor(0, 4, [](size_t, size_t) { FAIL(); });
+    SUCCEED();
+}
+
+TEST(Profiler, AttributesAndRanks)
+{
+    Profiler profiler;
+    profiler.addSeconds("slow", 3.0);
+    profiler.addSeconds("fast", 1.0);
+    profiler.addSeconds("slow", 1.0);
+    EXPECT_DOUBLE_EQ(profiler.seconds("slow"), 4.0);
+    EXPECT_DOUBLE_EQ(profiler.totalSeconds(), 5.0);
+    EXPECT_DOUBLE_EQ(profiler.fraction("slow"), 0.8);
+    const auto order = profiler.componentsByTime();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], "slow");
+}
+
+TEST(Profiler, ScopeAccumulates)
+{
+    Profiler profiler;
+    {
+        auto scope = profiler.scope("region");
+        volatile double x = 0;
+        for (int i = 0; i < 100000; ++i)
+            x = x + 1.0;
+    }
+    EXPECT_GT(profiler.seconds("region"), 0.0);
+}
+
+TEST(Strings, SplitJoinRoundTrip)
+{
+    const auto parts = split("a bb  ccc", " ");
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(join(parts, " "), "a bb ccc");
+}
+
+TEST(Strings, TrimAndCase)
+{
+    EXPECT_EQ(trim("  hi \n"), "hi");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(toLower("AbC9"), "abc9");
+}
+
+TEST(Strings, PrefixSuffix)
+{
+    EXPECT_TRUE(startsWith("sirius", "sir"));
+    EXPECT_FALSE(startsWith("si", "sir"));
+    EXPECT_TRUE(endsWith("pipeline", "line"));
+    EXPECT_FALSE(endsWith("line", "pipeline"));
+}
+
+TEST(Strings, FormatLikePrintf)
+{
+    EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+}
+
+TEST(Timer, StopwatchMovesForward)
+{
+    Stopwatch watch;
+    volatile double x = 0;
+    for (int i = 0; i < 100000; ++i)
+        x = x + 1.0;
+    EXPECT_GT(watch.nanoseconds(), 0u);
+    EXPECT_GE(watch.seconds(), 0.0);
+}
+
+TEST(Timer, ScopedTimerAccumulates)
+{
+    double sink = 0.0;
+    {
+        ScopedTimer timer(sink);
+        volatile double x = 0;
+        for (int i = 0; i < 100000; ++i)
+            x = x + 1.0;
+    }
+    EXPECT_GT(sink, 0.0);
+}
+
+} // namespace

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * End-to-end tests for the Sirius pipeline: the full 42-query input set
+ * must flow through ASR -> QC -> (IMM) -> QA with correct results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "core/pipeline.h"
+#include "core/query_classifier.h"
+#include "core/query_set.h"
+
+namespace {
+
+using namespace sirius;
+using namespace sirius::core;
+
+// ----------------------------------------------------------------- queries
+
+TEST(QuerySet, TaxonomyCounts)
+{
+    // Table 1: 16 VC, 16 VQ, 10 VIQ.
+    EXPECT_EQ(queriesOfType(QueryType::VoiceCommand).size(), 16u);
+    EXPECT_EQ(queriesOfType(QueryType::VoiceQuery).size(), 16u);
+    EXPECT_EQ(queriesOfType(QueryType::VoiceImageQuery).size(), 10u);
+    EXPECT_EQ(standardQuerySet().size(), 42u);
+}
+
+TEST(QuerySet, TypeNames)
+{
+    EXPECT_STREQ(queryTypeName(QueryType::VoiceCommand), "VC");
+    EXPECT_STREQ(queryTypeName(QueryType::VoiceQuery), "VQ");
+    EXPECT_STREQ(queryTypeName(QueryType::VoiceImageQuery), "VIQ");
+}
+
+TEST(QuerySet, ViqQueriesCarryLandmarks)
+{
+    for (const auto &q : queriesOfType(QueryType::VoiceImageQuery)) {
+        EXPECT_GE(q.landmarkId, 0);
+        EXPECT_FALSE(q.expectedAnswer.empty());
+    }
+}
+
+TEST(QuerySet, VqQueriesHaveGroundTruth)
+{
+    for (const auto &q : queriesOfType(QueryType::VoiceQuery))
+        EXPECT_FALSE(q.expectedAnswer.empty());
+}
+
+TEST(QuerySet, TrainingSentencesCoverQueries)
+{
+    const auto sentences = asrTrainingSentences();
+    EXPECT_GE(sentences.size(), 40u);
+}
+
+// -------------------------------------------------------------- classifier
+
+TEST(QueryClassifier, CommandsClassifiedAsActions)
+{
+    QueryClassifier qc;
+    for (const auto &q : queriesOfType(QueryType::VoiceCommand)) {
+        EXPECT_EQ(qc.classify(q.text), QueryClass::Action) << q.text;
+    }
+}
+
+TEST(QueryClassifier, QuestionsClassifiedAsQuestions)
+{
+    QueryClassifier qc;
+    for (const auto &q : queriesOfType(QueryType::VoiceQuery)) {
+        EXPECT_EQ(qc.classify(q.text), QueryClass::Question) << q.text;
+    }
+    for (const auto &q : queriesOfType(QueryType::VoiceImageQuery)) {
+        EXPECT_EQ(qc.classify(q.text), QueryClass::Question) << q.text;
+    }
+}
+
+TEST(QueryClassifier, UnknownDefaultsToQuestion)
+{
+    QueryClassifier qc;
+    EXPECT_EQ(qc.classify("bananas everywhere"), QueryClass::Question);
+    EXPECT_EQ(qc.classify(""), QueryClass::Question);
+}
+
+// ---------------------------------------------------------------- pipeline
+
+class PipelineFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        SiriusConfig config;
+        config.qa.fillerDocs = 120;
+        pipeline_ = new SiriusPipeline(SiriusPipeline::build(config));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete pipeline_;
+        pipeline_ = nullptr;
+    }
+
+    static SiriusPipeline *pipeline_;
+};
+
+SiriusPipeline *PipelineFixture::pipeline_ = nullptr;
+
+TEST_F(PipelineFixture, VoiceCommandPathway)
+{
+    const auto vc = queriesOfType(QueryType::VoiceCommand);
+    const auto result = pipeline_->process(vc[0]);
+    EXPECT_EQ(result.queryClass, QueryClass::Action);
+    EXPECT_EQ(result.action, vc[0].text);
+    // VC only exercises ASR: no QA or IMM time.
+    EXPECT_GT(result.timings.asr.total(), 0.0);
+    EXPECT_DOUBLE_EQ(result.timings.qa.total(), 0.0);
+    EXPECT_DOUBLE_EQ(result.timings.imm.total(), 0.0);
+}
+
+TEST_F(PipelineFixture, VoiceQueryPathway)
+{
+    const Query q{QueryType::VoiceQuery,
+                  "what is the capital of italy", -1, "rome"};
+    const auto result = pipeline_->process(q);
+    EXPECT_EQ(result.queryClass, QueryClass::Question);
+    EXPECT_EQ(result.transcript, q.text);
+    EXPECT_NE(sirius::toLower(result.answer).find("rome"),
+              std::string::npos) << result.answer;
+    EXPECT_GT(result.timings.qa.total(), 0.0);
+    EXPECT_DOUBLE_EQ(result.timings.imm.total(), 0.0);
+}
+
+TEST_F(PipelineFixture, VoiceImageQueryPathway)
+{
+    const Query q{QueryType::VoiceImageQuery,
+                  "when does this restaurant close", 0, "9 pm"};
+    const auto result = pipeline_->process(q);
+    EXPECT_EQ(result.queryClass, QueryClass::Question);
+    EXPECT_EQ(result.matchedLandmark, 0);
+    EXPECT_NE(result.augmentedQuestion.find("falcon restaurant"),
+              std::string::npos) << result.augmentedQuestion;
+    EXPECT_NE(sirius::toLower(result.answer).find("9 pm"),
+              std::string::npos) << result.answer;
+    EXPECT_GT(result.timings.imm.total(), 0.0);
+}
+
+TEST_F(PipelineFixture, FullInputSetAccuracy)
+{
+    // The complete Table-1 input set must run end to end with high
+    // accuracy (speech synthesis -> ASR -> QC -> IMM -> QA).
+    const double acc = pipeline_->accuracy(standardQuerySet());
+    EXPECT_GE(acc, 0.9) << "end-to-end accuracy " << acc;
+}
+
+TEST_F(PipelineFixture, ViqLatencyExceedsVcLatency)
+{
+    // Figure 7b: VIQ > VQ > VC in latency, because each adds services.
+    const auto vc = pipeline_->process(
+        queriesOfType(QueryType::VoiceCommand)[0]);
+    const auto viq = pipeline_->process(
+        queriesOfType(QueryType::VoiceImageQuery)[0]);
+    EXPECT_GT(viq.timings.total(), vc.timings.total());
+}
+
+} // namespace

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Tests for the extension modules: delta features, the FPGA structural
+ * simulators (Section 4.3.4), and the discrete-event queue simulator
+ * validating the M/M/1 analytics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "accel/fpga_sim.h"
+#include "audio/delta.h"
+#include "dcsim/queueing.h"
+#include "dcsim/simulation.h"
+#include "speech/asr_service.h"
+
+namespace {
+
+using namespace sirius;
+using namespace sirius::audio;
+using namespace sirius::accel;
+using namespace sirius::dcsim;
+
+// ----------------------------------------------------------- delta features
+
+TEST(Delta, ConstantSignalHasZeroDeltas)
+{
+    std::vector<FeatureVector> frames(10, FeatureVector(4, 2.5f));
+    for (const auto &d : computeDeltas(frames)) {
+        for (float v : d)
+            EXPECT_FLOAT_EQ(v, 0.0f);
+    }
+}
+
+TEST(Delta, LinearRampHasConstantSlope)
+{
+    // x_t = 3t  ->  delta should be ~3 away from the edges.
+    std::vector<FeatureVector> frames;
+    for (int t = 0; t < 20; ++t)
+        frames.push_back({static_cast<float>(3 * t)});
+    const auto deltas = computeDeltas(frames, 2);
+    for (size_t t = 2; t + 2 < frames.size(); ++t)
+        EXPECT_NEAR(deltas[t][0], 3.0f, 1e-4);
+}
+
+TEST(Delta, AppendTriplesDimensionality)
+{
+    std::vector<FeatureVector> frames(5, FeatureVector(13, 1.0f));
+    const auto extended = appendDeltas(frames);
+    ASSERT_EQ(extended.size(), frames.size());
+    for (const auto &f : extended)
+        EXPECT_EQ(f.size(), 39u);
+}
+
+TEST(Delta, EmptyInputHandled)
+{
+    EXPECT_TRUE(computeDeltas({}).empty());
+    EXPECT_TRUE(appendDeltas({}).empty());
+}
+
+TEST(Delta, StaticCoefficientsPreserved)
+{
+    std::vector<FeatureVector> frames;
+    for (int t = 0; t < 8; ++t)
+        frames.push_back({static_cast<float>(t), 7.0f});
+    const auto extended = appendDeltas(frames);
+    for (size_t t = 0; t < frames.size(); ++t) {
+        EXPECT_FLOAT_EQ(extended[t][0], frames[t][0]);
+        EXPECT_FLOAT_EQ(extended[t][1], frames[t][1]);
+    }
+}
+
+TEST(Delta, AsrStillDecodesWithDeltas)
+{
+    speech::AsrConfig config;
+    config.useDeltaFeatures = true;
+    config.gmmComponents = 4;
+    const std::vector<std::string> sentences = {
+        "play some music", "set my alarm", "who was elected president"};
+    const auto asr = speech::AsrService::train(sentences, config);
+    for (const auto &sentence : sentences)
+        EXPECT_EQ(asr.transcribeText(sentence).text, sentence);
+}
+
+// --------------------------------------------------------------- FPGA model
+
+TEST(FpgaGmm, ThreeCoresFillTheVirtex6)
+{
+    // Paper: "when fully utilizing the FPGA fabric we achieved a 169x
+    // speedup using 3 GMM cores" (over 56x for one core).
+    const FpgaGmmSimulator sim(39, 8);
+    EXPECT_EQ(sim.maxCores(), 3);
+}
+
+TEST(FpgaGmm, LinearCoreScaling)
+{
+    const FpgaGmmSimulator sim(32, 8);
+    const double one = sim.statesPerSecond(1);
+    for (int cores = 2; cores <= sim.maxCores(); ++cores) {
+        EXPECT_NEAR(sim.statesPerSecond(cores) / one,
+                    static_cast<double>(cores), 1e-9);
+    }
+    // Requests beyond the fabric clamp at maxCores.
+    EXPECT_DOUBLE_EQ(sim.statesPerSecond(100),
+                     sim.statesPerSecond(sim.maxCores()));
+}
+
+TEST(FpgaGmm, FullFabricRatioMatchesPaper)
+{
+    // 169 / 56 = 3.02x from single core to full fabric.
+    const FpgaGmmSimulator sim(39, 8);
+    const double ratio = sim.statesPerSecond(sim.maxCores()) /
+        sim.statesPerSecond(1);
+    EXPECT_NEAR(ratio, 169.0 / 56.0, 0.15);
+}
+
+TEST(FpgaGmm, MoreComponentsSlower)
+{
+    const FpgaGmmSimulator few(32, 4);
+    const FpgaGmmSimulator many(32, 16);
+    EXPECT_GT(few.statesPerSecond(1), many.statesPerSecond(1));
+}
+
+TEST(FpgaStemmer, FiveCoresAtSeventeenPercent)
+{
+    // Paper: one core uses 17% of the fabric at 6x; full fabric 30x.
+    const FpgaStemmerSimulator sim;
+    EXPECT_EQ(sim.maxCores(), 5);
+    const double ratio = sim.wordsPerSecond(sim.maxCores()) /
+        sim.wordsPerSecond(1);
+    EXPECT_NEAR(ratio, 30.0 / 6.0, 1e-9);
+}
+
+TEST(FpgaStemmer, ThroughputReasonable)
+{
+    // One core at 400 MHz / ~14 cycles per word ~ 28M words/s — about
+    // 6x a CPU core stemming ~4.7M words/s, the paper's single-core
+    // figure.
+    const FpgaStemmerSimulator sim;
+    const double speedup = sim.speedupVsCpu(4.7e6, 1);
+    EXPECT_GT(speedup, 4.0);
+    EXPECT_LT(speedup, 9.0);
+}
+
+// ---------------------------------------------------------- queue simulator
+
+TEST(QueueSim, MatchesMm1Analytics)
+{
+    // Simulated mean sojourn time must match 1/(mu - lambda).
+    for (double rho : {0.3, 0.5, 0.7}) {
+        QueueSimConfig config;
+        config.arrivalRate = rho;
+        config.serviceRate = 1.0;
+        const auto result = simulateQueue(config);
+        const double analytic = mm1Latency(rho, 1.0);
+        EXPECT_NEAR(result.sojournSeconds.mean(), analytic,
+                    analytic * 0.08)
+            << "rho=" << rho;
+    }
+}
+
+TEST(QueueSim, UtilizationMatchesLoad)
+{
+    QueueSimConfig config;
+    config.arrivalRate = 0.6;
+    config.serviceRate = 1.0;
+    const auto result = simulateQueue(config);
+    EXPECT_NEAR(result.utilization, 0.6, 0.03);
+}
+
+TEST(QueueSim, DeterministicServiceHalvesQueueing)
+{
+    // M/D/1 waiting time is half of M/M/1's: W_MD1 = rho/(2 mu (1-rho)).
+    QueueSimConfig config;
+    config.arrivalRate = 0.7;
+    config.serviceRate = 1.0;
+    config.distribution = ServiceDistribution::Exponential;
+    const double mm1_wait =
+        simulateQueue(config).sojournSeconds.mean() - 1.0;
+    config.distribution = ServiceDistribution::Deterministic;
+    const double md1_wait =
+        simulateQueue(config).sojournSeconds.mean() - 1.0;
+    EXPECT_NEAR(md1_wait / mm1_wait, 0.5, 0.08);
+}
+
+TEST(QueueSim, HeavyTailsInflateLatencyAtSameMean)
+{
+    // Figure 8's QA variability: heavier service tails mean worse
+    // queueing delay at identical mean service time.
+    QueueSimConfig config;
+    config.arrivalRate = 0.7;
+    config.serviceRate = 1.0;
+    config.distribution = ServiceDistribution::Exponential;
+    const double exp_latency = simulateQueue(config)
+        .sojournSeconds.mean();
+    config.distribution = ServiceDistribution::HeavyTailed;
+    config.slowProbability = 0.05;
+    config.slowFactor = 10.0;
+    const double heavy_latency = simulateQueue(config)
+        .sojournSeconds.mean();
+    EXPECT_GT(heavy_latency, exp_latency);
+}
+
+TEST(QueueSim, ReproduciblePerSeed)
+{
+    QueueSimConfig config;
+    config.arrivalRate = 0.5;
+    config.measuredQueries = 2000;
+    const auto a = simulateQueue(config);
+    const auto b = simulateQueue(config);
+    EXPECT_DOUBLE_EQ(a.sojournSeconds.mean(), b.sojournSeconds.mean());
+}
+
+TEST(QueueSim, RejectsUnstableLoad)
+{
+    QueueSimConfig config;
+    config.arrivalRate = 2.0;
+    config.serviceRate = 1.0;
+    EXPECT_EXIT(simulateQueue(config),
+                ::testing::ExitedWithCode(1), "unstable");
+}
+
+TEST(QueueSim, SimulatedMaxArrivalTracksAnalytic)
+{
+    const double mu = 2.0;
+    const double bound = 1.5;
+    const double analytic = mm1MaxArrival(mu, bound);
+    const double simulated = simulatedMaxArrival(mu, bound);
+    EXPECT_NEAR(simulated, analytic, analytic * 0.1);
+}
+
+TEST(QueueSim, BoundBelowServiceTimeGivesZero)
+{
+    EXPECT_DOUBLE_EQ(simulatedMaxArrival(1.0, 0.5), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Tests for the second extension wave: voice codecs (mu-law / ADPCM),
+ * the device-action intent parser, leftmost-longest regex extraction,
+ * and 3-state sub-phonetic acoustic models.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "audio/codec.h"
+#include "audio/phoneme.h"
+#include "audio/synthesizer.h"
+#include "core/intent.h"
+#include "core/pipeline.h"
+#include "core/query_set.h"
+#include "nlp/regex.h"
+#include "speech/asr_service.h"
+
+namespace {
+
+using namespace sirius;
+using namespace sirius::audio;
+using namespace sirius::core;
+
+// -------------------------------------------------------------------- codec
+
+TEST(MuLaw, SampleRoundTripMonotone)
+{
+    // Decoded values track the encoded sample within quantization error
+    // that grows logarithmically with magnitude.
+    for (int16_t pcm : {int16_t{0}, int16_t{100}, int16_t{-100},
+                        int16_t{1000}, int16_t{-1000}, int16_t{20000},
+                        int16_t{-20000}}) {
+        const int16_t round =
+            MuLawCodec::decodeSample(MuLawCodec::encodeSample(pcm));
+        const double err = std::fabs(round - pcm);
+        const double bound = 16.0 + std::fabs(pcm) * 0.05;
+        EXPECT_LE(err, bound) << pcm;
+    }
+}
+
+TEST(MuLaw, HalvesTheByteRate)
+{
+    SpeechSynthesizer synth;
+    const auto wave = synth.synthesize("compression check");
+    const auto bytes = MuLawCodec::encode(wave);
+    EXPECT_EQ(bytes.size(), wave.samples.size()); // 1 byte vs 2 (PCM16)
+}
+
+TEST(MuLaw, WaveformSnrHigh)
+{
+    SpeechSynthesizer synth;
+    const auto wave = synth.synthesize("who was elected president");
+    const auto decoded = MuLawCodec::decode(MuLawCodec::encode(wave));
+    EXPECT_GT(codecSnrDb(wave, decoded), 25.0);
+}
+
+TEST(Adpcm, QuartersTheByteRate)
+{
+    SpeechSynthesizer synth;
+    const auto wave = synth.synthesize("four to one");
+    const auto bytes = AdpcmCodec::encode(wave);
+    EXPECT_LE(bytes.size(), wave.samples.size() / 2 + 1);
+}
+
+TEST(Adpcm, WaveformSnrUsable)
+{
+    SpeechSynthesizer synth;
+    const auto wave = synth.synthesize("set my alarm");
+    const auto decoded = AdpcmCodec::decode(AdpcmCodec::encode(wave),
+                                            wave.samples.size());
+    EXPECT_EQ(decoded.samples.size(), wave.samples.size());
+    EXPECT_GT(codecSnrDb(wave, decoded), 12.0);
+}
+
+TEST(Codec, AsrSurvivesMuLawHop)
+{
+    // The paper's deployment: compressed voice crosses the network, the
+    // server decodes and recognizes. End to end through mu-law.
+    const std::vector<std::string> sentences = {"set my alarm",
+                                                "play some music"};
+    const auto asr = speech::AsrService::train(sentences);
+    for (const auto &sentence : sentences) {
+        const auto wave = asr.synthesize(sentence);
+        const auto arrived = MuLawCodec::decode(MuLawCodec::encode(wave));
+        EXPECT_EQ(asr.transcribe(arrived).text, sentence);
+    }
+}
+
+TEST(Codec, AsrSurvivesAdpcmHop)
+{
+    const std::vector<std::string> sentences = {"set my alarm",
+                                                "play some music"};
+    const auto asr = speech::AsrService::train(sentences);
+    for (const auto &sentence : sentences) {
+        const auto wave = asr.synthesize(sentence);
+        const auto arrived = AdpcmCodec::decode(
+            AdpcmCodec::encode(wave), wave.samples.size());
+        EXPECT_EQ(asr.transcribe(arrived).text, sentence);
+    }
+}
+
+TEST(Codec, SnrRejectsEmpty)
+{
+    Waveform empty;
+    EXPECT_EXIT(codecSnrDb(empty, empty),
+                ::testing::ExitedWithCode(1), "empty");
+}
+
+// ------------------------------------------------------------------ intents
+
+TEST(IntentParser, CoversTheVoiceCommandInputSet)
+{
+    // Every VC query in the Table-1 input set must parse to a concrete
+    // (non-Unknown) intent.
+    IntentParser parser;
+    for (const auto &query : queriesOfType(QueryType::VoiceCommand)) {
+        const Intent intent = parser.parse(query.text);
+        EXPECT_NE(intent.kind, IntentKind::Unknown) << query.text;
+    }
+}
+
+TEST(IntentParser, ExtractsSlots)
+{
+    IntentParser parser;
+    const auto alarm = parser.parse("set my alarm for 8 am");
+    EXPECT_EQ(alarm.kind, IntentKind::SetAlarm);
+    EXPECT_EQ(alarm.slots.at("time"), "8 am");
+
+    const auto volume = parser.parse("turn down the volume");
+    EXPECT_EQ(volume.kind, IntentKind::AdjustVolume);
+    EXPECT_EQ(volume.slots.at("direction"), "down");
+
+    const auto toggle = parser.parse("turn on the flashlight");
+    EXPECT_EQ(toggle.kind, IntentKind::ToggleDevice);
+    EXPECT_EQ(toggle.slots.at("state"), "on");
+    EXPECT_EQ(toggle.slots.at("device"), "flashlight");
+
+    const auto music = parser.parse("play some jazz music");
+    EXPECT_EQ(music.kind, IntentKind::PlayMusic);
+    EXPECT_EQ(music.slots.at("genre"), "jazz");
+}
+
+TEST(IntentParser, DistinguishesStopFromPlay)
+{
+    IntentParser parser;
+    EXPECT_EQ(parser.parse("stop the music player").kind,
+              IntentKind::StopMusic);
+    EXPECT_EQ(parser.parse("play some jazz music").kind,
+              IntentKind::PlayMusic);
+}
+
+TEST(IntentParser, UnknownForQuestions)
+{
+    IntentParser parser;
+    EXPECT_EQ(parser.parse("what is the capital of italy").kind,
+              IntentKind::Unknown);
+}
+
+TEST(IntentParser, KindNamesDistinct)
+{
+    EXPECT_STRNE(intentKindName(IntentKind::SetAlarm),
+                 intentKindName(IntentKind::Call));
+    EXPECT_STREQ(intentKindName(IntentKind::Unknown), "unknown");
+}
+
+// ------------------------------------------------------------ regex extract
+
+TEST(RegexFind, LeftmostLongest)
+{
+    nlp::Regex re("\\d+");
+    size_t start = 0, length = 0;
+    ASSERT_TRUE(re.findFirst("abc 1234 and 56", start, length));
+    EXPECT_EQ(start, 4u);
+    EXPECT_EQ(length, 4u); // longest at the leftmost position
+}
+
+TEST(RegexFind, NoMatchReturnsFalse)
+{
+    nlp::Regex re("\\d+");
+    size_t start = 0, length = 0;
+    EXPECT_FALSE(re.findFirst("no digits here", start, length));
+}
+
+TEST(RegexFind, AnchoredExtraction)
+{
+    nlp::Regex re("^\\w+");
+    size_t start = 0, length = 0;
+    ASSERT_TRUE(re.findFirst("hello world", start, length));
+    EXPECT_EQ(start, 0u);
+    EXPECT_EQ(length, 5u);
+}
+
+TEST(RegexFind, GreedyAcrossAlternation)
+{
+    nlp::Regex re("(ab|abc)");
+    size_t start = 0, length = 0;
+    ASSERT_TRUE(re.findFirst("abc", start, length));
+    EXPECT_EQ(length, 3u); // longest alternative wins
+}
+
+// ----------------------------------------------------- 3-state HMM phonemes
+
+TEST(SubPhoneticStates, TriplesAcousticStates)
+{
+    speech::AsrConfig config;
+    config.statesPerPhoneme = 3;
+    const auto asr = speech::AsrService::train({"set my alarm"}, config);
+    EXPECT_EQ(asr.scorer().stateCount(),
+              static_cast<size_t>(audio::kNumPhonemes) * 3);
+}
+
+TEST(SubPhoneticStates, StillDecodesPerfectly)
+{
+    speech::AsrConfig config;
+    config.statesPerPhoneme = 3;
+    const std::vector<std::string> sentences = {
+        "set my alarm", "who was elected president",
+        "when does this restaurant close"};
+    const auto asr = speech::AsrService::train(sentences, config);
+    for (const auto &sentence : sentences)
+        EXPECT_EQ(asr.transcribeText(sentence).text, sentence);
+}
+
+TEST(SubPhoneticStates, DnnBackendWorksToo)
+{
+    speech::AsrConfig config;
+    config.statesPerPhoneme = 3;
+    config.backend = speech::AsrBackend::Dnn;
+    config.dnnHidden = {64};
+    const std::vector<std::string> sentences = {"play some music",
+                                                "take a picture now"};
+    const auto asr = speech::AsrService::train(sentences, config);
+    for (const auto &sentence : sentences)
+        EXPECT_EQ(asr.transcribeText(sentence).text, sentence);
+}
+
+// --------------------------------------------------------- pipeline intents
+
+TEST(PipelineIntent, VoiceCommandYieldsParsedIntent)
+{
+    SiriusConfig config;
+    config.qa.fillerDocs = 40;
+    const auto pipeline = SiriusPipeline::build(config);
+    const Query q{QueryType::VoiceCommand, "set my alarm for 8 am", -1,
+                  ""};
+    const auto result = pipeline.process(q);
+    EXPECT_EQ(result.intent.kind, IntentKind::SetAlarm);
+    EXPECT_EQ(result.intent.slots.at("time"), "8 am");
+}
+
+} // namespace

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the third extension wave: the backoff trigram language
+ * model and bilinear image resizing with scale-robust matching.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/strings.h"
+#include "core/query_set.h"
+#include "speech/language_model.h"
+#include "speech/trigram_lm.h"
+#include "vision/imm_service.h"
+#include "vision/landmarks.h"
+
+namespace {
+
+using namespace sirius;
+using namespace sirius::speech;
+
+// ----------------------------------------------------------------- trigrams
+
+class TrigramFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        for (const auto &sentence : core::asrTrainingSentences()) {
+            std::vector<int> ids;
+            for (const auto &word : split(toLower(sentence)))
+                ids.push_back(vocab_.add(word));
+            corpus_.push_back(std::move(ids));
+        }
+    }
+
+    Vocabulary vocab_;
+    std::vector<std::vector<int>> corpus_;
+};
+
+TEST_F(TrigramFixture, SeenTrigramsBeatBackoff)
+{
+    const TrigramLm lm(corpus_, vocab_.size());
+    // "what is the" appears in training; a shuffled context does not.
+    const int what = vocab_.idOf("what");
+    const int is = vocab_.idOf("is");
+    const int the = vocab_.idOf("the");
+    ASSERT_GE(what, 0);
+    ASSERT_GE(is, 0);
+    ASSERT_GE(the, 0);
+    EXPECT_GT(lm.logProb(what, is, the), lm.logProb(the, the, what));
+}
+
+TEST_F(TrigramFixture, TrigramPerplexityBeatsBigramOnTraining)
+{
+    const TrigramLm trigram(corpus_, vocab_.size());
+    const BigramLm bigram(corpus_, vocab_.size());
+
+    // Bigram perplexity over the same corpus for comparison.
+    double bigram_log = 0.0;
+    size_t tokens = 0;
+    for (const auto &sentence : corpus_) {
+        int prev = 0;
+        for (int w : sentence) {
+            bigram_log += bigram.logProb(prev, w);
+            prev = w;
+            ++tokens;
+        }
+        bigram_log += bigram.logProb(prev, 0);
+        ++tokens;
+    }
+    const double bigram_ppl =
+        std::exp(-bigram_log / static_cast<double>(tokens));
+    EXPECT_LT(trigram.perplexity(corpus_), bigram_ppl);
+}
+
+TEST_F(TrigramFixture, SentenceLogProbNegativeAndFinite)
+{
+    const TrigramLm lm(corpus_, vocab_.size());
+    for (const auto &sentence : corpus_) {
+        const double lp = lm.sentenceLogProb(sentence);
+        EXPECT_LT(lp, 0.0);
+        EXPECT_TRUE(std::isfinite(lp));
+    }
+}
+
+TEST_F(TrigramFixture, RescoresTrainingSentenceAboveShuffle)
+{
+    // The two-pass rescoring use case: the real word order must score
+    // above a scrambled hypothesis of the same words.
+    const TrigramLm lm(corpus_, vocab_.size());
+    auto shuffled = corpus_[1];
+    std::reverse(shuffled.begin(), shuffled.end());
+    EXPECT_GT(lm.sentenceLogProb(corpus_[1]),
+              lm.sentenceLogProb(shuffled));
+}
+
+TEST(TrigramLm, UnseenEverythingStillFinite)
+{
+    Vocabulary vocab;
+    const int a = vocab.add("a");
+    const int b = vocab.add("b");
+    const TrigramLm lm({{a}}, vocab.size());
+    EXPECT_TRUE(std::isfinite(lm.logProb(b, b, b)));
+    EXPECT_LT(lm.logProb(b, b, b), 0.0);
+}
+
+// ------------------------------------------------------------------- resize
+
+TEST(ImageResize, DimensionsAndRange)
+{
+    const auto img = vision::generateLandmark(4, 128, 128);
+    const auto half = img.resized(64, 64);
+    EXPECT_EQ(half.width(), 64);
+    EXPECT_EQ(half.height(), 64);
+    const auto stretched = img.resized(200, 50);
+    EXPECT_EQ(stretched.width(), 200);
+    EXPECT_EQ(stretched.height(), 50);
+}
+
+TEST(ImageResize, IdentityPreservesPixels)
+{
+    const auto img = vision::generateLandmark(5, 64, 64);
+    const auto same = img.resized(64, 64);
+    size_t mismatches = 0;
+    for (int y = 0; y < 64; ++y) {
+        for (int x = 0; x < 64; ++x) {
+            mismatches += std::abs(same.at(x, y) - img.at(x, y)) > 1;
+        }
+    }
+    EXPECT_EQ(mismatches, 0u);
+}
+
+TEST(ImageResize, ConstantImageStaysConstant)
+{
+    vision::Image img(40, 40, 123);
+    const auto out = img.resized(13, 29);
+    for (int y = 0; y < out.height(); ++y) {
+        for (int x = 0; x < out.width(); ++x)
+            ASSERT_EQ(out.at(x, y), 123);
+    }
+}
+
+TEST(ImageResize, MeanBrightnessPreserved)
+{
+    const auto img = vision::generateLandmark(6);
+    const auto small = img.resized(100, 100);
+    auto mean = [](const vision::Image &image) {
+        double sum = 0.0;
+        for (uint8_t p : image.pixels())
+            sum += p;
+        return sum / static_cast<double>(image.pixels().size());
+    };
+    EXPECT_NEAR(mean(img), mean(small), 3.0);
+}
+
+TEST(ImageResize, MatchingSurvivesModestRescale)
+{
+    // A camera never reproduces the database resolution exactly; the
+    // SURF pipeline must still identify a ~12%-rescaled view.
+    const auto imm = vision::ImmService::build(6);
+    size_t correct = 0;
+    for (int id = 0; id < 6; ++id) {
+        const auto query = vision::generateQueryView(id)
+            .resized(288, 288).resized(256, 256);
+        correct += imm.match(query).bestId == id;
+    }
+    EXPECT_GE(correct, 5u);
+}
+
+} // namespace

@@ -1,0 +1,527 @@
+/**
+ * @file
+ * Tests for the NLP substrate: tokenizer, Porter stemmer, regex engine and
+ * CRF tagger (including forward/backward consistency properties).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "nlp/crf.h"
+#include "nlp/porter_stemmer.h"
+#include "nlp/pos_corpus.h"
+#include "nlp/regex.h"
+#include "nlp/tokenizer.h"
+
+namespace {
+
+using namespace sirius::nlp;
+
+// ---------------------------------------------------------------- tokenizer
+
+TEST(Tokenizer, SplitsAndLowercases)
+{
+    const auto toks = tokenize("Who was elected 44th President?");
+    ASSERT_EQ(toks.size(), 5u);
+    EXPECT_EQ(toks[0], "who");
+    EXPECT_EQ(toks[3], "44th");
+    EXPECT_EQ(toks[4], "president");
+}
+
+TEST(Tokenizer, KeepsApostrophes)
+{
+    const auto toks = tokenize("what's the time");
+    EXPECT_EQ(toks[0], "what's");
+}
+
+TEST(Tokenizer, EmptyAndPunctuationOnly)
+{
+    EXPECT_TRUE(tokenize("").empty());
+    EXPECT_TRUE(tokenize("?!,.;:").empty());
+}
+
+TEST(Tokenizer, KeepPunctVariant)
+{
+    const auto toks = tokenizeKeepPunct("Stop here. Now!");
+    ASSERT_EQ(toks.size(), 5u);
+    EXPECT_EQ(toks[2], ".");
+    EXPECT_EQ(toks[3], "Now");
+    EXPECT_EQ(toks[4], "!");
+}
+
+// ------------------------------------------------------------------ stemmer
+
+struct StemCase
+{
+    const char *input;
+    const char *expected;
+};
+
+class PorterStemmerGolden : public ::testing::TestWithParam<StemCase>
+{
+};
+
+TEST_P(PorterStemmerGolden, MatchesReferenceOutput)
+{
+    PorterStemmer stemmer;
+    EXPECT_EQ(stemmer.stem(GetParam().input), GetParam().expected);
+}
+
+// Golden outputs from Porter's reference implementation.
+INSTANTIATE_TEST_SUITE_P(ReferenceWords, PorterStemmerGolden,
+    ::testing::Values(
+        StemCase{"caresses", "caress"},
+        StemCase{"ponies", "poni"},
+        StemCase{"ties", "ti"},
+        StemCase{"caress", "caress"},
+        StemCase{"cats", "cat"},
+        StemCase{"feed", "feed"},
+        StemCase{"agreed", "agre"},
+        StemCase{"plastered", "plaster"},
+        StemCase{"bled", "bled"},
+        StemCase{"motoring", "motor"},
+        StemCase{"sing", "sing"},
+        StemCase{"conflated", "conflat"},
+        StemCase{"troubled", "troubl"},
+        StemCase{"sized", "size"},
+        StemCase{"hopping", "hop"},
+        StemCase{"tanned", "tan"},
+        StemCase{"falling", "fall"},
+        StemCase{"hissing", "hiss"},
+        StemCase{"fizzed", "fizz"},
+        StemCase{"failing", "fail"},
+        StemCase{"filing", "file"},
+        StemCase{"happy", "happi"},
+        StemCase{"sky", "sky"},
+        StemCase{"relational", "relat"},
+        StemCase{"conditional", "condit"},
+        StemCase{"rational", "ration"},
+        StemCase{"valenci", "valenc"},
+        StemCase{"hesitanci", "hesit"},
+        StemCase{"digitizer", "digit"},
+        StemCase{"conformabli", "conform"},
+        StemCase{"radicalli", "radic"},
+        StemCase{"differentli", "differ"},
+        StemCase{"vileli", "vile"},
+        StemCase{"analogousli", "analog"},
+        StemCase{"vietnamization", "vietnam"},
+        StemCase{"predication", "predic"},
+        StemCase{"operator", "oper"},
+        StemCase{"feudalism", "feudal"},
+        StemCase{"decisiveness", "decis"},
+        StemCase{"hopefulness", "hope"},
+        StemCase{"callousness", "callous"},
+        StemCase{"formaliti", "formal"},
+        StemCase{"sensitiviti", "sensit"},
+        StemCase{"sensibiliti", "sensibl"},
+        StemCase{"triplicate", "triplic"},
+        StemCase{"formative", "form"},
+        StemCase{"formalize", "formal"},
+        StemCase{"electriciti", "electr"},
+        StemCase{"electrical", "electr"},
+        StemCase{"hopeful", "hope"},
+        StemCase{"goodness", "good"},
+        StemCase{"revival", "reviv"},
+        StemCase{"allowance", "allow"},
+        StemCase{"inference", "infer"},
+        StemCase{"airliner", "airlin"},
+        StemCase{"gyroscopic", "gyroscop"},
+        StemCase{"adjustable", "adjust"},
+        StemCase{"defensible", "defens"},
+        StemCase{"irritant", "irrit"},
+        StemCase{"replacement", "replac"},
+        StemCase{"adjustment", "adjust"},
+        StemCase{"dependent", "depend"},
+        StemCase{"adoption", "adopt"},
+        StemCase{"homologou", "homolog"},
+        StemCase{"communism", "commun"},
+        StemCase{"activate", "activ"},
+        StemCase{"angulariti", "angular"},
+        StemCase{"homologous", "homolog"},
+        StemCase{"effective", "effect"},
+        StemCase{"bowdlerize", "bowdler"},
+        StemCase{"probate", "probat"},
+        StemCase{"rate", "rate"},
+        StemCase{"cease", "ceas"},
+        StemCase{"controll", "control"},
+        StemCase{"roll", "roll"}));
+
+TEST(PorterStemmer, ShortWordsUnchanged)
+{
+    PorterStemmer stemmer;
+    EXPECT_EQ(stemmer.stem("a"), "a");
+    EXPECT_EQ(stemmer.stem("is"), "is");
+    EXPECT_EQ(stemmer.stem("be"), "be");
+}
+
+TEST(PorterStemmer, NonAlphaUnchanged)
+{
+    PorterStemmer stemmer;
+    EXPECT_EQ(stemmer.stem("42nd"), "42nd");
+    EXPECT_EQ(stemmer.stem("c++"), "c++");
+}
+
+TEST(PorterStemmer, NeverGrowsAndMostlyIdempotent)
+{
+    // Porter never lengthens a word, and re-stemming is usually a no-op.
+    // The synthetic word list stacks derivational endings, which hits
+    // Porter's (known) non-idempotent corners more often than dictionary
+    // text does, so the idempotence bound here is deliberately loose.
+    PorterStemmer stemmer;
+    const auto words = generateWordList(2000, 5);
+    size_t stable = 0;
+    for (const auto &w : words) {
+        const auto once = stemmer.stem(w);
+        const auto twice = stemmer.stem(once);
+        ASSERT_LE(once.size(), w.size());
+        ASSERT_LE(twice.size(), once.size());
+        ASSERT_FALSE(once.empty());
+        stable += (once == twice);
+    }
+    EXPECT_GT(static_cast<double>(stable) /
+                  static_cast<double>(words.size()),
+              0.75);
+}
+
+TEST(PorterStemmer, StemAllMatchesIndividual)
+{
+    PorterStemmer stemmer;
+    std::vector<std::string> words = {"running", "flies", "happiness"};
+    auto copy = words;
+    stemmer.stemAll(copy);
+    for (size_t i = 0; i < words.size(); ++i)
+        EXPECT_EQ(copy[i], stemmer.stem(words[i]));
+}
+
+// -------------------------------------------------------------------- regex
+
+TEST(Regex, LiteralMatch)
+{
+    Regex re("abc");
+    ASSERT_TRUE(re.ok());
+    EXPECT_TRUE(re.fullMatch("abc"));
+    EXPECT_FALSE(re.fullMatch("ab"));
+    EXPECT_TRUE(re.search("xxabcxx"));
+    EXPECT_FALSE(re.search("axbxc"));
+}
+
+TEST(Regex, DotMatchesAnyOneChar)
+{
+    Regex re("a.c");
+    EXPECT_TRUE(re.fullMatch("abc"));
+    EXPECT_TRUE(re.fullMatch("a c"));
+    EXPECT_FALSE(re.fullMatch("ac"));
+}
+
+TEST(Regex, StarQuantifier)
+{
+    Regex re("ab*c");
+    EXPECT_TRUE(re.fullMatch("ac"));
+    EXPECT_TRUE(re.fullMatch("abc"));
+    EXPECT_TRUE(re.fullMatch("abbbbc"));
+    EXPECT_FALSE(re.fullMatch("adc"));
+}
+
+TEST(Regex, PlusQuantifier)
+{
+    Regex re("ab+c");
+    EXPECT_FALSE(re.fullMatch("ac"));
+    EXPECT_TRUE(re.fullMatch("abc"));
+    EXPECT_TRUE(re.fullMatch("abbc"));
+}
+
+TEST(Regex, QuestionQuantifier)
+{
+    Regex re("colou?r");
+    EXPECT_TRUE(re.fullMatch("color"));
+    EXPECT_TRUE(re.fullMatch("colour"));
+    EXPECT_FALSE(re.fullMatch("colouur"));
+}
+
+TEST(Regex, Alternation)
+{
+    Regex re("cat|dog|bird");
+    EXPECT_TRUE(re.fullMatch("cat"));
+    EXPECT_TRUE(re.fullMatch("dog"));
+    EXPECT_TRUE(re.fullMatch("bird"));
+    EXPECT_FALSE(re.fullMatch("fish"));
+}
+
+TEST(Regex, GroupedAlternationWithQuantifier)
+{
+    Regex re("(ab|cd)+e");
+    EXPECT_TRUE(re.fullMatch("abe"));
+    EXPECT_TRUE(re.fullMatch("abcdabe"));
+    EXPECT_FALSE(re.fullMatch("e"));
+}
+
+TEST(Regex, CharacterClasses)
+{
+    Regex re("[a-c]+[0-9]");
+    EXPECT_TRUE(re.fullMatch("abc7"));
+    EXPECT_FALSE(re.fullMatch("abd7"));
+    EXPECT_FALSE(re.fullMatch("abc"));
+}
+
+TEST(Regex, NegatedClass)
+{
+    Regex re("[^0-9]+");
+    EXPECT_TRUE(re.fullMatch("hello"));
+    EXPECT_FALSE(re.fullMatch("hel1o"));
+}
+
+TEST(Regex, EscapeClasses)
+{
+    Regex digits("\\d+");
+    EXPECT_TRUE(digits.fullMatch("12345"));
+    EXPECT_FALSE(digits.fullMatch("12a45"));
+
+    Regex word("\\w+");
+    EXPECT_TRUE(word.fullMatch("ab_9"));
+    EXPECT_FALSE(word.fullMatch("ab 9"));
+
+    Regex space("a\\sb");
+    EXPECT_TRUE(space.fullMatch("a b"));
+    EXPECT_TRUE(space.fullMatch("a\tb"));
+    EXPECT_FALSE(space.fullMatch("axb"));
+
+    Regex nondigit("\\D+");
+    EXPECT_TRUE(nondigit.fullMatch("ab"));
+    EXPECT_FALSE(nondigit.fullMatch("a1"));
+}
+
+TEST(Regex, Anchors)
+{
+    Regex re("^who\\s");
+    EXPECT_TRUE(re.search("who is there"));
+    EXPECT_FALSE(re.search("guess who is"));
+
+    Regex end("end$");
+    EXPECT_TRUE(end.search("the end"));
+    EXPECT_FALSE(end.search("end of story"));
+}
+
+TEST(Regex, OrdinalPattern)
+{
+    Regex re("\\d+(st|nd|rd|th)");
+    EXPECT_TRUE(re.search("the 44th president"));
+    EXPECT_TRUE(re.search("1st place"));
+    EXPECT_FALSE(re.search("44 president"));
+}
+
+TEST(Regex, CountMatchesCountsStartOffsets)
+{
+    Regex re("ab");
+    EXPECT_EQ(re.countMatches("abxabxab"), 3u);
+    EXPECT_EQ(re.countMatches("xxx"), 0u);
+}
+
+TEST(Regex, EmptyPatternMatchesEverywhere)
+{
+    Regex re("");
+    ASSERT_TRUE(re.ok());
+    EXPECT_TRUE(re.fullMatch(""));
+    EXPECT_TRUE(re.search("anything"));
+}
+
+TEST(Regex, ErrorsReported)
+{
+    EXPECT_FALSE(Regex("(abc").ok());
+    EXPECT_FALSE(Regex("[abc").ok());
+    EXPECT_FALSE(Regex("*a").ok());
+    EXPECT_FALSE(Regex("a\\").ok());
+    EXPECT_FALSE(Regex("[z-a]").ok());
+}
+
+TEST(Regex, NoCatastrophicBacktracking)
+{
+    // (a+)+b against aaaa...a is exponential for backtrackers; the Pike VM
+    // must stay linear. 200 chars would hang a backtracking engine.
+    Regex re("(a+)+b");
+    ASSERT_TRUE(re.ok());
+    const std::string text(200, 'a');
+    EXPECT_FALSE(re.fullMatch(text));
+}
+
+TEST(Regex, QuestionAnalysisPatternsCompile)
+{
+    const auto patterns = questionAnalysisPatterns();
+    EXPECT_GE(patterns.size(), 10u);
+    for (const auto &p : patterns)
+        EXPECT_TRUE(p.ok()) << p.pattern() << ": " << p.error();
+}
+
+TEST(Regex, QuestionAnalysisPatternsClassifyQuestions)
+{
+    const auto patterns = questionAnalysisPatterns();
+    // First pattern is the who-question detector.
+    EXPECT_TRUE(patterns[0].search("who was elected 44th president"));
+    EXPECT_FALSE(patterns[0].search("set my alarm for 8am"));
+}
+
+// ---------------------------------------------------------------------- CRF
+
+class CrfTrained : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        corpus_ = new std::vector<TaggedSentence>(
+            generatePosCorpus(400, 77));
+        heldout_ = new std::vector<TaggedSentence>(
+            generatePosCorpus(80, 78));
+        tagger_ = new CrfTagger(size_t{1} << 15);
+        CrfTagger::TrainOptions opts;
+        opts.epochs = 5;
+        tagger_->train(*corpus_, opts);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete corpus_;
+        delete heldout_;
+        delete tagger_;
+        corpus_ = nullptr;
+        heldout_ = nullptr;
+        tagger_ = nullptr;
+    }
+
+    static std::vector<TaggedSentence> *corpus_;
+    static std::vector<TaggedSentence> *heldout_;
+    static CrfTagger *tagger_;
+};
+
+std::vector<TaggedSentence> *CrfTrained::corpus_ = nullptr;
+std::vector<TaggedSentence> *CrfTrained::heldout_ = nullptr;
+CrfTagger *CrfTrained::tagger_ = nullptr;
+
+TEST_F(CrfTrained, TrainingAccuracyHigh)
+{
+    EXPECT_GT(tagger_->accuracy(*corpus_), 0.97);
+}
+
+TEST_F(CrfTrained, HeldOutAccuracyHigh)
+{
+    EXPECT_GT(tagger_->accuracy(*heldout_), 0.95);
+}
+
+TEST_F(CrfTrained, ForwardBackwardPartitionAgree)
+{
+    for (size_t i = 0; i < 10; ++i) {
+        const auto &words = (*heldout_)[i].words;
+        const double zf = tagger_->logPartitionForward(words);
+        const double zb = tagger_->logPartitionBackward(words);
+        EXPECT_NEAR(zf, zb, 1e-6 * std::max(1.0, std::fabs(zf)));
+    }
+}
+
+TEST_F(CrfTrained, LogLikelihoodNonPositive)
+{
+    for (size_t i = 0; i < 10; ++i)
+        EXPECT_LE(tagger_->logLikelihood((*heldout_)[i]), 1e-9);
+}
+
+TEST_F(CrfTrained, ViterbiPathScoresAtLeastGold)
+{
+    // The Viterbi path maximizes the unnormalized score, so its
+    // likelihood must be >= the gold path's likelihood.
+    for (size_t i = 0; i < 10; ++i) {
+        const auto &sentence = (*heldout_)[i];
+        TaggedSentence viterbi;
+        viterbi.words = sentence.words;
+        viterbi.tags = tagger_->tag(sentence.words);
+        EXPECT_GE(tagger_->logLikelihood(viterbi) + 1e-9,
+                  tagger_->logLikelihood(sentence));
+    }
+}
+
+TEST_F(CrfTrained, TagsDeterministicQuestion)
+{
+    const std::vector<std::string> q = {"who", "is", "the", "president",
+                                        "of", "the", "country", "?"};
+    const auto tags = tagger_->tag(q);
+    ASSERT_EQ(tags.size(), q.size());
+    EXPECT_EQ(tags[0], PosTag::Pron);
+    EXPECT_EQ(tags[1], PosTag::Verb);
+    EXPECT_EQ(tags[2], PosTag::Det);
+    EXPECT_EQ(tags[3], PosTag::Noun);
+    EXPECT_EQ(tags[7], PosTag::Punct);
+}
+
+TEST(Crf, UntrainedPartitionIsUniform)
+{
+    CrfTagger tagger(1024);
+    const std::vector<std::string> words = {"a", "b", "c"};
+    // With all-zero weights, Z = numTags^n.
+    const double expected = 3.0 * std::log(
+        static_cast<double>(kNumTags));
+    EXPECT_NEAR(tagger.logPartitionForward(words), expected, 1e-9);
+}
+
+TEST(Crf, EmptySentenceHandled)
+{
+    CrfTagger tagger(1024);
+    EXPECT_TRUE(tagger.tag({}).empty());
+    EXPECT_DOUBLE_EQ(tagger.logPartitionForward({}), 0.0);
+}
+
+TEST(Crf, FeatureExtractionDeterministic)
+{
+    CrfTagger tagger(4096);
+    std::vector<uint32_t> a, b;
+    const std::vector<std::string> words = {"The", "44th", "president"};
+    tagger.extractFeatures(words, 1, a);
+    tagger.extractFeatures(words, 1, b);
+    EXPECT_EQ(a, b);
+    for (uint32_t f : a)
+        EXPECT_LT(f, 4096u);
+}
+
+TEST(Crf, TagNamesDistinct)
+{
+    std::set<std::string> names;
+    for (size_t t = 0; t < kNumTags; ++t)
+        names.insert(tagName(static_cast<PosTag>(t)));
+    EXPECT_EQ(names.size(), kNumTags);
+}
+
+// ------------------------------------------------------------------- corpus
+
+TEST(PosCorpus, DeterministicPerSeed)
+{
+    const auto a = generatePosCorpus(50, 9);
+    const auto b = generatePosCorpus(50, 9);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].words, b[i].words);
+}
+
+TEST(PosCorpus, TagsAlignWithWords)
+{
+    for (const auto &s : generatePosCorpus(100, 10)) {
+        EXPECT_EQ(s.words.size(), s.tags.size());
+        EXPECT_FALSE(s.words.empty());
+    }
+}
+
+TEST(PosCorpus, LexiconLookupConsistent)
+{
+    PosLexicon lexicon;
+    EXPECT_EQ(lexicon.lookup("the"), PosTag::Det);
+    EXPECT_EQ(lexicon.lookup("president"), PosTag::Noun);
+    EXPECT_EQ(lexicon.lookup("zzzunknown"), PosTag::Other);
+}
+
+TEST(PosCorpus, WordListSizeAndContent)
+{
+    const auto words = generateWordList(5000, 11);
+    EXPECT_EQ(words.size(), 5000u);
+    for (const auto &w : words)
+        ASSERT_FALSE(w.empty());
+}
+
+} // namespace

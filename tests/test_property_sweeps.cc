@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Parameterized property sweeps: a regex conformance table, an M/M/1
+ * law grid, codec round-trip bounds across content, and TCO monotonicity
+ * across platforms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "audio/codec.h"
+#include "audio/synthesizer.h"
+#include "dcsim/queueing.h"
+#include "dcsim/simulation.h"
+#include "dcsim/tco.h"
+#include "nlp/regex.h"
+
+namespace {
+
+using namespace sirius;
+
+// --------------------------------------------------- regex conformance
+
+struct RegexCase
+{
+    const char *pattern;
+    const char *text;
+    bool full;    ///< expected fullMatch outcome
+    bool found;   ///< expected search outcome
+};
+
+class RegexConformance : public ::testing::TestWithParam<RegexCase>
+{
+};
+
+TEST_P(RegexConformance, MatchesExpectation)
+{
+    const auto &c = GetParam();
+    nlp::Regex re(c.pattern);
+    ASSERT_TRUE(re.ok()) << c.pattern << ": " << re.error();
+    EXPECT_EQ(re.fullMatch(c.text), c.full)
+        << c.pattern << " vs " << c.text;
+    EXPECT_EQ(re.search(c.text), c.found)
+        << c.pattern << " vs " << c.text;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table, RegexConformance,
+    ::testing::Values(
+        RegexCase{"a", "a", true, true},
+        RegexCase{"a", "b", false, false},
+        RegexCase{"a", "ba", false, true},
+        RegexCase{".", "", false, false},
+        RegexCase{".*", "", true, true},
+        RegexCase{"a*", "aaaa", true, true},
+        RegexCase{"a+", "", false, false},
+        RegexCase{"ab|cd", "cd", true, true},
+        RegexCase{"(a|b)*c", "ababc", true, true},
+        RegexCase{"(a|b)*c", "ababd", false, false},
+        RegexCase{"x?y", "y", true, true},
+        RegexCase{"x?y", "xy", true, true},
+        RegexCase{"x?y", "xxy", false, true},
+        RegexCase{"[abc]+", "cab", true, true},
+        RegexCase{"[^abc]+", "cab", false, false},
+        RegexCase{"[a-z0-9]+", "w0rd", true, true},
+        RegexCase{"\\d\\d", "7", false, false},
+        RegexCase{"\\d\\d", "x42y", false, true},
+        RegexCase{"\\w+@\\w+", "user@host", true, true},
+        RegexCase{"^ab", "abc", false, true},
+        RegexCase{"bc$", "abc", false, true},
+        RegexCase{"^abc$", "abc", true, true},
+        RegexCase{"a.c", "abc", true, true},
+        RegexCase{"a\\.c", "abc", false, false},
+        RegexCase{"a\\.c", "a.c", true, true},
+        RegexCase{"(ab)+", "ababab", true, true},
+        RegexCase{"(ab)+", "aba", false, true},
+        RegexCase{"a(b|c)?d", "ad", true, true},
+        RegexCase{"a(b|c)?d", "abd", true, true},
+        RegexCase{"a(b|c)?d", "abcd", false, false}));
+
+// --------------------------------------------------------- M/M/1 grid
+
+struct Mm1Case
+{
+    double lambda;
+    double mu;
+};
+
+class Mm1Grid : public ::testing::TestWithParam<Mm1Case>
+{
+};
+
+TEST_P(Mm1Grid, SimulationMatchesClosedForm)
+{
+    const auto &c = GetParam();
+    dcsim::QueueSimConfig config;
+    config.arrivalRate = c.lambda;
+    config.serviceRate = c.mu;
+    config.measuredQueries = 15000;
+    const auto sim = dcsim::simulateQueue(config);
+    const double analytic = dcsim::mm1Latency(c.lambda, c.mu);
+    EXPECT_NEAR(sim.sojournSeconds.mean(), analytic, analytic * 0.12)
+        << "lambda=" << c.lambda << " mu=" << c.mu;
+    EXPECT_NEAR(sim.utilization, c.lambda / c.mu, 0.04);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, Mm1Grid,
+    ::testing::Values(Mm1Case{0.2, 1.0}, Mm1Case{0.5, 1.0},
+                      Mm1Case{0.8, 1.0}, Mm1Case{1.0, 2.0},
+                      Mm1Case{3.0, 4.0}, Mm1Case{0.3, 0.5},
+                      Mm1Case{8.0, 10.0}));
+
+// ---------------------------------------------------- codec round trips
+
+class CodecSweep : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(CodecSweep, MuLawBeatsAdpcmSnrOnEveryUtterance)
+{
+    audio::SpeechSynthesizer synth;
+    const auto wave = synth.synthesize(GetParam());
+    const auto mu = audio::MuLawCodec::decode(
+        audio::MuLawCodec::encode(wave));
+    const auto adpcm = audio::AdpcmCodec::decode(
+        audio::AdpcmCodec::encode(wave), wave.samples.size());
+    const double mu_snr = audio::codecSnrDb(wave, mu);
+    const double adpcm_snr = audio::codecSnrDb(wave, adpcm);
+    EXPECT_GT(mu_snr, adpcm_snr);
+    EXPECT_GT(mu_snr, 25.0);
+    EXPECT_GT(adpcm_snr, 10.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Utterances, CodecSweep,
+    ::testing::Values("set my alarm for 8 am",
+                      "who was elected 44th president",
+                      "when does this restaurant close",
+                      "navigate to the airport",
+                      "what is the longest river in the world"));
+
+// -------------------------------------------------------- TCO sweeps
+
+class TcoPlatformSweep
+    : public ::testing::TestWithParam<accel::Platform>
+{
+};
+
+TEST_P(TcoPlatformSweep, NormalizedTcoStrictlyDecreasingInThroughput)
+{
+    double prev = 1e18;
+    for (double improvement = 1.0; improvement <= 64.0;
+         improvement *= 2.0) {
+        const double tco = dcsim::normalizedTco(GetParam(), improvement);
+        EXPECT_LT(tco, prev);
+        EXPECT_GT(tco, 0.0);
+        prev = tco;
+    }
+}
+
+TEST_P(TcoPlatformSweep, UnitThroughputNeverCheaperThanBaseline)
+{
+    // With no throughput gain an accelerated server can only cost more
+    // (or the same, for the CPU rows).
+    EXPECT_GE(dcsim::normalizedTco(GetParam(), 1.0), 1.0 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Platforms, TcoPlatformSweep,
+    ::testing::Values(accel::Platform::CmpMulticore,
+                      accel::Platform::Gpu, accel::Platform::Phi,
+                      accel::Platform::Fpga));
+
+} // namespace

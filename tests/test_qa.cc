@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Tests for the QA service: question analysis, document filters, answer
+ * extraction, and the full pipeline answering the paper's query set.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "qa/answer.h"
+#include "qa/filters.h"
+#include "qa/qa_service.h"
+#include "qa/question.h"
+#include "search/corpus.h"
+
+namespace {
+
+using namespace sirius;
+using namespace sirius::qa;
+
+class QaFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        QaConfig config;
+        config.fillerDocs = 120;
+        service_ = new QaService(QaService::build(config));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete service_;
+        service_ = nullptr;
+    }
+
+    static QaService *service_;
+};
+
+QaService *QaFixture::service_ = nullptr;
+
+// ---------------------------------------------------------------- analysis
+
+TEST_F(QaFixture, WhoQuestionTypedPerson)
+{
+    const auto a = service_->analyzer().analyze(
+        "who was elected 44th president");
+    EXPECT_EQ(a.type, AnswerType::Person);
+    EXPECT_GT(a.regexHits, 0u);
+    EXPECT_FALSE(a.searchQuery.empty());
+}
+
+TEST_F(QaFixture, WhereQuestionTypedLocation)
+{
+    const auto a = service_->analyzer().analyze("where is las vegas");
+    EXPECT_EQ(a.type, AnswerType::Location);
+}
+
+TEST_F(QaFixture, WhenQuestionTypedTime)
+{
+    const auto a = service_->analyzer().analyze(
+        "when does falcon restaurant close");
+    EXPECT_EQ(a.type, AnswerType::Time);
+}
+
+TEST_F(QaFixture, WhatQuestionTypedEntity)
+{
+    const auto a = service_->analyzer().analyze(
+        "what is the capital of italy");
+    EXPECT_EQ(a.type, AnswerType::Entity);
+}
+
+TEST_F(QaFixture, FocusWordsExcludeStopwords)
+{
+    const auto a = service_->analyzer().analyze(
+        "what is the capital of italy");
+    for (const auto &w : a.focusWords) {
+        EXPECT_FALSE(QuestionAnalyzer::isStopword(w)) << w;
+    }
+    EXPECT_NE(std::find(a.focusWords.begin(), a.focusWords.end(),
+                        "capital"), a.focusWords.end());
+    EXPECT_NE(std::find(a.focusWords.begin(), a.focusWords.end(),
+                        "italy"), a.focusWords.end());
+}
+
+TEST_F(QaFixture, StemsAlignWithFocusWords)
+{
+    const auto a = service_->analyzer().analyze(
+        "who discovered the law of gravity");
+    ASSERT_EQ(a.focusWords.size(), a.focusStems.size());
+    EXPECT_FALSE(a.focusStems.empty());
+}
+
+// ----------------------------------------------------------------- filters
+
+TEST_F(QaFixture, KeywordFilterPrefersRelevantDocument)
+{
+    KeywordOverlapFilter filter;
+    const auto analysis = service_->analyzer().analyze(
+        "what is the capital of italy");
+    search::Document relevant{0, "italy",
+        "The capital of Italy is Rome. Rome is the capital and the "
+        "largest city of Italy."};
+    search::Document irrelevant{1, "other",
+        "The harbor hosts a busy trading port. The festival attracts "
+        "many visitors."};
+    const auto on = filter.apply(relevant, analysis);
+    const auto off = filter.apply(irrelevant, analysis);
+    EXPECT_GT(on.hits, off.hits);
+    EXPECT_GT(on.score, off.score);
+}
+
+TEST_F(QaFixture, RegexFilterCountsAnswerShapes)
+{
+    AnswerTypeRegexFilter filter;
+    QuestionAnalysis analysis;
+    analysis.type = AnswerType::Time;
+    search::Document doc{0, "t", "The shop closes at 9 Pm in 1999."};
+    const auto outcome = filter.apply(doc, analysis);
+    EXPECT_GE(outcome.hits, 2u); // "9 Pm" and "1999"
+}
+
+TEST_F(QaFixture, PosFilterFindsCandidates)
+{
+    PosCandidateFilter filter(service_->analyzer().tagger());
+    QuestionAnalysis analysis;
+    analysis.type = AnswerType::Entity;
+    search::Document doc{0, "d",
+        "the president visited the capital and the museum."};
+    const auto outcome = filter.apply(doc, analysis);
+    EXPECT_GT(outcome.hits, 0u);
+}
+
+TEST_F(QaFixture, ProximityFilterNeedsTwoStems)
+{
+    ProximityFilter filter;
+    const auto analysis = service_->analyzer().analyze(
+        "what is the capital of italy");
+    search::Document close_doc{0, "a", "the capital of italy is rome"};
+    search::Document far_doc{1, "b",
+        "the capital city hosts a market while somewhere very far away "
+        "and much later someone mentioned italy"};
+    EXPECT_GT(filter.apply(close_doc, analysis).hits,
+              filter.apply(far_doc, analysis).hits);
+}
+
+TEST_F(QaFixture, StandardFilterSuiteComplete)
+{
+    const auto filters = makeStandardFilters(
+        service_->analyzer().tagger());
+    ASSERT_EQ(filters.size(), 4u);
+    bool has_stem = false, has_regex = false, has_crf = false;
+    for (const auto &f : filters) {
+        has_stem |= f->component() == NlpComponent::Stemmer;
+        has_regex |= f->component() == NlpComponent::Regex;
+        has_crf |= f->component() == NlpComponent::Crf;
+    }
+    EXPECT_TRUE(has_stem && has_regex && has_crf);
+}
+
+// ---------------------------------------------------------------- pipeline
+
+struct QaCase
+{
+    const char *question;
+    const char *expected; ///< lower-case answer substring
+};
+
+class QaGolden : public QaFixture,
+                 public ::testing::WithParamInterface<QaCase>
+{
+};
+
+TEST_P(QaGolden, AnswersFromCorpus)
+{
+    const auto result = service_->answer(GetParam().question);
+    EXPECT_NE(toLower(result.answer).find(GetParam().expected),
+              std::string::npos)
+        << "question: " << GetParam().question
+        << " answer: " << result.answer;
+}
+
+INSTANTIATE_TEST_SUITE_P(InputSet, QaGolden,
+    ::testing::Values(
+        QaCase{"where is las vegas", "nevada"},
+        QaCase{"what is the capital of italy", "rome"},
+        QaCase{"who is the author of harry potter", "rowling"},
+        QaCase{"who was elected 44th president", "obama"},
+        QaCase{"what is the capital of france", "paris"},
+        QaCase{"who invented the telephone", "bell"},
+        QaCase{"what is the longest river in the world", "nile"},
+        QaCase{"who painted the mona lisa", "vinci"},
+        QaCase{"what is the largest ocean on earth", "pacific"},
+        QaCase{"who wrote romeo and juliet", "shakespeare"},
+        QaCase{"what is the currency of japan", "yen"},
+        QaCase{"who discovered the law of gravity", "newton"},
+        QaCase{"what is the highest mountain in the world", "everest"},
+        QaCase{"what is the capital of cuba", "havana"},
+        QaCase{"who is the current president of the united states",
+               "obama"},
+        QaCase{"when does falcon restaurant close", "9 pm"},
+        QaCase{"when does golden dragon restaurant close", "11 pm"},
+        QaCase{"when does liberty museum close", "6 pm"}));
+
+TEST_F(QaFixture, TimingsPopulated)
+{
+    const auto result = service_->answer(
+        "what is the capital of italy");
+    EXPECT_GT(result.timings.total(), 0.0);
+    EXPECT_GT(result.timings.crf, 0.0);
+    EXPECT_GT(result.timings.stemmer, 0.0);
+    EXPECT_GT(result.timings.search, 0.0);
+    EXPECT_GT(result.docsExamined, 0u);
+    EXPECT_GT(result.filterHits, 0u);
+}
+
+TEST_F(QaFixture, NlpDominatesSearchTime)
+{
+    // Figure 9: stemmer+regex+CRF make up the bulk of QA cycles; BM25
+    // retrieval is comparatively cheap.
+    QaTimings total;
+    for (const auto *q : {"who invented the telephone",
+                          "what is the capital of cuba",
+                          "where is las vegas"}) {
+        const auto result = service_->answer(q);
+        total.stemmer += result.timings.stemmer;
+        total.regex += result.timings.regex;
+        total.crf += result.timings.crf;
+        total.search += result.timings.search;
+        total.select += result.timings.select;
+    }
+    EXPECT_GT(total.stemmer + total.regex + total.crf, total.search);
+}
+
+TEST_F(QaFixture, NonsenseQuestionGivesEmptyOrWeakAnswer)
+{
+    const auto result = service_->answer(
+        "zzz qqq unknownword gibberish");
+    EXPECT_EQ(result.docsExamined, 0u);
+    EXPECT_TRUE(result.answer.empty());
+}
+
+TEST_F(QaFixture, FilterHitsVaryAcrossQueries)
+{
+    const auto a = service_->answer("what is the capital of italy");
+    const auto b = service_->answer(
+        "who is the current president of the united states");
+    EXPECT_NE(a.filterHits, b.filterHits);
+}
+
+// ------------------------------------------------------------- extraction
+
+TEST(AnswerExtractor, PrefersProximateCandidate)
+{
+    AnswerExtractor extractor;
+    QuestionAnalysis analysis;
+    analysis.type = AnswerType::Time;
+    analysis.focusStems = {"close"};
+    search::Document doc{0, "d",
+        "The shop closes at 9 Pm. The shop opened in 1850."};
+    const auto candidates = extractor.extract({{&doc, 1.0}}, analysis);
+    ASSERT_FALSE(candidates.empty());
+    EXPECT_EQ(toLower(candidates[0].text), "9 pm");
+}
+
+TEST(AnswerExtractor, SkipsQuestionEcho)
+{
+    // A candidate made purely of question words must not be returned.
+    AnswerExtractor extractor;
+    QuestionAnalysis analysis;
+    analysis.type = AnswerType::Person;
+    analysis.focusStems = {"harri", "potter"};
+    search::Document doc{0, "d",
+        "Harry Potter was created by Joanne Rowling."};
+    const auto candidates = extractor.extract({{&doc, 1.0}}, analysis);
+    ASSERT_FALSE(candidates.empty());
+    EXPECT_EQ(toLower(candidates[0].text), "joanne rowling");
+}
+
+TEST(AnswerExtractor, EmptyDocsGiveNoCandidates)
+{
+    AnswerExtractor extractor;
+    QuestionAnalysis analysis;
+    analysis.type = AnswerType::Entity;
+    analysis.focusStems = {"capit"};
+    EXPECT_TRUE(extractor.extract({}, analysis).empty());
+}
+
+} // namespace

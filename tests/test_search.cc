@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the search substrate: corpus generation, inverted index,
+ * BM25 ranking, and the Web Search baseline service.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/strings.h"
+#include "search/corpus.h"
+#include "search/inverted_index.h"
+#include "search/web_search.h"
+
+namespace {
+
+using namespace sirius;
+using namespace sirius::search;
+
+TEST(Corpus, FactsCoverInputSet)
+{
+    const auto &facts = knowledgeFacts();
+    EXPECT_GE(facts.size(), 26u); // 16 VQ facts + 10 landmark facts
+    for (const auto &fact : facts) {
+        EXPECT_FALSE(fact.subject.empty());
+        EXPECT_FALSE(fact.answer.empty());
+        // The stated sentence must actually contain the answer.
+        EXPECT_NE(toLower(fact.sentence).find(toLower(fact.answer)),
+                  std::string::npos)
+            << fact.subject;
+    }
+}
+
+TEST(Corpus, LandmarkNamesDistinct)
+{
+    std::set<std::string> names;
+    for (int id = 0; id < 10; ++id)
+        names.insert(landmarkName(id));
+    EXPECT_EQ(names.size(), 10u);
+}
+
+TEST(Corpus, DeterministicPerSeed)
+{
+    const auto a = buildEncyclopedia(50, 7);
+    const auto b = buildEncyclopedia(50, 7);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].text, b[i].text);
+}
+
+TEST(Corpus, SizeScalesWithFiller)
+{
+    const auto small = buildEncyclopedia(10, 7);
+    const auto large = buildEncyclopedia(100, 7);
+    EXPECT_EQ(large.size() - small.size(), 90u);
+}
+
+TEST(InvertedIndex, FindsFactDocuments)
+{
+    const InvertedIndex index(buildEncyclopedia(100, 31));
+    const auto hits = index.search("capital of italy", 5);
+    ASSERT_FALSE(hits.empty());
+    const auto &top = index.document(hits[0].docId);
+    EXPECT_NE(toLower(top.text).find("rome"), std::string::npos);
+}
+
+TEST(InvertedIndex, ScoresDescending)
+{
+    const InvertedIndex index(buildEncyclopedia(100, 31));
+    const auto hits = index.search("president united states", 10);
+    for (size_t i = 1; i < hits.size(); ++i)
+        EXPECT_LE(hits[i].score, hits[i - 1].score);
+}
+
+TEST(InvertedIndex, UnknownTermsGiveNoHits)
+{
+    const InvertedIndex index(buildEncyclopedia(20, 31));
+    EXPECT_TRUE(index.search("xylophone quetzalcoatl", 5).empty());
+}
+
+TEST(InvertedIndex, StemmingUnifiesInflections)
+{
+    // "closes" and "closing" should hit the same documents when stemming
+    // is on.
+    const auto docs = buildEncyclopedia(50, 31);
+    const InvertedIndex stemmed(docs, true);
+    const auto a = stemmed.search("restaurant closes", 5);
+    const auto b = stemmed.search("restaurant closing", 5);
+    ASSERT_FALSE(a.empty());
+    ASSERT_FALSE(b.empty());
+    EXPECT_EQ(a[0].docId, b[0].docId);
+}
+
+TEST(InvertedIndex, KLimitsResults)
+{
+    const InvertedIndex index(buildEncyclopedia(100, 31));
+    EXPECT_LE(index.search("the city", 3).size(), 3u);
+}
+
+TEST(InvertedIndex, DocumentFrequencySane)
+{
+    const InvertedIndex index(buildEncyclopedia(100, 31));
+    EXPECT_GT(index.documentFrequency("city"), 0u);
+    EXPECT_EQ(index.documentFrequency("qqqzzz"), 0u);
+}
+
+TEST(WebSearch, ReturnsFormattedResults)
+{
+    const auto ws = WebSearch::build(60, 31);
+    const auto results = ws.query("longest river in the world", 5);
+    ASSERT_FALSE(results.empty());
+    EXPECT_FALSE(results[0].title.empty());
+    EXPECT_FALSE(results[0].snippet.empty());
+    EXPECT_GT(results[0].score, 0.0);
+    // The Nile fact document should be on top.
+    EXPECT_NE(toLower(results[0].title + results[0].snippet).find("river"),
+              std::string::npos);
+}
+
+TEST(WebSearch, AllFactQueriesRetrieveTheirDocument)
+{
+    const auto ws = WebSearch::build(120, 31);
+    for (const auto &fact : knowledgeFacts()) {
+        const auto results = ws.query(fact.subject, 3);
+        ASSERT_FALSE(results.empty()) << fact.subject;
+        bool found = false;
+        for (const auto &r : results) {
+            if (toLower(r.snippet).find(toLower(fact.answer)) !=
+                    std::string::npos ||
+                r.title == fact.subject) {
+                found = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(found) << fact.subject;
+    }
+}
+
+} // namespace

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tests for the leaf-server front end and its open-loop load test.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/server.h"
+
+namespace {
+
+using namespace sirius;
+using namespace sirius::core;
+
+class ServerFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        SiriusConfig config;
+        config.qa.fillerDocs = 60;
+        pipeline_ = new SiriusPipeline(SiriusPipeline::build(config));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete pipeline_;
+        pipeline_ = nullptr;
+    }
+
+    static SiriusPipeline *pipeline_;
+};
+
+SiriusPipeline *ServerFixture::pipeline_ = nullptr;
+
+TEST_F(ServerFixture, StatsAccumulate)
+{
+    SiriusServer server(*pipeline_);
+    const auto queries = standardQuerySet();
+    server.handle(queries[0]);  // a VC
+    server.handle(queries[16]); // a VQ
+    EXPECT_EQ(server.stats().served, 2u);
+    EXPECT_EQ(server.stats().actions, 1u);
+    EXPECT_EQ(server.stats().answers, 1u);
+    EXPECT_GT(server.serviceRate(), 0.0);
+}
+
+TEST_F(ServerFixture, LoadTestLatencyGrowsWithLoad)
+{
+    SiriusServer server(*pipeline_);
+    for (const auto &query : standardQuerySet())
+        server.handle(query);
+    const double capacity = server.serviceRate();
+
+    const auto light = loadTest(server, 0.2 * capacity, 2000);
+    const auto heavy = loadTest(server, 0.8 * capacity, 2000);
+    EXPECT_GT(heavy.sojournSeconds.mean(), light.sojournSeconds.mean());
+    EXPECT_GT(heavy.utilization, light.utilization);
+    // Mean sojourn can never be below the mean service time.
+    const double mean_service = 1.0 / capacity;
+    EXPECT_GE(light.sojournSeconds.mean(), mean_service * 0.5);
+}
+
+TEST_F(ServerFixture, LoadTestRejectsOverload)
+{
+    SiriusServer server(*pipeline_);
+    for (const auto &query : standardQuerySet())
+        server.handle(query);
+    const double capacity = server.serviceRate();
+    EXPECT_EXIT(loadTest(server, 3.0 * capacity, 100),
+                ::testing::ExitedWithCode(1), "capacity");
+}
+
+} // namespace

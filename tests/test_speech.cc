@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Tests for the speech library: GMM, DNN, language model, decoder, and the
+ * end-to-end ASR service (both acoustic backends must genuinely decode
+ * synthesized speech back to text).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "audio/phoneme.h"
+#include "common/rng.h"
+#include "speech/asr_service.h"
+#include "speech/decoder.h"
+#include "speech/dnn.h"
+#include "speech/gmm.h"
+#include "speech/language_model.h"
+
+namespace {
+
+using namespace sirius;
+using namespace sirius::speech;
+
+// ---------------------------------------------------------------------- GMM
+
+TEST(DiagGaussian, DensityPeaksAtMean)
+{
+    DiagGaussian g;
+    g.mean = {1.0f, -2.0f};
+    g.invVar = {1.0f, 1.0f};
+    g.refreshNorm();
+    const double at_mean = g.logDensity({1.0f, -2.0f});
+    const double off_mean = g.logDensity({2.0f, -2.0f});
+    EXPECT_GT(at_mean, off_mean);
+    EXPECT_NEAR(at_mean, -std::log(2.0 * M_PI), 1e-6);
+}
+
+TEST(Gmm, FitRecoversTwoClusters)
+{
+    Rng rng(3);
+    std::vector<audio::FeatureVector> data;
+    for (int i = 0; i < 300; ++i) {
+        const float center = (i % 2 == 0) ? -5.0f : 5.0f;
+        data.push_back({center + static_cast<float>(rng.gaussian(0, 0.5)),
+                        center + static_cast<float>(rng.gaussian(0, 0.5))});
+    }
+    Rng fit_rng(4);
+    const Gmm gmm = Gmm::fit(data, 2, 10, fit_rng);
+    ASSERT_EQ(gmm.components().size(), 2u);
+    // Component means should land near (-5,-5) and (5,5) in some order.
+    const auto &m0 = gmm.components()[0].mean;
+    const auto &m1 = gmm.components()[1].mean;
+    const bool ordered = (m0[0] < 0 && m1[0] > 0) ||
+        (m0[0] > 0 && m1[0] < 0);
+    EXPECT_TRUE(ordered);
+    EXPECT_NEAR(std::fabs(m0[0]), 5.0, 0.5);
+    EXPECT_NEAR(std::fabs(m1[0]), 5.0, 0.5);
+}
+
+TEST(Gmm, LikelihoodHigherNearTrainingData)
+{
+    Rng rng(5);
+    std::vector<audio::FeatureVector> data;
+    for (int i = 0; i < 200; ++i)
+        data.push_back({static_cast<float>(rng.gaussian(2.0, 0.3))});
+    Rng fit_rng(6);
+    const Gmm gmm = Gmm::fit(data, 2, 8, fit_rng);
+    EXPECT_GT(gmm.logLikelihood({2.0f}), gmm.logLikelihood({10.0f}));
+}
+
+TEST(Gmm, WeightsNormalized)
+{
+    Rng rng(7);
+    std::vector<audio::FeatureVector> data;
+    for (int i = 0; i < 100; ++i)
+        data.push_back({static_cast<float>(rng.gaussian(0, 1))});
+    Rng fit_rng(8);
+    const Gmm gmm = Gmm::fit(data, 3, 5, fit_rng);
+    double sum = 0.0;
+    for (float lw : gmm.logWeights())
+        sum += std::exp(static_cast<double>(lw));
+    EXPECT_NEAR(sum, 1.0, 1e-3);
+}
+
+// ---------------------------------------------------------------------- DNN
+
+TEST(FeedForwardNet, ParameterCountMatchesArchitecture)
+{
+    FeedForwardNet net({4, 8, 3}, 1);
+    EXPECT_EQ(net.parameterCount(), 4u * 8 + 8 + 8 * 3 + 3);
+    EXPECT_EQ(net.inputSize(), 4u);
+    EXPECT_EQ(net.outputSize(), 3u);
+}
+
+TEST(FeedForwardNet, ForwardIsLogDistribution)
+{
+    FeedForwardNet net({5, 16, 7}, 2);
+    const auto out = net.forward({0.1f, -0.2f, 0.3f, 0.0f, 1.0f});
+    ASSERT_EQ(out.size(), 7u);
+    double sum = 0.0;
+    for (float lp : out)
+        sum += std::exp(static_cast<double>(lp));
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+}
+
+TEST(FeedForwardNet, LearnsXorLikeSeparation)
+{
+    // Two interleaved Gaussian blobs per class; the net must exceed 95%.
+    Rng rng(9);
+    std::vector<audio::FeatureVector> inputs;
+    std::vector<int> labels;
+    for (int i = 0; i < 400; ++i) {
+        const int label = i % 2;
+        const float sx = (i / 2) % 2 == 0 ? 1.0f : -1.0f;
+        const float sy = label == 0 ? sx : -sx;
+        inputs.push_back({sx * 2 + static_cast<float>(rng.gaussian(0, .3)),
+                          sy * 2 + static_cast<float>(rng.gaussian(0, .3))});
+        labels.push_back(label);
+    }
+    FeedForwardNet net({2, 16, 2}, 10);
+    net.train(inputs, labels, 30, 0.05f, 11);
+    EXPECT_GT(net.accuracy(inputs, labels), 0.95);
+}
+
+TEST(FeedForwardNet, SgdStepReducesLossOnRepeatedExample)
+{
+    FeedForwardNet net({3, 8, 4}, 12);
+    const std::vector<float> x = {0.5f, -0.5f, 1.0f};
+    const double first = net.sgdStep(x, 2, 0.1f);
+    double last = first;
+    for (int i = 0; i < 20; ++i)
+        last = net.sgdStep(x, 2, 0.1f);
+    EXPECT_LT(last, first);
+}
+
+// ----------------------------------------------------------------------- LM
+
+TEST(Vocabulary, IdsStableAndReserved)
+{
+    Vocabulary vocab;
+    EXPECT_EQ(vocab.idOf("<s>"), 0);
+    const int a = vocab.add("apple");
+    const int b = vocab.add("banana");
+    EXPECT_EQ(vocab.add("apple"), a);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(vocab.wordOf(a), "apple");
+    EXPECT_EQ(vocab.idOf("cherry"), -1);
+}
+
+TEST(BigramLm, ProbabilitiesNormalized)
+{
+    Vocabulary vocab;
+    const int a = vocab.add("a");
+    const int b = vocab.add("b");
+    BigramLm lm({{a, b}, {a, a, b}}, vocab.size());
+    for (int prev = 0; prev < static_cast<int>(vocab.size()); ++prev) {
+        double sum = 0.0;
+        for (int next = 0; next < static_cast<int>(vocab.size()); ++next)
+            sum += std::exp(lm.logProb(prev, next));
+        EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+}
+
+TEST(BigramLm, SeenBigramsMoreLikely)
+{
+    Vocabulary vocab;
+    const int the = vocab.add("the");
+    const int cat = vocab.add("cat");
+    const int dog = vocab.add("dog");
+    BigramLm lm({{the, cat}, {the, cat}, {the, dog}}, vocab.size());
+    EXPECT_GT(lm.logProb(the, cat), lm.logProb(the, dog));
+    EXPECT_GT(lm.logProb(the, dog), lm.logProb(cat, dog));
+}
+
+// ------------------------------------------------------------------ decoder
+
+TEST(Lexicon, AddWordPronounces)
+{
+    Lexicon lexicon;
+    const int id = lexicon.addWord("cab");
+    ASSERT_EQ(lexicon.prons[static_cast<size_t>(id)].size(), 3u);
+    EXPECT_EQ(lexicon.prons[static_cast<size_t>(id)][0],
+              audio::phonemeOf('c'));
+}
+
+TEST(ViterbiDecoder, StateGraphSized)
+{
+    Lexicon lexicon;
+    lexicon.addWord("ab");
+    lexicon.addWord("cde");
+    BigramLm lm({}, lexicon.vocab.size());
+    ViterbiDecoder decoder(lexicon, lm);
+    // 1 global silence + (2 phonemes + 1 sil) + (3 phonemes + 1 sil).
+    EXPECT_EQ(decoder.stateCount(), 8u);
+}
+
+TEST(ViterbiDecoder, EmptyScoresGiveEmptyText)
+{
+    Lexicon lexicon;
+    lexicon.addWord("hi");
+    BigramLm lm({}, lexicon.vocab.size());
+    ViterbiDecoder decoder(lexicon, lm);
+    const auto result = decoder.decode({});
+    EXPECT_TRUE(result.text.empty());
+}
+
+// ------------------------------------------------------------- ASR service
+
+class AsrEndToEnd : public ::testing::TestWithParam<AsrBackend>
+{
+  protected:
+    static const std::vector<std::string> &
+    sentences()
+    {
+        static const std::vector<std::string> corpus = {
+            "set my alarm",
+            "who was elected president",
+            "what is the capital of italy",
+            "play some music",
+            "when does this restaurant close",
+        };
+        return corpus;
+    }
+
+    AsrService
+    makeService(AsrBackend backend) const
+    {
+        AsrConfig config;
+        config.backend = backend;
+        config.trainNoiseVariants = 2;
+        config.dnnHidden = {64};
+        config.dnnEpochs = 4;
+        return AsrService::train(sentences(), config);
+    }
+};
+
+TEST_P(AsrEndToEnd, DecodesTrainingSentences)
+{
+    const auto service = makeService(GetParam());
+    for (const auto &sentence : sentences()) {
+        const auto result = service.transcribeText(sentence);
+        EXPECT_EQ(result.text, sentence)
+            << "backend=" << service.backendName();
+    }
+}
+
+TEST_P(AsrEndToEnd, DecodesNovelWordOrder)
+{
+    const auto service = makeService(GetParam());
+    // Words seen in training, but a sentence never seen.
+    const std::string novel = "who is the president of italy";
+    const auto result = service.transcribeText(novel);
+    // Allow at most one word error for the unseen word order.
+    EXPECT_LE(wordEditDistance(novel, result.text), 1u)
+        << "got: " << result.text;
+}
+
+TEST_P(AsrEndToEnd, TimingsPopulated)
+{
+    const auto service = makeService(GetParam());
+    const auto result = service.transcribeText("set my alarm");
+    EXPECT_GT(result.frames, 0u);
+    EXPECT_GT(result.timings.featureExtraction, 0.0);
+    EXPECT_GT(result.timings.scoring, 0.0);
+    EXPECT_GT(result.timings.search, 0.0);
+}
+
+TEST_P(AsrEndToEnd, WordErrorRateLow)
+{
+    const auto service = makeService(GetParam());
+    EXPECT_LT(service.wordErrorRate(sentences()), 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, AsrEndToEnd,
+                         ::testing::Values(AsrBackend::Gmm,
+                                           AsrBackend::Dnn),
+                         [](const auto &info) {
+                             return info.param == AsrBackend::Gmm
+                                 ? "Gmm" : "Dnn";
+                         });
+
+TEST(AsrService, WordEditDistanceBasics)
+{
+    EXPECT_EQ(wordEditDistance("a b c", "a b c"), 0u);
+    EXPECT_EQ(wordEditDistance("a b c", "a c"), 1u);
+    EXPECT_EQ(wordEditDistance("a b", "a x b"), 1u);
+    EXPECT_EQ(wordEditDistance("", "a b"), 2u);
+}
+
+} // namespace

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the Sirius Suite kernels: serial/threaded agreement,
+ * determinism, and Table 4 metadata.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "suite/crf_kernel.h"
+#include "suite/dnn_kernel.h"
+#include "suite/fd_kernel.h"
+#include "suite/fe_kernel.h"
+#include "suite/gmm_kernel.h"
+#include "suite/regex_kernel.h"
+#include "suite/stemmer_kernel.h"
+#include "suite/suite.h"
+
+namespace {
+
+using namespace sirius::suite;
+
+class SuiteFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        kernels_ = new std::vector<std::unique_ptr<SuiteKernel>>(
+            makeSuite(SuiteScale::Small, 99));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete kernels_;
+        kernels_ = nullptr;
+    }
+
+    static std::vector<std::unique_ptr<SuiteKernel>> *kernels_;
+};
+
+std::vector<std::unique_ptr<SuiteKernel>> *SuiteFixture::kernels_ =
+    nullptr;
+
+TEST_F(SuiteFixture, SevenKernelsInTableOrder)
+{
+    ASSERT_EQ(kernels_->size(), 7u);
+    const char *expected[] = {"GMM", "DNN", "Stemmer", "Regex",
+                              "CRF", "FE", "FD"};
+    for (size_t i = 0; i < 7; ++i)
+        EXPECT_STREQ((*kernels_)[i]->name(), expected[i]);
+}
+
+TEST_F(SuiteFixture, ServicesMatchTable4)
+{
+    EXPECT_EQ((*kernels_)[0]->service(), Service::Asr);
+    EXPECT_EQ((*kernels_)[1]->service(), Service::Asr);
+    EXPECT_EQ((*kernels_)[2]->service(), Service::Qa);
+    EXPECT_EQ((*kernels_)[3]->service(), Service::Qa);
+    EXPECT_EQ((*kernels_)[4]->service(), Service::Qa);
+    EXPECT_EQ((*kernels_)[5]->service(), Service::Imm);
+    EXPECT_EQ((*kernels_)[6]->service(), Service::Imm);
+}
+
+TEST_F(SuiteFixture, GranularitiesNonEmpty)
+{
+    std::set<std::string> seen;
+    for (const auto &kernel : *kernels_) {
+        ASSERT_NE(kernel->granularity(), nullptr);
+        seen.insert(kernel->granularity());
+    }
+    EXPECT_EQ(seen.size(), 7u); // all distinct, per Table 4
+}
+
+TEST_F(SuiteFixture, SerialRunsProduceWork)
+{
+    for (const auto &kernel : *kernels_) {
+        const auto result = kernel->runSerial();
+        EXPECT_GT(result.seconds, 0.0) << kernel->name();
+        EXPECT_NE(result.checksum, 0u) << kernel->name();
+    }
+}
+
+TEST_F(SuiteFixture, SerialDeterministic)
+{
+    for (const auto &kernel : *kernels_) {
+        const auto a = kernel->runSerial();
+        const auto b = kernel->runSerial();
+        EXPECT_EQ(a.checksum, b.checksum) << kernel->name();
+    }
+}
+
+TEST_F(SuiteFixture, ThreadedMatchesSerialChecksum)
+{
+    for (const auto &kernel : *kernels_) {
+        // FE tiles the image, which legitimately perturbs border
+        // keypoints (the paper notes the same effect); all other
+        // kernels must agree exactly.
+        if (std::string(kernel->name()) == "FE")
+            continue;
+        const auto serial = kernel->runSerial();
+        const auto threaded = kernel->runThreaded(4);
+        EXPECT_EQ(serial.checksum, threaded.checksum) << kernel->name();
+    }
+}
+
+TEST_F(SuiteFixture, FeTiledCountCloseToSerial)
+{
+    const auto &fe = (*kernels_)[5];
+    const auto serial = fe->runSerial();
+    const auto threaded = fe->runThreaded(4);
+    const double ratio = static_cast<double>(threaded.checksum) /
+        static_cast<double>(serial.checksum);
+    EXPECT_GT(ratio, 0.7);
+    EXPECT_LT(ratio, 1.3);
+}
+
+TEST_F(SuiteFixture, SingleThreadThreadedEqualsSerial)
+{
+    for (const auto &kernel : *kernels_) {
+        if (std::string(kernel->name()) == "FE")
+            continue;
+        EXPECT_EQ(kernel->runThreaded(1).checksum,
+                  kernel->runSerial().checksum)
+            << kernel->name();
+    }
+}
+
+TEST(SuiteKernels, StemmerInterlacedMatchesBlocked)
+{
+    StemmerKernel kernel(5000, 3);
+    const auto blocked = kernel.runThreaded(4);
+    const auto interlaced = kernel.runThreadedInterlaced(4);
+    EXPECT_EQ(blocked.checksum, interlaced.checksum);
+}
+
+TEST(SuiteKernels, GmmScalesWithStates)
+{
+    GmmKernel small(16, 2, 16, 8, 5);
+    GmmKernel large(64, 2, 16, 8, 5);
+    EXPECT_EQ(small.stateCount(), 16u);
+    EXPECT_EQ(large.stateCount(), 64u);
+    // More states, more work.
+    EXPECT_GT(large.runSerial().seconds, small.runSerial().seconds);
+}
+
+TEST(SuiteKernels, DnnBatchSizeRespected)
+{
+    DnnKernel kernel({16, 32, 8}, 24, 7);
+    EXPECT_EQ(kernel.batchSize(), 24u);
+}
+
+TEST(SuiteKernels, RegexPairCount)
+{
+    RegexKernel kernel(20, 30, 11);
+    EXPECT_EQ(kernel.pairCount(), 600u);
+}
+
+TEST(SuiteKernels, CrfTagsAllSentences)
+{
+    CrfKernel kernel(40, 60, 13);
+    EXPECT_EQ(kernel.sentenceCount(), 40u);
+    EXPECT_NE(kernel.runSerial().checksum, 0u);
+}
+
+TEST(SuiteKernels, FdKeypointsDetectedOnce)
+{
+    FdKernel kernel(256, 17);
+    EXPECT_GT(kernel.keypointCount(), 10u);
+}
+
+TEST(SuiteKernels, ServiceNames)
+{
+    EXPECT_STREQ(serviceName(Service::Asr), "ASR");
+    EXPECT_STREQ(serviceName(Service::Qa), "QA");
+    EXPECT_STREQ(serviceName(Service::Imm), "IMM");
+}
+
+} // namespace

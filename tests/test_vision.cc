@@ -1,0 +1,438 @@
+/**
+ * @file
+ * Tests for the vision substrate: image ops, integral image, SURF FE/FD,
+ * k-d tree ANN matching, landmark generation and the IMM service.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "common/rng.h"
+#include "vision/image.h"
+#include "vision/imm_service.h"
+#include "vision/integral_image.h"
+#include "vision/landmarks.h"
+#include "vision/matcher.h"
+#include "vision/surf.h"
+
+namespace {
+
+using namespace sirius;
+using namespace sirius::vision;
+
+// -------------------------------------------------------------------- image
+
+TEST(Image, ConstructAndAccess)
+{
+    Image img(8, 4, 7);
+    EXPECT_EQ(img.width(), 8);
+    EXPECT_EQ(img.height(), 4);
+    EXPECT_EQ(img.at(0, 0), 7);
+    img.set(3, 2, 200);
+    EXPECT_EQ(img.at(3, 2), 200);
+}
+
+TEST(Image, ClampedAccess)
+{
+    Image img(4, 4, 0);
+    img.set(0, 0, 9);
+    img.set(3, 3, 11);
+    EXPECT_EQ(img.atClamped(-5, -5), 9);
+    EXPECT_EQ(img.atClamped(100, 100), 11);
+}
+
+TEST(Image, FillRectClips)
+{
+    Image img(10, 10, 0);
+    img.fillRect(-5, -5, 8, 8, 50);
+    EXPECT_EQ(img.at(0, 0), 50);
+    EXPECT_EQ(img.at(2, 2), 50);
+    EXPECT_EQ(img.at(3, 3), 0);
+}
+
+TEST(Image, FillCircleRadius)
+{
+    Image img(21, 21, 0);
+    img.fillCircle(10, 10, 5, 255);
+    EXPECT_EQ(img.at(10, 10), 255);
+    EXPECT_EQ(img.at(10, 15), 255);
+    EXPECT_EQ(img.at(10, 16), 0);
+    EXPECT_EQ(img.at(16, 16), 0);
+}
+
+TEST(Image, CheckerboardAlternates)
+{
+    Image img(16, 16, 0);
+    img.checkerboard(0, 0, 16, 16, 4, 10, 200);
+    EXPECT_EQ(img.at(0, 0), 200);
+    EXPECT_EQ(img.at(4, 0), 10);
+    EXPECT_EQ(img.at(4, 4), 200);
+}
+
+TEST(Image, TranslatedShiftsContent)
+{
+    Image img(6, 6, 0);
+    img.set(1, 1, 99);
+    const Image out = img.translated(2, 3, 5);
+    EXPECT_EQ(out.at(3, 4), 99);
+    EXPECT_EQ(out.at(0, 0), 5);
+}
+
+TEST(Image, BrightnessScalingClamps)
+{
+    Image img(2, 2, 200);
+    img.scaleBrightness(2.0);
+    EXPECT_EQ(img.at(0, 0), 255);
+    img.scaleBrightness(0.0);
+    EXPECT_EQ(img.at(1, 1), 0);
+}
+
+TEST(Image, PgmRoundTrip)
+{
+    Image img = generateLandmark(3, 32, 32);
+    const std::string path = "/tmp/sirius_test_roundtrip.pgm";
+    ASSERT_TRUE(img.savePgm(path));
+    const Image loaded = Image::loadPgm(path);
+    ASSERT_EQ(loaded.width(), img.width());
+    ASSERT_EQ(loaded.height(), img.height());
+    for (int y = 0; y < img.height(); ++y) {
+        for (int x = 0; x < img.width(); ++x)
+            ASSERT_EQ(loaded.at(x, y), img.at(x, y));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Image, LoadPgmMissingFileGivesEmpty)
+{
+    const Image img = Image::loadPgm("/tmp/definitely_missing_42.pgm");
+    EXPECT_EQ(img.width(), 0);
+}
+
+// ----------------------------------------------------------------- integral
+
+TEST(IntegralImage, BoxSumMatchesDirectSum)
+{
+    Rng rng(5);
+    Image img(32, 24);
+    for (int y = 0; y < 24; ++y) {
+        for (int x = 0; x < 32; ++x)
+            img.set(x, y, static_cast<uint8_t>(rng.below(256)));
+    }
+    const IntegralImage integral(img);
+    for (int trial = 0; trial < 50; ++trial) {
+        const int row = static_cast<int>(rng.below(20));
+        const int col = static_cast<int>(rng.below(28));
+        const int rows = 1 + static_cast<int>(rng.below(4));
+        const int cols = 1 + static_cast<int>(rng.below(4));
+        double direct = 0.0;
+        for (int y = row; y < row + rows; ++y) {
+            for (int x = col; x < col + cols; ++x)
+                direct += img.at(x, y) / 255.0;
+        }
+        EXPECT_NEAR(integral.boxSum(row, col, rows, cols), direct, 1e-9);
+    }
+}
+
+TEST(IntegralImage, FullImageSum)
+{
+    Image img(4, 4, 255);
+    const IntegralImage integral(img);
+    EXPECT_NEAR(integral.boxSum(0, 0, 4, 4), 16.0, 1e-9);
+}
+
+TEST(IntegralImage, OutOfRangeClamps)
+{
+    Image img(4, 4, 255);
+    const IntegralImage integral(img);
+    EXPECT_NEAR(integral.boxSum(-10, -10, 100, 100), 16.0, 1e-9);
+}
+
+TEST(IntegralImage, HaarXRespondsToVerticalEdge)
+{
+    // Left half dark, right half bright -> strong positive haarX.
+    Image img(32, 32, 0);
+    img.fillRect(16, 0, 16, 32, 255);
+    const IntegralImage integral(img);
+    EXPECT_GT(integral.haarX(16, 16, 8), 0.5);
+    EXPECT_NEAR(integral.haarY(16, 16, 8), 0.0, 1e-9);
+}
+
+TEST(IntegralImage, HaarYRespondsToHorizontalEdge)
+{
+    Image img(32, 32, 0);
+    img.fillRect(0, 16, 32, 16, 255);
+    const IntegralImage integral(img);
+    EXPECT_GT(integral.haarY(16, 16, 8), 0.5);
+    EXPECT_NEAR(integral.haarX(16, 16, 8), 0.0, 1e-9);
+}
+
+// --------------------------------------------------------------------- SURF
+
+TEST(Surf, DetectsBlobAtKnownLocation)
+{
+    Image img(128, 128, 40);
+    img.fillCircle(64, 64, 9, 230);
+    const IntegralImage integral(img);
+    const auto keypoints = detectKeypoints(integral);
+    ASSERT_FALSE(keypoints.empty());
+    // The strongest keypoint should be at the blob center.
+    const Keypoint *best = &keypoints[0];
+    for (const auto &kp : keypoints) {
+        if (kp.response > best->response)
+            best = &kp;
+    }
+    EXPECT_NEAR(best->x, 64.0f, 6.0f);
+    EXPECT_NEAR(best->y, 64.0f, 6.0f);
+}
+
+TEST(Surf, FlatImageHasNoKeypoints)
+{
+    Image img(128, 128, 120);
+    const IntegralImage integral(img);
+    EXPECT_TRUE(detectKeypoints(integral).empty());
+}
+
+TEST(Surf, LaplacianSignSeparatesBrightAndDarkBlobs)
+{
+    Image bright(96, 96, 20);
+    bright.fillCircle(48, 48, 9, 240);
+    Image dark(96, 96, 240);
+    dark.fillCircle(48, 48, 9, 20);
+
+    const auto kb = detectKeypoints(IntegralImage(bright));
+    const auto kd = detectKeypoints(IntegralImage(dark));
+    ASSERT_FALSE(kb.empty());
+    ASSERT_FALSE(kd.empty());
+    EXPECT_NE(kb[0].laplacianPositive, kd[0].laplacianPositive);
+}
+
+TEST(Surf, MoreTextureMoreKeypoints)
+{
+    Image sparse(256, 256, 100);
+    sparse.fillCircle(128, 128, 10, 240);
+    const Image busy = generateLandmark(0);
+    const auto ks = detectKeypoints(IntegralImage(sparse));
+    const auto kb = detectKeypoints(IntegralImage(busy));
+    EXPECT_GT(kb.size(), ks.size());
+}
+
+TEST(Surf, DescriptorsAreUnitNorm)
+{
+    const Image img = generateLandmark(1);
+    const IntegralImage integral(img);
+    auto keypoints = detectKeypoints(integral);
+    ASSERT_FALSE(keypoints.empty());
+    const auto descriptors = describeKeypoints(integral, keypoints);
+    ASSERT_EQ(descriptors.size(), keypoints.size());
+    for (const auto &d : descriptors) {
+        double norm = 0.0;
+        for (float v : d)
+            norm += static_cast<double>(v) * v;
+        EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-4);
+    }
+}
+
+TEST(Surf, DescriptorStableUnderBrightness)
+{
+    // Brightness gain should barely move normalized descriptors.
+    const Image img = generateLandmark(2);
+    Image brighter = img;
+    brighter.scaleBrightness(1.2);
+
+    const IntegralImage ia(img), ib(brighter);
+    auto ka = detectKeypoints(ia);
+    ASSERT_FALSE(ka.empty());
+    auto kb = ka; // same locations on the brighter image
+    const auto da = describeKeypoints(ia, ka);
+    const auto db = describeKeypoints(ib, kb);
+    double total = 0.0;
+    for (size_t i = 0; i < da.size(); ++i)
+        total += std::sqrt(descriptorDistanceSq(da[i], db[i]));
+    EXPECT_LT(total / static_cast<double>(da.size()), 0.25);
+}
+
+TEST(Surf, UprightSkipsOrientation)
+{
+    const Image img = generateLandmark(4);
+    const IntegralImage integral(img);
+    auto keypoints = detectKeypoints(integral);
+    ASSERT_FALSE(keypoints.empty());
+    SurfConfig config;
+    config.upright = true;
+    describeKeypoints(integral, keypoints, config);
+    for (const auto &kp : keypoints)
+        EXPECT_FLOAT_EQ(kp.orientation, 0.0f);
+}
+
+// ------------------------------------------------------------------ matcher
+
+TEST(KdTree, ExactMatchesBruteForce)
+{
+    Rng rng(17);
+    std::vector<Descriptor> data(200);
+    for (auto &d : data) {
+        for (auto &v : d)
+            v = static_cast<float>(rng.uniform(-1, 1));
+    }
+    const KdTree tree(data);
+    for (int trial = 0; trial < 30; ++trial) {
+        Descriptor q;
+        for (auto &v : q)
+            v = static_cast<float>(rng.uniform(-1, 1));
+        const auto exact = tree.nearest2Exact(q);
+        const auto approx = tree.nearest2(q, 1000000);
+        EXPECT_EQ(exact.index, approx.index);
+        EXPECT_FLOAT_EQ(exact.distanceSq, approx.distanceSq);
+    }
+}
+
+TEST(KdTree, ApproximateUsuallyFindsExactNearest)
+{
+    Rng rng(19);
+    std::vector<Descriptor> data(500);
+    for (auto &d : data) {
+        for (auto &v : d)
+            v = static_cast<float>(rng.uniform(-1, 1));
+    }
+    const KdTree tree(data);
+    int agree = 0;
+    const int trials = 50;
+    for (int trial = 0; trial < trials; ++trial) {
+        // Query near an existing point so ANN has a clear target.
+        Descriptor q = data[rng.below(data.size())];
+        for (auto &v : q)
+            v += static_cast<float>(rng.gaussian(0, 0.01));
+        const auto exact = tree.nearest2Exact(q);
+        const auto approx = tree.nearest2(q, 32);
+        agree += (exact.index == approx.index);
+    }
+    EXPECT_GE(agree, trials * 8 / 10);
+}
+
+TEST(KdTree, EmptyTreeReturnsNoMatch)
+{
+    const KdTree tree({});
+    Descriptor q{};
+    EXPECT_EQ(tree.nearest2(q).index, -1);
+}
+
+TEST(KdTree, SelfQueryFindsSelf)
+{
+    Rng rng(23);
+    std::vector<Descriptor> data(64);
+    for (auto &d : data) {
+        for (auto &v : d)
+            v = static_cast<float>(rng.uniform(-1, 1));
+    }
+    const KdTree tree(data);
+    for (size_t i = 0; i < data.size(); ++i) {
+        const auto nn = tree.nearest2(data[i], 64);
+        EXPECT_EQ(nn.index, static_cast<int>(i));
+        EXPECT_FLOAT_EQ(nn.distanceSq, 0.0f);
+    }
+}
+
+TEST(Matcher, RatioTestFiltersAmbiguous)
+{
+    // Two identical descriptors in the database make every query
+    // ambiguous, so the ratio test must reject it.
+    Descriptor a{};
+    a[0] = 1.0f;
+    std::vector<Descriptor> db = {a, a};
+    const KdTree tree(db);
+    const auto stats = matchDescriptors({a}, tree, 0.8f);
+    EXPECT_EQ(stats.goodMatches, 0u);
+}
+
+// ---------------------------------------------------------------- landmarks
+
+TEST(Landmarks, DeterministicPerId)
+{
+    const Image a = generateLandmark(5);
+    const Image b = generateLandmark(5);
+    ASSERT_EQ(a.pixels(), b.pixels());
+}
+
+TEST(Landmarks, DistinctAcrossIds)
+{
+    const Image a = generateLandmark(6);
+    const Image b = generateLandmark(7);
+    EXPECT_NE(a.pixels(), b.pixels());
+}
+
+TEST(Landmarks, QueryViewDiffersButResembles)
+{
+    const Image db = generateLandmark(8);
+    const Image query = generateQueryView(8);
+    EXPECT_NE(db.pixels(), query.pixels());
+    // Gross statistics should stay in the same ballpark.
+    double mean_db = 0.0, mean_q = 0.0;
+    for (uint8_t p : db.pixels())
+        mean_db += p;
+    for (uint8_t p : query.pixels())
+        mean_q += p;
+    mean_db /= static_cast<double>(db.pixels().size());
+    mean_q /= static_cast<double>(query.pixels().size());
+    EXPECT_NEAR(mean_db, mean_q, 40.0);
+}
+
+// -------------------------------------------------------------- IMM service
+
+class ImmServiceTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        service_ = new ImmService(ImmService::build(8));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete service_;
+        service_ = nullptr;
+    }
+
+    static ImmService *service_;
+};
+
+ImmService *ImmServiceTest::service_ = nullptr;
+
+TEST_F(ImmServiceTest, DatabaseBuilt)
+{
+    EXPECT_EQ(service_->databaseSize(), 8u);
+    for (int id = 0; id < 8; ++id)
+        EXPECT_GT(service_->descriptorsOf(id).size(), 20u);
+}
+
+TEST_F(ImmServiceTest, ExactImageMatches)
+{
+    for (int id = 0; id < 8; ++id) {
+        const auto result = service_->match(generateLandmark(id));
+        EXPECT_EQ(result.bestId, id);
+        EXPECT_GT(result.bestMatches, 10u);
+    }
+}
+
+TEST_F(ImmServiceTest, PerturbedQueryStillMatches)
+{
+    for (int id = 0; id < 8; ++id) {
+        const auto result = service_->match(generateQueryView(id));
+        EXPECT_EQ(result.bestId, id) << "landmark " << id;
+    }
+}
+
+TEST_F(ImmServiceTest, TimingsPopulated)
+{
+    const auto result = service_->match(generateQueryView(0));
+    EXPECT_GT(result.queryKeypoints, 0u);
+    EXPECT_GT(result.timings.featureExtraction, 0.0);
+    EXPECT_GT(result.timings.featureDescription, 0.0);
+    EXPECT_GT(result.timings.matching, 0.0);
+}
+
+} // namespace
