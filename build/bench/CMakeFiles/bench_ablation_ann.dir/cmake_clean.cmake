@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ann.dir/bench_ablation_ann.cc.o"
+  "CMakeFiles/bench_ablation_ann.dir/bench_ablation_ann.cc.o.d"
+  "bench_ablation_ann"
+  "bench_ablation_ann.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_asr_backend.dir/bench_ablation_asr_backend.cc.o"
+  "CMakeFiles/bench_ablation_asr_backend.dir/bench_ablation_asr_backend.cc.o.d"
+  "bench_ablation_asr_backend"
+  "bench_ablation_asr_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_asr_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

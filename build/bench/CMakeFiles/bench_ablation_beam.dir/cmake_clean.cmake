@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_beam.dir/bench_ablation_beam.cc.o"
+  "CMakeFiles/bench_ablation_beam.dir/bench_ablation_beam.cc.o.d"
+  "bench_ablation_beam"
+  "bench_ablation_beam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_beam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_queue_sim.dir/bench_ablation_queue_sim.cc.o"
+  "CMakeFiles/bench_ablation_queue_sim.dir/bench_ablation_queue_sim.cc.o.d"
+  "bench_ablation_queue_sim"
+  "bench_ablation_queue_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_queue_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_substates.dir/bench_ablation_substates.cc.o"
+  "CMakeFiles/bench_ablation_substates.dir/bench_ablation_substates.cc.o.d"
+  "bench_ablation_substates"
+  "bench_ablation_substates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_substates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_variability.dir/bench_fig08_variability.cc.o"
+  "CMakeFiles/bench_fig08_variability.dir/bench_fig08_variability.cc.o.d"
+  "bench_fig08_variability"
+  "bench_fig08_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_ipc_bottlenecks.dir/bench_fig10_ipc_bottlenecks.cc.o"
+  "CMakeFiles/bench_fig10_ipc_bottlenecks.dir/bench_fig10_ipc_bottlenecks.cc.o.d"
+  "bench_fig10_ipc_bottlenecks"
+  "bench_fig10_ipc_bottlenecks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_ipc_bottlenecks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

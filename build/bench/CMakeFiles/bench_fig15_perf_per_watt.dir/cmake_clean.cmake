@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_perf_per_watt.dir/bench_fig15_perf_per_watt.cc.o"
+  "CMakeFiles/bench_fig15_perf_per_watt.dir/bench_fig15_perf_per_watt.cc.o.d"
+  "bench_fig15_perf_per_watt"
+  "bench_fig15_perf_per_watt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_perf_per_watt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig17_mm1_load.cc" "bench/CMakeFiles/bench_fig17_mm1_load.dir/bench_fig17_mm1_load.cc.o" "gcc" "bench/CMakeFiles/bench_fig17_mm1_load.dir/bench_fig17_mm1_load.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/accel/CMakeFiles/sirius-accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcsim/CMakeFiles/sirius-dcsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sirius-common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_tco.dir/bench_fig18_tco.cc.o"
+  "CMakeFiles/bench_fig18_tco.dir/bench_fig18_tco.cc.o.d"
+  "bench_fig18_tco"
+  "bench_fig18_tco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_tco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_tco_latency_tradeoff.dir/bench_fig19_tco_latency_tradeoff.cc.o"
+  "CMakeFiles/bench_fig19_tco_latency_tradeoff.dir/bench_fig19_tco_latency_tradeoff.cc.o.d"
+  "bench_fig19_tco_latency_tradeoff"
+  "bench_fig19_tco_latency_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_tco_latency_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

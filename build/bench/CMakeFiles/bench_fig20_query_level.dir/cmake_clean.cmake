@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_query_level.dir/bench_fig20_query_level.cc.o"
+  "CMakeFiles/bench_fig20_query_level.dir/bench_fig20_query_level.cc.o.d"
+  "bench_fig20_query_level"
+  "bench_fig20_query_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_query_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_fig13_speedups.dir/bench_table5_fig13_speedups.cc.o"
+  "CMakeFiles/bench_table5_fig13_speedups.dir/bench_table5_fig13_speedups.cc.o.d"
+  "bench_table5_fig13_speedups"
+  "bench_table5_fig13_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_fig13_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table8_table9_dc_design.
+# This may be replaced when dependencies are built.

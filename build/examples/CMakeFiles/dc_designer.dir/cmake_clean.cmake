@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_designer.dir/dc_designer.cc.o"
+  "CMakeFiles/dc_designer.dir/dc_designer.cc.o.d"
+  "dc_designer"
+  "dc_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

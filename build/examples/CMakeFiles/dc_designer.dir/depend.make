@@ -1,0 +1,2 @@
+# Empty dependencies file for dc_designer.
+# This may be replaced when dependencies are built.

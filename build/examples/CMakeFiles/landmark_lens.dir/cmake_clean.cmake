@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/landmark_lens.dir/landmark_lens.cc.o"
+  "CMakeFiles/landmark_lens.dir/landmark_lens.cc.o.d"
+  "landmark_lens"
+  "landmark_lens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/landmark_lens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_test.dir/load_test.cc.o"
+  "CMakeFiles/load_test.dir/load_test.cc.o.d"
+  "load_test"
+  "load_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

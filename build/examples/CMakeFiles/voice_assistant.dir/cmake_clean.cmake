@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voice_assistant.dir/voice_assistant.cc.o"
+  "CMakeFiles/voice_assistant.dir/voice_assistant.cc.o.d"
+  "voice_assistant"
+  "voice_assistant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voice_assistant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/fpga_sim.cc" "src/accel/CMakeFiles/sirius-accel.dir/fpga_sim.cc.o" "gcc" "src/accel/CMakeFiles/sirius-accel.dir/fpga_sim.cc.o.d"
+  "/root/repo/src/accel/latency.cc" "src/accel/CMakeFiles/sirius-accel.dir/latency.cc.o" "gcc" "src/accel/CMakeFiles/sirius-accel.dir/latency.cc.o.d"
+  "/root/repo/src/accel/model.cc" "src/accel/CMakeFiles/sirius-accel.dir/model.cc.o" "gcc" "src/accel/CMakeFiles/sirius-accel.dir/model.cc.o.d"
+  "/root/repo/src/accel/platform.cc" "src/accel/CMakeFiles/sirius-accel.dir/platform.cc.o" "gcc" "src/accel/CMakeFiles/sirius-accel.dir/platform.cc.o.d"
+  "/root/repo/src/accel/uarch.cc" "src/accel/CMakeFiles/sirius-accel.dir/uarch.cc.o" "gcc" "src/accel/CMakeFiles/sirius-accel.dir/uarch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sirius-common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

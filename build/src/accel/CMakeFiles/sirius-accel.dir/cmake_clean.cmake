@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius-accel.dir/fpga_sim.cc.o"
+  "CMakeFiles/sirius-accel.dir/fpga_sim.cc.o.d"
+  "CMakeFiles/sirius-accel.dir/latency.cc.o"
+  "CMakeFiles/sirius-accel.dir/latency.cc.o.d"
+  "CMakeFiles/sirius-accel.dir/model.cc.o"
+  "CMakeFiles/sirius-accel.dir/model.cc.o.d"
+  "CMakeFiles/sirius-accel.dir/platform.cc.o"
+  "CMakeFiles/sirius-accel.dir/platform.cc.o.d"
+  "CMakeFiles/sirius-accel.dir/uarch.cc.o"
+  "CMakeFiles/sirius-accel.dir/uarch.cc.o.d"
+  "libsirius-accel.a"
+  "libsirius-accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius-accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/audio/codec.cc" "src/audio/CMakeFiles/sirius-audio.dir/codec.cc.o" "gcc" "src/audio/CMakeFiles/sirius-audio.dir/codec.cc.o.d"
+  "/root/repo/src/audio/delta.cc" "src/audio/CMakeFiles/sirius-audio.dir/delta.cc.o" "gcc" "src/audio/CMakeFiles/sirius-audio.dir/delta.cc.o.d"
+  "/root/repo/src/audio/mfcc.cc" "src/audio/CMakeFiles/sirius-audio.dir/mfcc.cc.o" "gcc" "src/audio/CMakeFiles/sirius-audio.dir/mfcc.cc.o.d"
+  "/root/repo/src/audio/phoneme.cc" "src/audio/CMakeFiles/sirius-audio.dir/phoneme.cc.o" "gcc" "src/audio/CMakeFiles/sirius-audio.dir/phoneme.cc.o.d"
+  "/root/repo/src/audio/synthesizer.cc" "src/audio/CMakeFiles/sirius-audio.dir/synthesizer.cc.o" "gcc" "src/audio/CMakeFiles/sirius-audio.dir/synthesizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sirius-common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius-audio.dir/codec.cc.o"
+  "CMakeFiles/sirius-audio.dir/codec.cc.o.d"
+  "CMakeFiles/sirius-audio.dir/delta.cc.o"
+  "CMakeFiles/sirius-audio.dir/delta.cc.o.d"
+  "CMakeFiles/sirius-audio.dir/mfcc.cc.o"
+  "CMakeFiles/sirius-audio.dir/mfcc.cc.o.d"
+  "CMakeFiles/sirius-audio.dir/phoneme.cc.o"
+  "CMakeFiles/sirius-audio.dir/phoneme.cc.o.d"
+  "CMakeFiles/sirius-audio.dir/synthesizer.cc.o"
+  "CMakeFiles/sirius-audio.dir/synthesizer.cc.o.d"
+  "libsirius-audio.a"
+  "libsirius-audio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius-audio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/fft.cc" "src/common/CMakeFiles/sirius-common.dir/fft.cc.o" "gcc" "src/common/CMakeFiles/sirius-common.dir/fft.cc.o.d"
+  "/root/repo/src/common/matrix.cc" "src/common/CMakeFiles/sirius-common.dir/matrix.cc.o" "gcc" "src/common/CMakeFiles/sirius-common.dir/matrix.cc.o.d"
+  "/root/repo/src/common/profiler.cc" "src/common/CMakeFiles/sirius-common.dir/profiler.cc.o" "gcc" "src/common/CMakeFiles/sirius-common.dir/profiler.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/common/CMakeFiles/sirius-common.dir/stats.cc.o" "gcc" "src/common/CMakeFiles/sirius-common.dir/stats.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/common/CMakeFiles/sirius-common.dir/strings.cc.o" "gcc" "src/common/CMakeFiles/sirius-common.dir/strings.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/common/CMakeFiles/sirius-common.dir/thread_pool.cc.o" "gcc" "src/common/CMakeFiles/sirius-common.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

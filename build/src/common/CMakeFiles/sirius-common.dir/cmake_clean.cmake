@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius-common.dir/fft.cc.o"
+  "CMakeFiles/sirius-common.dir/fft.cc.o.d"
+  "CMakeFiles/sirius-common.dir/matrix.cc.o"
+  "CMakeFiles/sirius-common.dir/matrix.cc.o.d"
+  "CMakeFiles/sirius-common.dir/profiler.cc.o"
+  "CMakeFiles/sirius-common.dir/profiler.cc.o.d"
+  "CMakeFiles/sirius-common.dir/stats.cc.o"
+  "CMakeFiles/sirius-common.dir/stats.cc.o.d"
+  "CMakeFiles/sirius-common.dir/strings.cc.o"
+  "CMakeFiles/sirius-common.dir/strings.cc.o.d"
+  "CMakeFiles/sirius-common.dir/thread_pool.cc.o"
+  "CMakeFiles/sirius-common.dir/thread_pool.cc.o.d"
+  "libsirius-common.a"
+  "libsirius-common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius-common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/intent.cc" "src/core/CMakeFiles/sirius-core.dir/intent.cc.o" "gcc" "src/core/CMakeFiles/sirius-core.dir/intent.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/sirius-core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/sirius-core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/query_classifier.cc" "src/core/CMakeFiles/sirius-core.dir/query_classifier.cc.o" "gcc" "src/core/CMakeFiles/sirius-core.dir/query_classifier.cc.o.d"
+  "/root/repo/src/core/query_set.cc" "src/core/CMakeFiles/sirius-core.dir/query_set.cc.o" "gcc" "src/core/CMakeFiles/sirius-core.dir/query_set.cc.o.d"
+  "/root/repo/src/core/server.cc" "src/core/CMakeFiles/sirius-core.dir/server.cc.o" "gcc" "src/core/CMakeFiles/sirius-core.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sirius-common.dir/DependInfo.cmake"
+  "/root/repo/build/src/audio/CMakeFiles/sirius-audio.dir/DependInfo.cmake"
+  "/root/repo/build/src/speech/CMakeFiles/sirius-speech.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/sirius-vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/sirius-search.dir/DependInfo.cmake"
+  "/root/repo/build/src/qa/CMakeFiles/sirius-qa.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/sirius-nlp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

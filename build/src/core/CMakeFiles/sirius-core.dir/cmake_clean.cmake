@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius-core.dir/intent.cc.o"
+  "CMakeFiles/sirius-core.dir/intent.cc.o.d"
+  "CMakeFiles/sirius-core.dir/pipeline.cc.o"
+  "CMakeFiles/sirius-core.dir/pipeline.cc.o.d"
+  "CMakeFiles/sirius-core.dir/query_classifier.cc.o"
+  "CMakeFiles/sirius-core.dir/query_classifier.cc.o.d"
+  "CMakeFiles/sirius-core.dir/query_set.cc.o"
+  "CMakeFiles/sirius-core.dir/query_set.cc.o.d"
+  "CMakeFiles/sirius-core.dir/server.cc.o"
+  "CMakeFiles/sirius-core.dir/server.cc.o.d"
+  "libsirius-core.a"
+  "libsirius-core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius-core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

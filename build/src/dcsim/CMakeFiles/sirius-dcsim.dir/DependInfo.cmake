@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dcsim/designer.cc" "src/dcsim/CMakeFiles/sirius-dcsim.dir/designer.cc.o" "gcc" "src/dcsim/CMakeFiles/sirius-dcsim.dir/designer.cc.o.d"
+  "/root/repo/src/dcsim/queueing.cc" "src/dcsim/CMakeFiles/sirius-dcsim.dir/queueing.cc.o" "gcc" "src/dcsim/CMakeFiles/sirius-dcsim.dir/queueing.cc.o.d"
+  "/root/repo/src/dcsim/scalability.cc" "src/dcsim/CMakeFiles/sirius-dcsim.dir/scalability.cc.o" "gcc" "src/dcsim/CMakeFiles/sirius-dcsim.dir/scalability.cc.o.d"
+  "/root/repo/src/dcsim/simulation.cc" "src/dcsim/CMakeFiles/sirius-dcsim.dir/simulation.cc.o" "gcc" "src/dcsim/CMakeFiles/sirius-dcsim.dir/simulation.cc.o.d"
+  "/root/repo/src/dcsim/tco.cc" "src/dcsim/CMakeFiles/sirius-dcsim.dir/tco.cc.o" "gcc" "src/dcsim/CMakeFiles/sirius-dcsim.dir/tco.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sirius-common.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/sirius-accel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius-dcsim.dir/designer.cc.o"
+  "CMakeFiles/sirius-dcsim.dir/designer.cc.o.d"
+  "CMakeFiles/sirius-dcsim.dir/queueing.cc.o"
+  "CMakeFiles/sirius-dcsim.dir/queueing.cc.o.d"
+  "CMakeFiles/sirius-dcsim.dir/scalability.cc.o"
+  "CMakeFiles/sirius-dcsim.dir/scalability.cc.o.d"
+  "CMakeFiles/sirius-dcsim.dir/simulation.cc.o"
+  "CMakeFiles/sirius-dcsim.dir/simulation.cc.o.d"
+  "CMakeFiles/sirius-dcsim.dir/tco.cc.o"
+  "CMakeFiles/sirius-dcsim.dir/tco.cc.o.d"
+  "libsirius-dcsim.a"
+  "libsirius-dcsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius-dcsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

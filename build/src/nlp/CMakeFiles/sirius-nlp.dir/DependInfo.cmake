@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nlp/crf.cc" "src/nlp/CMakeFiles/sirius-nlp.dir/crf.cc.o" "gcc" "src/nlp/CMakeFiles/sirius-nlp.dir/crf.cc.o.d"
+  "/root/repo/src/nlp/porter_stemmer.cc" "src/nlp/CMakeFiles/sirius-nlp.dir/porter_stemmer.cc.o" "gcc" "src/nlp/CMakeFiles/sirius-nlp.dir/porter_stemmer.cc.o.d"
+  "/root/repo/src/nlp/pos_corpus.cc" "src/nlp/CMakeFiles/sirius-nlp.dir/pos_corpus.cc.o" "gcc" "src/nlp/CMakeFiles/sirius-nlp.dir/pos_corpus.cc.o.d"
+  "/root/repo/src/nlp/regex.cc" "src/nlp/CMakeFiles/sirius-nlp.dir/regex.cc.o" "gcc" "src/nlp/CMakeFiles/sirius-nlp.dir/regex.cc.o.d"
+  "/root/repo/src/nlp/tokenizer.cc" "src/nlp/CMakeFiles/sirius-nlp.dir/tokenizer.cc.o" "gcc" "src/nlp/CMakeFiles/sirius-nlp.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sirius-common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius-nlp.dir/crf.cc.o"
+  "CMakeFiles/sirius-nlp.dir/crf.cc.o.d"
+  "CMakeFiles/sirius-nlp.dir/porter_stemmer.cc.o"
+  "CMakeFiles/sirius-nlp.dir/porter_stemmer.cc.o.d"
+  "CMakeFiles/sirius-nlp.dir/pos_corpus.cc.o"
+  "CMakeFiles/sirius-nlp.dir/pos_corpus.cc.o.d"
+  "CMakeFiles/sirius-nlp.dir/regex.cc.o"
+  "CMakeFiles/sirius-nlp.dir/regex.cc.o.d"
+  "CMakeFiles/sirius-nlp.dir/tokenizer.cc.o"
+  "CMakeFiles/sirius-nlp.dir/tokenizer.cc.o.d"
+  "libsirius-nlp.a"
+  "libsirius-nlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius-nlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

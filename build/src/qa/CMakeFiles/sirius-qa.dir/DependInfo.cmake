@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qa/answer.cc" "src/qa/CMakeFiles/sirius-qa.dir/answer.cc.o" "gcc" "src/qa/CMakeFiles/sirius-qa.dir/answer.cc.o.d"
+  "/root/repo/src/qa/filters.cc" "src/qa/CMakeFiles/sirius-qa.dir/filters.cc.o" "gcc" "src/qa/CMakeFiles/sirius-qa.dir/filters.cc.o.d"
+  "/root/repo/src/qa/qa_service.cc" "src/qa/CMakeFiles/sirius-qa.dir/qa_service.cc.o" "gcc" "src/qa/CMakeFiles/sirius-qa.dir/qa_service.cc.o.d"
+  "/root/repo/src/qa/question.cc" "src/qa/CMakeFiles/sirius-qa.dir/question.cc.o" "gcc" "src/qa/CMakeFiles/sirius-qa.dir/question.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sirius-common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/sirius-nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/sirius-search.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius-qa.dir/answer.cc.o"
+  "CMakeFiles/sirius-qa.dir/answer.cc.o.d"
+  "CMakeFiles/sirius-qa.dir/filters.cc.o"
+  "CMakeFiles/sirius-qa.dir/filters.cc.o.d"
+  "CMakeFiles/sirius-qa.dir/qa_service.cc.o"
+  "CMakeFiles/sirius-qa.dir/qa_service.cc.o.d"
+  "CMakeFiles/sirius-qa.dir/question.cc.o"
+  "CMakeFiles/sirius-qa.dir/question.cc.o.d"
+  "libsirius-qa.a"
+  "libsirius-qa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius-qa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

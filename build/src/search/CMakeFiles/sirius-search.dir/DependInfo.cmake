@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/corpus.cc" "src/search/CMakeFiles/sirius-search.dir/corpus.cc.o" "gcc" "src/search/CMakeFiles/sirius-search.dir/corpus.cc.o.d"
+  "/root/repo/src/search/inverted_index.cc" "src/search/CMakeFiles/sirius-search.dir/inverted_index.cc.o" "gcc" "src/search/CMakeFiles/sirius-search.dir/inverted_index.cc.o.d"
+  "/root/repo/src/search/web_search.cc" "src/search/CMakeFiles/sirius-search.dir/web_search.cc.o" "gcc" "src/search/CMakeFiles/sirius-search.dir/web_search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sirius-common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/sirius-nlp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius-search.dir/corpus.cc.o"
+  "CMakeFiles/sirius-search.dir/corpus.cc.o.d"
+  "CMakeFiles/sirius-search.dir/inverted_index.cc.o"
+  "CMakeFiles/sirius-search.dir/inverted_index.cc.o.d"
+  "CMakeFiles/sirius-search.dir/web_search.cc.o"
+  "CMakeFiles/sirius-search.dir/web_search.cc.o.d"
+  "libsirius-search.a"
+  "libsirius-search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius-search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/speech/asr_service.cc" "src/speech/CMakeFiles/sirius-speech.dir/asr_service.cc.o" "gcc" "src/speech/CMakeFiles/sirius-speech.dir/asr_service.cc.o.d"
+  "/root/repo/src/speech/decoder.cc" "src/speech/CMakeFiles/sirius-speech.dir/decoder.cc.o" "gcc" "src/speech/CMakeFiles/sirius-speech.dir/decoder.cc.o.d"
+  "/root/repo/src/speech/dnn.cc" "src/speech/CMakeFiles/sirius-speech.dir/dnn.cc.o" "gcc" "src/speech/CMakeFiles/sirius-speech.dir/dnn.cc.o.d"
+  "/root/repo/src/speech/gmm.cc" "src/speech/CMakeFiles/sirius-speech.dir/gmm.cc.o" "gcc" "src/speech/CMakeFiles/sirius-speech.dir/gmm.cc.o.d"
+  "/root/repo/src/speech/language_model.cc" "src/speech/CMakeFiles/sirius-speech.dir/language_model.cc.o" "gcc" "src/speech/CMakeFiles/sirius-speech.dir/language_model.cc.o.d"
+  "/root/repo/src/speech/trigram_lm.cc" "src/speech/CMakeFiles/sirius-speech.dir/trigram_lm.cc.o" "gcc" "src/speech/CMakeFiles/sirius-speech.dir/trigram_lm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sirius-common.dir/DependInfo.cmake"
+  "/root/repo/build/src/audio/CMakeFiles/sirius-audio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius-speech.dir/asr_service.cc.o"
+  "CMakeFiles/sirius-speech.dir/asr_service.cc.o.d"
+  "CMakeFiles/sirius-speech.dir/decoder.cc.o"
+  "CMakeFiles/sirius-speech.dir/decoder.cc.o.d"
+  "CMakeFiles/sirius-speech.dir/dnn.cc.o"
+  "CMakeFiles/sirius-speech.dir/dnn.cc.o.d"
+  "CMakeFiles/sirius-speech.dir/gmm.cc.o"
+  "CMakeFiles/sirius-speech.dir/gmm.cc.o.d"
+  "CMakeFiles/sirius-speech.dir/language_model.cc.o"
+  "CMakeFiles/sirius-speech.dir/language_model.cc.o.d"
+  "CMakeFiles/sirius-speech.dir/trigram_lm.cc.o"
+  "CMakeFiles/sirius-speech.dir/trigram_lm.cc.o.d"
+  "libsirius-speech.a"
+  "libsirius-speech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius-speech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/suite/crf_kernel.cc" "src/suite/CMakeFiles/sirius-suite.dir/crf_kernel.cc.o" "gcc" "src/suite/CMakeFiles/sirius-suite.dir/crf_kernel.cc.o.d"
+  "/root/repo/src/suite/dnn_kernel.cc" "src/suite/CMakeFiles/sirius-suite.dir/dnn_kernel.cc.o" "gcc" "src/suite/CMakeFiles/sirius-suite.dir/dnn_kernel.cc.o.d"
+  "/root/repo/src/suite/fd_kernel.cc" "src/suite/CMakeFiles/sirius-suite.dir/fd_kernel.cc.o" "gcc" "src/suite/CMakeFiles/sirius-suite.dir/fd_kernel.cc.o.d"
+  "/root/repo/src/suite/fe_kernel.cc" "src/suite/CMakeFiles/sirius-suite.dir/fe_kernel.cc.o" "gcc" "src/suite/CMakeFiles/sirius-suite.dir/fe_kernel.cc.o.d"
+  "/root/repo/src/suite/gmm_kernel.cc" "src/suite/CMakeFiles/sirius-suite.dir/gmm_kernel.cc.o" "gcc" "src/suite/CMakeFiles/sirius-suite.dir/gmm_kernel.cc.o.d"
+  "/root/repo/src/suite/regex_kernel.cc" "src/suite/CMakeFiles/sirius-suite.dir/regex_kernel.cc.o" "gcc" "src/suite/CMakeFiles/sirius-suite.dir/regex_kernel.cc.o.d"
+  "/root/repo/src/suite/stemmer_kernel.cc" "src/suite/CMakeFiles/sirius-suite.dir/stemmer_kernel.cc.o" "gcc" "src/suite/CMakeFiles/sirius-suite.dir/stemmer_kernel.cc.o.d"
+  "/root/repo/src/suite/suite.cc" "src/suite/CMakeFiles/sirius-suite.dir/suite.cc.o" "gcc" "src/suite/CMakeFiles/sirius-suite.dir/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sirius-common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/sirius-nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/speech/CMakeFiles/sirius-speech.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/sirius-vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/audio/CMakeFiles/sirius-audio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius-suite.dir/crf_kernel.cc.o"
+  "CMakeFiles/sirius-suite.dir/crf_kernel.cc.o.d"
+  "CMakeFiles/sirius-suite.dir/dnn_kernel.cc.o"
+  "CMakeFiles/sirius-suite.dir/dnn_kernel.cc.o.d"
+  "CMakeFiles/sirius-suite.dir/fd_kernel.cc.o"
+  "CMakeFiles/sirius-suite.dir/fd_kernel.cc.o.d"
+  "CMakeFiles/sirius-suite.dir/fe_kernel.cc.o"
+  "CMakeFiles/sirius-suite.dir/fe_kernel.cc.o.d"
+  "CMakeFiles/sirius-suite.dir/gmm_kernel.cc.o"
+  "CMakeFiles/sirius-suite.dir/gmm_kernel.cc.o.d"
+  "CMakeFiles/sirius-suite.dir/regex_kernel.cc.o"
+  "CMakeFiles/sirius-suite.dir/regex_kernel.cc.o.d"
+  "CMakeFiles/sirius-suite.dir/stemmer_kernel.cc.o"
+  "CMakeFiles/sirius-suite.dir/stemmer_kernel.cc.o.d"
+  "CMakeFiles/sirius-suite.dir/suite.cc.o"
+  "CMakeFiles/sirius-suite.dir/suite.cc.o.d"
+  "libsirius-suite.a"
+  "libsirius-suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius-suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

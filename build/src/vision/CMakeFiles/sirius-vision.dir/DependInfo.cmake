@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vision/image.cc" "src/vision/CMakeFiles/sirius-vision.dir/image.cc.o" "gcc" "src/vision/CMakeFiles/sirius-vision.dir/image.cc.o.d"
+  "/root/repo/src/vision/imm_service.cc" "src/vision/CMakeFiles/sirius-vision.dir/imm_service.cc.o" "gcc" "src/vision/CMakeFiles/sirius-vision.dir/imm_service.cc.o.d"
+  "/root/repo/src/vision/integral_image.cc" "src/vision/CMakeFiles/sirius-vision.dir/integral_image.cc.o" "gcc" "src/vision/CMakeFiles/sirius-vision.dir/integral_image.cc.o.d"
+  "/root/repo/src/vision/landmarks.cc" "src/vision/CMakeFiles/sirius-vision.dir/landmarks.cc.o" "gcc" "src/vision/CMakeFiles/sirius-vision.dir/landmarks.cc.o.d"
+  "/root/repo/src/vision/matcher.cc" "src/vision/CMakeFiles/sirius-vision.dir/matcher.cc.o" "gcc" "src/vision/CMakeFiles/sirius-vision.dir/matcher.cc.o.d"
+  "/root/repo/src/vision/surf.cc" "src/vision/CMakeFiles/sirius-vision.dir/surf.cc.o" "gcc" "src/vision/CMakeFiles/sirius-vision.dir/surf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sirius-common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

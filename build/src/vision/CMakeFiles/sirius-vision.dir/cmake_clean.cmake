@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sirius-vision.dir/image.cc.o"
+  "CMakeFiles/sirius-vision.dir/image.cc.o.d"
+  "CMakeFiles/sirius-vision.dir/imm_service.cc.o"
+  "CMakeFiles/sirius-vision.dir/imm_service.cc.o.d"
+  "CMakeFiles/sirius-vision.dir/integral_image.cc.o"
+  "CMakeFiles/sirius-vision.dir/integral_image.cc.o.d"
+  "CMakeFiles/sirius-vision.dir/landmarks.cc.o"
+  "CMakeFiles/sirius-vision.dir/landmarks.cc.o.d"
+  "CMakeFiles/sirius-vision.dir/matcher.cc.o"
+  "CMakeFiles/sirius-vision.dir/matcher.cc.o.d"
+  "CMakeFiles/sirius-vision.dir/surf.cc.o"
+  "CMakeFiles/sirius-vision.dir/surf.cc.o.d"
+  "libsirius-vision.a"
+  "libsirius-vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sirius-vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/test_core.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/test_core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sirius-core.dir/DependInfo.cmake"
+  "/root/repo/build/src/speech/CMakeFiles/sirius-speech.dir/DependInfo.cmake"
+  "/root/repo/build/src/audio/CMakeFiles/sirius-audio.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/sirius-vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/qa/CMakeFiles/sirius-qa.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/sirius-search.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/sirius-nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sirius-common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dcsim.dir/test_dcsim.cc.o"
+  "CMakeFiles/test_dcsim.dir/test_dcsim.cc.o.d"
+  "test_dcsim"
+  "test_dcsim.pdb"
+  "test_dcsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dcsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

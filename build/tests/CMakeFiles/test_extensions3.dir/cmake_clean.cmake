@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extensions3.dir/test_extensions3.cc.o"
+  "CMakeFiles/test_extensions3.dir/test_extensions3.cc.o.d"
+  "test_extensions3"
+  "test_extensions3.pdb"
+  "test_extensions3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extensions3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nlp.dir/test_nlp.cc.o"
+  "CMakeFiles/test_nlp.dir/test_nlp.cc.o.d"
+  "test_nlp"
+  "test_nlp.pdb"
+  "test_nlp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

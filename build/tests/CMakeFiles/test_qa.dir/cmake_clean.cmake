@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qa.dir/test_qa.cc.o"
+  "CMakeFiles/test_qa.dir/test_qa.cc.o.d"
+  "test_qa"
+  "test_qa.pdb"
+  "test_qa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
