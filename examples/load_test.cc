@@ -1,39 +1,39 @@
 /**
  * @file
  * Leaf-server load test: the Section-3 characterization from the
- * operator's seat. Builds one Sirius leaf node, measures its real
- * per-query service times over the 42-query input set, then sweeps
- * offered load and reports latency inflation — the lived experience of
- * the queueing model behind Figure 17.
+ * operator's seat. Builds one Sirius leaf node, measures its capacity,
+ * then sweeps offered load and reports latency inflation — the lived
+ * experience of the queueing model behind Figure 17.
  *
- * Usage: ./build/examples/load_test [max-load-fraction]
+ * Two modes:
+ *   replay (default) — service times measured once, queue evolution by a
+ *       virtual-time Lindley recursion (fast, deterministic);
+ *   real — a core::ConcurrentServer executes every request on worker
+ *       threads while the open-loop generator submits Poisson arrivals
+ *       in real time (slow, but actually concurrent).
+ *
+ * Usage: ./build/examples/load_test [options] [max-load-fraction]
+ *   --real          drive real pipeline executions (default: replay)
+ *   --workers N     worker threads in --real mode        (default 4)
+ *   --queue N       request-queue capacity in --real mode (default 64)
+ *   --requests N    requests per load level in --real mode (default 150)
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
+#include "core/concurrent_server.h"
 #include "core/server.h"
 
 using namespace sirius;
 using namespace sirius::core;
 
-int
-main(int argc, char **argv)
+namespace {
+
+void
+replaySweep(SiriusServer &server, double capacity, double max_load)
 {
-    const double max_load = argc > 1 ? std::atof(argv[1]) : 0.9;
-
-    std::printf("training the pipeline and starting a leaf server...\n");
-    const SiriusPipeline pipeline = SiriusPipeline::build();
-    SiriusServer server(pipeline);
-
-    // Warm measurement pass so the capacity estimate is grounded.
-    for (const auto &query : standardQuerySet())
-        server.handle(query);
-    const double capacity = server.serviceRate();
-    std::printf("measured capacity: %.1f queries/s (mean service %.2f "
-                "ms)\n\n", capacity,
-                1e3 / capacity);
-
     std::printf("%-12s %12s %14s %14s %14s\n", "load", "offered qps",
                 "mean latency", "p95 latency", "p99 latency");
     for (double rho = 0.1; rho <= max_load + 1e-9; rho += 0.2) {
@@ -44,6 +44,95 @@ main(int argc, char **argv)
                     result.sojournSeconds.percentile(95) * 1e3,
                     result.sojournSeconds.percentile(99) * 1e3);
     }
+}
+
+void
+realSweep(const SiriusPipeline &pipeline, double capacity,
+          double max_load, const ConcurrentServerConfig &config,
+          size_t requests)
+{
+    std::printf("real executions: %zu workers, queue capacity %zu, %zu "
+                "requests per level\n", config.workers,
+                config.queueCapacity, requests);
+    std::printf("%-12s %12s %14s %14s %14s %8s\n", "load", "offered qps",
+                "mean sojourn", "p95 sojourn", "p99 sojourn", "shed");
+    for (double rho = 0.1; rho <= max_load + 1e-9; rho += 0.2) {
+        // Load is per worker: rho * capacity saturates one worker.
+        const double lambda =
+            rho * capacity * static_cast<double>(config.workers);
+        ConcurrentServer server(pipeline, config);
+        const auto result = runOpenLoop(server, lambda, requests);
+        const auto stats = server.snapshot();
+        std::printf("%-12.1f %12.1f %12.2fms %12.2fms %12.2fms %8llu\n",
+                    rho, result.offeredQps,
+                    result.sojournSeconds.mean() * 1e3,
+                    result.sojournSeconds.percentile(95) * 1e3,
+                    result.sojournSeconds.percentile(99) * 1e3,
+                    static_cast<unsigned long long>(stats.rejected));
+    }
+
+    // One closed-loop run for contrast: per-session latency when every
+    // user waits for their answer before asking again.
+    ConcurrentServer server(pipeline, config);
+    const auto closed =
+        runClosedLoop(server, config.workers, requests / config.workers);
+    std::printf("\nclosed loop (%zu blocking clients): %.1f qps served, "
+                "mean latency %.2f ms\n", config.workers,
+                closed.achievedQps, closed.sojournSeconds.mean() * 1e3);
+
+    const auto stats = server.snapshot();
+    std::printf("per-stage p50/p95/p99 (ms): asr %.1f/%.1f/%.1f   "
+                "qa %.1f/%.1f/%.1f   imm %.1f/%.1f/%.1f\n",
+                stats.server.asrSeconds.p50() * 1e3,
+                stats.server.asrSeconds.p95() * 1e3,
+                stats.server.asrSeconds.p99() * 1e3,
+                stats.server.qaSeconds.p50() * 1e3,
+                stats.server.qaSeconds.p95() * 1e3,
+                stats.server.qaSeconds.p99() * 1e3,
+                stats.server.immSeconds.p50() * 1e3,
+                stats.server.immSeconds.p95() * 1e3,
+                stats.server.immSeconds.p99() * 1e3);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool real = false;
+    ConcurrentServerConfig config;
+    size_t requests = 150;
+    double max_load = 0.9;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--real") == 0)
+            real = true;
+        else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc)
+            config.workers = static_cast<size_t>(std::atoi(argv[++i]));
+        else if (std::strcmp(argv[i], "--queue") == 0 && i + 1 < argc)
+            config.queueCapacity =
+                static_cast<size_t>(std::atoi(argv[++i]));
+        else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc)
+            requests = static_cast<size_t>(std::atoi(argv[++i]));
+        else
+            max_load = std::atof(argv[i]);
+    }
+
+    std::printf("training the pipeline and starting a leaf server...\n");
+    const SiriusPipeline pipeline = SiriusPipeline::build();
+    SiriusServer server(pipeline);
+
+    // Warm measurement pass so the capacity estimate is grounded.
+    for (const auto &query : standardQuerySet())
+        server.handle(query);
+    const double capacity = server.serviceRate();
+    std::printf("measured capacity: %.1f queries/s per worker (mean "
+                "service %.2f ms)\n\n", capacity, 1e3 / capacity);
+
+    if (real)
+        realSweep(pipeline, capacity, max_load, config, requests);
+    else
+        replaySweep(server, capacity, max_load);
+
     std::printf("\nlatency blows up as load approaches capacity — the "
                 "headroom acceleration buys (Figure 17) is exactly this "
                 "curve pushed right by 10-100x\n");

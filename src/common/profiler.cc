@@ -9,12 +9,21 @@ namespace sirius {
 void
 Profiler::addSeconds(const std::string &name, double seconds)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     seconds_[name] += seconds;
+}
+
+std::map<std::string, double>
+Profiler::snapshotTable() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return seconds_;
 }
 
 double
 Profiler::seconds(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = seconds_.find(name);
     return it == seconds_.end() ? 0.0 : it->second;
 }
@@ -23,7 +32,7 @@ double
 Profiler::totalSeconds() const
 {
     double total = 0.0;
-    for (const auto &[name, secs] : seconds_)
+    for (const auto &[name, secs] : snapshotTable())
         total += secs;
     return total;
 }
@@ -31,22 +40,43 @@ Profiler::totalSeconds() const
 double
 Profiler::fraction(const std::string &name) const
 {
-    const double total = totalSeconds();
+    const auto table = snapshotTable();
+    double total = 0.0;
+    for (const auto &[key, secs] : table)
+        total += secs;
     if (total <= 0.0)
         return 0.0;
-    return seconds(name) / total;
+    auto it = table.find(name);
+    return it == table.end() ? 0.0 : it->second / total;
+}
+
+void
+Profiler::merge(const Profiler &other)
+{
+    const auto table = other.snapshotTable();
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, secs] : table)
+        seconds_[name] += secs;
+}
+
+void
+Profiler::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    seconds_.clear();
 }
 
 std::vector<std::string>
 Profiler::componentsByTime() const
 {
+    const auto table = snapshotTable();
     std::vector<std::string> names;
-    names.reserve(seconds_.size());
-    for (const auto &[name, secs] : seconds_)
+    names.reserve(table.size());
+    for (const auto &[name, secs] : table)
         names.push_back(name);
     std::sort(names.begin(), names.end(),
-              [this](const std::string &a, const std::string &b) {
-                  return seconds(a) > seconds(b);
+              [&table](const std::string &a, const std::string &b) {
+                  return table.at(a) > table.at(b);
               });
     return names;
 }
@@ -54,11 +84,19 @@ Profiler::componentsByTime() const
 std::string
 Profiler::report() const
 {
+    const auto table = snapshotTable();
+    std::vector<std::pair<std::string, double>> rows(table.begin(),
+                                                     table.end());
+    std::sort(rows.begin(), rows.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second > b.second;
+              });
+    double total = 0.0;
+    for (const auto &[name, secs] : rows)
+        total += secs;
     std::ostringstream out;
-    const double total = totalSeconds();
     char line[160];
-    for (const auto &name : componentsByTime()) {
-        const double secs = seconds(name);
+    for (const auto &[name, secs] : rows) {
         const double pct = total > 0 ? secs / total * 100.0 : 0.0;
         std::snprintf(line, sizeof(line), "%-28s %12.6f s %7.2f%%\n",
                       name.c_str(), secs, pct);

@@ -12,6 +12,7 @@
 #define SIRIUS_COMMON_PROFILER_H
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -19,7 +20,13 @@
 
 namespace sirius {
 
-/** Accumulates per-component wall time under string keys. */
+/**
+ * Accumulates per-component wall time under string keys.
+ *
+ * Thread-safe: concurrent server workers attribute stage time into one
+ * shared Profiler, so every accessor takes an internal mutex. Scopes time
+ * their region without holding the lock and only lock to accumulate.
+ */
 class Profiler
 {
   public:
@@ -59,14 +66,21 @@ class Profiler
     /** All component names, sorted by descending time. */
     std::vector<std::string> componentsByTime() const;
 
+    /** Merge every component of @p other into this profiler. */
+    void merge(const Profiler &other);
+
     /** Drop all recorded data. */
-    void clear() { seconds_.clear(); }
+    void clear();
 
     /** Render a "name  seconds  percent" table. */
     std::string report() const;
 
   private:
+    mutable std::mutex mutex_;
     std::map<std::string, double> seconds_;
+
+    /** Copy the table under the lock so readers compute lock-free. */
+    std::map<std::string, double> snapshotTable() const;
 };
 
 } // namespace sirius

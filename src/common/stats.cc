@@ -133,6 +133,146 @@ Histogram::render(size_t width) const
     return out.str();
 }
 
+LatencyHistogram::LatencyHistogram(double min_value, double growth,
+                                   size_t buckets)
+    : minValue_(min_value), growth_(growth),
+      invLogGrowth_(1.0 / std::log(growth)), counts_(buckets), total_(0),
+      sum_(0.0)
+{
+    if (min_value <= 0.0 || growth <= 1.0 || buckets < 2)
+        fatal("LatencyHistogram requires min > 0, growth > 1, "
+              "buckets >= 2");
+    for (auto &c : counts_)
+        c.store(0, std::memory_order_relaxed);
+}
+
+LatencyHistogram::LatencyHistogram(const LatencyHistogram &other)
+    : minValue_(other.minValue_), growth_(other.growth_),
+      invLogGrowth_(other.invLogGrowth_), counts_(other.counts_.size()),
+      total_(other.total_.load(std::memory_order_relaxed)),
+      sum_(other.sum_.load(std::memory_order_relaxed))
+{
+    for (size_t i = 0; i < counts_.size(); ++i)
+        counts_[i].store(other.counts_[i].load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+}
+
+LatencyHistogram &
+LatencyHistogram::operator=(const LatencyHistogram &other)
+{
+    if (this == &other)
+        return *this;
+    minValue_ = other.minValue_;
+    growth_ = other.growth_;
+    invLogGrowth_ = other.invLogGrowth_;
+    std::vector<std::atomic<uint64_t>> fresh(other.counts_.size());
+    for (size_t i = 0; i < fresh.size(); ++i)
+        fresh[i].store(other.counts_[i].load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    counts_ = std::move(fresh);
+    total_.store(other.total_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    sum_.store(other.sum_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    return *this;
+}
+
+size_t
+LatencyHistogram::bucketIndex(double value) const
+{
+    if (!(value > minValue_))
+        return 0;
+    const auto idx = static_cast<int64_t>(
+        std::floor(std::log(value / minValue_) * invLogGrowth_));
+    return static_cast<size_t>(std::clamp<int64_t>(
+        idx, 0, static_cast<int64_t>(counts_.size()) - 1));
+}
+
+void
+LatencyHistogram::add(double value)
+{
+    counts_[bucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    total_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+bool
+LatencyHistogram::sameLayout(const LatencyHistogram &other) const
+{
+    return minValue_ == other.minValue_ && growth_ == other.growth_ &&
+        counts_.size() == other.counts_.size();
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    if (!sameLayout(other))
+        fatal("LatencyHistogram::merge requires identical layouts");
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        counts_[i].fetch_add(
+            other.counts_[i].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+    }
+    total_.fetch_add(other.total_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+}
+
+uint64_t
+LatencyHistogram::count() const
+{
+    return total_.load(std::memory_order_relaxed);
+}
+
+double
+LatencyHistogram::sum() const
+{
+    return sum_.load(std::memory_order_relaxed);
+}
+
+double
+LatencyHistogram::mean() const
+{
+    const uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+uint64_t
+LatencyHistogram::bucketCount(size_t idx) const
+{
+    return counts_.at(idx).load(std::memory_order_relaxed);
+}
+
+double
+LatencyHistogram::bucketLow(size_t idx) const
+{
+    return idx == 0 ? 0.0 : minValue_ * std::pow(growth_,
+                                                 static_cast<double>(idx));
+}
+
+double
+LatencyHistogram::quantile(double q) const
+{
+    const uint64_t n = count();
+    if (n == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the q-th sample, 1-based; q=0 maps to the first sample.
+    const auto rank = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(n)));
+    const uint64_t target = std::max<uint64_t>(rank, 1);
+    uint64_t seen = 0;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        seen += counts_[i].load(std::memory_order_relaxed);
+        if (seen >= target)
+            return minValue_ * std::pow(growth_,
+                                        static_cast<double>(i + 1));
+    }
+    return minValue_ * std::pow(growth_,
+                                static_cast<double>(counts_.size()));
+}
+
 double
 pearsonCorrelation(const std::vector<double> &xs,
                    const std::vector<double> &ys)

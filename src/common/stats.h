@@ -9,7 +9,9 @@
 #ifndef SIRIUS_COMMON_STATS_H
 #define SIRIUS_COMMON_STATS_H
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -100,6 +102,89 @@ class Histogram
     double hi_;
     std::vector<uint64_t> counts_;
     uint64_t total_ = 0;
+};
+
+/**
+ * Log-bucketed latency histogram safe for concurrent add() from many
+ * threads: every bucket is an atomic counter, so recording a sample is a
+ * single relaxed fetch-add with no lock. Bucket edges grow geometrically
+ * (bucket i covers [min*growth^i, min*growth^(i+1))), which keeps the
+ * relative quantile error bounded by the growth factor across the whole
+ * microseconds-to-minutes range the leaf server sees.
+ *
+ * Histograms with the same layout (min, growth, bucket count) merge, so
+ * per-worker histograms can be combined into a fleet view.
+ */
+class LatencyHistogram
+{
+  public:
+    /**
+     * @param min_value inclusive upper edge of the first bucket's lower
+     *        bound; samples below it land in bucket 0
+     * @param growth per-bucket geometric growth factor (> 1)
+     * @param buckets number of buckets (>= 2); samples above the last
+     *        edge clamp into the final bucket
+     *
+     * The defaults span ~10 us to ~1.9e4 s with <= 25% relative error.
+     */
+    explicit LatencyHistogram(double min_value = 1e-5,
+                              double growth = 1.25, size_t buckets = 96);
+
+    /** Deep copies load the atomics; safe concurrently with add(). */
+    LatencyHistogram(const LatencyHistogram &other);
+    LatencyHistogram &operator=(const LatencyHistogram &other);
+
+    /** Record one sample. Thread-safe and lock-free. */
+    void add(double value);
+
+    /**
+     * Fold @p other's counts into this histogram. Both must share the
+     * same layout (min, growth, buckets); fatal otherwise.
+     */
+    void merge(const LatencyHistogram &other);
+
+    /** Total samples recorded. */
+    uint64_t count() const;
+
+    /** Sum of all recorded samples (exact, not bucket-estimated). */
+    double sum() const;
+
+    /** Mean of recorded samples; 0 when empty. */
+    double mean() const;
+
+    /**
+     * Quantile estimate: the upper edge of the bucket holding the q-th
+     * sample, so estimates are conservative and monotone in @p q.
+     * @param q quantile in [0, 1]; 0 when empty.
+     */
+    double quantile(double q) const;
+
+    /** Convenience aliases for the tail the experiments report. */
+    double p50() const { return quantile(0.50); }
+    double p95() const { return quantile(0.95); }
+    double p99() const { return quantile(0.99); }
+
+    /** Number of buckets. */
+    size_t buckets() const { return counts_.size(); }
+
+    /** Count in bucket @p idx. */
+    uint64_t bucketCount(size_t idx) const;
+
+    /** Inclusive lower edge of bucket @p idx, in the sample's unit. */
+    double bucketLow(size_t idx) const;
+
+    /** True when the layouts (min, growth, buckets) match. */
+    bool sameLayout(const LatencyHistogram &other) const;
+
+  private:
+    double minValue_;
+    double growth_;
+    double invLogGrowth_; ///< cached 1/log(growth) for bucket lookup
+    std::vector<std::atomic<uint64_t>> counts_;
+    std::atomic<uint64_t> total_;
+    std::atomic<double> sum_;
+
+    size_t bucketIndex(double value) const;
 };
 
 /**

@@ -1,0 +1,219 @@
+#include "core/concurrent_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/timer.h"
+
+namespace sirius::core {
+
+ConcurrentServer::ConcurrentServer(const SiriusPipeline &pipeline,
+                                   ConcurrentServerConfig config)
+    : pipeline_(pipeline), config_(config),
+      pool_(std::max<size_t>(config.workers, 1))
+{
+    if (config_.queueCapacity == 0)
+        fatal("ConcurrentServer requires queueCapacity >= 1");
+}
+
+ConcurrentServer::~ConcurrentServer()
+{
+    drain();
+}
+
+bool
+ConcurrentServer::submit(const Query &query, Completion done)
+{
+    // Admission control: reserve a waiting slot or shed. The CAS loop
+    // makes the bound exact under concurrent submitters.
+    size_t waiting = queued_.load(std::memory_order_relaxed);
+    do {
+        if (waiting >= config_.queueCapacity) {
+            rejected_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+    } while (!queued_.compare_exchange_weak(waiting, waiting + 1,
+                                            std::memory_order_relaxed));
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    pool_.submit([this, query, done = std::move(done)] {
+        // The request leaves the queue the moment a worker picks it up.
+        queued_.fetch_sub(1, std::memory_order_relaxed);
+        serve(query, done);
+    });
+    return true;
+}
+
+SiriusResult
+ConcurrentServer::handle(const Query &query)
+{
+    std::promise<SiriusResult> promise;
+    auto future = promise.get_future();
+    const Completion done = [&promise](const SiriusResult &result) {
+        promise.set_value(result);
+    };
+    // Closed-loop callers apply backpressure rather than shedding: retry
+    // until a queue slot frees up. Undo the rejection submit() counted,
+    // since nothing was shed from the caller's point of view.
+    while (!submit(query, done)) {
+        rejected_.fetch_sub(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    return future.get();
+}
+
+void
+ConcurrentServer::serve(const Query &query, const Completion &done)
+{
+    Stopwatch watch;
+    const SiriusResult result = pipeline_.process(query);
+    const double seconds = watch.seconds();
+
+    const double staged = result.timings.total();
+    profiler_.addSeconds("asr", result.timings.asr.total());
+    profiler_.addSeconds("qa", result.timings.qa.total());
+    profiler_.addSeconds("imm", result.timings.imm.total());
+    profiler_.addSeconds("other", std::max(0.0, seconds - staged));
+
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        stats_.record(result, seconds);
+    }
+    if (done)
+        done(result);
+}
+
+void
+ConcurrentServer::drain()
+{
+    pool_.waitIdle();
+}
+
+ConcurrentServerStats
+ConcurrentServer::snapshot() const
+{
+    ConcurrentServerStats out;
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        out.server = stats_;
+    }
+    out.accepted = accepted_.load(std::memory_order_relaxed);
+    out.rejected = rejected_.load(std::memory_order_relaxed);
+    return out;
+}
+
+double
+ConcurrentServer::serviceRate() const
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    const double mean = stats_.serviceSeconds.mean();
+    return mean > 0.0 ? 1.0 / mean : 0.0;
+}
+
+MeasuredLoadResult
+runOpenLoop(ConcurrentServer &server, double offered_qps, size_t requests,
+            uint64_t seed)
+{
+    if (offered_qps <= 0.0)
+        fatal("runOpenLoop: offered load must be positive");
+
+    using Clock = std::chrono::steady_clock;
+    const auto &queries = standardQuerySet();
+    Rng rng(seed);
+
+    MeasuredLoadResult result;
+    result.offeredQps = offered_qps;
+    result.offered = requests;
+
+    std::mutex sojourn_mutex;
+    std::vector<double> sojourns;
+    sojourns.reserve(requests);
+
+    const auto start = Clock::now();
+    double arrival = 0.0;
+    uint64_t shed = 0;
+    for (size_t i = 0; i < requests; ++i) {
+        double u = rng.uniform();
+        while (u <= 1e-300)
+            u = rng.uniform();
+        arrival += -std::log(u) / offered_qps;
+        std::this_thread::sleep_until(
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(arrival)));
+        const auto submitted = Clock::now();
+        const bool admitted = server.submit(
+            queries[i % queries.size()],
+            [&sojourn_mutex, &sojourns, submitted](const SiriusResult &) {
+                const double s = std::chrono::duration<double>(
+                                     Clock::now() - submitted)
+                                     .count();
+                std::lock_guard<std::mutex> lock(sojourn_mutex);
+                sojourns.push_back(s);
+            });
+        if (!admitted)
+            ++shed;
+    }
+    server.drain(); // every completion callback has run past this point
+
+    result.elapsedSeconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    result.rejected = shed;
+    {
+        std::lock_guard<std::mutex> lock(sojourn_mutex);
+        result.sojournSeconds.addAll(sojourns);
+        result.completed = sojourns.size();
+    }
+    result.achievedQps = result.elapsedSeconds > 0.0
+        ? static_cast<double>(result.completed) / result.elapsedSeconds
+        : 0.0;
+    return result;
+}
+
+MeasuredLoadResult
+runClosedLoop(ConcurrentServer &server, size_t clients,
+              size_t queries_per_client)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto &queries = standardQuerySet();
+
+    MeasuredLoadResult result;
+    result.offered =
+        static_cast<uint64_t>(clients) * queries_per_client;
+
+    std::mutex merge_mutex;
+    const auto start = Clock::now();
+    std::vector<std::thread> pool;
+    pool.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+        pool.emplace_back([&, c] {
+            std::vector<double> mine;
+            mine.reserve(queries_per_client);
+            for (size_t i = 0; i < queries_per_client; ++i) {
+                const auto &query =
+                    queries[(c * queries_per_client + i) % queries.size()];
+                Stopwatch watch;
+                server.handle(query);
+                mine.push_back(watch.seconds());
+            }
+            std::lock_guard<std::mutex> lock(merge_mutex);
+            result.sojournSeconds.addAll(mine);
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+
+    result.elapsedSeconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    result.completed = result.sojournSeconds.count();
+    result.achievedQps = result.elapsedSeconds > 0.0
+        ? static_cast<double>(result.completed) / result.elapsedSeconds
+        : 0.0;
+    return result;
+}
+
+} // namespace sirius::core

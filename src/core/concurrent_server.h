@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Concurrent leaf server: the Sirius pipeline behind a bounded request
+ * queue and a worker pool, with admission control, graceful drain, and
+ * race-free statistics snapshots.
+ *
+ * This is the server shape the paper's Section-3 analysis assumes: a
+ * leaf node absorbing a request stream whose latency is queueing plus
+ * service. Where core::loadTest() replays *measured* service times
+ * through a virtual-time Lindley recursion, the load generators here
+ * drive *real* pipeline executions through real threads, so the
+ * Figure-17 queueing predictions can be validated against measurement.
+ */
+
+#ifndef SIRIUS_CORE_CONCURRENT_SERVER_H
+#define SIRIUS_CORE_CONCURRENT_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "common/profiler.h"
+#include "common/thread_pool.h"
+#include "core/server.h"
+
+namespace sirius::core {
+
+/** Sizing of a ConcurrentServer. */
+struct ConcurrentServerConfig
+{
+    size_t workers = 4;        ///< pipeline executions in flight at once
+    size_t queueCapacity = 64; ///< waiting requests before shedding
+};
+
+/** Race-free snapshot of a ConcurrentServer's statistics. */
+struct ConcurrentServerStats
+{
+    ServerStats server;    ///< same shape as the sequential server's
+    uint64_t accepted = 0; ///< requests admitted to the queue
+    uint64_t rejected = 0; ///< requests shed by admission control
+};
+
+/**
+ * A leaf node executing Sirius queries on a pool of workers.
+ *
+ * Requests are admitted into a bounded queue (submit() returns false and
+ * counts a rejection when it is full — the shed-don't-collapse policy a
+ * WSC leaf needs), executed by `workers` threads in parallel, and
+ * recorded into shared statistics. drain() blocks until every admitted
+ * request has completed; destruction drains implicitly, so no accepted
+ * request is ever lost.
+ */
+class ConcurrentServer
+{
+  public:
+    /** Completion callback; runs on the worker that served the query. */
+    using Completion = std::function<void(const SiriusResult &)>;
+
+    /** @param pipeline trained pipeline; must outlive the server. */
+    explicit ConcurrentServer(const SiriusPipeline &pipeline,
+                              ConcurrentServerConfig config = {});
+
+    ConcurrentServer(const ConcurrentServer &) = delete;
+    ConcurrentServer &operator=(const ConcurrentServer &) = delete;
+
+    /** Drains outstanding requests, then stops the workers. */
+    ~ConcurrentServer();
+
+    /**
+     * Admit @p query for asynchronous execution.
+     * @param done invoked with the result on a worker thread; may be null
+     * @return false (and a counted rejection) when the queue is full
+     */
+    bool submit(const Query &query, Completion done = nullptr);
+
+    /**
+     * Closed-loop path: block until @p query has been executed by a
+     * worker and return its result. Waits for queue space instead of
+     * shedding, so it never counts rejections.
+     */
+    SiriusResult handle(const Query &query);
+
+    /** Block until every admitted request has completed. */
+    void drain();
+
+    /** Copy of the statistics, consistent under concurrent traffic. */
+    ConcurrentServerStats snapshot() const;
+
+    /**
+     * Mean service rate over completed requests, queries/s per worker
+     * (0 until something has been served). Multiply by workerCount()
+     * for the node's aggregate capacity upper bound.
+     */
+    double serviceRate() const;
+
+    /** Per-stage wall-time attribution across all workers. */
+    const Profiler &profiler() const { return profiler_; }
+
+    size_t workerCount() const { return pool_.workerCount(); }
+    size_t queueCapacity() const { return config_.queueCapacity; }
+
+  private:
+    void serve(const Query &query, const Completion &done);
+
+    const SiriusPipeline &pipeline_;
+    ConcurrentServerConfig config_;
+
+    std::atomic<size_t> queued_{0};      ///< admitted, not yet executing
+    std::atomic<uint64_t> accepted_{0};
+    std::atomic<uint64_t> rejected_{0};
+
+    mutable std::mutex statsMutex_; ///< guards stats_ scalars + samples
+    ServerStats stats_;
+    Profiler profiler_;
+
+    ThreadPool pool_; ///< last member: workers stop before state dies
+};
+
+/** Result of a load-generation run against a ConcurrentServer. */
+struct MeasuredLoadResult
+{
+    double offeredQps = 0.0;    ///< open loop: target arrival rate
+    uint64_t offered = 0;       ///< requests generated
+    uint64_t completed = 0;     ///< requests served to completion
+    uint64_t rejected = 0;      ///< requests shed at admission
+    double elapsedSeconds = 0.0;
+    double achievedQps = 0.0;   ///< completed / elapsed
+    SampleStats sojournSeconds; ///< submit-to-completion per request
+};
+
+/**
+ * Open-loop load generator: Poisson arrivals at @p offered_qps in real
+ * time, each arrival submitted to the server regardless of how many are
+ * outstanding (the WSC traffic model behind Figure 17). Queries cycle
+ * round robin through the standard query set. Sojourn time spans
+ * submission to completion, i.e. queueing plus service — directly
+ * comparable to dcsim::mm1Latency at the same load.
+ */
+MeasuredLoadResult runOpenLoop(ConcurrentServer &server,
+                               double offered_qps, size_t requests,
+                               uint64_t seed = 31337);
+
+/**
+ * Closed-loop load generator: @p clients threads each issue
+ * @p queries_per_client standard-set queries back to back, waiting for
+ * every response before sending the next (think: one blocking session
+ * per user). Sojourn equals service plus any queue wait behind other
+ * clients; offeredQps is 0 because a closed loop has no fixed rate.
+ */
+MeasuredLoadResult runClosedLoop(ConcurrentServer &server, size_t clients,
+                                 size_t queries_per_client);
+
+} // namespace sirius::core
+
+#endif // SIRIUS_CORE_CONCURRENT_SERVER_H

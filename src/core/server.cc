@@ -9,6 +9,34 @@
 
 namespace sirius::core {
 
+void
+ServerStats::record(const SiriusResult &result, double service_seconds)
+{
+    serviceSeconds.add(service_seconds);
+    serviceHistogram.add(service_seconds);
+    asrSeconds.add(result.timings.asr.total());
+    qaSeconds.add(result.timings.qa.total());
+    immSeconds.add(result.timings.imm.total());
+    ++served;
+    if (result.queryClass == QueryClass::Action)
+        ++actions;
+    else
+        ++answers;
+}
+
+void
+ServerStats::merge(const ServerStats &other)
+{
+    served += other.served;
+    actions += other.actions;
+    answers += other.answers;
+    serviceSeconds.addAll(other.serviceSeconds.samples());
+    serviceHistogram.merge(other.serviceHistogram);
+    asrSeconds.merge(other.asrSeconds);
+    qaSeconds.merge(other.qaSeconds);
+    immSeconds.merge(other.immSeconds);
+}
+
 SiriusServer::SiriusServer(const SiriusPipeline &pipeline)
     : pipeline_(pipeline)
 {
@@ -19,12 +47,7 @@ SiriusServer::handle(const Query &query)
 {
     Stopwatch watch;
     SiriusResult result = pipeline_.process(query);
-    stats_.serviceSeconds.add(watch.seconds());
-    ++stats_.served;
-    if (result.queryClass == QueryClass::Action)
-        ++stats_.actions;
-    else
-        ++stats_.answers;
+    stats_.record(result, watch.seconds());
     return result;
 }
 

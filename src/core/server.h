@@ -17,13 +17,26 @@
 
 namespace sirius::core {
 
-/** Aggregate service statistics of a SiriusServer. */
+/** Aggregate service statistics of a Sirius leaf server. */
 struct ServerStats
 {
     uint64_t served = 0;
     uint64_t actions = 0;   ///< VC pathway outcomes
     uint64_t answers = 0;   ///< VQ / VIQ pathway outcomes
     SampleStats serviceSeconds; ///< per-request processing time
+
+    /** End-to-end service-time distribution (log-bucketed). */
+    LatencyHistogram serviceHistogram;
+    /** Per-stage distributions, fed from each result's StageTimings. */
+    LatencyHistogram asrSeconds;
+    LatencyHistogram qaSeconds;
+    LatencyHistogram immSeconds;
+
+    /** Fold one served result into every counter and histogram. */
+    void record(const SiriusResult &result, double service_seconds);
+
+    /** Fold another server's statistics into this one (fleet view). */
+    void merge(const ServerStats &other);
 };
 
 /** A single leaf node serving Sirius queries. */

@@ -78,7 +78,10 @@ QuestionAnalyzer::analyze(const std::string &question) const
     // CRF stage: part-of-speech tags guide focus-word selection.
     analysis.posTags = tagger_->tag(analysis.tokens);
 
-    // Stemmer stage: normalize focus words.
+    // Stemmer stage: normalize focus words. The stemmer's word buffer
+    // is mutable state, so it is per-call rather than a shared member —
+    // analyze() must stay safe for concurrent server workers.
+    nlp::PorterStemmer stemmer;
     for (size_t i = 0; i < analysis.tokens.size(); ++i) {
         const std::string &tok = analysis.tokens[i];
         if (isStopword(tok))
@@ -95,7 +98,7 @@ QuestionAnalyzer::analyze(const std::string &question) const
         if (!has_alnum)
             continue;
         analysis.focusWords.push_back(tok);
-        analysis.focusStems.push_back(stemmer_.stem(tok));
+        analysis.focusStems.push_back(stemmer.stem(tok));
     }
 
     analysis.searchQuery = join(analysis.focusWords);

@@ -59,7 +59,10 @@ class QuestionAnalyzer
     explicit QuestionAnalyzer(size_t crf_train_sentences = 400,
                               uint64_t seed = 77);
 
-    /** Analyze one question (lower-case text from the ASR). */
+    /**
+     * Analyze one question (lower-case text from the ASR). Thread-safe:
+     * concurrent server workers share one analyzer.
+     */
     QuestionAnalysis analyze(const std::string &question) const;
 
     /** The trained tagger (shared with the document filters). */
@@ -74,7 +77,6 @@ class QuestionAnalyzer
   private:
     std::unique_ptr<nlp::CrfTagger> tagger_;
     std::vector<nlp::Regex> patterns_;
-    mutable nlp::PorterStemmer stemmer_;
 };
 
 } // namespace sirius::qa

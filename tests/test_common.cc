@@ -403,6 +403,150 @@ TEST(Profiler, ScopeAccumulates)
     EXPECT_GT(profiler.seconds("region"), 0.0);
 }
 
+TEST(Profiler, ConcurrentAccumulationIsExact)
+{
+    Profiler profiler;
+    constexpr int kThreads = 8;
+    constexpr int kAdds = 2000;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&profiler] {
+            for (int i = 0; i < kAdds; ++i)
+                profiler.addSeconds("shared", 1.0);
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    EXPECT_DOUBLE_EQ(profiler.seconds("shared"),
+                     static_cast<double>(kThreads * kAdds));
+}
+
+TEST(Profiler, MergeCombinesComponents)
+{
+    Profiler a, b;
+    a.addSeconds("asr", 2.0);
+    b.addSeconds("asr", 1.0);
+    b.addSeconds("qa", 4.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.seconds("asr"), 3.0);
+    EXPECT_DOUBLE_EQ(a.seconds("qa"), 4.0);
+    EXPECT_DOUBLE_EQ(a.totalSeconds(), 7.0);
+}
+
+TEST(LatencyHistogram, CountsSumAndMean)
+{
+    LatencyHistogram hist;
+    hist.add(0.001);
+    hist.add(0.002);
+    hist.add(0.003);
+    EXPECT_EQ(hist.count(), 3u);
+    EXPECT_DOUBLE_EQ(hist.sum(), 0.006);
+    EXPECT_DOUBLE_EQ(hist.mean(), 0.002);
+}
+
+TEST(LatencyHistogram, QuantileConservativeAndBounded)
+{
+    LatencyHistogram hist(1e-5, 1.25, 96);
+    for (int i = 0; i < 1000; ++i)
+        hist.add(0.010);
+    // The estimate is the holding bucket's upper edge: at or above the
+    // true value, within one growth factor of it.
+    EXPECT_GE(hist.p50(), 0.010);
+    EXPECT_LE(hist.p50(), 0.010 * 1.25 * 1.25);
+    EXPECT_DOUBLE_EQ(hist.p50(), hist.p99());
+}
+
+TEST(LatencyHistogram, PercentilesMonotone)
+{
+    LatencyHistogram hist;
+    Rng rng(7);
+    for (int i = 0; i < 5000; ++i)
+        hist.add(std::exp(rng.gaussian(-5.0, 1.5)));
+    EXPECT_LE(hist.quantile(0.0), hist.p50());
+    EXPECT_LE(hist.p50(), hist.p95());
+    EXPECT_LE(hist.p95(), hist.p99());
+    EXPECT_LE(hist.p99(), hist.quantile(1.0));
+}
+
+TEST(LatencyHistogram, QuantileTracksExactPercentiles)
+{
+    LatencyHistogram hist;
+    SampleStats exact;
+    Rng rng(11);
+    for (int i = 0; i < 20000; ++i) {
+        const double v = std::exp(rng.gaussian(-4.0, 1.0));
+        hist.add(v);
+        exact.add(v);
+    }
+    // Log-bucketing bounds relative error by the growth factor.
+    for (double p : {50.0, 95.0, 99.0}) {
+        const double est = hist.quantile(p / 100.0);
+        const double truth = exact.percentile(p);
+        EXPECT_GE(est, truth * 0.99);
+        EXPECT_LE(est, truth * 1.30);
+    }
+}
+
+TEST(LatencyHistogram, ExtremesClampToEdgeBuckets)
+{
+    LatencyHistogram hist(1e-5, 1.25, 8);
+    hist.add(0.0);
+    hist.add(-1.0);
+    hist.add(1e9);
+    EXPECT_EQ(hist.bucketCount(0), 2u);
+    EXPECT_EQ(hist.bucketCount(hist.buckets() - 1), 1u);
+    EXPECT_EQ(hist.count(), 3u);
+}
+
+TEST(LatencyHistogram, MergeFoldsCounts)
+{
+    LatencyHistogram a, b;
+    a.add(0.001);
+    b.add(0.001);
+    b.add(1.0);
+    ASSERT_TRUE(a.sameLayout(b));
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.sum(), 1.002);
+
+    const LatencyHistogram other(1e-6, 1.5, 32);
+    EXPECT_FALSE(a.sameLayout(other));
+}
+
+TEST(LatencyHistogram, CopyIsIndependent)
+{
+    LatencyHistogram a;
+    a.add(0.5);
+    LatencyHistogram b(a);
+    a.add(0.5);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(b.count(), 1u);
+    b = a;
+    EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(LatencyHistogram, ConcurrentAddsAreLossless)
+{
+    LatencyHistogram hist;
+    constexpr int kThreads = 8;
+    constexpr int kAdds = 10000;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&hist, t] {
+            for (int i = 0; i < kAdds; ++i)
+                hist.add(1e-4 * static_cast<double>(t + 1));
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    EXPECT_EQ(hist.count(),
+              static_cast<uint64_t>(kThreads) * kAdds);
+    uint64_t bucket_total = 0;
+    for (size_t i = 0; i < hist.buckets(); ++i)
+        bucket_total += hist.bucketCount(i);
+    EXPECT_EQ(bucket_total, hist.count());
+}
+
 TEST(Strings, SplitJoinRoundTrip)
 {
     const auto parts = split("a bb  ccc", " ");

@@ -1,10 +1,15 @@
 /**
  * @file
- * Tests for the leaf-server front end and its open-loop load test.
+ * Tests for the leaf-server front end, its open-loop load test, and the
+ * concurrent leaf server built on top of the same pipeline.
  */
+
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/concurrent_server.h"
 #include "core/server.h"
 
 namespace {
@@ -71,6 +76,175 @@ TEST_F(ServerFixture, LoadTestRejectsOverload)
     const double capacity = server.serviceRate();
     EXPECT_EXIT(loadTest(server, 3.0 * capacity, 100),
                 ::testing::ExitedWithCode(1), "capacity");
+}
+
+TEST_F(ServerFixture, SequentialServerRecordsStageHistograms)
+{
+    SiriusServer server(*pipeline_);
+    for (const auto &query : standardQuerySet())
+        server.handle(query);
+    const auto &stats = server.stats();
+    EXPECT_EQ(stats.serviceHistogram.count(), stats.served);
+    EXPECT_EQ(stats.asrSeconds.count(), stats.served);
+    // Every query runs ASR; only VIQ queries run IMM, and its histogram
+    // still gets one (zero-duration) entry per request.
+    EXPECT_GT(stats.asrSeconds.mean(), 0.0);
+    EXPECT_LE(stats.serviceHistogram.p50(), stats.serviceHistogram.p99());
+}
+
+TEST_F(ServerFixture, ConcurrentMatchesSequentialCounts)
+{
+    SiriusServer sequential(*pipeline_);
+    for (const auto &query : standardQuerySet())
+        sequential.handle(query);
+
+    ConcurrentServerConfig config;
+    config.workers = 4;
+    config.queueCapacity = 128;
+    ConcurrentServer server(*pipeline_, config);
+    ASSERT_GE(server.workerCount(), 4u);
+    for (const auto &query : standardQuerySet())
+        ASSERT_TRUE(server.submit(query));
+    server.drain();
+
+    const auto stats = server.snapshot();
+    EXPECT_EQ(stats.accepted, standardQuerySet().size());
+    EXPECT_EQ(stats.rejected, 0u);
+    EXPECT_EQ(stats.server.served, sequential.stats().served);
+    EXPECT_EQ(stats.server.actions, sequential.stats().actions);
+    EXPECT_EQ(stats.server.answers, sequential.stats().answers);
+    EXPECT_EQ(stats.server.serviceHistogram.count(), stats.server.served);
+}
+
+TEST_F(ServerFixture, ConcurrentClientsAllServed)
+{
+    constexpr size_t kThreads = 4;
+    constexpr size_t kQueriesEach = 8;
+    ConcurrentServer server(*pipeline_);
+
+    const auto &queries = standardQuerySet();
+    std::vector<std::thread> clients;
+    for (size_t t = 0; t < kThreads; ++t) {
+        clients.emplace_back([&server, &queries, t] {
+            for (size_t i = 0; i < kQueriesEach; ++i) {
+                const auto &query =
+                    queries[(t * kQueriesEach + i) % queries.size()];
+                const auto result = server.handle(query);
+                EXPECT_FALSE(result.transcript.empty());
+            }
+        });
+    }
+    for (auto &client : clients)
+        client.join();
+
+    const auto stats = server.snapshot();
+    EXPECT_EQ(stats.server.served, kThreads * kQueriesEach);
+    EXPECT_EQ(stats.accepted, kThreads * kQueriesEach);
+    EXPECT_EQ(stats.rejected, 0u);
+    EXPECT_EQ(stats.server.actions + stats.server.answers,
+              kThreads * kQueriesEach);
+    EXPECT_EQ(stats.server.serviceSeconds.count(),
+              kThreads * kQueriesEach);
+}
+
+TEST_F(ServerFixture, SaturatedQueueShedsAndDrainsCleanly)
+{
+    ConcurrentServerConfig config;
+    config.workers = 1;
+    config.queueCapacity = 2;
+    ConcurrentServer server(*pipeline_, config);
+
+    const auto &queries = standardQuerySet();
+    uint64_t admitted = 0, shed = 0;
+    // Burst far past queue capacity faster than one worker can drain.
+    for (size_t i = 0; i < 64; ++i) {
+        if (server.submit(queries[i % queries.size()]))
+            ++admitted;
+        else
+            ++shed;
+    }
+    server.drain();
+
+    const auto stats = server.snapshot();
+    EXPECT_GT(shed, 0u);
+    EXPECT_EQ(stats.accepted, admitted);
+    EXPECT_EQ(stats.rejected, shed);
+    EXPECT_EQ(stats.accepted + stats.rejected, 64u);
+    // Drain loses nothing: every admitted request was served.
+    EXPECT_EQ(stats.server.served, admitted);
+}
+
+TEST_F(ServerFixture, SnapshotPercentilesMonotone)
+{
+    ConcurrentServer server(*pipeline_);
+    for (const auto &query : standardQuerySet())
+        ASSERT_TRUE(server.submit(query));
+    server.drain();
+
+    const auto stats = server.snapshot();
+    for (const auto *hist :
+         {&stats.server.serviceHistogram, &stats.server.asrSeconds,
+          &stats.server.qaSeconds, &stats.server.immSeconds}) {
+        EXPECT_LE(hist->p50(), hist->p95());
+        EXPECT_LE(hist->p95(), hist->p99());
+    }
+    EXPECT_GT(stats.server.serviceHistogram.p50(), 0.0);
+    EXPECT_GT(server.serviceRate(), 0.0);
+    // The profiler attributed stage time across workers.
+    EXPECT_GT(server.profiler().totalSeconds(), 0.0);
+    EXPECT_GT(server.profiler().seconds("asr"), 0.0);
+}
+
+TEST_F(ServerFixture, OpenLoopGeneratorAccountsForEveryRequest)
+{
+    ConcurrentServerConfig config;
+    config.workers = 2;
+    ConcurrentServer server(*pipeline_, config);
+    const double mu = [&] {
+        SiriusServer probe(*pipeline_);
+        for (const auto &query : standardQuerySet())
+            probe.handle(query);
+        return probe.serviceRate();
+    }();
+
+    const auto result = runOpenLoop(server, 0.5 * mu, 40);
+    EXPECT_EQ(result.offered, 40u);
+    EXPECT_EQ(result.completed + result.rejected, result.offered);
+    EXPECT_EQ(result.sojournSeconds.count(), result.completed);
+    EXPECT_GT(result.elapsedSeconds, 0.0);
+    // Sojourn includes service, so it can't be faster than the fastest
+    // possible query.
+    EXPECT_GT(result.sojournSeconds.min(), 0.0);
+}
+
+TEST_F(ServerFixture, ClosedLoopGeneratorServesExactly)
+{
+    ConcurrentServer server(*pipeline_);
+    const auto result = runClosedLoop(server, 3, 5);
+    EXPECT_EQ(result.offered, 15u);
+    EXPECT_EQ(result.completed, 15u);
+    EXPECT_EQ(result.rejected, 0u);
+    EXPECT_EQ(server.snapshot().server.served, 15u);
+    EXPECT_GT(result.achievedQps, 0.0);
+}
+
+TEST_F(ServerFixture, StatsMergeCombinesLeafViews)
+{
+    SiriusServer a(*pipeline_);
+    SiriusServer b(*pipeline_);
+    const auto &queries = standardQuerySet();
+    a.handle(queries[0]);
+    b.handle(queries[16]);
+    b.handle(queries[17]);
+
+    ServerStats fleet;
+    fleet.merge(a.stats());
+    fleet.merge(b.stats());
+    EXPECT_EQ(fleet.served, 3u);
+    EXPECT_EQ(fleet.actions, 1u);
+    EXPECT_EQ(fleet.answers, 2u);
+    EXPECT_EQ(fleet.serviceHistogram.count(), 3u);
+    EXPECT_EQ(fleet.serviceSeconds.count(), 3u);
 }
 
 } // namespace
