@@ -12,17 +12,30 @@
  *       threads while the open-loop generator submits Poisson arrivals
  *       in real time (slow, but actually concurrent).
  *
+ * Real mode optionally applies the robustness policy: a per-query
+ * deadline anchored at admission (queueing burns the budget) and a
+ * seeded fault injector, with shed/degraded/deadline-miss counts
+ * reported per load level. Try:
+ *
+ *   load_test --real --deadline-ms 200 --fault-rate 0.05
+ *
  * Usage: ./build/examples/load_test [options] [max-load-fraction]
- *   --real          drive real pipeline executions (default: replay)
- *   --workers N     worker threads in --real mode        (default 4)
- *   --queue N       request-queue capacity in --real mode (default 64)
- *   --requests N    requests per load level in --real mode (default 150)
+ *   --real            drive real pipeline executions (default: replay)
+ *   --workers N       worker threads in --real mode        (default 4)
+ *   --queue N         request-queue capacity in --real mode (default 64)
+ *   --requests N      requests per load level in --real mode (default 150)
+ *   --deadline-ms D   per-query latency budget from admission (default off)
+ *   --fault-rate R    per-stage failure probability in [0,1] (default 0)
+ *   --fault-seed S    fault-injector seed     (default: FaultConfig's)
+ *   --retries N       stage retries before degrading        (default 1
+ *                     when faults are on, else 0)
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include "common/fault_injection.h"
 #include "core/concurrent_server.h"
 #include "core/server.h"
 
@@ -54,21 +67,36 @@ realSweep(const SiriusPipeline &pipeline, double capacity,
     std::printf("real executions: %zu workers, queue capacity %zu, %zu "
                 "requests per level\n", config.workers,
                 config.queueCapacity, requests);
-    std::printf("%-12s %12s %14s %14s %14s %8s\n", "load", "offered qps",
-                "mean sojourn", "p95 sojourn", "p99 sojourn", "shed");
+    if (config.deadlineSeconds > 0.0)
+        std::printf("deadline: %.0f ms per query from admission\n",
+                    config.deadlineSeconds * 1e3);
+    if (config.faults != nullptr && config.faults->enabled())
+        std::printf("faults: stage failure rate %.2f, seed %llu, "
+                    "%d retr%s before degrading\n",
+                    config.faults->config().failureRate,
+                    static_cast<unsigned long long>(
+                        config.faults->config().seed),
+                    config.retry.maxRetries,
+                    config.retry.maxRetries == 1 ? "y" : "ies");
+    std::printf("%-8s %10s %12s %12s %12s %6s %9s %7s\n", "load",
+                "offered", "mean sojrn", "p95 sojrn", "p99 sojrn",
+                "shed", "degraded", "missed");
     for (double rho = 0.1; rho <= max_load + 1e-9; rho += 0.2) {
         // Load is per worker: rho * capacity saturates one worker.
         const double lambda =
             rho * capacity * static_cast<double>(config.workers);
         ConcurrentServer server(pipeline, config);
         const auto result = runOpenLoop(server, lambda, requests);
-        const auto stats = server.snapshot();
-        std::printf("%-12.1f %12.1f %12.2fms %12.2fms %12.2fms %8llu\n",
+        std::printf("%-8.1f %8.1fqps %10.2fms %10.2fms %10.2fms %6llu "
+                    "%9llu %7llu\n",
                     rho, result.offeredQps,
                     result.sojournSeconds.mean() * 1e3,
                     result.sojournSeconds.percentile(95) * 1e3,
                     result.sojournSeconds.percentile(99) * 1e3,
-                    static_cast<unsigned long long>(stats.rejected));
+                    static_cast<unsigned long long>(result.rejected),
+                    static_cast<unsigned long long>(result.degraded),
+                    static_cast<unsigned long long>(
+                        result.deadlineMisses));
     }
 
     // One closed-loop run for contrast: per-session latency when every
@@ -92,6 +120,24 @@ realSweep(const SiriusPipeline &pipeline, double capacity,
                 stats.server.immSeconds.p50() * 1e3,
                 stats.server.immSeconds.p95() * 1e3,
                 stats.server.immSeconds.p99() * 1e3);
+    if (stats.server.degraded + stats.server.failed +
+            stats.server.deadlineMisses > 0) {
+        std::printf("degradation ladder: viq->vq %llu, vq->vc %llu, "
+                    "viq->vc %llu, failed %llu; %llu deadline misses, "
+                    "%llu stage retries\n",
+                    static_cast<unsigned long long>(
+                        stats.server.degradationCounts[1]),
+                    static_cast<unsigned long long>(
+                        stats.server.degradationCounts[2]),
+                    static_cast<unsigned long long>(
+                        stats.server.degradationCounts[3]),
+                    static_cast<unsigned long long>(
+                        stats.server.degradationCounts[4]),
+                    static_cast<unsigned long long>(
+                        stats.server.deadlineMisses),
+                    static_cast<unsigned long long>(
+                        stats.server.stageRetries));
+    }
 }
 
 } // namespace
@@ -101,6 +147,9 @@ main(int argc, char **argv)
 {
     bool real = false;
     ConcurrentServerConfig config;
+    FaultConfig fault_config;
+    bool faults_requested = false;
+    int retries = -1; // -1: pick a default after parsing
     size_t requests = 150;
     double max_load = 0.9;
     for (int i = 1; i < argc; ++i) {
@@ -113,9 +162,28 @@ main(int argc, char **argv)
                 static_cast<size_t>(std::atoi(argv[++i]));
         else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc)
             requests = static_cast<size_t>(std::atoi(argv[++i]));
+        else if (std::strcmp(argv[i], "--deadline-ms") == 0 &&
+                 i + 1 < argc)
+            config.deadlineSeconds = std::atof(argv[++i]) * 1e-3;
+        else if (std::strcmp(argv[i], "--fault-rate") == 0 &&
+                 i + 1 < argc) {
+            fault_config.failureRate = std::atof(argv[++i]);
+            faults_requested = fault_config.failureRate > 0.0;
+        } else if (std::strcmp(argv[i], "--fault-seed") == 0 &&
+                   i + 1 < argc)
+            fault_config.seed =
+                static_cast<uint64_t>(std::atoll(argv[++i]));
+        else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc)
+            retries = std::atoi(argv[++i]);
         else
             max_load = std::atof(argv[i]);
     }
+    config.retry.maxRetries = retries >= 0 ? retries
+        : (faults_requested ? 1 : 0);
+
+    FaultInjector injector(fault_config);
+    if (injector.enabled())
+        config.faults = &injector;
 
     std::printf("training the pipeline and starting a leaf server...\n");
     const SiriusPipeline pipeline = SiriusPipeline::build();
@@ -136,5 +204,8 @@ main(int argc, char **argv)
     std::printf("\nlatency blows up as load approaches capacity — the "
                 "headroom acceleration buys (Figure 17) is exactly this "
                 "curve pushed right by 10-100x\n");
+    if (real && config.deadlineSeconds <= 0.0)
+        std::printf("(add --deadline-ms 200 to see the degradation "
+                    "ladder bound the tail instead)\n");
     return 0;
 }

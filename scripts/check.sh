@@ -1,0 +1,35 @@
+#!/bin/sh
+# Repo check: the tier-1 suite plus a TSan pass over the concurrent
+# tests. This is the command CI (and a pre-push human) should run.
+#
+#   scripts/check.sh            # tier-1 + TSan concurrent tests
+#   SKIP_TSAN=1 scripts/check.sh  # tier-1 only
+#
+# Trees match CMakePresets.json: build/ (default) and build-tsan/.
+set -eu
+
+cd "$(dirname "$0")/.."
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "==> tier-1: configure + build + full test suite (build/)"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+(cd build && ctest --output-on-failure -j "$jobs")
+
+if [ "${SKIP_TSAN:-0}" = "1" ]; then
+    echo "==> SKIP_TSAN=1: skipping the ThreadSanitizer pass"
+    exit 0
+fi
+
+echo "==> TSan: concurrent server + robustness tests (build-tsan/)"
+cmake -B build-tsan -S . -DSIRIUS_SANITIZE=thread >/dev/null
+# Only the binaries the TSan gate needs — a full sanitized build of the
+# bench/example targets would double the check's wall time for no
+# additional thread coverage.
+cmake --build build-tsan -j "$jobs" \
+    --target test_server test_robustness test_common
+(cd build-tsan &&
+     ctest --output-on-failure -j "$jobs" \
+           -R "Server|Robustness|Deadline|FaultInjector|LatencyHistogram|Profiler|ThreadPool|ParallelFor")
+
+echo "==> all checks passed"

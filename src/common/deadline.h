@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Deadline: a latency budget carried through the pipeline.
+ *
+ * Sirius is a latency-bound workload — the paper's entire server/TCO
+ * analysis (Figures 14-19) assumes end-to-end query latency can be held
+ * to a target under load. A Deadline makes that target explicit: it is
+ * created when a request is admitted and threaded through every pipeline
+ * stage, which checks its remaining budget and skips or cuts work short
+ * once the budget is gone (see core::SiriusPipeline and the degradation
+ * ladder in docs/ARCHITECTURE.md).
+ */
+
+#ifndef SIRIUS_COMMON_DEADLINE_H
+#define SIRIUS_COMMON_DEADLINE_H
+
+#include <chrono>
+#include <limits>
+
+namespace sirius {
+
+/**
+ * A wall-clock latency budget anchored at a fixed start instant.
+ *
+ * Default-constructed deadlines are unbounded (never expire), so code
+ * can thread a Deadline unconditionally and pay nothing when no latency
+ * target is configured. Copies share the same absolute expiry instant,
+ * which is what lets one per-request deadline be handed from the
+ * admission point through every stage: time spent queueing counts
+ * against the same budget as time spent computing.
+ */
+class Deadline
+{
+  public:
+    /** Unbounded: expired() is always false. */
+    Deadline() = default;
+
+    /** A deadline expiring @p seconds from now. */
+    static Deadline
+    after(double seconds)
+    {
+        Deadline d;
+        d.bounded_ = true;
+        d.budgetSeconds_ = seconds;
+        d.expiry_ = Clock::now() +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(seconds));
+        return d;
+    }
+
+    /** Explicit spelling of the default (no latency target). */
+    static Deadline unbounded() { return Deadline(); }
+
+    /** True when this deadline can ever expire. */
+    bool bounded() const { return bounded_; }
+
+    /** True once the budget is exhausted; always false if unbounded. */
+    bool
+    expired() const
+    {
+        return bounded_ && Clock::now() >= expiry_;
+    }
+
+    /**
+     * Seconds of budget left; negative once expired, +infinity when
+     * unbounded.
+     */
+    double
+    remainingSeconds() const
+    {
+        if (!bounded_)
+            return std::numeric_limits<double>::infinity();
+        return std::chrono::duration<double>(expiry_ - Clock::now())
+            .count();
+    }
+
+    /** The original budget in seconds; +infinity when unbounded. */
+    double
+    budgetSeconds() const
+    {
+        return bounded_ ? budgetSeconds_
+                        : std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    bool bounded_ = false;
+    double budgetSeconds_ = 0.0;
+    Clock::time_point expiry_{};
+};
+
+} // namespace sirius
+
+#endif // SIRIUS_COMMON_DEADLINE_H

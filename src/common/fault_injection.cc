@@ -1,0 +1,93 @@
+#include "common/fault_injection.h"
+
+#include "common/logging.h"
+
+namespace sirius {
+
+const char *
+stageFaultName(StageFault fault)
+{
+    switch (fault) {
+      case StageFault::None: return "none";
+      case StageFault::Failure: return "failure";
+      case StageFault::Latency: return "latency";
+      case StageFault::Corruption: return "corruption";
+    }
+    return "?";
+}
+
+FaultInjector::FaultInjector(FaultConfig config)
+    : config_(config), rng_(config.seed)
+{
+    if (config_.failureRate < 0.0 || config_.latencyRate < 0.0 ||
+        config_.corruptionRate < 0.0) {
+        fatal("FaultInjector: fault rates must be non-negative");
+    }
+    const double total = config_.failureRate + config_.latencyRate +
+        config_.corruptionRate;
+    if (total > 1.0)
+        fatal("FaultInjector: fault rates sum above 1");
+    enabled_ = total > 0.0;
+}
+
+StageFault
+FaultInjector::draw(const std::string &stage)
+{
+    if (!enabled_)
+        return StageFault::None;
+    if ((stage == "asr" && !config_.faultAsr) ||
+        (stage == "qa" && !config_.faultQa) ||
+        (stage == "imm" && !config_.faultImm)) {
+        return StageFault::None;
+    }
+
+    double u;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        u = rng_.uniform();
+    }
+    draws_.fetch_add(1, std::memory_order_relaxed);
+
+    if (u < config_.failureRate) {
+        failures_.fetch_add(1, std::memory_order_relaxed);
+        return StageFault::Failure;
+    }
+    u -= config_.failureRate;
+    if (u < config_.latencyRate) {
+        latencies_.fetch_add(1, std::memory_order_relaxed);
+        return StageFault::Latency;
+    }
+    u -= config_.latencyRate;
+    if (u < config_.corruptionRate) {
+        corruptions_.fetch_add(1, std::memory_order_relaxed);
+        return StageFault::Corruption;
+    }
+    return StageFault::None;
+}
+
+std::string
+FaultInjector::corrupt(const std::string &text)
+{
+    if (text.empty())
+        return text;
+    std::string out = text;
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Overwrite a seeded selection of characters; force at least one
+    // change so corrupted output never equals the original.
+    static const char kGarbage[] = "zqxjkvw";
+    bool changed = false;
+    for (auto &c : out) {
+        if (rng_.chance(0.3)) {
+            const char g = kGarbage[rng_.below(sizeof(kGarbage) - 1)];
+            changed = changed || g != c;
+            c = g;
+        }
+    }
+    if (!changed) {
+        const size_t i = rng_.below(out.size());
+        out[i] = out[i] == 'z' ? 'q' : 'z';
+    }
+    return out;
+}
+
+} // namespace sirius

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Seeded, rate-based fault injection for the pipeline stages.
+ *
+ * A WSC leaf must survive misbehaving dependencies: a stage that throws,
+ * stalls, or returns garbage. FaultInjector makes those behaviours
+ * reproducible so the degradation paths in core::SiriusPipeline (retry,
+ * skip, VIQ→VQ→VC downgrade) can be tested and benched deterministically
+ * instead of waiting for real failures.
+ */
+
+#ifndef SIRIUS_COMMON_FAULT_INJECTION_H
+#define SIRIUS_COMMON_FAULT_INJECTION_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/rng.h"
+
+namespace sirius {
+
+/** What a single injected fault does to one stage attempt. */
+enum class StageFault
+{
+    None,       ///< the attempt proceeds normally
+    Failure,    ///< the stage fails outright (retriable)
+    Latency,    ///< the stage runs, but only after added latency
+    Corruption, ///< the stage runs, but its output is corrupted
+};
+
+/** Human-readable fault name ("none", "failure", ...). */
+const char *stageFaultName(StageFault fault);
+
+/** Rates and scope of injected faults. Rates must sum to <= 1. */
+struct FaultConfig
+{
+    double failureRate = 0.0;    ///< P(stage attempt fails)
+    double latencyRate = 0.0;    ///< P(added latency)
+    double corruptionRate = 0.0; ///< P(corrupted output)
+    double addedLatencySeconds = 0.02; ///< stall per Latency fault
+
+    // Which pipeline stages the injector targets. Narrowing the scope
+    // makes degradation arithmetic exact in tests (e.g. QA-only faults
+    // at rate r => degraded fraction r).
+    bool faultAsr = true;
+    bool faultQa = true;
+    bool faultImm = true;
+
+    uint64_t seed = 0x5EEDFA17ULL;
+};
+
+/**
+ * Draws one fault decision per stage attempt from a seeded stream.
+ *
+ * Thread-safe: the worker pool shares one injector, so the draw itself
+ * is mutex-guarded (it is a single PRNG step, far off any hot path) and
+ * the observability counters are atomics. With a fixed seed the draw
+ * *stream* is deterministic; under concurrent submitters the
+ * interleaving is not, but the aggregate counts still follow the
+ * configured rates, which is the property tests assert.
+ */
+class FaultInjector
+{
+  public:
+    /** Disabled injector: every draw returns StageFault::None. */
+    FaultInjector() = default;
+
+    /** @param config rates; fatal if the rates sum above 1. */
+    explicit FaultInjector(FaultConfig config);
+
+    /** True when any fault rate is nonzero. */
+    bool enabled() const { return enabled_; }
+
+    /**
+     * Decide the fate of one attempt of @p stage ("asr", "qa", "imm").
+     * Stages outside the configured scope always draw None without
+     * consuming a PRNG step, so narrowing the scope does not shift the
+     * stream seen by the targeted stages.
+     */
+    StageFault draw(const std::string &stage);
+
+    /**
+     * Deterministically corrupt @p text (seeded character scramble that
+     * always differs from the input for non-empty text) — the payload
+     * of a Corruption fault on a text-producing stage.
+     */
+    std::string corrupt(const std::string &text);
+
+    /** Total draws that returned each kind (observability). */
+    uint64_t failuresInjected() const { return failures_.load(); }
+    uint64_t latenciesInjected() const { return latencies_.load(); }
+    uint64_t corruptionsInjected() const { return corruptions_.load(); }
+    uint64_t draws() const { return draws_.load(); }
+
+    const FaultConfig &config() const { return config_; }
+
+  private:
+    FaultConfig config_;
+    bool enabled_ = false;
+
+    std::mutex mutex_; ///< guards rng_
+    Rng rng_;
+
+    std::atomic<uint64_t> draws_{0};
+    std::atomic<uint64_t> failures_{0};
+    std::atomic<uint64_t> latencies_{0};
+    std::atomic<uint64_t> corruptions_{0};
+};
+
+} // namespace sirius
+
+#endif // SIRIUS_COMMON_FAULT_INJECTION_H

@@ -41,10 +41,15 @@ ConcurrentServer::submit(const Query &query, Completion done)
     } while (!queued_.compare_exchange_weak(waiting, waiting + 1,
                                             std::memory_order_relaxed));
     accepted_.fetch_add(1, std::memory_order_relaxed);
-    pool_.submit([this, query, done = std::move(done)] {
+    // The deadline is anchored at admission, so time spent waiting in
+    // the queue burns the same budget the pipeline stages check.
+    const Deadline deadline = config_.deadlineSeconds > 0.0
+        ? Deadline::after(config_.deadlineSeconds)
+        : Deadline();
+    pool_.submit([this, query, deadline, done = std::move(done)] {
         // The request leaves the queue the moment a worker picks it up.
         queued_.fetch_sub(1, std::memory_order_relaxed);
-        serve(query, done);
+        serve(query, deadline, done);
     });
     return true;
 }
@@ -68,11 +73,21 @@ ConcurrentServer::handle(const Query &query)
 }
 
 void
-ConcurrentServer::serve(const Query &query, const Completion &done)
+ConcurrentServer::serve(const Query &query, const Deadline &deadline,
+                        const Completion &done)
 {
+    ProcessOptions options;
+    options.deadline = deadline;
+    options.retry = config_.retry;
+    options.faults = config_.faults;
+
     Stopwatch watch;
-    const SiriusResult result = pipeline_.process(query);
+    SiriusResult result = pipeline_.process(query, options);
     const double seconds = watch.seconds();
+    // A query that completed past its deadline is a miss even when no
+    // stage noticed (e.g. it beat every per-stage check by a hair).
+    if (deadline.expired())
+        result.deadlineExpired = true;
 
     const double staged = result.timings.total();
     profiler_.addSeconds("asr", result.timings.asr.total());
@@ -129,6 +144,7 @@ runOpenLoop(ConcurrentServer &server, double offered_qps, size_t requests,
     MeasuredLoadResult result;
     result.offeredQps = offered_qps;
     result.offered = requests;
+    const auto before = server.snapshot();
 
     std::mutex sojourn_mutex;
     std::vector<double> sojourns;
@@ -171,6 +187,11 @@ runOpenLoop(ConcurrentServer &server, double offered_qps, size_t requests,
     result.achievedQps = result.elapsedSeconds > 0.0
         ? static_cast<double>(result.completed) / result.elapsedSeconds
         : 0.0;
+    const auto after = server.snapshot();
+    result.degraded = after.server.degraded - before.server.degraded +
+        after.server.failed - before.server.failed;
+    result.deadlineMisses =
+        after.server.deadlineMisses - before.server.deadlineMisses;
     return result;
 }
 
@@ -184,6 +205,7 @@ runClosedLoop(ConcurrentServer &server, size_t clients,
     MeasuredLoadResult result;
     result.offered =
         static_cast<uint64_t>(clients) * queries_per_client;
+    const auto before = server.snapshot();
 
     std::mutex merge_mutex;
     const auto start = Clock::now();
@@ -213,6 +235,11 @@ runClosedLoop(ConcurrentServer &server, size_t clients,
     result.achievedQps = result.elapsedSeconds > 0.0
         ? static_cast<double>(result.completed) / result.elapsedSeconds
         : 0.0;
+    const auto after = server.snapshot();
+    result.degraded = after.server.degraded - before.server.degraded +
+        after.server.failed - before.server.failed;
+    result.deadlineMisses =
+        after.server.deadlineMisses - before.server.deadlineMisses;
     return result;
 }
 

@@ -26,11 +26,22 @@
 
 namespace sirius::core {
 
-/** Sizing of a ConcurrentServer. */
+/** Sizing and robustness policy of a ConcurrentServer. */
 struct ConcurrentServerConfig
 {
     size_t workers = 4;        ///< pipeline executions in flight at once
     size_t queueCapacity = 64; ///< waiting requests before shedding
+
+    /**
+     * Per-query latency budget, measured from admission (so queueing
+     * time counts against it); 0 disables the deadline. Overdue queries
+     * degrade along the VIQ→VQ→VC ladder or complete near-free instead
+     * of holding the queue hostage.
+     */
+    double deadlineSeconds = 0.0;
+    RetryPolicy retry;          ///< per-stage retry/backoff policy
+    /** Optional fault injector, shared by all workers; not owned. */
+    FaultInjector *faults = nullptr;
 };
 
 /** Race-free snapshot of a ConcurrentServer's statistics. */
@@ -101,7 +112,8 @@ class ConcurrentServer
     size_t queueCapacity() const { return config_.queueCapacity; }
 
   private:
-    void serve(const Query &query, const Completion &done);
+    void serve(const Query &query, const Deadline &deadline,
+               const Completion &done);
 
     const SiriusPipeline &pipeline_;
     ConcurrentServerConfig config_;
@@ -124,6 +136,8 @@ struct MeasuredLoadResult
     uint64_t offered = 0;       ///< requests generated
     uint64_t completed = 0;     ///< requests served to completion
     uint64_t rejected = 0;      ///< requests shed at admission
+    uint64_t degraded = 0;      ///< served with >= 1 stage shed
+    uint64_t deadlineMisses = 0;///< completed past their deadline
     double elapsedSeconds = 0.0;
     double achievedQps = 0.0;   ///< completed / elapsed
     SampleStats sojournSeconds; ///< submit-to-completion per request

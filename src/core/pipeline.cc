@@ -1,5 +1,8 @@
 #include "core/pipeline.h"
 
+#include <chrono>
+#include <thread>
+
 #include "common/logging.h"
 #include "common/strings.h"
 #include "nlp/tokenizer.h"
@@ -7,6 +10,77 @@
 #include "vision/landmarks.h"
 
 namespace sirius::core {
+
+namespace {
+
+void
+appendShed(SiriusResult &result, const char *stage)
+{
+    if (!result.shedStages.empty())
+        result.shedStages += ",";
+    result.shedStages += stage;
+}
+
+void
+sleepSeconds(double seconds)
+{
+    if (seconds > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(seconds));
+    }
+}
+
+/**
+ * Run one stage under the fault/retry policy: draw the attempt's fate,
+ * stall through Latency faults, retry Failure faults with exponential
+ * backoff, and hand Corruption through to the stage body.
+ * @param run invoked as run(corrupted) for every attempt that executes
+ * @return false when failures exhausted the retry budget or the
+ *         deadline expired between retries
+ */
+template <typename Run>
+bool
+attemptStage(const ProcessOptions &options, const char *stage,
+             int &retries, Run &&run)
+{
+    double backoff = options.retry.backoffSeconds;
+    for (int attempt = 0;; ++attempt) {
+        StageFault fault = StageFault::None;
+        if (options.faults != nullptr) {
+            fault = options.faults->draw(stage);
+            if (fault == StageFault::Latency) {
+                sleepSeconds(
+                    options.faults->config().addedLatencySeconds);
+            }
+        }
+        if (fault != StageFault::Failure) {
+            run(fault == StageFault::Corruption);
+            return true;
+        }
+        if (attempt >= options.retry.maxRetries)
+            return false;
+        ++retries;
+        sleepSeconds(backoff);
+        backoff *= options.retry.backoffMultiplier;
+        if (options.deadline.expired())
+            return false; // no budget left to keep retrying into
+    }
+}
+
+} // namespace
+
+const char *
+degradationName(Degradation degradation)
+{
+    switch (degradation) {
+      case Degradation::None: return "none";
+      case Degradation::ViqToVq: return "viq->vq";
+      case Degradation::VqToVc: return "vq->vc";
+      case Degradation::ViqToVc: return "viq->vc";
+      case Degradation::Failed: return "failed";
+    }
+    return "?";
+}
 
 SiriusPipeline
 SiriusPipeline::build(SiriusConfig config)
@@ -54,14 +128,61 @@ SiriusResult
 SiriusPipeline::process(const audio::Waveform &wave,
                         const vision::Image *image) const
 {
+    return process(wave, image, ProcessOptions{});
+}
+
+SiriusResult
+SiriusPipeline::process(const audio::Waveform &wave,
+                        const vision::Image *image,
+                        const ProcessOptions &options) const
+{
+    SiriusResult result = processRobust(wave, image, options);
+    if (options.deadline.expired())
+        result.deadlineExpired = true;
+    return result;
+}
+
+SiriusResult
+SiriusPipeline::processRobust(const audio::Waveform &wave,
+                              const vision::Image *image,
+                              const ProcessOptions &options) const
+{
     SiriusResult result;
 
-    // Stage 1: automatic speech recognition.
-    const auto asr = asr_->transcribe(wave);
-    result.transcript = asr.text;
-    result.timings.asr = asr.timings;
+    // Out of budget before any stage ran: shed the whole ladder.
+    if (options.deadline.expired()) {
+        result.degradation = Degradation::Failed;
+        appendShed(result, "asr");
+        if (image != nullptr)
+            appendShed(result, "imm");
+        appendShed(result, "qa");
+        return result;
+    }
 
-    // Stage 2: query classification.
+    // Stage 1: automatic speech recognition. Every pathway needs the
+    // transcript, so a lost ASR stage fails the query — there is no
+    // lower rung on the ladder to degrade to.
+    bool asr_cut_short = false;
+    const bool asr_ok = attemptStage(
+        options, "asr", result.stageRetries, [&](bool corrupted) {
+            auto asr = asr_->transcribe(wave, options.deadline);
+            if (corrupted && options.faults != nullptr)
+                asr.text = options.faults->corrupt(asr.text);
+            result.transcript = asr.text;
+            result.timings.asr = asr.timings;
+            asr_cut_short = asr.cutShort;
+        });
+    if (!asr_ok || asr_cut_short) {
+        result.transcript.clear();
+        result.degradation = Degradation::Failed;
+        appendShed(result, "asr");
+        if (image != nullptr)
+            appendShed(result, "imm");
+        appendShed(result, "qa");
+        return result;
+    }
+
+    // Stage 2: query classification (trivial, never shed).
     result.queryClass = classifier_.classify(result.transcript);
     if (result.queryClass == QueryClass::Action) {
         result.action = result.transcript;
@@ -69,34 +190,103 @@ SiriusPipeline::process(const audio::Waveform &wave,
         return result;
     }
 
-    // Stage 3 (optional): image matching.
+    // Stage 3 (optional): image matching. Shed on an expired budget or
+    // exhausted retries — the VIQ query degrades to a plain VQ and the
+    // question goes to QA without the landmark substitution.
     std::string question = result.transcript;
+    bool imm_shed = false;
     if (image != nullptr) {
-        const auto imm = imm_->match(*image);
-        result.matchedLandmark = imm.bestId;
-        result.timings.imm = imm.timings;
-        if (imm.bestId >= 0)
-            question = augmentWithLandmark(question, imm.bestId);
+        if (options.deadline.expired()) {
+            imm_shed = true;
+        } else {
+            bool imm_cut_empty = false;
+            const bool imm_ok = attemptStage(
+                options, "imm", result.stageRetries,
+                [&](bool corrupted) {
+                    auto imm = imm_->match(*image, options.deadline);
+                    // A corrupted match is untrustworthy: discard it
+                    // rather than augment with a wrong landmark.
+                    if (corrupted)
+                        imm.bestId = -1;
+                    result.matchedLandmark = imm.bestId;
+                    result.timings.imm = imm.timings;
+                    imm_cut_empty = imm.cutShort && imm.bestId < 0;
+                });
+            imm_shed = !imm_ok || imm_cut_empty;
+        }
+        if (imm_shed) {
+            result.matchedLandmark = -1;
+            result.degradation = Degradation::ViqToVq;
+            appendShed(result, "imm");
+        } else if (result.matchedLandmark >= 0) {
+            question =
+                augmentWithLandmark(question, result.matchedLandmark);
+        }
     }
     result.augmentedQuestion = question;
 
-    // Stage 4: question answering.
-    const auto qa = qa_->answer(question);
-    result.answer = qa.answer;
-    result.timings.qa = qa.timings;
+    // Stage 4: question answering. Shed on an expired budget or
+    // exhausted retries — the query bottoms out at a VC-level partial
+    // result: transcript and classification, no answer.
+    bool qa_shed = false;
+    if (options.deadline.expired()) {
+        qa_shed = true;
+    } else {
+        // A QA pass cut short with nothing selected delivered no answer,
+        // so it counts as shed; a cut-short pass that still picked an
+        // answer from partial evidence counts as served.
+        bool qa_cut_empty = false;
+        const bool qa_ok = attemptStage(
+            options, "qa", result.stageRetries, [&](bool corrupted) {
+                auto qa = qa_->answer(question, options.deadline);
+                if (corrupted && options.faults != nullptr)
+                    qa.answer = options.faults->corrupt(qa.answer);
+                result.answer = qa.answer;
+                result.timings.qa = qa.timings;
+                qa_cut_empty = qa.cutShort && qa.answer.empty();
+            });
+        qa_shed = !qa_ok || qa_cut_empty;
+    }
+    if (qa_shed) {
+        result.answer.clear();
+        result.degradation = image != nullptr ? Degradation::ViqToVc
+                                              : Degradation::VqToVc;
+        appendShed(result, "qa");
+    }
     return result;
 }
 
 SiriusResult
 SiriusPipeline::process(const Query &query) const
 {
+    return process(query, ProcessOptions{});
+}
+
+SiriusResult
+SiriusPipeline::process(const Query &query,
+                        const ProcessOptions &options) const
+{
+    // Overdue before synthesis: shed everything without paying for
+    // audio or image generation. This is what keeps overdue queued
+    // requests near-free under overload, so the queue drains instead of
+    // diverging.
+    if (options.deadline.expired()) {
+        SiriusResult result;
+        result.degradation = Degradation::Failed;
+        appendShed(result, "asr");
+        if (query.type == QueryType::VoiceImageQuery)
+            appendShed(result, "imm");
+        appendShed(result, "qa");
+        result.deadlineExpired = true;
+        return result;
+    }
     const auto wave = asr_->synthesize(query.text);
     if (query.type == QueryType::VoiceImageQuery) {
         const vision::Image image =
             vision::generateQueryView(query.landmarkId);
-        return process(wave, &image);
+        return process(wave, &image, options);
     }
-    return process(wave, nullptr);
+    return process(wave, nullptr, options);
 }
 
 double

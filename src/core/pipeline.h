@@ -11,6 +11,8 @@
 #include <memory>
 #include <string>
 
+#include "common/deadline.h"
+#include "common/fault_injection.h"
 #include "core/intent.h"
 #include "core/query_classifier.h"
 #include "core/query_set.h"
@@ -28,6 +30,49 @@ struct SiriusConfig
     qa::QaConfig qa;
     vision::SurfConfig surf;
     int numLandmarks = 10;
+};
+
+/** Bounded retry with exponential backoff for a failed stage. */
+struct RetryPolicy
+{
+    int maxRetries = 0;             ///< extra attempts after the first
+    double backoffSeconds = 0.0005; ///< wait before the first retry
+    double backoffMultiplier = 2.0; ///< wait growth per further retry
+};
+
+/**
+ * How far a query slid down the Table-1 ladder (VC ⊂ VQ ⊂ VIQ) before
+ * completing. The containment order gives every over-budget or faulted
+ * query a natural fallback: drop IMM and a VIQ is still a valid VQ;
+ * drop QA and what remains is a VC-level partial result (transcript and
+ * classification, no answer). Failed means even ASR was lost, below
+ * which there is nothing to deliver.
+ */
+enum class Degradation
+{
+    None = 0, ///< full service at the requested level
+    ViqToVq,  ///< IMM shed: answered without the image
+    VqToVc,   ///< QA shed: transcript + classification only
+    ViqToVc,  ///< QA shed on a VIQ query (regardless of IMM's fate)
+    Failed,   ///< ASR shed: no usable output at all
+};
+
+/** Number of Degradation levels (for per-level counters). */
+inline constexpr size_t kDegradationLevels = 5;
+
+/** Short name ("none", "viq->vq", "vq->vc", "viq->vc", "failed"). */
+const char *degradationName(Degradation degradation);
+
+/**
+ * Robustness policy for one process() call: the latency budget, the
+ * per-stage retry policy, and an optional fault injector (not owned;
+ * shared across workers when set on a server).
+ */
+struct ProcessOptions
+{
+    Deadline deadline;               ///< unbounded by default
+    RetryPolicy retry;
+    FaultInjector *faults = nullptr; ///< nullptr = no injection
 };
 
 /** Per-stage latency of one end-to-end query, in seconds. */
@@ -55,6 +100,19 @@ struct SiriusResult
     int matchedLandmark = -1;  ///< IMM result (VIQ pathway)
     std::string augmentedQuestion; ///< question after IMM substitution
     StageTimings timings;
+
+    // Robustness outcome (all defaults when processed without options).
+    Degradation degradation = Degradation::None;
+    bool deadlineExpired = false; ///< budget ran out during processing
+    int stageRetries = 0;         ///< stage retry attempts performed
+    std::string shedStages;       ///< comma-separated, e.g. "imm,qa"
+
+    /** True when at least one stage was shed (including Failed). */
+    bool
+    degraded() const
+    {
+        return degradation != Degradation::None;
+    }
 };
 
 /**
@@ -72,12 +130,32 @@ class SiriusPipeline
     SiriusResult process(const Query &query) const;
 
     /**
+     * Run a query-set entry under a robustness policy. An expired
+     * deadline skips even the speech synthesis, so overdue requests
+     * complete in microseconds instead of milliseconds.
+     */
+    SiriusResult process(const Query &query,
+                         const ProcessOptions &options) const;
+
+    /**
      * Run raw inputs end to end.
      * @param wave spoken query audio
      * @param image optional image (VIQ pathway); pass nullptr otherwise
      */
     SiriusResult process(const audio::Waveform &wave,
                          const vision::Image *image) const;
+
+    /**
+     * Run raw inputs under a robustness policy: each stage checks the
+     * remaining deadline budget before starting (and cooperatively
+     * inside, see the services' deadline parameters), failed stages are
+     * retried per the policy, and when IMM or QA is lost the query is
+     * downgraded along the Table-1 ladder (VIQ→VQ→VC) instead of
+     * failing outright — the partial result records what was shed.
+     */
+    SiriusResult process(const audio::Waveform &wave,
+                         const vision::Image *image,
+                         const ProcessOptions &options) const;
 
     /** Fraction of @p queries answered correctly (VC: classified). */
     double accuracy(const std::vector<Query> &queries) const;
@@ -89,6 +167,10 @@ class SiriusPipeline
 
   private:
     SiriusPipeline() = default;
+
+    SiriusResult processRobust(const audio::Waveform &wave,
+                               const vision::Image *image,
+                               const ProcessOptions &options) const;
 
     SiriusConfig config_;
     std::unique_ptr<speech::AsrService> asr_;

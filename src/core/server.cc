@@ -18,10 +18,20 @@ ServerStats::record(const SiriusResult &result, double service_seconds)
     qaSeconds.add(result.timings.qa.total());
     immSeconds.add(result.timings.imm.total());
     ++served;
-    if (result.queryClass == QueryClass::Action)
+    if (result.degradation == Degradation::Failed)
+        ++failed;
+    else if (result.queryClass == QueryClass::Action)
         ++actions;
     else
         ++answers;
+    degradationCounts[static_cast<size_t>(result.degradation)]++;
+    if (result.degraded() && result.degradation != Degradation::Failed) {
+        ++degraded;
+        degradedSeconds.add(service_seconds);
+    }
+    if (result.deadlineExpired)
+        ++deadlineMisses;
+    stageRetries += static_cast<uint64_t>(result.stageRetries);
 }
 
 void
@@ -30,11 +40,18 @@ ServerStats::merge(const ServerStats &other)
     served += other.served;
     actions += other.actions;
     answers += other.answers;
+    degraded += other.degraded;
+    failed += other.failed;
+    deadlineMisses += other.deadlineMisses;
+    stageRetries += other.stageRetries;
+    for (size_t i = 0; i < degradationCounts.size(); ++i)
+        degradationCounts[i] += other.degradationCounts[i];
     serviceSeconds.addAll(other.serviceSeconds.samples());
     serviceHistogram.merge(other.serviceHistogram);
     asrSeconds.merge(other.asrSeconds);
     qaSeconds.merge(other.qaSeconds);
     immSeconds.merge(other.immSeconds);
+    degradedSeconds.merge(other.degradedSeconds);
 }
 
 SiriusServer::SiriusServer(const SiriusPipeline &pipeline)
@@ -47,6 +64,15 @@ SiriusServer::handle(const Query &query)
 {
     Stopwatch watch;
     SiriusResult result = pipeline_.process(query);
+    stats_.record(result, watch.seconds());
+    return result;
+}
+
+SiriusResult
+SiriusServer::handle(const Query &query, const ProcessOptions &options)
+{
+    Stopwatch watch;
+    SiriusResult result = pipeline_.process(query, options);
     stats_.record(result, watch.seconds());
     return result;
 }

@@ -10,6 +10,7 @@
 #ifndef SIRIUS_CORE_SERVER_H
 #define SIRIUS_CORE_SERVER_H
 
+#include <array>
 #include <cstdint>
 
 #include "common/stats.h"
@@ -25,12 +26,29 @@ struct ServerStats
     uint64_t answers = 0;   ///< VQ / VIQ pathway outcomes
     SampleStats serviceSeconds; ///< per-request processing time
 
+    // Robustness outcomes (all zero without a deadline/fault policy).
+    uint64_t degraded = 0;       ///< shed >= 1 stage, still delivered
+    uint64_t failed = 0;         ///< lost ASR: nothing delivered
+    uint64_t deadlineMisses = 0; ///< finished past their deadline
+    uint64_t stageRetries = 0;   ///< stage retry attempts, all queries
+
+    /**
+     * Queries per Degradation rung, indexed by the enum: the shape of
+     * the VIQ→VQ→VC ladder under the current load and fault regime.
+     */
+    std::array<uint64_t, kDegradationLevels> degradationCounts{};
+
     /** End-to-end service-time distribution (log-bucketed). */
     LatencyHistogram serviceHistogram;
     /** Per-stage distributions, fed from each result's StageTimings. */
     LatencyHistogram asrSeconds;
     LatencyHistogram qaSeconds;
     LatencyHistogram immSeconds;
+    /**
+     * Service-time distribution of degraded queries only: compare with
+     * serviceHistogram to see what shedding bought.
+     */
+    LatencyHistogram degradedSeconds;
 
     /** Fold one served result into every counter and histogram. */
     void record(const SiriusResult &result, double service_seconds);
@@ -48,6 +66,10 @@ class SiriusServer
 
     /** Serve one query, updating the statistics. */
     SiriusResult handle(const Query &query);
+
+    /** Serve one query under a robustness policy (deadline/retry/faults). */
+    SiriusResult handle(const Query &query,
+                        const ProcessOptions &options);
 
     /** Statistics since construction. */
     const ServerStats &stats() const { return stats_; }

@@ -20,7 +20,8 @@ QaService::build(QaConfig config)
 }
 
 QaResult
-QaService::answer(const std::string &question) const
+QaService::answer(const std::string &question,
+                  const Deadline &deadline) const
 {
     QaResult result;
 
@@ -37,6 +38,11 @@ QaService::answer(const std::string &question) const
     }
 
     std::vector<search::SearchHit> hits;
+    if (deadline.expired()) {
+        // Out of budget before retrieval: nothing to select from.
+        result.cutShort = true;
+        return result;
+    }
     {
         ScopedTimer timer(result.timings.search);
         hits = webSearch_->index().search(result.analysis.searchQuery,
@@ -67,11 +73,20 @@ QaService::answer(const std::string &question) const
         }
         ScopedTimer timer(*sink);
         for (size_t d = 0; d < scored.size(); ++d) {
+            // Filtering dominates QA cost (Figure 8), so the budget is
+            // checked per document: on expiry, selection proceeds over
+            // whatever evidence has accumulated so far.
+            if (deadline.bounded() && deadline.expired()) {
+                result.cutShort = true;
+                break;
+            }
             const FilterOutcome outcome =
                 filter->apply(*scored[d].first, result.analysis);
             result.filterHits += outcome.hits;
             doc_quality[d] += outcome.score;
         }
+        if (result.cutShort)
+            break;
     }
 
     // Fold filter quality into the retrieval score, then extract.

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "qa/answer.h"
 #include "qa/filters.h"
 #include "qa/question.h"
@@ -43,6 +44,12 @@ struct QaResult
     double confidence = 0.0;       ///< winner's aggregated score
     size_t filterHits = 0;         ///< total hits across all filters
     size_t docsExamined = 0;
+    /**
+     * True when the deadline expired mid-answer: retrieval or filtering
+     * stopped early and the answer (possibly empty) was selected from
+     * whatever evidence had been scored by then.
+     */
+    bool cutShort = false;
     QaTimings timings;
     QuestionAnalysis analysis;
 };
@@ -63,8 +70,15 @@ class QaService
     /** Build the corpus, index, filters and CRF tagger. */
     static QaService build(QaConfig config = {});
 
-    /** Answer a natural-language question. */
-    QaResult answer(const std::string &question) const;
+    /**
+     * Answer a natural-language question. A bounded @p deadline cuts
+     * the work short cooperatively: the budget is checked after
+     * question analysis and between document-filter applications, and
+     * on expiry the answer is selected from the documents scored so far
+     * (`cutShort`) — lower quality, but inside the latency target.
+     */
+    QaResult answer(const std::string &question,
+                    const Deadline &deadline = {}) const;
 
     const search::InvertedIndex &index() const
     {

@@ -132,7 +132,8 @@ AsrService::train(const std::vector<std::string> &sentences,
 }
 
 AsrResult
-AsrService::transcribe(const audio::Waveform &wave) const
+AsrService::transcribe(const audio::Waveform &wave,
+                       const Deadline &deadline) const
 {
     AsrResult result;
 
@@ -149,9 +150,22 @@ AsrService::transcribe(const audio::Waveform &wave) const
     {
         ScopedTimer timer(result.timings.scoring);
         scores.reserve(frames.size());
-        for (const auto &frame : frames)
-            scores.push_back(scorer_->scoreAll(frame));
+        for (size_t i = 0; i < frames.size(); ++i) {
+            // Scoring dominates ASR cost (Figure 9), so this is where a
+            // budget check pays: a handful of frames between checks
+            // bounds the overshoot past an expired deadline.
+            if (deadline.bounded() && (i & 7u) == 0 &&
+                deadline.expired()) {
+                result.cutShort = true;
+                break;
+            }
+            scores.push_back(scorer_->scoreAll(frames[i]));
+        }
     }
+    if (!result.cutShort && deadline.expired())
+        result.cutShort = true;
+    if (result.cutShort)
+        return result; // no search: a prefix decode would misclassify
 
     {
         ScopedTimer timer(result.timings.search);

@@ -18,6 +18,7 @@
 
 #include "audio/mfcc.h"
 #include "audio/synthesizer.h"
+#include "common/deadline.h"
 #include "speech/acoustic_model.h"
 #include "speech/decoder.h"
 #include "speech/language_model.h"
@@ -76,6 +77,12 @@ struct AsrResult
     std::string text;
     double logProb = 0.0;
     size_t frames = 0;
+    /**
+     * True when the deadline expired mid-transcription and the decode
+     * was abandoned (text is empty); the caller decides whether to
+     * retry, fail, or degrade the query.
+     */
+    bool cutShort = false;
     AsrTimings timings;
 };
 
@@ -91,8 +98,15 @@ class AsrService
     static AsrService train(const std::vector<std::string> &sentences,
                             AsrConfig config = {});
 
-    /** Transcribe a waveform. */
-    AsrResult transcribe(const audio::Waveform &wave) const;
+    /**
+     * Transcribe a waveform. A bounded @p deadline cuts the work short
+     * cooperatively: the budget is checked between feature extraction,
+     * scoring (every few frames), and search, and an expired deadline
+     * abandons the decode (`cutShort`) rather than returning a partial
+     * transcript.
+     */
+    AsrResult transcribe(const audio::Waveform &wave,
+                         const Deadline &deadline = {}) const;
 
     /** Synthesize @p text and transcribe it (testing convenience). */
     AsrResult transcribeText(const std::string &text) const;

@@ -3,6 +3,9 @@
  * Sirius Suite CRF kernel: part-of-speech tagging a sentence set with a
  * trained linear-chain CRF (Table 4, row 5; the paper uses CRFsuite on
  * CoNLL-2000 — our stand-in corpus is the synthetic tagged corpus).
+ * Input: sentences to tag — full scale (makeSuite) tags 2000 sentences
+ * with a tagger trained on 300. Data granularity of the threaded port:
+ * for each sentence.
  */
 
 #ifndef SIRIUS_SUITE_CRF_KERNEL_H

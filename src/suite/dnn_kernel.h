@@ -2,6 +2,10 @@
  * @file
  * Sirius Suite DNN kernel: batched feed-forward scoring (RASR-style),
  * dominated by dense matrix multiplication (Table 4, row 2).
+ * Input: speech feature vectors — full scale (makeSuite) pushes a
+ * 128-frame batch through a 440-1024-1024-1024-512 network. Data
+ * granularity of the threaded port: for each matrix multiplication,
+ * split over row blocks of the input batch.
  */
 
 #ifndef SIRIUS_SUITE_DNN_KERNEL_H

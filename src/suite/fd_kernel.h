@@ -1,7 +1,9 @@
 /**
  * @file
  * Sirius Suite FD kernel: SURF descriptor computation for a vector of
- * keypoints (Table 4, row 7).
+ * keypoints (Table 4, row 7). Input: image keypoints — full scale
+ * (makeSuite) describes the keypoints detected on a 1024x1024 view.
+ * Data granularity of the threaded port: for each keypoint.
  */
 
 #ifndef SIRIUS_SUITE_FD_KERNEL_H

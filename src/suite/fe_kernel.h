@@ -1,8 +1,10 @@
 /**
  * @file
  * Sirius Suite FE kernel: SURF feature extraction over an input image
- * (Table 4, row 6). The threaded port tiles the image as the paper
- * describes, with a minimum tile size of 50x50 pixels per thread.
+ * (Table 4, row 6). Input: an image — full scale (makeSuite) detects
+ * over a 1024x1024 view. Data granularity of the threaded port: for
+ * each image tile, with the paper's minimum tile size of 50x50 pixels
+ * per thread.
  */
 
 #ifndef SIRIUS_SUITE_FE_KERNEL_H

@@ -2,6 +2,9 @@
  * @file
  * Sirius Suite GMM kernel: Sphinx-style acoustic scoring of feature
  * frames against every HMM state's Gaussian mixture (Table 4, row 1).
+ * Input: speech feature vectors — full scale (makeSuite) scores 256
+ * frames of 32-dim features against 512 states x 8 Gaussians. Data
+ * granularity of the threaded port: for each HMM state.
  */
 
 #ifndef SIRIUS_SUITE_GMM_KERNEL_H

@@ -1,8 +1,11 @@
 /**
  * @file
  * Sirius Suite Regex kernel: matching a pattern battery against a
- * sentence set (Table 4, row 4; the paper uses 100 expressions over 400
- * sentences with SLRE).
+ * sentence set (Table 4, row 4). Input: regular expressions over
+ * sentences — full scale (makeSuite) matches the paper's 100
+ * expressions over 400 sentences (SLRE in the paper; our Pike-VM
+ * engine here). Data granularity of the threaded port: for each
+ * regex-sentence pair.
  */
 
 #ifndef SIRIUS_SUITE_REGEX_KERNEL_H

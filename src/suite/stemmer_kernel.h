@@ -1,7 +1,9 @@
 /**
  * @file
  * Sirius Suite Stemmer kernel: Porter-stemming a large word list
- * (Table 4, row 3; the paper uses a 4M-word list).
+ * (Table 4, row 3). Input: a word list — full scale (makeSuite)
+ * matches the paper's 4,000,000 words. Data granularity of the
+ * threaded port: for each individual word.
  */
 
 #ifndef SIRIUS_SUITE_STEMMER_KERNEL_H

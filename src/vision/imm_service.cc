@@ -26,7 +26,7 @@ ImmService::build(int num_landmarks, SurfConfig config)
 }
 
 ImmResult
-ImmService::match(const Image &image) const
+ImmService::match(const Image &image, const Deadline &deadline) const
 {
     ImmResult result;
 
@@ -38,16 +38,31 @@ ImmService::match(const Image &image) const
         keypoints = detectKeypoints(*integral, config_);
     }
     result.queryKeypoints = keypoints.size();
+    if (deadline.expired()) {
+        result.cutShort = true;
+        return result;
+    }
 
     std::vector<Descriptor> descriptors;
     {
         ScopedTimer timer(result.timings.featureDescription);
         descriptors = describeKeypoints(*integral, keypoints, config_);
     }
+    if (deadline.expired()) {
+        result.cutShort = true;
+        return result;
+    }
 
     {
         ScopedTimer timer(result.timings.matching);
         for (const auto &entry : database_) {
+            // The database scan is the open-ended part of IMM, so the
+            // budget is checked per entry; the best match over the
+            // entries reached so far still stands.
+            if (deadline.bounded() && deadline.expired()) {
+                result.cutShort = true;
+                break;
+            }
             const auto stats = matchDescriptors(descriptors, *entry.tree);
             if (stats.goodMatches > result.bestMatches ||
                 result.bestId < 0) {

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "vision/landmarks.h"
 #include "vision/matcher.h"
 #include "vision/surf.h"
@@ -39,6 +40,12 @@ struct ImmResult
     int bestId = -1;             ///< database image id, -1 if no match
     size_t bestMatches = 0;      ///< ratio-test matches of the winner
     size_t queryKeypoints = 0;
+    /**
+     * True when the deadline expired mid-match: bestId is the winner
+     * over the database entries searched before the budget ran out
+     * (possibly -1 if none were reached).
+     */
+    bool cutShort = false;
     ImmTimings timings;
 };
 
@@ -53,8 +60,14 @@ class ImmService
      */
     static ImmService build(int num_landmarks, SurfConfig config = {});
 
-    /** Match @p image against the database. */
-    ImmResult match(const Image &image) const;
+    /**
+     * Match @p image against the database. A bounded @p deadline cuts
+     * the search short cooperatively: the budget is checked between
+     * extraction, description and each database entry, and on expiry
+     * the best match found so far is returned (`cutShort`).
+     */
+    ImmResult match(const Image &image,
+                    const Deadline &deadline = {}) const;
 
     /** Database size. */
     size_t databaseSize() const { return database_.size(); }
