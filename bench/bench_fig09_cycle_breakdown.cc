@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/profiler.h"
 #include "core/pipeline.h"
 #include "core/query_set.h"
 
@@ -19,18 +20,29 @@ using namespace sirius::core;
 
 namespace {
 
+/**
+ * Print one service's breakdown from a Profiler whose components were
+ * fed one sample per query: percent of the service total plus the
+ * per-query call count, mean, and min/max spread of each component.
+ */
 void
-printBreakdown(const char *service,
-               const std::vector<std::pair<const char *, double>> &parts)
+printBreakdown(const char *service, const Profiler &profiler)
 {
-    double total = 0.0;
-    for (const auto &[name, seconds] : parts)
-        total += seconds;
+    const double queries = profiler.component(
+        profiler.componentsByTime().front()).calls;
     std::printf("\n%s (total %.2f ms per query)\n", service,
-                total * 1e3);
-    for (const auto &[name, seconds] : parts) {
-        const double pct = total > 0 ? seconds / total * 100.0 : 0.0;
-        std::printf("  %-18s %6.1f%%  %s\n", name, pct,
+                queries > 0 ? profiler.totalSeconds() / queries * 1e3
+                            : 0.0);
+    std::printf("  %-18s %8s %6s %9s %9s %9s\n", "component",
+                "percent", "calls", "mean ms", "min ms", "max ms");
+    for (const auto &name : profiler.componentsByTime()) {
+        const auto c = profiler.component(name);
+        const double pct = profiler.fraction(name) * 100.0;
+        std::printf("  %-18s %7.1f%% %6llu %9.3f %9.3f %9.3f  %s\n",
+                    name.c_str(), pct,
+                    static_cast<unsigned long long>(c.calls),
+                    c.meanSeconds() * 1e3, c.minSeconds * 1e3,
+                    c.maxSeconds * 1e3,
                     sirius::bench::bar(pct, 2.0).c_str());
     }
 }
@@ -49,51 +61,43 @@ main()
     dnn_config.asrBackend = speech::AsrBackend::Dnn;
     const SiriusPipeline dnn_pipeline = SiriusPipeline::build(dnn_config);
 
-    // Accumulate per-component time over the full query set.
-    speech::AsrTimings asr_gmm{}, asr_dnn{};
-    qa::QaTimings qa{};
-    vision::ImmTimings imm{};
+    // One Profiler per service view, fed one sample per query, so the
+    // table shows calls (= queries) and the min/max spread alongside
+    // the paper's percentage breakdown.
+    Profiler asr_gmm, asr_dnn, qa, imm;
     for (const auto &query : standardQuerySet()) {
         const auto g = gmm_pipeline.process(query);
-        asr_gmm.featureExtraction += g.timings.asr.featureExtraction;
-        asr_gmm.scoring += g.timings.asr.scoring;
-        asr_gmm.search += g.timings.asr.search;
-        qa.stemmer += g.timings.qa.stemmer;
-        qa.regex += g.timings.qa.regex;
-        qa.crf += g.timings.qa.crf;
-        qa.search += g.timings.qa.search;
-        qa.select += g.timings.qa.select;
-        imm.featureExtraction += g.timings.imm.featureExtraction;
-        imm.featureDescription += g.timings.imm.featureDescription;
-        imm.matching += g.timings.imm.matching;
+        asr_gmm.addSeconds("feature extract",
+                           g.timings.asr.featureExtraction);
+        asr_gmm.addSeconds("GMM scoring", g.timings.asr.scoring);
+        asr_gmm.addSeconds("HMM/Viterbi", g.timings.asr.search);
+        qa.addSeconds("Stemmer", g.timings.qa.stemmer);
+        qa.addSeconds("Regex", g.timings.qa.regex);
+        qa.addSeconds("CRF", g.timings.qa.crf);
+        qa.addSeconds("search (BM25)", g.timings.qa.search);
+        qa.addSeconds("answer select", g.timings.qa.select);
+        imm.addSeconds("FE (SURF detect)",
+                       g.timings.imm.featureExtraction);
+        imm.addSeconds("FD (SURF descr.)",
+                       g.timings.imm.featureDescription);
+        imm.addSeconds("ANN matching", g.timings.imm.matching);
 
         const auto d = dnn_pipeline.process(query);
-        asr_dnn.featureExtraction += d.timings.asr.featureExtraction;
-        asr_dnn.scoring += d.timings.asr.scoring;
-        asr_dnn.search += d.timings.asr.search;
+        asr_dnn.addSeconds("feature extract",
+                           d.timings.asr.featureExtraction);
+        asr_dnn.addSeconds("DNN scoring", d.timings.asr.scoring);
+        asr_dnn.addSeconds("HMM/Viterbi", d.timings.asr.search);
     }
-    const double n = static_cast<double>(standardQuerySet().size());
 
-    printBreakdown("ASR (GMM/HMM)",
-                   {{"feature extract", asr_gmm.featureExtraction / n},
-                    {"GMM scoring", asr_gmm.scoring / n},
-                    {"HMM/Viterbi", asr_gmm.search / n}});
-    printBreakdown("ASR (DNN/HMM)",
-                   {{"feature extract", asr_dnn.featureExtraction / n},
-                    {"DNN scoring", asr_dnn.scoring / n},
-                    {"HMM/Viterbi", asr_dnn.search / n}});
-    printBreakdown("QA", {{"Stemmer", qa.stemmer / n},
-                          {"Regex", qa.regex / n},
-                          {"CRF", qa.crf / n},
-                          {"search (BM25)", qa.search / n},
-                          {"answer select", qa.select / n}});
-    printBreakdown("IMM",
-                   {{"FE (SURF detect)", imm.featureExtraction / n},
-                    {"FD (SURF descr.)", imm.featureDescription / n},
-                    {"ANN matching", imm.matching / n}});
+    printBreakdown("ASR (GMM/HMM)", asr_gmm);
+    printBreakdown("ASR (DNN/HMM)", asr_dnn);
+    printBreakdown("QA", qa);
+    printBreakdown("IMM", imm);
 
-    const double nlp = qa.stemmer + qa.regex + qa.crf;
-    const double qa_total = nlp + qa.search + qa.select;
+    const double nlp = qa.seconds("Stemmer") + qa.seconds("Regex") +
+        qa.seconds("CRF");
+    const double qa_total = nlp + qa.seconds("search (BM25)") +
+        qa.seconds("answer select");
     std::printf("\nQA NLP share (stemmer+regex+CRF): %.1f%% "
                 "(paper: ~85%% of QA cycles)\n",
                 qa_total > 0 ? nlp / qa_total * 100.0 : 0.0);

@@ -21,9 +21,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "accel/latency.h"
 #include "bench_util.h"
+#include "common/metrics.h"
 #include "core/concurrent_server.h"
 #include "dcsim/queueing.h"
 
@@ -33,12 +35,31 @@ using namespace sirius::dcsim;
 
 namespace {
 
+void
+writeFile(const std::string &path, const std::string &text,
+          const char *what)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     path.c_str());
+        return;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s to %s\n", what, path.c_str());
+}
+
 /**
  * Measured-vs-model comparison: one worker makes the leaf node an
- * M/[G]/1 queue, the shape the Figure-17 analysis assumes.
+ * M/[G]/1 queue, the shape the Figure-17 analysis assumes. Per-rho
+ * server metrics are merged into one registry, labeled by load level,
+ * and exported on request (--metrics-out Prometheus, --csv-out CSV for
+ * the bench harness).
  */
 void
-measuredComparison()
+measuredComparison(const std::string &metrics_out,
+                   const std::string &csv_out)
 {
     bench::banner("Figure 17 (validation): measured open-loop sojourn vs "
                   "M/M/1");
@@ -55,6 +76,7 @@ measuredComparison()
     const double mu = probe.serviceRate();
     std::printf("measured service rate mu = %.1f queries/s\n\n", mu);
 
+    MetricsRegistry registry;
     std::printf("%-8s %14s %14s %14s %12s\n", "load", "measured mean",
                 "replay mean", "M/M/1 mean", "shed");
     for (double rho : {0.3, 0.5, 0.7}) {
@@ -65,12 +87,21 @@ measuredComparison()
         core::ConcurrentServer server(pipeline, server_config);
         const auto measured = core::runOpenLoop(server, lambda, 160);
         const auto replayed = core::loadTest(probe, lambda, 4000);
+        char load[16];
+        std::snprintf(load, sizeof(load), "%.1f", rho);
+        server.exportMetrics(registry,
+                             {{"server", "mm1"}, {"load", load}});
         std::printf("%-8.1f %12.2fms %12.2fms %12.2fms %12llu\n", rho,
                     measured.sojournSeconds.mean() * 1e3,
                     replayed.sojournSeconds.mean() * 1e3,
                     mm1Latency(lambda, mu) * 1e3,
                     static_cast<unsigned long long>(measured.rejected));
     }
+    if (!metrics_out.empty())
+        writeFile(metrics_out, registry.renderPrometheus(),
+                  "Prometheus metrics");
+    if (!csv_out.empty())
+        writeFile(csv_out, registry.renderCsv(), "CSV metrics");
     std::printf("\nthe three columns should agree in shape: latency "
                 "inflates as load rises. M/M/1 assumes exponential "
                 "service, so with Sirius's near-deterministic per-class "
@@ -151,15 +182,26 @@ main(int argc, char **argv)
 {
     bool measured = false;
     double deadline_seconds = 0.0;
+    std::string metrics_out, csv_out;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--measured") == 0)
             measured = true;
         else if (std::strcmp(argv[i], "--deadline-ms") == 0 &&
                  i + 1 < argc)
             deadline_seconds = std::atof(argv[++i]) * 1e-3;
+        else if (std::strcmp(argv[i], "--metrics-out") == 0 &&
+                 i + 1 < argc)
+            metrics_out = argv[++i];
+        else if (std::strcmp(argv[i], "--csv-out") == 0 && i + 1 < argc)
+            csv_out = argv[++i];
+    }
+    if (!measured && (!metrics_out.empty() || !csv_out.empty())) {
+        std::printf("note: --metrics-out/--csv-out export the "
+                    "--measured servers; enabling --measured\n");
+        measured = true;
     }
     if (measured)
-        measuredComparison();
+        measuredComparison(metrics_out, csv_out);
     if (deadline_seconds > 0.0)
         deadlineSweep(deadline_seconds);
 

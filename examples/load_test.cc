@@ -29,13 +29,30 @@
  *   --fault-seed S    fault-injector seed     (default: FaultConfig's)
  *   --retries N       stage retries before degrading        (default 1
  *                     when faults are on, else 0)
+ *
+ * Observability (--real mode):
+ *   --trace-out F     append per-query spans to F as JSONL
+ *   --trace-sample R  head sampling rate in [0,1] (default 1 when
+ *                     --trace-out is given, else 0)
+ *   --metrics-out F   write the merged metrics registry to F in
+ *                     Prometheus text exposition format
+ *   --metrics-csv F   write the merged metrics registry to F as CSV
+ *   --log-level L     log threshold: debug|info|warn|error
+ *
+ * Feed the trace to the analyzer:
+ *   load_test --real --trace-out t.jsonl --metrics-out m.prom
+ *   trace_report t.jsonl
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "common/fault_injection.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "core/concurrent_server.h"
 #include "core/server.h"
 
@@ -43,6 +60,60 @@ using namespace sirius;
 using namespace sirius::core;
 
 namespace {
+
+/** Exporter destinations shared by every server the sweep creates. */
+struct Observability
+{
+    std::string traceOut;
+    std::string metricsOut;
+    std::string metricsCsv;
+    double sampleRate = 0.0;
+    MetricsRegistry registry;
+    bool traceFileStarted = false;
+
+    /** Drain one server's collector and registry into the sinks. */
+    void
+    collect(const ConcurrentServer &server)
+    {
+        server.exportMetrics(registry);
+        if (traceOut.empty())
+            return;
+        const auto spans = server.traces().snapshot();
+        if (spans.empty())
+            return;
+        // First write truncates any stale file; later levels append.
+        writeTraceJsonl(traceOut, spans, traceFileStarted);
+        traceFileStarted = true;
+    }
+
+    void
+    flush() const
+    {
+        if (!metricsOut.empty()) {
+            std::FILE *f = std::fopen(metricsOut.c_str(), "w");
+            if (f != nullptr) {
+                const std::string text = registry.renderPrometheus();
+                std::fwrite(text.data(), 1, text.size(), f);
+                std::fclose(f);
+                std::printf("wrote metrics to %s\n", metricsOut.c_str());
+            }
+        }
+        if (!metricsCsv.empty()) {
+            std::FILE *f = std::fopen(metricsCsv.c_str(), "w");
+            if (f != nullptr) {
+                const std::string text = registry.renderCsv();
+                std::fwrite(text.data(), 1, text.size(), f);
+                std::fclose(f);
+                std::printf("wrote metrics CSV to %s\n",
+                            metricsCsv.c_str());
+            }
+        }
+        if (!traceOut.empty())
+            std::printf("wrote trace spans to %s (analyze with "
+                        "trace_report %s)\n", traceOut.c_str(),
+                        traceOut.c_str());
+    }
+};
 
 void
 replaySweep(SiriusServer &server, double capacity, double max_load)
@@ -61,9 +132,10 @@ replaySweep(SiriusServer &server, double capacity, double max_load)
 
 void
 realSweep(const SiriusPipeline &pipeline, double capacity,
-          double max_load, const ConcurrentServerConfig &config,
-          size_t requests)
+          double max_load, ConcurrentServerConfig config,
+          size_t requests, Observability &obs)
 {
+    config.traceSampleRate = obs.sampleRate;
     std::printf("real executions: %zu workers, queue capacity %zu, %zu "
                 "requests per level\n", config.workers,
                 config.queueCapacity, requests);
@@ -81,12 +153,16 @@ realSweep(const SiriusPipeline &pipeline, double capacity,
     std::printf("%-8s %10s %12s %12s %12s %6s %9s %7s\n", "load",
                 "offered", "mean sojrn", "p95 sojrn", "p99 sojrn",
                 "shed", "degraded", "missed");
+    size_t level = 0;
     for (double rho = 0.1; rho <= max_load + 1e-9; rho += 0.2) {
         // Load is per worker: rho * capacity saturates one worker.
         const double lambda =
             rho * capacity * static_cast<double>(config.workers);
+        // Distinct id blocks per level keep the shared JSONL unambiguous.
+        config.traceIdOffset = 1000000 * static_cast<uint64_t>(++level);
         ConcurrentServer server(pipeline, config);
         const auto result = runOpenLoop(server, lambda, requests);
+        obs.collect(server);
         std::printf("%-8.1f %8.1fqps %10.2fms %10.2fms %10.2fms %6llu "
                     "%9llu %7llu\n",
                     rho, result.offeredQps,
@@ -101,12 +177,14 @@ realSweep(const SiriusPipeline &pipeline, double capacity,
 
     // One closed-loop run for contrast: per-session latency when every
     // user waits for their answer before asking again.
+    config.traceIdOffset = 1000000 * static_cast<uint64_t>(level + 1);
     ConcurrentServer server(pipeline, config);
     const auto closed =
         runClosedLoop(server, config.workers, requests / config.workers);
     std::printf("\nclosed loop (%zu blocking clients): %.1f qps served, "
                 "mean latency %.2f ms\n", config.workers,
                 closed.achievedQps, closed.sojournSeconds.mean() * 1e3);
+    obs.collect(server);
 
     const auto stats = server.snapshot();
     std::printf("per-stage p50/p95/p99 (ms): asr %.1f/%.1f/%.1f   "
@@ -152,6 +230,8 @@ main(int argc, char **argv)
     int retries = -1; // -1: pick a default after parsing
     size_t requests = 150;
     double max_load = 0.9;
+    Observability obs;
+    double trace_sample = -1.0; // -1: pick a default after parsing
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--real") == 0)
             real = true;
@@ -175,11 +255,38 @@ main(int argc, char **argv)
                 static_cast<uint64_t>(std::atoll(argv[++i]));
         else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc)
             retries = std::atoi(argv[++i]);
-        else
+        else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc)
+            obs.traceOut = argv[++i];
+        else if (std::strcmp(argv[i], "--trace-sample") == 0 &&
+                 i + 1 < argc)
+            trace_sample = std::atof(argv[++i]);
+        else if (std::strcmp(argv[i], "--metrics-out") == 0 &&
+                 i + 1 < argc)
+            obs.metricsOut = argv[++i];
+        else if (std::strcmp(argv[i], "--metrics-csv") == 0 &&
+                 i + 1 < argc)
+            obs.metricsCsv = argv[++i];
+        else if (std::strcmp(argv[i], "--log-level") == 0 &&
+                 i + 1 < argc) {
+            LogLevel level;
+            if (logLevelFromName(argv[++i], level))
+                setLogLevel(level);
+            else
+                std::fprintf(stderr, "unknown --log-level '%s' "
+                             "(want debug|info|warn|error)\n", argv[i]);
+        } else
             max_load = std::atof(argv[i]);
     }
     config.retry.maxRetries = retries >= 0 ? retries
         : (faults_requested ? 1 : 0);
+    // Tracing defaults on (keep everything) once a sink is named.
+    obs.sampleRate = trace_sample >= 0.0
+        ? trace_sample
+        : (obs.traceOut.empty() ? 0.0 : 1.0);
+    if (!real && (!obs.traceOut.empty() || !obs.metricsOut.empty() ||
+                  !obs.metricsCsv.empty()))
+        std::fprintf(stderr, "note: --trace-out/--metrics-out need "
+                     "--real (replay mode executes nothing)\n");
 
     FaultInjector injector(fault_config);
     if (injector.enabled())
@@ -197,9 +304,11 @@ main(int argc, char **argv)
                 "service %.2f ms)\n\n", capacity, 1e3 / capacity);
 
     if (real)
-        realSweep(pipeline, capacity, max_load, config, requests);
+        realSweep(pipeline, capacity, max_load, config, requests, obs);
     else
         replaySweep(server, capacity, max_load);
+    if (real)
+        obs.flush();
 
     std::printf("\nlatency blows up as load approaches capacity — the "
                 "headroom acceleration buys (Figure 17) is exactly this "

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Trace analyzer: turns a JSONL trace dump (load_test --trace-out, or
+ * any TraceCollector snapshot) back into the paper's tables — a
+ * Figure-9-style per-component breakdown from the kernel spans, a
+ * queue-wait / service / retry attribution table from the root and
+ * queue_wait spans, and the slowest-N exemplar queries with their
+ * budgets itemized.
+ *
+ * Usage: ./build/examples/trace_report TRACE.jsonl [--slowest N]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/trace.h"
+
+using namespace sirius;
+
+namespace {
+
+/** Everything we aggregate about one traced query. */
+struct TraceSummary
+{
+    uint64_t id = 0;
+    double totalSeconds = 0.0;     ///< root query span duration
+    double queueWaitSeconds = 0.0;
+    std::map<std::string, double> stageSeconds;
+    int retries = 0;
+    int faults = 0;
+    std::string degradation = "none";
+    std::string text;
+    bool hasRoot = false;
+};
+
+struct ComponentAgg
+{
+    double seconds = 0.0;
+    uint64_t calls = 0;
+    double maxSeconds = 0.0;
+};
+
+std::string
+attrValue(const SpanRecord &span, const char *key,
+          const std::string &fallback = "")
+{
+    for (const auto &[k, v] : span.attrs) {
+        if (k == key)
+            return v;
+    }
+    return fallback;
+}
+
+std::string
+bar(double pct, double per_char = 2.0)
+{
+    std::string out;
+    for (double p = per_char; p <= pct; p += per_char)
+        out += '#';
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *path = nullptr;
+    size_t slowest = 5;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--slowest") == 0 && i + 1 < argc)
+            slowest = static_cast<size_t>(std::atoi(argv[++i]));
+        else
+            path = argv[i];
+    }
+    if (path == nullptr) {
+        std::fprintf(stderr,
+                     "usage: trace_report TRACE.jsonl [--slowest N]\n");
+        return 2;
+    }
+
+    size_t malformed = 0;
+    const auto spans = readTraceJsonl(path, &malformed);
+    if (spans.empty()) {
+        std::fprintf(stderr,
+                     "trace_report: no parseable spans in %s "
+                     "(%zu malformed lines)\n", path, malformed);
+        return 1;
+    }
+
+    // Fold spans into per-trace summaries and per-component totals.
+    std::map<uint64_t, TraceSummary> traces;
+    std::map<std::string, ComponentAgg> kernels;
+    std::map<std::string, ComponentAgg> stages;
+    for (const auto &span : spans) {
+        TraceSummary &trace = traces[span.traceId];
+        trace.id = span.traceId;
+        switch (span.kind) {
+          case SpanKind::Query:
+            trace.hasRoot = true;
+            trace.totalSeconds = span.durationSeconds;
+            trace.degradation =
+                attrValue(span, "degradation", "none");
+            trace.text = attrValue(span, "text");
+            trace.retries =
+                std::atoi(attrValue(span, "retries", "0").c_str());
+            break;
+          case SpanKind::QueueWait:
+            trace.queueWaitSeconds += span.durationSeconds;
+            break;
+          case SpanKind::Stage: {
+            trace.stageSeconds[span.name] += span.durationSeconds;
+            ComponentAgg &agg = stages[span.name];
+            agg.seconds += span.durationSeconds;
+            agg.calls += 1;
+            agg.maxSeconds =
+                std::max(agg.maxSeconds, span.durationSeconds);
+            break;
+          }
+          case SpanKind::Kernel: {
+            ComponentAgg &agg = kernels[span.name];
+            agg.seconds += span.durationSeconds;
+            agg.calls += 1;
+            agg.maxSeconds =
+                std::max(agg.maxSeconds, span.durationSeconds);
+            break;
+          }
+          case SpanKind::Retry:
+            ++trace.retries;
+            break;
+          case SpanKind::Fault:
+            ++trace.faults;
+            break;
+          case SpanKind::Degradation:
+            break;
+        }
+    }
+
+    size_t complete = 0;
+    for (const auto &[id, trace] : traces)
+        complete += trace.hasRoot ? 1 : 0;
+    std::printf("trace_report: %zu spans, %zu traces (%zu with a root "
+                "query span), %zu malformed lines\n\n",
+                spans.size(), traces.size(), complete, malformed);
+
+    // --- Figure-9-style per-component breakdown (kernel spans) ---
+    double kernel_total = 0.0;
+    for (const auto &[name, agg] : kernels)
+        kernel_total += agg.seconds;
+    if (kernel_total > 0.0) {
+        std::printf("per-component breakdown (kernel spans, cf. "
+                    "Figure 9)\n");
+        std::printf("  %-20s %8s %7s %10s %10s\n", "component",
+                    "percent", "calls", "mean ms", "max ms");
+        std::vector<std::pair<std::string, ComponentAgg>> rows(
+            kernels.begin(), kernels.end());
+        std::sort(rows.begin(), rows.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second.seconds > b.second.seconds;
+                  });
+        for (const auto &[name, agg] : rows) {
+            const double pct = agg.seconds / kernel_total * 100.0;
+            std::printf("  %-20s %7.1f%% %7llu %10.3f %10.3f  %s\n",
+                        name.c_str(), pct,
+                        static_cast<unsigned long long>(agg.calls),
+                        agg.seconds /
+                            static_cast<double>(agg.calls) * 1e3,
+                        agg.maxSeconds * 1e3, bar(pct).c_str());
+        }
+        std::printf("\n");
+    }
+
+    // --- queue-wait / service / retry attribution ---
+    double queue_total = 0.0, service_total = 0.0, root_total = 0.0;
+    std::map<std::string, double> stage_totals;
+    uint64_t retries_total = 0, faults_total = 0;
+    for (const auto &[id, trace] : traces) {
+        if (!trace.hasRoot)
+            continue;
+        queue_total += trace.queueWaitSeconds;
+        root_total += trace.totalSeconds;
+        service_total +=
+            trace.totalSeconds - trace.queueWaitSeconds;
+        for (const auto &[stage, secs] : trace.stageSeconds)
+            stage_totals[stage] += secs;
+        retries_total += static_cast<uint64_t>(trace.retries);
+        faults_total += static_cast<uint64_t>(trace.faults);
+    }
+    if (complete > 0) {
+        const double n = static_cast<double>(complete);
+        std::printf("sojourn attribution over %zu complete traces\n",
+                    complete);
+        std::printf("  %-26s %12s %10s %8s\n", "bucket", "total s",
+                    "mean ms", "share");
+        const auto row = [&](const char *name, double secs) {
+            std::printf("  %-26s %12.4f %10.3f %7.1f%%\n", name, secs,
+                        secs / n * 1e3,
+                        root_total > 0 ? secs / root_total * 100.0
+                                       : 0.0);
+        };
+        row("queue wait", queue_total);
+        double staged = 0.0;
+        for (const auto &[stage, secs] : stage_totals) {
+            row(("service: " + stage).c_str(), secs);
+            staged += secs;
+        }
+        row("service: other", std::max(0.0, service_total - staged));
+        row("sojourn (total)", root_total);
+        std::printf("  retries: %llu, injected faults observed: %llu\n\n",
+                    static_cast<unsigned long long>(retries_total),
+                    static_cast<unsigned long long>(faults_total));
+    }
+
+    // --- slowest-N exemplar queries ---
+    std::vector<const TraceSummary *> order;
+    order.reserve(traces.size());
+    for (const auto &[id, trace] : traces) {
+        if (trace.hasRoot)
+            order.push_back(&trace);
+    }
+    std::sort(order.begin(), order.end(),
+              [](const TraceSummary *a, const TraceSummary *b) {
+                  return a->totalSeconds > b->totalSeconds;
+              });
+    if (!order.empty() && slowest > 0) {
+        std::printf("slowest %zu queries\n",
+                    std::min(slowest, order.size()));
+        std::printf("  %-10s %10s %10s %8s %8s %8s %4s %-9s %s\n",
+                    "trace", "total ms", "queue ms", "asr ms", "qa ms",
+                    "imm ms", "rtry", "rung", "text");
+        for (size_t i = 0; i < order.size() && i < slowest; ++i) {
+            const TraceSummary &t = *order[i];
+            const auto stage = [&t](const char *name) {
+                auto it = t.stageSeconds.find(name);
+                return it == t.stageSeconds.end() ? 0.0 : it->second;
+            };
+            std::printf("  %-10llu %10.2f %10.2f %8.2f %8.2f %8.2f "
+                        "%4d %-9s %s\n",
+                        static_cast<unsigned long long>(t.id),
+                        t.totalSeconds * 1e3,
+                        t.queueWaitSeconds * 1e3, stage("asr") * 1e3,
+                        stage("qa") * 1e3, stage("imm") * 1e3,
+                        t.retries, t.degradation.c_str(),
+                        t.text.c_str());
+        }
+    }
+    return 0;
+}

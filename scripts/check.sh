@@ -11,10 +11,31 @@ set -eu
 cd "$(dirname "$0")/.."
 jobs="$(nproc 2>/dev/null || echo 4)"
 
+echo "==> lint: metric naming conventions (scripts/lint_metrics.sh)"
+scripts/lint_metrics.sh
+
 echo "==> tier-1: configure + build + full test suite (build/)"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 (cd build && ctest --output-on-failure -j "$jobs")
+
+echo "==> exporters: trace_report smoke run on a generated trace"
+trace_tmp="$(mktemp /tmp/sirius_trace.XXXXXX.jsonl)"
+trap 'rm -f "$trace_tmp"' EXIT
+# A hand-written three-span trace (root + queue wait + one stage) in
+# the writeTraceJsonl format; trace_report must parse it and print the
+# attribution table.
+cat > "$trace_tmp" <<'EOF'
+{"trace":1,"span":2,"parent":1,"kind":"queue_wait","name":"queue_wait","start_s":0.000000000,"dur_s":0.010000000,"attrs":{}}
+{"trace":1,"span":3,"parent":1,"kind":"stage","name":"asr","start_s":0.010000000,"dur_s":0.080000000,"attrs":{"cut_short":"0"}}
+{"trace":1,"span":1,"parent":0,"kind":"query","name":"query","start_s":0.000000000,"dur_s":0.100000000,"attrs":{"type":"vq","degradation":"none","text":"smoke test"}}
+EOF
+report="$(./build/examples/trace_report "$trace_tmp" --slowest 1)"
+echo "$report" | grep -q "1 traces (1 with a root query span)" || {
+    echo "trace_report smoke run failed:"; echo "$report"; exit 1; }
+echo "$report" | grep -q "queue wait" || {
+    echo "trace_report printed no attribution table"; exit 1; }
+echo "trace_report smoke run: OK"
 
 if [ "${SKIP_TSAN:-0}" = "1" ]; then
     echo "==> SKIP_TSAN=1: skipping the ThreadSanitizer pass"
@@ -27,9 +48,9 @@ cmake -B build-tsan -S . -DSIRIUS_SANITIZE=thread >/dev/null
 # bench/example targets would double the check's wall time for no
 # additional thread coverage.
 cmake --build build-tsan -j "$jobs" \
-    --target test_server test_robustness test_common
+    --target test_server test_robustness test_common test_observability
 (cd build-tsan &&
      ctest --output-on-failure -j "$jobs" \
-           -R "Server|Robustness|Deadline|FaultInjector|LatencyHistogram|Profiler|ThreadPool|ParallelFor")
+           -R "Server|Robustness|Deadline|FaultInjector|LatencyHistogram|Profiler|ThreadPool|ParallelFor|Trace|Metrics|Observability")
 
 echo "==> all checks passed"

@@ -1,0 +1,47 @@
+#!/bin/sh
+# Metric-name lint: every metric registered in src/ must be snake_case
+# (the convention docs/ARCHITECTURE.md documents and MetricsRegistry
+# enforces at runtime) and must carry at least one label — unlabeled
+# instances cannot be told apart once several servers merge into one
+# registry.
+#
+# Checked call sites: registry.counter("name", {labels}),
+# .gauge(...), .histogram(...) with a string-literal name.
+set -eu
+
+cd "$(dirname "$0")/.."
+status=0
+
+# Literal metric names that are not snake_case (uppercase, dashes, or a
+# leading non-letter).
+bad_names="$(grep -rnE \
+    '\.(counter|gauge|histogram)\("[^"]*[^a-z0-9_"][^"]*"' \
+    --include='*.cc' --include='*.h' src/ || true)"
+if [ -n "$bad_names" ]; then
+    echo "lint_metrics: metric names must be snake_case ([a-z0-9_]):"
+    echo "$bad_names"
+    status=1
+fi
+lead_digit="$(grep -rnE '\.(counter|gauge|histogram)\("[0-9_]' \
+    --include='*.cc' --include='*.h' src/ || true)"
+if [ -n "$lead_digit" ]; then
+    echo "lint_metrics: metric names must start with a letter:"
+    echo "$lead_digit"
+    status=1
+fi
+
+# A name argument followed directly by `)` registers an instance with
+# no labels at all.
+unlabeled="$(grep -rnE '\.(counter|gauge|histogram)\("[a-z0-9_]+"\)' \
+    --include='*.cc' --include='*.h' src/ || true)"
+if [ -n "$unlabeled" ]; then
+    echo "lint_metrics: metric instances must carry >= 1 label" \
+         "(pass a base label set):"
+    echo "$unlabeled"
+    status=1
+fi
+
+if [ "$status" = "0" ]; then
+    echo "lint_metrics: OK"
+fi
+exit "$status"

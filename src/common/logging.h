@@ -9,6 +9,7 @@
 #ifndef SIRIUS_COMMON_LOGGING_H
 #define SIRIUS_COMMON_LOGGING_H
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -19,14 +20,54 @@ namespace sirius {
 /** Severity levels in increasing order of importance. */
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3 };
 
+/**
+ * Parse a level name ("debug", "info", "warn", "error", case-
+ * insensitive). Returns false (and leaves @p out alone) on anything
+ * else.
+ */
+inline bool
+logLevelFromName(const std::string &name, LogLevel &out)
+{
+    std::string lower;
+    lower.reserve(name.size());
+    for (char c : name)
+        lower += static_cast<char>(std::tolower(
+            static_cast<unsigned char>(c)));
+    if (lower == "debug") out = LogLevel::Debug;
+    else if (lower == "info") out = LogLevel::Info;
+    else if (lower == "warn" || lower == "warning") out = LogLevel::Warn;
+    else if (lower == "error") out = LogLevel::Error;
+    else return false;
+    return true;
+}
+
 namespace detail {
 
 /** Process-wide minimum level that will be emitted. */
 inline LogLevel &
 logThreshold()
 {
-    static LogLevel level = LogLevel::Warn;
+    // SIRIUS_LOG_LEVEL overrides the default once, at first use; the
+    // runtime setters below still win after that.
+    static LogLevel level = [] {
+        LogLevel initial = LogLevel::Warn;
+        if (const char *env = std::getenv("SIRIUS_LOG_LEVEL"))
+            logLevelFromName(env, initial);
+        return initial;
+    }();
     return level;
+}
+
+/**
+ * Per-thread trace tag: when a sampled TraceContext is active on this
+ * thread (see common/trace.h), its id is set here so every log line the
+ * query emits can be correlated with its trace. Empty = no active trace.
+ */
+inline std::string &
+logTraceTag()
+{
+    static thread_local std::string tag;
+    return tag;
 }
 
 inline const char *
@@ -50,7 +91,11 @@ setLogLevel(LogLevel level)
     detail::logThreshold() = level;
 }
 
-/** Emit a single log line to stderr if @p level passes the threshold. */
+/**
+ * Emit a single log line to stderr if @p level passes the threshold.
+ * When a sampled trace is active on this thread, the line is prefixed
+ * with `trace=<id>` so logs and the JSONL trace dump correlate.
+ */
 inline void
 logMessage(LogLevel level, const std::string &msg)
 {
@@ -58,7 +103,14 @@ logMessage(LogLevel level, const std::string &msg)
         static_cast<int>(detail::logThreshold())) {
         return;
     }
-    std::fprintf(stderr, "[%s] %s\n", detail::levelName(level), msg.c_str());
+    const std::string &tag = detail::logTraceTag();
+    if (tag.empty()) {
+        std::fprintf(stderr, "[%s] %s\n", detail::levelName(level),
+                     msg.c_str());
+    } else {
+        std::fprintf(stderr, "[%s] trace=%s %s\n",
+                     detail::levelName(level), tag.c_str(), msg.c_str());
+    }
 }
 
 /**

@@ -1,0 +1,329 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace sirius {
+
+namespace {
+
+/** Render labels as `{k="v",k="v"}` (empty string for no labels). */
+std::string
+prometheusLabels(const MetricLabels &labels)
+{
+    if (labels.empty())
+        return "";
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[key, value] : labels) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += key;
+        out += "=\"";
+        for (char c : value) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            out += c;
+        }
+        out += '"';
+    }
+    out += '}';
+    return out;
+}
+
+/** Render labels as `k=v;k=v` for the CSV exporter. */
+std::string
+csvLabels(const MetricLabels &labels)
+{
+    std::string out;
+    for (const auto &[key, value] : labels) {
+        if (!out.empty())
+            out += ';';
+        out += key;
+        out += '=';
+        out += value;
+    }
+    return out;
+}
+
+std::string
+formatDouble(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+/** Labels with `le=<edge>` appended, for histogram bucket series. */
+std::string
+bucketLabels(const MetricLabels &labels, const std::string &le)
+{
+    MetricLabels with = labels;
+    with.emplace_back("le", le);
+    return prometheusLabels(with);
+}
+
+} // namespace
+
+bool
+isValidMetricName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    if (name.front() < 'a' || name.front() > 'z')
+        return false;
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+            (c >= '0' && c <= '9') || c == '_';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+MetricsRegistry::MetricsRegistry(const MetricsRegistry &other)
+{
+    merge(other);
+}
+
+MetricsRegistry &
+MetricsRegistry::operator=(const MetricsRegistry &other)
+{
+    if (this == &other)
+        return *this;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        entries_.clear();
+    }
+    merge(other);
+    return *this;
+}
+
+std::string
+MetricsRegistry::key(const std::string &name, const MetricLabels &labels)
+{
+    // Labels participate in the key in sorted order so the same label
+    // set always resolves to the same instance regardless of the order
+    // a call site lists it in.
+    MetricLabels sorted = labels;
+    std::sort(sorted.begin(), sorted.end());
+    std::string out = name;
+    for (const auto &[k, v] : sorted) {
+        out += '\x1f';
+        out += k;
+        out += '\x1e';
+        out += v;
+    }
+    return out;
+}
+
+MetricsRegistry::Entry &
+MetricsRegistry::entry(const std::string &name,
+                       const MetricLabels &labels, Kind kind)
+{
+    if (!isValidMetricName(name))
+        fatal("MetricsRegistry: metric name '" + name +
+              "' is not snake_case");
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = entries_.try_emplace(key(name, labels));
+    Entry &e = it->second;
+    if (inserted) {
+        e.name = name;
+        e.labels = labels;
+        e.kind = kind;
+        switch (kind) {
+          case Kind::Counter:
+            e.counter = std::make_unique<CounterMetric>();
+            break;
+          case Kind::Gauge:
+            e.gauge = std::make_unique<GaugeMetric>();
+            break;
+          case Kind::Histogram:
+            e.histogram = std::make_unique<LatencyHistogram>();
+            break;
+        }
+    } else if (e.kind != kind) {
+        fatal("MetricsRegistry: metric '" + name +
+              "' re-registered with a different type");
+    }
+    return e;
+}
+
+CounterMetric &
+MetricsRegistry::counter(const std::string &name,
+                         const MetricLabels &labels)
+{
+    return *entry(name, labels, Kind::Counter).counter;
+}
+
+GaugeMetric &
+MetricsRegistry::gauge(const std::string &name, const MetricLabels &labels)
+{
+    return *entry(name, labels, Kind::Gauge).gauge;
+}
+
+LatencyHistogram &
+MetricsRegistry::histogram(const std::string &name,
+                           const MetricLabels &labels)
+{
+    return *entry(name, labels, Kind::Histogram).histogram;
+}
+
+void
+MetricsRegistry::merge(const MetricsRegistry &other)
+{
+    // Snapshot the other registry's entries under its lock, then fold
+    // into ours; folds use the public accessors so types are checked.
+    struct Copied
+    {
+        std::string name;
+        MetricLabels labels;
+        Kind kind;
+        uint64_t counterValue = 0;
+        double gaugeValue = 0.0;
+        LatencyHistogram histogramCopy;
+    };
+    std::vector<Copied> copies;
+    {
+        std::lock_guard<std::mutex> lock(other.mutex_);
+        copies.reserve(other.entries_.size());
+        for (const auto &[k, e] : other.entries_) {
+            Copied c;
+            c.name = e.name;
+            c.labels = e.labels;
+            c.kind = e.kind;
+            switch (e.kind) {
+              case Kind::Counter: c.counterValue = e.counter->value(); break;
+              case Kind::Gauge: c.gaugeValue = e.gauge->value(); break;
+              case Kind::Histogram: c.histogramCopy = *e.histogram; break;
+            }
+            copies.push_back(std::move(c));
+        }
+    }
+    for (const auto &c : copies) {
+        switch (c.kind) {
+          case Kind::Counter:
+            counter(c.name, c.labels).add(c.counterValue);
+            break;
+          case Kind::Gauge: {
+            GaugeMetric &g = gauge(c.name, c.labels);
+            g.set(g.value() + c.gaugeValue);
+            break;
+          }
+          case Kind::Histogram:
+            histogram(c.name, c.labels).merge(c.histogramCopy);
+            break;
+        }
+    }
+}
+
+size_t
+MetricsRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::string
+MetricsRegistry::renderPrometheus() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Group instances of the same metric name so the # TYPE header is
+    // emitted once per family, as the exposition format requires.
+    std::map<std::string, std::vector<const Entry *>> families;
+    for (const auto &[k, e] : entries_)
+        families[e.name].push_back(&e);
+
+    std::string out;
+    for (const auto &[name, members] : families) {
+        const Kind kind = members.front()->kind;
+        out += "# TYPE ";
+        out += name;
+        switch (kind) {
+          case Kind::Counter: out += " counter\n"; break;
+          case Kind::Gauge: out += " gauge\n"; break;
+          case Kind::Histogram: out += " histogram\n"; break;
+        }
+        for (const Entry *e : members) {
+            const std::string labels = prometheusLabels(e->labels);
+            switch (kind) {
+              case Kind::Counter:
+                out += name + labels + ' ' +
+                    std::to_string(e->counter->value()) + '\n';
+                break;
+              case Kind::Gauge:
+                out += name + labels + ' ' +
+                    formatDouble(e->gauge->value()) + '\n';
+                break;
+              case Kind::Histogram: {
+                const LatencyHistogram &h = *e->histogram;
+                size_t last = 0;
+                for (size_t i = 0; i < h.buckets(); ++i) {
+                    if (h.bucketCount(i) > 0)
+                        last = i;
+                }
+                uint64_t cumulative = 0;
+                for (size_t i = 0; i <= last && i < h.buckets(); ++i) {
+                    cumulative += h.bucketCount(i);
+                    // le = the bucket's exclusive upper edge (the next
+                    // bucket's lower edge), matching quantile()'s
+                    // conservative upper-edge estimates.
+                    const double edge = i + 1 < h.buckets()
+                        ? h.bucketLow(i + 1)
+                        : h.bucketLow(i);
+                    out += name + "_bucket" +
+                        bucketLabels(e->labels, formatDouble(edge)) +
+                        ' ' + std::to_string(cumulative) + '\n';
+                }
+                out += name + "_bucket" +
+                    bucketLabels(e->labels, "+Inf") + ' ' +
+                    std::to_string(h.count()) + '\n';
+                out += name + "_sum" + prometheusLabels(e->labels) +
+                    ' ' + formatDouble(h.sum()) + '\n';
+                out += name + "_count" + prometheusLabels(e->labels) +
+                    ' ' + std::to_string(h.count()) + '\n';
+                break;
+              }
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+MetricsRegistry::renderCsv() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out = "metric,labels,stat,value\n";
+    for (const auto &[k, e] : entries_) {
+        const std::string labels = csvLabels(e.labels);
+        const auto row = [&](const char *stat, const std::string &value) {
+            out += e.name + ',' + labels + ',' + stat + ',' + value +
+                '\n';
+        };
+        switch (e.kind) {
+          case Kind::Counter:
+            row("value", std::to_string(e.counter->value()));
+            break;
+          case Kind::Gauge:
+            row("value", formatDouble(e.gauge->value()));
+            break;
+          case Kind::Histogram: {
+            const LatencyHistogram &h = *e.histogram;
+            row("count", std::to_string(h.count()));
+            row("sum", formatDouble(h.sum()));
+            row("mean", formatDouble(h.mean()));
+            row("p50", formatDouble(h.p50()));
+            row("p95", formatDouble(h.p95()));
+            row("p99", formatDouble(h.p99()));
+            break;
+          }
+        }
+    }
+    return out;
+}
+
+} // namespace sirius

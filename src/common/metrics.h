@@ -1,0 +1,154 @@
+/**
+ * @file
+ * A labeled metrics registry: counters, gauges, and latency histograms
+ * under snake_case names with key=value labels, plus machine-readable
+ * exporters (Prometheus-style text exposition and CSV).
+ *
+ * ServerStats, the Profiler, and the queue-wait measurement all export
+ * through one registry so every serving-stack number — Figure-14 service
+ * latency, Figure-8 variability, Figure-17 queueing — leaves the process
+ * in one consistent, labeled, scrapeable form instead of bespoke printf
+ * tables. Label conventions live in docs/ARCHITECTURE.md: `stage=` for
+ * pipeline stages, `component=` for Figure-9 kernels, `rung=` for
+ * degradation ladder levels, `outcome=` for query fates.
+ */
+
+#ifndef SIRIUS_COMMON_METRICS_H
+#define SIRIUS_COMMON_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace sirius {
+
+/** Ordered key=value labels attached to one metric instance. */
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/**
+ * True when @p name follows the registry's naming convention:
+ * snake_case, starting with a letter — `sirius_queue_wait_seconds`,
+ * never `QueueWait` or `queue-wait`. scripts/lint_metrics.sh enforces
+ * the same rule over the source tree.
+ */
+bool isValidMetricName(const std::string &name);
+
+/** A monotonically increasing count (thread-safe). */
+class CounterMetric
+{
+  public:
+    void add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+    uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/** A point-in-time double value (thread-safe set/read). */
+class GaugeMetric
+{
+  public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+    double value() const { return value_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Thread-safe registry of labeled metrics.
+ *
+ * Registration (name + labels -> instance) takes an internal mutex;
+ * the returned references are stable for the registry's lifetime, so
+ * hot paths register once and then update lock-free (atomic adds, or
+ * LatencyHistogram's lock-free buckets). Registries are copyable and
+ * mergeable, which is how per-worker or per-level registries combine
+ * into a fleet view.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &other);
+    MetricsRegistry &operator=(const MetricsRegistry &other);
+
+    /**
+     * The counter registered under (@p name, @p labels), created on
+     * first use. Fatal when @p name breaks the naming convention or is
+     * already registered with a different type.
+     */
+    CounterMetric &counter(const std::string &name,
+                           const MetricLabels &labels);
+
+    /** The gauge under (@p name, @p labels); see counter(). */
+    GaugeMetric &gauge(const std::string &name,
+                       const MetricLabels &labels);
+
+    /**
+     * The latency histogram under (@p name, @p labels); see counter().
+     * All histograms use LatencyHistogram's default log-bucket layout
+     * so instances merge across registries.
+     */
+    LatencyHistogram &histogram(const std::string &name,
+                                const MetricLabels &labels);
+
+    /**
+     * Fold @p other into this registry: counters add, histograms merge,
+     * gauges add (so fleet merges sum instantaneous values like queue
+     * depth; overwrite by set() after merging when sum is wrong).
+     */
+    void merge(const MetricsRegistry &other);
+
+    /** Number of registered metric instances. */
+    size_t size() const;
+
+    /**
+     * Prometheus-style text exposition: `# TYPE` headers, one
+     * `name{labels} value` line per instance, histograms expanded into
+     * cumulative `_bucket{le=...}` / `_sum` / `_count` series. Empty
+     * trailing buckets are elided (the `+Inf` bucket always remains),
+     * keeping 96-bucket histograms readable.
+     */
+    std::string renderPrometheus() const;
+
+    /**
+     * CSV exposition for the bench harness: header
+     * `metric,labels,stat,value`; counters and gauges emit one `value`
+     * row, histograms emit `count`, `sum`, `mean`, `p50`, `p95`, `p99`.
+     * Labels are `k=v` pairs joined with `;`.
+     */
+    std::string renderCsv() const;
+
+  private:
+    enum class Kind { Counter, Gauge, Histogram };
+
+    struct Entry
+    {
+        std::string name;
+        MetricLabels labels;
+        Kind kind;
+        std::unique_ptr<CounterMetric> counter;
+        std::unique_ptr<GaugeMetric> gauge;
+        std::unique_ptr<LatencyHistogram> histogram;
+    };
+
+    Entry &entry(const std::string &name, const MetricLabels &labels,
+                 Kind kind);
+
+    static std::string key(const std::string &name,
+                           const MetricLabels &labels);
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Entry> entries_; ///< key() -> instance
+};
+
+} // namespace sirius
+
+#endif // SIRIUS_COMMON_METRICS_H

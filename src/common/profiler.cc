@@ -10,30 +10,48 @@ void
 Profiler::addSeconds(const std::string &name, double seconds)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    seconds_[name] += seconds;
+    Component &c = components_[name];
+    c.seconds += seconds;
+    if (c.calls == 0 || seconds < c.minSeconds)
+        c.minSeconds = seconds;
+    if (seconds > c.maxSeconds)
+        c.maxSeconds = seconds;
+    ++c.calls;
 }
 
-std::map<std::string, double>
+std::map<std::string, Profiler::Component>
 Profiler::snapshotTable() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return seconds_;
+    return components_;
 }
 
 double
 Profiler::seconds(const std::string &name) const
 {
+    return component(name).seconds;
+}
+
+Profiler::Component
+Profiler::component(const std::string &name) const
+{
     std::lock_guard<std::mutex> lock(mutex_);
-    auto it = seconds_.find(name);
-    return it == seconds_.end() ? 0.0 : it->second;
+    auto it = components_.find(name);
+    return it == components_.end() ? Component{} : it->second;
+}
+
+std::map<std::string, Profiler::Component>
+Profiler::components() const
+{
+    return snapshotTable();
 }
 
 double
 Profiler::totalSeconds() const
 {
     double total = 0.0;
-    for (const auto &[name, secs] : snapshotTable())
-        total += secs;
+    for (const auto &[name, c] : snapshotTable())
+        total += c.seconds;
     return total;
 }
 
@@ -42,12 +60,12 @@ Profiler::fraction(const std::string &name) const
 {
     const auto table = snapshotTable();
     double total = 0.0;
-    for (const auto &[key, secs] : table)
-        total += secs;
+    for (const auto &[key, c] : table)
+        total += c.seconds;
     if (total <= 0.0)
         return 0.0;
     auto it = table.find(name);
-    return it == table.end() ? 0.0 : it->second / total;
+    return it == table.end() ? 0.0 : it->second.seconds / total;
 }
 
 void
@@ -55,15 +73,23 @@ Profiler::merge(const Profiler &other)
 {
     const auto table = other.snapshotTable();
     std::lock_guard<std::mutex> lock(mutex_);
-    for (const auto &[name, secs] : table)
-        seconds_[name] += secs;
+    for (const auto &[name, theirs] : table) {
+        Component &c = components_[name];
+        if (theirs.calls == 0)
+            continue;
+        if (c.calls == 0 || theirs.minSeconds < c.minSeconds)
+            c.minSeconds = theirs.minSeconds;
+        c.maxSeconds = std::max(c.maxSeconds, theirs.maxSeconds);
+        c.seconds += theirs.seconds;
+        c.calls += theirs.calls;
+    }
 }
 
 void
 Profiler::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    seconds_.clear();
+    components_.clear();
 }
 
 std::vector<std::string>
@@ -72,11 +98,11 @@ Profiler::componentsByTime() const
     const auto table = snapshotTable();
     std::vector<std::string> names;
     names.reserve(table.size());
-    for (const auto &[name, secs] : table)
+    for (const auto &[name, c] : table)
         names.push_back(name);
     std::sort(names.begin(), names.end(),
               [&table](const std::string &a, const std::string &b) {
-                  return table.at(a) > table.at(b);
+                  return table.at(a).seconds > table.at(b).seconds;
               });
     return names;
 }
@@ -85,24 +111,52 @@ std::string
 Profiler::report() const
 {
     const auto table = snapshotTable();
-    std::vector<std::pair<std::string, double>> rows(table.begin(),
-                                                     table.end());
+    std::vector<std::pair<std::string, Component>> rows(table.begin(),
+                                                        table.end());
     std::sort(rows.begin(), rows.end(),
               [](const auto &a, const auto &b) {
-                  return a.second > b.second;
+                  return a.second.seconds > b.second.seconds;
               });
     double total = 0.0;
-    for (const auto &[name, secs] : rows)
-        total += secs;
+    for (const auto &[name, c] : rows)
+        total += c.seconds;
     std::ostringstream out;
-    char line[160];
-    for (const auto &[name, secs] : rows) {
-        const double pct = total > 0 ? secs / total * 100.0 : 0.0;
-        std::snprintf(line, sizeof(line), "%-28s %12.6f s %7.2f%%\n",
-                      name.c_str(), secs, pct);
+    char line[200];
+    std::snprintf(line, sizeof(line),
+                  "%-28s %12s %8s %8s %10s %10s %10s\n", "component",
+                  "seconds", "percent", "calls", "mean ms", "min ms",
+                  "max ms");
+    out << line;
+    for (const auto &[name, c] : rows) {
+        const double pct = total > 0 ? c.seconds / total * 100.0 : 0.0;
+        std::snprintf(line, sizeof(line),
+                      "%-28s %12.6f %7.2f%% %8llu %10.3f %10.3f "
+                      "%10.3f\n",
+                      name.c_str(), c.seconds, pct,
+                      static_cast<unsigned long long>(c.calls),
+                      c.meanSeconds() * 1e3, c.minSeconds * 1e3,
+                      c.maxSeconds * 1e3);
         out << line;
     }
     return out.str();
+}
+
+void
+Profiler::exportTo(MetricsRegistry &registry,
+                   const MetricLabels &base) const
+{
+    for (const auto &[name, c] : snapshotTable()) {
+        MetricLabels labels = base;
+        labels.emplace_back("component", name);
+        registry.gauge("sirius_component_seconds", labels)
+            .set(c.seconds);
+        registry.counter("sirius_component_calls_total", labels)
+            .add(c.calls);
+        registry.gauge("sirius_component_min_seconds", labels)
+            .set(c.minSeconds);
+        registry.gauge("sirius_component_max_seconds", labels)
+            .set(c.maxSeconds);
+    }
 }
 
 } // namespace sirius

@@ -11,11 +11,13 @@
 #ifndef SIRIUS_COMMON_PROFILER_H
 #define SIRIUS_COMMON_PROFILER_H
 
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/timer.h"
 
 namespace sirius {
@@ -30,6 +32,24 @@ namespace sirius {
 class Profiler
 {
   public:
+    /** Accumulated statistics of one named component. */
+    struct Component
+    {
+        double seconds = 0.0;    ///< total accumulated wall time
+        uint64_t calls = 0;      ///< number of recorded regions
+        double minSeconds = 0.0; ///< fastest single region (0 if none)
+        double maxSeconds = 0.0; ///< slowest single region
+
+        /** Mean seconds per call; 0 when never called. */
+        double
+        meanSeconds() const
+        {
+            return calls > 0
+                ? seconds / static_cast<double>(calls)
+                : 0.0;
+        }
+    };
+
     /** RAII region: accumulates its lifetime into the named component. */
     class Scope
     {
@@ -57,6 +77,12 @@ class Profiler
     /** Total seconds recorded for @p name (0 if never seen). */
     double seconds(const std::string &name) const;
 
+    /** Full statistics for @p name (zeroed if never seen). */
+    Component component(const std::string &name) const;
+
+    /** Every component's statistics, keyed by name. */
+    std::map<std::string, Component> components() const;
+
     /** Sum over all components. */
     double totalSeconds() const;
 
@@ -72,15 +98,24 @@ class Profiler
     /** Drop all recorded data. */
     void clear();
 
-    /** Render a "name  seconds  percent" table. */
+    /** Render a "name seconds percent calls mean min max" table. */
     std::string report() const;
+
+    /**
+     * Export every component into @p registry:
+     * `sirius_component_seconds{component=...}` (gauge),
+     * `sirius_component_calls_total` (counter), and min/max gauges.
+     * @p base labels are attached to every instance.
+     */
+    void exportTo(MetricsRegistry &registry,
+                  const MetricLabels &base = {}) const;
 
   private:
     mutable std::mutex mutex_;
-    std::map<std::string, double> seconds_;
+    std::map<std::string, Component> components_;
 
     /** Copy the table under the lock so readers compute lock-free. */
-    std::map<std::string, double> snapshotTable() const;
+    std::map<std::string, Component> snapshotTable() const;
 };
 
 } // namespace sirius

@@ -1,0 +1,584 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace sirius {
+
+namespace {
+
+/** The thread's installed context (null when tracing is not active). */
+thread_local TraceContext *tlsContext = nullptr;
+
+/** splitmix64: the sampling hash (also the Rng seeding expansion). */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+/** Append @p value to @p out with JSON string escaping. */
+void
+appendJsonString(std::string &out, const std::string &value)
+{
+    out += '"';
+    for (unsigned char c : value) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    out += '"';
+}
+
+/**
+ * Minimal scanner for the flat JSON objects spanToJson() emits. It is a
+ * parser for *our* format, not a general JSON library: top-level keys
+ * are unique, values are numbers, strings, or one flat string-to-string
+ * object ("attrs").
+ */
+class JsonScanner
+{
+  public:
+    explicit JsonScanner(const std::string &text) : text_(text) {}
+
+    bool
+    expect(char c)
+    {
+        skipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    bool
+    peek(char c)
+    {
+        skipSpace();
+        return pos_ < text_.size() && text_[pos_] == c;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        skipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return false;
+        ++pos_;
+        out.clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return false;
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return false;
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return false;
+                }
+                // We only ever emit \u00XX for control bytes.
+                out += static_cast<char>(code & 0xFF);
+                break;
+              }
+              default: return false;
+            }
+        }
+        return false;
+    }
+
+    bool
+    parseNumber(double &out)
+    {
+        skipSpace();
+        const size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E')) {
+            ++pos_;
+        }
+        if (pos_ == start)
+            return false;
+        try {
+            out = std::stod(text_.substr(start, pos_ - start));
+        } catch (...) {
+            return false;
+        }
+        return true;
+    }
+
+    bool
+    done()
+    {
+        skipSpace();
+        return pos_ >= text_.size();
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+const char *
+spanKindName(SpanKind kind)
+{
+    switch (kind) {
+      case SpanKind::Query: return "query";
+      case SpanKind::QueueWait: return "queue_wait";
+      case SpanKind::Stage: return "stage";
+      case SpanKind::Kernel: return "kernel";
+      case SpanKind::Retry: return "retry";
+      case SpanKind::Fault: return "fault";
+      case SpanKind::Degradation: return "degradation";
+    }
+    return "?";
+}
+
+bool
+spanKindFromName(const std::string &name, SpanKind &out)
+{
+    for (size_t i = 0; i < kSpanKinds; ++i) {
+        const auto kind = static_cast<SpanKind>(i);
+        if (name == spanKindName(kind)) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+TraceCollector::TraceCollector(size_t capacity, double sample_rate,
+                               uint64_t seed)
+    : sampleRate_(std::clamp(sample_rate, 0.0, 1.0)), seed_(seed),
+      epoch_(std::chrono::steady_clock::now()),
+      slots_(std::max<size_t>(capacity, 1))
+{
+}
+
+bool
+TraceCollector::sampled(uint64_t trace_id) const
+{
+    if (sampleRate_ <= 0.0)
+        return false;
+    if (sampleRate_ >= 1.0)
+        return true;
+    // Deterministic head-based decision: hash the id against the rate.
+    // 2^64 * rate compared against a uniform 64-bit hash keeps exactly
+    // the same ids for the same (seed, rate) on every run.
+    const uint64_t hashed = mix64(seed_ ^ trace_id);
+    return static_cast<double>(hashed) <
+        sampleRate_ * 18446744073709551616.0; // 2^64
+}
+
+double
+TraceCollector::nowSeconds() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+void
+TraceCollector::append(SpanRecord record)
+{
+    // Claim a slot without a global lock; the per-slot guard only
+    // contends when two appends race a full ring apart (or a snapshot
+    // is copying that very slot).
+    const uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+    Slot &slot = slots_[seq % slots_.size()];
+    std::lock_guard<std::mutex> lock(slot.guard);
+    // A slower thread may arrive after the ring lapped its slot; keep
+    // the newer span so a snapshot is always the freshest window.
+    if (slot.seq > seq + 1)
+        return;
+    slot.seq = seq + 1;
+    slot.record = std::move(record);
+}
+
+uint64_t
+TraceCollector::appended() const
+{
+    return next_.load(std::memory_order_relaxed);
+}
+
+size_t
+TraceCollector::size() const
+{
+    return static_cast<size_t>(
+        std::min<uint64_t>(appended(), slots_.size()));
+}
+
+std::vector<SpanRecord>
+TraceCollector::snapshot() const
+{
+    std::vector<std::pair<uint64_t, SpanRecord>> taken;
+    taken.reserve(slots_.size());
+    for (const Slot &slot : slots_) {
+        std::lock_guard<std::mutex> lock(slot.guard);
+        if (slot.seq > 0)
+            taken.emplace_back(slot.seq, slot.record);
+    }
+    std::sort(taken.begin(), taken.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    std::vector<SpanRecord> out;
+    out.reserve(taken.size());
+    for (auto &[seq, record] : taken)
+        out.push_back(std::move(record));
+    return out;
+}
+
+void
+TraceCollector::clear()
+{
+    for (Slot &slot : slots_) {
+        std::lock_guard<std::mutex> lock(slot.guard);
+        slot.seq = 0;
+        slot.record = SpanRecord{};
+    }
+    next_.store(0, std::memory_order_relaxed);
+}
+
+TraceContext::TraceContext(TraceCollector &collector, uint64_t trace_id)
+    : collector_(collector.sampled(trace_id) ? &collector : nullptr),
+      traceId_(trace_id)
+{
+}
+
+uint32_t
+TraceContext::recordSpan(
+    SpanKind kind, const std::string &name, double start_seconds,
+    double duration_seconds, uint32_t parent_id,
+    std::vector<std::pair<std::string, std::string>> attrs)
+{
+    if (!active())
+        return 0;
+    SpanRecord record;
+    record.traceId = traceId_;
+    record.spanId = allocSpanId();
+    record.parentId = parent_id;
+    record.kind = kind;
+    record.name = name;
+    record.startSeconds = start_seconds;
+    record.durationSeconds = duration_seconds;
+    record.attrs = std::move(attrs);
+    const uint32_t id = record.spanId;
+    collector_->append(std::move(record));
+    return id;
+}
+
+uint32_t
+TraceContext::openRoot()
+{
+    if (!active())
+        return 0;
+    rootId_ = allocSpanId();
+    currentParent_ = rootId_;
+    return rootId_;
+}
+
+void
+TraceContext::closeRoot(
+    const std::string &name, double start_seconds,
+    double duration_seconds,
+    std::vector<std::pair<std::string, std::string>> attrs)
+{
+    if (!active() || rootId_ == 0)
+        return;
+    SpanRecord record;
+    record.traceId = traceId_;
+    record.spanId = rootId_;
+    record.parentId = 0;
+    record.kind = SpanKind::Query;
+    record.name = name;
+    record.startSeconds = start_seconds;
+    record.durationSeconds = duration_seconds;
+    record.attrs = std::move(attrs);
+    collector_->append(std::move(record));
+}
+
+void
+TraceContext::event(
+    SpanKind kind, const std::string &name,
+    std::vector<std::pair<std::string, std::string>> attrs)
+{
+    if (!active())
+        return;
+    recordSpan(kind, name, collector_->nowSeconds(), 0.0,
+               currentParent_, std::move(attrs));
+}
+
+TraceContext *
+TraceContext::current()
+{
+    return tlsContext;
+}
+
+ScopedTraceActivation::ScopedTraceActivation(TraceContext &context)
+    : previous_(tlsContext), previousTag_(detail::logTraceTag())
+{
+    tlsContext = &context;
+    if (context.active()) {
+        char tag[32];
+        std::snprintf(tag, sizeof(tag), "%08llx",
+                      static_cast<unsigned long long>(context.traceId()));
+        detail::logTraceTag() = tag;
+    }
+}
+
+ScopedTraceActivation::~ScopedTraceActivation()
+{
+    tlsContext = previous_;
+    detail::logTraceTag() = previousTag_;
+}
+
+Span::Span(const char *name, SpanKind kind)
+{
+    open(tlsContext, name, kind);
+}
+
+Span::Span(TraceContext *context, const char *name, SpanKind kind)
+{
+    open(context, name, kind);
+}
+
+void
+Span::open(TraceContext *context, const char *name, SpanKind kind)
+{
+    if (context == nullptr || !context->active())
+        return;
+    context_ = context;
+    record_.traceId = context->traceId();
+    record_.spanId = context->allocSpanId();
+    record_.parentId = context->currentParent_;
+    record_.kind = kind;
+    record_.name = name;
+    record_.startSeconds = context->collector_->nowSeconds();
+    savedParent_ = context->currentParent_;
+    context->currentParent_ = record_.spanId;
+}
+
+void
+Span::attr(const char *key, std::string value)
+{
+    if (context_ != nullptr)
+        record_.attrs.emplace_back(key, std::move(value));
+}
+
+void
+Span::end()
+{
+    if (context_ == nullptr)
+        return;
+    record_.durationSeconds =
+        context_->collector_->nowSeconds() - record_.startSeconds;
+    context_->currentParent_ = savedParent_;
+    context_->collector_->append(std::move(record_));
+    context_ = nullptr;
+}
+
+std::string
+spanToJson(const SpanRecord &span)
+{
+    std::string out;
+    out.reserve(160 + span.name.size());
+    char buf[64];
+    out += "{\"trace\":";
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(span.traceId));
+    out += buf;
+    out += ",\"span\":";
+    std::snprintf(buf, sizeof(buf), "%u", span.spanId);
+    out += buf;
+    out += ",\"parent\":";
+    std::snprintf(buf, sizeof(buf), "%u", span.parentId);
+    out += buf;
+    out += ",\"kind\":";
+    appendJsonString(out, spanKindName(span.kind));
+    out += ",\"name\":";
+    appendJsonString(out, span.name);
+    out += ",\"start_s\":";
+    std::snprintf(buf, sizeof(buf), "%.9f", span.startSeconds);
+    out += buf;
+    out += ",\"dur_s\":";
+    std::snprintf(buf, sizeof(buf), "%.9f", span.durationSeconds);
+    out += buf;
+    if (!span.attrs.empty()) {
+        out += ",\"attrs\":{";
+        bool first = true;
+        for (const auto &[key, value] : span.attrs) {
+            if (!first)
+                out += ',';
+            first = false;
+            appendJsonString(out, key);
+            out += ':';
+            appendJsonString(out, value);
+        }
+        out += '}';
+    }
+    out += '}';
+    return out;
+}
+
+bool
+spanFromJson(const std::string &line, SpanRecord &out)
+{
+    JsonScanner scan(line);
+    if (!scan.expect('{'))
+        return false;
+    out = SpanRecord{};
+    bool first = true;
+    bool sawTrace = false, sawSpan = false, sawKind = false,
+         sawName = false;
+    while (!scan.peek('}')) {
+        if (!first && !scan.expect(','))
+            return false;
+        first = false;
+        std::string key;
+        if (!scan.parseString(key) || !scan.expect(':'))
+            return false;
+        if (key == "kind" || key == "name") {
+            std::string value;
+            if (!scan.parseString(value))
+                return false;
+            if (key == "name") {
+                out.name = value;
+                sawName = true;
+            } else {
+                if (!spanKindFromName(value, out.kind))
+                    return false;
+                sawKind = true;
+            }
+        } else if (key == "attrs") {
+            if (!scan.expect('{'))
+                return false;
+            bool firstAttr = true;
+            while (!scan.peek('}')) {
+                if (!firstAttr && !scan.expect(','))
+                    return false;
+                firstAttr = false;
+                std::string k, v;
+                if (!scan.parseString(k) || !scan.expect(':') ||
+                    !scan.parseString(v)) {
+                    return false;
+                }
+                out.attrs.emplace_back(std::move(k), std::move(v));
+            }
+            if (!scan.expect('}'))
+                return false;
+        } else {
+            double value = 0.0;
+            if (!scan.parseNumber(value))
+                return false;
+            if (key == "trace") {
+                out.traceId = static_cast<uint64_t>(value);
+                sawTrace = true;
+            } else if (key == "span") {
+                out.spanId = static_cast<uint32_t>(value);
+                sawSpan = true;
+            } else if (key == "parent") {
+                out.parentId = static_cast<uint32_t>(value);
+            } else if (key == "start_s") {
+                out.startSeconds = value;
+            } else if (key == "dur_s") {
+                out.durationSeconds = value;
+            }
+            // Unknown numeric keys are tolerated for forward compat.
+        }
+    }
+    if (!scan.expect('}') || !scan.done())
+        return false;
+    return sawTrace && sawSpan && sawKind && sawName;
+}
+
+bool
+writeTraceJsonl(const std::string &path,
+                const std::vector<SpanRecord> &spans, bool append)
+{
+    std::ofstream out(path, append ? std::ios::app : std::ios::trunc);
+    if (!out)
+        return false;
+    for (const auto &span : spans)
+        out << spanToJson(span) << '\n';
+    return static_cast<bool>(out);
+}
+
+std::vector<SpanRecord>
+readTraceJsonl(const std::string &path, size_t *malformed)
+{
+    std::vector<SpanRecord> spans;
+    size_t bad = 0;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        SpanRecord record;
+        if (spanFromJson(line, record))
+            spans.push_back(std::move(record));
+        else
+            ++bad;
+    }
+    if (malformed != nullptr)
+        *malformed = bad;
+    return spans;
+}
+
+} // namespace sirius

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Per-query tracing: trace contexts, RAII spans, and a bounded span
+ * collector with head-based sampling.
+ *
+ * The paper attributes every conclusion to measurement — VTune cycle
+ * breakdowns per algorithmic component (Figure 9), per-service latency
+ * (Figure 14), queueing under load (Figure 17). Aggregate histograms
+ * answer "how is the fleet doing"; a trace answers "where did *this*
+ * query's budget go": queue wait vs. ASR vs. QA vs. IMM, retries,
+ * injected faults, degradation decisions. A TraceContext travels the
+ * same seams the Deadline already does (admission → worker → pipeline →
+ * service kernels), and each instrumented region opens a Span that is
+ * appended to the server's TraceCollector when it closes.
+ *
+ * Sampling is head-based: the keep/drop decision is made once at
+ * admission from (seed, trace id), so a kept query records *all* of its
+ * spans and a dropped query pays a single thread-local pointer read per
+ * instrumented region. That is what keeps tracing affordable at load.
+ */
+
+#ifndef SIRIUS_COMMON_TRACE_H
+#define SIRIUS_COMMON_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sirius {
+
+/** What an emitted span describes. */
+enum class SpanKind
+{
+    Query,       ///< root span: one end-to-end query (admission → done)
+    QueueWait,   ///< admission → worker dispatch
+    Stage,       ///< a pipeline stage (asr, qa, imm, classify)
+    Kernel,      ///< a kernel inside a stage (scoring, crf_filter, ...)
+    Retry,       ///< instant event: one retry attempt of a stage
+    Fault,       ///< instant event: an injected fault fired
+    Degradation, ///< instant event: a rung-drop decision on the ladder
+};
+
+/** Number of SpanKind values (for per-kind counters). */
+inline constexpr size_t kSpanKinds = 7;
+
+/** Short snake_case name ("query", "queue_wait", "stage", ...). */
+const char *spanKindName(SpanKind kind);
+
+/** Parse a spanKindName back; returns false on an unknown name. */
+bool spanKindFromName(const std::string &name, SpanKind &out);
+
+/** One closed span, as stored in the collector and exported to JSONL. */
+struct SpanRecord
+{
+    uint64_t traceId = 0; ///< query-scoped id shared by all its spans
+    uint32_t spanId = 0;  ///< unique within the trace, 1 = root
+    uint32_t parentId = 0; ///< 0 = no parent (the root span)
+    SpanKind kind = SpanKind::Stage;
+    std::string name; ///< snake_case component name
+    double startSeconds = 0.0;    ///< relative to the collector's epoch
+    double durationSeconds = 0.0; ///< 0 for instant events
+    /** Small key=value annotations (attempt, rung, fault kind, ...). */
+    std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+/**
+ * Bounded ring of SpanRecords shared by every worker of a server.
+ *
+ * Appending claims a slot with one atomic fetch-add (so the hot path
+ * never serializes on a global lock) and copies the record in under a
+ * striped per-slot guard; when the ring wraps, the oldest spans are
+ * overwritten, so a snapshot always holds the newest `capacity` spans.
+ * The collector also owns the sampling decision: head-based, a
+ * deterministic hash of (seed, trace id) against the sample rate, so a
+ * fixed seed reproduces the same kept set run over run.
+ */
+class TraceCollector
+{
+  public:
+    /**
+     * @param capacity ring size in spans (>= 1)
+     * @param sample_rate fraction of traces kept, in [0, 1]; 0 disables
+     * @param seed sampling-hash seed (fixed seed = deterministic keeps)
+     */
+    explicit TraceCollector(size_t capacity = 4096,
+                            double sample_rate = 1.0,
+                            uint64_t seed = 0xC011EC70ULL);
+
+    /** Head-based sampling decision for @p trace_id (pure function). */
+    bool sampled(uint64_t trace_id) const;
+
+    /** The configured sample rate in [0, 1]. */
+    double sampleRate() const { return sampleRate_; }
+
+    /** Seconds since the collector's epoch (span timestamps base). */
+    double nowSeconds() const;
+
+    /** Append one closed span (thread-safe, lock-free slot claim). */
+    void append(SpanRecord record);
+
+    /** Spans ever appended, including ones the ring has overwritten. */
+    uint64_t appended() const;
+
+    /** Spans currently retained (== min(appended, capacity)). */
+    size_t size() const;
+
+    /** Ring capacity in spans. */
+    size_t capacity() const { return slots_.size(); }
+
+    /**
+     * Copy of the retained spans, oldest first. Safe under concurrent
+     * append; spans mid-write are skipped rather than torn.
+     */
+    std::vector<SpanRecord> snapshot() const;
+
+    /** Drop all retained spans (the epoch is left untouched). */
+    void clear();
+
+  private:
+    struct Slot
+    {
+        mutable std::mutex guard;
+        uint64_t seq = 0; ///< 1-based append sequence; 0 = empty
+        SpanRecord record;
+    };
+
+    double sampleRate_;
+    uint64_t seed_;
+    std::chrono::steady_clock::time_point epoch_;
+    std::vector<Slot> slots_;
+    std::atomic<uint64_t> next_{0}; ///< total appends ever claimed
+};
+
+/**
+ * The per-query trace handle carried from admission to completion.
+ *
+ * An unsampled (or default-constructed) context is inert: every Span
+ * opened under it is a no-op. A sampled context points at its server's
+ * collector and allocates span ids; exactly one worker thread drives a
+ * query at a time, so the id fields need no synchronization.
+ *
+ * Spans find the context through a thread-local pointer installed by
+ * ScopedTraceActivation — the same "ambient" pattern the deadline
+ * avoided (it is checked on hot paths), chosen here so service kernels
+ * can open spans without widening every transcribe()/answer()/match()
+ * signature.
+ */
+class TraceContext
+{
+  public:
+    /** Inert context: active() is false, spans are no-ops. */
+    TraceContext() = default;
+
+    /**
+     * Context for @p trace_id feeding @p collector; inert when the
+     * collector's sampling decision drops the id.
+     */
+    TraceContext(TraceCollector &collector, uint64_t trace_id);
+
+    /** True when spans opened under this context are recorded. */
+    bool active() const { return collector_ != nullptr; }
+
+    uint64_t traceId() const { return traceId_; }
+
+    /** The collector receiving this trace's spans; null when inert. */
+    TraceCollector *collector() const { return collector_; }
+
+    /**
+     * Record a span with explicit timing — used for spans whose start
+     * predates the worker (queue wait, the root query span). No-op when
+     * inert.
+     * @return the span id used (0 when inert)
+     */
+    uint32_t recordSpan(
+        SpanKind kind, const std::string &name, double start_seconds,
+        double duration_seconds, uint32_t parent_id = 0,
+        std::vector<std::pair<std::string, std::string>> attrs = {});
+
+    /**
+     * Reserve the root span's id and nest subsequent spans under it.
+     * The root itself is recorded by closeRoot() once the query is done
+     * (that is when its duration is known).
+     * @return the reserved id (0 when inert)
+     */
+    uint32_t openRoot();
+
+    /** Record the root span reserved by openRoot(). No-op when inert. */
+    void closeRoot(
+        const std::string &name, double start_seconds,
+        double duration_seconds,
+        std::vector<std::pair<std::string, std::string>> attrs = {});
+
+    /**
+     * Record an instant event at the current nesting position. No-op
+     * when inert.
+     */
+    void event(SpanKind kind, const std::string &name,
+               std::vector<std::pair<std::string, std::string>> attrs = {});
+
+    /** The context installed on this thread; null when none. */
+    static TraceContext *current();
+
+    /** Id of the span children currently nest under (0 = root level). */
+    uint32_t currentParent() const { return currentParent_; }
+
+  private:
+    friend class Span;
+    friend class ScopedTraceActivation;
+
+    uint32_t allocSpanId() { return nextSpanId_++; }
+
+    TraceCollector *collector_ = nullptr;
+    uint64_t traceId_ = 0;
+    uint32_t nextSpanId_ = 1;
+    uint32_t currentParent_ = 0;
+    uint32_t rootId_ = 0;
+};
+
+/**
+ * Installs a TraceContext as the thread's current context for its
+ * lifetime (restoring the previous one after), and tags log lines with
+ * the trace id so logs and traces correlate.
+ */
+class ScopedTraceActivation
+{
+  public:
+    explicit ScopedTraceActivation(TraceContext &context);
+    ScopedTraceActivation(const ScopedTraceActivation &) = delete;
+    ScopedTraceActivation &operator=(const ScopedTraceActivation &) =
+        delete;
+    ~ScopedTraceActivation();
+
+  private:
+    TraceContext *previous_;
+    std::string previousTag_;
+};
+
+/**
+ * RAII timed region: opens on construction, closes (and appends its
+ * record to the collector) on destruction or end(). Spans nest: a span
+ * opened while another is open becomes its child, and the nesting is
+ * restored when it closes. Against an inert or absent context the whole
+ * object is a no-op costing one thread-local read.
+ */
+class Span
+{
+  public:
+    /** Open a span under the thread's current context (maybe none). */
+    Span(const char *name, SpanKind kind);
+
+    /** Open a span under an explicit context. */
+    Span(TraceContext *context, const char *name, SpanKind kind);
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    ~Span() { end(); }
+
+    /** True when this span will be recorded. */
+    bool active() const { return context_ != nullptr; }
+
+    /** Attach a key=value annotation (no-op when inactive). */
+    void attr(const char *key, std::string value);
+
+    /** Close early; further attr() calls are ignored. */
+    void end();
+
+  private:
+    void open(TraceContext *context, const char *name, SpanKind kind);
+
+    TraceContext *context_ = nullptr; ///< null = inert span
+    SpanRecord record_;
+    uint32_t savedParent_ = 0;
+};
+
+/** Serialize one span as a single-line JSON object (no newline). */
+std::string spanToJson(const SpanRecord &span);
+
+/**
+ * Parse a spanToJson() line back into a record.
+ * @return false when @p line is not a valid span object
+ */
+bool spanFromJson(const std::string &line, SpanRecord &out);
+
+/** Write spans as JSONL (one spanToJson() line each) to @p path. */
+bool writeTraceJsonl(const std::string &path,
+                     const std::vector<SpanRecord> &spans,
+                     bool append = false);
+
+/**
+ * Read a JSONL trace file written by writeTraceJsonl(). Unparseable
+ * lines are skipped and counted into @p malformed when non-null.
+ */
+std::vector<SpanRecord> readTraceJsonl(const std::string &path,
+                                       size_t *malformed = nullptr);
+
+} // namespace sirius
+
+#endif // SIRIUS_COMMON_TRACE_H

@@ -16,6 +16,8 @@ namespace sirius::core {
 ConcurrentServer::ConcurrentServer(const SiriusPipeline &pipeline,
                                    ConcurrentServerConfig config)
     : pipeline_(pipeline), config_(config),
+      collector_(std::max<size_t>(config.traceCapacity, 1),
+                 config.traceSampleRate, config.traceSeed),
       pool_(std::max<size_t>(config.workers, 1))
 {
     if (config_.queueCapacity == 0)
@@ -40,16 +42,23 @@ ConcurrentServer::submit(const Query &query, Completion done)
         }
     } while (!queued_.compare_exchange_weak(waiting, waiting + 1,
                                             std::memory_order_relaxed));
-    accepted_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t seq = accepted_.fetch_add(1, std::memory_order_relaxed);
     // The deadline is anchored at admission, so time spent waiting in
-    // the queue burns the same budget the pipeline stages check.
+    // the queue burns the same budget the pipeline stages check. The
+    // trace context is anchored here too: its id is the admission
+    // sequence number, and the sampling decision is made before any
+    // work so an unsampled query never touches the collector again.
     const Deadline deadline = config_.deadlineSeconds > 0.0
         ? Deadline::after(config_.deadlineSeconds)
         : Deadline();
-    pool_.submit([this, query, deadline, done = std::move(done)] {
+    const TraceContext trace(collector_,
+                             config_.traceIdOffset + seq + 1);
+    const double admitted = collector_.nowSeconds();
+    pool_.submit([this, query, deadline, trace, admitted,
+                  done = std::move(done)] {
         // The request leaves the queue the moment a worker picks it up.
         queued_.fetch_sub(1, std::memory_order_relaxed);
-        serve(query, deadline, done);
+        serve(query, deadline, trace, admitted, done);
     });
     return true;
 }
@@ -74,12 +83,30 @@ ConcurrentServer::handle(const Query &query)
 
 void
 ConcurrentServer::serve(const Query &query, const Deadline &deadline,
+                        TraceContext trace, double admitted_seconds,
                         const Completion &done)
 {
     ProcessOptions options;
     options.deadline = deadline;
     options.retry = config_.retry;
     options.faults = config_.faults;
+
+    // Queue wait is measured for every query; for sampled ones it also
+    // becomes the trace's first child span (opened at admission, closed
+    // here at dispatch).
+    const double dispatched = collector_.nowSeconds();
+    const double queue_wait =
+        std::max(0.0, dispatched - admitted_seconds);
+
+    // Install the context for this thread: every Span the pipeline and
+    // the service kernels open below lands in this query's trace, and
+    // log lines it emits carry the trace id.
+    ScopedTraceActivation activation(trace);
+    // Span id 1 is reserved for the root query span, recorded last
+    // (its duration is only known once the query completes).
+    const uint32_t root = trace.openRoot();
+    trace.recordSpan(SpanKind::QueueWait, "queue_wait",
+                     admitted_seconds, queue_wait, root);
 
     Stopwatch watch;
     SiriusResult result = pipeline_.process(query, options);
@@ -88,6 +115,15 @@ ConcurrentServer::serve(const Query &query, const Deadline &deadline,
     // stage noticed (e.g. it beat every per-stage check by a hair).
     if (deadline.expired())
         result.deadlineExpired = true;
+
+    trace.closeRoot(
+        "query", admitted_seconds,
+        collector_.nowSeconds() - admitted_seconds,
+        {{"type", queryTypeName(query.type)},
+         {"degradation", degradationName(result.degradation)},
+         {"deadline_expired", result.deadlineExpired ? "1" : "0"},
+         {"retries", std::to_string(result.stageRetries)},
+         {"text", query.text}});
 
     const double staged = result.timings.total();
     profiler_.addSeconds("asr", result.timings.asr.total());
@@ -98,6 +134,7 @@ ConcurrentServer::serve(const Query &query, const Deadline &deadline,
     {
         std::lock_guard<std::mutex> lock(statsMutex_);
         stats_.record(result, seconds);
+        stats_.recordQueueWait(queue_wait);
     }
     if (done)
         done(result);
@@ -119,7 +156,31 @@ ConcurrentServer::snapshot() const
     }
     out.accepted = accepted_.load(std::memory_order_relaxed);
     out.rejected = rejected_.load(std::memory_order_relaxed);
+    exportMetrics(out.metrics);
+    out.spans = collector_.snapshot();
     return out;
+}
+
+void
+ConcurrentServer::exportMetrics(MetricsRegistry &registry,
+                                const MetricLabels &base) const
+{
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        stats_.exportTo(registry, base);
+    }
+    profiler_.exportTo(registry, base);
+    registry.counter("sirius_requests_accepted_total", base)
+        .add(accepted_.load(std::memory_order_relaxed));
+    registry.counter("sirius_requests_rejected_total", base)
+        .add(rejected_.load(std::memory_order_relaxed));
+    registry.gauge("sirius_queue_depth", base)
+        .set(static_cast<double>(
+            queued_.load(std::memory_order_relaxed)));
+    registry.counter("sirius_trace_spans_total", base)
+        .add(collector_.appended());
+    registry.gauge("sirius_trace_sample_rate", base)
+        .set(collector_.sampleRate());
 }
 
 double

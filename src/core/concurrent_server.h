@@ -20,8 +20,10 @@
 #include <functional>
 #include <mutex>
 
+#include "common/metrics.h"
 #include "common/profiler.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/server.h"
 
 namespace sirius::core {
@@ -42,6 +44,23 @@ struct ConcurrentServerConfig
     RetryPolicy retry;          ///< per-stage retry/backoff policy
     /** Optional fault injector, shared by all workers; not owned. */
     FaultInjector *faults = nullptr;
+
+    /**
+     * Fraction of queries traced, in [0, 1]; 0 (the default) disables
+     * tracing entirely. The keep/drop decision is head-based — made
+     * once at admission from (traceSeed, trace id) — so a kept query
+     * records all of its spans and a dropped one costs a thread-local
+     * read per instrumented region.
+     */
+    double traceSampleRate = 0.0;
+    uint64_t traceSeed = 0xC011EC70ULL; ///< sampling-hash seed
+    size_t traceCapacity = 4096;        ///< span ring size
+    /**
+     * Added to every trace id (which otherwise starts at 1 per
+     * server), so traces from several servers can share one JSONL file
+     * without id collisions.
+     */
+    uint64_t traceIdOffset = 0;
 };
 
 /** Race-free snapshot of a ConcurrentServer's statistics. */
@@ -50,6 +69,15 @@ struct ConcurrentServerStats
     ServerStats server;    ///< same shape as the sequential server's
     uint64_t accepted = 0; ///< requests admitted to the queue
     uint64_t rejected = 0; ///< requests shed by admission control
+
+    /**
+     * Every number above re-expressed as labeled metrics (plus the
+     * profiler's per-component attribution and the admission counters),
+     * ready for renderPrometheus()/renderCsv().
+     */
+    MetricsRegistry metrics;
+    /** The newest retained spans (empty when tracing is disabled). */
+    std::vector<SpanRecord> spans;
 };
 
 /**
@@ -108,11 +136,24 @@ class ConcurrentServer
     /** Per-stage wall-time attribution across all workers. */
     const Profiler &profiler() const { return profiler_; }
 
+    /** The span ring all sampled queries record into. */
+    const TraceCollector &traces() const { return collector_; }
+
+    /**
+     * Export the server's statistics into @p registry under @p base
+     * labels — the same mapping snapshot().metrics uses, for callers
+     * that aggregate several servers into one registry.
+     */
+    void exportMetrics(MetricsRegistry &registry,
+                       const MetricLabels &base = {{"server",
+                                                    "leaf"}}) const;
+
     size_t workerCount() const { return pool_.workerCount(); }
     size_t queueCapacity() const { return config_.queueCapacity; }
 
   private:
     void serve(const Query &query, const Deadline &deadline,
+               TraceContext trace, double admitted_seconds,
                const Completion &done);
 
     const SiriusPipeline &pipeline_;
@@ -125,6 +166,7 @@ class ConcurrentServer
     mutable std::mutex statsMutex_; ///< guards stats_ scalars + samples
     ServerStats stats_;
     Profiler profiler_;
+    TraceCollector collector_;
 
     ThreadPool pool_; ///< last member: workers stop before state dies
 };

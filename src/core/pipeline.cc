@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "nlp/tokenizer.h"
 #include "search/corpus.h"
 #include "vision/landmarks.h"
@@ -19,6 +20,25 @@ appendShed(SiriusResult &result, const char *stage)
     if (!result.shedStages.empty())
         result.shedStages += ",";
     result.shedStages += stage;
+}
+
+/**
+ * Record a rung-drop decision as an instant trace event, so a trace
+ * shows not only *that* a query degraded but the stage whose loss
+ * caused it and the budget state at the moment of the decision.
+ */
+void
+traceDegradation(Degradation rung, const char *stage,
+                 const ProcessOptions &options)
+{
+    TraceContext *trace = TraceContext::current();
+    if (trace == nullptr || !trace->active())
+        return;
+    trace->event(SpanKind::Degradation, "rung_drop",
+                 {{"rung", degradationName(rung)},
+                  {"stage", stage},
+                  {"deadline_expired",
+                   options.deadline.expired() ? "1" : "0"}});
 }
 
 void
@@ -43,11 +63,18 @@ bool
 attemptStage(const ProcessOptions &options, const char *stage,
              int &retries, Run &&run)
 {
+    TraceContext *trace = TraceContext::current();
     double backoff = options.retry.backoffSeconds;
     for (int attempt = 0;; ++attempt) {
         StageFault fault = StageFault::None;
         if (options.faults != nullptr) {
             fault = options.faults->draw(stage);
+            if (fault != StageFault::None && trace != nullptr) {
+                trace->event(SpanKind::Fault, "fault_injected",
+                             {{"stage", stage},
+                              {"kind", stageFaultName(fault)},
+                              {"attempt", std::to_string(attempt)}});
+            }
             if (fault == StageFault::Latency) {
                 sleepSeconds(
                     options.faults->config().addedLatencySeconds);
@@ -60,6 +87,12 @@ attemptStage(const ProcessOptions &options, const char *stage,
         if (attempt >= options.retry.maxRetries)
             return false;
         ++retries;
+        if (trace != nullptr) {
+            trace->event(SpanKind::Retry, "stage_retry",
+                         {{"stage", stage},
+                          {"attempt", std::to_string(attempt + 1)},
+                          {"backoff_s", std::to_string(backoff)}});
+        }
         sleepSeconds(backoff);
         backoff *= options.retry.backoffMultiplier;
         if (options.deadline.expired())
@@ -156,6 +189,7 @@ SiriusPipeline::processRobust(const audio::Waveform &wave,
         if (image != nullptr)
             appendShed(result, "imm");
         appendShed(result, "qa");
+        traceDegradation(Degradation::Failed, "asr", options);
         return result;
     }
 
@@ -163,15 +197,20 @@ SiriusPipeline::processRobust(const audio::Waveform &wave,
     // transcript, so a lost ASR stage fails the query — there is no
     // lower rung on the ladder to degrade to.
     bool asr_cut_short = false;
-    const bool asr_ok = attemptStage(
-        options, "asr", result.stageRetries, [&](bool corrupted) {
-            auto asr = asr_->transcribe(wave, options.deadline);
-            if (corrupted && options.faults != nullptr)
-                asr.text = options.faults->corrupt(asr.text);
-            result.transcript = asr.text;
-            result.timings.asr = asr.timings;
-            asr_cut_short = asr.cutShort;
-        });
+    bool asr_ok;
+    {
+        Span span("asr", SpanKind::Stage);
+        asr_ok = attemptStage(
+            options, "asr", result.stageRetries, [&](bool corrupted) {
+                auto asr = asr_->transcribe(wave, options.deadline);
+                if (corrupted && options.faults != nullptr)
+                    asr.text = options.faults->corrupt(asr.text);
+                result.transcript = asr.text;
+                result.timings.asr = asr.timings;
+                asr_cut_short = asr.cutShort;
+            });
+        span.attr("cut_short", asr_cut_short ? "1" : "0");
+    }
     if (!asr_ok || asr_cut_short) {
         result.transcript.clear();
         result.degradation = Degradation::Failed;
@@ -179,11 +218,15 @@ SiriusPipeline::processRobust(const audio::Waveform &wave,
         if (image != nullptr)
             appendShed(result, "imm");
         appendShed(result, "qa");
+        traceDegradation(Degradation::Failed, "asr", options);
         return result;
     }
 
     // Stage 2: query classification (trivial, never shed).
-    result.queryClass = classifier_.classify(result.transcript);
+    {
+        Span span("classify", SpanKind::Stage);
+        result.queryClass = classifier_.classify(result.transcript);
+    }
     if (result.queryClass == QueryClass::Action) {
         result.action = result.transcript;
         result.intent = intentParser_.parse(result.transcript);
@@ -200,6 +243,7 @@ SiriusPipeline::processRobust(const audio::Waveform &wave,
             imm_shed = true;
         } else {
             bool imm_cut_empty = false;
+            Span span("imm", SpanKind::Stage);
             const bool imm_ok = attemptStage(
                 options, "imm", result.stageRetries,
                 [&](bool corrupted) {
@@ -213,11 +257,13 @@ SiriusPipeline::processRobust(const audio::Waveform &wave,
                     imm_cut_empty = imm.cutShort && imm.bestId < 0;
                 });
             imm_shed = !imm_ok || imm_cut_empty;
+            span.attr("shed", imm_shed ? "1" : "0");
         }
         if (imm_shed) {
             result.matchedLandmark = -1;
             result.degradation = Degradation::ViqToVq;
             appendShed(result, "imm");
+            traceDegradation(Degradation::ViqToVq, "imm", options);
         } else if (result.matchedLandmark >= 0) {
             question =
                 augmentWithLandmark(question, result.matchedLandmark);
@@ -236,6 +282,7 @@ SiriusPipeline::processRobust(const audio::Waveform &wave,
         // so it counts as shed; a cut-short pass that still picked an
         // answer from partial evidence counts as served.
         bool qa_cut_empty = false;
+        Span span("qa", SpanKind::Stage);
         const bool qa_ok = attemptStage(
             options, "qa", result.stageRetries, [&](bool corrupted) {
                 auto qa = qa_->answer(question, options.deadline);
@@ -246,12 +293,14 @@ SiriusPipeline::processRobust(const audio::Waveform &wave,
                 qa_cut_empty = qa.cutShort && qa.answer.empty();
             });
         qa_shed = !qa_ok || qa_cut_empty;
+        span.attr("shed", qa_shed ? "1" : "0");
     }
     if (qa_shed) {
         result.answer.clear();
         result.degradation = image != nullptr ? Degradation::ViqToVc
                                               : Degradation::VqToVc;
         appendShed(result, "qa");
+        traceDegradation(result.degradation, "qa", options);
     }
     return result;
 }
@@ -280,12 +329,18 @@ SiriusPipeline::process(const Query &query,
         result.deadlineExpired = true;
         return result;
     }
+    // Input synthesis is test-harness work a deployed server would not
+    // do, so it gets its own span: without it, synthesized-input time
+    // would silently inflate the "other" bucket of every trace.
+    Span synth("synthesize_input", SpanKind::Stage);
     const auto wave = asr_->synthesize(query.text);
     if (query.type == QueryType::VoiceImageQuery) {
         const vision::Image image =
             vision::generateQueryView(query.landmarkId);
+        synth.end();
         return process(wave, &image, options);
     }
+    synth.end();
     return process(wave, nullptr, options);
 }
 

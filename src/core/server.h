@@ -13,6 +13,7 @@
 #include <array>
 #include <cstdint>
 
+#include "common/metrics.h"
 #include "common/stats.h"
 #include "core/pipeline.h"
 
@@ -49,12 +50,32 @@ struct ServerStats
      * serviceHistogram to see what shedding bought.
      */
     LatencyHistogram degradedSeconds;
+    /**
+     * Admission-to-dispatch wait, recorded by the concurrent server.
+     * Without it, queue delay is indistinguishable from service time in
+     * reports — it is only implicitly burned out of the deadline
+     * budget. Always empty for the sequential SiriusServer (no queue).
+     */
+    LatencyHistogram queueWaitSeconds;
 
     /** Fold one served result into every counter and histogram. */
     void record(const SiriusResult &result, double service_seconds);
 
+    /** Record one admission-to-dispatch queue wait. */
+    void recordQueueWait(double wait_seconds);
+
     /** Fold another server's statistics into this one (fleet view). */
     void merge(const ServerStats &other);
+
+    /**
+     * Export every counter and histogram into @p registry under the
+     * metric names documented in docs/ARCHITECTURE.md
+     * (`sirius_queries_total{outcome=...}`,
+     * `sirius_stage_seconds{stage=...}`, ...). @p base labels are
+     * attached to every exported instance (e.g. `server=leaf0`).
+     */
+    void exportTo(MetricsRegistry &registry,
+                  const MetricLabels &base = {{"server", "leaf"}}) const;
 };
 
 /** A single leaf node serving Sirius queries. */

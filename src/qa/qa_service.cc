@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/timer.h"
+#include "common/trace.h"
 
 namespace sirius::qa {
 
@@ -33,6 +34,7 @@ QaService::answer(const std::string &question,
     // to regex (its dominant part) keeps the accounting simple without
     // skewing the breakdown.
     {
+        Span span("question_analysis", SpanKind::Kernel);
         ScopedTimer timer(result.timings.regex);
         result.analysis = analyzer_->analyze(question);
     }
@@ -44,6 +46,7 @@ QaService::answer(const std::string &question,
         return result;
     }
     {
+        Span span("document_search", SpanKind::Kernel);
         ScopedTimer timer(result.timings.search);
         hits = webSearch_->index().search(result.analysis.searchQuery,
                                           config_.retrievalDepth);
@@ -60,17 +63,22 @@ QaService::answer(const std::string &question,
     std::vector<double> doc_quality(scored.size(), 0.0);
     for (const auto &filter : filters_) {
         double *sink = nullptr;
+        const char *kernel = "filter";
         switch (filter->component()) {
           case NlpComponent::Stemmer:
             sink = &result.timings.stemmer;
+            kernel = "stemmer_filter";
             break;
           case NlpComponent::Regex:
             sink = &result.timings.regex;
+            kernel = "regex_filter";
             break;
           case NlpComponent::Crf:
             sink = &result.timings.crf;
+            kernel = "crf_filter";
             break;
         }
+        Span span(kernel, SpanKind::Kernel);
         ScopedTimer timer(*sink);
         for (size_t d = 0; d < scored.size(); ++d) {
             // Filtering dominates QA cost (Figure 8), so the budget is
@@ -91,6 +99,7 @@ QaService::answer(const std::string &question,
 
     // Fold filter quality into the retrieval score, then extract.
     {
+        Span span("answer_select", SpanKind::Kernel);
         ScopedTimer timer(result.timings.select);
         for (size_t d = 0; d < scored.size(); ++d)
             scored[d].second += doc_quality[d];

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "speech/dnn.h"
 #include "speech/gmm.h"
 
@@ -139,6 +140,9 @@ AsrService::transcribe(const audio::Waveform &wave,
 
     std::vector<audio::FeatureVector> frames;
     {
+        // Kernel spans mirror the ScopedTimer sinks: the same regions
+        // VTune attributes in Figure 9, but per *query* in the trace.
+        Span span("feature_extraction", SpanKind::Kernel);
         ScopedTimer timer(result.timings.featureExtraction);
         frames = mfcc_->extract(wave);
         if (config_.useDeltaFeatures)
@@ -148,6 +152,8 @@ AsrService::transcribe(const audio::Waveform &wave,
 
     std::vector<std::vector<float>> scores;
     {
+        Span span("acoustic_scoring", SpanKind::Kernel);
+        span.attr("backend", scorer_->name());
         ScopedTimer timer(result.timings.scoring);
         scores.reserve(frames.size());
         for (size_t i = 0; i < frames.size(); ++i) {
@@ -168,6 +174,7 @@ AsrService::transcribe(const audio::Waveform &wave,
         return result; // no search: a prefix decode would misclassify
 
     {
+        Span span("viterbi_search", SpanKind::Kernel);
         ScopedTimer timer(result.timings.search);
         const DecodeResult decode = decoder_->decode(scores);
         result.text = decode.text;

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "common/trace.h"
 
 namespace sirius::vision {
 
@@ -33,6 +34,7 @@ ImmService::match(const Image &image, const Deadline &deadline) const
     std::vector<Keypoint> keypoints;
     std::unique_ptr<IntegralImage> integral;
     {
+        Span span("surf_detect", SpanKind::Kernel);
         ScopedTimer timer(result.timings.featureExtraction);
         integral = std::make_unique<IntegralImage>(image);
         keypoints = detectKeypoints(*integral, config_);
@@ -45,6 +47,7 @@ ImmService::match(const Image &image, const Deadline &deadline) const
 
     std::vector<Descriptor> descriptors;
     {
+        Span span("surf_describe", SpanKind::Kernel);
         ScopedTimer timer(result.timings.featureDescription);
         descriptors = describeKeypoints(*integral, keypoints, config_);
     }
@@ -54,6 +57,7 @@ ImmService::match(const Image &image, const Deadline &deadline) const
     }
 
     {
+        Span span("ann_matching", SpanKind::Kernel);
         ScopedTimer timer(result.timings.matching);
         for (const auto &entry : database_) {
             // The database scan is the open-ended part of IMM, so the

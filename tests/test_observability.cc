@@ -1,0 +1,749 @@
+/**
+ * @file
+ * Tests for the observability layer: trace contexts, span nesting, the
+ * bounded collector ring, head-based sampling, the labeled metrics
+ * registry, the machine-readable exporters, and their integration with
+ * the concurrent leaf server.
+ */
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/profiler.h"
+#include "common/trace.h"
+#include "core/concurrent_server.h"
+
+namespace {
+
+using namespace sirius;
+using namespace sirius::core;
+
+/** Find all spans of one kind, in append order. */
+std::vector<SpanRecord>
+ofKind(const std::vector<SpanRecord> &spans, SpanKind kind)
+{
+    std::vector<SpanRecord> out;
+    for (const auto &span : spans) {
+        if (span.kind == kind)
+            out.push_back(span);
+    }
+    return out;
+}
+
+std::string
+attrValue(const SpanRecord &span, const std::string &key)
+{
+    for (const auto &[k, v] : span.attrs) {
+        if (k == key)
+            return v;
+    }
+    return "";
+}
+
+// ---------------------------------------------------------------------
+// Spans and nesting
+
+TEST(TraceTest, SpanNestingRecordsParentChain)
+{
+    TraceCollector collector(64, 1.0);
+    TraceContext context(collector, 7);
+    ASSERT_TRUE(context.active());
+    ScopedTraceActivation activation(context);
+
+    const uint32_t root = context.openRoot();
+    EXPECT_GT(root, 0u);
+    {
+        Span outer("asr", SpanKind::Stage);
+        ASSERT_TRUE(outer.active());
+        {
+            Span inner("acoustic_scoring", SpanKind::Kernel);
+            inner.attr("backend", "gmm");
+        }
+    }
+    context.closeRoot("query", 0.0, 1.0);
+
+    const auto spans = collector.snapshot();
+    ASSERT_EQ(spans.size(), 3u);
+    // Children close (and append) before their parents.
+    EXPECT_EQ(spans[0].name, "acoustic_scoring");
+    EXPECT_EQ(spans[1].name, "asr");
+    EXPECT_EQ(spans[2].name, "query");
+    EXPECT_EQ(spans[2].parentId, 0u);
+    EXPECT_EQ(spans[2].spanId, root);
+    EXPECT_EQ(spans[1].parentId, root);
+    EXPECT_EQ(spans[0].parentId, spans[1].spanId);
+    for (const auto &span : spans)
+        EXPECT_EQ(span.traceId, 7u);
+    EXPECT_EQ(attrValue(spans[0], "backend"), "gmm");
+}
+
+TEST(TraceTest, SpanEndIsIdempotentAndRestoresNesting)
+{
+    TraceCollector collector(64, 1.0);
+    TraceContext context(collector, 1);
+    ScopedTraceActivation activation(context);
+
+    Span first("a", SpanKind::Stage);
+    first.end();
+    first.end(); // second end must not double-record
+    Span second("b", SpanKind::Stage);
+    second.end();
+
+    const auto spans = collector.snapshot();
+    ASSERT_EQ(spans.size(), 2u);
+    // "b" is a sibling of "a", not its child: nesting was restored.
+    EXPECT_EQ(spans[1].parentId, spans[0].parentId);
+}
+
+TEST(TraceTest, InertContextMakesSpansNoOps)
+{
+    TraceContext inert;
+    EXPECT_FALSE(inert.active());
+    EXPECT_EQ(TraceContext::current(), nullptr);
+
+    // No activation installed: ambient spans are no-ops.
+    Span span("asr", SpanKind::Stage);
+    EXPECT_FALSE(span.active());
+
+    // An unsampled context is inert even with a collector around.
+    TraceCollector off(16, 0.0);
+    TraceContext dropped(off, 42);
+    EXPECT_FALSE(dropped.active());
+    ScopedTraceActivation activation(dropped);
+    {
+        Span nested("qa", SpanKind::Stage);
+        EXPECT_FALSE(nested.active());
+    }
+    dropped.event(SpanKind::Retry, "stage_retry");
+    EXPECT_EQ(off.size(), 0u);
+    EXPECT_EQ(off.appended(), 0u);
+}
+
+TEST(TraceTest, ActivationTagsLogLinesAndRestores)
+{
+    TraceCollector collector(16, 1.0);
+    TraceContext context(collector, 0xABC);
+    EXPECT_TRUE(sirius::detail::logTraceTag().empty());
+    {
+        ScopedTraceActivation activation(context);
+        EXPECT_FALSE(sirius::detail::logTraceTag().empty());
+        EXPECT_EQ(TraceContext::current(), &context);
+    }
+    EXPECT_TRUE(sirius::detail::logTraceTag().empty());
+    EXPECT_EQ(TraceContext::current(), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Sampling
+
+TEST(TraceTest, SamplingIsDeterministicForAFixedSeed)
+{
+    TraceCollector a(16, 0.5, 12345);
+    TraceCollector b(16, 0.5, 12345);
+    TraceCollector c(16, 0.5, 99999);
+
+    size_t kept = 0, differs = 0;
+    for (uint64_t id = 1; id <= 2000; ++id) {
+        EXPECT_EQ(a.sampled(id), b.sampled(id));
+        kept += a.sampled(id) ? 1 : 0;
+        differs += a.sampled(id) != c.sampled(id) ? 1 : 0;
+    }
+    // Rate 0.5 keeps about half; the hash seed changes *which* half.
+    EXPECT_GT(kept, 700u);
+    EXPECT_LT(kept, 1300u);
+    EXPECT_GT(differs, 0u);
+}
+
+TEST(TraceTest, SamplingRateExtremes)
+{
+    TraceCollector all(16, 1.0);
+    TraceCollector none(16, 0.0);
+    for (uint64_t id = 1; id <= 200; ++id) {
+        EXPECT_TRUE(all.sampled(id));
+        EXPECT_FALSE(none.sampled(id));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Collector ring
+
+TEST(TraceTest, RingOverflowKeepsNewestSpans)
+{
+    TraceCollector collector(8, 1.0);
+    for (int i = 0; i < 20; ++i) {
+        SpanRecord record;
+        record.traceId = 1;
+        record.spanId = static_cast<uint32_t>(i + 1);
+        record.name = "span_" + std::to_string(i);
+        collector.append(std::move(record));
+    }
+    EXPECT_EQ(collector.appended(), 20u);
+    EXPECT_EQ(collector.size(), 8u);
+
+    const auto spans = collector.snapshot();
+    ASSERT_EQ(spans.size(), 8u);
+    // Oldest first, and only the newest 8 survive the wrap.
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(spans[static_cast<size_t>(i)].name,
+                  "span_" + std::to_string(12 + i));
+
+    collector.clear();
+    EXPECT_EQ(collector.size(), 0u);
+    EXPECT_TRUE(collector.snapshot().empty());
+}
+
+TEST(TraceTest, ConcurrentAppendsAreAccountedExactly)
+{
+    TraceCollector collector(64, 1.0);
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 500;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&collector, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                SpanRecord record;
+                record.traceId = static_cast<uint64_t>(t + 1);
+                record.name = "concurrent";
+                collector.append(std::move(record));
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(collector.appended(),
+              static_cast<uint64_t>(kThreads * kPerThread));
+    EXPECT_EQ(collector.size(), collector.capacity());
+    for (const auto &span : collector.snapshot())
+        EXPECT_EQ(span.name, "concurrent");
+}
+
+// ---------------------------------------------------------------------
+// Span JSON round trip
+
+TEST(TraceTest, SpanJsonGoldenFormat)
+{
+    SpanRecord span;
+    span.traceId = 3;
+    span.spanId = 2;
+    span.parentId = 1;
+    span.kind = SpanKind::Kernel;
+    span.name = "acoustic_scoring";
+    span.startSeconds = 0.5;
+    span.durationSeconds = 0.25;
+    span.attrs = {{"backend", "gmm"}};
+    EXPECT_EQ(spanToJson(span),
+              "{\"trace\":3,\"span\":2,\"parent\":1,"
+              "\"kind\":\"kernel\",\"name\":\"acoustic_scoring\","
+              "\"start_s\":0.500000000,\"dur_s\":0.250000000,"
+              "\"attrs\":{\"backend\":\"gmm\"}}");
+}
+
+TEST(TraceTest, SpanJsonRoundTripWithEscapes)
+{
+    SpanRecord span;
+    span.traceId = 99;
+    span.spanId = 4;
+    span.kind = SpanKind::Query;
+    span.name = "query";
+    span.durationSeconds = 1.5;
+    span.attrs = {{"text", "say \"hi\"\nplease\t\\now"}};
+
+    SpanRecord parsed;
+    ASSERT_TRUE(spanFromJson(spanToJson(span), parsed));
+    EXPECT_EQ(parsed.traceId, span.traceId);
+    EXPECT_EQ(parsed.spanId, span.spanId);
+    EXPECT_EQ(parsed.kind, SpanKind::Query);
+    EXPECT_EQ(parsed.name, "query");
+    EXPECT_DOUBLE_EQ(parsed.durationSeconds, 1.5);
+    ASSERT_EQ(parsed.attrs.size(), 1u);
+    EXPECT_EQ(parsed.attrs[0].second, "say \"hi\"\nplease\t\\now");
+}
+
+TEST(TraceTest, SpanJsonRejectsMalformedLines)
+{
+    SpanRecord out;
+    EXPECT_FALSE(spanFromJson("", out));
+    EXPECT_FALSE(spanFromJson("not json", out));
+    EXPECT_FALSE(spanFromJson("{\"trace\":1}", out));
+    EXPECT_FALSE(spanFromJson("{\"trace\":1,\"span\":2,\"kind\":"
+                              "\"nope\",\"name\":\"x\"}", out));
+}
+
+TEST(TraceTest, JsonlFileRoundTripAndAppend)
+{
+    const std::string path =
+        ::testing::TempDir() + "trace_roundtrip.jsonl";
+    std::vector<SpanRecord> batch(2);
+    batch[0].traceId = 1;
+    batch[0].spanId = 1;
+    batch[0].kind = SpanKind::Stage;
+    batch[0].name = "asr";
+    batch[1].traceId = 1;
+    batch[1].spanId = 2;
+    batch[1].kind = SpanKind::Stage;
+    batch[1].name = "qa";
+    ASSERT_TRUE(writeTraceJsonl(path, batch, false));
+    batch[0].traceId = 2;
+    batch[1].traceId = 2;
+    ASSERT_TRUE(writeTraceJsonl(path, batch, true));
+
+    // Corrupt one trailing line; the reader must skip and count it.
+    {
+        std::FILE *f = std::fopen(path.c_str(), "a");
+        ASSERT_NE(f, nullptr);
+        std::fputs("{broken\n", f);
+        std::fclose(f);
+    }
+    size_t malformed = 0;
+    const auto spans = readTraceJsonl(path, &malformed);
+    ASSERT_EQ(spans.size(), 4u);
+    EXPECT_EQ(malformed, 1u);
+    EXPECT_EQ(spans[0].traceId, 1u);
+    EXPECT_EQ(spans[2].traceId, 2u);
+    EXPECT_EQ(spans[3].name, "qa");
+    std::remove(path.c_str());
+}
+
+TEST(TraceTest, SpanKindNamesRoundTrip)
+{
+    for (size_t i = 0; i < kSpanKinds; ++i) {
+        const auto kind = static_cast<SpanKind>(i);
+        SpanKind parsed;
+        ASSERT_TRUE(spanKindFromName(spanKindName(kind), parsed));
+        EXPECT_EQ(parsed, kind);
+    }
+    SpanKind parsed;
+    EXPECT_FALSE(spanKindFromName("bogus", parsed));
+}
+
+// ---------------------------------------------------------------------
+// Metrics registry
+
+TEST(MetricsTest, NamingConvention)
+{
+    EXPECT_TRUE(isValidMetricName("sirius_queue_wait_seconds"));
+    EXPECT_TRUE(isValidMetricName("a"));
+    EXPECT_TRUE(isValidMetricName("a1_b2"));
+    EXPECT_FALSE(isValidMetricName(""));
+    EXPECT_FALSE(isValidMetricName("QueueWait"));
+    EXPECT_FALSE(isValidMetricName("queue-wait"));
+    EXPECT_FALSE(isValidMetricName("1queue"));
+    EXPECT_FALSE(isValidMetricName("queue wait"));
+    EXPECT_FALSE(isValidMetricName("_queue"));
+}
+
+TEST(MetricsTest, SameNameAndLabelsShareOneInstance)
+{
+    MetricsRegistry registry;
+    CounterMetric &a =
+        registry.counter("sirius_test_total", {{"stage", "asr"}});
+    CounterMetric &b =
+        registry.counter("sirius_test_total", {{"stage", "asr"}});
+    CounterMetric &other =
+        registry.counter("sirius_test_total", {{"stage", "qa"}});
+    EXPECT_EQ(&a, &b);
+    EXPECT_NE(&a, &other);
+    a.add(2);
+    b.add();
+    EXPECT_EQ(a.value(), 3u);
+    EXPECT_EQ(other.value(), 0u);
+    EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricsTest, LabelOrderDoesNotSplitInstances)
+{
+    MetricsRegistry registry;
+    GaugeMetric &a = registry.gauge(
+        "sirius_depth", {{"server", "leaf"}, {"stage", "asr"}});
+    GaugeMetric &b = registry.gauge(
+        "sirius_depth", {{"stage", "asr"}, {"server", "leaf"}});
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MetricsTest, MergeAcrossThreadLocalRegistries)
+{
+    constexpr int kThreads = 4;
+    std::vector<MetricsRegistry> locals(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&locals, t] {
+            MetricsRegistry &reg = locals[static_cast<size_t>(t)];
+            CounterMetric &counter =
+                reg.counter("sirius_work_total", {{"server", "leaf"}});
+            LatencyHistogram &hist = reg.histogram(
+                "sirius_work_seconds", {{"server", "leaf"}});
+            for (int i = 0; i < 1000; ++i) {
+                counter.add();
+                hist.add(0.001 * (t + 1));
+            }
+            reg.gauge("sirius_worker_busy",
+                      {{"worker", std::to_string(t)}}).set(1.0);
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    MetricsRegistry merged;
+    for (const auto &local : locals)
+        merged.merge(local);
+    EXPECT_EQ(merged.counter("sirius_work_total",
+                             {{"server", "leaf"}}).value(), 4000u);
+    EXPECT_EQ(merged.histogram("sirius_work_seconds",
+                               {{"server", "leaf"}}).count(), 4000u);
+    // One gauge instance per distinct worker label.
+    EXPECT_EQ(merged.size(), 2u + kThreads);
+}
+
+TEST(MetricsTest, ConcurrentUpdatesOnOneSharedRegistry)
+{
+    MetricsRegistry registry;
+    // Register up front; hot paths then update lock-free.
+    CounterMetric &counter =
+        registry.counter("sirius_hits_total", {{"server", "leaf"}});
+    LatencyHistogram &hist =
+        registry.histogram("sirius_hit_seconds", {{"server", "leaf"}});
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&counter, &hist] {
+            for (int i = 0; i < 2000; ++i) {
+                counter.add();
+                hist.add(0.002);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(counter.value(), 8000u);
+    EXPECT_EQ(hist.count(), 8000u);
+}
+
+TEST(MetricsTest, CopyIsIndependent)
+{
+    MetricsRegistry registry;
+    registry.counter("sirius_total", {{"server", "leaf"}}).add(5);
+    MetricsRegistry copy = registry;
+    copy.counter("sirius_total", {{"server", "leaf"}}).add(1);
+    EXPECT_EQ(registry.counter("sirius_total",
+                               {{"server", "leaf"}}).value(), 5u);
+    EXPECT_EQ(copy.counter("sirius_total",
+                           {{"server", "leaf"}}).value(), 6u);
+}
+
+// ---------------------------------------------------------------------
+// Exporters
+
+TEST(MetricsTest, PrometheusGoldenForCountersAndGauges)
+{
+    MetricsRegistry registry;
+    registry.counter("sirius_queries_total",
+                     {{"server", "leaf"}, {"outcome", "ok"}}).add(12);
+    registry.counter("sirius_queries_total",
+                     {{"server", "leaf"}, {"outcome", "failed"}}).add(3);
+    registry.gauge("sirius_queue_depth", {{"server", "leaf"}}).set(2.5);
+
+    // Families are name-sorted; instances render their labels in the
+    // order the call site registered them.
+    EXPECT_EQ(registry.renderPrometheus(),
+              "# TYPE sirius_queries_total counter\n"
+              "sirius_queries_total{server=\"leaf\",outcome=\"failed\"}"
+              " 3\n"
+              "sirius_queries_total{server=\"leaf\",outcome=\"ok\"}"
+              " 12\n"
+              "# TYPE sirius_queue_depth gauge\n"
+              "sirius_queue_depth{server=\"leaf\"} 2.5\n");
+}
+
+TEST(MetricsTest, PrometheusHistogramSeriesAreCumulative)
+{
+    MetricsRegistry registry;
+    LatencyHistogram &hist =
+        registry.histogram("sirius_lat_seconds", {{"server", "leaf"}});
+    hist.add(0.010);
+    hist.add(0.020);
+    hist.add(0.500);
+    const std::string text = registry.renderPrometheus();
+
+    EXPECT_NE(text.find("# TYPE sirius_lat_seconds histogram"),
+              std::string::npos);
+    EXPECT_NE(text.find("sirius_lat_seconds_bucket{server=\"leaf\","
+                        "le=\"+Inf\"} 3"), std::string::npos);
+    EXPECT_NE(text.find("sirius_lat_seconds_count{server=\"leaf\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("sirius_lat_seconds_sum{server=\"leaf\"} 0.53"),
+              std::string::npos);
+
+    // Bucket counts must be cumulative (monotonically non-decreasing).
+    uint64_t previous = 0;
+    size_t pos = 0, buckets = 0;
+    while ((pos = text.find("sirius_lat_seconds_bucket", pos)) !=
+           std::string::npos) {
+        const size_t space = text.find(' ', pos);
+        ASSERT_NE(space, std::string::npos);
+        const uint64_t count = std::strtoull(
+            text.c_str() + space + 1, nullptr, 10);
+        EXPECT_GE(count, previous);
+        previous = count;
+        ++buckets;
+        pos = space;
+    }
+    EXPECT_GE(buckets, 2u);
+}
+
+TEST(MetricsTest, CsvGoldenFormat)
+{
+    MetricsRegistry registry;
+    registry.counter("sirius_queries_total",
+                     {{"outcome", "ok"}}).add(7);
+    registry.gauge("sirius_queue_depth", {{"server", "leaf"}}).set(1.5);
+    const std::string text = registry.renderCsv();
+    EXPECT_EQ(text,
+              "metric,labels,stat,value\n"
+              "sirius_queries_total,outcome=ok,value,7\n"
+              "sirius_queue_depth,server=leaf,value,1.5\n");
+
+    registry.histogram("sirius_lat_seconds", {{"server", "leaf"}})
+        .add(0.25);
+    const std::string with_hist = registry.renderCsv();
+    EXPECT_NE(with_hist.find(
+                  "sirius_lat_seconds,server=leaf,count,1"),
+              std::string::npos);
+    EXPECT_NE(with_hist.find("sirius_lat_seconds,server=leaf,p99,"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Profiler extensions
+
+TEST(ProfilerTest, TracksCallCountMinMax)
+{
+    Profiler profiler;
+    profiler.addSeconds("scoring", 0.010);
+    profiler.addSeconds("scoring", 0.030);
+    profiler.addSeconds("scoring", 0.020);
+    const auto c = profiler.component("scoring");
+    EXPECT_EQ(c.calls, 3u);
+    EXPECT_DOUBLE_EQ(c.seconds, 0.060);
+    EXPECT_DOUBLE_EQ(c.minSeconds, 0.010);
+    EXPECT_DOUBLE_EQ(c.maxSeconds, 0.030);
+    EXPECT_DOUBLE_EQ(c.meanSeconds(), 0.020);
+    EXPECT_EQ(profiler.component("absent").calls, 0u);
+
+    const std::string report = profiler.report();
+    EXPECT_NE(report.find("calls"), std::string::npos);
+    EXPECT_NE(report.find("scoring"), std::string::npos);
+}
+
+TEST(ProfilerTest, MergeCombinesExtremes)
+{
+    Profiler a, b;
+    a.addSeconds("x", 0.010);
+    b.addSeconds("x", 0.002);
+    b.addSeconds("x", 0.050);
+    b.addSeconds("y", 0.001);
+    a.merge(b);
+    const auto x = a.component("x");
+    EXPECT_EQ(x.calls, 3u);
+    EXPECT_DOUBLE_EQ(x.minSeconds, 0.002);
+    EXPECT_DOUBLE_EQ(x.maxSeconds, 0.050);
+    EXPECT_EQ(a.component("y").calls, 1u);
+}
+
+TEST(ProfilerTest, ExportToRegistry)
+{
+    Profiler profiler;
+    profiler.addSeconds("viterbi_search", 0.040);
+    profiler.addSeconds("viterbi_search", 0.060);
+    MetricsRegistry registry;
+    profiler.exportTo(registry, {{"server", "leaf"}});
+    EXPECT_EQ(registry.counter(
+                  "sirius_component_calls_total",
+                  {{"server", "leaf"},
+                   {"component", "viterbi_search"}}).value(), 2u);
+    EXPECT_DOUBLE_EQ(registry.gauge(
+                         "sirius_component_seconds",
+                         {{"server", "leaf"},
+                          {"component", "viterbi_search"}}).value(),
+                     0.1);
+}
+
+// ---------------------------------------------------------------------
+// Log level parsing (the --log-level / SIRIUS_LOG_LEVEL hook)
+
+TEST(LoggingTest, LogLevelFromName)
+{
+    LogLevel level = LogLevel::Error;
+    EXPECT_TRUE(logLevelFromName("debug", level));
+    EXPECT_EQ(level, LogLevel::Debug);
+    EXPECT_TRUE(logLevelFromName("WARN", level));
+    EXPECT_EQ(level, LogLevel::Warn);
+    EXPECT_TRUE(logLevelFromName("warning", level));
+    EXPECT_EQ(level, LogLevel::Warn);
+    EXPECT_TRUE(logLevelFromName("Info", level));
+    EXPECT_EQ(level, LogLevel::Info);
+    EXPECT_FALSE(logLevelFromName("loud", level));
+    EXPECT_EQ(level, LogLevel::Info); // unchanged on failure
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: the concurrent server's traces and metrics
+
+class ObservabilityFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        SiriusConfig config;
+        config.qa.fillerDocs = 60;
+        pipeline_ = new SiriusPipeline(SiriusPipeline::build(config));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete pipeline_;
+        pipeline_ = nullptr;
+    }
+
+    static SiriusPipeline *pipeline_;
+};
+
+SiriusPipeline *ObservabilityFixture::pipeline_ = nullptr;
+
+TEST_F(ObservabilityFixture, ServerTracesAgreeWithServerStats)
+{
+    ConcurrentServerConfig config;
+    config.workers = 2;
+    config.traceSampleRate = 1.0;
+    config.traceIdOffset = 500;
+    ConcurrentServer server(*pipeline_, config);
+
+    const auto queries = standardQuerySet();
+    const size_t served = 6;
+    for (size_t i = 0; i < served; ++i)
+        server.handle(queries[i * 3 % queries.size()]);
+    const auto stats = server.snapshot();
+
+    // Every query produced a root span, a queue-wait span, and stage
+    // spans nested under the root.
+    const auto roots = ofKind(stats.spans, SpanKind::Query);
+    const auto waits = ofKind(stats.spans, SpanKind::QueueWait);
+    const auto stages = ofKind(stats.spans, SpanKind::Stage);
+    const auto kernels = ofKind(stats.spans, SpanKind::Kernel);
+    ASSERT_EQ(roots.size(), served);
+    ASSERT_EQ(waits.size(), served);
+    EXPECT_GE(stages.size(), served); // at least asr per query
+    EXPECT_GE(kernels.size(), served);
+
+    std::set<uint64_t> ids;
+    for (const auto &root : roots) {
+        ids.insert(root.traceId);
+        EXPECT_GT(root.traceId, 500u); // the configured id offset
+        EXPECT_EQ(root.parentId, 0u);
+        EXPECT_GT(root.durationSeconds, 0.0);
+        EXPECT_FALSE(attrValue(root, "type").empty());
+        EXPECT_FALSE(attrValue(root, "degradation").empty());
+    }
+    EXPECT_EQ(ids.size(), served); // distinct trace per query
+    for (const auto &wait : waits) {
+        EXPECT_GE(wait.durationSeconds, 0.0);
+        EXPECT_NE(wait.parentId, 0u); // nested under the root
+    }
+
+    // Stage spans cover the measured per-stage histograms: the traced
+    // asr total must not be below the stats histogram total (the span
+    // wraps the kernels plus retry logic), and should be of the same
+    // magnitude.
+    double traced_asr = 0.0;
+    size_t asr_spans = 0;
+    for (const auto &stage : stages) {
+        if (stage.name == "asr") {
+            traced_asr += stage.durationSeconds;
+            ++asr_spans;
+        }
+    }
+    EXPECT_EQ(asr_spans, served);
+    const double measured_asr = stats.server.asrSeconds.sum();
+    EXPECT_GT(measured_asr, 0.0);
+    EXPECT_GE(traced_asr, measured_asr * 0.9);
+    EXPECT_LE(traced_asr, measured_asr * 3.0 + 0.1);
+
+    // Queue wait reached the ServerStats histogram as well.
+    EXPECT_EQ(stats.server.queueWaitSeconds.count(), served);
+
+    // And the registry view matches the raw counters.
+    MetricsRegistry &metrics =
+        const_cast<MetricsRegistry &>(stats.metrics);
+    const uint64_t ok = metrics.counter(
+        "sirius_queries_total",
+        {{"server", "leaf"}, {"outcome", "ok"}}).value();
+    const uint64_t degraded = metrics.counter(
+        "sirius_queries_total",
+        {{"server", "leaf"}, {"outcome", "degraded"}}).value();
+    const uint64_t failed = metrics.counter(
+        "sirius_queries_total",
+        {{"server", "leaf"}, {"outcome", "failed"}}).value();
+    EXPECT_EQ(ok + degraded + failed, served);
+    EXPECT_EQ(metrics.histogram(
+                  "sirius_queue_wait_seconds",
+                  {{"server", "leaf"}}).count(), served);
+    EXPECT_EQ(metrics.histogram(
+                  "sirius_stage_seconds",
+                  {{"server", "leaf"}, {"stage", "asr"}}).count(),
+              served);
+
+    // The whole registry renders without tripping any format check.
+    EXPECT_FALSE(metrics.renderPrometheus().empty());
+    EXPECT_FALSE(metrics.renderCsv().empty());
+}
+
+TEST_F(ObservabilityFixture, TracingDisabledRecordsNothing)
+{
+    ConcurrentServerConfig config;
+    config.workers = 2;
+    config.traceSampleRate = 0.0; // the default, spelled out
+    ConcurrentServer server(*pipeline_, config);
+    const auto queries = standardQuerySet();
+    for (size_t i = 0; i < 4; ++i)
+        server.handle(queries[i]);
+    const auto stats = server.snapshot();
+    EXPECT_TRUE(stats.spans.empty());
+    EXPECT_EQ(server.traces().appended(), 0u);
+    // Metrics still flow: they are independent of trace sampling.
+    EXPECT_EQ(stats.server.served, 4u);
+    EXPECT_EQ(stats.server.queueWaitSeconds.count(), 4u);
+}
+
+TEST_F(ObservabilityFixture, SampledSubsetIsDeterministic)
+{
+    const auto keptIds = [this](uint64_t seed) {
+        ConcurrentServerConfig config;
+        config.workers = 1;
+        config.traceSampleRate = 0.5;
+        config.traceSeed = seed;
+        ConcurrentServer server(*pipeline_, config);
+        const auto queries = standardQuerySet();
+        for (size_t i = 0; i < 8; ++i)
+            server.handle(queries[i]);
+        std::set<uint64_t> ids;
+        for (const auto &span : server.traces().snapshot())
+            ids.insert(span.traceId);
+        return ids;
+    };
+    const auto first = keptIds(42);
+    const auto second = keptIds(42);
+    EXPECT_EQ(first, second);
+    EXPECT_LT(first.size(), 8u); // rate 0.5 drops some of 8 ids
+}
+
+} // namespace
