@@ -30,6 +30,11 @@
  *   --retries N       stage retries before degrading        (default 1
  *                     when faults are on, else 0)
  *
+ * Batching (--real mode; see docs/ARCHITECTURE.md "Batching"):
+ *   --batch-size N    close a kernel batch at N items       (default 8)
+ *   --batch-wait-us U close a partial batch after U µs      (default 200)
+ *   --no-batching     serial kernels, for a before/after baseline
+ *
  * Observability (--real mode):
  *   --trace-out F     append per-query spans to F as JSONL
  *   --trace-sample R  head sampling rate in [0,1] (default 1 when
@@ -139,6 +144,13 @@ realSweep(const SiriusPipeline &pipeline, double capacity,
     std::printf("real executions: %zu workers, queue capacity %zu, %zu "
                 "requests per level\n", config.workers,
                 config.queueCapacity, requests);
+    if (config.batching.enabled)
+        std::printf("batching: up to %zu queries per kernel call, "
+                    "%.0f us window (--no-batching for the serial "
+                    "baseline)\n", config.batching.maxBatchSize,
+                    config.batching.maxWaitSeconds * 1e6);
+    else
+        std::printf("batching: disabled (serial kernels)\n");
     if (config.deadlineSeconds > 0.0)
         std::printf("deadline: %.0f ms per query from admission\n",
                     config.deadlineSeconds * 1e3);
@@ -198,6 +210,20 @@ realSweep(const SiriusPipeline &pipeline, double capacity,
                 stats.server.immSeconds.p50() * 1e3,
                 stats.server.immSeconds.p95() * 1e3,
                 stats.server.immSeconds.p99() * 1e3);
+    if (config.batching.enabled) {
+        for (size_t k = 0; k < kBatchKernels; ++k) {
+            const auto &batch = stats.batching.kernels[k];
+            if (batch.batches == 0)
+                continue;
+            std::printf("batch[%s]: %llu batches, %llu items, mean "
+                        "occupancy %.2f, mean wait %.0f us\n",
+                        batchKernelName(static_cast<BatchKernel>(k)),
+                        static_cast<unsigned long long>(batch.batches),
+                        static_cast<unsigned long long>(batch.items),
+                        batch.meanOccupancy(),
+                        batch.waitSeconds.mean() * 1e6);
+        }
+    }
     if (stats.server.degraded + stats.server.failed +
             stats.server.deadlineMisses > 0) {
         std::printf("degradation ladder: viq->vq %llu, vq->vc %llu, "
@@ -255,6 +281,14 @@ main(int argc, char **argv)
                 static_cast<uint64_t>(std::atoll(argv[++i]));
         else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc)
             retries = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--batch-size") == 0 && i + 1 < argc)
+            config.batching.maxBatchSize =
+                static_cast<size_t>(std::atoi(argv[++i]));
+        else if (std::strcmp(argv[i], "--batch-wait-us") == 0 &&
+                 i + 1 < argc)
+            config.batching.maxWaitSeconds = std::atof(argv[++i]) * 1e-6;
+        else if (std::strcmp(argv[i], "--no-batching") == 0)
+            config.batching.enabled = false;
         else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc)
             obs.traceOut = argv[++i];
         else if (std::strcmp(argv[i], "--trace-sample") == 0 &&

@@ -19,6 +19,21 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 (cd build && ctest --output-on-failure -j "$jobs")
 
+echo "==> goldens: end-to-end fixtures are in sync (tests/golden/)"
+# The golden test itself ran under ctest above; this catches the other
+# drift direction — a regenerated fixture that was never committed, or
+# local edits to tests/golden/ that no code change explains.
+if command -v git >/dev/null 2>&1 && [ -d .git ]; then
+    if ! git diff --quiet -- tests/golden/; then
+        echo "tests/golden/ differs from the committed fixtures:"
+        git --no-pager diff --stat -- tests/golden/
+        echo "(commit the regenerated goldens with the change that"
+        echo " caused them, or revert them — see scripts/regen_goldens.sh)"
+        exit 1
+    fi
+fi
+echo "goldens: OK"
+
 echo "==> exporters: trace_report smoke run on a generated trace"
 trace_tmp="$(mktemp /tmp/sirius_trace.XXXXXX.jsonl)"
 trap 'rm -f "$trace_tmp"' EXIT
@@ -48,9 +63,10 @@ cmake -B build-tsan -S . -DSIRIUS_SANITIZE=thread >/dev/null
 # bench/example targets would double the check's wall time for no
 # additional thread coverage.
 cmake --build build-tsan -j "$jobs" \
-    --target test_server test_robustness test_common test_observability
+    --target test_server test_robustness test_common test_observability \
+             test_batching
 (cd build-tsan &&
      ctest --output-on-failure -j "$jobs" \
-           -R "Server|Robustness|Deadline|FaultInjector|LatencyHistogram|Profiler|ThreadPool|ParallelFor|Trace|Metrics|Observability")
+           -R "Server|Robustness|Deadline|FaultInjector|LatencyHistogram|Profiler|ThreadPool|ParallelFor|Trace|Metrics|Observability|Batch|ManualTime")
 
 echo "==> all checks passed"

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerate the end-to-end golden fixtures under tests/golden/.
+#
+# The goldens pin the pipeline's per-query discrete outputs (type,
+# degradation, class, landmark, transcript, answer) for the standard
+# 42-query set. Run this after an *intentional* behaviour change, review
+# the diff, and commit the updated fixture together with the change that
+# caused it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j --target test_batching
+
+SIRIUS_REGEN_GOLDENS=1 "$BUILD_DIR"/tests/test_batching \
+    --gtest_filter='BatchingE2E.GoldenEndToEndOutputs'
+
+echo "--- regenerated fixtures ---"
+git -c color.status=always status --short tests/golden/ || true

@@ -14,10 +14,44 @@
 #ifndef SIRIUS_COMMON_DEADLINE_H
 #define SIRIUS_COMMON_DEADLINE_H
 
+#include <atomic>
 #include <chrono>
 #include <limits>
 
 namespace sirius {
+
+/**
+ * A manually advanced clock for deterministic timing tests.
+ *
+ * Tests that assert on deadline expiry or injected latency must not
+ * depend on how fast the machine happens to run (a loaded CI box under
+ * TSan can stall a "2 ms" window for seconds). A ManualTime starts at
+ * zero and only moves when advance() is called, so a test can place a
+ * deadline exactly before or after an event with no real sleeping.
+ *
+ * Thread-safe: advance() and now() may race; readers see some recent
+ * value, which mirrors how steady_clock behaves across threads.
+ */
+class ManualTime
+{
+  public:
+    /** Current virtual time in seconds since construction. */
+    double now() const { return seconds_.load(std::memory_order_acquire); }
+
+    /** Move virtual time forward by @p seconds (never backwards). */
+    void
+    advance(double seconds)
+    {
+        double cur = seconds_.load(std::memory_order_relaxed);
+        while (!seconds_.compare_exchange_weak(cur, cur + seconds,
+                                               std::memory_order_acq_rel))
+        {
+        }
+    }
+
+  private:
+    std::atomic<double> seconds_{0.0};
+};
 
 /**
  * A wall-clock latency budget anchored at a fixed start instant.
@@ -51,6 +85,23 @@ class Deadline
     /** Explicit spelling of the default (no latency target). */
     static Deadline unbounded() { return Deadline(); }
 
+    /**
+     * A deadline expiring @p seconds from @p clock's current virtual
+     * time. Behaves exactly like after(), but time only moves when the
+     * test advances the clock — see ManualTime. The clock must outlive
+     * every copy of the deadline.
+     */
+    static Deadline
+    afterManual(double seconds, const ManualTime &clock)
+    {
+        Deadline d;
+        d.bounded_ = true;
+        d.budgetSeconds_ = seconds;
+        d.clock_ = &clock;
+        d.manualExpiry_ = clock.now() + seconds;
+        return d;
+    }
+
     /** True when this deadline can ever expire. */
     bool bounded() const { return bounded_; }
 
@@ -58,7 +109,11 @@ class Deadline
     bool
     expired() const
     {
-        return bounded_ && Clock::now() >= expiry_;
+        if (!bounded_)
+            return false;
+        if (clock_ != nullptr)
+            return clock_->now() >= manualExpiry_;
+        return Clock::now() >= expiry_;
     }
 
     /**
@@ -70,6 +125,8 @@ class Deadline
     {
         if (!bounded_)
             return std::numeric_limits<double>::infinity();
+        if (clock_ != nullptr)
+            return manualExpiry_ - clock_->now();
         return std::chrono::duration<double>(expiry_ - Clock::now())
             .count();
     }
@@ -88,6 +145,11 @@ class Deadline
     bool bounded_ = false;
     double budgetSeconds_ = 0.0;
     Clock::time_point expiry_{};
+
+    // Manual-clock mode (tests): when clock_ is set, expiry is tracked
+    // in the clock's virtual seconds instead of steady_clock instants.
+    const ManualTime *clock_ = nullptr;
+    double manualExpiry_ = 0.0;
 };
 
 } // namespace sirius

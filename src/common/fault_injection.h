@@ -17,6 +17,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/deadline.h"
 #include "common/rng.h"
 
 namespace sirius {
@@ -40,6 +41,13 @@ struct FaultConfig
     double latencyRate = 0.0;    ///< P(added latency)
     double corruptionRate = 0.0; ///< P(corrupted output)
     double addedLatencySeconds = 0.02; ///< stall per Latency fault
+
+    /**
+     * When set, a Latency fault advances this virtual clock instead of
+     * sleeping for real. Tests pair it with Deadline::afterManual so a
+     * "3 s stall" is instantaneous and immune to machine load.
+     */
+    ManualTime *latencyClock = nullptr;
 
     // Which pipeline stages the injector targets. Narrowing the scope
     // makes degradation arithmetic exact in tests (e.g. QA-only faults

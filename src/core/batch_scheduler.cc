@@ -1,0 +1,375 @@
+#include "core/batch_scheduler.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/trace.h"
+
+namespace sirius::core {
+
+namespace {
+
+BatchConfig
+sanitize(BatchConfig config)
+{
+    config.maxBatchSize = std::max<size_t>(1, config.maxBatchSize);
+    config.maxWaitSeconds = std::max(0.0, config.maxWaitSeconds);
+    return config;
+}
+
+std::chrono::steady_clock::duration
+toDuration(double seconds)
+{
+    return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(seconds));
+}
+
+} // namespace
+
+const char *
+flushReasonName(FlushReason reason)
+{
+    switch (reason) {
+      case FlushReason::Size: return "size";
+      case FlushReason::Timeout: return "timeout";
+      case FlushReason::Deadline: return "deadline";
+      case FlushReason::Shutdown: return "shutdown";
+    }
+    return "?";
+}
+
+const char *
+batchKernelName(BatchKernel kernel)
+{
+    switch (kernel) {
+      case BatchKernel::Score: return "score";
+      case BatchKernel::Match: return "match";
+    }
+    return "?";
+}
+
+void
+BatchSnapshot::exportTo(MetricsRegistry &registry) const
+{
+    for (size_t k = 0; k < kBatchKernels; ++k) {
+        const auto kernel = static_cast<BatchKernel>(k);
+        const char *kernel_name = batchKernelName(kernel);
+        const BatchKernelSnapshot &snap = kernels[k];
+        for (int r = 0; r < 4; ++r) {
+            registry
+                .counter("sirius_batch_flushes_total",
+                         {{"kernel", kernel_name},
+                          {"reason",
+                           flushReasonName(static_cast<FlushReason>(r))}})
+                .add(snap.flushes[r]);
+        }
+        registry
+            .counter("sirius_batch_items_total", {{"kernel", kernel_name}})
+            .add(snap.items);
+        registry
+            .gauge("sirius_batch_mean_occupancy",
+                   {{"kernel", kernel_name}})
+            .set(snap.meanOccupancy());
+        registry
+            .histogram("sirius_batch_wait_seconds",
+                       {{"kernel", kernel_name}})
+            .merge(snap.waitSeconds);
+    }
+}
+
+BatchScheduler::BatchScheduler(const speech::AcousticScorer *scorer,
+                               const vision::ImmService *imm,
+                               BatchConfig config)
+    : scorer_(scorer), imm_(imm), config_(sanitize(config))
+{
+    scheduler_ = std::thread([this] { schedulerLoop(); });
+}
+
+BatchScheduler::~BatchScheduler()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    scheduler_.join();
+
+    // Drain leftovers so no enqueuer blocks on a dead scheduler. The
+    // server destroys its worker pool first, so normally both queues
+    // are already empty here.
+    std::vector<ScoreItem> score_batch;
+    std::vector<MatchItem> match_batch;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        score_batch.swap(scoreQueue_.pending);
+        match_batch.swap(matchQueue_.pending);
+    }
+    if (!score_batch.empty())
+        executeScoreBatch(std::move(score_batch), FlushReason::Shutdown);
+    if (!match_batch.empty())
+        executeMatchBatch(std::move(match_batch), FlushReason::Shutdown);
+}
+
+template <typename ItemT>
+bool
+BatchScheduler::enqueue(Queue<ItemT> &queue, ItemT &&item,
+                        std::vector<ItemT> &batch, FlushReason &reason)
+{
+    const bool rush = item.deadline.bounded() &&
+        item.deadline.remainingSeconds() <= config_.deadlineSlackSeconds;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue.pending.empty())
+        queue.oldest = item.enqueued;
+    queue.pending.push_back(std::move(item));
+    if (queue.pending.size() >= config_.maxBatchSize) {
+        batch.swap(queue.pending);
+        reason = FlushReason::Size;
+        return true;
+    }
+    if (rush) {
+        // This item cannot afford a batching window: close the batch
+        // now and let its enqueuer lead, taking whatever co-riders are
+        // already waiting along for free.
+        batch.swap(queue.pending);
+        reason = FlushReason::Deadline;
+        return true;
+    }
+    // Partial batch: arm (or re-arm) the scheduler thread's timeout.
+    cv_.notify_one();
+    return false;
+}
+
+speech::FrameScoreBatcher::Outcome
+BatchScheduler::scoreFrames(const std::vector<audio::FeatureVector> &frames,
+                            const Deadline &deadline)
+{
+    ScoreItem item;
+    item.frames = &frames;
+    item.deadline = deadline;
+    item.enqueued = Clock::now();
+    auto future = item.promise.get_future();
+
+    std::vector<ScoreItem> batch;
+    FlushReason reason = FlushReason::Size;
+    if (enqueue(scoreQueue_, std::move(item), batch, reason))
+        executeScoreBatch(std::move(batch), reason);
+    return future.get();
+}
+
+vision::DescriptorMatchBatcher::Outcome
+BatchScheduler::matchAgainstDatabase(
+    const std::vector<vision::Descriptor> &descriptors,
+    const Deadline &deadline)
+{
+    MatchItem item;
+    item.descriptors = &descriptors;
+    item.deadline = deadline;
+    item.enqueued = Clock::now();
+    auto future = item.promise.get_future();
+
+    std::vector<MatchItem> batch;
+    FlushReason reason = FlushReason::Size;
+    if (enqueue(matchQueue_, std::move(item), batch, reason))
+        executeMatchBatch(std::move(batch), reason);
+    return future.get();
+}
+
+void
+BatchScheduler::schedulerLoop()
+{
+    const auto max_wait = toDuration(config_.maxWaitSeconds);
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+        // Arm a wake-up at the oldest pending item's timeout, if any.
+        bool armed = false;
+        Clock::time_point next{};
+        const auto consider = [&](const auto &queue) {
+            if (queue.pending.empty())
+                return;
+            const auto due = queue.oldest + max_wait;
+            if (!armed || due < next) {
+                next = due;
+                armed = true;
+            }
+        };
+        consider(scoreQueue_);
+        consider(matchQueue_);
+
+        if (!armed) {
+            cv_.wait(lock);
+            continue;
+        }
+        cv_.wait_until(lock, next);
+        if (stop_)
+            break;
+
+        // Flush every queue whose oldest item is past its window. The
+        // leaders for size/deadline flushes run on worker threads; only
+        // these timeout flushes execute here, so a lone query's extra
+        // latency is bounded by maxWaitSeconds without serializing the
+        // kernels through this thread under load.
+        const auto now = Clock::now();
+        if (!scoreQueue_.pending.empty() &&
+            now >= scoreQueue_.oldest + max_wait) {
+            std::vector<ScoreItem> batch;
+            batch.swap(scoreQueue_.pending);
+            lock.unlock();
+            executeScoreBatch(std::move(batch), FlushReason::Timeout);
+            lock.lock();
+        }
+        if (!matchQueue_.pending.empty() &&
+            now >= matchQueue_.oldest + max_wait) {
+            std::vector<MatchItem> batch;
+            batch.swap(matchQueue_.pending);
+            lock.unlock();
+            executeMatchBatch(std::move(batch), FlushReason::Timeout);
+            lock.lock();
+        }
+    }
+}
+
+void
+BatchScheduler::executeScoreBatch(std::vector<ScoreItem> batch,
+                                  FlushReason reason)
+{
+    if (scorer_ == nullptr)
+        fatal("BatchScheduler: score batch without an AcousticScorer");
+
+    // The leader's query context (if any) records the batch execution;
+    // from the scheduler thread the span is inert.
+    Span span("batch_execute", SpanKind::Kernel);
+    span.attr("kernel", "score");
+    span.attr("batch_size", std::to_string(batch.size()));
+    span.attr("flush_reason", flushReasonName(reason));
+
+    const auto exec_start = Clock::now();
+
+    // Gather frames of every still-live item into one flat batch; an
+    // item already past its deadline comes back cutShort unscored, the
+    // same "abandon the decode" outcome the serial path reaches.
+    struct Slice
+    {
+        size_t offset = 0;
+        size_t count = 0;
+        bool expired = false;
+    };
+    std::vector<Slice> slices(batch.size());
+    std::vector<const audio::FeatureVector *> flat;
+    for (size_t i = 0; i < batch.size(); ++i) {
+        if (batch[i].deadline.expired()) {
+            slices[i].expired = true;
+            continue;
+        }
+        slices[i].offset = flat.size();
+        slices[i].count = batch[i].frames->size();
+        for (const auto &frame : *batch[i].frames)
+            flat.push_back(&frame);
+    }
+
+    std::vector<std::vector<float>> scores;
+    if (!flat.empty())
+        scores = scorer_->scoreBatch(flat);
+
+    // Account for the batch BEFORE resolving any promise: the moment a
+    // waiter wakes, its query can complete and a snapshot() taken then
+    // must already include this batch.
+    std::vector<double> waits(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i)
+        waits[i] = std::chrono::duration<double>(
+            exec_start - batch[i].enqueued).count();
+    recordBatch(BatchKernel::Score, reason, batch.size(), waits);
+
+    for (size_t i = 0; i < batch.size(); ++i) {
+        speech::FrameScoreBatcher::Outcome outcome;
+        outcome.batchSize = batch.size();
+        outcome.flushReason = flushReasonName(reason);
+        if (slices[i].expired) {
+            outcome.cutShort = true;
+        } else {
+            outcome.scores.reserve(slices[i].count);
+            for (size_t f = 0; f < slices[i].count; ++f)
+                outcome.scores.push_back(
+                    std::move(scores[slices[i].offset + f]));
+        }
+        batch[i].promise.set_value(std::move(outcome));
+    }
+}
+
+void
+BatchScheduler::executeMatchBatch(std::vector<MatchItem> batch,
+                                  FlushReason reason)
+{
+    if (imm_ == nullptr)
+        fatal("BatchScheduler: match batch without an ImmService");
+
+    Span span("batch_execute", SpanKind::Kernel);
+    span.attr("kernel", "match");
+    span.attr("batch_size", std::to_string(batch.size()));
+    span.attr("flush_reason", flushReasonName(reason));
+
+    const auto exec_start = Clock::now();
+
+    std::vector<const std::vector<vision::Descriptor> *> queries;
+    std::vector<Deadline> deadlines;
+    queries.reserve(batch.size());
+    deadlines.reserve(batch.size());
+    for (const auto &item : batch) {
+        queries.push_back(item.descriptors);
+        deadlines.push_back(item.deadline);
+    }
+    // matchDatabaseBatch does its own per-item deadline bookkeeping
+    // (best-so-far stands, cutShort on expiry), mirroring the serial
+    // entry loop exactly.
+    auto outcomes = imm_->matchDatabaseBatch(queries, deadlines);
+
+    // Accounting first, scatter second — see executeScoreBatch.
+    std::vector<double> waits(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i)
+        waits[i] = std::chrono::duration<double>(
+            exec_start - batch[i].enqueued).count();
+    recordBatch(BatchKernel::Match, reason, batch.size(), waits);
+
+    for (size_t i = 0; i < batch.size(); ++i) {
+        vision::DescriptorMatchBatcher::Outcome outcome;
+        outcome.match = outcomes[i];
+        outcome.batchSize = batch.size();
+        outcome.flushReason = flushReasonName(reason);
+        batch[i].promise.set_value(std::move(outcome));
+    }
+}
+
+void
+BatchScheduler::recordBatch(BatchKernel kernel, FlushReason reason,
+                            size_t batch_items,
+                            const std::vector<double> &wait_seconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    BatchKernelSnapshot &stats = stats_[static_cast<size_t>(kernel)];
+    stats.batches += 1;
+    stats.items += batch_items;
+    stats.flushes[static_cast<size_t>(reason)] += 1;
+    for (double wait : wait_seconds)
+        stats.waitSeconds.add(wait);
+}
+
+size_t
+BatchScheduler::pendingItems(BatchKernel kernel) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return kernel == BatchKernel::Score ? scoreQueue_.pending.size()
+                                        : matchQueue_.pending.size();
+}
+
+BatchSnapshot
+BatchScheduler::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    BatchSnapshot snap;
+    for (size_t k = 0; k < kBatchKernels; ++k)
+        snap.kernels[k] = stats_[k];
+    return snap;
+}
+
+} // namespace sirius::core

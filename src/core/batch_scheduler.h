@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Dynamic cross-query micro-batching between server admission and
+ * kernel execution.
+ *
+ * The paper's throughput/TCO story (Figures 16-19) rests on amortizing
+ * the dominant kernels — DNN/GMM acoustic scoring and descriptor
+ * matching are 80%+ of cycles (Figure 9) and are exactly the kernels
+ * that batch well. ConcurrentServer workers therefore do not call those
+ * kernels directly: they enqueue work items here, a batch closes when
+ * it reaches max_batch_size or has waited max_wait_us (or an item's
+ * deadline is about to expire), and one blocked kernel call serves the
+ * whole batch, scattering results back through futures. This is the
+ * dynamic-batching shape used by modern inference servers.
+ *
+ * Correctness invariant: a batched kernel result is bitwise-identical
+ * to the serial path on the same inputs (see the scoreBatch /
+ * matchDatabaseBatch contracts); tests/test_batching.cc enforces it
+ * differentially.
+ */
+
+#ifndef SIRIUS_CORE_BATCH_SCHEDULER_H
+#define SIRIUS_CORE_BATCH_SCHEDULER_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/metrics.h"
+#include "common/stats.h"
+#include "speech/asr_service.h"
+#include "vision/imm_service.h"
+
+namespace sirius::core {
+
+/** Batching policy knobs (see docs/ARCHITECTURE.md "Batching"). */
+struct BatchConfig
+{
+    bool enabled = true;       ///< server-level switch (--no-batching)
+    size_t maxBatchSize = 8;   ///< close a batch at this many items
+    double maxWaitSeconds = 200e-6; ///< close a partial batch after this
+    /**
+     * An item whose remaining deadline budget is at or below this slack
+     * flushes its queue immediately — near-overdue queries must not sit
+     * out a batching window they cannot afford.
+     */
+    double deadlineSlackSeconds = 0.005;
+};
+
+/** Why a batch was closed. */
+enum class FlushReason
+{
+    Size,     ///< reached maxBatchSize
+    Timeout,  ///< oldest item waited maxWaitSeconds
+    Deadline, ///< an item's deadline was within the slack
+    Shutdown, ///< scheduler destroyed with items still queued
+};
+
+/** Stable label for a FlushReason ("size", "timeout", ...). */
+const char *flushReasonName(FlushReason reason);
+
+/** Which batchable kernel a queue feeds. */
+enum class BatchKernel
+{
+    Score, ///< acoustic scoring (DNN or GMM) — speech::AcousticScorer
+    Match, ///< IMM descriptor-vs-database matching
+};
+
+/** Number of BatchKernel values (for per-kernel arrays). */
+inline constexpr size_t kBatchKernels = 2;
+
+/** Stable label for a BatchKernel ("score", "match"). */
+const char *batchKernelName(BatchKernel kernel);
+
+/** Point-in-time accounting for one kernel's queue. */
+struct BatchKernelSnapshot
+{
+    uint64_t batches = 0; ///< batches executed
+    uint64_t items = 0;   ///< items across all executed batches
+    uint64_t flushes[4] = {0, 0, 0, 0}; ///< indexed by FlushReason
+    LatencyHistogram waitSeconds; ///< per-item enqueue → execute wait
+
+    /** Mean items per executed batch; 0 when none ran. */
+    double
+    meanOccupancy() const
+    {
+        return batches == 0
+            ? 0.0
+            : static_cast<double>(items) / static_cast<double>(batches);
+    }
+};
+
+/** Snapshot of the scheduler's accounting across both kernels. */
+struct BatchSnapshot
+{
+    BatchKernelSnapshot kernels[kBatchKernels]; ///< by BatchKernel
+
+    /**
+     * Export as labeled metrics: `sirius_batch_flushes_total{kernel=,
+     * reason=}`, `sirius_batch_items_total{kernel=}`,
+     * `sirius_batch_mean_occupancy{kernel=}`, and
+     * `sirius_batch_wait_seconds{kernel=}`.
+     */
+    void exportTo(MetricsRegistry &registry) const;
+};
+
+/**
+ * The micro-batching layer. One instance is shared by all workers of a
+ * ConcurrentServer; it implements both service-side batching hooks so
+ * the pipeline can hand it straight to AsrService::transcribe and
+ * ImmService::match.
+ *
+ * Execution is leader-follower: the enqueuer that completes a batch
+ * (size or deadline flush) executes it inline on its own thread, so
+ * kernel work is never serialized through a single scheduler thread and
+ * concurrent batches of different kernels still overlap. The scheduler
+ * thread only handles timeout flushes — partial batches whose enqueuers
+ * are all blocked waiting — which also makes a lone in-flight query's
+ * added latency at most maxWaitSeconds.
+ *
+ * Thread-safe throughout; the destructor stops the scheduler thread and
+ * drains still-queued items as Shutdown flushes so no waiter hangs.
+ */
+class BatchScheduler : public speech::FrameScoreBatcher,
+                       public vision::DescriptorMatchBatcher
+{
+  public:
+    /**
+     * @param scorer acoustic scorer for Score batches; may be null when
+     *        only Match batches will be submitted (and vice versa)
+     * @param imm IMM service for Match batches; may be null
+     * @param config batching policy; maxBatchSize is clamped to >= 1
+     */
+    BatchScheduler(const speech::AcousticScorer *scorer,
+                   const vision::ImmService *imm, BatchConfig config);
+
+    ~BatchScheduler() override;
+
+    BatchScheduler(const BatchScheduler &) = delete;
+    BatchScheduler &operator=(const BatchScheduler &) = delete;
+
+    /** speech::FrameScoreBatcher: blocks until the batch executes. */
+    speech::FrameScoreBatcher::Outcome
+    scoreFrames(const std::vector<audio::FeatureVector> &frames,
+                const Deadline &deadline) override;
+
+    /** vision::DescriptorMatchBatcher: blocks until the batch executes. */
+    vision::DescriptorMatchBatcher::Outcome
+    matchAgainstDatabase(const std::vector<vision::Descriptor> &descriptors,
+                         const Deadline &deadline) override;
+
+    /** Copy of the current accounting (thread-safe). */
+    BatchSnapshot snapshot() const;
+
+    /** Items currently queued for @p kernel (thread-safe; for tests). */
+    size_t pendingItems(BatchKernel kernel) const;
+
+    const BatchConfig &config() const { return config_; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    template <typename OutcomeT> struct Item
+    {
+        Deadline deadline;
+        Clock::time_point enqueued;
+        std::promise<OutcomeT> promise;
+    };
+
+    struct ScoreItem : Item<speech::FrameScoreBatcher::Outcome>
+    {
+        const std::vector<audio::FeatureVector> *frames = nullptr;
+    };
+
+    struct MatchItem : Item<vision::DescriptorMatchBatcher::Outcome>
+    {
+        const std::vector<vision::Descriptor> *descriptors = nullptr;
+    };
+
+    template <typename ItemT> struct Queue
+    {
+        std::vector<ItemT> pending;
+        Clock::time_point oldest{}; ///< enqueue time of pending.front()
+    };
+
+    /**
+     * Enqueue @p item on @p queue under the mutex; if that closes the
+     * batch (size or deadline slack) the caller becomes its leader and
+     * the closed batch is returned for inline execution.
+     */
+    template <typename ItemT>
+    bool enqueue(Queue<ItemT> &queue, ItemT &&item,
+                 std::vector<ItemT> &batch, FlushReason &reason);
+
+    void schedulerLoop();
+
+    void executeScoreBatch(std::vector<ScoreItem> batch,
+                           FlushReason reason);
+    void executeMatchBatch(std::vector<MatchItem> batch,
+                           FlushReason reason);
+
+    /** Fold one executed batch into the accounting (takes the mutex). */
+    void recordBatch(BatchKernel kernel, FlushReason reason,
+                     size_t batch_items,
+                     const std::vector<double> &wait_seconds);
+
+    const speech::AcousticScorer *scorer_;
+    const vision::ImmService *imm_;
+    const BatchConfig config_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    Queue<ScoreItem> scoreQueue_;
+    Queue<MatchItem> matchQueue_;
+    BatchKernelSnapshot stats_[kBatchKernels];
+
+    std::thread scheduler_; ///< timeout flusher; last member: joins first
+};
+
+} // namespace sirius::core
+
+#endif // SIRIUS_CORE_BATCH_SCHEDULER_H

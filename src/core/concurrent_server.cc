@@ -22,6 +22,10 @@ ConcurrentServer::ConcurrentServer(const SiriusPipeline &pipeline,
 {
     if (config_.queueCapacity == 0)
         fatal("ConcurrentServer requires queueCapacity >= 1");
+    if (config_.batching.enabled) {
+        batcher_ = std::make_unique<BatchScheduler>(
+            &pipeline.asr().scorer(), &pipeline.imm(), config_.batching);
+    }
 }
 
 ConcurrentServer::~ConcurrentServer()
@@ -90,6 +94,7 @@ ConcurrentServer::serve(const Query &query, const Deadline &deadline,
     options.deadline = deadline;
     options.retry = config_.retry;
     options.faults = config_.faults;
+    options.batcher = batcher_.get();
 
     // Queue wait is measured for every query; for sampled ones it also
     // becomes the trace's first child span (opened at admission, closed
@@ -158,6 +163,8 @@ ConcurrentServer::snapshot() const
     out.rejected = rejected_.load(std::memory_order_relaxed);
     exportMetrics(out.metrics);
     out.spans = collector_.snapshot();
+    if (batcher_ != nullptr)
+        out.batching = batcher_->snapshot();
     return out;
 }
 
@@ -181,6 +188,8 @@ ConcurrentServer::exportMetrics(MetricsRegistry &registry,
         .add(collector_.appended());
     registry.gauge("sirius_trace_sample_rate", base)
         .set(collector_.sampleRate());
+    if (batcher_ != nullptr)
+        batcher_->snapshot().exportTo(registry);
 }
 
 double

@@ -18,12 +18,14 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 
 #include "common/metrics.h"
 #include "common/profiler.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "core/batch_scheduler.h"
 #include "core/server.h"
 
 namespace sirius::core {
@@ -55,6 +57,15 @@ struct ConcurrentServerConfig
     double traceSampleRate = 0.0;
     uint64_t traceSeed = 0xC011EC70ULL; ///< sampling-hash seed
     size_t traceCapacity = 4096;        ///< span ring size
+
+    /**
+     * Cross-query micro-batching of the dominant kernels (acoustic
+     * scoring, IMM matching). Enabled by default — batched results are
+     * bitwise-identical to serial ones, so this only changes *when*
+     * kernels run, never what they produce. Set enabled = false
+     * (--no-batching) to measure the unbatched baseline.
+     */
+    BatchConfig batching;
     /**
      * Added to every trace id (which otherwise starts at 1 per
      * server), so traces from several servers can share one JSONL file
@@ -78,6 +89,8 @@ struct ConcurrentServerStats
     MetricsRegistry metrics;
     /** The newest retained spans (empty when tracing is disabled). */
     std::vector<SpanRecord> spans;
+    /** Batch-queue accounting (all zeros when batching is disabled). */
+    BatchSnapshot batching;
 };
 
 /**
@@ -139,6 +152,9 @@ class ConcurrentServer
     /** The span ring all sampled queries record into. */
     const TraceCollector &traces() const { return collector_; }
 
+    /** The shared micro-batcher; null when batching is disabled. */
+    const BatchScheduler *batcher() const { return batcher_.get(); }
+
     /**
      * Export the server's statistics into @p registry under @p base
      * labels — the same mapping snapshot().metrics uses, for callers
@@ -167,6 +183,12 @@ class ConcurrentServer
     ServerStats stats_;
     Profiler profiler_;
     TraceCollector collector_;
+
+    /**
+     * Declared before pool_ so the workers (which may be blocked on
+     * batch futures) stop before the scheduler that resolves them dies.
+     */
+    std::unique_ptr<BatchScheduler> batcher_;
 
     ThreadPool pool_; ///< last member: workers stop before state dies
 };

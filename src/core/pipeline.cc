@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "common/trace.h"
+#include "core/batch_scheduler.h"
 #include "nlp/tokenizer.h"
 #include "search/corpus.h"
 #include "vision/landmarks.h"
@@ -76,8 +77,13 @@ attemptStage(const ProcessOptions &options, const char *stage,
                               {"attempt", std::to_string(attempt)}});
             }
             if (fault == StageFault::Latency) {
-                sleepSeconds(
-                    options.faults->config().addedLatencySeconds);
+                const FaultConfig &fc = options.faults->config();
+                // A manual clock makes the stall virtual: deadline
+                // tests advance time instead of sleeping for real.
+                if (fc.latencyClock != nullptr)
+                    fc.latencyClock->advance(fc.addedLatencySeconds);
+                else
+                    sleepSeconds(fc.addedLatencySeconds);
             }
         }
         if (fault != StageFault::Failure) {
@@ -202,7 +208,8 @@ SiriusPipeline::processRobust(const audio::Waveform &wave,
         Span span("asr", SpanKind::Stage);
         asr_ok = attemptStage(
             options, "asr", result.stageRetries, [&](bool corrupted) {
-                auto asr = asr_->transcribe(wave, options.deadline);
+                auto asr = asr_->transcribe(wave, options.deadline,
+                                            options.batcher);
                 if (corrupted && options.faults != nullptr)
                     asr.text = options.faults->corrupt(asr.text);
                 result.transcript = asr.text;
@@ -247,7 +254,8 @@ SiriusPipeline::processRobust(const audio::Waveform &wave,
             const bool imm_ok = attemptStage(
                 options, "imm", result.stageRetries,
                 [&](bool corrupted) {
-                    auto imm = imm_->match(*image, options.deadline);
+                    auto imm = imm_->match(*image, options.deadline,
+                                           options.batcher);
                     // A corrupted match is untrustworthy: discard it
                     // rather than augment with a wrong landmark.
                     if (corrupted)

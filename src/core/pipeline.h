@@ -63,6 +63,8 @@ inline constexpr size_t kDegradationLevels = 5;
 /** Short name ("none", "viq->vq", "vq->vc", "viq->vc", "failed"). */
 const char *degradationName(Degradation degradation);
 
+class BatchScheduler;
+
 /**
  * Robustness policy for one process() call: the latency budget, the
  * per-stage retry policy, and an optional fault injector (not owned;
@@ -73,6 +75,13 @@ struct ProcessOptions
     Deadline deadline;               ///< unbounded by default
     RetryPolicy retry;
     FaultInjector *faults = nullptr; ///< nullptr = no injection
+    /**
+     * Cross-query micro-batcher for the dominant kernels (acoustic
+     * scoring, IMM database matching); nullptr = serial kernels. Not
+     * owned; shared across workers when set on a server. Results are
+     * bitwise-identical either way (see core::BatchScheduler).
+     */
+    BatchScheduler *batcher = nullptr;
 };
 
 /** Per-stage latency of one end-to-end query, in seconds. */

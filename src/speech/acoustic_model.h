@@ -33,6 +33,28 @@ class AcousticScorer
     virtual std::vector<float>
     scoreAll(const audio::FeatureVector &feature) const = 0;
 
+    /**
+     * Score a batch of feature vectors in one call.
+     *
+     * Contract: the result is bitwise-identical to calling scoreAll()
+     * per frame — batching may only amortize work across frames (blocked
+     * matrix kernels, reused scratch buffers), never reorder the
+     * floating-point accumulation that produces any single score. The
+     * differential suite in tests/test_batching.cc enforces this.
+     *
+     * The default implementation is the serial loop itself, so custom
+     * scorers are batch-correct by construction.
+     */
+    virtual std::vector<std::vector<float>>
+    scoreBatch(const std::vector<const audio::FeatureVector *> &frames) const
+    {
+        std::vector<std::vector<float>> out;
+        out.reserve(frames.size());
+        for (const audio::FeatureVector *frame : frames)
+            out.push_back(scoreAll(*frame));
+        return out;
+    }
+
     /** Number of acoustic states scored by scoreAll(). */
     virtual size_t stateCount() const = 0;
 

@@ -134,7 +134,8 @@ AsrService::train(const std::vector<std::string> &sentences,
 
 AsrResult
 AsrService::transcribe(const audio::Waveform &wave,
-                       const Deadline &deadline) const
+                       const Deadline &deadline,
+                       FrameScoreBatcher *batcher) const
 {
     AsrResult result;
 
@@ -155,17 +156,31 @@ AsrService::transcribe(const audio::Waveform &wave,
         Span span("acoustic_scoring", SpanKind::Kernel);
         span.attr("backend", scorer_->name());
         ScopedTimer timer(result.timings.scoring);
-        scores.reserve(frames.size());
-        for (size_t i = 0; i < frames.size(); ++i) {
-            // Scoring dominates ASR cost (Figure 9), so this is where a
-            // budget check pays: a handful of frames between checks
-            // bounds the overshoot past an expired deadline.
-            if (deadline.bounded() && (i & 7u) == 0 &&
-                deadline.expired()) {
-                result.cutShort = true;
-                break;
+        if (batcher != nullptr && !frames.empty()) {
+            // Cross-query path: block until the scheduler executes the
+            // batch holding this utterance. A deadline that expires
+            // before execution comes back as cutShort with no scores —
+            // the same "abandon the decode" outcome the serial loop
+            // reaches, minus the partial scores it would discard.
+            auto outcome = batcher->scoreFrames(frames, deadline);
+            span.attr("batch_size", std::to_string(outcome.batchSize));
+            span.attr("flush_reason", outcome.flushReason);
+            result.cutShort = outcome.cutShort;
+            scores = std::move(outcome.scores);
+        } else {
+            scores.reserve(frames.size());
+            for (size_t i = 0; i < frames.size(); ++i) {
+                // Scoring dominates ASR cost (Figure 9), so this is
+                // where a budget check pays: a handful of frames
+                // between checks bounds the overshoot past an expired
+                // deadline.
+                if (deadline.bounded() && (i & 7u) == 0 &&
+                    deadline.expired()) {
+                    result.cutShort = true;
+                    break;
+                }
+                scores.push_back(scorer_->scoreAll(frames[i]));
             }
-            scores.push_back(scorer_->scoreAll(frames[i]));
         }
     }
     if (!result.cutShort && deadline.expired())

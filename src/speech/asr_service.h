@@ -86,6 +86,40 @@ struct AsrResult
     AsrTimings timings;
 };
 
+/**
+ * Cross-query batching hook for acoustic scoring.
+ *
+ * AsrService::transcribe hands a whole utterance's frames to a batcher
+ * (when one is supplied) instead of scoring them itself; the batcher —
+ * core::BatchScheduler in the server — groups concurrent utterances
+ * and runs one AcousticScorer::scoreBatch call for all of them. The
+ * split keeps speech/ free of any dependency on core/.
+ */
+class FrameScoreBatcher
+{
+  public:
+    /** What the batcher hands back to one waiting query. */
+    struct Outcome
+    {
+        /** Per-frame state scores; empty when cutShort. */
+        std::vector<std::vector<float>> scores;
+        /** True when the item's deadline expired before execution. */
+        bool cutShort = false;
+        size_t batchSize = 0;            ///< items in the executed batch
+        const char *flushReason = "none"; ///< size|timeout|deadline|shutdown
+    };
+
+    virtual ~FrameScoreBatcher() = default;
+
+    /**
+     * Enqueue @p frames and block until the batch containing them
+     * executes. @p frames must stay alive until this returns.
+     */
+    virtual Outcome
+    scoreFrames(const std::vector<audio::FeatureVector> &frames,
+                const Deadline &deadline) = 0;
+};
+
 /** Trained ASR service instance. */
 class AsrService
 {
@@ -104,9 +138,15 @@ class AsrService
      * scoring (every few frames), and search, and an expired deadline
      * abandons the decode (`cutShort`) rather than returning a partial
      * transcript.
+     *
+     * When @p batcher is non-null, acoustic scoring is delegated to it
+     * (cross-query batching); feature extraction and Viterbi search
+     * stay local because they are per-utterance. Results are
+     * bitwise-identical either way.
      */
     AsrResult transcribe(const audio::Waveform &wave,
-                         const Deadline &deadline = {}) const;
+                         const Deadline &deadline = {},
+                         FrameScoreBatcher *batcher = nullptr) const;
 
     /** Synthesize @p text and transcribe it (testing convenience). */
     AsrResult transcribeText(const std::string &text) const;

@@ -56,6 +56,58 @@ FeedForwardNet::forward(const std::vector<float> &input) const
     return acts.back();
 }
 
+std::vector<std::vector<float>>
+FeedForwardNet::forwardBatch(
+    const std::vector<const std::vector<float> *> &inputs) const
+{
+    std::vector<std::vector<float>> out(inputs.size());
+    if (inputs.empty())
+        return out;
+
+    // Pack inputs as columns of an (in_dim x batch) activation matrix so
+    // every layer is one GEMM: z = W * A. matmul's ikj ordering makes
+    // each z(o, j) the same k-ascending accumulation matvec performs for
+    // a single frame, which is what keeps the batch bitwise-identical
+    // to the serial path while the j-inner loop vectorizes over frames.
+    const size_t batch = inputs.size();
+    Matrix acts(layerSizes_.front(), batch);
+    for (size_t j = 0; j < batch; ++j) {
+        const std::vector<float> &input = *inputs[j];
+        if (input.size() != layerSizes_.front())
+            fatal("forwardBatch: input dimension mismatch");
+        for (size_t i = 0; i < input.size(); ++i)
+            acts.at(i, j) = input[i];
+    }
+
+    Matrix z;
+    for (size_t l = 0; l < weights_.size(); ++l) {
+        matmul(weights_[l], acts, z);
+        for (size_t o = 0; o < z.rows(); ++o) {
+            float *row = z.row(o);
+            const float b = biases_[l][o];
+            for (size_t j = 0; j < batch; ++j)
+                row[j] += b;
+        }
+        if (l + 1 < weights_.size()) {
+            float *data = z.data();
+            for (size_t i = 0; i < z.size(); ++i)
+                data[i] = std::max(0.0f, data[i]);
+        }
+        std::swap(acts, z);
+    }
+
+    // The log-softmax head normalizes each frame independently; unpack
+    // columns and reuse the serial routine verbatim.
+    for (size_t j = 0; j < batch; ++j) {
+        std::vector<float> scores(acts.rows());
+        for (size_t o = 0; o < acts.rows(); ++o)
+            scores[o] = acts.at(o, j);
+        logSoftmaxInPlace(scores);
+        out[j] = std::move(scores);
+    }
+    return out;
+}
+
 double
 FeedForwardNet::sgdStep(const std::vector<float> &input, int label,
                         float lr)
@@ -195,6 +247,18 @@ DnnAcousticModel::scoreAll(const audio::FeatureVector &feature) const
     for (size_t s = 0; s < scores.size(); ++s)
         scores[s] -= logPriors_[s];
     return scores;
+}
+
+std::vector<std::vector<float>>
+DnnAcousticModel::scoreBatch(
+    const std::vector<const audio::FeatureVector *> &frames) const
+{
+    auto batch = net_.forwardBatch(frames);
+    for (auto &scores : batch) {
+        for (size_t s = 0; s < scores.size(); ++s)
+            scores[s] -= logPriors_[s];
+    }
+    return batch;
 }
 
 } // namespace sirius::speech

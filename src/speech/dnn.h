@@ -35,6 +35,17 @@ class FeedForwardNet
     std::vector<float> forward(const std::vector<float> &input) const;
 
     /**
+     * Forward a batch of inputs through one blocked GEMM per layer.
+     *
+     * Bitwise-identical to forward() per input: the GEMM's ikj loop
+     * accumulates each output element over k in the same ascending
+     * order as matvec's inner loop, so batching only adds SIMD lanes
+     * across independent columns, never reassociates a single sum.
+     */
+    std::vector<std::vector<float>>
+    forwardBatch(const std::vector<const std::vector<float> *> &inputs) const;
+
+    /**
      * One SGD step on a single (input, label) pair.
      * @return the example's cross-entropy loss before the update.
      */
@@ -87,6 +98,11 @@ class DnnAcousticModel : public AcousticScorer
 
     std::vector<float>
     scoreAll(const audio::FeatureVector &feature) const override;
+
+    /** Batched scoring through forwardBatch(); bitwise == scoreAll(). */
+    std::vector<std::vector<float>>
+    scoreBatch(const std::vector<const audio::FeatureVector *> &frames)
+        const override;
 
     const char *name() const override { return "DNN"; }
 

@@ -185,4 +185,66 @@ GmmAcousticModel::scoreAll(const audio::FeatureVector &feature) const
     return scores;
 }
 
+std::vector<std::vector<float>>
+GmmAcousticModel::scoreBatch(
+    const std::vector<const audio::FeatureVector *> &frames) const
+{
+    const size_t batch = frames.size();
+    std::vector<std::vector<float>> out(batch);
+    if (batch == 0)
+        return out;
+    const size_t dim = frames[0]->size();
+    for (size_t j = 0; j < batch; ++j) {
+        if (frames[j]->size() != dim)
+            fatal("GmmAcousticModel::scoreBatch: ragged frame dims");
+        out[j].assign(states_.size(), 0.0f);
+    }
+
+    // Transpose the batch so the frame-inner density loop reads
+    // contiguous memory: x[d * batch + j] is dimension d of frame j.
+    // The cast to double here matches the serial path's per-access
+    // static_cast<double>(x[d]) exactly.
+    std::vector<double> x(dim * batch);
+    for (size_t j = 0; j < batch; ++j) {
+        const audio::FeatureVector &frame = *frames[j];
+        for (size_t d = 0; d < dim; ++d)
+            x[d * batch + j] = static_cast<double>(frame[d]);
+    }
+
+    std::vector<double> acc(batch);
+    std::vector<std::vector<double>> terms(batch);
+    for (size_t p = 0; p < states_.size(); ++p) {
+        const auto &comps = states_[p].components();
+        const auto &log_weights = states_[p].logWeights();
+        const size_t k = comps.size();
+        for (size_t j = 0; j < batch; ++j)
+            terms[j].resize(k);
+        for (size_t c = 0; c < k; ++c) {
+            const DiagGaussian &g = comps[c];
+            // Same chain as DiagGaussian::logDensity: start at logNorm,
+            // subtract 0.5 * diff^2 * invVar per dimension in ascending
+            // d order; only the frame lanes run side by side.
+            std::fill(acc.begin(), acc.end(),
+                      static_cast<double>(g.logNorm));
+            for (size_t d = 0; d < dim; ++d) {
+                const double mean_d = g.mean[d];
+                const double inv_var_d = g.invVar[d];
+                const double *xrow = x.data() + d * batch;
+                for (size_t j = 0; j < batch; ++j) {
+                    const double diff = xrow[j] - mean_d;
+                    acc[j] -= 0.5 * diff * diff * inv_var_d;
+                }
+            }
+            // Weight added after the density chain completes, exactly
+            // like logLikelihood's terms[k] = logW[k] + logDensity(x).
+            const float lw = log_weights[c];
+            for (size_t j = 0; j < batch; ++j)
+                terms[j][c] = lw + acc[j];
+        }
+        for (size_t j = 0; j < batch; ++j)
+            out[j][p] = static_cast<float>(logSumExp(terms[j]));
+    }
+    return out;
+}
+
 } // namespace sirius::speech

@@ -82,6 +82,18 @@ class GmmAcousticModel : public AcousticScorer
     std::vector<float>
     scoreAll(const audio::FeatureVector &feature) const override;
 
+    /**
+     * Score a batch of frames with component parameters hoisted and the
+     * per-call scratch reused across the whole batch. Bitwise-identical
+     * to scoreAll() per frame: each (state, component) density is still
+     * accumulated dimension-ascending starting from logNorm, and the
+     * mixture weight is added after the chain, exactly as the serial
+     * triple loop does.
+     */
+    std::vector<std::vector<float>>
+    scoreBatch(const std::vector<const audio::FeatureVector *> &frames)
+        const override;
+
     const char *name() const override { return "GMM"; }
 
     size_t stateCount() const override { return states_.size(); }

@@ -27,7 +27,8 @@ ImmService::build(int num_landmarks, SurfConfig config)
 }
 
 ImmResult
-ImmService::match(const Image &image, const Deadline &deadline) const
+ImmService::match(const Image &image, const Deadline &deadline,
+                  DescriptorMatchBatcher *batcher) const
 {
     ImmResult result;
 
@@ -59,23 +60,71 @@ ImmService::match(const Image &image, const Deadline &deadline) const
     {
         Span span("ann_matching", SpanKind::Kernel);
         ScopedTimer timer(result.timings.matching);
-        for (const auto &entry : database_) {
-            // The database scan is the open-ended part of IMM, so the
-            // budget is checked per entry; the best match over the
-            // entries reached so far still stands.
-            if (deadline.bounded() && deadline.expired()) {
-                result.cutShort = true;
-                break;
-            }
-            const auto stats = matchDescriptors(descriptors, *entry.tree);
-            if (stats.goodMatches > result.bestMatches ||
-                result.bestId < 0) {
-                result.bestMatches = stats.goodMatches;
-                result.bestId = entry.id;
+        if (batcher != nullptr) {
+            const auto outcome =
+                batcher->matchAgainstDatabase(descriptors, deadline);
+            span.attr("batch_size", std::to_string(outcome.batchSize));
+            span.attr("flush_reason", outcome.flushReason);
+            result.bestId = outcome.match.bestId;
+            result.bestMatches = outcome.match.bestMatches;
+            result.cutShort = outcome.match.cutShort;
+        } else {
+            for (const auto &entry : database_) {
+                // The database scan is the open-ended part of IMM, so
+                // the budget is checked per entry; the best match over
+                // the entries reached so far still stands.
+                if (deadline.bounded() && deadline.expired()) {
+                    result.cutShort = true;
+                    break;
+                }
+                const auto stats =
+                    matchDescriptors(descriptors, *entry.tree);
+                if (stats.goodMatches > result.bestMatches ||
+                    result.bestId < 0) {
+                    result.bestMatches = stats.goodMatches;
+                    result.bestId = entry.id;
+                }
             }
         }
     }
     return result;
+}
+
+std::vector<DatabaseMatchOutcome>
+ImmService::matchDatabaseBatch(
+    const std::vector<const std::vector<Descriptor> *> &queries,
+    const std::vector<Deadline> &deadlines) const
+{
+    if (queries.size() != deadlines.size())
+        panic("matchDatabaseBatch: queries/deadlines size mismatch");
+    std::vector<DatabaseMatchOutcome> out(queries.size());
+    std::vector<char> done(queries.size(), 0);
+    size_t remaining = queries.size();
+    // Entry-outer: each k-d tree is walked by every live query while
+    // its nodes are hot, instead of every query re-faulting the whole
+    // database. Per item the visit order, deadline checks, and
+    // best-match update are exactly the serial loop's.
+    for (const auto &entry : database_) {
+        if (remaining == 0)
+            break;
+        for (size_t i = 0; i < queries.size(); ++i) {
+            if (done[i])
+                continue;
+            if (deadlines[i].bounded() && deadlines[i].expired()) {
+                out[i].cutShort = true;
+                done[i] = 1;
+                --remaining;
+                continue;
+            }
+            const auto stats = matchDescriptors(*queries[i], *entry.tree);
+            if (stats.goodMatches > out[i].bestMatches ||
+                out[i].bestId < 0) {
+                out[i].bestMatches = stats.goodMatches;
+                out[i].bestId = entry.id;
+            }
+        }
+    }
+    return out;
 }
 
 const std::vector<Descriptor> &

@@ -49,6 +49,45 @@ struct ImmResult
     ImmTimings timings;
 };
 
+/** Outcome of one item of a batched database match. */
+struct DatabaseMatchOutcome
+{
+    int bestId = -1;
+    size_t bestMatches = 0;
+    bool cutShort = false;
+};
+
+/**
+ * Cross-query batching hook for the ANN database scan.
+ *
+ * ImmService::match hands its query descriptors to a batcher (when one
+ * is supplied) instead of scanning the database itself; the batcher —
+ * core::BatchScheduler in the server — groups concurrent queries and
+ * runs one entry-outer scan for the whole batch. The split keeps
+ * vision/ free of any dependency on core/.
+ */
+class DescriptorMatchBatcher
+{
+  public:
+    /** What the batcher hands back to one waiting query. */
+    struct Outcome
+    {
+        DatabaseMatchOutcome match;
+        size_t batchSize = 0;            ///< items in the executed batch
+        const char *flushReason = "none"; ///< size|timeout|deadline|shutdown
+    };
+
+    virtual ~DescriptorMatchBatcher() = default;
+
+    /**
+     * Enqueue @p descriptors and block until the batch containing them
+     * executes. @p descriptors must stay alive until this returns.
+     */
+    virtual Outcome
+    matchAgainstDatabase(const std::vector<Descriptor> &descriptors,
+                         const Deadline &deadline) = 0;
+};
+
 /** Image-matching service over a landmark database. */
 class ImmService
 {
@@ -65,9 +104,26 @@ class ImmService
      * the search short cooperatively: the budget is checked between
      * extraction, description and each database entry, and on expiry
      * the best match found so far is returned (`cutShort`).
+     *
+     * When @p batcher is non-null the database scan is delegated to it
+     * (cross-query batching); SURF detection/description stay local
+     * because they are per-image. Results are bitwise-identical either
+     * way.
      */
-    ImmResult match(const Image &image,
-                    const Deadline &deadline = {}) const;
+    ImmResult match(const Image &image, const Deadline &deadline = {},
+                    DescriptorMatchBatcher *batcher = nullptr) const;
+
+    /**
+     * Scan the database once for a batch of descriptor sets. Item i is
+     * identical to what the serial loop in match() computes for
+     * deadlines[i]: entries are visited in database order, the budget
+     * is checked before each entry, and the best-so-far stands on
+     * expiry (cutShort). Batching flips the loop nest entry-outer so
+     * each k-d tree stays cache-hot across the whole batch.
+     */
+    std::vector<DatabaseMatchOutcome> matchDatabaseBatch(
+        const std::vector<const std::vector<Descriptor> *> &queries,
+        const std::vector<Deadline> &deadlines) const;
 
     /** Database size. */
     size_t databaseSize() const { return database_.size(); }

@@ -158,4 +158,16 @@ matchDescriptors(const std::vector<Descriptor> &query, const KdTree &tree,
     return stats;
 }
 
+std::vector<MatchStats>
+matchDescriptorsBatch(
+    const std::vector<const std::vector<Descriptor> *> &queries,
+    const KdTree &tree, float ratio, size_t max_leaves)
+{
+    std::vector<MatchStats> stats;
+    stats.reserve(queries.size());
+    for (const std::vector<Descriptor> *query : queries)
+        stats.push_back(matchDescriptors(*query, tree, ratio, max_leaves));
+    return stats;
+}
+
 } // namespace sirius::vision

@@ -85,6 +85,17 @@ MatchStats matchDescriptors(const std::vector<Descriptor> &query,
                             const KdTree &tree, float ratio = 0.85f,
                             size_t max_leaves = 32);
 
+/**
+ * Match several query descriptor sets against one tree in a single
+ * call. Result i is bitwise-identical to matchDescriptors(*queries[i],
+ * tree, ratio, max_leaves) — the point of batching is keeping the
+ * tree's nodes and descriptors hot in cache across the whole batch
+ * instead of re-faulting them per query.
+ */
+std::vector<MatchStats> matchDescriptorsBatch(
+    const std::vector<const std::vector<Descriptor> *> &queries,
+    const KdTree &tree, float ratio = 0.85f, size_t max_leaves = 32);
+
 } // namespace sirius::vision
 
 #endif // SIRIUS_VISION_MATCHER_H

@@ -1,0 +1,583 @@
+/**
+ * @file
+ * Differential and scheduler tests for cross-query micro-batching.
+ *
+ * The batching layer's contract is that it may only change *when*
+ * kernels run, never what they produce: batched DNN forward, GMM
+ * scoring, and descriptor matching must be bitwise-identical to the
+ * serial paths on the same inputs. The property sweeps here enforce
+ * that across random seeds, batch sizes (1/2/7/32), and ragged last
+ * batches, and the scheduler tests pin down every flush policy (size,
+ * timeout, deadline, shutdown) plus TSan-clean concurrent enqueue.
+ */
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/batch_scheduler.h"
+#include "core/concurrent_server.h"
+#include "speech/dnn.h"
+#include "speech/gmm.h"
+#include "vision/matcher.h"
+
+namespace {
+
+using namespace sirius;
+using namespace sirius::core;
+
+constexpr size_t kBatchSizes[] = {1, 2, 7, 32};
+
+/** Exact bit-pattern equality, not approximate float equality. */
+void
+expectBitwiseEqual(const std::vector<float> &serial,
+                   const std::vector<float> &batched, const char *what,
+                   size_t item)
+{
+    ASSERT_EQ(serial.size(), batched.size()) << what << " item " << item;
+    ASSERT_EQ(0, std::memcmp(serial.data(), batched.data(),
+                             serial.size() * sizeof(float)))
+        << what << " item " << item << " diverged bitwise";
+}
+
+std::vector<audio::FeatureVector>
+randomFrames(Rng &rng, size_t count, size_t dim)
+{
+    std::vector<audio::FeatureVector> frames(count);
+    for (auto &frame : frames) {
+        frame.resize(dim);
+        for (auto &x : frame)
+            x = static_cast<float>(rng.gaussian(0.0, 1.0));
+    }
+    return frames;
+}
+
+std::vector<const audio::FeatureVector *>
+pointersTo(const std::vector<audio::FeatureVector> &frames, size_t begin,
+           size_t end)
+{
+    std::vector<const audio::FeatureVector *> out;
+    for (size_t i = begin; i < end; ++i)
+        out.push_back(&frames[i]);
+    return out;
+}
+
+/**
+ * Sweep batched vs serial over every batch size, covering a ragged
+ * last batch (kFrames is not a multiple of any swept size but 1).
+ */
+constexpr size_t kFrames = 33;
+
+void
+sweepScorer(const speech::AcousticScorer &scorer,
+            const std::vector<audio::FeatureVector> &frames,
+            const char *what)
+{
+    std::vector<std::vector<float>> serial;
+    for (const auto &frame : frames)
+        serial.push_back(scorer.scoreAll(frame));
+
+    for (size_t batch_size : kBatchSizes) {
+        for (size_t begin = 0; begin < frames.size();
+             begin += batch_size) {
+            const size_t end =
+                std::min(frames.size(), begin + batch_size);
+            const auto batched =
+                scorer.scoreBatch(pointersTo(frames, begin, end));
+            ASSERT_EQ(batched.size(), end - begin);
+            for (size_t i = 0; i < batched.size(); ++i)
+                expectBitwiseEqual(serial[begin + i], batched[i], what,
+                                   begin + i);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential property sweeps: DNN, GMM, matcher.
+
+TEST(BatchingDifferential, DnnForwardBatchMatchesSerialBitwise)
+{
+    for (uint64_t seed : {7ull, 1234ull, 987654321ull}) {
+        speech::FeedForwardNet net({13, 24, 37}, seed);
+        Rng rng(seed ^ 0xF00Dull);
+        const auto frames = randomFrames(rng, kFrames, 13);
+
+        std::vector<std::vector<float>> serial;
+        for (const auto &frame : frames)
+            serial.push_back(net.forward(frame));
+
+        for (size_t batch_size : kBatchSizes) {
+            for (size_t begin = 0; begin < frames.size();
+                 begin += batch_size) {
+                const size_t end =
+                    std::min(frames.size(), begin + batch_size);
+                std::vector<const std::vector<float> *> inputs;
+                for (size_t i = begin; i < end; ++i)
+                    inputs.push_back(&frames[i]);
+                const auto batched = net.forwardBatch(inputs);
+                ASSERT_EQ(batched.size(), end - begin);
+                for (size_t i = 0; i < batched.size(); ++i)
+                    expectBitwiseEqual(serial[begin + i], batched[i],
+                                       "dnn_forward", begin + i);
+            }
+        }
+    }
+}
+
+TEST(BatchingDifferential, DnnAcousticModelScoreBatchMatchesSerial)
+{
+    for (uint64_t seed : {11ull, 222ull}) {
+        Rng rng(seed);
+        const size_t states = 6;
+        const auto train = randomFrames(rng, 240, 13);
+        std::vector<int> labels(train.size());
+        for (auto &label : labels)
+            label = static_cast<int>(rng.below(states));
+        const auto model = speech::DnnAcousticModel::train(
+            train, labels, {16}, 2, 0.01f, seed, states);
+
+        Rng test_rng(seed ^ 0xBEEFull);
+        sweepScorer(model, randomFrames(test_rng, kFrames, 13),
+                    "dnn_score");
+    }
+}
+
+TEST(BatchingDifferential, GmmScoreBatchMatchesSerialBitwise)
+{
+    for (uint64_t seed : {5ull, 314159ull}) {
+        Rng rng(seed);
+        const size_t states = 6;
+        const auto train = randomFrames(rng, 400, 13);
+        std::vector<int> labels(train.size());
+        for (auto &label : labels)
+            label = static_cast<int>(rng.below(states));
+        const auto model = speech::GmmAcousticModel::train(
+            train, labels, 3, 2, seed, states);
+
+        Rng test_rng(seed ^ 0xCAFEull);
+        sweepScorer(model, randomFrames(test_rng, kFrames, 13),
+                    "gmm_score");
+    }
+}
+
+TEST(BatchingDifferential, DefaultScoreBatchIsSerialLoop)
+{
+    // A scorer that does not override scoreBatch gets the serial loop,
+    // so custom backends are batch-correct by construction.
+    class Plain : public speech::AcousticScorer
+    {
+      public:
+        std::vector<float>
+        scoreAll(const audio::FeatureVector &f) const override
+        {
+            return {f[0] * 3.0f, f[0] - 2.0f};
+        }
+        size_t stateCount() const override { return 2; }
+        const char *name() const override { return "PLAIN"; }
+    };
+    Plain plain;
+    Rng rng(99);
+    sweepScorer(plain, randomFrames(rng, kFrames, 4), "plain_score");
+}
+
+vision::Descriptor
+randomDescriptor(Rng &rng)
+{
+    vision::Descriptor d;
+    for (auto &x : d)
+        x = static_cast<float>(rng.gaussian(0.0, 1.0));
+    return d;
+}
+
+TEST(BatchingDifferential, MatcherBatchMatchesSerial)
+{
+    for (uint64_t seed : {3ull, 77ull, 4242ull}) {
+        Rng rng(seed);
+        std::vector<vision::Descriptor> base(100);
+        for (auto &d : base)
+            d = randomDescriptor(rng);
+        const vision::KdTree tree(base);
+
+        // Ragged query sets: several sizes including empty and single.
+        std::vector<std::vector<vision::Descriptor>> query_sets;
+        for (size_t n : {size_t{0}, size_t{1}, size_t{2}, size_t{7},
+                         size_t{32}}) {
+            std::vector<vision::Descriptor> qs(n);
+            for (auto &d : qs) {
+                d = randomDescriptor(rng);
+                // Half the queries are near-duplicates of database
+                // entries so the ratio test actually passes sometimes.
+                if (rng.uniform() < 0.5) {
+                    d = base[rng.below(base.size())];
+                    d[0] += 0.01f;
+                }
+            }
+            query_sets.push_back(std::move(qs));
+        }
+
+        std::vector<const std::vector<vision::Descriptor> *> pointers;
+        for (const auto &qs : query_sets)
+            pointers.push_back(&qs);
+        const auto batched = vision::matchDescriptorsBatch(pointers, tree);
+        ASSERT_EQ(batched.size(), query_sets.size());
+        for (size_t i = 0; i < query_sets.size(); ++i) {
+            const auto serial =
+                vision::matchDescriptors(query_sets[i], tree);
+            EXPECT_EQ(serial.goodMatches, batched[i].goodMatches) << i;
+            EXPECT_EQ(serial.totalQueries, batched[i].totalQueries) << i;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler unit tests (flush policies, drain, concurrency).
+
+/** Deterministic scorer for scheduler tests: no training, no noise. */
+class FakeScorer : public speech::AcousticScorer
+{
+  public:
+    std::vector<float>
+    scoreAll(const audio::FeatureVector &f) const override
+    {
+        return {f[0] * 2.0f, f[0] + 1.0f};
+    }
+    size_t stateCount() const override { return 2; }
+    const char *name() const override { return "FAKE"; }
+};
+
+std::vector<audio::FeatureVector>
+oneFrame(float value)
+{
+    return {audio::FeatureVector{value}};
+}
+
+TEST(BatchScheduler, SizeFlushClosesFullBatch)
+{
+    FakeScorer scorer;
+    BatchConfig config;
+    config.maxBatchSize = 2;
+    config.maxWaitSeconds = 1000.0; // never: size must trigger
+    BatchScheduler scheduler(&scorer, nullptr, config);
+
+    speech::FrameScoreBatcher::Outcome a, b;
+    const auto frames_a = oneFrame(1.0f);
+    const auto frames_b = oneFrame(2.0f);
+    std::thread first([&] { a = scheduler.scoreFrames(frames_a, {}); });
+    b = scheduler.scoreFrames(frames_b, {});
+    first.join();
+
+    EXPECT_EQ(a.batchSize, 2u);
+    EXPECT_EQ(b.batchSize, 2u);
+    EXPECT_STREQ(a.flushReason, "size");
+    EXPECT_STREQ(b.flushReason, "size");
+    ASSERT_EQ(a.scores.size(), 1u);
+    ASSERT_EQ(b.scores.size(), 1u);
+    EXPECT_EQ(a.scores[0], scorer.scoreAll(frames_a[0]));
+    EXPECT_EQ(b.scores[0], scorer.scoreAll(frames_b[0]));
+
+    const auto snap = scheduler.snapshot();
+    const auto &score = snap.kernels[size_t(BatchKernel::Score)];
+    EXPECT_EQ(score.batches, 1u);
+    EXPECT_EQ(score.items, 2u);
+    EXPECT_EQ(score.flushes[size_t(FlushReason::Size)], 1u);
+    EXPECT_DOUBLE_EQ(score.meanOccupancy(), 2.0);
+}
+
+TEST(BatchScheduler, TimeoutFlushReleasesLoneItem)
+{
+    FakeScorer scorer;
+    BatchConfig config;
+    config.maxBatchSize = 8;       // never fills
+    config.maxWaitSeconds = 1e-3;  // the scheduler thread must flush
+    BatchScheduler scheduler(&scorer, nullptr, config);
+
+    const auto frames = oneFrame(3.0f);
+    const auto outcome = scheduler.scoreFrames(frames, {});
+    EXPECT_EQ(outcome.batchSize, 1u);
+    EXPECT_STREQ(outcome.flushReason, "timeout");
+    EXPECT_FALSE(outcome.cutShort);
+    ASSERT_EQ(outcome.scores.size(), 1u);
+    EXPECT_EQ(outcome.scores[0], scorer.scoreAll(frames[0]));
+
+    const auto snap = scheduler.snapshot();
+    EXPECT_EQ(snap.kernels[size_t(BatchKernel::Score)]
+                  .flushes[size_t(FlushReason::Timeout)],
+              1u);
+}
+
+TEST(BatchScheduler, NearDeadlineItemFlushesImmediately)
+{
+    FakeScorer scorer;
+    BatchConfig config;
+    config.maxBatchSize = 8;
+    config.maxWaitSeconds = 1000.0;
+    config.deadlineSlackSeconds = 0.005;
+    BatchScheduler scheduler(&scorer, nullptr, config);
+
+    // Virtual time: 1 ms of budget left, within the 5 ms slack, but not
+    // expired — the item must neither wait out a batching window nor be
+    // cut short.
+    ManualTime clock;
+    const auto deadline = Deadline::afterManual(0.001, clock);
+    const auto frames = oneFrame(4.0f);
+    const auto outcome = scheduler.scoreFrames(frames, deadline);
+    EXPECT_EQ(outcome.batchSize, 1u);
+    EXPECT_STREQ(outcome.flushReason, "deadline");
+    EXPECT_FALSE(outcome.cutShort);
+    ASSERT_EQ(outcome.scores.size(), 1u);
+    EXPECT_EQ(outcome.scores[0], scorer.scoreAll(frames[0]));
+}
+
+TEST(BatchScheduler, ExpiredItemComesBackCutShortUnscored)
+{
+    FakeScorer scorer;
+    BatchConfig config;
+    config.maxBatchSize = 8;
+    config.maxWaitSeconds = 1000.0;
+    BatchScheduler scheduler(&scorer, nullptr, config);
+
+    ManualTime clock;
+    const auto deadline = Deadline::afterManual(1.0, clock);
+    clock.advance(2.0); // now expired, deterministically
+    const auto frames = oneFrame(5.0f);
+    const auto outcome = scheduler.scoreFrames(frames, deadline);
+    EXPECT_TRUE(outcome.cutShort);
+    EXPECT_TRUE(outcome.scores.empty());
+    EXPECT_STREQ(outcome.flushReason, "deadline");
+}
+
+TEST(BatchScheduler, ShutdownDrainsQueuedItems)
+{
+    FakeScorer scorer;
+    BatchConfig config;
+    config.maxBatchSize = 8;
+    config.maxWaitSeconds = 1000.0; // only shutdown can flush
+    auto scheduler =
+        std::make_unique<BatchScheduler>(&scorer, nullptr, config);
+
+    speech::FrameScoreBatcher::Outcome outcome;
+    const auto frames = oneFrame(6.0f);
+    std::thread waiter(
+        [&] { outcome = scheduler->scoreFrames(frames, {}); });
+    while (scheduler->pendingItems(BatchKernel::Score) == 0)
+        std::this_thread::yield();
+    scheduler.reset(); // must resolve the queued item, not hang it
+    waiter.join();
+
+    EXPECT_STREQ(outcome.flushReason, "shutdown");
+    ASSERT_EQ(outcome.scores.size(), 1u);
+    EXPECT_EQ(outcome.scores[0], scorer.scoreAll(frames[0]));
+}
+
+TEST(BatchScheduler, ConcurrentEnqueueAccountingIsExact)
+{
+    FakeScorer scorer;
+    BatchConfig config;
+    config.maxBatchSize = 4;
+    config.maxWaitSeconds = 200e-6;
+    BatchScheduler scheduler(&scorer, nullptr, config);
+
+    constexpr size_t kThreads = 4;
+    constexpr size_t kPerThread = 25;
+    std::atomic<size_t> wrong{0};
+    std::vector<std::thread> pool;
+    for (size_t t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&, t] {
+            for (size_t i = 0; i < kPerThread; ++i) {
+                const float value =
+                    static_cast<float>(t * kPerThread + i);
+                const auto frames = oneFrame(value);
+                const auto outcome = scheduler.scoreFrames(frames, {});
+                if (outcome.scores.size() != 1 ||
+                    outcome.scores[0] != scorer.scoreAll(frames[0]) ||
+                    outcome.batchSize == 0 ||
+                    outcome.batchSize > config.maxBatchSize) {
+                    wrong.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (auto &thread : pool)
+        thread.join();
+
+    EXPECT_EQ(wrong.load(), 0u);
+    const auto snap = scheduler.snapshot();
+    const auto &score = snap.kernels[size_t(BatchKernel::Score)];
+    EXPECT_EQ(score.items, kThreads * kPerThread);
+    uint64_t flushes = 0;
+    for (uint64_t f : score.flushes)
+        flushes += f;
+    EXPECT_EQ(flushes, score.batches);
+    EXPECT_GE(score.batches, (kThreads * kPerThread) /
+                                 config.maxBatchSize);
+    EXPECT_EQ(score.waitSeconds.count(), kThreads * kPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: batched server results equal the serial pipeline's, and
+// golden fixtures pin today's outputs against silent kernel drift.
+
+class BatchingE2E : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        SiriusConfig config;
+        config.qa.fillerDocs = 60;
+        pipeline_ = new SiriusPipeline(SiriusPipeline::build(config));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete pipeline_;
+        pipeline_ = nullptr;
+    }
+
+    static SiriusPipeline *pipeline_;
+};
+
+SiriusPipeline *BatchingE2E::pipeline_ = nullptr;
+
+void
+expectSameResult(const SiriusResult &serial, const SiriusResult &batched,
+                 size_t index)
+{
+    EXPECT_EQ(serial.transcript, batched.transcript) << index;
+    EXPECT_EQ(serial.queryClass, batched.queryClass) << index;
+    EXPECT_EQ(serial.action, batched.action) << index;
+    EXPECT_EQ(serial.answer, batched.answer) << index;
+    EXPECT_EQ(serial.matchedLandmark, batched.matchedLandmark) << index;
+    EXPECT_EQ(serial.augmentedQuestion, batched.augmentedQuestion)
+        << index;
+    EXPECT_EQ(serial.degradation, batched.degradation) << index;
+}
+
+TEST_F(BatchingE2E, ConcurrentBatchedServerMatchesSerialPipeline)
+{
+    const auto &queries = standardQuerySet();
+    std::vector<SiriusResult> serial(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i)
+        serial[i] = pipeline_->process(queries[i]);
+
+    ConcurrentServerConfig config;
+    config.workers = 4;
+    ASSERT_TRUE(config.batching.enabled); // batching is the default
+    ConcurrentServer server(*pipeline_, config);
+
+    // Four blocking clients drive overlapping queries so batches really
+    // form; every result must equal the serial pipeline's bit for bit.
+    std::vector<SiriusResult> batched(queries.size());
+    std::vector<std::thread> clients;
+    constexpr size_t kClients = 4;
+    for (size_t c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            for (size_t i = c; i < queries.size(); i += kClients)
+                batched[i] = server.handle(queries[i]);
+        });
+    }
+    for (auto &client : clients)
+        client.join();
+
+    for (size_t i = 0; i < queries.size(); ++i)
+        expectSameResult(serial[i], batched[i], i);
+
+    // The batch queues really ran the kernels: every ASR pass went
+    // through the score queue.
+    const auto snap = server.snapshot();
+    const auto &score = snap.batching.kernels[size_t(BatchKernel::Score)];
+    EXPECT_EQ(score.items, queries.size());
+    EXPECT_GT(score.batches, 0u);
+    // IMM runs only for VIQ queries whose transcript classifies as a
+    // question (an Action classification returns before stage 3), so
+    // derive the expected match-queue traffic from the serial results.
+    size_t expect_matches = 0;
+    for (size_t i = 0; i < queries.size(); ++i) {
+        if (queries[i].type == QueryType::VoiceImageQuery &&
+            serial[i].queryClass == QueryClass::Question)
+            ++expect_matches;
+    }
+    const auto &match = snap.batching.kernels[size_t(BatchKernel::Match)];
+    EXPECT_EQ(match.items, expect_matches);
+    EXPECT_GT(expect_matches, 0u);
+    // And the accounting reached the labeled metrics exporters.
+    const auto prom = snap.metrics.renderPrometheus();
+    EXPECT_NE(prom.find("sirius_batch_items_total"), std::string::npos);
+    EXPECT_NE(prom.find("sirius_batch_flushes_total"), std::string::npos);
+}
+
+TEST_F(BatchingE2E, DisabledBatchingStillMatchesSerial)
+{
+    const auto &queries = standardQuerySet();
+    ConcurrentServerConfig config;
+    config.workers = 2;
+    config.batching.enabled = false;
+    ConcurrentServer server(*pipeline_, config);
+    for (size_t i = 0; i < 6; ++i) {
+        const auto serial = pipeline_->process(queries[i * 7]);
+        const auto unbatched = server.handle(queries[i * 7]);
+        expectSameResult(serial, unbatched, i * 7);
+    }
+    EXPECT_EQ(server.batcher(), nullptr);
+}
+
+// One line per query: index|type|degradation|class|landmark|transcript|
+// answer. Discrete fields only — cross-machine float drift must not
+// fail goldens, while any behavioural kernel change still does.
+std::string
+goldenLine(size_t index, const Query &query, const SiriusResult &result)
+{
+    std::ostringstream out;
+    out << index << '|' << queryTypeName(query.type) << '|'
+        << degradationName(result.degradation) << '|'
+        << static_cast<int>(result.queryClass) << '|'
+        << result.matchedLandmark << '|' << result.transcript << '|'
+        << result.answer;
+    return out.str();
+}
+
+TEST_F(BatchingE2E, GoldenEndToEndOutputs)
+{
+    const std::string path =
+        std::string(SIRIUS_SOURCE_DIR) + "/tests/golden/e2e_results.txt";
+
+    const auto &queries = standardQuerySet();
+    std::vector<std::string> current;
+    for (size_t i = 0; i < queries.size(); ++i)
+        current.push_back(
+            goldenLine(i, queries[i], pipeline_->process(queries[i])));
+
+    if (std::getenv("SIRIUS_REGEN_GOLDENS") != nullptr) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        for (const auto &line : current)
+            out << line << '\n';
+        GTEST_SKIP() << "regenerated " << path;
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good())
+        << path << " missing — run scripts/regen_goldens.sh";
+    std::vector<std::string> golden;
+    std::string line;
+    while (std::getline(in, line))
+        golden.push_back(line);
+
+    ASSERT_EQ(golden.size(), current.size())
+        << "query count changed — regen goldens if intentional";
+    for (size_t i = 0; i < golden.size(); ++i)
+        EXPECT_EQ(golden[i], current[i])
+            << "end-to-end output drifted for query " << i
+            << " — if intentional, run scripts/regen_goldens.sh";
+}
+
+} // namespace

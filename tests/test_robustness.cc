@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cmath>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -45,24 +46,56 @@ TEST(Deadline, AfterZeroExpiresImmediately)
 
 TEST(Deadline, BudgetCountsDown)
 {
-    const Deadline d = Deadline::after(60.0);
+    // Virtual time: the countdown is asserted exactly, not "after a
+    // sleep that was hopefully long enough on this machine".
+    ManualTime clock;
+    const Deadline d = Deadline::afterManual(60.0, clock);
     EXPECT_TRUE(d.bounded());
     EXPECT_FALSE(d.expired());
     EXPECT_DOUBLE_EQ(d.budgetSeconds(), 60.0);
-    const double first = d.remainingSeconds();
-    EXPECT_GT(first, 0.0);
-    EXPECT_LE(first, 60.0);
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
-    EXPECT_LT(d.remainingSeconds(), first);
+    EXPECT_DOUBLE_EQ(d.remainingSeconds(), 60.0);
+    clock.advance(2.0);
+    EXPECT_DOUBLE_EQ(d.remainingSeconds(), 58.0);
+    EXPECT_FALSE(d.expired());
+    clock.advance(58.0);
+    EXPECT_TRUE(d.expired());
+    EXPECT_LE(d.remainingSeconds(), 0.0);
 }
 
 TEST(Deadline, CopiesShareTheExpiryInstant)
 {
-    const Deadline original = Deadline::after(0.005);
+    ManualTime clock;
+    const Deadline original = Deadline::afterManual(0.005, clock);
     const Deadline copy = original; // what stage-to-stage handoff does
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_FALSE(copy.expired());
+    clock.advance(0.010);
     EXPECT_TRUE(original.expired());
     EXPECT_TRUE(copy.expired());
+}
+
+TEST(ManualTime, StartsAtZeroAndOnlyMovesOnAdvance)
+{
+    ManualTime clock;
+    EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+    clock.advance(1.5);
+    EXPECT_DOUBLE_EQ(clock.now(), 1.5);
+    clock.advance(0.25);
+    EXPECT_DOUBLE_EQ(clock.now(), 1.75);
+}
+
+TEST(ManualTime, ConcurrentAdvancesAllLand)
+{
+    ManualTime clock;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < 4; ++t) {
+        pool.emplace_back([&] {
+            for (int i = 0; i < 1000; ++i)
+                clock.advance(0.001);
+        });
+    }
+    for (auto &thread : pool)
+        thread.join();
+    EXPECT_NEAR(clock.now(), 4.0, 1e-9);
 }
 
 // ---------------------------------------------------------------------
@@ -304,15 +337,20 @@ TEST_F(RobustnessFixture, DeadlineExceededMidQaReturnsVcPartial)
     // A QA-scoped latency fault stalls past the whole budget: ASR
     // completes comfortably inside it, then the stall burns the rest, so
     // QA is cut short with nothing selected and the query bottoms out at
-    // a VC-level partial result.
+    // a VC-level partial result. The stall and the budget live on a
+    // ManualTime, so the test is instant and immune to machine load —
+    // real stage work costs zero virtual seconds, only the injected
+    // latency moves the clock.
+    ManualTime clock;
     FaultConfig config;
     config.latencyRate = 1.0;
     config.addedLatencySeconds = 3.0;
+    config.latencyClock = &clock;
     config.faultAsr = false;
     config.faultImm = false;
     FaultInjector injector(config);
     ProcessOptions options;
-    options.deadline = Deadline::after(2.0);
+    options.deadline = Deadline::afterManual(2.0, clock);
     options.faults = &injector;
 
     const auto result = pipeline_->process(someVq(), options);
@@ -328,15 +366,18 @@ TEST_F(RobustnessFixture, DeadlineExceededMidImmShedsBothUpperRungs)
 {
     // The stall hits IMM on a VIQ query: IMM is cut short empty, and by
     // the time QA is reached the budget is gone — viq->vc, with the
-    // transcript as the salvage.
+    // transcript as the salvage. Virtual time again: 3 virtual seconds
+    // of stall against a 2-virtual-second budget, no real sleeping.
+    ManualTime clock;
     FaultConfig config;
     config.latencyRate = 1.0;
     config.addedLatencySeconds = 3.0;
+    config.latencyClock = &clock;
     config.faultAsr = false;
     config.faultQa = false;
     FaultInjector injector(config);
     ProcessOptions options;
-    options.deadline = Deadline::after(2.0);
+    options.deadline = Deadline::afterManual(2.0, clock);
     options.faults = &injector;
 
     const auto result = pipeline_->process(someViq(), options);

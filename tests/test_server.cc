@@ -2,6 +2,13 @@
  * @file
  * Tests for the leaf-server front end, its open-loop load test, and the
  * concurrent leaf server built on top of the same pipeline.
+ *
+ * Flakiness audit: nothing here sleeps or races a wall-clock window.
+ * Queueing assertions go through loadTest()'s virtual-time Lindley
+ * recursion, and latency comparisons are relative (heavy vs light load
+ * within one run), so a slow or preempted CI machine shifts both sides
+ * together. Tests that need absolute timing use ManualTime instead
+ * (see test_robustness.cc and test_batching.cc).
  */
 
 #include <thread>
