@@ -35,6 +35,17 @@
  *   --batch-wait-us U close a partial batch after U µs      (default 200)
  *   --no-batching     serial kernels, for a before/after baseline
  *
+ * Caching (--real mode; see docs/CACHING.md):
+ *   --cache           enable the per-layer result caches (default off)
+ *   --cache-bytes N   byte budget per cache            (default 64 MiB)
+ *   --cache-ttl-ms T  entry time-to-live in ms          (default: none)
+ *   --cache-shards N  mutex stripes per cache               (default 8)
+ *   --no-cache        force caching off (overrides other cache flags)
+ *   --zipf S          Zipf(S)-skewed query selection instead of round
+ *                     robin (S = 1.0 is the classic skew; caches need
+ *                     repetition to hit, and skew is what real
+ *                     assistant traffic looks like)
+ *
  * Observability (--real mode):
  *   --trace-out F     append per-query spans to F as JSONL
  *   --trace-sample R  head sampling rate in [0,1] (default 1 when
@@ -135,10 +146,27 @@ replaySweep(SiriusServer &server, double capacity, double max_load)
     }
 }
 
+/** One per-layer line of the cache summary. */
+void
+printCacheLine(const char *name, const CacheStats &stats)
+{
+    std::printf("cache[%s]: %llu lookups, %llu hits (%.0f%% hit rate), "
+                "%llu insertions, %llu evictions, %llu entries, "
+                "%.1f KiB\n", name,
+                static_cast<unsigned long long>(stats.lookups()),
+                static_cast<unsigned long long>(stats.hits),
+                stats.hitRate() * 100.0,
+                static_cast<unsigned long long>(stats.insertions),
+                static_cast<unsigned long long>(stats.evictedLru +
+                                                stats.evictedExpired),
+                static_cast<unsigned long long>(stats.entries),
+                static_cast<double>(stats.bytes) / 1024.0);
+}
+
 void
 realSweep(const SiriusPipeline &pipeline, double capacity,
           double max_load, ConcurrentServerConfig config,
-          size_t requests, Observability &obs)
+          size_t requests, double zipf_skew, Observability &obs)
 {
     config.traceSampleRate = obs.sampleRate;
     std::printf("real executions: %zu workers, queue capacity %zu, %zu "
@@ -151,6 +179,16 @@ realSweep(const SiriusPipeline &pipeline, double capacity,
                     config.batching.maxWaitSeconds * 1e6);
     else
         std::printf("batching: disabled (serial kernels)\n");
+    if (config.cache.enabled)
+        std::printf("caching: %zu shards, %.0f MiB budget per cache%s "
+                    "(--no-cache for the uncached baseline)\n",
+                    config.cache.shards,
+                    static_cast<double>(config.cache.byteBudget) /
+                        (1024.0 * 1024.0),
+                    config.cache.ttlSeconds > 0.0 ? ", TTL on" : "");
+    if (zipf_skew > 0.0)
+        std::printf("queries: Zipf(%.2f)-skewed over the standard set\n",
+                    zipf_skew);
     if (config.deadlineSeconds > 0.0)
         std::printf("deadline: %.0f ms per query from admission\n",
                     config.deadlineSeconds * 1e3);
@@ -173,7 +211,8 @@ realSweep(const SiriusPipeline &pipeline, double capacity,
         // Distinct id blocks per level keep the shared JSONL unambiguous.
         config.traceIdOffset = 1000000 * static_cast<uint64_t>(++level);
         ConcurrentServer server(pipeline, config);
-        const auto result = runOpenLoop(server, lambda, requests);
+        const auto result =
+            runOpenLoop(server, lambda, requests, 31337, zipf_skew);
         obs.collect(server);
         std::printf("%-8.1f %8.1fqps %10.2fms %10.2fms %10.2fms %6llu "
                     "%9llu %7llu\n",
@@ -191,8 +230,8 @@ realSweep(const SiriusPipeline &pipeline, double capacity,
     // user waits for their answer before asking again.
     config.traceIdOffset = 1000000 * static_cast<uint64_t>(level + 1);
     ConcurrentServer server(pipeline, config);
-    const auto closed =
-        runClosedLoop(server, config.workers, requests / config.workers);
+    const auto closed = runClosedLoop(
+        server, config.workers, requests / config.workers, zipf_skew);
     std::printf("\nclosed loop (%zu blocking clients): %.1f qps served, "
                 "mean latency %.2f ms\n", config.workers,
                 closed.achievedQps, closed.sojournSeconds.mean() * 1e3);
@@ -223,6 +262,11 @@ realSweep(const SiriusPipeline &pipeline, double capacity,
                         batch.meanOccupancy(),
                         batch.waitSeconds.mean() * 1e6);
         }
+    }
+    if (config.cache.enabled) {
+        printCacheLine("acoustic_scores", stats.caches.acousticScores);
+        printCacheLine("answers", stats.caches.answers);
+        printCacheLine("matches", stats.caches.matches);
     }
     if (stats.server.degraded + stats.server.failed +
             stats.server.deadlineMisses > 0) {
@@ -256,6 +300,8 @@ main(int argc, char **argv)
     int retries = -1; // -1: pick a default after parsing
     size_t requests = 150;
     double max_load = 0.9;
+    double zipf_skew = 0.0;
+    bool no_cache = false;
     Observability obs;
     double trace_sample = -1.0; // -1: pick a default after parsing
     for (int i = 1; i < argc; ++i) {
@@ -289,6 +335,26 @@ main(int argc, char **argv)
             config.batching.maxWaitSeconds = std::atof(argv[++i]) * 1e-6;
         else if (std::strcmp(argv[i], "--no-batching") == 0)
             config.batching.enabled = false;
+        else if (std::strcmp(argv[i], "--cache") == 0)
+            config.cache.enabled = true;
+        else if (std::strcmp(argv[i], "--cache-bytes") == 0 &&
+                 i + 1 < argc) {
+            config.cache.byteBudget =
+                static_cast<size_t>(std::atoll(argv[++i]));
+            config.cache.enabled = true;
+        } else if (std::strcmp(argv[i], "--cache-ttl-ms") == 0 &&
+                   i + 1 < argc) {
+            config.cache.ttlSeconds = std::atof(argv[++i]) * 1e-3;
+            config.cache.enabled = true;
+        } else if (std::strcmp(argv[i], "--cache-shards") == 0 &&
+                   i + 1 < argc) {
+            config.cache.shards =
+                static_cast<size_t>(std::atoi(argv[++i]));
+            config.cache.enabled = true;
+        } else if (std::strcmp(argv[i], "--no-cache") == 0)
+            no_cache = true;
+        else if (std::strcmp(argv[i], "--zipf") == 0 && i + 1 < argc)
+            zipf_skew = std::atof(argv[++i]);
         else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc)
             obs.traceOut = argv[++i];
         else if (std::strcmp(argv[i], "--trace-sample") == 0 &&
@@ -313,6 +379,8 @@ main(int argc, char **argv)
     }
     config.retry.maxRetries = retries >= 0 ? retries
         : (faults_requested ? 1 : 0);
+    if (no_cache)
+        config.cache.enabled = false;
     // Tracing defaults on (keep everything) once a sink is named.
     obs.sampleRate = trace_sample >= 0.0
         ? trace_sample
@@ -338,7 +406,8 @@ main(int argc, char **argv)
                 "service %.2f ms)\n\n", capacity, 1e3 / capacity);
 
     if (real)
-        realSweep(pipeline, capacity, max_load, config, requests, obs);
+        realSweep(pipeline, capacity, max_load, config, requests,
+                  zipf_skew, obs);
     else
         replaySweep(server, capacity, max_load);
     if (real)

@@ -14,6 +14,9 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 echo "==> lint: metric naming conventions (scripts/lint_metrics.sh)"
 scripts/lint_metrics.sh
 
+echo "==> lint: docs links + documented metrics (scripts/lint_docs.sh)"
+scripts/lint_docs.sh
+
 echo "==> tier-1: configure + build + full test suite (build/)"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
@@ -64,9 +67,9 @@ cmake -B build-tsan -S . -DSIRIUS_SANITIZE=thread >/dev/null
 # additional thread coverage.
 cmake --build build-tsan -j "$jobs" \
     --target test_server test_robustness test_common test_observability \
-             test_batching
+             test_batching test_cache
 (cd build-tsan &&
      ctest --output-on-failure -j "$jobs" \
-           -R "Server|Robustness|Deadline|FaultInjector|LatencyHistogram|Profiler|ThreadPool|ParallelFor|Trace|Metrics|Observability|Batch|ManualTime")
+           -R "Server|Robustness|Deadline|FaultInjector|LatencyHistogram|Profiler|ThreadPool|ParallelFor|Trace|Metrics|Observability|Batch|ManualTime|Cache|Zipf|ShardedLru")
 
 echo "==> all checks passed"

@@ -1,0 +1,66 @@
+#!/bin/sh
+# Docs lint, two gates:
+#
+#   1. Every relative markdown link in the repo's docs resolves to a
+#      file or directory that exists (fragments are stripped first;
+#      http(s)/mailto/pure-#anchor targets are skipped).
+#   2. Every `sirius_*` metric name the docs mention exists in src/ —
+#      docs that describe metrics nobody exports are worse than no
+#      docs. A name must be the prefix of a registered metric literal,
+#      so family mentions like `sirius_cache...` pass while a typo'd
+#      full name fails. Tokens ending in `_` (wildcard shorthand like
+#      `sirius_batch_*` after stripping) are skipped.
+#
+# Scaffolding files that quote external material verbatim (ISSUE.md,
+# PAPER.md, PAPERS.md, SNIPPETS.md) are excluded.
+set -eu
+
+cd "$(dirname "$0")/.."
+status=0
+
+docs="$(find . -name '*.md' \
+        -not -path './build*' -not -path './.git/*' \
+        -not -path './related/*' |
+    grep -vE '/(ISSUE|PAPER|PAPERS|SNIPPETS)\.md$' | sort)"
+
+# --- gate 1: relative links resolve -----------------------------------
+for doc in $docs; do
+    dir="$(dirname "$doc")"
+    # Inline links: the (target) part of ](target). Reference-style
+    # links are not used in this repo.
+    targets="$(grep -oE '\]\([^)]+\)' "$doc" 2>/dev/null |
+        sed 's/^](//; s/)$//' || true)"
+    [ -n "$targets" ] || continue
+    for target in $targets; do
+        case "$target" in
+        http://* | https://* | mailto:* | '#'*) continue ;;
+        esac
+        path="${target%%#*}" # strip any fragment
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "lint_docs: $doc: broken link -> $target"
+            status=1
+        fi
+    done
+done
+
+# --- gate 2: mentioned sirius_* metrics exist in src/ ------------------
+# shellcheck disable=SC2086
+metrics="$(grep -ohE 'sirius_[a-z0-9_]+' $docs | sort -u || true)"
+for metric in $metrics; do
+    case "$metric" in
+    *_) continue ;; # wildcard/family shorthand, e.g. sirius_batch_*
+    esac
+    # Registered names are string literals ("sirius_..."), so a doc
+    # mention must open one (prefix match keeps family mentions legal).
+    if ! grep -rqF "\"$metric" --include='*.cc' --include='*.h' src/; then
+        echo "lint_docs: metric '$metric' is documented but not" \
+             "registered anywhere in src/"
+        status=1
+    fi
+done
+
+if [ "$status" = "0" ]; then
+    echo "lint_docs: OK ($(echo "$docs" | wc -l | tr -d ' ') files)"
+fi
+exit "$status"

@@ -1,0 +1,115 @@
+#include "common/cache.h"
+
+namespace sirius {
+
+namespace {
+
+/** splitmix64 finalizer: the avalanche core of the content hash. */
+uint64_t
+mix64(uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * One 64-bit lane of the content hash: word-at-a-time absorb with a
+ * splitmix64 finalizer per word. Not cryptographic, but two
+ * independently seeded lanes give 128 bits of state, which makes an
+ * accidental collision across a cache's lifetime negligible.
+ */
+uint64_t
+hashLane(const unsigned char *bytes, size_t size, uint64_t seed)
+{
+    uint64_t h = mix64(seed ^ (0x9e3779b97f4a7c15ULL + size));
+    size_t i = 0;
+    for (; i + 8 <= size; i += 8) {
+        uint64_t word = 0;
+        // memcpy-free little-endian load keeps the hash
+        // platform-independent regardless of alignment.
+        for (int b = 7; b >= 0; --b)
+            word = (word << 8) | bytes[i + static_cast<size_t>(b)];
+        h = mix64(h ^ word);
+        h = h * 0x2545f4914f6cdd1dULL + 0x9e3779b97f4a7c15ULL;
+    }
+    if (i < size) {
+        uint64_t word = 0;
+        for (size_t b = size; b > i; --b)
+            word = (word << 8) | bytes[b - 1];
+        h = mix64(h ^ word);
+    }
+    return mix64(h);
+}
+
+} // namespace
+
+CacheKey128
+hashBytes128(const void *data, size_t bytes, uint64_t seed)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    CacheKey128 key;
+    key.hi = hashLane(p, bytes, seed ^ 0x8a5cd789635d2dffULL);
+    key.lo = hashLane(p, bytes, seed ^ 0x121fd2155c472f96ULL);
+    return key;
+}
+
+CacheKey128
+mixKey(CacheKey128 key, uint64_t word)
+{
+    key.hi = mix64(key.hi ^ word);
+    key.lo = mix64(key.lo ^ mix64(word ^ 0x6c62272e07bb0142ULL));
+    return key;
+}
+
+void
+CacheStats::merge(const CacheStats &other)
+{
+    hits += other.hits;
+    misses += other.misses;
+    expired += other.expired;
+    bypasses += other.bypasses;
+    insertions += other.insertions;
+    replaced += other.replaced;
+    rejected += other.rejected;
+    evictedLru += other.evictedLru;
+    evictedExpired += other.evictedExpired;
+    entries += other.entries;
+    bytes += other.bytes;
+}
+
+void
+CacheStats::exportTo(MetricsRegistry &registry,
+                     const std::string &cache_name) const
+{
+    const auto outcome = [&](const char *value) {
+        return MetricLabels{{"cache", cache_name}, {"outcome", value}};
+    };
+    registry.counter("sirius_cache_lookups_total", outcome("hit"))
+        .add(hits);
+    registry.counter("sirius_cache_lookups_total", outcome("miss"))
+        .add(misses);
+    registry.counter("sirius_cache_lookups_total", outcome("expired"))
+        .add(expired);
+    registry.counter("sirius_cache_lookups_total", outcome("bypass"))
+        .add(bypasses);
+    registry.counter("sirius_cache_insertions_total", outcome("stored"))
+        .add(insertions);
+    registry
+        .counter("sirius_cache_insertions_total", outcome("replaced"))
+        .add(replaced);
+    registry
+        .counter("sirius_cache_insertions_total", outcome("rejected"))
+        .add(rejected);
+    registry.counter("sirius_cache_evictions_total", outcome("lru"))
+        .add(evictedLru);
+    registry.counter("sirius_cache_evictions_total", outcome("expired"))
+        .add(evictedExpired);
+    const MetricLabels just_cache{{"cache", cache_name}};
+    registry.gauge("sirius_cache_entries", just_cache)
+        .set(static_cast<double>(entries));
+    registry.gauge("sirius_cache_bytes", just_cache)
+        .set(static_cast<double>(bytes));
+}
+
+} // namespace sirius

@@ -1,0 +1,445 @@
+/**
+ * @file
+ * ShardedLruCache: a sharded, mutex-striped, byte-budgeted LRU cache
+ * with TTL — the semantic result cache behind the pipeline's caching
+ * layer (docs/CACHING.md).
+ *
+ * Real assistant traffic is heavily skewed — popular questions and
+ * repeated landmark images dominate — and Sirius's end-to-end cost is
+ * concentrated in a handful of deterministic kernels (acoustic scoring,
+ * QA ranking, descriptor matching; Figure 9). Reusing their results is
+ * therefore the cheapest throughput-per-dollar lever after batching
+ * (the paper's Figures 16-19 make throughput/$ the binding WSC
+ * constraint). Three caches share this one implementation: per-frame
+ * acoustic scores in speech/, full answers in core/, and image-hash
+ * match results in vision/.
+ *
+ * Correctness stance: keys are exact-content hashes (128-bit, raw bit
+ * patterns), so a hit returns precisely what a miss would recompute and
+ * the batching layer's bitwise-identical guarantee survives caching —
+ * tests/test_cache.cc enforces hit ≡ miss per layer and end to end.
+ */
+
+#ifndef SIRIUS_COMMON_CACHE_H
+#define SIRIUS_COMMON_CACHE_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/metrics.h"
+
+namespace sirius {
+
+/**
+ * Cache policy knobs, shared by every layer's cache (the server applies
+ * one config to all three; see core::PipelineCaches).
+ */
+struct CacheConfig
+{
+    /**
+     * Master switch. Disabled caches are pure pass-through: every
+     * lookup is a counted bypass and every insert is a no-op, so the
+     * integration points can thread a cache unconditionally.
+     */
+    bool enabled = false;
+
+    /**
+     * Mutex stripes. Lookups on different shards never contend, so this
+     * bounds lock contention under concurrent workers; 8 is ample for
+     * the default 4-worker server.
+     */
+    size_t shards = 8;
+
+    /**
+     * Byte budget per cache (not per shard; each shard gets an equal
+     * slice). Inserting past the budget evicts least-recently-used
+     * entries; a single value larger than a shard's slice is rejected
+     * rather than cached. 0 means unlimited.
+     */
+    size_t byteBudget = 64ull << 20;
+
+    /**
+     * Entry time-to-live in seconds; 0 disables expiry. Expired entries
+     * are collected lazily at lookup (counted as `expired` lookups and
+     * `expired` evictions).
+     */
+    double ttlSeconds = 0.0;
+
+    /**
+     * Virtual clock for deterministic TTL tests: when set, entry age is
+     * measured in the clock's virtual seconds (advance() moves time, no
+     * real sleeping). Must outlive the cache. Production leaves this
+     * null and uses the wall clock.
+     */
+    const ManualTime *clock = nullptr;
+};
+
+/**
+ * 128-bit content key. Two independently seeded 64-bit lanes make an
+ * accidental collision (a hit returning another input's result)
+ * cryptographically improbable, which is what lets the cache promise
+ * hit ≡ miss without storing full keys.
+ */
+struct CacheKey128
+{
+    uint64_t hi = 0;
+    uint64_t lo = 0;
+
+    bool
+    operator==(const CacheKey128 &other) const
+    {
+        return hi == other.hi && lo == other.lo;
+    }
+    bool
+    operator!=(const CacheKey128 &other) const
+    {
+        return !(*this == other);
+    }
+};
+
+/** Hash @p bytes of @p data into a 128-bit content key. */
+CacheKey128 hashBytes128(const void *data, size_t bytes,
+                         uint64_t seed = 0);
+
+/** Mix an extra 64-bit word (dimensions, ids) into an existing key. */
+CacheKey128 mixKey(CacheKey128 key, uint64_t word);
+
+/**
+ * Point-in-time counters of one cache, aggregated across its shards.
+ * All lookup outcomes partition: hits + misses + expired + bypasses ==
+ * total lookups.
+ */
+struct CacheStats
+{
+    uint64_t hits = 0;     ///< lookup returned a live entry
+    uint64_t misses = 0;   ///< key absent
+    uint64_t expired = 0;  ///< key present but past its TTL (a miss)
+    /**
+     * Lookups that never touched the table: cache disabled, deadline
+     * already expired, or the shard lock was contended under a bounded
+     * deadline (the "lookup never blocks past budget" rule).
+     */
+    uint64_t bypasses = 0;
+    uint64_t insertions = 0; ///< new entries stored
+    uint64_t replaced = 0;   ///< inserts that overwrote an existing key
+    uint64_t rejected = 0;   ///< inserts larger than a shard's budget
+    uint64_t evictedLru = 0;     ///< evicted to make byte room
+    uint64_t evictedExpired = 0; ///< collected past their TTL
+    uint64_t entries = 0;    ///< live entries right now
+    uint64_t bytes = 0;      ///< live bytes right now
+
+    uint64_t
+    lookups() const
+    {
+        return hits + misses + expired + bypasses;
+    }
+
+    /** Hits over non-bypass lookups; 0 when nothing was looked up. */
+    double
+    hitRate() const
+    {
+        const uint64_t tried = hits + misses + expired;
+        return tried == 0
+            ? 0.0
+            : static_cast<double>(hits) / static_cast<double>(tried);
+    }
+
+    /** Fold @p other's counters into this one. */
+    void merge(const CacheStats &other);
+
+    /**
+     * Export as labeled metrics under `cache=@p cache_name`:
+     * `sirius_cache_lookups_total{cache=,outcome=hit|miss|expired|bypass}`,
+     * `sirius_cache_insertions_total{cache=,outcome=stored|replaced|rejected}`,
+     * `sirius_cache_evictions_total{cache=,outcome=lru|expired}`, and the
+     * `sirius_cache_entries{cache=}` / `sirius_cache_bytes{cache=}` gauges.
+     */
+    void exportTo(MetricsRegistry &registry,
+                  const std::string &cache_name) const;
+};
+
+/**
+ * A sharded, mutex-striped, byte-budgeted LRU cache with TTL.
+ *
+ * - Sharding: the key hash picks one of `shards` independent stripes,
+ *   each with its own mutex, LRU list and hash map, so concurrent
+ *   workers rarely contend (the hammer test in tests/test_cache.cc runs
+ *   it under TSan).
+ * - Budget: each shard owns byteBudget/shards; inserts evict from the
+ *   LRU tail until the new entry fits. Entry cost is caller-declared
+ *   (the integration points know their value layouts).
+ * - TTL: entries expire ttlSeconds after insertion, collected lazily at
+ *   lookup; with CacheConfig::clock set, expiry is deterministic under
+ *   a ManualTime (no real sleeping in tests).
+ * - Deadlines: a lookup carrying a bounded Deadline never blocks — an
+ *   already-expired budget skips the table entirely and a contended
+ *   shard lock is a counted bypass, so caching can only remove latency
+ *   from a query, never add queueing to one that cannot afford it.
+ * - Disabled (enabled = false): pass-through; gets miss (as bypasses),
+ *   puts are dropped. Integration points need no `if (cache)` forests.
+ *
+ * Thread-safe throughout. Not copyable (mutexes).
+ */
+template <typename K, typename V, typename Hash = std::hash<K>>
+class ShardedLruCache
+{
+  public:
+    /** @param name stable metrics label (`cache=<name>`). */
+    explicit ShardedLruCache(CacheConfig config, std::string name)
+        : config_(config), name_(std::move(name)),
+          epoch_(std::chrono::steady_clock::now())
+    {
+        const size_t count = config_.shards < 1 ? 1 : config_.shards;
+        perShardBudget_ = config_.byteBudget == 0
+            ? 0
+            : (config_.byteBudget + count - 1) / count;
+        shards_.reserve(count);
+        for (size_t i = 0; i < count; ++i)
+            shards_.push_back(std::make_unique<Shard>());
+    }
+
+    ShardedLruCache(const ShardedLruCache &) = delete;
+    ShardedLruCache &operator=(const ShardedLruCache &) = delete;
+
+    bool enabled() const { return config_.enabled; }
+    const CacheConfig &config() const { return config_; }
+    const std::string &name() const { return name_; }
+
+    /**
+     * Look up @p key; on a hit copy the value into @p out, promote the
+     * entry to most-recently-used, and return true.
+     *
+     * A bounded @p deadline makes the lookup non-blocking: an expired
+     * budget returns false without touching the shard, and a contended
+     * shard mutex is a counted bypass instead of a wait.
+     */
+    bool
+    get(const K &key, V &out, const Deadline &deadline = {})
+    {
+        if (!config_.enabled) {
+            bypasses_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        if (deadline.bounded() && deadline.expired()) {
+            bypasses_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        Shard &shard = shardOf(key);
+        std::unique_lock<std::mutex> lock(shard.mutex,
+                                          std::defer_lock);
+        if (deadline.bounded()) {
+            if (!lock.try_lock()) {
+                bypasses_.fetch_add(1, std::memory_order_relaxed);
+                return false;
+            }
+        } else {
+            lock.lock();
+        }
+        auto it = shard.map.find(key);
+        if (it == shard.map.end()) {
+            ++shard.stats.misses;
+            return false;
+        }
+        if (config_.ttlSeconds > 0.0 &&
+            nowSeconds() - it->second->insertedSeconds >
+                config_.ttlSeconds) {
+            shard.bytes -= it->second->bytes;
+            shard.lru.erase(it->second);
+            shard.map.erase(it);
+            ++shard.stats.expired;
+            ++shard.stats.evictedExpired;
+            return false;
+        }
+        // Promote to MRU; the list splice invalidates no iterators.
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        out = it->second->value;
+        ++shard.stats.hits;
+        return true;
+    }
+
+    /**
+     * Insert (or overwrite) @p key with @p value, declared to cost
+     * @p bytes. Evicts LRU entries until the value fits its shard's
+     * budget slice; a value larger than the whole slice is rejected.
+     */
+    void
+    put(const K &key, V value, size_t bytes)
+    {
+        if (!config_.enabled)
+            return;
+        Shard &shard = shardOf(key);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.map.find(key);
+        if (it != shard.map.end()) {
+            shard.bytes -= it->second->bytes;
+            shard.bytes += bytes;
+            it->second->value = std::move(value);
+            it->second->bytes = bytes;
+            it->second->insertedSeconds = nowSeconds();
+            shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+            ++shard.stats.replaced;
+            evictOverBudget(shard);
+            return;
+        }
+        if (perShardBudget_ != 0 && bytes > perShardBudget_) {
+            ++shard.stats.rejected;
+            return;
+        }
+        shard.lru.push_front(
+            Node{key, std::move(value), bytes, nowSeconds()});
+        shard.map.emplace(key, shard.lru.begin());
+        shard.bytes += bytes;
+        ++shard.stats.insertions;
+        evictOverBudget(shard);
+    }
+
+    /** Aggregated counters across all shards (thread-safe). */
+    CacheStats
+    stats() const
+    {
+        CacheStats out;
+        for (const auto &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard->mutex);
+            out.merge(shard->stats);
+            out.entries += shard->map.size();
+            out.bytes += shard->bytes;
+        }
+        out.bypasses += bypasses_.load(std::memory_order_relaxed);
+        return out;
+    }
+
+    /** Export stats() under this cache's name (see CacheStats). */
+    void
+    exportTo(MetricsRegistry &registry) const
+    {
+        stats().exportTo(registry, name_);
+    }
+
+    /** Live entries across all shards. */
+    size_t
+    entryCount() const
+    {
+        size_t n = 0;
+        for (const auto &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard->mutex);
+            n += shard->map.size();
+        }
+        return n;
+    }
+
+    /** Live bytes across all shards. */
+    size_t
+    byteCount() const
+    {
+        size_t n = 0;
+        for (const auto &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard->mutex);
+            n += shard->bytes;
+        }
+        return n;
+    }
+
+    /** Drop every entry (counters are kept). */
+    void
+    clear()
+    {
+        for (const auto &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard->mutex);
+            shard->map.clear();
+            shard->lru.clear();
+            shard->bytes = 0;
+        }
+    }
+
+    size_t shardCount() const { return shards_.size(); }
+
+  private:
+    struct Node
+    {
+        K key;
+        V value;
+        size_t bytes = 0;
+        double insertedSeconds = 0.0;
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::list<Node> lru; ///< front = most recently used
+        std::unordered_map<K, typename std::list<Node>::iterator, Hash>
+            map;
+        size_t bytes = 0;
+        CacheStats stats; ///< entries/bytes fields unused per shard
+    };
+
+    Shard &
+    shardOf(const K &key)
+    {
+        // splitmix64 finalizer spreads clustered std::hash values
+        // across shards.
+        uint64_t h = static_cast<uint64_t>(Hash{}(key));
+        h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+        h ^= h >> 31;
+        return *shards_[h % shards_.size()];
+    }
+
+    double
+    nowSeconds() const
+    {
+        if (config_.clock != nullptr)
+            return config_.clock->now();
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - epoch_)
+            .count();
+    }
+
+    /** Evict from the LRU tail until the shard fits its budget slice. */
+    void
+    evictOverBudget(Shard &shard)
+    {
+        if (perShardBudget_ == 0)
+            return;
+        while (shard.bytes > perShardBudget_ && !shard.lru.empty()) {
+            const Node &victim = shard.lru.back();
+            shard.bytes -= victim.bytes;
+            shard.map.erase(victim.key);
+            shard.lru.pop_back();
+            ++shard.stats.evictedLru;
+        }
+    }
+
+    CacheConfig config_;
+    std::string name_;
+    size_t perShardBudget_ = 0;
+    std::chrono::steady_clock::time_point epoch_;
+    /** Bypass outcomes are counted lock-free (no shard was touched). */
+    std::atomic<uint64_t> bypasses_{0};
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+} // namespace sirius
+
+namespace std {
+
+/** CacheKey128 is already a high-quality hash; fold the lanes. */
+template <> struct hash<sirius::CacheKey128>
+{
+    size_t
+    operator()(const sirius::CacheKey128 &key) const noexcept
+    {
+        return static_cast<size_t>(key.hi ^ (key.lo * 0x9e3779b97f4a7c15ULL));
+    }
+};
+
+} // namespace std
+
+#endif // SIRIUS_COMMON_CACHE_H

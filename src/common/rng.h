@@ -11,8 +11,11 @@
 #ifndef SIRIUS_COMMON_RNG_H
 #define SIRIUS_COMMON_RNG_H
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace sirius {
 
@@ -135,6 +138,54 @@ class Rng
     uint64_t state_[4] = {};
     bool haveSpare_ = false;
     double spare_ = 0.0;
+};
+
+/**
+ * Zipf(s)-distributed index sampler over [0, n).
+ *
+ * Rank r is drawn with probability proportional to 1/(r+1)^s, the
+ * standard model for skewed assistant traffic (a few popular queries
+ * dominate; s = 1.0 is classic Zipf, s = 0 degenerates to uniform).
+ * The load generators use it to produce realistic key-repetition
+ * patterns for the result caches: at Zipf(1.0) over 42 queries, the
+ * top query alone is ~23% of traffic.
+ *
+ * Draws are inverse-CDF over a precomputed cumulative table, so a
+ * sampler is immutable after construction and safe to share across
+ * threads (each thread supplies its own Rng).
+ */
+class ZipfSampler
+{
+  public:
+    /** Sampler over @p n items with exponent @p s (>= 0). */
+    ZipfSampler(size_t n, double s)
+    {
+        cumulative_.reserve(n);
+        double total = 0.0;
+        for (size_t rank = 0; rank < n; ++rank) {
+            total += 1.0 / std::pow(static_cast<double>(rank + 1), s);
+            cumulative_.push_back(total);
+        }
+    }
+
+    /** Next index in [0, size()); popular (low) indices dominate. */
+    size_t
+    draw(Rng &rng) const
+    {
+        const double target =
+            rng.uniform() * cumulative_.back();
+        const auto it = std::lower_bound(cumulative_.begin(),
+                                         cumulative_.end(), target);
+        const size_t idx =
+            static_cast<size_t>(it - cumulative_.begin());
+        return idx < cumulative_.size() ? idx
+                                        : cumulative_.size() - 1;
+    }
+
+    size_t size() const { return cumulative_.size(); }
+
+  private:
+    std::vector<double> cumulative_;
 };
 
 } // namespace sirius

@@ -26,6 +26,8 @@ ConcurrentServer::ConcurrentServer(const SiriusPipeline &pipeline,
         batcher_ = std::make_unique<BatchScheduler>(
             &pipeline.asr().scorer(), &pipeline.imm(), config_.batching);
     }
+    if (config_.cache.enabled)
+        caches_ = std::make_unique<PipelineCaches>(config_.cache);
 }
 
 ConcurrentServer::~ConcurrentServer()
@@ -95,6 +97,7 @@ ConcurrentServer::serve(const Query &query, const Deadline &deadline,
     options.retry = config_.retry;
     options.faults = config_.faults;
     options.batcher = batcher_.get();
+    options.caches = caches_.get();
 
     // Queue wait is measured for every query; for sampled ones it also
     // becomes the trace's first child span (opened at admission, closed
@@ -165,6 +168,8 @@ ConcurrentServer::snapshot() const
     out.spans = collector_.snapshot();
     if (batcher_ != nullptr)
         out.batching = batcher_->snapshot();
+    if (caches_ != nullptr)
+        out.caches = caches_->snapshot();
     return out;
 }
 
@@ -190,6 +195,8 @@ ConcurrentServer::exportMetrics(MetricsRegistry &registry,
         .set(collector_.sampleRate());
     if (batcher_ != nullptr)
         batcher_->snapshot().exportTo(registry);
+    if (caches_ != nullptr)
+        caches_->exportTo(registry);
 }
 
 double
@@ -202,7 +209,7 @@ ConcurrentServer::serviceRate() const
 
 MeasuredLoadResult
 runOpenLoop(ConcurrentServer &server, double offered_qps, size_t requests,
-            uint64_t seed)
+            uint64_t seed, double zipf_skew)
 {
     if (offered_qps <= 0.0)
         fatal("runOpenLoop: offered load must be positive");
@@ -210,6 +217,12 @@ runOpenLoop(ConcurrentServer &server, double offered_qps, size_t requests,
     using Clock = std::chrono::steady_clock;
     const auto &queries = standardQuerySet();
     Rng rng(seed);
+    // The skewed query draw gets its own stream so turning it on (or
+    // changing the exponent) leaves the Poisson arrival times intact —
+    // cache-on and cache-off runs then see identical arrival processes.
+    const ZipfSampler zipf(queries.size(),
+                           zipf_skew > 0.0 ? zipf_skew : 0.0);
+    Rng query_rng(seed ^ 0x5a1fULL);
 
     MeasuredLoadResult result;
     result.offeredQps = offered_qps;
@@ -232,8 +245,10 @@ runOpenLoop(ConcurrentServer &server, double offered_qps, size_t requests,
             start + std::chrono::duration_cast<Clock::duration>(
                         std::chrono::duration<double>(arrival)));
         const auto submitted = Clock::now();
+        const size_t pick = zipf_skew > 0.0 ? zipf.draw(query_rng)
+                                            : i % queries.size();
         const bool admitted = server.submit(
-            queries[i % queries.size()],
+            queries[pick],
             [&sojourn_mutex, &sojourns, submitted](const SiriusResult &) {
                 const double s = std::chrono::duration<double>(
                                      Clock::now() - submitted)
@@ -267,10 +282,13 @@ runOpenLoop(ConcurrentServer &server, double offered_qps, size_t requests,
 
 MeasuredLoadResult
 runClosedLoop(ConcurrentServer &server, size_t clients,
-              size_t queries_per_client)
+              size_t queries_per_client, double zipf_skew,
+              uint64_t seed)
 {
     using Clock = std::chrono::steady_clock;
     const auto &queries = standardQuerySet();
+    const ZipfSampler zipf(queries.size(),
+                           zipf_skew > 0.0 ? zipf_skew : 0.0);
 
     MeasuredLoadResult result;
     result.offered =
@@ -283,11 +301,14 @@ runClosedLoop(ConcurrentServer &server, size_t clients,
     pool.reserve(clients);
     for (size_t c = 0; c < clients; ++c) {
         pool.emplace_back([&, c] {
+            Rng rng(seed + 0x9e3779b97f4a7c15ULL * (c + 1));
             std::vector<double> mine;
             mine.reserve(queries_per_client);
             for (size_t i = 0; i < queries_per_client; ++i) {
-                const auto &query =
-                    queries[(c * queries_per_client + i) % queries.size()];
+                const size_t pick = zipf_skew > 0.0
+                    ? zipf.draw(rng)
+                    : (c * queries_per_client + i) % queries.size();
+                const auto &query = queries[pick];
                 Stopwatch watch;
                 server.handle(query);
                 mine.push_back(watch.seconds());

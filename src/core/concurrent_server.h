@@ -21,11 +21,13 @@
 #include <memory>
 #include <mutex>
 
+#include "common/cache.h"
 #include "common/metrics.h"
 #include "common/profiler.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "core/batch_scheduler.h"
+#include "core/pipeline_cache.h"
 #include "core/server.h"
 
 namespace sirius::core {
@@ -67,6 +69,15 @@ struct ConcurrentServerConfig
      */
     BatchConfig batching;
     /**
+     * Per-layer result caching (acoustic scores, QA answers, image
+     * matches). Disabled by default: caching changes *which* requests
+     * pay for computation, so baselines and robustness experiments stay
+     * cache-free unless a run opts in (--cache in the load generators).
+     * Keys are exact-content hashes, so enabling it never changes any
+     * individual query's result (see docs/CACHING.md).
+     */
+    CacheConfig cache;
+    /**
      * Added to every trace id (which otherwise starts at 1 per
      * server), so traces from several servers can share one JSONL file
      * without id collisions.
@@ -91,6 +102,8 @@ struct ConcurrentServerStats
     std::vector<SpanRecord> spans;
     /** Batch-queue accounting (all zeros when batching is disabled). */
     BatchSnapshot batching;
+    /** Per-layer cache accounting (all zeros when caching is disabled). */
+    PipelineCacheSnapshot caches;
 };
 
 /**
@@ -155,6 +168,9 @@ class ConcurrentServer
     /** The shared micro-batcher; null when batching is disabled. */
     const BatchScheduler *batcher() const { return batcher_.get(); }
 
+    /** The shared per-layer caches; null when caching is disabled. */
+    const PipelineCaches *caches() const { return caches_.get(); }
+
     /**
      * Export the server's statistics into @p registry under @p base
      * labels — the same mapping snapshot().metrics uses, for callers
@@ -190,6 +206,9 @@ class ConcurrentServer
      */
     std::unique_ptr<BatchScheduler> batcher_;
 
+    /** Declared before pool_: workers probe the caches while serving. */
+    std::unique_ptr<PipelineCaches> caches_;
+
     ThreadPool pool_; ///< last member: workers stop before state dies
 };
 
@@ -214,10 +233,17 @@ struct MeasuredLoadResult
  * round robin through the standard query set. Sojourn time spans
  * submission to completion, i.e. queueing plus service — directly
  * comparable to dcsim::mm1Latency at the same load.
+ *
+ * @p zipf_skew > 0 replaces the round-robin query selection with
+ * Zipf(zipf_skew)-distributed draws over the standard set (popular
+ * queries dominate, the realistic regime for result caches); 0 keeps
+ * the round-robin default. The query draw uses its own RNG stream, so
+ * the Poisson arrival process is unchanged at equal seeds.
  */
 MeasuredLoadResult runOpenLoop(ConcurrentServer &server,
                                double offered_qps, size_t requests,
-                               uint64_t seed = 31337);
+                               uint64_t seed = 31337,
+                               double zipf_skew = 0.0);
 
 /**
  * Closed-loop load generator: @p clients threads each issue
@@ -225,9 +251,16 @@ MeasuredLoadResult runOpenLoop(ConcurrentServer &server,
  * every response before sending the next (think: one blocking session
  * per user). Sojourn equals service plus any queue wait behind other
  * clients; offeredQps is 0 because a closed loop has no fixed rate.
+ *
+ * @p zipf_skew > 0 replaces each client's round-robin query selection
+ * with Zipf(zipf_skew)-distributed draws over the standard set (seeded
+ * per client from @p seed, so runs are reproducible); 0 keeps the
+ * round-robin default.
  */
 MeasuredLoadResult runClosedLoop(ConcurrentServer &server, size_t clients,
-                                 size_t queries_per_client);
+                                 size_t queries_per_client,
+                                 double zipf_skew = 0.0,
+                                 uint64_t seed = 424242);
 
 } // namespace sirius::core
 

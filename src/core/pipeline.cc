@@ -7,6 +7,7 @@
 #include "common/strings.h"
 #include "common/trace.h"
 #include "core/batch_scheduler.h"
+#include "core/pipeline_cache.h"
 #include "nlp/tokenizer.h"
 #include "search/corpus.h"
 #include "vision/landmarks.h"
@@ -208,8 +209,11 @@ SiriusPipeline::processRobust(const audio::Waveform &wave,
         Span span("asr", SpanKind::Stage);
         asr_ok = attemptStage(
             options, "asr", result.stageRetries, [&](bool corrupted) {
-                auto asr = asr_->transcribe(wave, options.deadline,
-                                            options.batcher);
+                auto asr = asr_->transcribe(
+                    wave, options.deadline, options.batcher,
+                    options.caches != nullptr
+                        ? &options.caches->acousticScores()
+                        : nullptr);
                 if (corrupted && options.faults != nullptr)
                     asr.text = options.faults->corrupt(asr.text);
                 result.transcript = asr.text;
@@ -254,8 +258,11 @@ SiriusPipeline::processRobust(const audio::Waveform &wave,
             const bool imm_ok = attemptStage(
                 options, "imm", result.stageRetries,
                 [&](bool corrupted) {
-                    auto imm = imm_->match(*image, options.deadline,
-                                           options.batcher);
+                    auto imm = imm_->match(
+                        *image, options.deadline, options.batcher,
+                        options.caches != nullptr
+                            ? &options.caches->matches()
+                            : nullptr);
                     // A corrupted match is untrustworthy: discard it
                     // rather than augment with a wrong landmark.
                     if (corrupted)
@@ -290,18 +297,50 @@ SiriusPipeline::processRobust(const audio::Waveform &wave,
         // so it counts as shed; a cut-short pass that still picked an
         // answer from partial evidence counts as served.
         bool qa_cut_empty = false;
+        bool qa_cache_hit = false;
+        AnswerCache *answers = options.caches != nullptr
+            ? &options.caches->answers()
+            : nullptr;
         Span span("qa", SpanKind::Stage);
         const bool qa_ok = attemptStage(
             options, "qa", result.stageRetries, [&](bool corrupted) {
+                // The answer cache is probed inside the attempt so the
+                // fault machinery is unchanged: latency faults still
+                // stall, failures still retry, and a corrupted attempt
+                // bypasses the cache both ways (never serves a clean
+                // answer in place of the injected corruption, never
+                // stores the corrupted one).
+                const CacheKey128 key = answers != nullptr
+                    ? answerCacheKey(question)
+                    : CacheKey128{};
+                if (!corrupted && answers != nullptr) {
+                    CachedAnswer cached;
+                    if (answers->get(key, cached, options.deadline)) {
+                        qa_cache_hit = true;
+                        result.answer = cached.answer;
+                        result.timings.qa = {};
+                        qa_cut_empty = false;
+                        return;
+                    }
+                }
                 auto qa = qa_->answer(question, options.deadline);
-                if (corrupted && options.faults != nullptr)
+                if (corrupted && options.faults != nullptr) {
                     qa.answer = options.faults->corrupt(qa.answer);
+                } else if (answers != nullptr && !qa.cutShort &&
+                           !qa.answer.empty()) {
+                    answers->put(
+                        key,
+                        CachedAnswer{qa.answer, qa.confidence},
+                        answerCacheBytes(
+                            CachedAnswer{qa.answer, qa.confidence}));
+                }
                 result.answer = qa.answer;
                 result.timings.qa = qa.timings;
                 qa_cut_empty = qa.cutShort && qa.answer.empty();
             });
         qa_shed = !qa_ok || qa_cut_empty;
         span.attr("shed", qa_shed ? "1" : "0");
+        span.attr("cache", qa_cache_hit ? "hit" : "miss");
     }
     if (qa_shed) {
         result.answer.clear();

@@ -64,6 +64,7 @@ inline constexpr size_t kDegradationLevels = 5;
 const char *degradationName(Degradation degradation);
 
 class BatchScheduler;
+class PipelineCaches;
 
 /**
  * Robustness policy for one process() call: the latency budget, the
@@ -82,6 +83,14 @@ struct ProcessOptions
      * bitwise-identical either way (see core::BatchScheduler).
      */
     BatchScheduler *batcher = nullptr;
+    /**
+     * Per-layer result caches (acoustic scores, answers, image
+     * matches); nullptr = no caching. Not owned; shared across workers
+     * when set on a server. Keys are exact-content hashes, so cached
+     * results are bitwise-identical to recomputed ones (see
+     * core::PipelineCaches and docs/CACHING.md).
+     */
+    PipelineCaches *caches = nullptr;
 };
 
 /** Per-stage latency of one end-to-end query, in seconds. */

@@ -1,0 +1,62 @@
+#include "core/pipeline_cache.h"
+
+#include "common/strings.h"
+
+namespace sirius::core {
+
+CacheKey128
+answerCacheKey(const std::string &question)
+{
+    const std::string normalized = join(split(toLower(question)));
+    return mixKey(hashBytes128(normalized.data(), normalized.size()),
+                  normalized.size());
+}
+
+size_t
+answerCacheBytes(const CachedAnswer &answer)
+{
+    return answer.answer.size() + sizeof(CachedAnswer) + 64;
+}
+
+CacheStats
+PipelineCacheSnapshot::total() const
+{
+    CacheStats out = acousticScores;
+    out.merge(answers);
+    out.merge(matches);
+    return out;
+}
+
+PipelineCaches::PipelineCaches(const CacheConfig &config)
+    : acousticScores_(config, "acoustic_scores"),
+      answers_(config, "answers"), matches_(config, "matches")
+{
+}
+
+PipelineCacheSnapshot
+PipelineCaches::snapshot() const
+{
+    PipelineCacheSnapshot out;
+    out.acousticScores = acousticScores_.stats();
+    out.answers = answers_.stats();
+    out.matches = matches_.stats();
+    return out;
+}
+
+void
+PipelineCaches::exportTo(MetricsRegistry &registry) const
+{
+    acousticScores_.exportTo(registry);
+    answers_.exportTo(registry);
+    matches_.exportTo(registry);
+}
+
+void
+PipelineCaches::clear()
+{
+    acousticScores_.clear();
+    answers_.clear();
+    matches_.clear();
+}
+
+} // namespace sirius::core

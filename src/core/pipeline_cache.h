@@ -1,0 +1,91 @@
+/**
+ * @file
+ * PipelineCaches: the server-owned bundle of per-layer result caches
+ * (docs/CACHING.md).
+ *
+ * One CacheConfig fans out into three ShardedLruCache instances, one
+ * per layer of the pipeline:
+ *  - `acoustic_scores` (speech): feature-frame hash -> per-state score
+ *    vector, probed inside AsrService::transcribe;
+ *  - `answers` (qa): normalized question text -> QA answer, probed in
+ *    the pipeline after ASR so voice and typed paths share entries;
+ *  - `matches` (vision): image content hash -> match outcome, probed
+ *    inside ImmService::match.
+ *
+ * The bundle lives in core/ because only the server sees all three
+ * layers at once; speech/ and vision/ receive their cache by pointer
+ * (like the batching hooks) and stay free of core/ dependencies.
+ */
+
+#ifndef SIRIUS_CORE_PIPELINE_CACHE_H
+#define SIRIUS_CORE_PIPELINE_CACHE_H
+
+#include <string>
+
+#include "common/cache.h"
+#include "speech/score_cache.h"
+#include "vision/match_cache.h"
+
+namespace sirius::core {
+
+/** The reusable part of a QA answer (timings are per-execution). */
+struct CachedAnswer
+{
+    std::string answer;
+    double confidence = 0.0;
+};
+
+/** Normalized-question key -> answer. */
+using AnswerCache = ShardedLruCache<CacheKey128, CachedAnswer>;
+
+/**
+ * Content key of one QA question: case- and whitespace-normalized so
+ * "WHO wrote  hamlet" and "who wrote hamlet" share an entry. Keyed on
+ * the *augmented* question (after IMM landmark substitution), so two
+ * VIQ queries only share an answer when they resolved to the same
+ * landmark.
+ */
+CacheKey128 answerCacheKey(const std::string &question);
+
+/** Declared byte cost of one cached answer. */
+size_t answerCacheBytes(const CachedAnswer &answer);
+
+/** Point-in-time counters of all three caches. */
+struct PipelineCacheSnapshot
+{
+    CacheStats acousticScores;
+    CacheStats answers;
+    CacheStats matches;
+
+    /** All three layers folded together. */
+    CacheStats total() const;
+};
+
+/** The three per-layer caches a server threads through its pipeline. */
+class PipelineCaches
+{
+  public:
+    /** All three caches share @p config (budget is per cache). */
+    explicit PipelineCaches(const CacheConfig &config);
+
+    speech::AcousticScoreCache &acousticScores() { return acousticScores_; }
+    AnswerCache &answers() { return answers_; }
+    vision::MatchCache &matches() { return matches_; }
+
+    PipelineCacheSnapshot snapshot() const;
+
+    /** Export all three caches' sirius_cache_* metrics. */
+    void exportTo(MetricsRegistry &registry) const;
+
+    /** Drop every entry in every layer (counters are kept). */
+    void clear();
+
+  private:
+    speech::AcousticScoreCache acousticScores_;
+    AnswerCache answers_;
+    vision::MatchCache matches_;
+};
+
+} // namespace sirius::core
+
+#endif // SIRIUS_CORE_PIPELINE_CACHE_H

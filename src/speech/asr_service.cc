@@ -135,7 +135,8 @@ AsrService::train(const std::vector<std::string> &sentences,
 AsrResult
 AsrService::transcribe(const audio::Waveform &wave,
                        const Deadline &deadline,
-                       FrameScoreBatcher *batcher) const
+                       FrameScoreBatcher *batcher,
+                       AcousticScoreCache *cache) const
 {
     AsrResult result;
 
@@ -156,7 +157,57 @@ AsrService::transcribe(const audio::Waveform &wave,
         Span span("acoustic_scoring", SpanKind::Kernel);
         span.attr("backend", scorer_->name());
         ScopedTimer timer(result.timings.scoring);
-        if (batcher != nullptr && !frames.empty()) {
+        const bool caching = cache != nullptr && cache->enabled();
+        if (caching && !frames.empty()) {
+            // Cached path: probe every frame by its exact-content key,
+            // then score only the misses. Hits bypass the batch queue
+            // entirely — only the compacted miss set is handed to the
+            // batcher (or the serial loop).
+            scores.assign(frames.size(), {});
+            std::vector<CacheKey128> keys(frames.size());
+            std::vector<size_t> miss;
+            for (size_t i = 0; i < frames.size(); ++i) {
+                keys[i] = frameScoreKey(frames[i]);
+                if (!cache->get(keys[i], scores[i], deadline))
+                    miss.push_back(i);
+            }
+            span.attr("cache_hits",
+                      std::to_string(frames.size() - miss.size()));
+            span.attr("cache_misses", std::to_string(miss.size()));
+            if (!miss.empty() && batcher != nullptr) {
+                std::vector<audio::FeatureVector> miss_frames;
+                miss_frames.reserve(miss.size());
+                for (const size_t i : miss)
+                    miss_frames.push_back(frames[i]);
+                auto outcome =
+                    batcher->scoreFrames(miss_frames, deadline);
+                span.attr("batch_size",
+                          std::to_string(outcome.batchSize));
+                span.attr("flush_reason", outcome.flushReason);
+                result.cutShort = outcome.cutShort;
+                if (!outcome.cutShort) {
+                    for (size_t j = 0; j < miss.size(); ++j)
+                        scores[miss[j]] =
+                            std::move(outcome.scores[j]);
+                }
+            } else if (!miss.empty()) {
+                for (size_t j = 0; j < miss.size(); ++j) {
+                    if (deadline.bounded() && (j & 7u) == 0 &&
+                        deadline.expired()) {
+                        result.cutShort = true;
+                        break;
+                    }
+                    scores[miss[j]] = scorer_->scoreAll(frames[miss[j]]);
+                }
+            }
+            // Store only complete, clean scorings: a cut-short
+            // utterance leaves gaps, and gaps must never be cached.
+            if (!result.cutShort) {
+                for (const size_t i : miss)
+                    cache->put(keys[i], scores[i],
+                               frameScoreBytes(scores[i]));
+            }
+        } else if (batcher != nullptr && !frames.empty()) {
             // Cross-query path: block until the scheduler executes the
             // batch holding this utterance. A deadline that expires
             // before execution comes back as cutShort with no scores —

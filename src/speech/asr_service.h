@@ -22,6 +22,7 @@
 #include "speech/acoustic_model.h"
 #include "speech/decoder.h"
 #include "speech/language_model.h"
+#include "speech/score_cache.h"
 
 namespace sirius::speech {
 
@@ -143,10 +144,18 @@ class AsrService
      * (cross-query batching); feature extraction and Viterbi search
      * stay local because they are per-utterance. Results are
      * bitwise-identical either way.
+     *
+     * When @p cache is non-null and enabled, each frame's score vector
+     * is looked up by its exact-content key first: frames that hit skip
+     * scoring entirely (bypassing the batch queue), frames that miss
+     * are scored as before — batched when a batcher is supplied, serial
+     * otherwise — and stored for reuse. Since a key only matches a
+     * bit-identical frame, cached results are bitwise-identical too.
      */
     AsrResult transcribe(const audio::Waveform &wave,
                          const Deadline &deadline = {},
-                         FrameScoreBatcher *batcher = nullptr) const;
+                         FrameScoreBatcher *batcher = nullptr,
+                         AcousticScoreCache *cache = nullptr) const;
 
     /** Synthesize @p text and transcribe it (testing convenience). */
     AsrResult transcribeText(const std::string &text) const;

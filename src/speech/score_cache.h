@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Acoustic-score caching: the speech layer's slice of the cross-layer
+ * result cache (docs/CACHING.md).
+ *
+ * Acoustic scoring dominates ASR cost (Figure 9) and is a pure function
+ * of one feature frame, so identical frames — which skewed traffic
+ * produces in bulk, since repeated queries synthesize identical audio —
+ * can reuse their per-state score vectors. The cache sits in front of
+ * AcousticScorer inside AsrService::transcribe and composes with
+ * cross-query batching: frames that hit bypass the batch queue
+ * entirely, frames that miss still batch.
+ *
+ * Like the batching hooks, this header keeps speech/ free of any
+ * dependency on core/: the cache type lives in common/ and the server
+ * (core::PipelineCaches) owns the instance.
+ */
+
+#ifndef SIRIUS_SPEECH_SCORE_CACHE_H
+#define SIRIUS_SPEECH_SCORE_CACHE_H
+
+#include <cmath>
+#include <vector>
+
+#include "audio/mfcc.h"
+#include "common/cache.h"
+
+namespace sirius::speech {
+
+/** Frame-content key -> per-state acoustic score vector. */
+using AcousticScoreCache =
+    ShardedLruCache<CacheKey128, std::vector<float>>;
+
+/**
+ * Content key of one feature frame.
+ *
+ * With @p grain == 0 (the default everywhere in the server) the key
+ * hashes the frame's exact float bit patterns, so two frames share a
+ * key only when scoreAll would produce bit-identical outputs — this is
+ * what preserves the pipeline's bitwise-identical guarantee through the
+ * cache. A positive @p grain buckets each coefficient to multiples of
+ * grain before hashing, trading exactness for hit rate on near-equal
+ * frames (an ASRPU-style approximation; see docs/CACHING.md before
+ * turning it on).
+ */
+inline CacheKey128
+frameScoreKey(const audio::FeatureVector &frame, double grain = 0.0)
+{
+    if (grain <= 0.0) {
+        return mixKey(hashBytes128(frame.data(),
+                                   frame.size() * sizeof(float)),
+                      frame.size());
+    }
+    std::vector<int32_t> buckets;
+    buckets.reserve(frame.size());
+    for (const float v : frame) {
+        buckets.push_back(static_cast<int32_t>(
+            std::lround(static_cast<double>(v) / grain)));
+    }
+    return mixKey(hashBytes128(buckets.data(),
+                               buckets.size() * sizeof(int32_t)),
+                  frame.size());
+}
+
+/** Declared byte cost of one cached score vector. */
+inline size_t
+frameScoreBytes(const std::vector<float> &scores)
+{
+    // Vector payload plus a fixed estimate of node/map overhead, so the
+    // byte budget tracks real memory, not just float counts.
+    return scores.size() * sizeof(float) + 64;
+}
+
+} // namespace sirius::speech
+
+#endif // SIRIUS_SPEECH_SCORE_CACHE_H

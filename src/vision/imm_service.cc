@@ -28,9 +28,26 @@ ImmService::build(int num_landmarks, SurfConfig config)
 
 ImmResult
 ImmService::match(const Image &image, const Deadline &deadline,
-                  DescriptorMatchBatcher *batcher) const
+                  DescriptorMatchBatcher *batcher,
+                  MatchCache *cache) const
 {
     ImmResult result;
+
+    const bool caching = cache != nullptr && cache->enabled();
+    CacheKey128 cache_key{};
+    if (caching) {
+        Span span("imm_cache_lookup", SpanKind::Kernel);
+        cache_key = imageCacheKey(image);
+        CachedMatch cached;
+        if (cache->get(cache_key, cached, deadline)) {
+            span.attr("outcome", "hit");
+            result.bestId = cached.bestId;
+            result.bestMatches = cached.bestMatches;
+            result.queryKeypoints = cached.queryKeypoints;
+            return result;
+        }
+        span.attr("outcome", "miss");
+    }
 
     std::vector<Keypoint> keypoints;
     std::unique_ptr<IntegralImage> integral;
@@ -86,6 +103,15 @@ ImmService::match(const Image &image, const Deadline &deadline,
                 }
             }
         }
+    }
+    // Only complete outcomes are cached: a cut-short scan saw part of
+    // the database, and serving it from cache later would freeze that
+    // partial answer for inputs whose budget would have allowed more.
+    if (caching && !result.cutShort) {
+        cache->put(cache_key,
+                   CachedMatch{result.bestId, result.bestMatches,
+                               result.queryKeypoints},
+                   matchCacheBytes());
     }
     return result;
 }

@@ -16,6 +16,7 @@
 
 #include "common/deadline.h"
 #include "vision/landmarks.h"
+#include "vision/match_cache.h"
 #include "vision/matcher.h"
 #include "vision/surf.h"
 
@@ -109,9 +110,18 @@ class ImmService
      * (cross-query batching); SURF detection/description stay local
      * because they are per-image. Results are bitwise-identical either
      * way.
+     *
+     * When @p cache is non-null and enabled, the match outcome is
+     * looked up by a hash of the exact pixel content first: a hit skips
+     * the whole FE -> FD -> ANN pipeline (including the batch queue)
+     * and returns the previously computed outcome with zero timings; a
+     * miss computes as before and stores the clean (non-cut-short)
+     * outcome. The database is immutable after build, so cached
+     * outcomes never go stale.
      */
     ImmResult match(const Image &image, const Deadline &deadline = {},
-                    DescriptorMatchBatcher *batcher = nullptr) const;
+                    DescriptorMatchBatcher *batcher = nullptr,
+                    MatchCache *cache = nullptr) const;
 
     /**
      * Scan the database once for a batch of descriptor sets. Item i is

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Image-match caching: the vision layer's slice of the cross-layer
+ * result cache (docs/CACHING.md).
+ *
+ * IMM's cost is SURF extraction plus the ANN database scan, and both
+ * are pure functions of the input image — the landmark database is
+ * immutable after build. Repeated images (the same landmark photographed
+ * or re-sent) therefore reuse the full match outcome, keyed by a
+ * 128-bit hash of the raw pixel content. A hit bypasses the entire
+ * FE -> FD -> ANN pipeline including the batch queue; a miss computes
+ * as before (batched or serial) and stores the clean outcome.
+ *
+ * Like the batching hooks, this header keeps vision/ free of any
+ * dependency on core/: the cache type lives in common/ and the server
+ * (core::PipelineCaches) owns the instance.
+ */
+
+#ifndef SIRIUS_VISION_MATCH_CACHE_H
+#define SIRIUS_VISION_MATCH_CACHE_H
+
+#include "common/cache.h"
+#include "vision/image.h"
+
+namespace sirius::vision {
+
+/** The reusable part of an ImmResult (timings are per-execution). */
+struct CachedMatch
+{
+    int bestId = -1;
+    size_t bestMatches = 0;
+    size_t queryKeypoints = 0;
+};
+
+/** Image-content key -> match outcome. */
+using MatchCache = ShardedLruCache<CacheKey128, CachedMatch>;
+
+/**
+ * Content key of one query image: exact pixel bytes plus dimensions
+ * (two images with equal pixel streams but different shapes must not
+ * collide).
+ */
+inline CacheKey128
+imageCacheKey(const Image &image)
+{
+    const auto &pixels = image.pixels();
+    return mixKey(hashBytes128(pixels.data(), pixels.size()),
+                  (static_cast<uint64_t>(
+                       static_cast<uint32_t>(image.width()))
+                   << 32) |
+                      static_cast<uint32_t>(image.height()));
+}
+
+/** Declared byte cost of one cached match outcome. */
+inline size_t
+matchCacheBytes()
+{
+    return sizeof(CachedMatch) + 64;
+}
+
+} // namespace sirius::vision
+
+#endif // SIRIUS_VISION_MATCH_CACHE_H

@@ -1,0 +1,583 @@
+/**
+ * @file
+ * Unit, differential, and end-to-end tests for the cross-layer result
+ * cache (common::ShardedLruCache and its three integrations).
+ *
+ * The cache's contract mirrors the batching layer's: it may only change
+ * *which* requests pay for computation, never what any request gets
+ * back. The unit tests pin the LRU/TTL/budget/deadline mechanics
+ * (deterministically, under ManualTime), the hammer test runs the
+ * sharded table under TSan, and the per-layer and e2e differential
+ * tests enforce hit ≡ miss — including against the golden fixtures the
+ * batching layer already pins, with caching and batching enabled
+ * together.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cache.h"
+#include "common/fault_injection.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "core/concurrent_server.h"
+#include "core/pipeline_cache.h"
+#include "speech/score_cache.h"
+#include "vision/landmarks.h"
+#include "vision/match_cache.h"
+
+namespace {
+
+using namespace sirius;
+using namespace sirius::core;
+
+// ---------------------------------------------------------------------------
+// Content keys.
+
+TEST(CacheKeys, HashIsDeterministicAndContentSensitive)
+{
+    const std::string a = "the quick brown fox";
+    const std::string b = "the quick brown fix";
+    const auto ka1 = hashBytes128(a.data(), a.size());
+    const auto ka2 = hashBytes128(a.data(), a.size());
+    const auto kb = hashBytes128(b.data(), b.size());
+    EXPECT_EQ(ka1, ka2);
+    EXPECT_NE(ka1, kb);
+    // Seeds separate streams; mixKey separates payload-equal inputs.
+    EXPECT_NE(hashBytes128(a.data(), a.size(), 1),
+              hashBytes128(a.data(), a.size(), 2));
+    EXPECT_NE(mixKey(ka1, 7), mixKey(ka1, 8));
+}
+
+TEST(CacheKeys, FrameKeyExactByDefaultQuantizedOnRequest)
+{
+    audio::FeatureVector frame = {1.0f, -2.5f, 0.125f};
+    audio::FeatureVector near = frame;
+    near[1] += 1e-6f; // not bit-identical
+
+    // Default (grain 0): exact float bits — near-equal frames must NOT
+    // share a key, or hits would not be bitwise-identical to misses.
+    EXPECT_EQ(speech::frameScoreKey(frame), speech::frameScoreKey(frame));
+    EXPECT_NE(speech::frameScoreKey(frame), speech::frameScoreKey(near));
+
+    // Opt-in quantization buckets near-equal frames together.
+    EXPECT_EQ(speech::frameScoreKey(frame, 0.5),
+              speech::frameScoreKey(near, 0.5));
+    EXPECT_NE(speech::frameScoreKey(frame, 0.5),
+              speech::frameScoreKey({9.0f, -2.5f, 0.125f}, 0.5));
+}
+
+TEST(CacheKeys, AnswerKeyNormalizesCaseAndWhitespace)
+{
+    EXPECT_EQ(answerCacheKey("WHO wrote  hamlet"),
+              answerCacheKey("who wrote hamlet"));
+    EXPECT_EQ(answerCacheKey("  who wrote hamlet \n"),
+              answerCacheKey("who wrote hamlet"));
+    EXPECT_NE(answerCacheKey("who wrote hamlet"),
+              answerCacheKey("who wrote macbeth"));
+}
+
+TEST(CacheKeys, ImageKeyIncludesDimensions)
+{
+    // Same pixel byte stream, different shapes: must not collide.
+    vision::Image wide(8, 2, 37);
+    vision::Image tall(2, 8, 37);
+    vision::Image same(8, 2, 37);
+    EXPECT_EQ(vision::imageCacheKey(wide), vision::imageCacheKey(same));
+    EXPECT_NE(vision::imageCacheKey(wide), vision::imageCacheKey(tall));
+    same.set(3, 1, 38);
+    EXPECT_NE(vision::imageCacheKey(wide), vision::imageCacheKey(same));
+}
+
+// ---------------------------------------------------------------------------
+// Zipf sampler.
+
+TEST(Zipf, SkewFavorsLowRanksDeterministically)
+{
+    const ZipfSampler zipf(42, 1.0);
+    Rng rng(7);
+    std::vector<size_t> counts(42, 0);
+    for (int i = 0; i < 20000; ++i)
+        ++counts[zipf.draw(rng)];
+    // Rank 0 carries ~1/H(42) ~ 23% of the mass at s = 1.
+    EXPECT_GT(counts[0], counts[1]);
+    EXPECT_GT(counts[1], counts[10]);
+    EXPECT_GT(counts[0], 20000 / 5);
+    // Same seed, same stream.
+    Rng rng2(7);
+    const ZipfSampler zipf2(42, 1.0);
+    for (int i = 0; i < 100; ++i) {
+        Rng probe(static_cast<uint64_t>(i));
+        Rng probe2(static_cast<uint64_t>(i));
+        EXPECT_EQ(zipf.draw(probe), zipf2.draw(probe2));
+    }
+}
+
+TEST(Zipf, ZeroSkewIsNearUniform)
+{
+    const ZipfSampler zipf(10, 0.0);
+    Rng rng(99);
+    std::vector<size_t> counts(10, 0);
+    for (int i = 0; i < 50000; ++i)
+        ++counts[zipf.draw(rng)];
+    for (size_t c : counts) {
+        EXPECT_GT(c, 4000u);
+        EXPECT_LT(c, 6000u);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedLruCache mechanics (deterministic; single shard where order
+// matters).
+
+using IntCache = ShardedLruCache<uint64_t, std::string>;
+
+CacheConfig
+singleShard(size_t byte_budget, double ttl = 0.0,
+            const ManualTime *clock = nullptr)
+{
+    CacheConfig config;
+    config.enabled = true;
+    config.shards = 1;
+    config.byteBudget = byte_budget;
+    config.ttlSeconds = ttl;
+    config.clock = clock;
+    return config;
+}
+
+TEST(ShardedLru, DisabledIsPassThrough)
+{
+    CacheConfig config; // enabled = false by default
+    IntCache cache(config, "off");
+    cache.put(1, "x", 10);
+    std::string out;
+    EXPECT_FALSE(cache.get(1, out));
+    EXPECT_EQ(cache.entryCount(), 0u);
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.bypasses, 1u);
+    EXPECT_EQ(stats.misses, 0u);
+    EXPECT_EQ(stats.insertions, 0u);
+}
+
+TEST(ShardedLru, LruEvictionOrderRespectsRecency)
+{
+    IntCache cache(singleShard(300), "lru");
+    cache.put(1, "a", 100);
+    cache.put(2, "b", 100);
+    cache.put(3, "c", 100);
+    std::string out;
+    ASSERT_TRUE(cache.get(1, out)); // promote 1 to MRU: order 1,3,2
+    cache.put(4, "d", 100);         // over budget: evict LRU tail = 2
+
+    EXPECT_FALSE(cache.get(2, out));
+    EXPECT_TRUE(cache.get(1, out));
+    EXPECT_EQ(out, "a");
+    EXPECT_TRUE(cache.get(3, out));
+    EXPECT_TRUE(cache.get(4, out));
+    EXPECT_EQ(cache.stats().evictedLru, 1u);
+    EXPECT_EQ(cache.byteCount(), 300u);
+}
+
+TEST(ShardedLru, ByteBudgetIsNeverExceededAndOversizeIsRejected)
+{
+    IntCache cache(singleShard(250), "budget");
+    Rng rng(5);
+    for (uint64_t i = 0; i < 200; ++i) {
+        cache.put(rng.below(50), "v", 40 + rng.below(40));
+        EXPECT_LE(cache.byteCount(), 250u);
+    }
+    // A value larger than the whole shard budget is rejected outright.
+    const auto before = cache.stats();
+    cache.put(999, "huge", 251);
+    std::string out;
+    EXPECT_FALSE(cache.get(999, out));
+    EXPECT_EQ(cache.stats().rejected, before.rejected + 1);
+}
+
+TEST(ShardedLru, ReplaceUpdatesValueAndBytes)
+{
+    IntCache cache(singleShard(1000), "replace");
+    cache.put(1, "first", 100);
+    cache.put(1, "second", 40);
+    std::string out;
+    ASSERT_TRUE(cache.get(1, out));
+    EXPECT_EQ(out, "second");
+    EXPECT_EQ(cache.byteCount(), 40u);
+    EXPECT_EQ(cache.entryCount(), 1u);
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.insertions, 1u);
+    EXPECT_EQ(stats.replaced, 1u);
+}
+
+TEST(ShardedLru, TtlExpiresUnderManualTime)
+{
+    ManualTime clock;
+    IntCache cache(singleShard(1000, 10.0, &clock), "ttl");
+    cache.put(1, "fresh", 10);
+    std::string out;
+    EXPECT_TRUE(cache.get(1, out));
+
+    clock.advance(9.0); // age 9 < ttl 10: still live
+    EXPECT_TRUE(cache.get(1, out));
+    clock.advance(2.0); // age 11 > ttl 10: expired, collected
+    EXPECT_FALSE(cache.get(1, out));
+    EXPECT_EQ(cache.entryCount(), 0u);
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.expired, 1u);
+    EXPECT_EQ(stats.evictedExpired, 1u);
+    EXPECT_EQ(stats.hits, 2u);
+
+    // Re-inserting restarts the clock for that key.
+    cache.put(1, "again", 10);
+    clock.advance(9.0);
+    EXPECT_TRUE(cache.get(1, out));
+    EXPECT_EQ(out, "again");
+}
+
+TEST(ShardedLru, ExpiredDeadlineBypassesTheLookup)
+{
+    ManualTime clock;
+    IntCache cache(singleShard(1000), "deadline");
+    cache.put(1, "present", 10);
+
+    const auto live = Deadline::afterManual(5.0, clock);
+    std::string out;
+    EXPECT_TRUE(cache.get(1, out, live)); // bounded but not expired
+
+    clock.advance(10.0); // the deadline is now expired
+    EXPECT_FALSE(cache.get(1, out, live));
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.bypasses, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+    // The entry itself is untouched — only this lookup was skipped.
+    EXPECT_TRUE(cache.get(1, out));
+}
+
+TEST(ShardedLru, LookupOutcomesPartitionLookups)
+{
+    ManualTime clock;
+    IntCache cache(singleShard(1000, 5.0, &clock), "partition");
+    std::string out;
+    cache.get(1, out);          // miss
+    cache.put(1, "x", 10);
+    cache.get(1, out);          // hit
+    clock.advance(6.0);
+    cache.get(1, out);          // expired
+    const auto gone = Deadline::afterManual(1.0, clock);
+    clock.advance(2.0);
+    cache.get(1, out, gone);    // bypass
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.expired, 1u);
+    EXPECT_EQ(stats.bypasses, 1u);
+    EXPECT_EQ(stats.lookups(), 4u);
+}
+
+TEST(ShardedLru, MetricsExportUsesTheCacheLabel)
+{
+    IntCache cache(singleShard(1000), "unit_test");
+    cache.put(1, "x", 10);
+    std::string out;
+    cache.get(1, out);
+    cache.get(2, out);
+
+    MetricsRegistry registry;
+    cache.exportTo(registry);
+    const std::string prom = registry.renderPrometheus();
+    EXPECT_NE(prom.find("sirius_cache_lookups_total"), std::string::npos);
+    EXPECT_NE(prom.find("sirius_cache_insertions_total"),
+              std::string::npos);
+    EXPECT_NE(prom.find("sirius_cache_evictions_total"),
+              std::string::npos);
+    EXPECT_NE(prom.find("sirius_cache_entries"), std::string::npos);
+    EXPECT_NE(prom.find("sirius_cache_bytes"), std::string::npos);
+    EXPECT_NE(prom.find("cache=\"unit_test\""), std::string::npos);
+    EXPECT_NE(prom.find("outcome=\"hit\""), std::string::npos);
+}
+
+/**
+ * Concurrent hammer: many threads mixing gets and puts over a hot key
+ * range with constant eviction churn. Run under TSan by scripts/check.sh
+ * and the CI tsan job; the assertions here check value integrity (a hit
+ * must return exactly what some put stored for that key) and exact
+ * lookup accounting.
+ */
+TEST(ShardedLru, ConcurrentHammerKeepsValuesAndCountsConsistent)
+{
+    using VecCache = ShardedLruCache<uint64_t, std::vector<float>>;
+    CacheConfig config;
+    config.enabled = true;
+    config.shards = 8;
+    config.byteBudget = 4096; // small: forces steady eviction
+    VecCache cache(config, "hammer");
+
+    constexpr size_t kThreads = 4;
+    constexpr size_t kOps = 3000;
+    constexpr uint64_t kKeys = 64;
+    std::atomic<size_t> corrupt{0};
+    std::vector<std::thread> pool;
+    for (size_t t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&, t] {
+            Rng rng(t + 1);
+            for (size_t i = 0; i < kOps; ++i) {
+                const uint64_t key = rng.below(kKeys);
+                std::vector<float> value;
+                if (cache.get(key, value)) {
+                    // The value for key k is always {k, 2k}: any other
+                    // content means lost or torn data.
+                    if (value.size() != 2 ||
+                        value[0] != static_cast<float>(key) ||
+                        value[1] != static_cast<float>(2 * key))
+                        corrupt.fetch_add(1);
+                } else {
+                    cache.put(key,
+                              {static_cast<float>(key),
+                               static_cast<float>(2 * key)},
+                              2 * sizeof(float) + 48);
+                }
+            }
+        });
+    }
+    for (auto &thread : pool)
+        thread.join();
+
+    EXPECT_EQ(corrupt.load(), 0u);
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.lookups(), kThreads * kOps);
+    EXPECT_LE(cache.byteCount(), config.byteBudget);
+    EXPECT_GT(stats.hits, 0u);
+    EXPECT_GT(stats.evictedLru, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Per-layer and end-to-end differential tests: hit ≡ miss.
+
+class CacheE2E : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        SiriusConfig config;
+        config.qa.fillerDocs = 60;
+        pipeline_ = new SiriusPipeline(SiriusPipeline::build(config));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete pipeline_;
+        pipeline_ = nullptr;
+    }
+
+    static CacheConfig
+    enabledConfig()
+    {
+        CacheConfig config;
+        config.enabled = true;
+        return config;
+    }
+
+    static SiriusPipeline *pipeline_;
+};
+
+SiriusPipeline *CacheE2E::pipeline_ = nullptr;
+
+TEST_F(CacheE2E, AsrCacheHitIsBitwiseIdenticalToMiss)
+{
+    const auto wave =
+        pipeline_->asr().synthesize("what is the capital of france");
+    const auto uncached = pipeline_->asr().transcribe(wave);
+
+    speech::AcousticScoreCache cache(enabledConfig(), "asr_test");
+    const auto miss =
+        pipeline_->asr().transcribe(wave, {}, nullptr, &cache);
+    const auto first = cache.stats();
+    EXPECT_EQ(first.hits, 0u);
+    EXPECT_GT(first.insertions, 0u);
+
+    const auto hit =
+        pipeline_->asr().transcribe(wave, {}, nullptr, &cache);
+    const auto second = cache.stats();
+    EXPECT_EQ(second.misses, first.misses); // every frame hit
+    EXPECT_GT(second.hits, 0u);
+
+    // Bitwise: the decode consumed identical scores, so text and
+    // log-probability are exactly equal, cache or no cache.
+    EXPECT_EQ(uncached.text, miss.text);
+    EXPECT_EQ(uncached.text, hit.text);
+    EXPECT_EQ(uncached.logProb, miss.logProb);
+    EXPECT_EQ(uncached.logProb, hit.logProb);
+    EXPECT_EQ(uncached.frames, hit.frames);
+}
+
+TEST_F(CacheE2E, ImmCacheHitEqualsMiss)
+{
+    const vision::Image image = vision::generateQueryView(3);
+    const auto uncached = pipeline_->imm().match(image);
+
+    vision::MatchCache cache(enabledConfig(), "imm_test");
+    const auto miss = pipeline_->imm().match(image, {}, nullptr, &cache);
+    const auto hit = pipeline_->imm().match(image, {}, nullptr, &cache);
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.insertions, 1u);
+
+    for (const auto *result : {&miss, &hit}) {
+        EXPECT_EQ(uncached.bestId, result->bestId);
+        EXPECT_EQ(uncached.bestMatches, result->bestMatches);
+        EXPECT_EQ(uncached.queryKeypoints, result->queryKeypoints);
+        EXPECT_FALSE(result->cutShort);
+    }
+    // The hit bypassed the kernels entirely: no timed work.
+    EXPECT_EQ(hit.timings.total(), 0.0);
+}
+
+TEST_F(CacheE2E, AnswerCacheHitEqualsMissThroughThePipeline)
+{
+    const auto &queries = standardQuerySet();
+    const Query *vq = nullptr;
+    for (const auto &query : queries) {
+        if (query.type == QueryType::VoiceQuery) {
+            vq = &query;
+            break;
+        }
+    }
+    ASSERT_NE(vq, nullptr);
+
+    const auto uncached = pipeline_->process(*vq);
+
+    PipelineCaches caches(enabledConfig());
+    ProcessOptions options;
+    options.caches = &caches;
+    const auto miss = pipeline_->process(*vq, options);
+    const auto hit = pipeline_->process(*vq, options);
+
+    const auto answers = caches.snapshot().answers;
+    EXPECT_EQ(answers.insertions, 1u);
+    EXPECT_GE(answers.hits, 1u);
+
+    for (const auto *result : {&miss, &hit}) {
+        EXPECT_EQ(uncached.transcript, result->transcript);
+        EXPECT_EQ(uncached.answer, result->answer);
+        EXPECT_EQ(uncached.queryClass, result->queryClass);
+        EXPECT_EQ(uncached.degradation, result->degradation);
+    }
+}
+
+TEST_F(CacheE2E, CorruptedAttemptsBypassTheCacheBothWays)
+{
+    const auto &queries = standardQuerySet();
+    const Query *vq = nullptr;
+    for (const auto &query : queries) {
+        if (query.type == QueryType::VoiceQuery) {
+            vq = &query;
+            break;
+        }
+    }
+    ASSERT_NE(vq, nullptr);
+    const auto clean = pipeline_->process(*vq);
+
+    // Every QA attempt corrupted: the cache must neither store the
+    // corrupted answers nor serve clean ones in their place.
+    FaultConfig fault_config;
+    fault_config.corruptionRate = 1.0;
+    fault_config.faultAsr = false;
+    fault_config.faultImm = false;
+    FaultInjector injector(fault_config);
+
+    PipelineCaches caches(enabledConfig());
+    ProcessOptions faulted;
+    faulted.caches = &caches;
+    faulted.faults = &injector;
+    const auto corrupted = pipeline_->process(*vq, faulted);
+    EXPECT_NE(corrupted.answer, clean.answer);
+    EXPECT_EQ(caches.snapshot().answers.insertions, 0u);
+    EXPECT_EQ(caches.snapshot().answers.hits, 0u);
+
+    // A later clean pass over the same caches computes (and then
+    // caches) the true answer — the faulted pass left no residue.
+    ProcessOptions clean_options;
+    clean_options.caches = &caches;
+    const auto after = pipeline_->process(*vq, clean_options);
+    EXPECT_EQ(after.answer, clean.answer);
+    EXPECT_EQ(caches.snapshot().answers.insertions, 1u);
+}
+
+// One line per query: index|type|degradation|class|landmark|transcript|
+// answer — the same discrete-field format test_batching pins, so the
+// cached server is held to the identical golden fixture.
+std::string
+goldenLine(size_t index, const Query &query, const SiriusResult &result)
+{
+    std::ostringstream out;
+    out << index << '|' << queryTypeName(query.type) << '|'
+        << degradationName(result.degradation) << '|'
+        << static_cast<int>(result.queryClass) << '|'
+        << result.matchedLandmark << '|' << result.transcript << '|'
+        << result.answer;
+    return out.str();
+}
+
+TEST_F(CacheE2E, CachedBatchedServerMatchesGoldenFixtures)
+{
+    const std::string path =
+        std::string(SIRIUS_SOURCE_DIR) + "/tests/golden/e2e_results.txt";
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good())
+        << path << " missing — run scripts/regen_goldens.sh";
+    std::vector<std::string> golden;
+    std::string line;
+    while (std::getline(in, line))
+        golden.push_back(line);
+
+    const auto &queries = standardQuerySet();
+    ASSERT_EQ(golden.size(), queries.size());
+
+    ConcurrentServerConfig config;
+    config.workers = 4;
+    config.cache.enabled = true;
+    ASSERT_TRUE(config.batching.enabled); // cache + batching together
+
+    ConcurrentServer server(*pipeline_, config);
+    // Two passes over the whole set: the first populates the caches,
+    // the second is served largely from them. BOTH must match the
+    // goldens — a cache that changed any answer fails here.
+    for (int pass = 0; pass < 2; ++pass) {
+        std::vector<SiriusResult> results(queries.size());
+        std::vector<std::thread> clients;
+        constexpr size_t kClients = 4;
+        for (size_t c = 0; c < kClients; ++c) {
+            clients.emplace_back([&, c] {
+                for (size_t i = c; i < queries.size(); i += kClients)
+                    results[i] = server.handle(queries[i]);
+            });
+        }
+        for (auto &client : clients)
+            client.join();
+        for (size_t i = 0; i < queries.size(); ++i)
+            EXPECT_EQ(golden[i], goldenLine(i, queries[i], results[i]))
+                << "pass " << pass << " query " << i
+                << " diverged from the golden fixture";
+    }
+
+    // The second pass really was served from cache.
+    const auto caches = server.snapshot().caches;
+    EXPECT_GT(caches.acousticScores.hits, 0u);
+    EXPECT_GT(caches.answers.hits, 0u);
+    EXPECT_GT(caches.matches.hits, 0u);
+    // And the accounting reached the labeled metrics exporters.
+    const auto prom = server.snapshot().metrics.renderPrometheus();
+    EXPECT_NE(prom.find("sirius_cache_lookups_total"), std::string::npos);
+    EXPECT_NE(prom.find("sirius_cache_bytes"), std::string::npos);
+}
+
+} // namespace
