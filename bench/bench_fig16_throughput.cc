@@ -10,15 +10,35 @@
  * equivalent) and micro-batched at the given size (default 8) — and
  * reports the measured throughput ratio. This is the same knob
  * load_test exposes, packaged as a before/after experiment.
+ *
+ * `--measured --shards N1 [N2 ...]` (default counts 1 2 4) switches to
+ * the scale-out experiment: closed-loop throughput vs shard count
+ * through a core::ClusterRouter, three columns per count —
+ *
+ *   this-host qps    a real cluster squeezed onto this machine's cores
+ *                    (flat once shard threads outnumber cores);
+ *   fleet qps        the virtual-time fleet projection replaying the
+ *                    *measured* per-query service times with one
+ *                    machine per shard — the deployment the paper
+ *                    assumes, and the column the scaling ratios cite;
+ *   dcsim ratio      the queueing model's predicted capacity ratio
+ *                    (shardedMm1MaxArrival: capacity adds linearly).
+ *
+ * It finishes with the outage drill: kill a shard mid-run and show
+ * throughput degrading without a single Failed query.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
 #include "accel/latency.h"
 #include "bench_util.h"
+#include "common/timer.h"
+#include "core/cluster.h"
 #include "core/concurrent_server.h"
+#include "dcsim/queueing.h"
 
 using namespace sirius;
 using namespace sirius::accel;
@@ -132,16 +152,139 @@ runMeasured(size_t batch_size)
     return 0;
 }
 
+/**
+ * Closed-loop throughput vs shard count. The scaling claim rides the
+ * virtual-time fleet projection (one machine per shard, measured
+ * service times), because a single host cannot add cores by adding
+ * shards — the real this-host column is printed beside it as the
+ * honest same-machine measurement.
+ */
+int
+runShardScaling(const std::vector<size_t> &shard_counts)
+{
+    bench::banner("Figure 16 (measured): closed-loop qps vs shard "
+                  "count");
+    std::printf("training the pipeline (DNN acoustic backend)...\n");
+    core::SiriusConfig pipeline_config;
+    pipeline_config.asrBackend = speech::AsrBackend::Dnn;
+    const auto pipeline = core::SiriusPipeline::build(pipeline_config);
+
+    // Measured per-query service times (serial, unloaded): the ground
+    // truth both the projection and the queueing model consume.
+    const auto &queries = core::standardQuerySet();
+    std::vector<double> service_seconds;
+    service_seconds.reserve(queries.size());
+    for (const auto &query : queries) // warm pass: first-touch costs
+        pipeline.process(query);
+    double total = 0.0;
+    for (const auto &query : queries) {
+        Stopwatch watch;
+        pipeline.process(query);
+        service_seconds.push_back(watch.seconds());
+        total += service_seconds.back();
+    }
+    const double mean_service = total / service_seconds.size();
+    const double mu = 1.0 / mean_service;
+    std::printf("measured mean service time %.2f ms (mu = %.1f "
+                "queries/s per shard worker)\n\n", mean_service * 1e3,
+                mu);
+
+    core::ConcurrentServerConfig shard_config;
+    shard_config.workers = 1;
+    shard_config.batching.enabled = false; // one client per worker:
+                                           // batches would be singletons
+    const size_t queries_per_client = 42;
+    // dcsim capacity bound: the latency budget is irrelevant to the
+    // *ratio* (capacity adds linearly in shards), pick 2x service time.
+    const double bound = 2.0 * mean_service;
+
+    std::printf("%-8s %14s %14s %12s %12s\n", "shards",
+                "this-host qps", "fleet qps", "fleet ratio",
+                "dcsim ratio");
+    double base_fleet = 0.0;
+    for (size_t shards : shard_counts) {
+        core::ClusterConfig cluster;
+        cluster.shards = shards;
+        cluster.shard = shard_config;
+        core::ClusterRouter router(pipeline, cluster);
+        const auto real = core::runClosedLoop(router, shards,
+                                              queries_per_client);
+        const auto fleet = core::projectClosedLoopFleet(
+            service_seconds, shards, shard_config.workers, 1,
+            queries_per_client);
+        if (base_fleet == 0.0)
+            base_fleet = fleet.aggregateQps;
+        const double dcsim_ratio =
+            dcsim::shardedMm1MaxArrival(
+                mu, bound, static_cast<unsigned>(shards)) /
+            dcsim::shardedMm1MaxArrival(mu, bound, 1);
+        std::printf("%-8zu %12.1fqps %12.1fqps %11.2fx %11.2fx\n",
+                    shards, real.achievedQps, fleet.aggregateQps,
+                    fleet.aggregateQps / base_fleet, dcsim_ratio);
+    }
+    std::printf("\nfleet qps is the virtual-time projection (one "
+                "machine per shard, measured service times); this-host "
+                "qps time-slices every shard onto this machine's cores "
+                "and goes flat once threads outnumber them. See "
+                "docs/SCALING.md for why the fleet column is the "
+                "deployment-shaped number\n");
+
+    // Outage drill at the largest count: kill one shard mid-run; the
+    // router must absorb it (throughput may dip, no query may fail).
+    const size_t drill_shards = shard_counts.back();
+    if (drill_shards >= 2) {
+        bench::subhead("outage drill: kill one shard mid-run");
+        core::ClusterConfig cluster;
+        cluster.shards = drill_shards;
+        cluster.shard = shard_config;
+        core::ClusterRouter router(pipeline, cluster);
+        core::ClusterLoadOptions drill;
+        drill.killShard = 0;
+        drill.killShardAt = drill_shards * queries_per_client / 2;
+        const auto result = core::runClosedLoop(
+            router, drill_shards, queries_per_client, drill);
+        const auto stats = router.snapshot();
+        const uint64_t failed = stats.outcomes[static_cast<size_t>(
+            core::Degradation::Failed)];
+        std::printf("killed shard 0 at request %zu of %zu: %.1f qps "
+                    "served, %llu failovers, failed %llu\n",
+                    drill.killShardAt,
+                    drill_shards * queries_per_client,
+                    result.achievedQps,
+                    static_cast<unsigned long long>(stats.failovers),
+                    static_cast<unsigned long long>(failed));
+        std::printf("%s: an administrative shard kill %s\n",
+                    failed == 0 ? "PASS" : "FAIL",
+                    failed == 0
+                        ? "degraded capacity without failing a query"
+                        : "leaked Failed queries through the router");
+        if (failed != 0)
+            return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     if (argc > 1 && std::strcmp(argv[1], "--measured") == 0) {
-        const size_t batch_size = argc > 2
-            ? static_cast<size_t>(std::atoi(argv[2]))
-            : 8;
-        return runMeasured(batch_size == 0 ? 8 : batch_size);
+        std::vector<size_t> shard_counts;
+        size_t batch_size = 8;
+        for (int i = 2; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--shards") == 0) {
+                while (i + 1 < argc && std::atoi(argv[i + 1]) > 0)
+                    shard_counts.push_back(
+                        static_cast<size_t>(std::atoi(argv[++i])));
+                if (shard_counts.empty())
+                    shard_counts = {1, 2, 4};
+            } else if (std::atoi(argv[i]) > 0)
+                batch_size = static_cast<size_t>(std::atoi(argv[i]));
+        }
+        if (!shard_counts.empty())
+            return runShardScaling(shard_counts);
+        return runMeasured(batch_size);
     }
     bench::banner("Figure 16: Throughput Across Services (vs 4-core "
                   "query-parallel CMP)");

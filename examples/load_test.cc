@@ -55,11 +55,26 @@
  *   --metrics-csv F   write the merged metrics registry to F as CSV
  *   --log-level L     log threshold: debug|info|warn|error
  *
+ * Scale-out (implies --real; see docs/SCALING.md):
+ *   --shards M        route across M replicated shards, each its own
+ *                     queue + workers + batcher + caches (default: the
+ *                     single-server sweeps above)
+ *   --policy P        routing policy: rr|least|p2c|affinity
+ *                     (default least)
+ *   --hedge-ms H      send a hedged copy of a query still outstanding
+ *                     after H ms to a second shard (default off)
+ *   --kill-shard-at K outage drill: administratively kill a shard just
+ *                     before closed-loop request K (1-based; default off)
+ *   --kill-shard I    which shard the drill kills (default 0)
+ *   --revive-shard-at R revive the killed shard before request R
+ *                     (default: stays dead)
+ *
  * Feed the trace to the analyzer:
  *   load_test --real --trace-out t.jsonl --metrics-out m.prom
  *   trace_report t.jsonl
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -69,6 +84,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "core/cluster.h"
 #include "core/concurrent_server.h"
 #include "core/server.h"
 
@@ -98,6 +114,25 @@ struct Observability
         if (spans.empty())
             return;
         // First write truncates any stale file; later levels append.
+        writeTraceJsonl(traceOut, spans, traceFileStarted);
+        traceFileStarted = true;
+    }
+
+    /** Cluster variant: fleet metrics plus router and shard spans. */
+    void
+    collect(const ClusterRouter &router)
+    {
+        router.exportMetrics(registry);
+        if (traceOut.empty())
+            return;
+        std::vector<SpanRecord> spans = router.traces().snapshot();
+        for (size_t i = 0; i < router.shardCount(); ++i) {
+            const auto leaf =
+                router.shard(i).server().traces().snapshot();
+            spans.insert(spans.end(), leaf.begin(), leaf.end());
+        }
+        if (spans.empty())
+            return;
         writeTraceJsonl(traceOut, spans, traceFileStarted);
         traceFileStarted = true;
     }
@@ -288,6 +323,111 @@ realSweep(const SiriusPipeline &pipeline, double capacity,
     }
 }
 
+/**
+ * Scale-out sweep: the realSweep shape against a ClusterRouter, then a
+ * closed-loop run carrying the optional outage drill, then the fleet
+ * summary the smoke script greps ("fleet: ... failed N ...").
+ */
+void
+clusterSweep(const SiriusPipeline &pipeline, double capacity,
+             double max_load, ConcurrentServerConfig shard_config,
+             ClusterConfig cluster, size_t requests, double zipf_skew,
+             const ClusterLoadOptions &drill, Observability &obs)
+{
+    shard_config.traceSampleRate = obs.sampleRate;
+    cluster.shard = shard_config;
+    std::printf("cluster: %zu shards x %zu workers each, policy %s, "
+                "hedge %s, failover retries %d\n", cluster.shards,
+                shard_config.workers,
+                routingPolicyName(cluster.policy),
+                cluster.hedgeSeconds > 0.0 ? "on" : "off",
+                cluster.failoverRetries);
+    if (zipf_skew > 0.0)
+        std::printf("queries: Zipf(%.2f)-skewed over the standard set\n",
+                    zipf_skew);
+    std::printf("%-8s %10s %12s %12s %12s %6s %9s %7s\n", "load",
+                "offered", "mean sojrn", "p95 sojrn", "p99 sojrn",
+                "shed", "degraded", "missed");
+    size_t level = 0;
+    for (double rho = 0.1; rho <= max_load + 1e-9; rho += 0.2) {
+        // Load is per fleet: rho scales the whole fleet's capacity.
+        const double lambda = rho * capacity *
+            static_cast<double>(shard_config.workers) *
+            static_cast<double>(cluster.shards);
+        // Distinct id blocks per level (the router further offsets each
+        // shard by 10^7 within the block).
+        cluster.shard.traceIdOffset =
+            1000000000ULL * static_cast<uint64_t>(++level);
+        ClusterRouter router(pipeline, cluster);
+        ClusterLoadOptions options;
+        options.zipfSkew = zipf_skew;
+        const auto result = runOpenLoop(router, lambda, requests, options);
+        obs.collect(router);
+        std::printf("%-8.1f %8.1fqps %10.2fms %10.2fms %10.2fms %6llu "
+                    "%9llu %7llu\n",
+                    rho, result.offeredQps,
+                    result.sojournSeconds.mean() * 1e3,
+                    result.sojournSeconds.percentile(95) * 1e3,
+                    result.sojournSeconds.percentile(99) * 1e3,
+                    static_cast<unsigned long long>(result.rejected),
+                    static_cast<unsigned long long>(result.degraded),
+                    static_cast<unsigned long long>(
+                        result.deadlineMisses));
+    }
+
+    // Closed loop across the fleet; the outage drill (if any) runs here
+    // so failover/ejection/recovery all happen under live traffic.
+    cluster.shard.traceIdOffset =
+        1000000000ULL * static_cast<uint64_t>(level + 1);
+    ClusterRouter router(pipeline, cluster);
+    const size_t clients = cluster.shards * shard_config.workers;
+    const size_t per_client = std::max<size_t>(1, requests / clients);
+    ClusterLoadOptions options = drill;
+    options.zipfSkew = zipf_skew;
+    if (drill.killShardAt != 0)
+        std::printf("\ndrill: killing shard %zu before request %zu%s\n",
+                    drill.killShard, drill.killShardAt,
+                    drill.reviveShardAt != 0 ? " (revived later)" : "");
+    const auto closed = runClosedLoop(router, clients, per_client,
+                                      options);
+    std::printf("\nclosed loop (%zu blocking clients): %.1f qps served, "
+                "mean latency %.2f ms\n", clients, closed.achievedQps,
+                closed.sojournSeconds.mean() * 1e3);
+    obs.collect(router);
+
+    const auto stats = router.snapshot();
+    std::printf("fleet: accepted %llu, rejected %llu, failovers %llu, "
+                "hedges %llu (won %llu), ejections %llu, probes %llu, "
+                "recoveries %llu, healthy %zu/%zu, failed %llu\n",
+                static_cast<unsigned long long>(stats.accepted),
+                static_cast<unsigned long long>(stats.rejected),
+                static_cast<unsigned long long>(stats.failovers),
+                static_cast<unsigned long long>(stats.hedgesFired),
+                static_cast<unsigned long long>(stats.hedgeWins),
+                static_cast<unsigned long long>(stats.ejections),
+                static_cast<unsigned long long>(stats.probes),
+                static_cast<unsigned long long>(stats.recoveries),
+                stats.healthyShards, router.shardCount(),
+                static_cast<unsigned long long>(
+                    stats.outcomes[static_cast<size_t>(
+                        Degradation::Failed)]));
+    for (size_t i = 0; i < router.shardCount(); ++i) {
+        const auto &shard = router.shard(i);
+        std::printf("shard %zu: served %llu, healthy %s, ejections "
+                    "%llu, admin %s\n", i,
+                    static_cast<unsigned long long>(
+                        stats.shards[i].server.served),
+                    shard.healthy() ? "yes" : "no",
+                    static_cast<unsigned long long>(shard.ejections()),
+                    shard.adminDown() ? "down" : "up");
+    }
+    if (shard_config.cache.enabled) {
+        printCacheLine("acoustic_scores", stats.caches.acousticScores);
+        printCacheLine("answers", stats.caches.answers);
+        printCacheLine("matches", stats.caches.matches);
+    }
+}
+
 } // namespace
 
 int
@@ -295,6 +435,9 @@ main(int argc, char **argv)
 {
     bool real = false;
     ConcurrentServerConfig config;
+    ClusterConfig cluster;
+    cluster.shards = 0; // 0: single-server mode (no cluster)
+    ClusterLoadOptions drill;
     FaultConfig fault_config;
     bool faults_requested = false;
     int retries = -1; // -1: pick a default after parsing
@@ -355,6 +498,25 @@ main(int argc, char **argv)
             no_cache = true;
         else if (std::strcmp(argv[i], "--zipf") == 0 && i + 1 < argc)
             zipf_skew = std::atof(argv[++i]);
+        else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc)
+            cluster.shards = static_cast<size_t>(std::atoi(argv[++i]));
+        else if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
+            if (!routingPolicyFromName(argv[++i], cluster.policy))
+                fatal(std::string("unknown --policy '") + argv[i] +
+                      "' (want rr|least|p2c|affinity)");
+        } else if (std::strcmp(argv[i], "--hedge-ms") == 0 &&
+                   i + 1 < argc)
+            cluster.hedgeSeconds = std::atof(argv[++i]) * 1e-3;
+        else if (std::strcmp(argv[i], "--kill-shard-at") == 0 &&
+                 i + 1 < argc)
+            drill.killShardAt = static_cast<size_t>(std::atoi(argv[++i]));
+        else if (std::strcmp(argv[i], "--kill-shard") == 0 &&
+                 i + 1 < argc)
+            drill.killShard = static_cast<size_t>(std::atoi(argv[++i]));
+        else if (std::strcmp(argv[i], "--revive-shard-at") == 0 &&
+                 i + 1 < argc)
+            drill.reviveShardAt =
+                static_cast<size_t>(std::atoi(argv[++i]));
         else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc)
             obs.traceOut = argv[++i];
         else if (std::strcmp(argv[i], "--trace-sample") == 0 &&
@@ -377,6 +539,8 @@ main(int argc, char **argv)
         } else
             max_load = std::atof(argv[i]);
     }
+    if (cluster.shards > 0)
+        real = true; // the cluster tier only exists in real mode
     config.retry.maxRetries = retries >= 0 ? retries
         : (faults_requested ? 1 : 0);
     if (no_cache)
@@ -405,7 +569,10 @@ main(int argc, char **argv)
     std::printf("measured capacity: %.1f queries/s per worker (mean "
                 "service %.2f ms)\n\n", capacity, 1e3 / capacity);
 
-    if (real)
+    if (cluster.shards > 0)
+        clusterSweep(pipeline, capacity, max_load, config, cluster,
+                     requests, zipf_skew, drill, obs);
+    else if (real)
         realSweep(pipeline, capacity, max_load, config, requests,
                   zipf_skew, obs);
     else

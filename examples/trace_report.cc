@@ -138,6 +138,11 @@ main(int argc, char **argv)
             break;
           case SpanKind::Degradation:
             break;
+          case SpanKind::Route:
+            // Cluster-tier spans have their own ids (per-router offset
+            // blocks), so they aggregate as distinct traces; the
+            // per-query report keys on the leaf spans.
+            break;
         }
     }
 

@@ -55,6 +55,9 @@ echo "$report" | grep -q "queue wait" || {
     echo "trace_report printed no attribution table"; exit 1; }
 echo "trace_report smoke run: OK"
 
+echo "==> cluster: shard-outage smoke drill (scripts/cluster_smoke.sh)"
+scripts/cluster_smoke.sh
+
 if [ "${SKIP_TSAN:-0}" = "1" ]; then
     echo "==> SKIP_TSAN=1: skipping the ThreadSanitizer pass"
     exit 0
@@ -67,9 +70,9 @@ cmake -B build-tsan -S . -DSIRIUS_SANITIZE=thread >/dev/null
 # additional thread coverage.
 cmake --build build-tsan -j "$jobs" \
     --target test_server test_robustness test_common test_observability \
-             test_batching test_cache
+             test_batching test_cache test_cluster
 (cd build-tsan &&
      ctest --output-on-failure -j "$jobs" \
-           -R "Server|Robustness|Deadline|FaultInjector|LatencyHistogram|Profiler|ThreadPool|ParallelFor|Trace|Metrics|Observability|Batch|ManualTime|Cache|Zipf|ShardedLru")
+           -R "Server|Robustness|Deadline|FaultInjector|LatencyHistogram|Profiler|ThreadPool|ParallelFor|Trace|Metrics|Observability|Batch|ManualTime|Cache|Zipf|ShardedLru|Cluster|RoutingPolicy|FleetProjection|ShardedQueueing")
 
 echo "==> all checks passed"

@@ -1,0 +1,78 @@
+#!/bin/sh
+# Cluster smoke drill: run the load generator against a 4-shard
+# cluster with caching on, kill one shard mid-run, and assert the
+# operator-visible invariants the docs promise:
+#
+#   1. zero Failed queries — the router re-routes around the dead
+#      shard instead of surfacing its loss to clients,
+#   2. the killed shard ends the run administratively down and the
+#      other three healthy (3/4 in the fleet line),
+#   3. the per-layer caches report hits — traffic re-homed onto the
+#      survivors re-warms their caches rather than running cold.
+#
+# CI runs this after the tier-1 build (see scripts/check.sh); it greps
+# the humane output of examples/load_test, so the summary lines there
+# are load-bearing ("fleet: ...", "shard N: ...", "cache[...]: ...").
+set -eu
+
+cd "$(dirname "$0")/.."
+bin=./build/examples/load_test
+if [ ! -x "$bin" ]; then
+    echo "cluster_smoke: $bin not built (run cmake --build build first)"
+    exit 1
+fi
+
+out="$(mktemp /tmp/sirius_cluster_smoke.XXXXXX)"
+trap 'rm -f "$out"' EXIT
+
+# 4 shards x 1 worker, 160 closed-loop requests, shard 0 killed before
+# request 80 — capacity drops by a quarter mid-run while clients keep
+# issuing. --cache turns the per-layer caches on so invariant 3 is
+# observable.
+"$bin" --shards 4 --workers 1 --requests 160 --kill-shard-at 80 \
+       --cache | tee "$out"
+
+fleet="$(grep '^fleet:' "$out" || true)"
+if [ -z "$fleet" ]; then
+    echo "cluster_smoke: FAIL — no fleet summary line in the output"
+    exit 1
+fi
+
+status=0
+case "$fleet" in
+*"failed 0"*) ;;
+*)
+    echo "cluster_smoke: FAIL — queries failed during the shard outage:"
+    echo "  $fleet"
+    status=1
+    ;;
+esac
+case "$fleet" in
+*"healthy 3/4"*) ;;
+*)
+    echo "cluster_smoke: FAIL — expected 3/4 shards healthy after the" \
+         "kill:"
+    echo "  $fleet"
+    status=1
+    ;;
+esac
+if ! grep -q '^shard 0: .*admin down' "$out"; then
+    echo "cluster_smoke: FAIL — shard 0 is not administratively down"
+    status=1
+fi
+for layer in acoustic_scores answers matches; do
+    line="$(grep "^cache\[$layer\]" "$out" || true)"
+    case "$line" in
+    *" 0 hits "*| "")
+        echo "cluster_smoke: FAIL — cache[$layer] reported no hits" \
+             "after the re-route (caches did not re-warm)"
+        status=1
+        ;;
+    esac
+done
+
+if [ "$status" = "0" ]; then
+    echo "cluster_smoke: OK (shard killed mid-run, zero failed" \
+         "queries, caches warm on the survivors)"
+fi
+exit "$status"

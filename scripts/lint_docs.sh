@@ -1,5 +1,5 @@
 #!/bin/sh
-# Docs lint, two gates:
+# Docs lint, three gates:
 #
 #   1. Every relative markdown link in the repo's docs resolves to a
 #      file or directory that exists (fragments are stripped first;
@@ -10,6 +10,12 @@
 #      so family mentions like `sirius_cache...` pass while a typo'd
 #      full name fails. Tokens ending in `_` (wildcard shorthand like
 #      `sirius_batch_*` after stripping) are skipped.
+#   3. The operator surface is documented: every public field of
+#      ConcurrentServerConfig and ClusterConfig, and every `--flag`
+#      examples/load_test.cc accepts, must be mentioned somewhere in
+#      docs/ or README.md. Field names are parsed out of the struct
+#      bodies, flags out of the argv loop, so adding a knob without
+#      documenting it fails this script (and CI).
 #
 # Scaffolding files that quote external material verbatim (ISSUE.md,
 # PAPER.md, PAPERS.md, SNIPPETS.md) are excluded.
@@ -56,6 +62,63 @@ for metric in $metrics; do
     if ! grep -rqF "\"$metric" --include='*.cc' --include='*.h' src/; then
         echo "lint_docs: metric '$metric' is documented but not" \
              "registered anywhere in src/"
+        status=1
+    fi
+done
+
+# --- gate 3: config fields + load_test flags are documented ------------
+# Only operator-facing docs count as documentation; a field mentioned
+# nowhere but a test would still fail here.
+operator_docs="README.md docs/*.md"
+
+# Print the public field names of `struct <name>` in <file>: take each
+# declaration line inside the struct body (skipping comment blocks),
+# strip the initializer, and keep the last identifier — the field.
+struct_fields() {
+    awk -v want="struct $2" '
+        !in_body { if (index($0, want) == 1) in_body = 1; next }
+        /^};/ { exit }
+        in_comment { if (/\*\//) in_comment = 0; next }
+        /^[[:space:]]*\/\*/ { if (!/\*\//) in_comment = 1; next }
+        {
+            line = $0
+            sub(/\/\/.*/, "", line)
+            if (line !~ /;/) next
+            sub(/[=;].*/, "", line)
+            n = split(line, w, /[^A-Za-z0-9_]+/)
+            for (i = n; i >= 1; i--)
+                if (w[i] != "") { print w[i]; break }
+        }' "$1"
+}
+
+for spec in \
+    "src/core/concurrent_server.h ConcurrentServerConfig" \
+    "src/core/cluster.h ClusterConfig"; do
+    file="${spec%% *}"
+    name="${spec##* }"
+    fields="$(struct_fields "$file" "$name")"
+    if [ -z "$fields" ]; then
+        echo "lint_docs: could not parse any fields of $name from $file"
+        status=1
+        continue
+    fi
+    for field in $fields; do
+        # shellcheck disable=SC2086
+        if ! grep -qE "(^|[^A-Za-z0-9_])$field([^A-Za-z0-9_]|$)" \
+                $operator_docs; then
+            echo "lint_docs: $name::$field ($file) is not documented" \
+                 "in README.md or docs/"
+            status=1
+        fi
+    done
+done
+
+flags="$(grep -oE '"--[a-z-]+"' examples/load_test.cc | tr -d '"' | sort -u)"
+for flag in $flags; do
+    # shellcheck disable=SC2086
+    if ! grep -qF -e "$flag" $operator_docs; then
+        echo "lint_docs: load_test flag '$flag' is not documented" \
+             "in README.md or docs/"
         status=1
     fi
 done

@@ -27,13 +27,14 @@ FaultInjector::FaultInjector(FaultConfig config)
         config_.corruptionRate;
     if (total > 1.0)
         fatal("FaultInjector: fault rates sum above 1");
-    enabled_ = total > 0.0;
+    configured_ = total > 0.0;
+    armed_.store(configured_, std::memory_order_relaxed);
 }
 
 StageFault
 FaultInjector::draw(const std::string &stage)
 {
-    if (!enabled_)
+    if (!enabled())
         return StageFault::None;
     if ((stage == "asr" && !config_.faultAsr) ||
         (stage == "qa" && !config_.faultQa) ||

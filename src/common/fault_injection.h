@@ -78,8 +78,24 @@ class FaultInjector
     /** @param config rates; fatal if the rates sum above 1. */
     explicit FaultInjector(FaultConfig config);
 
-    /** True when any fault rate is nonzero. */
-    bool enabled() const { return enabled_; }
+    /** True when any fault rate is nonzero and the injector is armed. */
+    bool enabled() const
+    {
+        return armed_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Runtime kill switch: arm or disarm the injector without touching
+     * its configuration. Disarming makes every draw() return None; used
+     * by recovery drills ("the dependency came back") so an ejected
+     * shard's probes can start succeeding mid-run. Re-arming resumes the
+     * configured rates (a no-op when every rate is zero).
+     */
+    void setEnabled(bool enabled)
+    {
+        armed_.store(enabled && configured_,
+                     std::memory_order_relaxed);
+    }
 
     /**
      * Decide the fate of one attempt of @p stage ("asr", "qa", "imm").
@@ -106,7 +122,8 @@ class FaultInjector
 
   private:
     FaultConfig config_;
-    bool enabled_ = false;
+    bool configured_ = false;    ///< any rate nonzero at construction
+    std::atomic<bool> armed_{false}; ///< setEnabled() kill switch
 
     std::mutex mutex_; ///< guards rng_
     Rng rng_;

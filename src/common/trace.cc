@@ -186,6 +186,7 @@ spanKindName(SpanKind kind)
       case SpanKind::Retry: return "retry";
       case SpanKind::Fault: return "fault";
       case SpanKind::Degradation: return "degradation";
+      case SpanKind::Route: return "route";
     }
     return "?";
 }

@@ -42,10 +42,11 @@ enum class SpanKind
     Retry,       ///< instant event: one retry attempt of a stage
     Fault,       ///< instant event: an injected fault fired
     Degradation, ///< instant event: a rung-drop decision on the ladder
+    Route,       ///< cluster tier: routing decision + legs of one query
 };
 
 /** Number of SpanKind values (for per-kind counters). */
-inline constexpr size_t kSpanKinds = 7;
+inline constexpr size_t kSpanKinds = 8;
 
 /** Short snake_case name ("query", "queue_wait", "stage", ...). */
 const char *spanKindName(SpanKind kind);

@@ -1,0 +1,884 @@
+#include "core/cluster.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <limits>
+
+#include "common/cache.h"
+#include "common/logging.h"
+
+namespace sirius::core {
+
+const char *
+routingPolicyName(RoutingPolicy policy)
+{
+    switch (policy) {
+      case RoutingPolicy::RoundRobin: return "rr";
+      case RoutingPolicy::LeastOutstanding: return "least";
+      case RoutingPolicy::PowerOfTwo: return "p2c";
+      case RoutingPolicy::AffinityHash: return "affinity";
+    }
+    return "unknown";
+}
+
+bool
+routingPolicyFromName(const std::string &name, RoutingPolicy &out)
+{
+    for (size_t i = 0; i < kRoutingPolicies; ++i) {
+        const auto policy = static_cast<RoutingPolicy>(i);
+        if (name == routingPolicyName(policy)) {
+            out = policy;
+            return true;
+        }
+    }
+    return false;
+}
+
+// --------------------------------------------------------------------
+// BackendShard
+
+BackendShard::BackendShard(const SiriusPipeline &pipeline,
+                           const ConcurrentServerConfig &config,
+                           size_t index,
+                           const ClusterHealthConfig &health)
+    : server_(pipeline, config), index_(index), health_(health),
+      window_(std::max<size_t>(health.window, 1), 0)
+{
+}
+
+void
+BackendShard::setAdminDown(bool down)
+{
+    adminDown_.store(down, std::memory_order_relaxed);
+}
+
+void
+BackendShard::recordOutcome(bool bad, double now_seconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Outcomes of queries already in flight when the shard was ejected
+    // must not re-judge it (they would re-eject an empty window).
+    if (ejected_)
+        return;
+    if (filled_ == window_.size())
+        bad_ -= window_[head_];
+    else
+        ++filled_;
+    window_[head_] = bad ? 1 : 0;
+    bad_ += bad ? 1 : 0;
+    head_ = (head_ + 1) % window_.size();
+    if (filled_ >= health_.minSamples &&
+        static_cast<double>(bad_) / static_cast<double>(filled_) >
+            health_.ejectBadRate) {
+        ejected_ = true;
+        ejectedFlag_.store(true, std::memory_order_relaxed);
+        ejectedAt_ = now_seconds;
+        ejections_.fetch_add(1, std::memory_order_relaxed);
+        probeSuccesses_ = 0;
+        probeInFlight_ = false;
+        // A fresh window for the post-recovery era: the outcomes that
+        // got the shard ejected must not get it re-ejected instantly.
+        std::fill(window_.begin(), window_.end(), 0);
+        filled_ = 0;
+        bad_ = 0;
+        head_ = 0;
+        logMessage(LogLevel::Warn,
+                   "cluster: shard " + std::to_string(index_) +
+                       " ejected (bad-outcome rate over threshold)");
+    }
+}
+
+bool
+BackendShard::claimProbe(double now_seconds)
+{
+    if (!ejectedFlag_.load(std::memory_order_relaxed))
+        return false; // cheap pre-check off the routing hot path
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!ejected_ || probeInFlight_ ||
+        adminDown_.load(std::memory_order_relaxed))
+        return false;
+    if (now_seconds - ejectedAt_ < health_.probeAfterSeconds)
+        return false;
+    probeInFlight_ = true;
+    probes_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+BackendShard::recordProbeOutcome(bool ok, double now_seconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    probeInFlight_ = false;
+    if (!ejected_)
+        return;
+    if (ok) {
+        if (++probeSuccesses_ >= health_.recoveryProbes) {
+            ejected_ = false;
+            ejectedFlag_.store(false, std::memory_order_relaxed);
+            recoveries_.fetch_add(1, std::memory_order_relaxed);
+            probeSuccesses_ = 0;
+            logMessage(LogLevel::Info,
+                       "cluster: shard " + std::to_string(index_) +
+                           " recovered after probing");
+        }
+    } else {
+        probeSuccesses_ = 0;
+        ejectedAt_ = now_seconds; // re-arm the cooldown
+    }
+}
+
+// --------------------------------------------------------------------
+// ClusterRouter
+
+/**
+ * State shared by every leg (primary, failover, hedge) of one query.
+ * One small mutex per query keeps the delivered/legs/hedge transitions
+ * trivially race-free; a query runs a whole pipeline execution, so the
+ * lock is nanoseconds against milliseconds of work.
+ */
+struct ClusterRouter::QueryState
+{
+    Query query;
+    Completion done;
+    uint64_t id = 0;
+    double submittedAt = 0.0;
+    size_t primaryShard = 0;
+
+    std::mutex m; ///< guards everything below
+    bool delivered = false;
+    bool closed = false; ///< in-flight slot released
+    int legs = 0;
+    int failoversLeft = 0;
+    int failovers = 0;
+    bool hedgeFired = false;
+};
+
+ClusterRouter::ClusterRouter(const SiriusPipeline &pipeline,
+                             ClusterConfig config)
+    : pipeline_(pipeline), config_(std::move(config)),
+      collector_(std::max<size_t>(config_.shard.traceCapacity, 1),
+                 config_.shard.traceSampleRate, config_.shard.traceSeed)
+{
+    if (config_.shards == 0)
+        fatal("ClusterRouter requires shards >= 1");
+    rng_.reseed(config_.seed);
+    shards_.reserve(config_.shards);
+    for (size_t i = 0; i < config_.shards; ++i) {
+        ConcurrentServerConfig shard_config = config_.shard;
+        // Distinct id blocks per shard keep a merged JSONL unambiguous.
+        shard_config.traceIdOffset =
+            config_.shard.traceIdOffset + i * 10000000ULL;
+        if (i < config_.shardFaults.size() &&
+            config_.shardFaults[i] != nullptr)
+            shard_config.faults = config_.shardFaults[i];
+        shards_.push_back(std::make_unique<BackendShard>(
+            pipeline_, shard_config, i, config_.health));
+        routed_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+        failoversFrom_.push_back(
+            std::make_unique<std::atomic<uint64_t>>(0));
+    }
+    if (config_.hedgeSeconds > 0.0 && config_.shards > 1)
+        hedgeThread_ = std::thread([this] { hedgeLoop(); });
+}
+
+ClusterRouter::~ClusterRouter()
+{
+    {
+        std::lock_guard<std::mutex> lock(hedgeMutex_);
+        hedgeStop_ = true;
+    }
+    hedgeWake_.notify_all();
+    if (hedgeThread_.joinable())
+        hedgeThread_.join();
+    drain();
+}
+
+size_t
+ClusterRouter::pickShard(const Query &query, size_t avoid)
+{
+    // Routable set: healthy shards first; when none, fall back to
+    // ejected (maybe-recovering) shards — never to admin-down ones,
+    // which an operator is deliberately draining.
+    std::vector<uint8_t> ok(shards_.size(), 0);
+    size_t count = 0;
+    for (const auto &shard : shards_) {
+        if (shard->healthy() && shard->index() != avoid) {
+            ok[shard->index()] = 1;
+            ++count;
+        }
+    }
+    if (count == 0) {
+        for (const auto &shard : shards_) {
+            if (!shard->adminDown() && shard->index() != avoid) {
+                ok[shard->index()] = 1;
+                ++count;
+            }
+        }
+    }
+    if (count == 0)
+        return SIZE_MAX;
+
+    switch (config_.policy) {
+      case RoutingPolicy::RoundRobin: {
+        size_t turn =
+            rrCursor_.fetch_add(1, std::memory_order_relaxed) % count;
+        for (size_t i = 0; i < ok.size(); ++i) {
+            if (ok[i] && turn-- == 0)
+                return i;
+        }
+        break;
+      }
+      case RoutingPolicy::LeastOutstanding: {
+        // Rotating scan start so ties (the common idle case) spread
+        // round robin instead of piling onto the lowest index.
+        const size_t start =
+            rrCursor_.fetch_add(1, std::memory_order_relaxed) %
+            ok.size();
+        size_t best = SIZE_MAX;
+        size_t best_load = std::numeric_limits<size_t>::max();
+        for (size_t k = 0; k < ok.size(); ++k) {
+            const size_t i = (start + k) % ok.size();
+            if (!ok[i])
+                continue;
+            const size_t load = shards_[i]->outstanding();
+            if (load < best_load) {
+                best = i;
+                best_load = load;
+            }
+        }
+        return best;
+      }
+      case RoutingPolicy::PowerOfTwo: {
+        // Two uniform picks over the routable set, lesser load wins.
+        size_t a_turn, b_turn;
+        {
+            std::lock_guard<std::mutex> lock(rngMutex_);
+            a_turn = static_cast<size_t>(rng_.below(count));
+            b_turn = static_cast<size_t>(rng_.below(count));
+        }
+        size_t a = SIZE_MAX, b = SIZE_MAX;
+        size_t seen = 0;
+        for (size_t i = 0; i < ok.size(); ++i) {
+            if (!ok[i])
+                continue;
+            if (seen == a_turn)
+                a = i;
+            if (seen == b_turn)
+                b = i;
+            ++seen;
+        }
+        return shards_[b]->outstanding() < shards_[a]->outstanding()
+            ? b
+            : a;
+      }
+      case RoutingPolicy::AffinityHash: {
+        // Hash over *all* shards (not just routable ones) so the home
+        // shard of a query never moves while the fleet is healthy;
+        // walk forward around the ring when the home shard is out.
+        const CacheKey128 key =
+            hashBytes128(query.text.data(), query.text.size());
+        const size_t home = key.lo % shards_.size();
+        for (size_t k = 0; k < shards_.size(); ++k) {
+            const size_t i = (home + k) % shards_.size();
+            if (ok[i])
+                return i;
+        }
+        break;
+      }
+    }
+    return SIZE_MAX;
+}
+
+bool
+ClusterRouter::dispatch(const std::shared_ptr<QueryState> &state,
+                        size_t index, bool probe)
+{
+    BackendShard &shard = *shards_[index];
+    {
+        std::lock_guard<std::mutex> lock(state->m);
+        if (state->closed)
+            return false; // delivered + released while we raced here
+        ++state->legs;
+    }
+    shard.noteDispatch();
+    const bool ok = shard.server().submit(
+        state->query,
+        [this, state, index, probe](const SiriusResult &result) {
+            onLegDone(state, index, probe, result);
+        });
+    if (!ok) {
+        shard.noteComplete();
+        std::lock_guard<std::mutex> lock(state->m);
+        --state->legs;
+        return false;
+    }
+    routed_[index]->fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+ClusterRouter::onLegDone(const std::shared_ptr<QueryState> &state,
+                         size_t index, bool probe,
+                         const SiriusResult &result)
+{
+    BackendShard &shard = *shards_[index];
+    shard.noteComplete();
+    const bool failed = result.degradation == Degradation::Failed;
+    const bool bad = failed || result.deadlineExpired;
+    if (probe)
+        shard.recordProbeOutcome(!bad, nowSeconds());
+    else
+        shard.recordOutcome(bad, nowSeconds());
+
+    bool try_failover = false;
+    {
+        std::lock_guard<std::mutex> lock(state->m);
+        --state->legs;
+        if (failed && !state->delivered && state->failoversLeft > 0) {
+            --state->failoversLeft;
+            try_failover = true;
+        }
+    }
+    if (try_failover) {
+        const size_t next = pickShard(state->query, index);
+        if (next != SIZE_MAX && dispatch(state, next, false)) {
+            failovers_.fetch_add(1, std::memory_order_relaxed);
+            failoversFrom_[index]->fetch_add(1,
+                                             std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(state->m);
+            ++state->failovers;
+            return; // the failover leg owns delivery now
+        }
+        try_failover = false; // nowhere to go: deliver the failure
+    }
+
+    bool do_deliver = false;
+    bool hedged = false;
+    int failover_count = 0;
+    {
+        std::lock_guard<std::mutex> lock(state->m);
+        // A Failed result defers to a still-running leg (a hedge may
+        // yet succeed); it is delivered only by the last leg standing.
+        if (!state->delivered && (!failed || state->legs == 0)) {
+            state->delivered = true;
+            do_deliver = true;
+            hedged = state->hedgeFired;
+            failover_count = state->failovers;
+        }
+    }
+    if (do_deliver) {
+        if (hedged && index != state->primaryShard)
+            hedgeWins_.fetch_add(1, std::memory_order_relaxed);
+        outcomes_[static_cast<size_t>(result.degradation)].fetch_add(
+            1, std::memory_order_relaxed);
+        TraceContext trace(collector_, state->id);
+        if (trace.active()) {
+            trace.recordSpan(
+                SpanKind::Route, "route", state->submittedAt,
+                nowSeconds() - state->submittedAt, 0,
+                {{"shard", std::to_string(index)},
+                 {"policy", routingPolicyName(config_.policy)},
+                 {"failovers", std::to_string(failover_count)},
+                 {"hedged", hedged ? "1" : "0"},
+                 {"probe", probe ? "1" : "0"},
+                 {"outcome", degradationName(result.degradation)}});
+        }
+        if (state->done)
+            state->done(result);
+    }
+    finishLeg(state);
+}
+
+void
+ClusterRouter::finishLeg(const std::shared_ptr<QueryState> &state)
+{
+    {
+        std::lock_guard<std::mutex> lock(state->m);
+        if (state->legs != 0 || !state->delivered || state->closed)
+            return;
+        state->closed = true;
+    }
+    std::lock_guard<std::mutex> lock(inFlightMutex_);
+    if (--inFlight_ == 0)
+        inFlightZero_.notify_all();
+}
+
+bool
+ClusterRouter::submit(const Query &query, Completion done)
+{
+    auto state = std::make_shared<QueryState>();
+    state->query = query;
+    state->done = std::move(done);
+    state->id = nextQueryId_.fetch_add(1, std::memory_order_relaxed) + 1;
+    state->submittedAt = nowSeconds();
+    // A hedged query never also fails over: the hedge is its retry.
+    state->failoversLeft =
+        config_.hedgeSeconds > 0.0 && config_.shards > 1
+        ? 0
+        : config_.failoverRetries;
+
+    {
+        std::lock_guard<std::mutex> lock(inFlightMutex_);
+        ++inFlight_;
+    }
+
+    // An ejected shard due for probing gets this query as its probe;
+    // failover (or the surviving leg rule) protects the query if the
+    // probe fails, so probing risks latency, never the answer.
+    bool probe = false;
+    size_t target = SIZE_MAX;
+    for (const auto &shard : shards_) {
+        if (shard->claimProbe(nowSeconds())) {
+            target = shard->index();
+            probe = true;
+            // Probes may fail: give even hedged queries one failover.
+            std::lock_guard<std::mutex> lock(state->m);
+            state->failoversLeft =
+                std::max(state->failoversLeft, 1);
+            break;
+        }
+    }
+    if (probe && !dispatch(state, target, true)) {
+        shards_[target]->recordProbeOutcome(false, nowSeconds());
+        probe = false;
+        target = SIZE_MAX;
+    }
+    if (!probe) {
+        target = pickShard(query, SIZE_MAX);
+        // Spill over in load order when the picked queue is full.
+        while (target != SIZE_MAX && !dispatch(state, target, false)) {
+            target = pickShard(query, target);
+        }
+        if (target == SIZE_MAX) {
+            rejected_.fetch_add(1, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(inFlightMutex_);
+            if (--inFlight_ == 0)
+                inFlightZero_.notify_all();
+            return false;
+        }
+    }
+    state->primaryShard = target;
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+
+    if (config_.hedgeSeconds > 0.0 && config_.shards > 1) {
+        {
+            std::lock_guard<std::mutex> lock(hedgeMutex_);
+            hedgePending_.emplace(
+                state->submittedAt + config_.hedgeSeconds, state);
+        }
+        hedgeWake_.notify_one();
+    }
+    return true;
+}
+
+SiriusResult
+ClusterRouter::handle(const Query &query)
+{
+    std::promise<SiriusResult> promise;
+    auto future = promise.get_future();
+    const Completion done = [&promise](const SiriusResult &result) {
+        promise.set_value(result);
+    };
+    // Closed-loop backpressure: wait for queue space instead of
+    // shedding, and undo the rejection submit() counted meanwhile.
+    while (!submit(query, done)) {
+        rejected_.fetch_sub(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    return future.get();
+}
+
+void
+ClusterRouter::hedgeLoop()
+{
+    std::unique_lock<std::mutex> lock(hedgeMutex_);
+    while (!hedgeStop_) {
+        if (hedgePending_.empty()) {
+            hedgeWake_.wait(lock);
+            continue;
+        }
+        const double due = hedgePending_.begin()->first;
+        const double now = nowSeconds();
+        if (due > now) {
+            hedgeWake_.wait_for(
+                lock, std::chrono::duration<double>(due - now));
+            continue;
+        }
+        auto weak = hedgePending_.begin()->second;
+        hedgePending_.erase(hedgePending_.begin());
+        lock.unlock();
+
+        if (auto state = weak.lock()) {
+            bool fire = false;
+            {
+                std::lock_guard<std::mutex> guard(state->m);
+                if (!state->delivered && !state->closed &&
+                    !state->hedgeFired) {
+                    state->hedgeFired = true;
+                    fire = true;
+                }
+            }
+            if (fire) {
+                const size_t next =
+                    pickShard(state->query, state->primaryShard);
+                if (next != SIZE_MAX && dispatch(state, next, false))
+                    hedgesFired_.fetch_add(1,
+                                           std::memory_order_relaxed);
+            }
+        }
+        lock.lock();
+    }
+}
+
+void
+ClusterRouter::drain()
+{
+    std::unique_lock<std::mutex> lock(inFlightMutex_);
+    inFlightZero_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void
+ClusterRouter::killShard(size_t index)
+{
+    shards_.at(index)->setAdminDown(true);
+    logMessage(LogLevel::Warn, "cluster: shard " +
+                                   std::to_string(index) +
+                                   " administratively killed");
+}
+
+void
+ClusterRouter::reviveShard(size_t index)
+{
+    shards_.at(index)->setAdminDown(false);
+    logMessage(LogLevel::Info, "cluster: shard " +
+                                   std::to_string(index) +
+                                   " administratively revived");
+}
+
+namespace {
+
+void
+addCacheStats(CacheStats &into, const CacheStats &other)
+{
+    into.hits += other.hits;
+    into.misses += other.misses;
+    into.expired += other.expired;
+    into.bypasses += other.bypasses;
+    into.insertions += other.insertions;
+    into.replaced += other.replaced;
+    into.rejected += other.rejected;
+    into.evictedLru += other.evictedLru;
+    into.evictedExpired += other.evictedExpired;
+    into.entries += other.entries;
+    into.bytes += other.bytes;
+}
+
+} // namespace
+
+ClusterStats
+ClusterRouter::snapshot() const
+{
+    ClusterStats out;
+    out.shards.reserve(shards_.size());
+    for (const auto &shard : shards_) {
+        out.shards.push_back(shard->server().snapshot());
+        const auto &s = out.shards.back();
+        out.fleet.merge(s.server);
+        addCacheStats(out.caches.acousticScores,
+                      s.caches.acousticScores);
+        addCacheStats(out.caches.answers, s.caches.answers);
+        addCacheStats(out.caches.matches, s.caches.matches);
+        out.ejections += shard->ejections();
+        out.recoveries += shard->recoveries();
+        out.probes += shard->probes();
+        out.healthyShards += shard->healthy() ? 1 : 0;
+    }
+    out.accepted = accepted_.load(std::memory_order_relaxed);
+    out.rejected = rejected_.load(std::memory_order_relaxed);
+    out.failovers = failovers_.load(std::memory_order_relaxed);
+    out.hedgesFired = hedgesFired_.load(std::memory_order_relaxed);
+    out.hedgeWins = hedgeWins_.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < kDegradationLevels; ++i)
+        out.outcomes[i] = outcomes_[i].load(std::memory_order_relaxed);
+    exportMetrics(out.metrics);
+    out.routerSpans = collector_.snapshot();
+    return out;
+}
+
+void
+ClusterRouter::exportMetrics(MetricsRegistry &registry,
+                             const MetricLabels &base) const
+{
+    const auto labeled = [&base](
+        std::initializer_list<std::pair<std::string, std::string>>
+            extra) {
+        MetricLabels labels = base;
+        for (const auto &kv : extra)
+            labels.push_back(kv);
+        return labels;
+    };
+    const std::string policy = routingPolicyName(config_.policy);
+
+    registry.gauge("sirius_cluster_shards", base)
+        .set(static_cast<double>(shards_.size()));
+    registry.counter("sirius_cluster_accepted_total", base)
+        .add(accepted_.load(std::memory_order_relaxed));
+    registry.counter("sirius_cluster_rejected_total", base)
+        .add(rejected_.load(std::memory_order_relaxed));
+    registry
+        .counter("sirius_cluster_hedges_total",
+                 labeled({{"outcome", "fired"}}))
+        .add(hedgesFired_.load(std::memory_order_relaxed));
+    registry
+        .counter("sirius_cluster_hedges_total",
+                 labeled({{"outcome", "win"}}))
+        .add(hedgeWins_.load(std::memory_order_relaxed));
+    for (size_t i = 0; i < kDegradationLevels; ++i) {
+        registry
+            .counter("sirius_cluster_queries_total",
+                     labeled({{"outcome",
+                               degradationName(
+                                   static_cast<Degradation>(i))}}))
+            .add(outcomes_[i].load(std::memory_order_relaxed));
+    }
+    for (const auto &shard : shards_) {
+        const std::string id = std::to_string(shard->index());
+        shard->server().exportMetrics(
+            registry, labeled({{"server", "shard" + id}}));
+        registry
+            .counter("sirius_cluster_routed_total",
+                     labeled({{"shard", id}, {"policy", policy}}))
+            .add(routed_[shard->index()]->load(
+                std::memory_order_relaxed));
+        registry
+            .counter("sirius_cluster_failovers_total",
+                     labeled({{"shard", id}}))
+            .add(failoversFrom_[shard->index()]->load(
+                std::memory_order_relaxed));
+        registry
+            .gauge("sirius_cluster_shard_healthy",
+                   labeled({{"shard", id}}))
+            .set(shard->healthy() ? 1.0 : 0.0);
+        registry
+            .counter("sirius_cluster_ejections_total",
+                     labeled({{"shard", id}}))
+            .add(shard->ejections());
+        registry
+            .counter("sirius_cluster_recoveries_total",
+                     labeled({{"shard", id}}))
+            .add(shard->recoveries());
+        registry
+            .counter("sirius_cluster_probes_total",
+                     labeled({{"shard", id}}))
+            .add(shard->probes());
+    }
+}
+
+// --------------------------------------------------------------------
+// Cluster load generators (the cluster-shaped twins of the single-
+// server generators in concurrent_server.cc).
+
+MeasuredLoadResult
+runOpenLoop(ClusterRouter &router, double offered_qps, size_t requests,
+            const ClusterLoadOptions &options)
+{
+    if (offered_qps <= 0.0)
+        fatal("runOpenLoop: offered load must be positive");
+
+    using Clock = std::chrono::steady_clock;
+    const auto &queries = standardQuerySet();
+    Rng rng(options.seed);
+    const ZipfSampler zipf(queries.size(),
+                           options.zipfSkew > 0.0 ? options.zipfSkew
+                                                  : 0.0);
+    Rng query_rng(options.seed ^ 0x5a1fULL);
+
+    MeasuredLoadResult result;
+    result.offeredQps = offered_qps;
+    result.offered = requests;
+    const auto before = router.snapshot();
+
+    std::mutex sojourn_mutex;
+    std::vector<double> sojourns;
+    sojourns.reserve(requests);
+
+    const auto start = Clock::now();
+    double arrival = 0.0;
+    uint64_t shed = 0;
+    for (size_t i = 0; i < requests; ++i) {
+        if (options.killShardAt != 0 && i + 1 == options.killShardAt)
+            router.killShard(options.killShard);
+        if (options.reviveShardAt != 0 &&
+            i + 1 == options.reviveShardAt)
+            router.reviveShard(options.killShard);
+        double u = rng.uniform();
+        while (u <= 1e-300)
+            u = rng.uniform();
+        arrival += -std::log(u) / offered_qps;
+        std::this_thread::sleep_until(
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(arrival)));
+        const auto submitted = Clock::now();
+        const size_t pick = options.zipfSkew > 0.0
+            ? zipf.draw(query_rng)
+            : i % queries.size();
+        const bool admitted = router.submit(
+            queries[pick],
+            [&sojourn_mutex, &sojourns, submitted](const SiriusResult &) {
+                const double s = std::chrono::duration<double>(
+                                     Clock::now() - submitted)
+                                     .count();
+                std::lock_guard<std::mutex> lock(sojourn_mutex);
+                sojourns.push_back(s);
+            });
+        if (!admitted)
+            ++shed;
+    }
+    router.drain();
+
+    result.elapsedSeconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    result.rejected = shed;
+    {
+        std::lock_guard<std::mutex> lock(sojourn_mutex);
+        result.sojournSeconds.addAll(sojourns);
+        result.completed = sojourns.size();
+    }
+    result.achievedQps = result.elapsedSeconds > 0.0
+        ? static_cast<double>(result.completed) / result.elapsedSeconds
+        : 0.0;
+    const auto after = router.snapshot();
+    result.degraded = after.fleet.degraded - before.fleet.degraded +
+        after.fleet.failed - before.fleet.failed;
+    result.deadlineMisses =
+        after.fleet.deadlineMisses - before.fleet.deadlineMisses;
+    return result;
+}
+
+MeasuredLoadResult
+runClosedLoop(ClusterRouter &router, size_t clients,
+              size_t queries_per_client,
+              const ClusterLoadOptions &options)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto &queries = standardQuerySet();
+    const ZipfSampler zipf(queries.size(),
+                           options.zipfSkew > 0.0 ? options.zipfSkew
+                                                  : 0.0);
+
+    MeasuredLoadResult result;
+    result.offered =
+        static_cast<uint64_t>(clients) * queries_per_client;
+    const auto before = router.snapshot();
+
+    std::mutex merge_mutex;
+    std::atomic<size_t> issued{0};
+    const size_t kill_at = options.killShardAt;
+    const size_t revive_at = options.reviveShardAt;
+    const auto start = Clock::now();
+    std::vector<std::thread> pool;
+    pool.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+        pool.emplace_back([&, c] {
+            Rng rng(options.seed + 0x9e3779b97f4a7c15ULL * (c + 1));
+            std::vector<double> mine;
+            mine.reserve(queries_per_client);
+            for (size_t i = 0; i < queries_per_client; ++i) {
+                const size_t seq =
+                    issued.fetch_add(1, std::memory_order_relaxed) + 1;
+                if (kill_at != 0 && seq == kill_at)
+                    router.killShard(options.killShard);
+                if (revive_at != 0 && seq == revive_at)
+                    router.reviveShard(options.killShard);
+                const size_t pick = options.zipfSkew > 0.0
+                    ? zipf.draw(rng)
+                    : (c * queries_per_client + i) % queries.size();
+                Stopwatch watch;
+                router.handle(queries[pick]);
+                mine.push_back(watch.seconds());
+            }
+            std::lock_guard<std::mutex> lock(merge_mutex);
+            result.sojournSeconds.addAll(mine);
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+
+    result.elapsedSeconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    // Hedge legs whose primary already delivered may still be running;
+    // the after-snapshot must not catch them mid-flight.
+    router.drain();
+    result.completed = result.sojournSeconds.count();
+    result.achievedQps = result.elapsedSeconds > 0.0
+        ? static_cast<double>(result.completed) / result.elapsedSeconds
+        : 0.0;
+    const auto after = router.snapshot();
+    result.degraded = after.fleet.degraded - before.fleet.degraded +
+        after.fleet.failed - before.fleet.failed;
+    result.deadlineMisses =
+        after.fleet.deadlineMisses - before.fleet.deadlineMisses;
+    return result;
+}
+
+FleetProjection
+projectClosedLoopFleet(const std::vector<double> &service_seconds,
+                       size_t shards, size_t workers_per_shard,
+                       size_t clients_per_shard,
+                       size_t queries_per_client)
+{
+    FleetProjection out;
+    if (service_seconds.empty() || shards == 0 ||
+        workers_per_shard == 0 || clients_per_shard == 0)
+        return out;
+
+    SampleStats sojourns;
+    double makespan = 0.0;
+    for (size_t s = 0; s < shards; ++s) {
+        // One independent node per shard: its own workers, its own
+        // closed-loop clients, its own virtual clock.
+        std::vector<double> server_free(workers_per_shard, 0.0);
+        std::vector<double> client_ready(clients_per_shard, 0.0);
+        std::vector<size_t> client_issued(clients_per_shard, 0);
+        const size_t total = clients_per_shard * queries_per_client;
+        for (size_t q = 0; q < total; ++q) {
+            // Next client to issue: earliest ready (FIFO arrival).
+            size_t client = 0;
+            for (size_t c = 1; c < clients_per_shard; ++c) {
+                if (client_issued[c] < queries_per_client &&
+                    (client_issued[client] >= queries_per_client ||
+                     client_ready[c] < client_ready[client]))
+                    client = c;
+            }
+            size_t worker = 0;
+            for (size_t w = 1; w < workers_per_shard; ++w) {
+                if (server_free[w] < server_free[worker])
+                    worker = w;
+            }
+            const size_t offset =
+                s * clients_per_shard + client; // per-client phase
+            const double service =
+                service_seconds[(offset + client_issued[client]) %
+                                service_seconds.size()];
+            const double ready = client_ready[client];
+            const double begin = std::max(ready, server_free[worker]);
+            const double done = begin + service;
+            sojourns.add(done - ready);
+            client_ready[client] = done;
+            server_free[worker] = done;
+            ++client_issued[client];
+            makespan = std::max(makespan, done);
+        }
+    }
+    out.completed = sojourns.count();
+    out.meanSojournSeconds = sojourns.mean();
+    out.p99SojournSeconds = sojourns.percentile(99);
+    out.aggregateQps = makespan > 0.0
+        ? static_cast<double>(out.completed) / makespan
+        : 0.0;
+    return out;
+}
+
+} // namespace sirius::core

@@ -1,0 +1,436 @@
+/**
+ * @file
+ * Scale-out serving tier: a cluster router in front of M replicated
+ * backend shards, each an independent core::ConcurrentServer with its
+ * own queue, batcher, and caches.
+ *
+ * The paper's warehouse-scale analysis (Figures 16/17) never treats one
+ * node as the deployment unit: a Sirius service is a fleet of leaf
+ * servers behind a load balancer, and the latency/throughput story is
+ * told per fleet. This layer makes the unit of composition a whole
+ * server. The router owns shard lifecycle and placement:
+ *
+ *  - routing by a pluggable policy (round robin, least outstanding,
+ *    power-of-two-choices, affinity hash — the last keeps cache-friendly
+ *    repeats on the same shard so per-shard caches stay warm);
+ *  - per-shard health from a rolling window of error/deadline-miss
+ *    outcomes, with ejection and probed recovery;
+ *  - one-retry failover of Failed results to a healthy replica (every
+ *    shard runs the same trained pipeline, so a failover answer is
+ *    bitwise-identical to the one the dead shard would have produced);
+ *  - optional hedged requests: when a query has been outstanding for a
+ *    configured slice of its budget, a second copy is sent to another
+ *    shard and the first completion wins.
+ *
+ * Fleet statistics merge the per-shard ServerStats (common/stats keeps
+ * histograms mergeable), export as `sirius_cluster_*` metrics with
+ * `shard=` / `policy=` / `outcome=` labels, and record per-query Route
+ * spans into a router-level trace collector. docs/SCALING.md is the
+ * operator-facing guide.
+ */
+
+#ifndef SIRIUS_CORE_CLUSTER_H
+#define SIRIUS_CORE_CLUSTER_H
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/concurrent_server.h"
+
+namespace sirius::core {
+
+/** How the router picks a shard for each query. */
+enum class RoutingPolicy
+{
+    RoundRobin,       ///< rotate through the healthy shards
+    LeastOutstanding, ///< fewest in-flight + queued requests wins
+    PowerOfTwo,       ///< two random healthy picks, lesser load wins
+    AffinityHash,     ///< hash(query text) -> shard; cache-friendly
+};
+
+/** Number of RoutingPolicy values (for sweeps over all policies). */
+inline constexpr size_t kRoutingPolicies = 4;
+
+/** Short policy name ("rr", "least", "p2c", "affinity"). */
+const char *routingPolicyName(RoutingPolicy policy);
+
+/** Parse a routingPolicyName back; returns false on an unknown name. */
+bool routingPolicyFromName(const std::string &name, RoutingPolicy &out);
+
+/** Ejection and probed-recovery thresholds of one shard's health. */
+struct ClusterHealthConfig
+{
+    /** Outcomes retained in the per-shard rolling window. */
+    size_t window = 64;
+    /** Outcomes required before the window can eject (avoids judging a
+     *  shard on its first unlucky query). */
+    size_t minSamples = 16;
+    /**
+     * Eject when bad outcomes (Failed results or deadline misses)
+     * exceed this fraction of the window. The default is deliberately
+     * high: transient overload makes misses, and ejecting a merely busy
+     * shard shrinks the fleet exactly when it is needed most.
+     */
+    double ejectBadRate = 0.5;
+    /** Cooldown before an ejected shard sees its first probe query. */
+    double probeAfterSeconds = 0.05;
+    /** Consecutive probe successes required to rejoin the fleet. */
+    int recoveryProbes = 3;
+};
+
+/** Sizing and policy of a ClusterRouter. */
+struct ClusterConfig
+{
+    size_t shards = 2; ///< replicated backend shards (>= 1)
+    RoutingPolicy policy = RoutingPolicy::LeastOutstanding;
+
+    /**
+     * Applied to every shard: each gets its own queue, workers,
+     * batcher, and caches from this one template. The router rewrites
+     * `traceIdOffset` per shard (shard i gets base + i * 10^7) so all
+     * shards' spans can share one JSONL file without id collisions.
+     */
+    ConcurrentServerConfig shard;
+
+    /**
+     * Re-route a query whose result came back Failed to another healthy
+     * shard this many times before delivering the failure. Replicas run
+     * identical pipelines, so a failover result is bitwise-identical to
+     * what the failed shard would have produced (tests/test_cluster.cc
+     * holds this against the e2e goldens).
+     */
+    int failoverRetries = 1;
+
+    /**
+     * Hedged requests: when > 0 and a query has been outstanding this
+     * many seconds, send a second copy to another healthy shard and
+     * deliver whichever completes first. 0 (the default) disables
+     * hedging. Intended for deadline-critical traffic: set it to the
+     * tail you can afford, e.g. half the deadline budget. A hedged
+     * query never also fails over — the hedge *is* its retry.
+     */
+    double hedgeSeconds = 0.0;
+
+    ClusterHealthConfig health; ///< ejection + probed recovery knobs
+
+    /** Seed of the power-of-two-choices random draws. */
+    uint64_t seed = 0xC1057E42ULL;
+
+    /**
+     * Per-shard fault-injector overrides for drills and tests: entry i
+     * (when present and non-null) replaces `shard.faults` for shard i
+     * only, so one replica can be made faulty while the rest stay
+     * clean. Not owned; injectors must outlive the router.
+     */
+    std::vector<FaultInjector *> shardFaults;
+};
+
+/**
+ * One replicated backend: a ConcurrentServer plus the health state the
+ * router keeps about it. Health is judged from a rolling window of
+ * outcomes (bad = Failed result or deadline miss): a shard whose bad
+ * rate exceeds the threshold is ejected from routing, then probed with
+ * single live queries after a cooldown, and rejoins after a run of
+ * probe successes. killShard()/reviveShard() on the router layer an
+ * administrative switch on top for drills and planned drains.
+ */
+class BackendShard
+{
+  public:
+    BackendShard(const SiriusPipeline &pipeline,
+                 const ConcurrentServerConfig &config, size_t index,
+                 const ClusterHealthConfig &health);
+
+    BackendShard(const BackendShard &) = delete;
+    BackendShard &operator=(const BackendShard &) = delete;
+
+    ConcurrentServer &server() { return server_; }
+    const ConcurrentServer &server() const { return server_; }
+    size_t index() const { return index_; }
+
+    /** In-flight + queued requests the router has placed here. */
+    size_t outstanding() const
+    {
+        return outstanding_.load(std::memory_order_relaxed);
+    }
+
+    /** True when the router may route new queries here. */
+    bool healthy() const
+    {
+        return !adminDown_.load(std::memory_order_relaxed) &&
+               !ejectedFlag_.load(std::memory_order_relaxed);
+    }
+
+    /** True when killShard() took this shard out administratively. */
+    bool adminDown() const
+    {
+        return adminDown_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t ejections() const { return ejections_.load(); }
+    uint64_t recoveries() const { return recoveries_.load(); }
+    uint64_t probes() const { return probes_.load(); }
+
+  private:
+    friend class ClusterRouter;
+
+    void noteDispatch() { outstanding_.fetch_add(1); }
+    void noteComplete() { outstanding_.fetch_sub(1); }
+
+    void setAdminDown(bool down);
+
+    /** Fold one outcome into the window; may eject. */
+    void recordOutcome(bool bad, double now_seconds);
+
+    /** True when this call won the right to route one probe query. */
+    bool claimProbe(double now_seconds);
+
+    /** Probe outcome: recover after a run of successes, else re-arm. */
+    void recordProbeOutcome(bool ok, double now_seconds);
+
+    ConcurrentServer server_;
+    const size_t index_;
+    const ClusterHealthConfig health_;
+
+    std::atomic<size_t> outstanding_{0};
+    std::atomic<bool> adminDown_{false};
+    std::atomic<bool> ejectedFlag_{false}; ///< mirror of ejected_
+
+    std::mutex mutex_; ///< guards the window + ejection state below
+    std::vector<uint8_t> window_;
+    size_t head_ = 0;
+    size_t filled_ = 0;
+    size_t bad_ = 0;
+    bool ejected_ = false;
+    double ejectedAt_ = 0.0;
+    bool probeInFlight_ = false;
+    int probeSuccesses_ = 0;
+
+    std::atomic<uint64_t> ejections_{0};
+    std::atomic<uint64_t> recoveries_{0};
+    std::atomic<uint64_t> probes_{0};
+};
+
+/** Race-free snapshot of a ClusterRouter's statistics. */
+struct ClusterStats
+{
+    /** Every shard's ServerStats merged into one fleet view. */
+    ServerStats fleet;
+    /** Every shard's caches summed (affinity keeps these warm). */
+    PipelineCacheSnapshot caches;
+    std::vector<ConcurrentServerStats> shards; ///< per-shard detail
+
+    uint64_t accepted = 0;   ///< cluster-level admissions
+    uint64_t rejected = 0;   ///< every healthy shard's queue was full
+    uint64_t failovers = 0;  ///< Failed results re-routed to a replica
+    uint64_t hedgesFired = 0;///< hedge legs actually sent
+    uint64_t hedgeWins = 0;  ///< hedge leg delivered before the primary
+    uint64_t ejections = 0;  ///< health-based removals from routing
+    uint64_t recoveries = 0; ///< probed returns to routing
+    uint64_t probes = 0;     ///< probe queries sent to ejected shards
+    size_t healthyShards = 0;
+
+    /** Cluster-level outcomes of delivered queries, by Degradation. */
+    std::array<uint64_t, kDegradationLevels> outcomes{};
+
+    /** Everything above as labeled `sirius_cluster_*` metrics plus the
+     *  per-shard server metrics under `server=shard<i>` labels. */
+    MetricsRegistry metrics;
+    /** The router's Route spans (empty when tracing is disabled). */
+    std::vector<SpanRecord> routerSpans;
+};
+
+/**
+ * The cluster front end: owns M BackendShards and routes every query to
+ * one of them (failover and hedging may involve a second). submit() and
+ * handle() mirror ConcurrentServer's contract so load generators work
+ * against either; drain() blocks until every admitted query — including
+ * failover and hedge legs — has completed.
+ */
+class ClusterRouter
+{
+  public:
+    using Completion = ConcurrentServer::Completion;
+
+    /** @param pipeline trained pipeline shared by every shard; must
+     *  outlive the router. */
+    ClusterRouter(const SiriusPipeline &pipeline, ClusterConfig config);
+
+    ClusterRouter(const ClusterRouter &) = delete;
+    ClusterRouter &operator=(const ClusterRouter &) = delete;
+
+    /** Drains outstanding queries, then stops the shards. */
+    ~ClusterRouter();
+
+    /**
+     * Admit @p query and route it by the configured policy.
+     * @param done invoked once with the delivered result (after any
+     *        failover/hedging) on a shard worker thread; may be null
+     * @return false when every routable shard's queue was full
+     */
+    bool submit(const Query &query, Completion done = nullptr);
+
+    /** Closed-loop path: block until served (backpressure, no shed). */
+    SiriusResult handle(const Query &query);
+
+    /** Block until every admitted query (and every leg) completed. */
+    void drain();
+
+    /** Administratively remove shard @p index from routing (drill /
+     *  planned drain). In-flight queries on it still complete. */
+    void killShard(size_t index);
+
+    /** Undo killShard(); health-based ejection still applies. */
+    void reviveShard(size_t index);
+
+    size_t shardCount() const { return shards_.size(); }
+    BackendShard &shard(size_t index) { return *shards_.at(index); }
+    const BackendShard &shard(size_t index) const
+    {
+        return *shards_.at(index);
+    }
+
+    /** Copy of the statistics, consistent under concurrent traffic. */
+    ClusterStats snapshot() const;
+
+    /**
+     * Export the fleet's metrics into @p registry: per-shard server
+     * metrics under `server=shard<i>` plus the `sirius_cluster_*`
+     * family under @p base labels.
+     */
+    void exportMetrics(MetricsRegistry &registry,
+                       const MetricLabels &base = {{"cluster",
+                                                    "sirius"}}) const;
+
+    /** The router-level collector holding Route spans. */
+    const TraceCollector &traces() const { return collector_; }
+
+    const ClusterConfig &config() const { return config_; }
+
+  private:
+    /** Per-query state shared by every leg (primary, failover, hedge). */
+    struct QueryState;
+
+    /** Healthy-shard pick by policy; @p avoid is excluded when another
+     *  choice exists; SIZE_MAX when nothing is routable. */
+    size_t pickShard(const Query &query, size_t avoid);
+
+    /** Route one leg of @p state to shard @p index. Returns false when
+     *  that shard's queue was full (the leg never started). */
+    bool dispatch(const std::shared_ptr<QueryState> &state, size_t index,
+                  bool probe);
+
+    void onLegDone(const std::shared_ptr<QueryState> &state, size_t index,
+                   bool probe, const SiriusResult &result);
+
+    /** Release the cluster in-flight slot once the last leg finished
+     *  after delivery. */
+    void finishLeg(const std::shared_ptr<QueryState> &state);
+
+    void hedgeLoop();
+
+    double nowSeconds() const { return collector_.nowSeconds(); }
+
+    const SiriusPipeline &pipeline_;
+    ClusterConfig config_;
+    std::vector<std::unique_ptr<BackendShard>> shards_;
+
+    std::atomic<uint64_t> nextQueryId_{0};
+    std::atomic<uint64_t> rrCursor_{0};
+    std::mutex rngMutex_; ///< guards rng_ (p2c draws)
+    Rng rng_;
+
+    std::atomic<uint64_t> accepted_{0};
+    std::atomic<uint64_t> rejected_{0};
+    std::atomic<uint64_t> failovers_{0};
+    std::atomic<uint64_t> hedgesFired_{0};
+    std::atomic<uint64_t> hedgeWins_{0};
+    std::vector<std::unique_ptr<std::atomic<uint64_t>>> routed_;
+    std::vector<std::unique_ptr<std::atomic<uint64_t>>> failoversFrom_;
+    std::array<std::atomic<uint64_t>, kDegradationLevels> outcomes_{};
+
+    TraceCollector collector_; ///< Route spans, router-level ids
+
+    std::mutex inFlightMutex_;
+    std::condition_variable inFlightZero_;
+    size_t inFlight_ = 0;
+
+    // Hedge timer: pending (due time -> query state) entries served by
+    // one background thread; stale entries (already delivered) are
+    // skipped when they come due.
+    std::mutex hedgeMutex_;
+    std::condition_variable hedgeWake_;
+    std::multimap<double, std::weak_ptr<QueryState>> hedgePending_;
+    bool hedgeStop_ = false;
+    std::thread hedgeThread_; ///< started only when hedging is on
+};
+
+/**
+ * Extra knobs of the cluster load generators (the plain knobs match the
+ * single-server generators in concurrent_server.h).
+ */
+struct ClusterLoadOptions
+{
+    uint64_t seed = 31337;
+    double zipfSkew = 0.0; ///< > 0: Zipf-skewed query draws
+    /**
+     * Outage drill: administratively kill shard `killShard` just before
+     * submitting request number `killShardAt` (1-based; 0 disables) and
+     * revive it at `reviveShardAt` (0: stays dead). The assertion worth
+     * making afterwards: fleet `failed` stays 0 — routing plus failover
+     * absorb the outage (scripts/cluster_smoke.sh automates it).
+     */
+    size_t killShardAt = 0;
+    size_t killShard = 0;
+    size_t reviveShardAt = 0;
+};
+
+/** Open-loop Poisson load against a cluster; see runOpenLoop(). */
+MeasuredLoadResult runOpenLoop(ClusterRouter &router, double offered_qps,
+                               size_t requests,
+                               const ClusterLoadOptions &options = {});
+
+/** Closed-loop load against a cluster; see runClosedLoop(). */
+MeasuredLoadResult runClosedLoop(ClusterRouter &router, size_t clients,
+                                 size_t queries_per_client,
+                                 const ClusterLoadOptions &options = {});
+
+/** Virtual-time projection of a closed-loop fleet run. */
+struct FleetProjection
+{
+    double aggregateQps = 0.0; ///< completed / virtual makespan
+    double meanSojournSeconds = 0.0;
+    double p99SojournSeconds = 0.0;
+    uint64_t completed = 0;
+};
+
+/**
+ * Closed-loop fleet projection in virtual time: @p shards independent
+ * nodes, each with @p workers_per_shard servers and @p clients_per_shard
+ * blocking clients replaying *measured* per-query service times
+ * (@p service_seconds, cycled round robin with a per-client offset).
+ *
+ * This is the scale-out counterpart of core::loadTest()'s Lindley
+ * replay: a fleet's shards are separate machines in the deployment the
+ * paper assumes, so their service capacity adds — a property a
+ * single-container measurement cannot show once real threads outnumber
+ * real cores (the closed-loop qps just time-slices). The projection
+ * keeps the *measured* per-query costs and moves only the queueing into
+ * virtual time; dcsim::shardedMm1Latency is its analytic cross-check.
+ */
+FleetProjection projectClosedLoopFleet(
+    const std::vector<double> &service_seconds, size_t shards,
+    size_t workers_per_shard, size_t clients_per_shard,
+    size_t queries_per_client);
+
+} // namespace sirius::core
+
+#endif // SIRIUS_CORE_CLUSTER_H

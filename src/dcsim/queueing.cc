@@ -49,4 +49,20 @@ throughputImprovementAtLoad(double speedup, double rho)
     return lambda / rho;
 }
 
+double
+shardedMm1Latency(double lambda, double mu, unsigned shards)
+{
+    if (shards == 0)
+        fatal("shardedMm1Latency: shards must be >= 1");
+    return mm1Latency(lambda / shards, mu);
+}
+
+double
+shardedMm1MaxArrival(double mu, double latency_bound, unsigned shards)
+{
+    if (shards == 0)
+        fatal("shardedMm1MaxArrival: shards must be >= 1");
+    return shards * mm1MaxArrival(mu, latency_bound);
+}
+
 } // namespace sirius::dcsim

@@ -37,6 +37,27 @@ double mm1Utilization(double lambda, double mu);
  */
 double throughputImprovementAtLoad(double speedup, double rho);
 
+/**
+ * Mean sojourn time of a fleet of @p shards independent M/M/1 servers
+ * behind a balanced router: each shard sees lambda/shards and serves at
+ * @p mu, so the fleet's mean latency is mm1Latency(lambda/shards, mu).
+ * This is the analytic cross-check of the cluster tier's measured
+ * scaling curves (bench_fig17_mm1_load --shards).
+ * @param lambda aggregate arrival rate across the fleet (queries/s)
+ * @param mu per-shard service rate (queries/s)
+ * @param shards number of shards (>= 1)
+ */
+double shardedMm1Latency(double lambda, double mu, unsigned shards);
+
+/**
+ * Highest aggregate arrival rate a fleet of @p shards M/M/1 servers
+ * sustains at mean latency <= @p latency_bound: capacity adds, so it is
+ * shards * mm1MaxArrival(mu, latency_bound). The linear-scaling law the
+ * cluster tier's throughput columns are validated against.
+ */
+double shardedMm1MaxArrival(double mu, double latency_bound,
+                            unsigned shards);
+
 } // namespace sirius::dcsim
 
 #endif // SIRIUS_DCSIM_QUEUEING_H
