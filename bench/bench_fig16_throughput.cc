@@ -26,15 +26,27 @@
  *
  * It finishes with the outage drill: kill a shard mid-run and show
  * throughput degrading without a single Failed query.
+ *
+ * `--metrics-out PATH` / `--csv-out PATH` (with --measured) export the
+ * per-arm server metrics — labeled {experiment=,arm=} — as Prometheus
+ * text or CSV for the bench harness, same idiom as fig17 and load_test.
+ * The measured run also prices the observability plane itself: the
+ * batched closed loop repeats with 100% trace sampling + SLO tracker +
+ * flight recorder + event log attached, and the throughput delta vs
+ * the plane-off arm is reported (budget: within 2%; docs/BENCHMARKS.md).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "accel/latency.h"
 #include "bench_util.h"
+#include "common/flight_recorder.h"
+#include "common/slo.h"
 #include "common/timer.h"
 #include "core/cluster.h"
 #include "core/concurrent_server.h"
@@ -45,14 +57,52 @@ using namespace sirius::accel;
 
 namespace {
 
+void
+writeFile(const std::string &path, const std::string &text,
+          const char *what)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     path.c_str());
+        return;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s to %s\n", what, path.c_str());
+}
+
+/** Per-arm metrics sink: every measured server exports into one
+ *  registry labeled {experiment=,arm=}, rendered at exit. */
+struct MetricsSink
+{
+    MetricsRegistry registry;
+    std::string metricsOut;
+    std::string csvOut;
+
+    void flush()
+    {
+        if (!metricsOut.empty())
+            writeFile(metricsOut, registry.renderPrometheus(),
+                      "Prometheus metrics");
+        if (!csvOut.empty())
+            writeFile(csvOut, registry.renderCsv(), "CSV metrics");
+    }
+};
+
 double
 measuredClosedLoopQps(const core::SiriusPipeline &pipeline,
                       core::ConcurrentServerConfig config,
-                      size_t queries_per_client)
+                      size_t queries_per_client,
+                      MetricsSink *sink = nullptr,
+                      const char *experiment = "", const char *arm = "")
 {
     core::ConcurrentServer server(pipeline, config);
     const auto result = core::runClosedLoop(server, config.workers,
                                             queries_per_client);
+    if (sink != nullptr)
+        server.exportMetrics(sink->registry,
+                             {{"experiment", experiment}, {"arm", arm}});
     return result.achievedQps;
 }
 
@@ -86,7 +136,7 @@ measuredZipfClosedLoop(const core::SiriusPipeline &pipeline,
 }
 
 int
-runMeasured(size_t batch_size)
+runMeasured(size_t batch_size, MetricsSink &sink)
 {
     bench::banner("Figure 16 (measured): micro-batched vs serial "
                   "kernels, closed loop");
@@ -105,13 +155,15 @@ runMeasured(size_t batch_size)
     config.batching.enabled = false;
     // Warm-up pass so neither side pays first-touch costs.
     measuredClosedLoopQps(pipeline, config, 10);
-    const double serial =
-        measuredClosedLoopQps(pipeline, config, queries_per_client);
+    const double serial = measuredClosedLoopQps(
+        pipeline, config, queries_per_client, &sink, "batching",
+        "serial");
 
     config.batching.enabled = true;
     config.batching.maxBatchSize = batch_size;
-    const double batched =
-        measuredClosedLoopQps(pipeline, config, queries_per_client);
+    const double batched = measuredClosedLoopQps(
+        pipeline, config, queries_per_client, &sink, "batching",
+        "batched");
 
     std::printf("\n%-24s %10s\n", "kernel execution", "throughput");
     std::printf("%-24s %8.1fqps\n", "serial (--no-batching)", serial);
@@ -149,6 +201,42 @@ runMeasured(size_t batch_size)
                 cached.qps / uncached.qps);
     std::printf("(identical per-query results either way — cache keys "
                 "are exact-content hashes; see test_cache)\n");
+
+    // Observability-plane overhead: the batched closed loop again,
+    // plane off vs fully on (100% trace sampling, SLO tracker, flight
+    // recorder, event log). Best-of-3 per arm damps scheduler noise;
+    // the budget is 2% (docs/BENCHMARKS.md observability row).
+    bench::subhead("observability plane overhead (plane on vs off)");
+    const auto best_of = [&](const core::ConcurrentServerConfig &c,
+                             const char *arm) {
+        double best = 0.0;
+        for (int rep = 0; rep < 3; ++rep)
+            best = std::max(best, measuredClosedLoopQps(
+                                      pipeline, c, queries_per_client,
+                                      &sink, "observability", arm));
+        return best;
+    };
+    const double plane_off = best_of(config, "plane_off");
+
+    EventLog events(1024);
+    SloTracker slo(defaultSloConfig(0.25), &events);
+    FlightRecorder flight;
+    core::ConcurrentServerConfig plane_config = config;
+    plane_config.traceSampleRate = 1.0;
+    plane_config.traceCapacity = 1 << 14;
+    plane_config.slo = &slo;
+    plane_config.flight = &flight;
+    const double plane_on = best_of(plane_config, "plane_on");
+
+    const double overhead =
+        (plane_off - plane_on) / plane_off * 100.0;
+    std::printf("%-24s %10s\n", "observability plane", "throughput");
+    std::printf("%-24s %8.1fqps\n", "off", plane_off);
+    std::printf("%-24s %8.1fqps   (100%% sampling + slo + "
+                "flight + events)\n", "on", plane_on);
+    std::printf("\nplane-on overhead: %.1f%% of plane-off throughput "
+                "(budget 2%%) — %s\n", overhead,
+                overhead <= 2.0 ? "PASS" : "WARN: over budget");
     return 0;
 }
 
@@ -160,7 +248,8 @@ runMeasured(size_t batch_size)
  * honest same-machine measurement.
  */
 int
-runShardScaling(const std::vector<size_t> &shard_counts)
+runShardScaling(const std::vector<size_t> &shard_counts,
+                MetricsSink &sink)
 {
     bench::banner("Figure 16 (measured): closed-loop qps vs shard "
                   "count");
@@ -209,6 +298,10 @@ runShardScaling(const std::vector<size_t> &shard_counts)
         core::ClusterRouter router(pipeline, cluster);
         const auto real = core::runClosedLoop(router, shards,
                                               queries_per_client);
+        char arm[24];
+        std::snprintf(arm, sizeof(arm), "%zu_shards", shards);
+        router.exportMetrics(sink.registry,
+                             {{"experiment", "scaling"}, {"arm", arm}});
         const auto fleet = core::projectClosedLoopFleet(
             service_seconds, shards, shard_config.workers, 1,
             queries_per_client);
@@ -272,6 +365,7 @@ main(int argc, char **argv)
     if (argc > 1 && std::strcmp(argv[1], "--measured") == 0) {
         std::vector<size_t> shard_counts;
         size_t batch_size = 8;
+        MetricsSink sink;
         for (int i = 2; i < argc; ++i) {
             if (std::strcmp(argv[i], "--shards") == 0) {
                 while (i + 1 < argc && std::atoi(argv[i + 1]) > 0)
@@ -279,12 +373,20 @@ main(int argc, char **argv)
                         static_cast<size_t>(std::atoi(argv[++i])));
                 if (shard_counts.empty())
                     shard_counts = {1, 2, 4};
-            } else if (std::atoi(argv[i]) > 0)
+            } else if (std::strcmp(argv[i], "--metrics-out") == 0 &&
+                       i + 1 < argc)
+                sink.metricsOut = argv[++i];
+            else if (std::strcmp(argv[i], "--csv-out") == 0 &&
+                     i + 1 < argc)
+                sink.csvOut = argv[++i];
+            else if (std::atoi(argv[i]) > 0)
                 batch_size = static_cast<size_t>(std::atoi(argv[i]));
         }
-        if (!shard_counts.empty())
-            return runShardScaling(shard_counts);
-        return runMeasured(batch_size);
+        const int rc = shard_counts.empty()
+                           ? runMeasured(batch_size, sink)
+                           : runShardScaling(shard_counts, sink);
+        sink.flush();
+        return rc;
     }
     bench::banner("Figure 16: Throughput Across Services (vs 4-core "
                   "query-parallel CMP)");

@@ -97,8 +97,23 @@ measuredComparison(const std::string &metrics_out,
         core::ConcurrentServerConfig server_config;
         server_config.workers = 1; // M/*/1: the queueing model's shape
         server_config.queueCapacity = 256;
+        // Trace every query: the default run doubles as the regression
+        // gate that the span ring is sized for full sampling at this
+        // request count (sirius_trace_dropped_total must stay 0).
+        server_config.traceSampleRate = 1.0;
+        server_config.traceCapacity = 8192;
         core::ConcurrentServer server(pipeline, server_config);
         const auto measured = core::runOpenLoop(server, lambda, 160);
+        if (const auto stats = server.snapshot(); stats.traceDropped != 0) {
+            std::fprintf(stderr,
+                         "FAIL: %llu spans dropped from the trace ring "
+                         "at load %.1f — sirius_trace_dropped_total "
+                         "must be 0 in the default fig17 run\n",
+                         static_cast<unsigned long long>(
+                             stats.traceDropped),
+                         rho);
+            std::exit(1);
+        }
         const auto replayed = core::loadTest(probe, lambda, 4000);
         char load[16];
         std::snprintf(load, sizeof(load), "%.1f", rho);

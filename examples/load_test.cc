@@ -55,6 +55,27 @@
  *   --metrics-csv F   write the merged metrics registry to F as CSV
  *   --log-level L     log threshold: debug|info|warn|error
  *
+ * SLO engine + flight recorder (--real mode; docs/OBSERVABILITY.md):
+ *   --slo             track SLOs — availability 99.9% plus latency p99
+ *                     under the deadline (250 ms when no deadline is
+ *                     set) — with multi-window burn-rate alerts
+ *   --slo-scale S     multiply every alert window by S, shrinking the
+ *                     production 5m/1h + 6h/3d pairs to drill scale
+ *                     (default 1; implies --slo)
+ *   --slo-report      print the per-objective SLO report at the end
+ *                     (windows, burn rates, alert transitions;
+ *                     implies --slo)
+ *   --events-out F    write the structured event log (alert fire and
+ *                     clear, shard eject/recover/kill/revive, drill
+ *                     switches, flight dumps) to F as JSONL
+ *   --flight-out F    keep whole traces of the slowest + sampled
+ *                     queries in the flight recorder and dump them to
+ *                     F as JSONL on every alert fire and at exit
+ *   --kill-mode M     what --kill-shard-at does: admin (clean drain,
+ *                     the default) or fault (the shard stays routable
+ *                     and fails queries loudly, so ejection and the
+ *                     SLO burn-rate alerts see the outage)
+ *
  * Scale-out (implies --real; see docs/SCALING.md):
  *   --shards M        route across M replicated shards, each its own
  *                     queue + workers + batcher + caches (default: the
@@ -81,8 +102,10 @@
 #include <string>
 
 #include "common/fault_injection.h"
+#include "common/flight_recorder.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/slo.h"
 #include "common/trace.h"
 #include "core/cluster.h"
 #include "core/concurrent_server.h"
@@ -99,9 +122,16 @@ struct Observability
     std::string traceOut;
     std::string metricsOut;
     std::string metricsCsv;
+    std::string eventsOut;
+    std::string flightOut;
     double sampleRate = 0.0;
     MetricsRegistry registry;
     bool traceFileStarted = false;
+
+    /** The SLO plane; null members mean the feature is off. */
+    SloTracker *slo = nullptr;
+    EventLog *events = nullptr;
+    FlightRecorder *flight = nullptr;
 
     /** Drain one server's collector and registry into the sinks. */
     void
@@ -138,8 +168,17 @@ struct Observability
     }
 
     void
-    flush() const
+    flush()
     {
+        // The single-server sweeps never export the SLO plane through a
+        // router, so fold it into the registry here (the delta-add
+        // export idiom makes re-export after a cluster sweep a no-op).
+        if (slo != nullptr)
+            slo->exportTo(registry);
+        if (events != nullptr)
+            events->exportTo(registry);
+        if (flight != nullptr)
+            flight->exportTo(registry);
         if (!metricsOut.empty()) {
             std::FILE *f = std::fopen(metricsOut.c_str(), "w");
             if (f != nullptr) {
@@ -163,8 +202,60 @@ struct Observability
             std::printf("wrote trace spans to %s (analyze with "
                         "trace_report %s)\n", traceOut.c_str(),
                         traceOut.c_str());
+        if (events != nullptr && !eventsOut.empty() &&
+            events->writeJsonl(eventsOut))
+            std::printf("wrote %zu events to %s\n",
+                        events->snapshot().size(), eventsOut.c_str());
+        if (flight != nullptr) {
+            const auto stats = flight->stats();
+            std::printf("flight: offered %llu, kept %llu (slowest %zu, "
+                        "sample %zu retained), merged %llu, evicted "
+                        "%llu, %.1f KiB\n",
+                        static_cast<unsigned long long>(stats.offered),
+                        static_cast<unsigned long long>(stats.kept),
+                        stats.slowestCount, stats.sampleCount,
+                        static_cast<unsigned long long>(stats.merged),
+                        static_cast<unsigned long long>(stats.evicted),
+                        static_cast<double>(stats.bytes) / 1024.0);
+            if (!flightOut.empty() && flight->dumpJsonl(flightOut))
+                std::printf("wrote flight traces to %s (analyze with "
+                            "trace_report %s)\n", flightOut.c_str(),
+                            flightOut.c_str());
+        }
     }
 };
+
+/** The --slo-report body: every objective, window, and alert. */
+void
+printSloReport(const SloTracker &tracker)
+{
+    const SloSnapshot snap = tracker.snapshot();
+    std::printf("\nslo report:\n");
+    for (const SloObjectiveStatus &objective : snap.objectives) {
+        const double lifetime = objective.total > 0
+            ? static_cast<double>(objective.good) /
+                static_cast<double>(objective.total)
+            : 1.0;
+        std::printf("slo[%s]: target %.4f%%, lifetime good %llu/%llu "
+                    "(%.4f%%)\n", objective.objective.c_str(),
+                    objective.target * 100.0,
+                    static_cast<unsigned long long>(objective.good),
+                    static_cast<unsigned long long>(objective.total),
+                    lifetime * 100.0);
+        for (const SloWindowStatus &window : objective.windows)
+            std::printf("slo[%s] window %s: good %.4f%%, burn %.2f\n",
+                        objective.objective.c_str(),
+                        window.window.c_str(), window.goodRatio * 100.0,
+                        window.burnRate);
+        for (const SloAlertStatus &alert : objective.alerts)
+            std::printf("slo[%s] alert %s: %s, fires %llu, clears "
+                        "%llu\n", objective.objective.c_str(),
+                        alert.alert.c_str(),
+                        alert.firing ? "FIRING" : "ok",
+                        static_cast<unsigned long long>(alert.fires),
+                        static_cast<unsigned long long>(alert.clears));
+    }
+}
 
 void
 replaySweep(SiriusServer &server, double capacity, double max_load)
@@ -385,8 +476,10 @@ clusterSweep(const SiriusPipeline &pipeline, double capacity,
     ClusterLoadOptions options = drill;
     options.zipfSkew = zipf_skew;
     if (drill.killShardAt != 0)
-        std::printf("\ndrill: killing shard %zu before request %zu%s\n",
-                    drill.killShard, drill.killShardAt,
+        std::printf("\ndrill: killing shard %zu (%s mode) before "
+                    "request %zu%s\n", drill.killShard,
+                    drill.killByFault ? "fault" : "admin",
+                    drill.killShardAt,
                     drill.reviveShardAt != 0 ? " (revived later)" : "");
     const auto closed = runClosedLoop(router, clients, per_client,
                                       options);
@@ -447,6 +540,10 @@ main(int argc, char **argv)
     bool no_cache = false;
     Observability obs;
     double trace_sample = -1.0; // -1: pick a default after parsing
+    bool slo_enabled = false;
+    bool slo_report = false;
+    double slo_scale = 1.0;
+    std::string kill_mode = "admin";
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--real") == 0)
             real = true;
@@ -528,6 +625,27 @@ main(int argc, char **argv)
         else if (std::strcmp(argv[i], "--metrics-csv") == 0 &&
                  i + 1 < argc)
             obs.metricsCsv = argv[++i];
+        else if (std::strcmp(argv[i], "--slo") == 0)
+            slo_enabled = true;
+        else if (std::strcmp(argv[i], "--slo-scale") == 0 && i + 1 < argc) {
+            slo_scale = std::atof(argv[++i]);
+            slo_enabled = true;
+        } else if (std::strcmp(argv[i], "--slo-report") == 0) {
+            slo_report = true;
+            slo_enabled = true;
+        } else if (std::strcmp(argv[i], "--events-out") == 0 &&
+                   i + 1 < argc)
+            obs.eventsOut = argv[++i];
+        else if (std::strcmp(argv[i], "--flight-out") == 0 &&
+                 i + 1 < argc)
+            obs.flightOut = argv[++i];
+        else if (std::strcmp(argv[i], "--kill-mode") == 0 &&
+                 i + 1 < argc) {
+            kill_mode = argv[++i];
+            if (kill_mode != "admin" && kill_mode != "fault")
+                fatal("unknown --kill-mode '" + kill_mode +
+                      "' (want admin|fault)");
+        }
         else if (std::strcmp(argv[i], "--log-level") == 0 &&
                  i + 1 < argc) {
             LogLevel level;
@@ -545,10 +663,11 @@ main(int argc, char **argv)
         : (faults_requested ? 1 : 0);
     if (no_cache)
         config.cache.enabled = false;
-    // Tracing defaults on (keep everything) once a sink is named.
+    // Tracing defaults on (keep everything) once a sink is named; the
+    // flight recorder rides on traced spans, so --flight-out counts.
     obs.sampleRate = trace_sample >= 0.0
         ? trace_sample
-        : (obs.traceOut.empty() ? 0.0 : 1.0);
+        : (obs.traceOut.empty() && obs.flightOut.empty() ? 0.0 : 1.0);
     if (!real && (!obs.traceOut.empty() || !obs.metricsOut.empty() ||
                   !obs.metricsCsv.empty()))
         std::fprintf(stderr, "note: --trace-out/--metrics-out need "
@@ -557,6 +676,60 @@ main(int argc, char **argv)
     FaultInjector injector(fault_config);
     if (injector.enabled())
         config.faults = &injector;
+
+    // The observability plane. All three outlive every server/router
+    // the sweeps create; the drill injector stays disarmed until the
+    // drill's kill point flips it.
+    EventLog events(1024);
+    FlightRecorderConfig flight_config;
+    std::unique_ptr<FlightRecorder> flight;
+    if (!obs.flightOut.empty()) {
+        flight = std::make_unique<FlightRecorder>(flight_config);
+        obs.flight = flight.get();
+    }
+    std::unique_ptr<SloTracker> slo;
+    if (slo_enabled) {
+        SloConfig slo_config = defaultSloConfig(
+            config.deadlineSeconds > 0.0 ? config.deadlineSeconds
+                                         : 0.25);
+        slo_config.windowScale = slo_scale;
+        slo = std::make_unique<SloTracker>(slo_config, &events);
+        obs.slo = slo.get();
+        if (obs.flight != nullptr) {
+            // Alert-triggered dump: capture the slow traces the moment
+            // the burn rate says something is wrong.
+            SloTracker *tracker = slo.get();
+            FlightRecorder *recorder = obs.flight;
+            EventLog *log = &events;
+            const std::string path = obs.flightOut;
+            tracker->setOnFire([tracker, recorder, log, path]() {
+                recorder->dumpJsonl(path);
+                log->note(tracker->nowSeconds(), "flight_dump",
+                          "flight recorder dumped on alert fire",
+                          {{"path", path}});
+            });
+        }
+    }
+    obs.events = &events;
+    FaultConfig drill_fault_config;
+    drill_fault_config.failureRate = 1.0;
+    FaultInjector drill_injector(drill_fault_config);
+    drill_injector.setEnabled(false);
+    if (kill_mode == "fault") {
+        drill.killByFault = true;
+        if (cluster.shards == 0)
+            fatal("--kill-mode fault needs --shards (the drill is a "
+                  "cluster exercise)");
+        cluster.shardFaults.assign(cluster.shards, nullptr);
+        cluster.shardFaults[drill.killShard] = &drill_injector;
+    }
+    cluster.slo = obs.slo;
+    cluster.flight = obs.flight;
+    cluster.events = &events;
+    // Single-server mode feeds the same plane directly; the router
+    // overrides these on its shards (it owns the fleet-level feeds).
+    config.slo = obs.slo;
+    config.flight = obs.flight;
 
     std::printf("training the pipeline and starting a leaf server...\n");
     const SiriusPipeline pipeline = SiriusPipeline::build();
@@ -577,6 +750,8 @@ main(int argc, char **argv)
                   zipf_skew, obs);
     else
         replaySweep(server, capacity, max_load);
+    if (slo_report && obs.slo != nullptr)
+        printSloReport(*obs.slo);
     if (real)
         obs.flush();
 

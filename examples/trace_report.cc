@@ -7,10 +7,19 @@
  * queue_wait spans, and the slowest-N exemplar queries with their
  * budgets itemized.
  *
+ * Stitched cluster dumps (load_test --shards N --trace-out or
+ * --flight-out) group by the shared trace id: router route/route_leg
+ * spans and the shard-side spans of every leg land in one trace, so
+ * the report labels hedged/failover arms, names the winning arm and
+ * shard, and runs the exact critical-path partition
+ * (common/critical_path.h) per query — segment durations sum to the
+ * root span to within float addition error.
+ *
  * Usage: ./build/examples/trace_report TRACE.jsonl [--slowest N]
  */
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/critical_path.h"
 #include "common/trace.h"
 
 using namespace sirius;
@@ -36,6 +46,14 @@ struct TraceSummary
     std::string degradation = "none";
     std::string text;
     bool hasRoot = false;
+    // Cluster stitching: filled from route / route_leg spans.
+    bool stitched = false;
+    bool hedged = false;
+    int failovers = 0;
+    int legs = 0;
+    double routeSeconds = 0.0; ///< router summary span (outermost root)
+    std::string winnerArm;
+    std::string winnerShard;
 };
 
 struct ComponentAgg
@@ -139,19 +157,46 @@ main(int argc, char **argv)
           case SpanKind::Degradation:
             break;
           case SpanKind::Route:
-            // Cluster-tier spans have their own ids (per-router offset
-            // blocks), so they aggregate as distinct traces; the
-            // per-query report keys on the leaf spans.
+            // Stitched cluster traces share one id across the router
+            // and every shard leg, so route spans fold into the same
+            // TraceSummary as the leaf spans they cover.
+            if (span.name == "route") {
+                trace.stitched = true;
+                trace.routeSeconds = span.durationSeconds;
+                trace.degradation =
+                    attrValue(span, "outcome", trace.degradation);
+            } else if (span.name == "route_leg") {
+                ++trace.legs;
+                const std::string arm = attrValue(span, "arm");
+                if (arm == "hedge")
+                    trace.hedged = true;
+                else if (arm == "failover")
+                    ++trace.failovers;
+                if (attrValue(span, "won") == "1") {
+                    trace.winnerArm = arm;
+                    trace.winnerShard = attrValue(span, "shard");
+                }
+            }
             break;
         }
     }
 
-    size_t complete = 0;
-    for (const auto &[id, trace] : traces)
+    // A stitched trace's end-to-end root is the router summary span,
+    // which encloses the winning leg's query span.
+    size_t complete = 0, stitched_count = 0;
+    for (auto &[id, trace] : traces) {
+        if (trace.stitched) {
+            trace.hasRoot = true;
+            trace.totalSeconds = trace.routeSeconds;
+            ++stitched_count;
+        }
         complete += trace.hasRoot ? 1 : 0;
+    }
     std::printf("trace_report: %zu spans, %zu traces (%zu with a root "
-                "query span), %zu malformed lines\n\n",
-                spans.size(), traces.size(), complete, malformed);
+                "span, %zu stitched across the cluster tier), "
+                "%zu malformed lines\n\n",
+                spans.size(), traces.size(), complete, stitched_count,
+                malformed);
 
     // --- Figure-9-style per-component breakdown (kernel spans) ---
     double kernel_total = 0.0;
@@ -235,23 +280,116 @@ main(int argc, char **argv)
     if (!order.empty() && slowest > 0) {
         std::printf("slowest %zu queries\n",
                     std::min(slowest, order.size()));
-        std::printf("  %-10s %10s %10s %8s %8s %8s %4s %-9s %s\n",
+        std::printf("  %-10s %10s %10s %8s %8s %8s %4s %-9s %-12s %s\n",
                     "trace", "total ms", "queue ms", "asr ms", "qa ms",
-                    "imm ms", "rtry", "rung", "text");
+                    "imm ms", "rtry", "rung", "arm", "text");
         for (size_t i = 0; i < order.size() && i < slowest; ++i) {
             const TraceSummary &t = *order[i];
             const auto stage = [&t](const char *name) {
                 auto it = t.stageSeconds.find(name);
                 return it == t.stageSeconds.end() ? 0.0 : it->second;
             };
+            std::string arm = "-";
+            if (t.stitched) {
+                arm = t.winnerArm.empty() ? "?" : t.winnerArm;
+                if (!t.winnerShard.empty())
+                    arm += "@" + t.winnerShard;
+                if (t.hedged && t.winnerArm != "hedge")
+                    arm += "+h";
+                if (t.failovers > 0)
+                    arm += "+f" + std::to_string(t.failovers);
+            }
             std::printf("  %-10llu %10.2f %10.2f %8.2f %8.2f %8.2f "
-                        "%4d %-9s %s\n",
+                        "%4d %-9s %-12s %s\n",
                         static_cast<unsigned long long>(t.id),
                         t.totalSeconds * 1e3,
                         t.queueWaitSeconds * 1e3, stage("asr") * 1e3,
                         stage("qa") * 1e3, stage("imm") * 1e3,
-                        t.retries, t.degradation.c_str(),
+                        t.retries, t.degradation.c_str(), arm.c_str(),
                         t.text.c_str());
+        }
+        std::printf("\n");
+    }
+
+    // --- exact critical-path attribution over stitched traces ---
+    const auto grouped = groupByTrace(spans);
+    std::vector<CriticalPathReport> reports;
+    size_t hedged_count = 0, failover_count = 0;
+    double residual_max = 0.0;
+    std::map<std::string, ComponentAgg> segment_agg;
+    for (const auto &[id, trace_spans] : grouped) {
+        CriticalPathReport report = analyzeCriticalPath(trace_spans);
+        if (!report.valid || !report.stitched)
+            continue;
+        hedged_count += report.hedged ? 1 : 0;
+        failover_count += report.failovers > 0 ? 1 : 0;
+        residual_max =
+            std::max(residual_max, std::abs(report.sumSeconds() -
+                                            report.totalSeconds));
+        for (const auto &seg : report.segments) {
+            ComponentAgg &agg = segment_agg[seg.name];
+            agg.seconds += seg.durationSeconds;
+            agg.calls += 1;
+            agg.maxSeconds =
+                std::max(agg.maxSeconds, seg.durationSeconds);
+        }
+        reports.push_back(std::move(report));
+    }
+    if (!reports.empty()) {
+        double path_total = 0.0;
+        for (const auto &[name, agg] : segment_agg)
+            path_total += agg.seconds;
+        std::printf("critical-path attribution over %zu stitched "
+                    "traces (%zu hedged, %zu with failover; max "
+                    "|segments - root| = %.3f us)\n",
+                    reports.size(), hedged_count, failover_count,
+                    residual_max * 1e6);
+        std::printf("  %-26s %12s %10s %8s\n", "segment", "total s",
+                    "mean ms", "share");
+        std::vector<std::pair<std::string, ComponentAgg>> rows(
+            segment_agg.begin(), segment_agg.end());
+        std::sort(rows.begin(), rows.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second.seconds > b.second.seconds;
+                  });
+        for (const auto &[name, agg] : rows) {
+            std::printf("  %-26s %12.4f %10.3f %7.1f%%\n", name.c_str(),
+                        agg.seconds,
+                        agg.seconds /
+                            static_cast<double>(agg.calls) * 1e3,
+                        path_total > 0.0
+                            ? agg.seconds / path_total * 100.0
+                            : 0.0);
+        }
+
+        std::sort(reports.begin(), reports.end(),
+                  [](const CriticalPathReport &a,
+                     const CriticalPathReport &b) {
+                      return a.totalSeconds > b.totalSeconds;
+                  });
+        std::printf("\n  slowest stitched queries, itemized\n");
+        for (size_t i = 0; i < reports.size() && i < slowest; ++i) {
+            const CriticalPathReport &r = reports[i];
+            std::printf("  trace %llu: %.2f ms via %s arm on shard %s "
+                        "(%d leg%s%s%s, rung %s)\n",
+                        static_cast<unsigned long long>(r.traceId),
+                        r.totalSeconds * 1e3,
+                        r.winnerArm.empty() ? "?" : r.winnerArm.c_str(),
+                        r.winnerShard.empty() ? "?"
+                                              : r.winnerShard.c_str(),
+                        r.legs, r.legs == 1 ? "" : "s",
+                        r.hedged ? ", hedged" : "",
+                        r.failovers > 0 ? ", failover" : "",
+                        r.degradation.c_str());
+            for (const auto &seg : r.segments) {
+                std::printf("    %-24s %10.3f ms %6.1f%%\n",
+                            seg.name.c_str(),
+                            seg.durationSeconds * 1e3,
+                            r.totalSeconds > 0.0
+                                ? seg.durationSeconds /
+                                      r.totalSeconds * 100.0
+                                : 0.0);
+            }
         }
     }
     return 0;

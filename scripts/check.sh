@@ -49,7 +49,7 @@ cat > "$trace_tmp" <<'EOF'
 {"trace":1,"span":1,"parent":0,"kind":"query","name":"query","start_s":0.000000000,"dur_s":0.100000000,"attrs":{"type":"vq","degradation":"none","text":"smoke test"}}
 EOF
 report="$(./build/examples/trace_report "$trace_tmp" --slowest 1)"
-echo "$report" | grep -q "1 traces (1 with a root query span)" || {
+echo "$report" | grep -q "1 traces (1 with a root span" || {
     echo "trace_report smoke run failed:"; echo "$report"; exit 1; }
 echo "$report" | grep -q "queue wait" || {
     echo "trace_report printed no attribution table"; exit 1; }
@@ -57,6 +57,9 @@ echo "trace_report smoke run: OK"
 
 echo "==> cluster: shard-outage smoke drill (scripts/cluster_smoke.sh)"
 scripts/cluster_smoke.sh
+
+echo "==> slo: fault-injection drill with burn-rate alerts (scripts/slo_smoke.sh)"
+scripts/slo_smoke.sh
 
 if [ "${SKIP_TSAN:-0}" = "1" ]; then
     echo "==> SKIP_TSAN=1: skipping the ThreadSanitizer pass"
@@ -70,9 +73,9 @@ cmake -B build-tsan -S . -DSIRIUS_SANITIZE=thread >/dev/null
 # additional thread coverage.
 cmake --build build-tsan -j "$jobs" \
     --target test_server test_robustness test_common test_observability \
-             test_batching test_cache test_cluster
+             test_batching test_cache test_cluster test_slo
 (cd build-tsan &&
      ctest --output-on-failure -j "$jobs" \
-           -R "Server|Robustness|Deadline|FaultInjector|LatencyHistogram|Profiler|ThreadPool|ParallelFor|Trace|Metrics|Observability|Batch|ManualTime|Cache|Zipf|ShardedLru|Cluster|RoutingPolicy|FleetProjection|ShardedQueueing")
+           -R "Server|Robustness|Deadline|FaultInjector|LatencyHistogram|Profiler|ThreadPool|ParallelFor|Trace|Metrics|Observability|Batch|ManualTime|Cache|Zipf|ShardedLru|Cluster|RoutingPolicy|FleetProjection|ShardedQueueing|Slo|EventLog|FlightRecorder|CriticalPath")
 
 echo "==> all checks passed"

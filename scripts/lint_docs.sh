@@ -10,7 +10,13 @@
 #      so family mentions like `sirius_cache...` pass while a typo'd
 #      full name fails. Tokens ending in `_` (wildcard shorthand like
 #      `sirius_batch_*` after stripping) are skipped.
-#   3. The operator surface is documented: every public field of
+#   3. The observability-plane surface is documented in the other
+#      direction too: every `sirius_slo_*`, `sirius_trace_*`,
+#      `sirius_flight_*`, and `sirius_events_*` metric *registered in
+#      src/* must be mentioned in docs/OBSERVABILITY.md — these are the
+#      families an on-call reads during an incident, so an undocumented
+#      one is a runbook hole, not just missing prose.
+#   4. The operator surface is documented: every public field of
 #      ConcurrentServerConfig and ClusterConfig, and every `--flag`
 #      examples/load_test.cc accepts, must be mentioned somewhere in
 #      docs/ or README.md. Field names are parsed out of the struct
@@ -66,7 +72,25 @@ for metric in $metrics; do
     fi
 done
 
-# --- gate 3: config fields + load_test flags are documented ------------
+# --- gate 3: registered observability metrics are documented -----------
+# The exporters register full names as string literals; every literal
+# in the SLO/trace/flight/event families must appear in the inventory
+# doc. (Gate 2 checks the reverse: documented names must exist.)
+observability_doc="docs/OBSERVABILITY.md"
+plane_metrics="$(grep -rhoE \
+        '"sirius_(slo|trace|flight|events)_[a-z0-9_]+"' \
+        --include='*.cc' --include='*.h' src/ | tr -d '"' | sort -u ||
+    true)"
+for metric in $plane_metrics; do
+    if [ ! -f "$observability_doc" ] ||
+        ! grep -qF "$metric" "$observability_doc"; then
+        echo "lint_docs: metric '$metric' is registered in src/ but" \
+             "not documented in $observability_doc"
+        status=1
+    fi
+done
+
+# --- gate 4: config fields + load_test flags are documented ------------
 # Only operator-facing docs count as documentation; a field mentioned
 # nowhere but a test would still fail here.
 operator_docs="README.md docs/*.md"

@@ -1,0 +1,129 @@
+#!/bin/sh
+# SLO smoke drill: run the load generator against a 4-shard cluster,
+# inject a *fault-mode* outage on one shard mid-run (the shard stays
+# routable and fails queries loudly — unlike the clean admin kill in
+# cluster_smoke.sh, this is the outage shape the SLO engine exists
+# for), revive it, and assert the observability-plane invariants
+# docs/OBSERVABILITY.md promises:
+#
+#   1. the fleet absorbs the outage: zero Failed queries (failover
+#      rescues every answer) and 4/4 shards healthy at the end,
+#   2. the availability burn-rate alert *fires* during the outage and
+#      *clears* after the revival — the fast (short-window) rule, whose
+#      scaled windows fit inside the run,
+#   3. the ejection/recovery and drill switches land in the structured
+#      event log as machine-readable events,
+#   4. the flight recorder captured whole stitched traces (router
+#      route spans and shard legs sharing one trace id) and dumped
+#      them on alert fire.
+#
+# CI runs this after cluster_smoke (see scripts/check.sh). It greps
+# load_test's humane output, so the "slo[...]", "fleet:", "flight:"
+# summary lines there are load-bearing.
+set -eu
+
+cd "$(dirname "$0")/.."
+bin=./build/examples/load_test
+if [ ! -x "$bin" ]; then
+    echo "slo_smoke: $bin not built (run cmake --build build first)"
+    exit 1
+fi
+
+out="$(mktemp /tmp/sirius_slo_smoke.XXXXXX)"
+events="$(mktemp /tmp/sirius_slo_events.XXXXXX.jsonl)"
+flight="$(mktemp /tmp/sirius_slo_flight.XXXXXX.jsonl)"
+trap 'rm -f "$out" "$events" "$flight"' EXIT
+
+# 4 shards x 2 workers, 80 open-loop requests at 0.3 load. Shard 1's
+# fault injector arms before request 20 (100% failure rate: ejection
+# after consecutive failures, failovers rescue the answers) and
+# disarms before request 60 (probe recovery). --slo-scale 2e-4 shrinks
+# the production alert windows to sub-second so the fast rule can both
+# fire and clear inside the run.
+"$bin" --shards 4 --workers 2 --requests 80 \
+       --slo-report --slo-scale 0.0002 \
+       --kill-mode fault --kill-shard 1 --kill-shard-at 20 \
+       --revive-shard-at 60 \
+       --events-out "$events" --flight-out "$flight" 0.3 | tee "$out"
+
+status=0
+
+# --- invariant 1: the outage never reached a client -------------------
+fleet="$(grep '^fleet:' "$out" || true)"
+case "$fleet" in
+*"failed 0"*) ;;
+*)
+    echo "slo_smoke: FAIL — queries failed during the fault drill:"
+    echo "  ${fleet:-<no fleet line>}"
+    status=1
+    ;;
+esac
+case "$fleet" in
+*"healthy 4/4"*) ;;
+*)
+    echo "slo_smoke: FAIL — shard 1 did not recover by the end:"
+    echo "  ${fleet:-<no fleet line>}"
+    status=1
+    ;;
+esac
+
+# --- invariant 2: the fast availability alert fired and cleared -------
+alert="$(grep '^slo\[availability\] alert fast:' "$out" || true)"
+if [ -z "$alert" ]; then
+    echo "slo_smoke: FAIL — no fast availability alert line in the" \
+         "SLO report"
+    status=1
+else
+    fires="$(echo "$alert" | sed -n 's/.*fires \([0-9]*\).*/\1/p')"
+    clears="$(echo "$alert" | sed -n 's/.*clears \([0-9]*\).*/\1/p')"
+    if [ "${fires:-0}" -lt 1 ]; then
+        echo "slo_smoke: FAIL — the availability burn-rate alert never" \
+             "fired during the outage:"
+        echo "  $alert"
+        status=1
+    fi
+    if [ "${clears:-0}" -lt 1 ]; then
+        echo "slo_smoke: FAIL — the alert never cleared after the" \
+             "revival:"
+        echo "  $alert"
+        status=1
+    fi
+    case "$alert" in
+    *": ok,"*) ;;
+    *)
+        echo "slo_smoke: FAIL — the alert is still firing at the end" \
+             "of the run:"
+        echo "  $alert"
+        status=1
+        ;;
+    esac
+fi
+
+# --- invariant 3: structured events tell the story --------------------
+for kind in drill shard_eject shard_recover alert_fire alert_clear; do
+    if ! grep -q "\"kind\":\"$kind\"" "$events"; then
+        echo "slo_smoke: FAIL — no '$kind' event in the event log" \
+             "($events)"
+        status=1
+    fi
+done
+
+# --- invariant 4: the flight recorder holds stitched traces -----------
+if ! [ -s "$flight" ]; then
+    echo "slo_smoke: FAIL — the flight recorder dumped no traces"
+    status=1
+elif ! grep -q '"name":"route"' "$flight"; then
+    echo "slo_smoke: FAIL — flight traces hold no router route spans" \
+         "(stitching broken?)"
+    status=1
+elif ! grep -q '"name":"queue_wait"' "$flight"; then
+    echo "slo_smoke: FAIL — flight traces hold no shard-side spans" \
+         "(legs not merged into the trace?)"
+    status=1
+fi
+
+if [ "$status" = "0" ]; then
+    echo "slo_smoke: OK (alert fired and cleared across the fault" \
+         "drill, zero failed queries, stitched flight traces captured)"
+fi
+exit "$status"

@@ -1,0 +1,216 @@
+#include "common/critical_path.h"
+
+#include <algorithm>
+
+namespace sirius {
+
+namespace {
+
+/** Attr lookup; empty string when absent. */
+std::string
+attrOf(const SpanRecord &span, const char *key)
+{
+    for (const auto &[k, v] : span.attrs)
+        if (k == key)
+            return v;
+    return std::string();
+}
+
+/**
+ * Sweep @p children (sorted by start) over [t0, t_end], emitting one
+ * segment per child interval and one gap segment per uncovered hole.
+ * Boundaries are computed once and chained, so the partition sums to
+ * t_end - t0 exactly (modulo float addition).
+ */
+void
+sweepSegments(const std::vector<const SpanRecord *> &children, double t0,
+              double t_end, const std::string &head_gap,
+              const std::string &tail_gap, CriticalPathReport &report)
+{
+    double cursor = t0;
+    bool first = true;
+    for (const SpanRecord *child : children) {
+        const double start =
+            std::clamp(child->startSeconds, cursor, t_end);
+        const double end = std::clamp(
+            child->startSeconds + child->durationSeconds, start, t_end);
+        if (start > cursor) {
+            CriticalPathSegment gap;
+            gap.name = first ? head_gap : "other";
+            gap.kind = "gap";
+            gap.startSeconds = cursor;
+            gap.durationSeconds = start - cursor;
+            report.segments.push_back(std::move(gap));
+        }
+        first = false;
+        if (end > start) {
+            CriticalPathSegment segment;
+            segment.name = child->name;
+            segment.kind = spanKindName(child->kind);
+            segment.startSeconds = start;
+            segment.durationSeconds = end - start;
+            report.segments.push_back(std::move(segment));
+            cursor = end;
+        } else {
+            cursor = std::max(cursor, start);
+        }
+    }
+    if (cursor < t_end) {
+        CriticalPathSegment gap;
+        gap.name = first ? head_gap : tail_gap;
+        gap.kind = "gap";
+        gap.startSeconds = cursor;
+        gap.durationSeconds = t_end - cursor;
+        report.segments.push_back(std::move(gap));
+    }
+}
+
+/** Direct children of @p parent_id with a real duration, by start. */
+std::vector<const SpanRecord *>
+childrenOf(const std::vector<SpanRecord> &spans, uint32_t parent_id)
+{
+    std::vector<const SpanRecord *> children;
+    for (const SpanRecord &span : spans)
+        if (span.parentId == parent_id && span.spanId != parent_id &&
+            span.durationSeconds > 0.0)
+            children.push_back(&span);
+    std::sort(children.begin(), children.end(),
+              [](const SpanRecord *a, const SpanRecord *b) {
+                  if (a->startSeconds != b->startSeconds)
+                      return a->startSeconds < b->startSeconds;
+                  return a->spanId < b->spanId;
+              });
+    return children;
+}
+
+} // namespace
+
+double
+CriticalPathReport::sumSeconds() const
+{
+    double sum = 0.0;
+    for (const CriticalPathSegment &segment : segments)
+        sum += segment.durationSeconds;
+    return sum;
+}
+
+std::map<uint64_t, std::vector<SpanRecord>>
+groupByTrace(const std::vector<SpanRecord> &spans)
+{
+    std::map<uint64_t, std::vector<SpanRecord>> traces;
+    for (const SpanRecord &span : spans)
+        traces[span.traceId].push_back(span);
+    return traces;
+}
+
+CriticalPathReport
+analyzeCriticalPath(const std::vector<SpanRecord> &trace_spans)
+{
+    CriticalPathReport report;
+    if (trace_spans.empty())
+        return report;
+    report.traceId = trace_spans.front().traceId;
+
+    const SpanRecord *summary = nullptr; ///< router "route" span
+    const SpanRecord *winnerLeg = nullptr;
+    std::vector<const SpanRecord *> legSpans;
+    for (const SpanRecord &span : trace_spans) {
+        if (span.kind != SpanKind::Route)
+            continue;
+        if (span.parentId == 0 && span.name == "route") {
+            summary = &span;
+        } else if (span.name == "route_leg") {
+            legSpans.push_back(&span);
+            if (attrOf(span, "won") == "1")
+                winnerLeg = &span;
+        }
+    }
+
+    const SpanRecord *root = nullptr; ///< the leaf "query" span to walk
+    double t0 = 0.0;
+    double tEnd = 0.0;
+    if (summary != nullptr) {
+        report.stitched = true;
+        report.valid = true;
+        report.legs = static_cast<int>(legSpans.size());
+        for (const SpanRecord *leg : legSpans) {
+            const std::string arm = attrOf(*leg, "arm");
+            if (arm == "hedge")
+                report.hedged = true;
+            if (arm == "failover")
+                ++report.failovers;
+        }
+        if (winnerLeg != nullptr) {
+            report.winnerArm = attrOf(*winnerLeg, "arm");
+            report.winnerShard = attrOf(*winnerLeg, "shard");
+            for (const SpanRecord &span : trace_spans)
+                if (span.kind == SpanKind::Query &&
+                    span.parentId == winnerLeg->spanId) {
+                    root = &span;
+                    break;
+                }
+        }
+        report.totalSeconds = summary->durationSeconds;
+        t0 = summary->startSeconds;
+        tEnd = t0 + summary->durationSeconds;
+    } else {
+        for (const SpanRecord &span : trace_spans)
+            if (span.kind == SpanKind::Query && span.parentId == 0) {
+                root = &span;
+                break;
+            }
+        if (root == nullptr)
+            return report; // no root at all: unattributable
+        report.valid = true;
+        report.winnerArm = "local";
+        report.totalSeconds = root->durationSeconds;
+        t0 = root->startSeconds;
+        tEnd = t0 + root->durationSeconds;
+    }
+
+    if (root != nullptr) {
+        report.degradation = attrOf(*root, "degradation");
+        if (report.degradation.empty())
+            report.degradation = "none";
+        // Head gap: time between the router accepting the query and the
+        // winning leg's root starting (routing + shard admission). Tail
+        // gap: leg completion back to delivery. Single-server traces
+        // have neither (head gap degenerates to "other").
+        const std::vector<const SpanRecord *> children =
+            childrenOf(trace_spans, root->spanId);
+        sweepSegments(children, t0, tEnd,
+                      report.stitched ? "route_dispatch" : "other",
+                      report.stitched ? "route_deliver" : "other",
+                      report);
+        // Kernel rollup for the winning leg: descendants of the root.
+        std::map<uint32_t, const SpanRecord *> byId;
+        for (const SpanRecord &span : trace_spans)
+            byId[span.spanId] = &span;
+        for (const SpanRecord &span : trace_spans) {
+            if (span.kind != SpanKind::Kernel)
+                continue;
+            uint32_t ancestor = span.parentId;
+            for (int depth = 0; depth < 64 && ancestor != 0; ++depth) {
+                if (ancestor == root->spanId) {
+                    report.kernelSeconds[span.name] +=
+                        span.durationSeconds;
+                    break;
+                }
+                auto it = byId.find(ancestor);
+                ancestor = it == byId.end() ? 0 : it->second->parentId;
+            }
+        }
+    } else if (report.stitched) {
+        // Leg spans lost (ring overwrote them): attribute everything to
+        // routing rather than pretending we know more.
+        CriticalPathSegment segment;
+        segment.name = "route";
+        segment.kind = "route";
+        segment.startSeconds = t0;
+        segment.durationSeconds = tEnd - t0;
+        report.segments.push_back(std::move(segment));
+    }
+    return report;
+}
+
+} // namespace sirius

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Critical-path attribution over stitched traces.
+ *
+ * The paper's Figure 9 attributes cycles to algorithmic components in
+ * aggregate; a stitched trace lets us do the same attribution exactly,
+ * per query: walk one trace (router route spans + the winning leg's
+ * shard spans, all on one clock after epoch alignment) and partition
+ * its end-to-end duration into named, non-overlapping segments —
+ * route dispatch, queue wait, each pipeline stage, inter-span gaps —
+ * that sum to the root span to within floating-point addition error.
+ * That exactness is the contract: "which shard/stage put query Q over
+ * its deadline" has a numeric answer, not a vibe.
+ */
+
+#ifndef SIRIUS_COMMON_CRITICAL_PATH_H
+#define SIRIUS_COMMON_CRITICAL_PATH_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/trace.h"
+
+namespace sirius {
+
+/** One contiguous slice of a query's end-to-end latency. */
+struct CriticalPathSegment
+{
+    std::string name; ///< segment label ("queue_wait", "asr", "other"...)
+    std::string kind; ///< spanKindName of the source span ("gap" if none)
+    double startSeconds = 0.0;
+    double durationSeconds = 0.0;
+};
+
+/** Exact latency attribution for one trace. */
+struct CriticalPathReport
+{
+    uint64_t traceId = 0;
+    bool valid = false;    ///< a root (route or query) span was found
+    bool stitched = false; ///< router route spans present (cluster query)
+    bool hedged = false;   ///< a hedge leg was dispatched
+    int failovers = 0;     ///< failover legs dispatched
+    int legs = 0;          ///< total legs (primary + failover + hedge)
+    std::string winnerArm;   ///< arm that delivered ("primary", "hedge"...)
+    std::string winnerShard; ///< shard index as text; "" for single server
+    std::string degradation = "none";
+    double totalSeconds = 0.0; ///< the root span's duration
+    /**
+     * Ordered partition of [start, start + total]: segment durations
+     * sum to totalSeconds exactly (each boundary is computed once, so
+     * the only error is float addition, well under the 1 µs contract).
+     */
+    std::vector<CriticalPathSegment> segments;
+    /**
+     * Kernel time inside the winning leg by kernel name — informational
+     * (kernels nest inside stage segments, so this is not part of the
+     * partition).
+     */
+    std::map<std::string, double> kernelSeconds;
+
+    /** Sum of the partition (== totalSeconds by construction). */
+    double sumSeconds() const;
+};
+
+/** Spans grouped by trace id, in trace-id order. */
+std::map<uint64_t, std::vector<SpanRecord>> groupByTrace(
+    const std::vector<SpanRecord> &spans);
+
+/**
+ * Attribute one trace's end-to-end latency. @p trace_spans holds every
+ * span of a single trace id, in any order. Degrades gracefully: a
+ * trace with no root yields valid = false; a stitched trace whose leg
+ * spans were lost to the ring bound falls back to one "route" segment.
+ */
+CriticalPathReport analyzeCriticalPath(
+    const std::vector<SpanRecord> &trace_spans);
+
+} // namespace sirius
+
+#endif // SIRIUS_COMMON_CRITICAL_PATH_H

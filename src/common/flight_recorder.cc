@@ -1,0 +1,304 @@
+#include "common/flight_recorder.h"
+
+#include <algorithm>
+
+namespace sirius {
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig config)
+    : config_(config), epoch_(std::chrono::steady_clock::now())
+{
+    config_.slowestCapacity = std::max<size_t>(config_.slowestCapacity, 1);
+    config_.sampleEvery = std::max<size_t>(config_.sampleEvery, 1);
+    windowStart_ = nowSeconds();
+}
+
+double
+FlightRecorder::nowSeconds() const
+{
+    if (config_.clock != nullptr)
+        return config_.clock->now();
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+size_t
+FlightRecorder::spanBytes(const SpanRecord &span)
+{
+    size_t bytes = sizeof(SpanRecord) + span.name.size();
+    for (const auto &[key, value] : span.attrs)
+        bytes += key.size() + value.size() + 2 * sizeof(std::string);
+    return bytes;
+}
+
+void
+FlightRecorder::rollWindowLocked(double now)
+{
+    if (config_.windowSeconds <= 0.0 ||
+        now - windowStart_ < config_.windowSeconds)
+        return;
+    kept_.clear();
+    sampleOrder_.clear();
+    bytes_ = 0;
+    windowStart_ = now;
+    ++stats_.windowRolls;
+}
+
+void
+FlightRecorder::eraseLocked(uint64_t trace_id)
+{
+    auto it = kept_.find(trace_id);
+    if (it == kept_.end())
+        return;
+    bytes_ -= std::min(bytes_, it->second.bytes);
+    sampleOrder_.erase(std::remove(sampleOrder_.begin(),
+                                   sampleOrder_.end(), trace_id),
+                       sampleOrder_.end());
+    kept_.erase(it);
+}
+
+void
+FlightRecorder::enforceBudgetLocked(uint64_t keep)
+{
+    // Samples are the baseline, the slowest-N are the evidence: shed
+    // the oldest samples first, then the least-slow of the slowest.
+    while (bytes_ > config_.byteBudget) {
+        uint64_t victim = 0;
+        bool found = false;
+        for (uint64_t id : sampleOrder_) {
+            if (id != keep) {
+                victim = id;
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            double minDuration = 0.0;
+            for (const auto &[id, trace] : kept_) {
+                if (id == keep)
+                    continue;
+                if (!found || trace.durationSeconds < minDuration) {
+                    victim = id;
+                    minDuration = trace.durationSeconds;
+                    found = true;
+                }
+            }
+        }
+        if (!found)
+            break; // only the protected trace remains
+        eraseLocked(victim);
+        ++stats_.evicted;
+    }
+}
+
+void
+FlightRecorder::offer(uint64_t trace_id, double duration_seconds,
+                      std::vector<SpanRecord> spans)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const double now = nowSeconds();
+    rollWindowLocked(now);
+    ++stats_.offered;
+
+    // Merge any staged legs of this trace into the candidate.
+    for (auto it = pending_.begin(); it != pending_.end();) {
+        if (it->first == trace_id) {
+            spans.insert(spans.end(),
+                         std::make_move_iterator(it->second.begin()),
+                         std::make_move_iterator(it->second.end()));
+            it = pending_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+
+    // Keep decision: slowest-N first (the tail is the point), uniform
+    // sample otherwise.
+    size_t slowestCount = 0;
+    double minSlowest = 0.0;
+    bool haveSlowest = false;
+    for (const auto &[id, trace] : kept_) {
+        if (trace.reason != "slowest")
+            continue;
+        ++slowestCount;
+        if (!haveSlowest || trace.durationSeconds < minSlowest) {
+            minSlowest = trace.durationSeconds;
+            haveSlowest = true;
+        }
+    }
+    std::string reason;
+    if (slowestCount < config_.slowestCapacity ||
+        (haveSlowest && duration_seconds > minSlowest))
+        reason = "slowest";
+    else if ((stats_.offered - 1) % config_.sampleEvery == 0 &&
+             config_.sampleCapacity > 0)
+        reason = "sample";
+    if (reason.empty())
+        return;
+
+    RecordedTrace trace;
+    trace.traceId = trace_id;
+    trace.reason = reason;
+    trace.endSeconds = now;
+    trace.durationSeconds = duration_seconds;
+    for (const SpanRecord &span : spans)
+        trace.bytes += spanBytes(span);
+    trace.spans = std::move(spans);
+    if (trace.bytes > config_.byteBudget) {
+        ++stats_.droppedBudget;
+        return; // would never fit, even alone
+    }
+
+    eraseLocked(trace_id); // replace a previous keep of the same id
+    bytes_ += trace.bytes;
+    if (reason == "sample")
+        sampleOrder_.push_back(trace_id);
+    kept_[trace_id] = std::move(trace);
+    ++stats_.kept;
+
+    // Capacity: trim each reservoir, then the shared byte budget.
+    size_t slowest = 0;
+    for (const auto &[id, kept] : kept_)
+        if (kept.reason == "slowest")
+            ++slowest;
+    while (slowest > config_.slowestCapacity) {
+        uint64_t victim = 0;
+        double minDuration = 0.0;
+        bool found = false;
+        for (const auto &[id, kept] : kept_) {
+            if (kept.reason != "slowest")
+                continue;
+            if (!found || kept.durationSeconds < minDuration) {
+                victim = id;
+                minDuration = kept.durationSeconds;
+                found = true;
+            }
+        }
+        if (!found)
+            break;
+        eraseLocked(victim);
+        ++stats_.evicted;
+        --slowest;
+    }
+    while (sampleOrder_.size() > config_.sampleCapacity) {
+        const uint64_t victim = sampleOrder_.front();
+        eraseLocked(victim);
+        ++stats_.evicted;
+    }
+    enforceBudgetLocked(trace_id);
+}
+
+void
+FlightRecorder::offerPartial(uint64_t trace_id,
+                             std::vector<SpanRecord> spans)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    rollWindowLocked(nowSeconds());
+    ++stats_.partials;
+    auto it = kept_.find(trace_id);
+    if (it != kept_.end()) {
+        // A late leg (hedge loser) of a trace we kept: merge it in.
+        RecordedTrace &trace = it->second;
+        size_t added = 0;
+        for (const SpanRecord &span : spans)
+            added += spanBytes(span);
+        trace.bytes += added;
+        bytes_ += added;
+        trace.spans.insert(trace.spans.end(),
+                           std::make_move_iterator(spans.begin()),
+                           std::make_move_iterator(spans.end()));
+        ++stats_.merged;
+        enforceBudgetLocked(trace_id);
+        return;
+    }
+    if (pending_.size() >= config_.pendingCapacity)
+        pending_.pop_front();
+    pending_.emplace_back(trace_id, std::move(spans));
+}
+
+std::vector<RecordedTrace>
+FlightRecorder::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<RecordedTrace> out;
+    out.reserve(kept_.size());
+    for (const auto &[id, trace] : kept_)
+        out.push_back(trace);
+    std::sort(out.begin(), out.end(),
+              [](const RecordedTrace &a, const RecordedTrace &b) {
+                  return a.durationSeconds > b.durationSeconds;
+              });
+    return out;
+}
+
+FlightRecorderStats
+FlightRecorder::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    FlightRecorderStats stats = stats_;
+    stats.bytes = bytes_;
+    stats.retained = kept_.size();
+    stats.sampleCount = sampleOrder_.size();
+    stats.slowestCount = kept_.size() - sampleOrder_.size();
+    return stats;
+}
+
+bool
+FlightRecorder::dumpJsonl(const std::string &path) const
+{
+    const std::vector<RecordedTrace> traces = snapshot();
+    std::vector<SpanRecord> spans;
+    for (const RecordedTrace &trace : traces)
+        spans.insert(spans.end(), trace.spans.begin(),
+                     trace.spans.end());
+    return writeTraceJsonl(path, spans);
+}
+
+void
+FlightRecorder::exportTo(MetricsRegistry &registry,
+                         const MetricLabels &base) const
+{
+    const FlightRecorderStats stats = this->stats();
+    const auto exportCounter = [&](const char *outcome, uint64_t value) {
+        MetricLabels labels = base;
+        labels.emplace_back("outcome", outcome);
+        auto &counter =
+            registry.counter("sirius_flight_traces_total", labels);
+        counter.add(value - std::min(value, counter.value()));
+    };
+    exportCounter("offered", stats.offered);
+    exportCounter("kept", stats.kept);
+    exportCounter("merged", stats.merged);
+    exportCounter("evicted", stats.evicted);
+    exportCounter("dropped_budget", stats.droppedBudget);
+    {
+        MetricLabels labels = base;
+        labels.emplace_back("recorder", "flight");
+        registry.gauge("sirius_flight_bytes", labels)
+            .set(static_cast<double>(stats.bytes));
+    }
+    {
+        MetricLabels labels = base;
+        labels.emplace_back("set", "slowest");
+        registry.gauge("sirius_flight_retained", labels)
+            .set(static_cast<double>(stats.slowestCount));
+    }
+    {
+        MetricLabels labels = base;
+        labels.emplace_back("set", "sample");
+        registry.gauge("sirius_flight_retained", labels)
+            .set(static_cast<double>(stats.sampleCount));
+    }
+}
+
+void
+FlightRecorder::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    kept_.clear();
+    sampleOrder_.clear();
+    pending_.clear();
+    bytes_ = 0;
+}
+
+} // namespace sirius

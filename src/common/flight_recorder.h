@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Always-on flight recorder: keeps whole traces for the slowest-N and
+ * a uniform sample of completed queries under a hard byte budget.
+ *
+ * Head sampling (TraceCollector) answers "show me recent spans"; the
+ * flight recorder answers the operator's question after an alert: "show
+ * me the *whole trace* of the queries that were slow when it happened".
+ * It retains complete stitched traces — router route spans plus every
+ * leg's shard spans, merged by trace id — in two reservoirs: the
+ * slowest-N by end-to-end duration (the tail the SLO cares about) and
+ * an every-Kth uniform sample (the baseline to compare the tail
+ * against). A hard byte budget bounds the whole structure so it can run
+ * in production forever; evictions are counted, never silent.
+ *
+ * Legs of a cluster query finish before the router knows the query's
+ * fate, so shard servers contribute spans with offerPartial() (staged,
+ * not yet a keep decision) and the router completes the trace with
+ * offer(), which merges the staged legs and decides. A hedge loser
+ * finishing after delivery still lands via offerPartial(): merged when
+ * its trace was kept, dropped otherwise.
+ */
+
+#ifndef SIRIUS_COMMON_FLIGHT_RECORDER_H
+#define SIRIUS_COMMON_FLIGHT_RECORDER_H
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace sirius {
+
+/** FlightRecorder configuration. */
+struct FlightRecorderConfig
+{
+    size_t slowestCapacity = 8;  ///< slowest-N reservoir size
+    size_t sampleEvery = 16;     ///< keep every Kth completed trace
+    size_t sampleCapacity = 32;  ///< uniform-sample reservoir size
+    size_t byteBudget = 4 << 20; ///< hard cap over every kept span
+    size_t pendingCapacity = 64; ///< staged partial traces (legs)
+    /** > 0: reservoirs reset each window (slowest-N *per window*). */
+    double windowSeconds = 0.0;
+    /** Virtual clock for deterministic tests; null = steady_clock. */
+    const ManualTime *clock = nullptr;
+};
+
+/** One retained trace. */
+struct RecordedTrace
+{
+    uint64_t traceId = 0;
+    std::string reason; ///< "slowest" or "sample"
+    double endSeconds = 0.0;      ///< recorder clock at completion
+    double durationSeconds = 0.0; ///< end-to-end (router's view)
+    size_t bytes = 0;             ///< estimated retained size
+    std::vector<SpanRecord> spans;
+};
+
+/** Counters for snapshots and metrics export. */
+struct FlightRecorderStats
+{
+    uint64_t offered = 0;       ///< completed traces offered
+    uint64_t partials = 0;      ///< leg contributions staged/merged
+    uint64_t kept = 0;          ///< traces admitted to a reservoir
+    uint64_t merged = 0;        ///< late legs merged into kept traces
+    uint64_t evicted = 0;       ///< displaced by capacity or budget
+    uint64_t droppedBudget = 0; ///< rejected: over the byte budget
+    uint64_t windowRolls = 0;
+    size_t bytes = 0;        ///< currently retained bytes
+    size_t retained = 0;     ///< currently retained traces
+    size_t slowestCount = 0; ///< of which in the slowest-N reservoir
+    size_t sampleCount = 0;  ///< of which in the uniform sample
+};
+
+/** See the file comment. All methods are thread-safe. */
+class FlightRecorder
+{
+  public:
+    explicit FlightRecorder(FlightRecorderConfig config = {});
+
+    /**
+     * Offer a completed trace: merge any staged legs for @p trace_id,
+     * then decide whether to keep it (slowest-N or uniform sample)
+     * under the byte budget. @p duration_seconds is the end-to-end
+     * latency the reservoirs rank by.
+     */
+    void offer(uint64_t trace_id, double duration_seconds,
+               std::vector<SpanRecord> spans);
+
+    /**
+     * Contribute spans of one leg of a not-yet-completed trace. Staged
+     * until the completing offer() arrives; merged directly when the
+     * trace is already kept; dropped when the trace was already
+     * rejected (or the staging area overflows).
+     */
+    void offerPartial(uint64_t trace_id, std::vector<SpanRecord> spans);
+
+    /** Retained traces, slowest first. */
+    std::vector<RecordedTrace> snapshot() const;
+
+    FlightRecorderStats stats() const;
+
+    /**
+     * Write every retained trace's spans as JSONL (readable by
+     * examples/trace_report). @return false on I/O failure.
+     */
+    bool dumpJsonl(const std::string &path) const;
+
+    /**
+     * Export `sirius_flight_traces_total{outcome=}` counters and the
+     * `sirius_flight_bytes` / `sirius_flight_retained{set=}` gauges.
+     */
+    void exportTo(MetricsRegistry &registry,
+                  const MetricLabels &base = {}) const;
+
+    /** Drop all retained and staged traces (counters are kept). */
+    void clear();
+
+    /** Current time on the recorder's clock. */
+    double nowSeconds() const;
+
+  private:
+    static size_t spanBytes(const SpanRecord &span);
+    void rollWindowLocked(double now);
+    /** Evict per policy until the budget holds; never evicts @p keep. */
+    void enforceBudgetLocked(uint64_t keep);
+    void eraseLocked(uint64_t trace_id);
+
+    FlightRecorderConfig config_;
+    mutable std::mutex mutex_;
+    std::map<uint64_t, RecordedTrace> kept_;
+    std::deque<uint64_t> sampleOrder_; ///< uniform sample, oldest first
+    /** Staged legs awaiting their completing offer, oldest first. */
+    std::deque<std::pair<uint64_t, std::vector<SpanRecord>>> pending_;
+    size_t bytes_ = 0;
+    double windowStart_ = 0.0;
+    FlightRecorderStats stats_;
+    std::chrono::steady_clock::time_point epoch_;
+};
+
+} // namespace sirius
+
+#endif // SIRIUS_COMMON_FLIGHT_RECORDER_H

@@ -23,10 +23,16 @@ prometheusLabels(const MetricLabels &labels)
         first = false;
         out += key;
         out += "=\"";
+        // Prometheus exposition escaping: backslash, quote, and —
+        // easy to forget, but required, or the value breaks the
+        // line-oriented format — newline as the two characters \n.
         for (char c : value) {
-            if (c == '"' || c == '\\')
-                out += '\\';
-            out += c;
+            switch (c) {
+              case '"': out += "\\\""; break;
+              case '\\': out += "\\\\"; break;
+              case '\n': out += "\\n"; break;
+              default: out += c;
+            }
         }
         out += '"';
     }

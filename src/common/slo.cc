@@ -1,0 +1,605 @@
+#include "common/slo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace sirius {
+
+namespace {
+
+/** Error budget with a floor so target = 1.0 cannot divide by zero. */
+double
+errorBudget(double target)
+{
+    return std::max(1.0 - target, 1e-9);
+}
+
+} // namespace
+
+EventLog::EventLog(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1))
+{
+}
+
+void
+EventLog::append(Event event)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++appended_;
+    auto it = std::find_if(kindCounts_.begin(), kindCounts_.end(),
+                           [&](const auto &kv) {
+                               return kv.first == event.kind;
+                           });
+    if (it == kindCounts_.end())
+        kindCounts_.emplace_back(event.kind, 1);
+    else
+        ++it->second;
+    if (ring_.size() == capacity_)
+        ring_.pop_front();
+    ring_.push_back(std::move(event));
+}
+
+void
+EventLog::note(double time_s, const std::string &kind,
+               const std::string &message,
+               std::vector<std::pair<std::string, std::string>> attrs)
+{
+    Event event;
+    event.timeSeconds = time_s;
+    event.kind = kind;
+    event.message = message;
+    event.attrs = std::move(attrs);
+    append(std::move(event));
+}
+
+uint64_t
+EventLog::appended() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return appended_;
+}
+
+uint64_t
+EventLog::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return appended_ - ring_.size();
+}
+
+std::vector<EventLog::Event>
+EventLog::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::vector<Event>(ring_.begin(), ring_.end());
+}
+
+void
+EventLog::exportTo(MetricsRegistry &registry,
+                   const MetricLabels &base) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[kind, count] : kindCounts_) {
+        MetricLabels labels = base;
+        labels.emplace_back("kind", kind);
+        auto &counter = registry.counter("sirius_events_total", labels);
+        counter.add(count - counter.value());
+    }
+    MetricLabels labels = base;
+    labels.emplace_back("log", "events");
+    auto &dropped = registry.counter("sirius_events_dropped_total", labels);
+    dropped.add(appended_ - ring_.size() > dropped.value()
+                    ? appended_ - ring_.size() - dropped.value()
+                    : 0);
+}
+
+std::string
+EventLog::toJson(const Event &event)
+{
+    std::string out;
+    out.reserve(96 + event.message.size());
+    char buf[48];
+    out += "{\"t\":";
+    std::snprintf(buf, sizeof(buf), "%.9f", event.timeSeconds);
+    out += buf;
+    out += ",\"kind\":";
+    appendJsonString(out, event.kind);
+    out += ",\"msg\":";
+    appendJsonString(out, event.message);
+    if (!event.attrs.empty()) {
+        out += ",\"attrs\":{";
+        bool first = true;
+        for (const auto &[key, value] : event.attrs) {
+            if (!first)
+                out += ',';
+            first = false;
+            appendJsonString(out, key);
+            out += ':';
+            appendJsonString(out, value);
+        }
+        out += '}';
+    }
+    out += '}';
+    return out;
+}
+
+bool
+EventLog::fromJson(const std::string &line, Event &out)
+{
+    JsonScanner scan(line);
+    if (!scan.expect('{'))
+        return false;
+    out = Event{};
+    bool first = true;
+    bool sawTime = false, sawKind = false;
+    while (!scan.peek('}')) {
+        if (!first && !scan.expect(','))
+            return false;
+        first = false;
+        std::string key;
+        if (!scan.parseString(key) || !scan.expect(':'))
+            return false;
+        if (key == "kind" || key == "msg") {
+            std::string value;
+            if (!scan.parseString(value))
+                return false;
+            if (key == "kind") {
+                out.kind = std::move(value);
+                sawKind = true;
+            } else {
+                out.message = std::move(value);
+            }
+        } else if (key == "attrs") {
+            if (!scan.expect('{'))
+                return false;
+            bool firstAttr = true;
+            while (!scan.peek('}')) {
+                if (!firstAttr && !scan.expect(','))
+                    return false;
+                firstAttr = false;
+                std::string k, v;
+                if (!scan.parseString(k) || !scan.expect(':') ||
+                    !scan.parseString(v)) {
+                    return false;
+                }
+                out.attrs.emplace_back(std::move(k), std::move(v));
+            }
+            if (!scan.expect('}'))
+                return false;
+        } else {
+            double value = 0.0;
+            if (!scan.parseNumber(value))
+                return false;
+            if (key == "t") {
+                out.timeSeconds = value;
+                sawTime = true;
+            }
+            // Unknown numeric keys are tolerated for forward compat.
+        }
+    }
+    if (!scan.expect('}') || !scan.done())
+        return false;
+    return sawTime && sawKind;
+}
+
+bool
+EventLog::writeJsonl(const std::string &path, bool append) const
+{
+    std::ofstream out(path, append ? std::ios::app : std::ios::trunc);
+    if (!out)
+        return false;
+    for (const auto &event : snapshot())
+        out << toJson(event) << '\n';
+    return static_cast<bool>(out);
+}
+
+std::vector<EventLog::Event>
+EventLog::readJsonl(const std::string &path, size_t *malformed)
+{
+    std::vector<Event> events;
+    size_t bad = 0;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        Event event;
+        if (fromJson(line, event))
+            events.push_back(std::move(event));
+        else
+            ++bad;
+    }
+    if (malformed != nullptr)
+        *malformed = bad;
+    return events;
+}
+
+SloConfig
+defaultSloConfig(double latency_threshold_seconds,
+                 double latency_target, double availability_target)
+{
+    SloConfig config;
+    SloObjective availability;
+    availability.name = "availability";
+    availability.signal = SloObjective::Signal::Availability;
+    availability.target = availability_target;
+    config.objectives.push_back(availability);
+    if (latency_threshold_seconds > 0.0) {
+        SloObjective latency;
+        latency.name = "latency";
+        latency.signal = SloObjective::Signal::Latency;
+        latency.target = latency_target;
+        latency.latencyThresholdSeconds = latency_threshold_seconds;
+        config.objectives.push_back(latency);
+    }
+    return config;
+}
+
+bool
+SloSnapshot::anyFiring() const
+{
+    for (const auto &objective : objectives)
+        for (const auto &alert : objective.alerts)
+            if (alert.firing)
+                return true;
+    return false;
+}
+
+SloTracker::SloTracker(SloConfig config, EventLog *events)
+    : events_(events), clock_(config.clock),
+      epoch_(std::chrono::steady_clock::now())
+{
+    if (config.rules.empty()) {
+        // The standard multi-window pair (Google SRE workbook): fast
+        // catches an outage in minutes, slow catches a simmering leak.
+        config.rules.push_back({"fast", 3600.0, 300.0, 14.4});
+        config.rules.push_back({"slow", 259200.0, 21600.0, 6.0});
+    }
+    const double scale = config.windowScale > 0.0 ? config.windowScale : 1.0;
+    double shortest = 0.0;
+    double longest = 0.0;
+    for (SloAlertRule rule : config.rules) {
+        rule.longWindowSeconds *= scale;
+        rule.shortWindowSeconds *= scale;
+        if (shortest == 0.0 || rule.shortWindowSeconds < shortest)
+            shortest = rule.shortWindowSeconds;
+        longest = std::max(longest, rule.longWindowSeconds);
+        rules_.push_back(std::move(rule));
+    }
+    bucketSeconds_ = config.bucketSeconds > 0.0
+        ? config.bucketSeconds
+        : std::max(shortest / 30.0, 1e-6);
+    maxWindowSeconds_ = longest;
+    for (const SloObjective &objective : config.objectives) {
+        ObjectiveState state;
+        state.objective = objective;
+        state.alerts.resize(rules_.size());
+        objectives_.push_back(std::move(state));
+    }
+}
+
+double
+SloTracker::nowSeconds() const
+{
+    if (clock_ != nullptr)
+        return clock_->now();
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+void
+SloTracker::setOnFire(std::function<void()> hook)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    onFire_ = std::move(hook);
+}
+
+void
+SloTracker::recordOutcome(bool good)
+{
+    const double now = nowSeconds();
+    std::function<void()> hook;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (ObjectiveState &state : objectives_)
+            if (state.objective.signal ==
+                SloObjective::Signal::Availability)
+                observe(state, good, now);
+        if (evaluateLocked(now))
+            hook = onFire_;
+    }
+    if (hook)
+        hook();
+}
+
+void
+SloTracker::recordLatency(double seconds)
+{
+    const double now = nowSeconds();
+    std::function<void()> hook;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (ObjectiveState &state : objectives_)
+            if (state.objective.signal == SloObjective::Signal::Latency)
+                observe(state,
+                        seconds <=
+                            state.objective.latencyThresholdSeconds,
+                        now);
+        if (evaluateLocked(now))
+            hook = onFire_;
+    }
+    if (hook)
+        hook();
+}
+
+void
+SloTracker::record(double latency_seconds, bool good)
+{
+    const double now = nowSeconds();
+    std::function<void()> hook;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (ObjectiveState &state : objectives_) {
+            if (state.objective.signal ==
+                SloObjective::Signal::Availability) {
+                observe(state, good, now);
+            } else {
+                observe(state,
+                        good &&
+                            latency_seconds <=
+                                state.objective.latencyThresholdSeconds,
+                        now);
+            }
+        }
+        if (evaluateLocked(now))
+            hook = onFire_;
+    }
+    if (hook)
+        hook();
+}
+
+void
+SloTracker::evaluate()
+{
+    const double now = nowSeconds();
+    std::function<void()> hook;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (evaluateLocked(now))
+            hook = onFire_;
+    }
+    if (hook)
+        hook();
+}
+
+void
+SloTracker::observe(ObjectiveState &state, bool good, double now)
+{
+    const auto index =
+        static_cast<int64_t>(std::floor(now / bucketSeconds_));
+    if (state.buckets.empty() || state.buckets.back().index < index) {
+        Bucket bucket;
+        bucket.index = index;
+        state.buckets.push_back(bucket);
+    }
+    Bucket &bucket = state.buckets.back();
+    bucket.total += 1;
+    if (good)
+        bucket.good += 1;
+    state.total += 1;
+    if (good)
+        state.good += 1;
+    // Trim buckets that no window can see any more.
+    const auto oldest = static_cast<int64_t>(
+        std::floor((now - maxWindowSeconds_) / bucketSeconds_));
+    while (!state.buckets.empty() &&
+           state.buckets.front().index < oldest)
+        state.buckets.pop_front();
+}
+
+std::pair<uint64_t, uint64_t>
+SloTracker::windowCounts(const ObjectiveState &state,
+                         double window_seconds, double now) const
+{
+    // A bucket belongs to the window when any part of it is newer than
+    // now - window; floor alignment keeps membership deterministic.
+    const auto oldest = static_cast<int64_t>(
+        std::floor((now - window_seconds) / bucketSeconds_));
+    uint64_t good = 0;
+    uint64_t total = 0;
+    for (auto it = state.buckets.rbegin(); it != state.buckets.rend();
+         ++it) {
+        if (it->index < oldest)
+            break;
+        good += it->good;
+        total += it->total;
+    }
+    return {good, total};
+}
+
+double
+SloTracker::burnRate(const ObjectiveState &state, double window_seconds,
+                     double now) const
+{
+    const auto [good, total] = windowCounts(state, window_seconds, now);
+    if (total == 0)
+        return 0.0;
+    const double bad =
+        static_cast<double>(total - good) / static_cast<double>(total);
+    return bad / errorBudget(state.objective.target);
+}
+
+bool
+SloTracker::evaluateLocked(double now)
+{
+    bool anyFired = false;
+    for (ObjectiveState &state : objectives_) {
+        for (size_t r = 0; r < rules_.size(); ++r) {
+            const SloAlertRule &rule = rules_[r];
+            AlertState &alert = state.alerts[r];
+            const double burnLong =
+                burnRate(state, rule.longWindowSeconds, now);
+            const double burnShort =
+                burnRate(state, rule.shortWindowSeconds, now);
+            const bool condition = burnLong > rule.burnThreshold &&
+                burnShort > rule.burnThreshold;
+            if (condition == alert.firing)
+                continue;
+            alert.firing = condition;
+            alert.lastTransitionSeconds = now;
+            if (condition) {
+                ++alert.fires;
+                anyFired = true;
+            } else {
+                ++alert.clears;
+            }
+            if (events_ != nullptr) {
+                events_->note(
+                    now, condition ? "alert_fire" : "alert_clear",
+                    format("%s burn-rate alert %s on objective %s",
+                           rule.name.c_str(),
+                           condition ? "fired" : "cleared",
+                           state.objective.name.c_str()),
+                    {{"objective", state.objective.name},
+                     {"alert", rule.name},
+                     {"burn_long", format("%.3f", burnLong)},
+                     {"burn_short", format("%.3f", burnShort)},
+                     {"threshold",
+                      format("%.3f", rule.burnThreshold)}});
+            }
+        }
+    }
+    return anyFired;
+}
+
+std::string
+SloTracker::windowLabel(double seconds)
+{
+    // Friendly labels for the canonical windows; generic elsewhere.
+    if (seconds >= 1.0 &&
+        std::fabs(seconds - std::round(seconds)) < 1e-9) {
+        const auto whole = static_cast<long long>(std::llround(seconds));
+        if (whole % 86400 == 0)
+            return format("%lldd", whole / 86400);
+        if (whole % 3600 == 0)
+            return format("%lldh", whole / 3600);
+        if (whole % 60 == 0)
+            return format("%lldm", whole / 60);
+        return format("%llds", whole);
+    }
+    return format("w%g", seconds);
+}
+
+SloSnapshot
+SloTracker::snapshot() const
+{
+    const double now = nowSeconds();
+    SloSnapshot snap;
+    snap.nowSeconds = now;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const ObjectiveState &state : objectives_) {
+        SloObjectiveStatus status;
+        status.objective = state.objective.name;
+        status.target = state.objective.target;
+        status.good = state.good;
+        status.total = state.total;
+        // One window entry per distinct window length across rules.
+        std::vector<double> lengths;
+        for (const SloAlertRule &rule : rules_) {
+            for (double w :
+                 {rule.longWindowSeconds, rule.shortWindowSeconds}) {
+                if (std::find(lengths.begin(), lengths.end(), w) ==
+                    lengths.end())
+                    lengths.push_back(w);
+            }
+        }
+        std::sort(lengths.begin(), lengths.end());
+        for (double w : lengths) {
+            SloWindowStatus window;
+            window.window = windowLabel(w);
+            window.windowSeconds = w;
+            const auto [good, total] = windowCounts(state, w, now);
+            window.good = good;
+            window.total = total;
+            window.goodRatio = total == 0
+                ? 1.0
+                : static_cast<double>(good) / static_cast<double>(total);
+            window.burnRate = burnRate(state, w, now);
+            status.windows.push_back(window);
+        }
+        for (size_t r = 0; r < rules_.size(); ++r) {
+            SloAlertStatus alert;
+            alert.alert = rules_[r].name;
+            alert.firing = state.alerts[r].firing;
+            alert.fires = state.alerts[r].fires;
+            alert.clears = state.alerts[r].clears;
+            alert.lastTransitionSeconds =
+                state.alerts[r].lastTransitionSeconds;
+            status.alerts.push_back(alert);
+        }
+        snap.objectives.push_back(std::move(status));
+    }
+    return snap;
+}
+
+void
+SloTracker::exportTo(MetricsRegistry &registry,
+                     const MetricLabels &base) const
+{
+    const SloSnapshot snap = snapshot();
+    for (const SloObjectiveStatus &objective : snap.objectives) {
+        {
+            MetricLabels labels = base;
+            labels.emplace_back("objective", objective.objective);
+            registry.gauge("sirius_slo_target", labels)
+                .set(objective.target);
+        }
+        for (const SloWindowStatus &window : objective.windows) {
+            MetricLabels labels = base;
+            labels.emplace_back("objective", objective.objective);
+            labels.emplace_back("window", window.window);
+            registry.gauge("sirius_slo_good_ratio", labels)
+                .set(window.goodRatio);
+            registry.gauge("sirius_slo_burn_rate", labels)
+                .set(window.burnRate);
+        }
+        {
+            MetricLabels good = base;
+            good.emplace_back("objective", objective.objective);
+            good.emplace_back("outcome", "good");
+            auto &goodCounter =
+                registry.counter("sirius_slo_events_total", good);
+            goodCounter.add(objective.good - goodCounter.value());
+            MetricLabels bad = base;
+            bad.emplace_back("objective", objective.objective);
+            bad.emplace_back("outcome", "bad");
+            auto &badCounter =
+                registry.counter("sirius_slo_events_total", bad);
+            badCounter.add(objective.total - objective.good -
+                           badCounter.value());
+        }
+        for (const SloAlertStatus &alert : objective.alerts) {
+            MetricLabels labels = base;
+            labels.emplace_back("alert", alert.alert);
+            labels.emplace_back("objective", objective.objective);
+            registry.gauge("sirius_slo_alert_state", labels)
+                .set(alert.firing ? 1.0 : 0.0);
+            MetricLabels fires = labels;
+            fires.emplace_back("state", "fire");
+            auto &fireCounter = registry.counter(
+                "sirius_slo_alert_transitions_total", fires);
+            fireCounter.add(alert.fires - fireCounter.value());
+            MetricLabels clears = labels;
+            clears.emplace_back("state", "clear");
+            auto &clearCounter = registry.counter(
+                "sirius_slo_alert_transitions_total", clears);
+            clearCounter.add(alert.clears - clearCounter.value());
+        }
+    }
+}
+
+} // namespace sirius

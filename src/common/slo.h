@@ -1,0 +1,326 @@
+/**
+ * @file
+ * SLO engine: declarative service-level objectives evaluated over
+ * rolling windows with multi-window burn-rate alerts, plus a bounded
+ * structured EventLog the alerts (and the cluster tier) write to.
+ *
+ * The paper's warehouse-scale argument is budget arithmetic: a query
+ * has a latency budget (Figures 14-19) and the fleet has an error
+ * budget. Aggregate counters say how many queries failed; an SLO says
+ * whether the *rate* of failure is burning the budget faster than the
+ * objective allows. The SloTracker implements the standard
+ * multi-window, multi-burn-rate form: an alert fires when both a long
+ * window (is this real?) and a short window (is it still happening?)
+ * exceed a burn-rate threshold, and clears when the condition lapses.
+ * Windows scale by a single knob so the 5m/1h and 6h/3d production
+ * pairs shrink to milliseconds under ManualTime in tests and to a few
+ * seconds in the slo_smoke.sh drill.
+ *
+ * Everything here is process-local and allocation-light: time-bucketed
+ * good/total counters per objective, a fixed set of alert rules, and a
+ * bounded event ring — cheap enough to leave on in production, which is
+ * the same design point as the TraceCollector and the flight recorder.
+ */
+
+#ifndef SIRIUS_COMMON_SLO_H
+#define SIRIUS_COMMON_SLO_H
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/metrics.h"
+
+namespace sirius {
+
+/**
+ * Bounded ring of structured operational events (alert fire/clear,
+ * shard ejection/rejoin, drill actions, flight-recorder dumps).
+ *
+ * Logs tell a human what happened; the EventLog tells *tools*: each
+ * entry is a kind + message + flat attrs with a timestamp, exportable
+ * as JSONL for the ops scripts and asserted on by the smoke drills.
+ * The ring is bounded so an alert storm cannot grow the process; drops
+ * are counted, never silent.
+ */
+class EventLog
+{
+  public:
+    /** One structured event. */
+    struct Event
+    {
+        double timeSeconds = 0.0; ///< owner-defined clock (see append)
+        std::string kind;         ///< snake_case ("alert_fire", ...)
+        std::string message;      ///< one human-readable line
+        /** Flat key=value details (objective, shard, burn rates...). */
+        std::vector<std::pair<std::string, std::string>> attrs;
+    };
+
+    /** @param capacity ring size in events (>= 1) */
+    explicit EventLog(size_t capacity = 1024);
+
+    /** Append one event (thread-safe). Oldest events are overwritten. */
+    void append(Event event);
+
+    /** Convenience: build and append an event stamped with @p time_s. */
+    void note(double time_s, const std::string &kind,
+              const std::string &message,
+              std::vector<std::pair<std::string, std::string>> attrs = {});
+
+    /** Events ever appended, including overwritten ones. */
+    uint64_t appended() const;
+
+    /** Events lost to the ring bound. */
+    uint64_t dropped() const;
+
+    /** Ring capacity in events. */
+    size_t capacity() const { return capacity_; }
+
+    /** Copy of the retained events, oldest first. */
+    std::vector<Event> snapshot() const;
+
+    /**
+     * Export per-kind totals into @p registry as
+     * `sirius_events_total{kind=}` counters plus
+     * `sirius_events_dropped_total`; @p base labels are prepended.
+     */
+    void exportTo(MetricsRegistry &registry,
+                  const MetricLabels &base = {}) const;
+
+    /** One event as a single-line JSON object (no newline). */
+    static std::string toJson(const Event &event);
+
+    /** Parse a toJson() line back. @return false when malformed. */
+    static bool fromJson(const std::string &line, Event &out);
+
+    /** Write the retained events as JSONL to @p path. */
+    bool writeJsonl(const std::string &path, bool append = false) const;
+
+    /**
+     * Read a JSONL event file written by writeJsonl(). Unparseable
+     * lines are skipped and counted into @p malformed when non-null.
+     */
+    static std::vector<Event> readJsonl(const std::string &path,
+                                        size_t *malformed = nullptr);
+
+  private:
+    mutable std::mutex mutex_;
+    size_t capacity_;
+    std::deque<Event> ring_;
+    uint64_t appended_ = 0;
+    std::vector<std::pair<std::string, uint64_t>> kindCounts_;
+};
+
+/** One declarative objective the tracker evaluates. */
+struct SloObjective
+{
+    /** What counts as a good observation. */
+    enum class Signal
+    {
+        Availability, ///< recordOutcome(): good = the query succeeded
+        Latency,      ///< recordLatency(): good = under the threshold
+    };
+
+    std::string name;    ///< label value ("availability", "latency_p99")
+    Signal signal = Signal::Availability;
+    double target = 0.999; ///< required good fraction (SLO target)
+    /** Latency signal only: a good observation is <= this. */
+    double latencyThresholdSeconds = 0.0;
+};
+
+/**
+ * One multi-window burn-rate alert rule. Burn rate is
+ * badFraction(window) / (1 - target): 1.0 means the error budget is
+ * consumed exactly at the rate the SLO allows, 14.4 means a 30-day
+ * budget would be gone in ~2 days. The rule fires when BOTH windows
+ * exceed the threshold (long = significant, short = still happening)
+ * and clears as soon as either recovers.
+ */
+struct SloAlertRule
+{
+    std::string name;    ///< label value ("fast", "slow")
+    double longWindowSeconds = 3600.0;
+    double shortWindowSeconds = 300.0;
+    double burnThreshold = 14.4;
+};
+
+/** SloTracker configuration. */
+struct SloConfig
+{
+    std::vector<SloObjective> objectives;
+    /** Empty = the standard fast (5m/1h) + slow (6h/3d) pair. */
+    std::vector<SloAlertRule> rules;
+    /**
+     * Multiplier applied to every rule window — the knob that shrinks
+     * production windows to drill/test scale (load_test --slo-scale).
+     */
+    double windowScale = 1.0;
+    /**
+     * Rolling-window bucket width; 0 derives it from the shortest
+     * scaled window so burn rates resolve ~30 points per short window.
+     */
+    double bucketSeconds = 0.0;
+    /** Virtual clock for deterministic tests; null = steady_clock. */
+    const ManualTime *clock = nullptr;
+};
+
+/** The standard objective pair: availability 99.9% + latency target. */
+SloConfig defaultSloConfig(double latency_threshold_seconds,
+                           double latency_target = 0.99,
+                           double availability_target = 0.999);
+
+/** Rolling-window state of one objective for one window length. */
+struct SloWindowStatus
+{
+    std::string window; ///< label value ("5m", "1h", ... or "w<secs>")
+    double windowSeconds = 0.0;
+    uint64_t good = 0;
+    uint64_t total = 0;
+    double goodRatio = 1.0; ///< 1.0 when the window is empty
+    double burnRate = 0.0;  ///< badFraction / error budget
+};
+
+/** State of one alert rule on one objective. */
+struct SloAlertStatus
+{
+    std::string alert; ///< rule name
+    bool firing = false;
+    uint64_t fires = 0;
+    uint64_t clears = 0;
+    double lastTransitionSeconds = 0.0;
+};
+
+/** Snapshot of one objective: lifetime counts, windows, alerts. */
+struct SloObjectiveStatus
+{
+    std::string objective;
+    double target = 0.0;
+    uint64_t good = 0;  ///< lifetime good observations
+    uint64_t total = 0; ///< lifetime observations
+    std::vector<SloWindowStatus> windows;
+    std::vector<SloAlertStatus> alerts;
+};
+
+/** Full tracker snapshot. */
+struct SloSnapshot
+{
+    double nowSeconds = 0.0;
+    std::vector<SloObjectiveStatus> objectives;
+
+    /** True when any alert on any objective is currently firing. */
+    bool anyFiring() const;
+};
+
+/**
+ * Tracks a set of SloObjectives over rolling windows and drives their
+ * burn-rate alerts.
+ *
+ * Observations arrive from serving threads (recordOutcome per leg or
+ * query, recordLatency per delivered query); each record updates the
+ * objective's time buckets and re-evaluates the alert state machine,
+ * so fire/clear transitions happen at a deterministic observation
+ * under ManualTime. Transitions are written to the EventLog (when one
+ * is attached) and counted for export; an optional onFire hook lets
+ * the owner dump the flight recorder the moment an alert fires.
+ */
+class SloTracker
+{
+  public:
+    explicit SloTracker(SloConfig config, EventLog *events = nullptr);
+
+    /** Feed availability objectives: one query/leg outcome. */
+    void recordOutcome(bool good);
+
+    /** Feed latency objectives: one delivered end-to-end latency. */
+    void recordLatency(double seconds);
+
+    /** Convenience: both signals from one completed query. */
+    void record(double latency_seconds, bool good);
+
+    /**
+     * Re-evaluate every alert at the current time without a new
+     * observation (record*() already evaluates; call this from a
+     * monitor loop so alerts clear during quiet periods too).
+     */
+    void evaluate();
+
+    /** Current time on the tracker's clock (virtual under ManualTime). */
+    double nowSeconds() const;
+
+    /** The scaled alert rules actually in force. */
+    const std::vector<SloAlertRule> &rules() const { return rules_; }
+
+    /** Hook invoked (outside the lock) each time any alert fires. */
+    void setOnFire(std::function<void()> hook);
+
+    /** Consistent snapshot of every objective, window, and alert. */
+    SloSnapshot snapshot() const;
+
+    /**
+     * Export the SLO families into @p registry (@p base labels are
+     * prepended): `sirius_slo_target{objective=}`,
+     * `sirius_slo_good_ratio` / `sirius_slo_burn_rate`
+     * `{objective=,window=}`, `sirius_slo_events_total`
+     * `{objective=,outcome=}`, `sirius_slo_alert_state`
+     * `{objective=,alert=}`, and `sirius_slo_alert_transitions_total`
+     * `{objective=,alert=,state=}`.
+     */
+    void exportTo(MetricsRegistry &registry,
+                  const MetricLabels &base = {}) const;
+
+  private:
+    struct Bucket
+    {
+        int64_t index = 0; ///< floor(time / bucketSeconds)
+        uint64_t good = 0;
+        uint64_t total = 0;
+    };
+
+    struct AlertState
+    {
+        bool firing = false;
+        uint64_t fires = 0;
+        uint64_t clears = 0;
+        double lastTransitionSeconds = 0.0;
+    };
+
+    struct ObjectiveState
+    {
+        SloObjective objective;
+        std::deque<Bucket> buckets; ///< newest at the back
+        uint64_t good = 0;
+        uint64_t total = 0;
+        std::vector<AlertState> alerts; ///< parallel to rules_
+    };
+
+    void observe(ObjectiveState &state, bool good, double now);
+    /** (good, total) over the trailing @p window_seconds at @p now. */
+    std::pair<uint64_t, uint64_t> windowCounts(
+        const ObjectiveState &state, double window_seconds,
+        double now) const;
+    double burnRate(const ObjectiveState &state, double window_seconds,
+                    double now) const;
+    /** Runs the alert state machine; returns true if any alert fired. */
+    bool evaluateLocked(double now);
+    static std::string windowLabel(double seconds);
+
+    mutable std::mutex mutex_;
+    std::vector<SloAlertRule> rules_; ///< windows already scaled
+    double bucketSeconds_;
+    double maxWindowSeconds_;
+    std::vector<ObjectiveState> objectives_;
+    EventLog *events_;
+    std::function<void()> onFire_;
+    const ManualTime *clock_;
+    std::chrono::steady_clock::time_point epoch_;
+};
+
+} // namespace sirius
+
+#endif // SIRIUS_COMMON_SLO_H

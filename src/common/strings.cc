@@ -88,4 +88,135 @@ format(const char *fmt, ...)
     return std::string(buf);
 }
 
+void
+appendJsonString(std::string &out, const std::string &value)
+{
+    out += '"';
+    for (unsigned char c : value) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    out += '"';
+}
+
+bool
+JsonScanner::expect(char c)
+{
+    skipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c)
+        return false;
+    ++pos_;
+    return true;
+}
+
+bool
+JsonScanner::peek(char c)
+{
+    skipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+}
+
+bool
+JsonScanner::parseString(std::string &out)
+{
+    skipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"')
+        return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size()) {
+        char c = text_[pos_++];
+        if (c == '"')
+            return true;
+        if (c != '\\') {
+            out += c;
+            continue;
+        }
+        if (pos_ >= text_.size())
+            return false;
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size())
+                return false;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+                char h = text_[pos_++];
+                code <<= 4;
+                if (h >= '0' && h <= '9')
+                    code |= static_cast<unsigned>(h - '0');
+                else if (h >= 'a' && h <= 'f')
+                    code |= static_cast<unsigned>(h - 'a' + 10);
+                else if (h >= 'A' && h <= 'F')
+                    code |= static_cast<unsigned>(h - 'A' + 10);
+                else
+                    return false;
+            }
+            // We only ever emit \u00XX for control bytes.
+            out += static_cast<char>(code & 0xFF);
+            break;
+          }
+          default: return false;
+        }
+    }
+    return false;
+}
+
+bool
+JsonScanner::parseNumber(double &out)
+{
+    skipSpace();
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' ||
+            text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E')) {
+        ++pos_;
+    }
+    if (pos_ == start)
+        return false;
+    try {
+        out = std::stod(text_.substr(start, pos_ - start));
+    } catch (...) {
+        return false;
+    }
+    return true;
+}
+
+bool
+JsonScanner::done()
+{
+    skipSpace();
+    return pos_ >= text_.size();
+}
+
+void
+JsonScanner::skipSpace()
+{
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+    }
+}
+
 } // namespace sirius

@@ -35,6 +35,42 @@ bool startsWith(const std::string &s, const std::string &prefix);
 std::string format(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/** Append @p value to @p out as a JSON string literal (with quotes). */
+void appendJsonString(std::string &out, const std::string &value);
+
+/**
+ * Minimal scanner for the flat single-line JSON objects this codebase
+ * emits (trace spans, event-log entries). It is a parser for *our*
+ * formats, not a general JSON library: top-level keys are unique,
+ * values are numbers, strings, or one flat string-to-string object.
+ */
+class JsonScanner
+{
+  public:
+    explicit JsonScanner(const std::string &text) : text_(text) {}
+
+    /** Consume @p c (after whitespace); false when absent. */
+    bool expect(char c);
+
+    /** True when the next non-space character is @p c (not consumed). */
+    bool peek(char c);
+
+    /** Parse a quoted, escaped JSON string into @p out. */
+    bool parseString(std::string &out);
+
+    /** Parse a JSON number into @p out. */
+    bool parseNumber(double &out);
+
+    /** True when only whitespace remains. */
+    bool done();
+
+  private:
+    void skipSpace();
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
 } // namespace sirius
 
 #endif // SIRIUS_COMMON_STRINGS_H

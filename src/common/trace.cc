@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/strings.h"
 
 namespace sirius {
 
@@ -24,154 +25,6 @@ mix64(uint64_t x)
     x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
     return x ^ (x >> 31);
 }
-
-/** Append @p value to @p out with JSON string escaping. */
-void
-appendJsonString(std::string &out, const std::string &value)
-{
-    out += '"';
-    for (unsigned char c : value) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\r': out += "\\r"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (c < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += static_cast<char>(c);
-            }
-        }
-    }
-    out += '"';
-}
-
-/**
- * Minimal scanner for the flat JSON objects spanToJson() emits. It is a
- * parser for *our* format, not a general JSON library: top-level keys
- * are unique, values are numbers, strings, or one flat string-to-string
- * object ("attrs").
- */
-class JsonScanner
-{
-  public:
-    explicit JsonScanner(const std::string &text) : text_(text) {}
-
-    bool
-    expect(char c)
-    {
-        skipSpace();
-        if (pos_ >= text_.size() || text_[pos_] != c)
-            return false;
-        ++pos_;
-        return true;
-    }
-
-    bool
-    peek(char c)
-    {
-        skipSpace();
-        return pos_ < text_.size() && text_[pos_] == c;
-    }
-
-    bool
-    parseString(std::string &out)
-    {
-        skipSpace();
-        if (pos_ >= text_.size() || text_[pos_] != '"')
-            return false;
-        ++pos_;
-        out.clear();
-        while (pos_ < text_.size()) {
-            char c = text_[pos_++];
-            if (c == '"')
-                return true;
-            if (c != '\\') {
-                out += c;
-                continue;
-            }
-            if (pos_ >= text_.size())
-                return false;
-            char e = text_[pos_++];
-            switch (e) {
-              case '"': out += '"'; break;
-              case '\\': out += '\\'; break;
-              case '/': out += '/'; break;
-              case 'n': out += '\n'; break;
-              case 'r': out += '\r'; break;
-              case 't': out += '\t'; break;
-              case 'u': {
-                if (pos_ + 4 > text_.size())
-                    return false;
-                unsigned code = 0;
-                for (int i = 0; i < 4; ++i) {
-                    char h = text_[pos_++];
-                    code <<= 4;
-                    if (h >= '0' && h <= '9')
-                        code |= static_cast<unsigned>(h - '0');
-                    else if (h >= 'a' && h <= 'f')
-                        code |= static_cast<unsigned>(h - 'a' + 10);
-                    else if (h >= 'A' && h <= 'F')
-                        code |= static_cast<unsigned>(h - 'A' + 10);
-                    else
-                        return false;
-                }
-                // We only ever emit \u00XX for control bytes.
-                out += static_cast<char>(code & 0xFF);
-                break;
-              }
-              default: return false;
-            }
-        }
-        return false;
-    }
-
-    bool
-    parseNumber(double &out)
-    {
-        skipSpace();
-        const size_t start = pos_;
-        while (pos_ < text_.size() &&
-               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-                text_[pos_] == '-' || text_[pos_] == '+' ||
-                text_[pos_] == '.' || text_[pos_] == 'e' ||
-                text_[pos_] == 'E')) {
-            ++pos_;
-        }
-        if (pos_ == start)
-            return false;
-        try {
-            out = std::stod(text_.substr(start, pos_ - start));
-        } catch (...) {
-            return false;
-        }
-        return true;
-    }
-
-    bool
-    done()
-    {
-        skipSpace();
-        return pos_ >= text_.size();
-    }
-
-  private:
-    void
-    skipSpace()
-    {
-        while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-            ++pos_;
-        }
-    }
-
-    const std::string &text_;
-    size_t pos_ = 0;
-};
 
 } // namespace
 
@@ -246,8 +99,12 @@ TraceCollector::append(SpanRecord record)
     std::lock_guard<std::mutex> lock(slot.guard);
     // A slower thread may arrive after the ring lapped its slot; keep
     // the newer span so a snapshot is always the freshest window.
-    if (slot.seq > seq + 1)
+    if (slot.seq > seq + 1) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
         return;
+    }
+    if (slot.seq > 0)
+        dropped_.fetch_add(1, std::memory_order_relaxed);
     slot.seq = seq + 1;
     slot.record = std::move(record);
 }
@@ -256,6 +113,12 @@ uint64_t
 TraceCollector::appended() const
 {
     return next_.load(std::memory_order_relaxed);
+}
+
+uint64_t
+TraceCollector::dropped() const
+{
+    return dropped_.load(std::memory_order_relaxed);
 }
 
 size_t
@@ -295,11 +158,14 @@ TraceCollector::clear()
         slot.record = SpanRecord{};
     }
     next_.store(0, std::memory_order_relaxed);
+    dropped_.store(0, std::memory_order_relaxed);
 }
 
-TraceContext::TraceContext(TraceCollector &collector, uint64_t trace_id)
+TraceContext::TraceContext(TraceCollector &collector, uint64_t trace_id,
+                           uint32_t span_id_base, uint32_t root_parent_id)
     : collector_(collector.sampled(trace_id) ? &collector : nullptr),
-      traceId_(trace_id)
+      traceId_(trace_id), nextSpanId_(span_id_base + 1),
+      rootParentId_(root_parent_id)
 {
 }
 
@@ -321,7 +187,7 @@ TraceContext::recordSpan(
     record.durationSeconds = duration_seconds;
     record.attrs = std::move(attrs);
     const uint32_t id = record.spanId;
-    collector_->append(std::move(record));
+    sink(std::move(record));
     return id;
 }
 
@@ -346,13 +212,70 @@ TraceContext::closeRoot(
     SpanRecord record;
     record.traceId = traceId_;
     record.spanId = rootId_;
-    record.parentId = 0;
+    record.parentId = rootParentId_;
     record.kind = SpanKind::Query;
     record.name = name;
     record.startSeconds = start_seconds;
     record.durationSeconds = duration_seconds;
     record.attrs = std::move(attrs);
-    collector_->append(std::move(record));
+    sink(std::move(record));
+}
+
+uint32_t
+TraceContext::reserveSpanId()
+{
+    if (!active())
+        return 0;
+    return allocSpanId();
+}
+
+void
+TraceContext::recordReserved(
+    uint32_t span_id, SpanKind kind, const std::string &name,
+    double start_seconds, double duration_seconds, uint32_t parent_id,
+    std::vector<std::pair<std::string, std::string>> attrs)
+{
+    if (!active() || span_id == 0)
+        return;
+    SpanRecord record;
+    record.traceId = traceId_;
+    record.spanId = span_id;
+    record.parentId = parent_id;
+    record.kind = kind;
+    record.name = name;
+    record.startSeconds = start_seconds;
+    record.durationSeconds = duration_seconds;
+    record.attrs = std::move(attrs);
+    sink(std::move(record));
+}
+
+void
+TraceContext::bufferSpans()
+{
+    if (!active())
+        return;
+    if (buffer_ == nullptr)
+        buffer_ = std::make_shared<std::vector<SpanRecord>>();
+}
+
+std::vector<SpanRecord>
+TraceContext::takeBuffered()
+{
+    std::vector<SpanRecord> out;
+    if (buffer_ != nullptr) {
+        out = std::move(*buffer_);
+        buffer_.reset();
+    }
+    return out;
+}
+
+void
+TraceContext::sink(SpanRecord &&record)
+{
+    if (buffer_ != nullptr)
+        buffer_->push_back(std::move(record));
+    else
+        collector_->append(std::move(record));
 }
 
 void
@@ -431,7 +354,7 @@ Span::end()
     record_.durationSeconds =
         context_->collector_->nowSeconds() - record_.startSeconds;
     context_->currentParent_ = savedParent_;
-    context_->collector_->append(std::move(record_));
+    context_->sink(std::move(record_));
     context_ = nullptr;
 }
 

@@ -25,6 +25,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -100,11 +101,28 @@ class TraceCollector
     /** Seconds since the collector's epoch (span timestamps base). */
     double nowSeconds() const;
 
+    /**
+     * Adopt @p other's epoch so timestamps from both collectors live on
+     * one clock. The cluster tier aligns every shard collector to the
+     * router's at construction — that is what makes cross-collector gap
+     * arithmetic (route dispatch → leg start) meaningful in a stitched
+     * trace. Call before any spans are recorded.
+     */
+    void alignEpochTo(const TraceCollector &other) { epoch_ = other.epoch_; }
+
     /** Append one closed span (thread-safe, lock-free slot claim). */
     void append(SpanRecord record);
 
     /** Spans ever appended, including ones the ring has overwritten. */
     uint64_t appended() const;
+
+    /**
+     * Spans lost to the bounded ring: overwritten by a wrap or discarded
+     * because the ring lapped a slow appender. Exported by the server as
+     * `sirius_trace_dropped_total`; zero means every recorded span is
+     * still in the ring.
+     */
+    uint64_t dropped() const;
 
     /** Spans currently retained (== min(appended, capacity)). */
     size_t size() const;
@@ -133,7 +151,26 @@ class TraceCollector
     uint64_t seed_;
     std::chrono::steady_clock::time_point epoch_;
     std::vector<Slot> slots_;
-    std::atomic<uint64_t> next_{0}; ///< total appends ever claimed
+    std::atomic<uint64_t> next_{0};    ///< total appends ever claimed
+    std::atomic<uint64_t> dropped_{0}; ///< spans lost to the ring bound
+};
+
+/**
+ * Identity a multi-leg (cluster) query stamps onto a shard submission so
+ * the shard's spans stitch into the router's trace.
+ *
+ * The default binding means "this server owns the trace": the server
+ * allocates the trace id from its own sequence and the root span sits at
+ * the top of the trace. A router instead passes its own trace id, a
+ * per-leg span-id base (so hedge/failover legs sharing the trace never
+ * collide on span ids), and the id of the route-leg span the shard's
+ * root should nest under.
+ */
+struct TraceBinding
+{
+    uint64_t traceId = 0;      ///< 0 = the server allocates its own
+    uint32_t spanIdBase = 0;   ///< span ids start at spanIdBase + 1
+    uint32_t rootParentId = 0; ///< router leg span the root nests under
 };
 
 /**
@@ -158,9 +195,13 @@ class TraceContext
 
     /**
      * Context for @p trace_id feeding @p collector; inert when the
-     * collector's sampling decision drops the id.
+     * collector's sampling decision drops the id. @p span_id_base
+     * offsets every id this context allocates (stitched multi-leg
+     * traces give each leg a disjoint id range); @p root_parent_id is
+     * the parent the root span closes under (0 = top of the trace).
      */
-    TraceContext(TraceCollector &collector, uint64_t trace_id);
+    TraceContext(TraceCollector &collector, uint64_t trace_id,
+                 uint32_t span_id_base = 0, uint32_t root_parent_id = 0);
 
     /** True when spans opened under this context are recorded. */
     bool active() const { return collector_ != nullptr; }
@@ -202,6 +243,35 @@ class TraceContext
     void event(SpanKind kind, const std::string &name,
                std::vector<std::pair<std::string, std::string>> attrs = {});
 
+    /**
+     * Reserve a span id without recording anything (0 when inert). A
+     * router reserves the leg span's id at dispatch so the shard can
+     * parent its root under it, and records the leg span later with
+     * recordReserved() once the leg's outcome and duration are known.
+     */
+    uint32_t reserveSpanId();
+
+    /** Record a span under an id reserved by reserveSpanId(). */
+    void recordReserved(
+        uint32_t span_id, SpanKind kind, const std::string &name,
+        double start_seconds, double duration_seconds,
+        uint32_t parent_id = 0,
+        std::vector<std::pair<std::string, std::string>> attrs = {});
+
+    /**
+     * Divert this context's spans into a per-query buffer instead of the
+     * collector. The flight recorder needs whole traces; buffering keeps
+     * a query's spans together so the server can hand one copy to the
+     * recorder and flush the rest to the ring. No-op when inert.
+     */
+    void bufferSpans();
+
+    /**
+     * Move out the buffered spans (empty when bufferSpans() was never
+     * called); subsequent spans go straight to the collector again.
+     */
+    std::vector<SpanRecord> takeBuffered();
+
     /** The context installed on this thread; null when none. */
     static TraceContext *current();
 
@@ -214,11 +284,17 @@ class TraceContext
 
     uint32_t allocSpanId() { return nextSpanId_++; }
 
+    /** Buffered when a buffer is attached, else straight to the ring. */
+    void sink(SpanRecord &&record);
+
     TraceCollector *collector_ = nullptr;
     uint64_t traceId_ = 0;
     uint32_t nextSpanId_ = 1;
     uint32_t currentParent_ = 0;
     uint32_t rootId_ = 0;
+    uint32_t rootParentId_ = 0;
+    /** Shared so by-value copies of the context feed one buffer. */
+    std::shared_ptr<std::vector<SpanRecord>> buffer_;
 };
 
 /**

@@ -42,9 +42,10 @@ routingPolicyFromName(const std::string &name, RoutingPolicy &out)
 BackendShard::BackendShard(const SiriusPipeline &pipeline,
                            const ConcurrentServerConfig &config,
                            size_t index,
-                           const ClusterHealthConfig &health)
+                           const ClusterHealthConfig &health,
+                           EventLog *events)
     : server_(pipeline, config), index_(index), health_(health),
-      window_(std::max<size_t>(health.window, 1), 0)
+      events_(events), window_(std::max<size_t>(health.window, 1), 0)
 {
 }
 
@@ -87,6 +88,11 @@ BackendShard::recordOutcome(bool bad, double now_seconds)
         logMessage(LogLevel::Warn,
                    "cluster: shard " + std::to_string(index_) +
                        " ejected (bad-outcome rate over threshold)");
+        if (events_ != nullptr)
+            events_->note(now_seconds, "shard_eject",
+                          "shard " + std::to_string(index_) +
+                              " ejected from routing",
+                          {{"shard", std::to_string(index_)}});
     }
 }
 
@@ -122,6 +128,11 @@ BackendShard::recordProbeOutcome(bool ok, double now_seconds)
             logMessage(LogLevel::Info,
                        "cluster: shard " + std::to_string(index_) +
                            " recovered after probing");
+            if (events_ != nullptr)
+                events_->note(now_seconds, "shard_recover",
+                              "shard " + std::to_string(index_) +
+                                  " rejoined routing after probes",
+                              {{"shard", std::to_string(index_)}});
         }
     } else {
         probeSuccesses_ = 0;
@@ -143,6 +154,7 @@ struct ClusterRouter::QueryState
     Query query;
     Completion done;
     uint64_t id = 0;
+    uint64_t traceId = 0; ///< router-allocated, shared by every leg
     double submittedAt = 0.0;
     size_t primaryShard = 0;
 
@@ -150,9 +162,21 @@ struct ClusterRouter::QueryState
     bool delivered = false;
     bool closed = false; ///< in-flight slot released
     int legs = 0;
+    int legsStarted = 0; ///< ever dispatched; indexes span-id blocks
     int failoversLeft = 0;
     int failovers = 0;
     bool hedgeFired = false;
+
+    /**
+     * The router's own trace context for this query (inert when the
+     * trace id was not sampled). Route/route_leg spans are recorded
+     * through it; span-id base 1<<30 keeps router ids disjoint from
+     * every leg's block. TraceContext is not thread-safe, so all use
+     * is under `m`.
+     */
+    TraceContext trace;
+    uint32_t rootSpanId = 0;    ///< reserved for the "route" summary
+    bool flightOffered = false; ///< completing offer() already made
 };
 
 ClusterRouter::ClusterRouter(const SiriusPipeline &pipeline,
@@ -173,8 +197,19 @@ ClusterRouter::ClusterRouter(const SiriusPipeline &pipeline,
         if (i < config_.shardFaults.size() &&
             config_.shardFaults[i] != nullptr)
             shard_config.faults = config_.shardFaults[i];
+        // The router owns the fleet SLO (per-leg + per-delivery feeds);
+        // a shard-level tracker would double-count every leg.
+        shard_config.slo = nullptr;
+        // Shards contribute legs to the shared recorder; the router
+        // makes the completing offer at delivery.
+        shard_config.flight = config_.flight;
         shards_.push_back(std::make_unique<BackendShard>(
-            pipeline_, shard_config, i, config_.health));
+            pipeline_, shard_config, i, config_.health,
+            config_.events));
+        // One clock for the whole fleet: stitched gap arithmetic
+        // (route dispatch -> leg start) needs every shard's span
+        // timestamps on the router's epoch.
+        shards_.back()->server().alignTraceEpoch(collector_);
         routed_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
         failoversFrom_.push_back(
             std::make_unique<std::atomic<uint64_t>>(0));
@@ -293,20 +328,32 @@ ClusterRouter::pickShard(const Query &query, size_t avoid)
 
 bool
 ClusterRouter::dispatch(const std::shared_ptr<QueryState> &state,
-                        size_t index, bool probe)
+                        size_t index, bool probe, const char *arm)
 {
     BackendShard &shard = *shards_[index];
+    uint32_t leg_span = 0;
+    uint32_t leg_base = 0;
     {
         std::lock_guard<std::mutex> lock(state->m);
         if (state->closed)
             return false; // delivered + released while we raced here
         ++state->legs;
+        // Each leg gets a reserved route_leg span id (recorded when
+        // the leg completes) and a disjoint 2^20 span-id block for the
+        // shard's own spans, so hedge/failover legs never collide.
+        const int leg_index = state->legsStarted++;
+        leg_span = state->trace.reserveSpanId();
+        leg_base = static_cast<uint32_t>(leg_index + 1) << 20;
     }
+    const double dispatched_at = nowSeconds();
     shard.noteDispatch();
     const bool ok = shard.server().submit(
         state->query,
-        [this, state, index, probe](const SiriusResult &result) {
-            onLegDone(state, index, probe, result);
+        TraceBinding{state->traceId, leg_base, leg_span},
+        [this, state, index, probe, arm, leg_span,
+         dispatched_at](const SiriusResult &result) {
+            onLegDone(state, index, probe, arm, leg_span,
+                      dispatched_at, result);
         });
     if (!ok) {
         shard.noteComplete();
@@ -319,8 +366,41 @@ ClusterRouter::dispatch(const std::shared_ptr<QueryState> &state,
 }
 
 void
+ClusterRouter::recordLegSpan(const std::shared_ptr<QueryState> &state,
+                             size_t index, const char *arm,
+                             uint32_t leg_span, double dispatched_at,
+                             bool won, const SiriusResult &result)
+{
+    std::lock_guard<std::mutex> lock(state->m);
+    if (!state->trace.active())
+        return;
+    // A leg finishing after delivery (hedge loser) finds the trace
+    // buffer already flushed; re-buffer just this span so the flight
+    // recorder can merge it into the kept trace as a late partial.
+    const bool late =
+        state->flightOffered && config_.flight != nullptr;
+    if (late)
+        state->trace.bufferSpans();
+    state->trace.recordReserved(
+        leg_span, SpanKind::Route, "route_leg", dispatched_at,
+        nowSeconds() - dispatched_at, state->rootSpanId,
+        {{"arm", arm},
+         {"shard", std::to_string(index)},
+         {"won", won ? "1" : "0"},
+         {"outcome", degradationName(result.degradation)}});
+    if (late) {
+        std::vector<SpanRecord> spans = state->trace.takeBuffered();
+        for (const SpanRecord &span : spans)
+            collector_.append(span);
+        config_.flight->offerPartial(state->traceId,
+                                     std::move(spans));
+    }
+}
+
+void
 ClusterRouter::onLegDone(const std::shared_ptr<QueryState> &state,
-                         size_t index, bool probe,
+                         size_t index, bool probe, const char *arm,
+                         uint32_t leg_span, double dispatched_at,
                          const SiriusResult &result)
 {
     BackendShard &shard = *shards_[index];
@@ -331,6 +411,13 @@ ClusterRouter::onLegDone(const std::shared_ptr<QueryState> &state,
         shard.recordProbeOutcome(!bad, nowSeconds());
     else
         shard.recordOutcome(bad, nowSeconds());
+    // Fleet availability is judged per leg: a failed leg burns error
+    // budget even when failover rescues the answer, so a shard outage
+    // reaches the burn-rate alerts that the delivered-result counters
+    // (kept clean by failover) would hide. Deadline misses are left to
+    // the latency objective, which sees the delivered e2e below.
+    if (config_.slo != nullptr)
+        config_.slo->recordOutcome(!failed);
 
     bool try_failover = false;
     {
@@ -343,10 +430,13 @@ ClusterRouter::onLegDone(const std::shared_ptr<QueryState> &state,
     }
     if (try_failover) {
         const size_t next = pickShard(state->query, index);
-        if (next != SIZE_MAX && dispatch(state, next, false)) {
+        if (next != SIZE_MAX && dispatch(state, next, false,
+                                         "failover")) {
             failovers_.fetch_add(1, std::memory_order_relaxed);
             failoversFrom_[index]->fetch_add(1,
                                              std::memory_order_relaxed);
+            recordLegSpan(state, index, arm, leg_span, dispatched_at,
+                          false, result);
             std::lock_guard<std::mutex> lock(state->m);
             ++state->failovers;
             return; // the failover leg owns delivery now
@@ -368,22 +458,44 @@ ClusterRouter::onLegDone(const std::shared_ptr<QueryState> &state,
             failover_count = state->failovers;
         }
     }
+    // The winner's route_leg must land in the trace buffer before the
+    // completing flight offer below flushes it.
+    recordLegSpan(state, index, arm, leg_span, dispatched_at,
+                  do_deliver, result);
     if (do_deliver) {
+        const double now = nowSeconds();
+        const double e2e = now - state->submittedAt;
         if (hedged && index != state->primaryShard)
             hedgeWins_.fetch_add(1, std::memory_order_relaxed);
         outcomes_[static_cast<size_t>(result.degradation)].fetch_add(
             1, std::memory_order_relaxed);
-        TraceContext trace(collector_, state->id);
-        if (trace.active()) {
-            trace.recordSpan(
-                SpanKind::Route, "route", state->submittedAt,
-                nowSeconds() - state->submittedAt, 0,
-                {{"shard", std::to_string(index)},
-                 {"policy", routingPolicyName(config_.policy)},
-                 {"failovers", std::to_string(failover_count)},
-                 {"hedged", hedged ? "1" : "0"},
-                 {"probe", probe ? "1" : "0"},
-                 {"outcome", degradationName(result.degradation)}});
+        if (config_.slo != nullptr)
+            config_.slo->recordLatency(e2e);
+        {
+            std::lock_guard<std::mutex> lock(state->m);
+            if (state->trace.active()) {
+                state->trace.recordReserved(
+                    state->rootSpanId, SpanKind::Route, "route",
+                    state->submittedAt, e2e, 0,
+                    {{"shard", std::to_string(index)},
+                     {"policy", routingPolicyName(config_.policy)},
+                     {"failovers", std::to_string(failover_count)},
+                     {"hedged", hedged ? "1" : "0"},
+                     {"probe", probe ? "1" : "0"},
+                     {"outcome",
+                      degradationName(result.degradation)}});
+                std::vector<SpanRecord> spans =
+                    state->trace.takeBuffered();
+                if (config_.flight != nullptr) {
+                    for (const SpanRecord &span : spans)
+                        collector_.append(span);
+                    // The completing offer: merges the staged shard
+                    // legs and makes the keep decision.
+                    config_.flight->offer(state->traceId, e2e,
+                                          std::move(spans));
+                }
+                state->flightOffered = true;
+            }
         }
         if (state->done)
             state->done(result);
@@ -412,6 +524,16 @@ ClusterRouter::submit(const Query &query, Completion done)
     state->query = query;
     state->done = std::move(done);
     state->id = nextQueryId_.fetch_add(1, std::memory_order_relaxed) + 1;
+    // The router allocates the one trace id every leg shares. Shards
+    // run the same (seed, rate) sampling hash, so their contexts keep
+    // or drop the query exactly when the router's does.
+    state->traceId = config_.shard.traceIdOffset + state->id;
+    state->trace = TraceContext(collector_, state->traceId, 1u << 30);
+    if (state->trace.active()) {
+        if (config_.flight != nullptr)
+            state->trace.bufferSpans();
+        state->rootSpanId = state->trace.reserveSpanId();
+    }
     state->submittedAt = nowSeconds();
     // A hedged query never also fails over: the hedge is its retry.
     state->failoversLeft =
@@ -440,7 +562,7 @@ ClusterRouter::submit(const Query &query, Completion done)
             break;
         }
     }
-    if (probe && !dispatch(state, target, true)) {
+    if (probe && !dispatch(state, target, true, "probe")) {
         shards_[target]->recordProbeOutcome(false, nowSeconds());
         probe = false;
         target = SIZE_MAX;
@@ -448,7 +570,8 @@ ClusterRouter::submit(const Query &query, Completion done)
     if (!probe) {
         target = pickShard(query, SIZE_MAX);
         // Spill over in load order when the picked queue is full.
-        while (target != SIZE_MAX && !dispatch(state, target, false)) {
+        while (target != SIZE_MAX &&
+               !dispatch(state, target, false, "primary")) {
             target = pickShard(query, target);
         }
         if (target == SIZE_MAX) {
@@ -523,7 +646,8 @@ ClusterRouter::hedgeLoop()
             if (fire) {
                 const size_t next =
                     pickShard(state->query, state->primaryShard);
-                if (next != SIZE_MAX && dispatch(state, next, false))
+                if (next != SIZE_MAX &&
+                    dispatch(state, next, false, "hedge"))
                     hedgesFired_.fetch_add(1,
                                            std::memory_order_relaxed);
             }
@@ -546,6 +670,11 @@ ClusterRouter::killShard(size_t index)
     logMessage(LogLevel::Warn, "cluster: shard " +
                                    std::to_string(index) +
                                    " administratively killed");
+    if (config_.events != nullptr)
+        config_.events->note(nowSeconds(), "shard_kill",
+                             "shard " + std::to_string(index) +
+                                 " administratively killed",
+                             {{"shard", std::to_string(index)}});
 }
 
 void
@@ -555,6 +684,32 @@ ClusterRouter::reviveShard(size_t index)
     logMessage(LogLevel::Info, "cluster: shard " +
                                    std::to_string(index) +
                                    " administratively revived");
+    if (config_.events != nullptr)
+        config_.events->note(nowSeconds(), "shard_revive",
+                             "shard " + std::to_string(index) +
+                                 " administratively revived",
+                             {{"shard", std::to_string(index)}});
+}
+
+void
+ClusterRouter::setShardFaults(size_t index, bool enabled)
+{
+    if (index >= config_.shardFaults.size() ||
+        config_.shardFaults[index] == nullptr)
+        fatal("setShardFaults: shard " + std::to_string(index) +
+              " has no injector in ClusterConfig::shardFaults");
+    config_.shardFaults[index]->setEnabled(enabled);
+    logMessage(enabled ? LogLevel::Warn : LogLevel::Info,
+               "cluster: shard " + std::to_string(index) +
+                   (enabled ? " fault injection armed (drill)"
+                            : " fault injection disarmed (drill)"));
+    if (config_.events != nullptr)
+        config_.events->note(nowSeconds(), "drill",
+                             "shard " + std::to_string(index) +
+                                 (enabled ? " faults armed"
+                                          : " faults disarmed"),
+                             {{"shard", std::to_string(index)},
+                              {"enabled", enabled ? "1" : "0"}});
 }
 
 namespace {
@@ -594,7 +749,15 @@ ClusterRouter::snapshot() const
         out.recoveries += shard->recoveries();
         out.probes += shard->probes();
         out.healthyShards += shard->healthy() ? 1 : 0;
+        out.traceDropped += s.traceDropped;
     }
+    out.traceDropped += collector_.dropped();
+    if (config_.slo != nullptr)
+        out.slo = config_.slo->snapshot();
+    if (config_.flight != nullptr)
+        out.flight = config_.flight->stats();
+    if (config_.events != nullptr)
+        out.events = config_.events->snapshot();
     out.accepted = accepted_.load(std::memory_order_relaxed);
     out.rejected = rejected_.load(std::memory_order_relaxed);
     out.failovers = failovers_.load(std::memory_order_relaxed);
@@ -623,6 +786,16 @@ ClusterRouter::exportMetrics(MetricsRegistry &registry,
 
     registry.gauge("sirius_cluster_shards", base)
         .set(static_cast<double>(shards_.size()));
+    registry
+        .counter("sirius_trace_dropped_total",
+                 labeled({{"collector", "router"}}))
+        .add(collector_.dropped());
+    if (config_.slo != nullptr)
+        config_.slo->exportTo(registry, base);
+    if (config_.flight != nullptr)
+        config_.flight->exportTo(registry, base);
+    if (config_.events != nullptr)
+        config_.events->exportTo(registry, base);
     registry.counter("sirius_cluster_accepted_total", base)
         .add(accepted_.load(std::memory_order_relaxed));
     registry.counter("sirius_cluster_rejected_total", base)
@@ -708,11 +881,19 @@ runOpenLoop(ClusterRouter &router, double offered_qps, size_t requests,
     double arrival = 0.0;
     uint64_t shed = 0;
     for (size_t i = 0; i < requests; ++i) {
-        if (options.killShardAt != 0 && i + 1 == options.killShardAt)
-            router.killShard(options.killShard);
+        if (options.killShardAt != 0 && i + 1 == options.killShardAt) {
+            if (options.killByFault)
+                router.setShardFaults(options.killShard, true);
+            else
+                router.killShard(options.killShard);
+        }
         if (options.reviveShardAt != 0 &&
-            i + 1 == options.reviveShardAt)
-            router.reviveShard(options.killShard);
+            i + 1 == options.reviveShardAt) {
+            if (options.killByFault)
+                router.setShardFaults(options.killShard, false);
+            else
+                router.reviveShard(options.killShard);
+        }
         double u = rng.uniform();
         while (u <= 1e-300)
             u = rng.uniform();
@@ -788,10 +969,20 @@ runClosedLoop(ClusterRouter &router, size_t clients,
             for (size_t i = 0; i < queries_per_client; ++i) {
                 const size_t seq =
                     issued.fetch_add(1, std::memory_order_relaxed) + 1;
-                if (kill_at != 0 && seq == kill_at)
-                    router.killShard(options.killShard);
-                if (revive_at != 0 && seq == revive_at)
-                    router.reviveShard(options.killShard);
+                if (kill_at != 0 && seq == kill_at) {
+                    if (options.killByFault)
+                        router.setShardFaults(options.killShard,
+                                              true);
+                    else
+                        router.killShard(options.killShard);
+                }
+                if (revive_at != 0 && seq == revive_at) {
+                    if (options.killByFault)
+                        router.setShardFaults(options.killShard,
+                                              false);
+                    else
+                        router.reviveShard(options.killShard);
+                }
                 const size_t pick = options.zipfSkew > 0.0
                     ? zipf.draw(rng)
                     : (c * queries_per_client + i) % queries.size();

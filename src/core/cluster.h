@@ -131,6 +131,33 @@ struct ClusterConfig
      * clean. Not owned; injectors must outlive the router.
      */
     std::vector<FaultInjector *> shardFaults;
+
+    /**
+     * Optional fleet-level SLO tracker; not owned. The router feeds it
+     * one availability outcome per *leg* (a failed leg burns error
+     * budget even when failover rescues the query — that is what makes
+     * a shard outage visible to the burn-rate alerts) and one latency
+     * observation per *delivered* query. Shards get their `slo` forced
+     * to null so nothing is double-counted.
+     */
+    SloTracker *slo = nullptr;
+
+    /**
+     * Optional flight recorder shared by the router and every shard;
+     * not owned. Shards contribute their legs' spans with
+     * offerPartial(); the router completes each trace with offer() at
+     * delivery, so a retained trace holds the route summary, every
+     * route_leg, and the winning (plus any merged late) shard spans.
+     */
+    FlightRecorder *flight = nullptr;
+
+    /**
+     * Optional structured event log; not owned. The router writes
+     * shard lifecycle transitions into it (shard_eject, shard_recover,
+     * shard_kill, shard_revive) so drills can assert on *when* the
+     * fleet changed shape, not just on end-of-run counters.
+     */
+    EventLog *events = nullptr;
 };
 
 /**
@@ -147,7 +174,8 @@ class BackendShard
   public:
     BackendShard(const SiriusPipeline &pipeline,
                  const ConcurrentServerConfig &config, size_t index,
-                 const ClusterHealthConfig &health);
+                 const ClusterHealthConfig &health,
+                 EventLog *events = nullptr);
 
     BackendShard(const BackendShard &) = delete;
     BackendShard &operator=(const BackendShard &) = delete;
@@ -199,6 +227,7 @@ class BackendShard
     ConcurrentServer server_;
     const size_t index_;
     const ClusterHealthConfig health_;
+    EventLog *events_; ///< lifecycle events (eject/recover); may be null
 
     std::atomic<size_t> outstanding_{0};
     std::atomic<bool> adminDown_{false};
@@ -246,6 +275,14 @@ struct ClusterStats
     MetricsRegistry metrics;
     /** The router's Route spans (empty when tracing is disabled). */
     std::vector<SpanRecord> routerSpans;
+    /** Spans lost to any trace ring: router collector + every shard. */
+    uint64_t traceDropped = 0;
+    /** Fleet SLO state (empty when config.slo is null). */
+    SloSnapshot slo;
+    /** Flight-recorder accounting (zeros when config.flight is null). */
+    FlightRecorderStats flight;
+    /** Retained events, oldest first (empty when config.events is null). */
+    std::vector<EventLog::Event> events;
 };
 
 /**
@@ -291,6 +328,16 @@ class ClusterRouter
     /** Undo killShard(); health-based ejection still applies. */
     void reviveShard(size_t index);
 
+    /**
+     * Fault-mode drill switch: arm (or disarm) shard @p index's
+     * injector from ClusterConfig::shardFaults and write a "drill"
+     * event. Unlike killShard(), an armed shard keeps *receiving*
+     * queries and fails them, so the outage is visible to health
+     * ejection and the SLO burn-rate alerts instead of being drained
+     * cleanly around. Fatal when the shard has no injector configured.
+     */
+    void setShardFaults(size_t index, bool enabled);
+
     size_t shardCount() const { return shards_.size(); }
     BackendShard &shard(size_t index) { return *shards_.at(index); }
     const BackendShard &shard(size_t index) const
@@ -324,12 +371,22 @@ class ClusterRouter
     size_t pickShard(const Query &query, size_t avoid);
 
     /** Route one leg of @p state to shard @p index. Returns false when
-     *  that shard's queue was full (the leg never started). */
+     *  that shard's queue was full (the leg never started). @p arm
+     *  labels the leg's role in the stitched trace ("primary",
+     *  "failover", "hedge", "probe"). */
     bool dispatch(const std::shared_ptr<QueryState> &state, size_t index,
-                  bool probe);
+                  bool probe, const char *arm);
 
     void onLegDone(const std::shared_ptr<QueryState> &state, size_t index,
-                   bool probe, const SiriusResult &result);
+                   bool probe, const char *arm, uint32_t leg_span,
+                   double dispatched_at, const SiriusResult &result);
+
+    /** Record one leg's route_leg span (and, for a leg finishing after
+     *  delivery, hand it to the flight recorder as a late partial). */
+    void recordLegSpan(const std::shared_ptr<QueryState> &state,
+                       size_t index, const char *arm, uint32_t leg_span,
+                       double dispatched_at, bool won,
+                       const SiriusResult &result);
 
     /** Release the cluster in-flight slot once the last leg finished
      *  after delivery. */
@@ -391,6 +448,16 @@ struct ClusterLoadOptions
     size_t killShardAt = 0;
     size_t killShard = 0;
     size_t reviveShardAt = 0;
+    /**
+     * Fault-mode twin of the admin drill: when true, the kill/revive
+     * points call ClusterRouter::setShardFaults() instead of
+     * killShard()/reviveShard(), so the shard fails queries loudly
+     * (burning SLO error budget) rather than draining cleanly. The
+     * router must have an injector in shardFaults[killShard]
+     * (scripts/slo_smoke.sh drives this via load_test --kill-mode
+     * fault).
+     */
+    bool killByFault = false;
 };
 
 /** Open-loop Poisson load against a cluster; see runOpenLoop(). */

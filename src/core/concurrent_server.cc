@@ -38,6 +38,13 @@ ConcurrentServer::~ConcurrentServer()
 bool
 ConcurrentServer::submit(const Query &query, Completion done)
 {
+    return submit(query, TraceBinding{}, std::move(done));
+}
+
+bool
+ConcurrentServer::submit(const Query &query, const TraceBinding &binding,
+                         Completion done)
+{
     // Admission control: reserve a waiting slot or shed. The CAS loop
     // makes the bound exact under concurrent submitters.
     size_t waiting = queued_.load(std::memory_order_relaxed);
@@ -52,19 +59,28 @@ ConcurrentServer::submit(const Query &query, Completion done)
     // The deadline is anchored at admission, so time spent waiting in
     // the queue burns the same budget the pipeline stages check. The
     // trace context is anchored here too: its id is the admission
-    // sequence number, and the sampling decision is made before any
-    // work so an unsampled query never touches the collector again.
+    // sequence number (or the router's id when the query is one leg of
+    // a stitched cluster trace), and the sampling decision is made
+    // before any work so an unsampled query never touches the collector
+    // again.
     const Deadline deadline = config_.deadlineSeconds > 0.0
         ? Deadline::after(config_.deadlineSeconds)
         : Deadline();
-    const TraceContext trace(collector_,
-                             config_.traceIdOffset + seq + 1);
+    const bool ownTrace = binding.traceId == 0;
+    const uint64_t traceId =
+        ownTrace ? config_.traceIdOffset + seq + 1 : binding.traceId;
+    TraceContext trace(collector_, traceId, binding.spanIdBase,
+                       binding.rootParentId);
+    // The flight recorder wants whole traces: buffer this query's spans
+    // so completion can hand the recorder one coherent copy.
+    if (config_.flight != nullptr)
+        trace.bufferSpans();
     const double admitted = collector_.nowSeconds();
-    pool_.submit([this, query, deadline, trace, admitted,
+    pool_.submit([this, query, deadline, trace, admitted, ownTrace,
                   done = std::move(done)] {
         // The request leaves the queue the moment a worker picks it up.
         queued_.fetch_sub(1, std::memory_order_relaxed);
-        serve(query, deadline, trace, admitted, done);
+        serve(query, deadline, trace, admitted, ownTrace, done);
     });
     return true;
 }
@@ -90,7 +106,7 @@ ConcurrentServer::handle(const Query &query)
 void
 ConcurrentServer::serve(const Query &query, const Deadline &deadline,
                         TraceContext trace, double admitted_seconds,
-                        const Completion &done)
+                        bool own_trace, const Completion &done)
 {
     ProcessOptions options;
     options.deadline = deadline;
@@ -124,14 +140,33 @@ ConcurrentServer::serve(const Query &query, const Deadline &deadline,
     if (deadline.expired())
         result.deadlineExpired = true;
 
+    const double total_seconds =
+        collector_.nowSeconds() - admitted_seconds;
     trace.closeRoot(
-        "query", admitted_seconds,
-        collector_.nowSeconds() - admitted_seconds,
+        "query", admitted_seconds, total_seconds,
         {{"type", queryTypeName(query.type)},
          {"degradation", degradationName(result.degradation)},
          {"deadline_expired", result.deadlineExpired ? "1" : "0"},
          {"retries", std::to_string(result.stageRetries)},
          {"text", query.text}});
+
+    // Flush the buffered trace: one copy is offered to the flight
+    // recorder (a complete trace when this server owns it, a leg
+    // contribution when a router does — the router's completing offer
+    // follows its delivery), the original lands in the span ring. This
+    // runs before done() so a router always finds the leg staged.
+    if (config_.flight != nullptr && trace.active()) {
+        std::vector<SpanRecord> spans = trace.takeBuffered();
+        if (own_trace)
+            config_.flight->offer(trace.traceId(), total_seconds, spans);
+        else
+            config_.flight->offerPartial(trace.traceId(), spans);
+        for (SpanRecord &span : spans)
+            collector_.append(std::move(span));
+    }
+    if (config_.slo != nullptr)
+        config_.slo->record(total_seconds,
+                            result.degradation != Degradation::Failed);
 
     const double staged = result.timings.total();
     profiler_.addSeconds("asr", result.timings.asr.total());
@@ -170,6 +205,11 @@ ConcurrentServer::snapshot() const
         out.batching = batcher_->snapshot();
     if (caches_ != nullptr)
         out.caches = caches_->snapshot();
+    out.traceDropped = collector_.dropped();
+    if (config_.slo != nullptr)
+        out.slo = config_.slo->snapshot();
+    if (config_.flight != nullptr)
+        out.flight = config_.flight->stats();
     return out;
 }
 
@@ -191,6 +231,8 @@ ConcurrentServer::exportMetrics(MetricsRegistry &registry,
             queued_.load(std::memory_order_relaxed)));
     registry.counter("sirius_trace_spans_total", base)
         .add(collector_.appended());
+    registry.counter("sirius_trace_dropped_total", base)
+        .add(collector_.dropped());
     registry.gauge("sirius_trace_sample_rate", base)
         .set(collector_.sampleRate());
     if (batcher_ != nullptr)

@@ -22,8 +22,10 @@
 #include <mutex>
 
 #include "common/cache.h"
+#include "common/flight_recorder.h"
 #include "common/metrics.h"
 #include "common/profiler.h"
+#include "common/slo.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "core/batch_scheduler.h"
@@ -83,6 +85,21 @@ struct ConcurrentServerConfig
      * without id collisions.
      */
     uint64_t traceIdOffset = 0;
+
+    /**
+     * Optional SLO tracker fed one observation per completed query
+     * (latency = admission to completion, good = not Failed); not
+     * owned. Leave null on cluster shards — the router records at the
+     * fleet level instead, so leg outcomes are not double-counted.
+     */
+    SloTracker *slo = nullptr;
+    /**
+     * Optional flight recorder; not owned. When set, sampled queries
+     * buffer their spans and offer the whole trace to the recorder on
+     * completion (as a leg contribution when the query carries an
+     * external TraceBinding, i.e. a cluster router owns the trace).
+     */
+    FlightRecorder *flight = nullptr;
 };
 
 /** Race-free snapshot of a ConcurrentServer's statistics. */
@@ -104,6 +121,12 @@ struct ConcurrentServerStats
     BatchSnapshot batching;
     /** Per-layer cache accounting (all zeros when caching is disabled). */
     PipelineCacheSnapshot caches;
+    /** Spans lost to the trace ring bound (sirius_trace_dropped_total). */
+    uint64_t traceDropped = 0;
+    /** SLO state (empty when config.slo is null). */
+    SloSnapshot slo;
+    /** Flight-recorder accounting (zeros when config.flight is null). */
+    FlightRecorderStats flight;
 };
 
 /**
@@ -140,6 +163,16 @@ class ConcurrentServer
     bool submit(const Query &query, Completion done = nullptr);
 
     /**
+     * submit() with an external trace identity: a cluster router passes
+     * its own trace id, a per-leg span-id base, and the route-leg span
+     * the shard's root should nest under, so every leg's spans stitch
+     * into one trace (see TraceBinding). A default binding behaves
+     * exactly like submit().
+     */
+    bool submit(const Query &query, const TraceBinding &binding,
+                Completion done = nullptr);
+
+    /**
      * Closed-loop path: block until @p query has been executed by a
      * worker and return its result. Waits for queue space instead of
      * shedding, so it never counts rejections.
@@ -165,6 +198,16 @@ class ConcurrentServer
     /** The span ring all sampled queries record into. */
     const TraceCollector &traces() const { return collector_; }
 
+    /**
+     * Put this server's span timestamps on @p other's clock (cluster
+     * stitching: every shard aligns to the router's collector). Call
+     * before traffic; existing span timestamps are not rewritten.
+     */
+    void alignTraceEpoch(const TraceCollector &other)
+    {
+        collector_.alignEpochTo(other);
+    }
+
     /** The shared micro-batcher; null when batching is disabled. */
     const BatchScheduler *batcher() const { return batcher_.get(); }
 
@@ -186,7 +229,7 @@ class ConcurrentServer
   private:
     void serve(const Query &query, const Deadline &deadline,
                TraceContext trace, double admitted_seconds,
-               const Completion &done);
+               bool own_trace, const Completion &done);
 
     const SiriusPipeline &pipeline_;
     ConcurrentServerConfig config_;

@@ -20,7 +20,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/critical_path.h"
 #include "common/fault_injection.h"
+#include "common/flight_recorder.h"
 #include "core/cluster.h"
 #include "dcsim/queueing.h"
 
@@ -399,11 +401,31 @@ TEST_F(ClusterFixture, RouteSpansCarryRoutingAttributes)
         router.handle(queries[i]);
 
     const auto spans = router.traces().snapshot();
-    ASSERT_EQ(spans.size(), 8u);
+    // Every query leaves one "route" summary plus one "route_leg" per
+    // dispatched leg (exactly one each here: no hedging, no failures).
+    size_t routes = 0, legs = 0;
     for (const auto &span : spans) {
         EXPECT_EQ(span.kind, SpanKind::Route);
-        EXPECT_EQ(span.name, "route");
         EXPECT_GT(span.durationSeconds, 0.0);
+        if (span.name == "route_leg") {
+            ++legs;
+            bool has_arm = false, has_won = false;
+            for (const auto &[key, value] : span.attrs) {
+                if (key == "arm") {
+                    has_arm = true;
+                    EXPECT_EQ(value, "primary");
+                }
+                if (key == "won") {
+                    has_won = true;
+                    EXPECT_EQ(value, "1");
+                }
+            }
+            EXPECT_TRUE(has_arm && has_won);
+            EXPECT_NE(span.parentId, 0u);
+            continue;
+        }
+        ++routes;
+        EXPECT_EQ(span.name, "route");
         bool has_shard = false, has_policy = false, has_outcome = false;
         for (const auto &[key, value] : span.attrs) {
             if (key == "shard")
@@ -417,6 +439,74 @@ TEST_F(ClusterFixture, RouteSpansCarryRoutingAttributes)
         }
         EXPECT_TRUE(has_shard && has_policy && has_outcome);
     }
+    EXPECT_EQ(routes, 8u);
+    EXPECT_EQ(legs, 8u);
+}
+
+TEST_F(ClusterFixture, StitchedHedgedTraceAttributesAllLatency)
+{
+    // The acceptance contract for trace stitching: a hedged cluster
+    // query's flight-recorded trace must attribute 100% of its
+    // end-to-end latency — the critical-path segments sum to the root
+    // route span within 1 µs, and the winning arm is identified.
+    auto config = smallCluster(2, RoutingPolicy::RoundRobin);
+    config.shard.workers = 2;
+    config.shard.traceSampleRate = 1.0;
+    config.hedgeSeconds = 1e-4; // every query hedges
+
+    FlightRecorderConfig flight_config;
+    flight_config.slowestCapacity = 64;
+    flight_config.byteBudget = 32 << 20;
+    FlightRecorder flight(flight_config);
+    config.flight = &flight;
+
+    ClusterRouter router(*pipeline_, config);
+    const size_t clients = 2, per_client = 4;
+    const auto result = runClosedLoop(router, clients, per_client);
+    ASSERT_EQ(result.completed, clients * per_client);
+
+    const auto traces = flight.snapshot();
+    ASSERT_GE(traces.size(), clients * per_client)
+        << "every completed query must be flight-recorded at this "
+           "capacity";
+    size_t analyzed = 0, hedged = 0;
+    for (const auto &trace : traces) {
+        const auto report = analyzeCriticalPath(trace.spans);
+        ASSERT_TRUE(report.valid) << "trace " << trace.traceId;
+        ASSERT_TRUE(report.stitched) << "trace " << trace.traceId;
+        ++analyzed;
+        hedged += report.hedged ? 1 : 0;
+        EXPECT_FALSE(report.winnerArm.empty());
+        EXPECT_FALSE(report.winnerShard.empty());
+        EXPECT_GT(report.totalSeconds, 0.0);
+        EXPECT_GT(report.segments.size(), 1u)
+            << "stitching must expose the winning leg's segments, not "
+               "one opaque route slice";
+        EXPECT_NEAR(report.sumSeconds(), report.totalSeconds, 1e-6)
+            << "trace " << trace.traceId
+            << " leaks latency out of the partition";
+    }
+    EXPECT_EQ(analyzed, traces.size());
+    EXPECT_GT(hedged, 0u)
+        << "a 100 µs hedge trigger must hedge at least one query";
+}
+
+TEST_F(ClusterFixture, TraceDroppedCounterIsExportedAndZeroHere)
+{
+    auto config = smallCluster(2, RoutingPolicy::RoundRobin);
+    config.shard.traceSampleRate = 1.0;
+    ClusterRouter router(*pipeline_, config);
+    const auto &queries = standardQuerySet();
+    for (size_t i = 0; i < 8; ++i)
+        router.handle(queries[i]);
+
+    const auto stats = router.snapshot();
+    EXPECT_EQ(stats.traceDropped, 0u);
+    MetricsRegistry registry;
+    router.exportMetrics(registry, {});
+    const std::string prom = registry.renderPrometheus();
+    EXPECT_NE(prom.find("sirius_trace_dropped_total"),
+              std::string::npos);
 }
 
 TEST_F(ClusterFixture, PerShardCachesStayWarmUnderAffinity)

@@ -1,0 +1,526 @@
+/**
+ * @file
+ * Tests for the observability plane: the SLO burn-rate engine
+ * (SloTracker + EventLog), the always-on flight recorder, the exact
+ * critical-path partition over stitched traces, and the Prometheus
+ * exporter's edge cases (escaping, empty histograms, gauge merges).
+ *
+ * Flakiness audit: every fire/clear assertion runs the tracker on a
+ * ManualTime clock, so alert transitions happen at a chosen
+ * observation, never at a wall-clock race. The flight-recorder tests
+ * drive offer()/offerPartial() sequentially and assert on the exact
+ * keep/evict policy.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/critical_path.h"
+#include "common/deadline.h"
+#include "common/flight_recorder.h"
+#include "common/metrics.h"
+#include "common/slo.h"
+#include "common/trace.h"
+
+namespace {
+
+using namespace sirius;
+
+/** One availability objective + one alert rule on a manual clock. */
+SloConfig
+manualSloConfig(const ManualTime &clock)
+{
+    SloConfig config;
+    SloObjective objective;
+    objective.name = "availability";
+    objective.signal = SloObjective::Signal::Availability;
+    objective.target = 0.9; // error budget 10%
+    config.objectives.push_back(objective);
+    SloAlertRule rule;
+    rule.name = "fast";
+    rule.longWindowSeconds = 10.0;
+    rule.shortWindowSeconds = 2.0;
+    rule.burnThreshold = 2.0; // fires at > 20% bad
+    config.rules.push_back(rule);
+    config.bucketSeconds = 0.5;
+    config.clock = &clock;
+    return config;
+}
+
+// --- SloTracker ---------------------------------------------------
+
+TEST(SloTracker, FiresAndClearsDeterministicallyUnderManualTime)
+{
+    ManualTime clock;
+    EventLog events(64);
+    SloTracker tracker(manualSloConfig(clock), &events);
+    int fired = 0;
+    tracker.setOnFire([&fired] { ++fired; });
+
+    // A run of failures: burn rate = 1.0 / 0.1 = 10 > 2 on both
+    // windows, so the alert fires on a deterministic observation.
+    for (int i = 0; i < 5; ++i) {
+        tracker.recordOutcome(false);
+        clock.advance(0.1);
+    }
+    auto snap = tracker.snapshot();
+    ASSERT_EQ(snap.objectives.size(), 1u);
+    ASSERT_EQ(snap.objectives[0].alerts.size(), 1u);
+    EXPECT_TRUE(snap.objectives[0].alerts[0].firing);
+    EXPECT_EQ(snap.objectives[0].alerts[0].fires, 1u);
+    EXPECT_EQ(fired, 1); // one transition, not one call per record
+    EXPECT_TRUE(snap.anyFiring());
+
+    // Quiet period: both windows age out; evaluate() (the monitor
+    // path, no new observation) must clear the alert.
+    clock.advance(11.0);
+    tracker.evaluate();
+    snap = tracker.snapshot();
+    EXPECT_FALSE(snap.objectives[0].alerts[0].firing);
+    EXPECT_EQ(snap.objectives[0].alerts[0].fires, 1u);
+    EXPECT_EQ(snap.objectives[0].alerts[0].clears, 1u);
+    EXPECT_FALSE(snap.anyFiring());
+    EXPECT_EQ(fired, 1);
+
+    // Transitions landed in the event log as structured events.
+    size_t fires = 0, clears = 0;
+    for (const auto &event : events.snapshot()) {
+        fires += event.kind == "alert_fire" ? 1 : 0;
+        clears += event.kind == "alert_clear" ? 1 : 0;
+    }
+    EXPECT_EQ(fires, 1u);
+    EXPECT_EQ(clears, 1u);
+}
+
+TEST(SloTracker, HealthyTrafficNeverFires)
+{
+    ManualTime clock;
+    SloTracker tracker(manualSloConfig(clock));
+    // 5% bad: burn 0.5, under the threshold of 2. The bad observation
+    // arrives 20th, not first — a lone first failure is a 100% bad
+    // window, which correctly fires (see the previous test).
+    for (int i = 0; i < 100; ++i) {
+        tracker.recordOutcome(i % 20 != 19);
+        clock.advance(0.05);
+    }
+    const auto snap = tracker.snapshot();
+    EXPECT_FALSE(snap.anyFiring());
+    EXPECT_EQ(snap.objectives[0].alerts[0].fires, 0u);
+    EXPECT_EQ(snap.objectives[0].good, 95u);
+    EXPECT_EQ(snap.objectives[0].total, 100u);
+}
+
+TEST(SloTracker, LatencyObjectiveJudgesAgainstThreshold)
+{
+    ManualTime clock;
+    SloConfig config = defaultSloConfig(0.1);
+    config.clock = &clock;
+    config.windowScale = 1e-3;
+    SloTracker tracker(config);
+    tracker.recordLatency(0.05); // good
+    tracker.recordLatency(0.50); // bad
+    tracker.recordOutcome(true); // availability only
+    const auto snap = tracker.snapshot();
+    ASSERT_EQ(snap.objectives.size(), 2u);
+    for (const auto &objective : snap.objectives) {
+        if (objective.objective == "latency") {
+            EXPECT_EQ(objective.good, 1u);
+            EXPECT_EQ(objective.total, 2u);
+        } else {
+            EXPECT_EQ(objective.objective, "availability");
+            EXPECT_EQ(objective.good, 1u);
+            EXPECT_EQ(objective.total, 1u);
+        }
+    }
+}
+
+TEST(SloTracker, ExportIsDeltaSafeAcrossRepeatedCalls)
+{
+    ManualTime clock;
+    SloTracker tracker(manualSloConfig(clock));
+    tracker.recordOutcome(true);
+    tracker.recordOutcome(true);
+    tracker.recordOutcome(false);
+
+    MetricsRegistry registry;
+    tracker.exportTo(registry);
+    tracker.exportTo(registry); // same registry again: no double count
+    EXPECT_EQ(registry
+                  .counter("sirius_slo_events_total",
+                           {{"objective", "availability"},
+                            {"outcome", "good"}})
+                  .value(),
+              2u);
+    EXPECT_EQ(registry
+                  .counter("sirius_slo_events_total",
+                           {{"objective", "availability"},
+                            {"outcome", "bad"}})
+                  .value(),
+              1u);
+    const std::string prom = registry.renderPrometheus();
+    EXPECT_NE(prom.find("sirius_slo_target"), std::string::npos);
+    EXPECT_NE(prom.find("sirius_slo_burn_rate"), std::string::npos);
+    EXPECT_NE(prom.find("sirius_slo_alert_state"), std::string::npos);
+}
+
+// --- EventLog -----------------------------------------------------
+
+TEST(EventLog, RingBoundsAndCountsDrops)
+{
+    EventLog log(4);
+    for (int i = 0; i < 6; ++i)
+        log.note(static_cast<double>(i), "tick",
+                 "event " + std::to_string(i));
+    EXPECT_EQ(log.appended(), 6u);
+    EXPECT_EQ(log.dropped(), 2u);
+    const auto events = log.snapshot();
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events.front().timeSeconds, 2.0); // oldest two dropped
+    EXPECT_EQ(events.back().timeSeconds, 5.0);
+
+    MetricsRegistry registry;
+    log.exportTo(registry);
+    EXPECT_EQ(registry.counter("sirius_events_total", {{"kind", "tick"}})
+                  .value(),
+              6u);
+    EXPECT_EQ(registry
+                  .counter("sirius_events_dropped_total",
+                           {{"log", "events"}})
+                  .value(),
+              2u);
+}
+
+TEST(EventLog, JsonRoundTripPreservesEscapes)
+{
+    EventLog::Event event;
+    event.timeSeconds = 1.5;
+    event.kind = "alert_fire";
+    event.message = "a \"quoted\"\nbackslash \\ line";
+    event.attrs = {{"objective", "latency"}, {"burn", "14.4"},
+                   {"odd\"key", "odd\\value\n"}};
+    const std::string line = EventLog::toJson(event);
+    EXPECT_EQ(line.find('\n'), std::string::npos)
+        << "JSONL lines must not embed raw newlines";
+
+    EventLog::Event parsed;
+    ASSERT_TRUE(EventLog::fromJson(line, parsed));
+    EXPECT_EQ(parsed.timeSeconds, event.timeSeconds);
+    EXPECT_EQ(parsed.kind, event.kind);
+    EXPECT_EQ(parsed.message, event.message);
+    EXPECT_EQ(parsed.attrs, event.attrs);
+
+    EventLog::Event bad;
+    EXPECT_FALSE(EventLog::fromJson("not json", bad));
+}
+
+TEST(EventLog, JsonlFileRoundTrip)
+{
+    EventLog log(8);
+    log.note(0.5, "drill", "shard 1 fault armed", {{"shard", "1"}});
+    log.note(1.0, "alert_fire", "burn over threshold",
+             {{"alert", "fast"}});
+    const std::string path = ::testing::TempDir() + "slo_events.jsonl";
+    ASSERT_TRUE(log.writeJsonl(path));
+    size_t malformed = 0;
+    const auto events = EventLog::readJsonl(path, &malformed);
+    std::remove(path.c_str());
+    EXPECT_EQ(malformed, 0u);
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].kind, "drill");
+    EXPECT_EQ(events[1].attrs,
+              (std::vector<std::pair<std::string, std::string>>{
+                  {"alert", "fast"}}));
+}
+
+// --- FlightRecorder -----------------------------------------------
+
+std::vector<SpanRecord>
+spanOf(uint64_t trace_id, const char *name, size_t padding = 0)
+{
+    SpanRecord span;
+    span.traceId = trace_id;
+    span.spanId = 1;
+    span.kind = SpanKind::Query;
+    span.name = name;
+    span.durationSeconds = 0.001;
+    span.attrs = {{"pad", std::string(padding, 'x')}};
+    return {span};
+}
+
+TEST(FlightRecorder, SlowestReservoirKeepsTheTail)
+{
+    FlightRecorderConfig config;
+    config.slowestCapacity = 2;
+    config.sampleEvery = 1000; // no uniform keeps in this test
+    FlightRecorder recorder(config);
+    recorder.offer(1, 0.010, spanOf(1, "q1"));
+    recorder.offer(2, 0.030, spanOf(2, "q2"));
+    recorder.offer(3, 0.020, spanOf(3, "q3")); // evicts 1 (least slow)
+    recorder.offer(4, 0.001, spanOf(4, "q4")); // rejected: too fast
+
+    const auto traces = recorder.snapshot();
+    ASSERT_EQ(traces.size(), 2u);
+    EXPECT_EQ(traces[0].traceId, 2u); // slowest first
+    EXPECT_EQ(traces[1].traceId, 3u);
+    EXPECT_EQ(traces[0].reason, "slowest");
+
+    const auto stats = recorder.stats();
+    EXPECT_EQ(stats.offered, 4u);
+    EXPECT_EQ(stats.kept, 3u);
+    EXPECT_EQ(stats.evicted, 1u);
+    EXPECT_EQ(stats.retained, 2u);
+    EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(FlightRecorder, PartialLegsMergeIntoTheCompletingOffer)
+{
+    FlightRecorderConfig config;
+    config.slowestCapacity = 1;
+    config.sampleEvery = 1000;
+    FlightRecorder recorder(config);
+
+    // Legs arrive before the router completes the trace.
+    recorder.offerPartial(7, spanOf(7, "leg_a"));
+    recorder.offerPartial(7, spanOf(7, "leg_b"));
+    recorder.offer(7, 0.010, spanOf(7, "route"));
+    auto traces = recorder.snapshot();
+    ASSERT_EQ(traces.size(), 1u);
+    EXPECT_EQ(traces[0].spans.size(), 3u);
+
+    // A hedge loser finishing after delivery merges into the kept
+    // trace and is counted.
+    recorder.offerPartial(7, spanOf(7, "late_leg"));
+    traces = recorder.snapshot();
+    EXPECT_EQ(traces[0].spans.size(), 4u);
+    EXPECT_EQ(recorder.stats().merged, 1u);
+
+    // Legs of a rejected trace stage, then die with the rejection:
+    // trace 8 is faster than the kept slowest and not a sample keep.
+    recorder.offerPartial(8, spanOf(8, "leg_c"));
+    recorder.offer(8, 0.001, spanOf(8, "route"));
+    recorder.offerPartial(8, spanOf(8, "leg_d")); // stages again
+    traces = recorder.snapshot();
+    ASSERT_EQ(traces.size(), 1u);
+    EXPECT_EQ(traces[0].traceId, 7u);
+    EXPECT_EQ(recorder.stats().partials, 5u);
+}
+
+TEST(FlightRecorder, ByteBudgetIsAHardCap)
+{
+    FlightRecorderConfig config;
+    config.slowestCapacity = 64;
+    config.sampleEvery = 1000;
+    config.byteBudget = 4096;
+    FlightRecorder recorder(config);
+
+    // A trace that alone exceeds the budget is refused outright.
+    recorder.offer(1, 0.010, spanOf(1, "huge", 8192));
+    EXPECT_EQ(recorder.stats().droppedBudget, 1u);
+    EXPECT_EQ(recorder.stats().retained, 0u);
+
+    // Filling with fitting traces evicts to stay under the cap.
+    for (uint64_t id = 2; id < 20; ++id)
+        recorder.offer(id, 0.001 * static_cast<double>(id),
+                       spanOf(id, "q", 512));
+    const auto stats = recorder.stats();
+    EXPECT_LE(stats.bytes, config.byteBudget);
+    EXPECT_GT(stats.evicted, 0u);
+    EXPECT_GT(stats.retained, 0u);
+    // The slowest offer survives every eviction pass.
+    const auto traces = recorder.snapshot();
+    EXPECT_EQ(traces[0].traceId, 19u);
+}
+
+TEST(FlightRecorder, UniformSampleIsEveryKth)
+{
+    FlightRecorderConfig config;
+    config.slowestCapacity = 1;
+    config.sampleEvery = 3;
+    config.sampleCapacity = 2;
+    FlightRecorder recorder(config);
+    // Identical durations: after the first fills the slowest slot, the
+    // rest can only be kept by the sampler (offers 4 and 7).
+    for (uint64_t id = 1; id <= 8; ++id)
+        recorder.offer(id, 0.010, spanOf(id, "q"));
+    const auto stats = recorder.stats();
+    EXPECT_EQ(stats.slowestCount, 1u);
+    EXPECT_EQ(stats.sampleCount, 2u);
+    std::vector<uint64_t> sampled;
+    for (const auto &trace : recorder.snapshot())
+        if (trace.reason == "sample")
+            sampled.push_back(trace.traceId);
+    EXPECT_EQ(sampled, (std::vector<uint64_t>{4u, 7u}));
+}
+
+// --- Critical path ------------------------------------------------
+
+SpanRecord
+makeSpan(uint64_t trace, uint32_t id, uint32_t parent, SpanKind kind,
+         const char *name, double start, double duration,
+         std::vector<std::pair<std::string, std::string>> attrs = {})
+{
+    SpanRecord span;
+    span.traceId = trace;
+    span.spanId = id;
+    span.parentId = parent;
+    span.kind = kind;
+    span.name = name;
+    span.startSeconds = start;
+    span.durationSeconds = duration;
+    span.attrs = std::move(attrs);
+    return span;
+}
+
+TEST(CriticalPath, StitchedHedgedTracePartitionsExactly)
+{
+    // A synthetic stitched trace: router summary + a hedged pair of
+    // legs, the primary winning, with the winner's shard spans.
+    const uint64_t id = 42;
+    std::vector<SpanRecord> spans;
+    spans.push_back(makeSpan(id, 100, 0, SpanKind::Route, "route", 0.0,
+                             0.010,
+                             {{"shard", "0"}, {"policy", "rr"},
+                              {"outcome", "none"}}));
+    spans.push_back(makeSpan(id, 101, 100, SpanKind::Route, "route_leg",
+                             0.0005, 0.009,
+                             {{"arm", "primary"}, {"shard", "0"},
+                              {"won", "1"}, {"outcome", "none"}}));
+    spans.push_back(makeSpan(id, 102, 100, SpanKind::Route, "route_leg",
+                             0.002, 0.004,
+                             {{"arm", "hedge"}, {"shard", "1"},
+                              {"won", "0"}, {"outcome", "none"}}));
+    spans.push_back(makeSpan(id, 1, 101, SpanKind::Query, "query",
+                             0.001, 0.0085));
+    spans.push_back(makeSpan(id, 2, 1, SpanKind::QueueWait, "queue_wait",
+                             0.001, 0.002));
+    spans.push_back(makeSpan(id, 3, 1, SpanKind::Stage, "asr", 0.003,
+                             0.004));
+    spans.push_back(makeSpan(id, 4, 3, SpanKind::Kernel, "gemm", 0.0035,
+                             0.002));
+
+    const auto grouped = groupByTrace(spans);
+    ASSERT_EQ(grouped.size(), 1u);
+    const auto report = analyzeCriticalPath(grouped.at(id));
+    EXPECT_TRUE(report.valid);
+    EXPECT_TRUE(report.stitched);
+    EXPECT_TRUE(report.hedged);
+    EXPECT_EQ(report.failovers, 0);
+    EXPECT_EQ(report.legs, 2);
+    EXPECT_EQ(report.winnerArm, "primary");
+    EXPECT_EQ(report.winnerShard, "0");
+    EXPECT_DOUBLE_EQ(report.totalSeconds, 0.010);
+
+    // The contract: the segment partition covers 100% of the root
+    // span. 1 µs is the acceptance bound; construction makes it exact
+    // to float addition error.
+    EXPECT_NEAR(report.sumSeconds(), report.totalSeconds, 1e-6);
+    EXPECT_LT(std::abs(report.sumSeconds() - report.totalSeconds),
+              1e-12);
+
+    double queue = 0.0, asr = 0.0;
+    bool has_dispatch = false, has_deliver = false;
+    for (const auto &segment : report.segments) {
+        if (segment.name == "queue_wait")
+            queue += segment.durationSeconds;
+        if (segment.name == "asr")
+            asr += segment.durationSeconds;
+        has_dispatch |= segment.name == "route_dispatch";
+        has_deliver |= segment.name == "route_deliver";
+    }
+    EXPECT_DOUBLE_EQ(queue, 0.002);
+    EXPECT_DOUBLE_EQ(asr, 0.004);
+    EXPECT_TRUE(has_dispatch);
+    EXPECT_TRUE(has_deliver);
+    ASSERT_EQ(report.kernelSeconds.count("gemm"), 1u);
+    EXPECT_DOUBLE_EQ(report.kernelSeconds.at("gemm"), 0.002);
+}
+
+TEST(CriticalPath, SingleServerTraceIsNotStitched)
+{
+    const uint64_t id = 9;
+    std::vector<SpanRecord> spans;
+    spans.push_back(
+        makeSpan(id, 1, 0, SpanKind::Query, "query", 0.0, 0.004));
+    spans.push_back(makeSpan(id, 2, 1, SpanKind::QueueWait,
+                             "queue_wait", 0.0, 0.001));
+    spans.push_back(
+        makeSpan(id, 3, 1, SpanKind::Stage, "qa", 0.001, 0.003));
+    const auto report = analyzeCriticalPath(spans);
+    EXPECT_TRUE(report.valid);
+    EXPECT_FALSE(report.stitched);
+    EXPECT_LT(std::abs(report.sumSeconds() - report.totalSeconds),
+              1e-12);
+}
+
+TEST(CriticalPath, TraceWithoutARootIsInvalid)
+{
+    std::vector<SpanRecord> spans;
+    spans.push_back(makeSpan(3, 2, 1, SpanKind::Stage, "asr", 0.0,
+                             0.001));
+    const auto report = analyzeCriticalPath(spans);
+    EXPECT_FALSE(report.valid);
+}
+
+// --- Prometheus exporter edge cases -------------------------------
+
+TEST(MetricsExport, LabelValuesAreEscaped)
+{
+    MetricsRegistry registry;
+    registry.counter("sirius_test_total",
+                     {{"path", "a\\b"}, {"msg", "say \"hi\"\nbye"}})
+        .add(1);
+    const std::string prom = registry.renderPrometheus();
+    // The exposition format escapes backslash, quote, and newline
+    // inside label values; a raw newline would corrupt the line
+    // protocol.
+    EXPECT_NE(prom.find("path=\"a\\\\b\""), std::string::npos) << prom;
+    EXPECT_NE(prom.find("msg=\"say \\\"hi\\\"\\nbye\""),
+              std::string::npos)
+        << prom;
+    for (const char *needle : {"say \"hi\"\nbye"})
+        EXPECT_EQ(prom.find(needle), std::string::npos)
+            << "raw unescaped value leaked into the exposition";
+}
+
+TEST(MetricsExport, EmptyHistogramRendersZeroSeries)
+{
+    MetricsRegistry registry;
+    registry.histogram("sirius_test_latency_seconds",
+                       {{"server", "s0"}});
+    const std::string prom = registry.renderPrometheus();
+    EXPECT_NE(prom.find("sirius_test_latency_seconds_count"),
+              std::string::npos);
+    EXPECT_NE(prom.find("sirius_test_latency_seconds_sum"),
+              std::string::npos);
+    EXPECT_EQ(prom.find("nan"), std::string::npos) << prom;
+    EXPECT_EQ(prom.find("inf"), std::string::npos) << prom;
+
+    const std::string csv = registry.renderCsv();
+    EXPECT_NE(csv.find("sirius_test_latency_seconds"),
+              std::string::npos);
+    EXPECT_EQ(csv.find("nan"), std::string::npos) << csv;
+}
+
+TEST(MetricsExport, GaugeMergeAddsInstantaneousValues)
+{
+    // Fleet merges sum gauges (queue depths add across shards); a
+    // repeated merge must keep adding, and untouched gauges survive.
+    MetricsRegistry a, b;
+    a.gauge("sirius_queue_depth", {{"shard", "0"}}).set(2.0);
+    b.gauge("sirius_queue_depth", {{"shard", "0"}}).set(3.0);
+    b.gauge("sirius_queue_depth", {{"shard", "1"}}).set(7.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(
+        a.gauge("sirius_queue_depth", {{"shard", "0"}}).value(), 5.0);
+    EXPECT_DOUBLE_EQ(
+        a.gauge("sirius_queue_depth", {{"shard", "1"}}).value(), 7.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(
+        a.gauge("sirius_queue_depth", {{"shard", "0"}}).value(), 8.0);
+}
+
+} // namespace
