@@ -55,6 +55,9 @@ echo "$report" | grep -q "queue wait" || {
     echo "trace_report printed no attribution table"; exit 1; }
 echo "trace_report smoke run: OK"
 
+echo "==> sim: virtual-time chaos drill + fuzz corpus replay (scripts/sim_drill.sh)"
+scripts/sim_drill.sh
+
 echo "==> cluster: shard-outage smoke drill (scripts/cluster_smoke.sh)"
 scripts/cluster_smoke.sh
 
@@ -73,9 +76,10 @@ cmake -B build-tsan -S . -DSIRIUS_SANITIZE=thread >/dev/null
 # additional thread coverage.
 cmake --build build-tsan -j "$jobs" \
     --target test_server test_robustness test_common test_observability \
-             test_batching test_cache test_cluster test_slo
+             test_batching test_cache test_cluster test_slo \
+             test_sim test_fuzzer
 (cd build-tsan &&
      ctest --output-on-failure -j "$jobs" \
-           -R "Server|Robustness|Deadline|FaultInjector|LatencyHistogram|Profiler|ThreadPool|ParallelFor|Trace|Metrics|Observability|Batch|ManualTime|Cache|Zipf|ShardedLru|Cluster|RoutingPolicy|FleetProjection|ShardedQueueing|Slo|EventLog|FlightRecorder|CriticalPath")
+           -R "Server|Robustness|Deadline|FaultInjector|LatencyHistogram|Profiler|ThreadPool|ParallelFor|Trace|Metrics|Observability|Batch|ManualTime|Cache|Zipf|ShardedLru|Cluster|RoutingPolicy|FleetProjection|ShardedQueueing|Slo|EventLog|FlightRecorder|CriticalPath|VirtualExecutor|SimCluster|ChaosDrill|Trial|PropertyFuzzer|ClockSeams|SeamFixture")
 
 echo "==> all checks passed"

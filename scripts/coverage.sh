@@ -1,0 +1,74 @@
+#!/bin/sh
+# Coverage report for the substrate and serving core: configure an
+# instrumented tree (SIRIUS_COVERAGE=1, see the root CMakeLists.txt),
+# run the tier-1 suite in it, and print per-directory line/branch
+# coverage for src/common and src/core.
+#
+# Report-only by design: the numbers are printed for a human (and for
+# the CI log), never turned into a pass/fail gate — see
+# docs/TESTING.md. Uses gcovr when installed, else falls back to a
+# plain gcov summary.
+#
+#   scripts/coverage.sh              # build build-cov/, run, report
+#   SKIP_BUILD=1 scripts/coverage.sh # re-report an existing run
+set -eu
+
+cd "$(dirname "$0")/.."
+jobs="$(nproc 2>/dev/null || echo 4)"
+tree=build-cov
+
+if [ "${SKIP_BUILD:-0}" != "1" ]; then
+    echo "==> coverage: configure + build ($tree/)"
+    cmake -B "$tree" -S . -DSIRIUS_COVERAGE=1 >/dev/null
+    cmake --build "$tree" -j "$jobs"
+    echo "==> coverage: tier-1 suite in the instrumented tree"
+    (cd "$tree" && ctest --output-on-failure -j "$jobs")
+fi
+
+echo "==> coverage: per-directory report (src/common, src/core)"
+if command -v gcovr >/dev/null 2>&1; then
+    # One filtered run per directory gives the per-directory rollup;
+    # the TOTAL line of each is the number a reader wants.
+    for dir in src/common src/core; do
+        echo "--- $dir"
+        gcovr --root . --object-directory "$tree" \
+              --filter "$dir/" --print-summary 2>/dev/null |
+            grep -E '^(lines|branches):' |
+            sed "s|^|$dir |"
+    done
+else
+    echo "(gcovr not installed — falling back to a gcov summary)"
+    # gcov -n prints a File/"Lines executed" block per contributing
+    # source (headers included); keep only the blocks whose file lives
+    # under the directory being summarised and aggregate the absolute
+    # line counts. The object files for src/common live under the
+    # matching build-cov/src/<dir> tree, so the find is scoped there.
+    for dir in src/common src/core; do
+        find "$tree/$dir" -name '*.gcda' 2>/dev/null | sort |
+            while read -r gcda; do
+                gcov -n "$gcda" 2>/dev/null
+            done |
+            awk -v dir="/$dir/" '
+                /^File / {
+                    file = $0
+                    sub(/^File .\.?\.?/, "", file)
+                    keep = index(file, dir) > 0
+                    next
+                }
+                keep && /^Lines executed:/ {
+                    split($0, f, /[:% ]+/)
+                    # "Lines executed:P% of N" -> f[3] = P, f[5] = N
+                    total += f[5]
+                    covered += f[3] * f[5] / 100
+                    keep = 0
+                }
+                END {
+                    if (total > 0)
+                        printf "%s lines: %.1f%% (%d out of %d)\n",
+                               dir, 100 * covered / total, covered, total
+                    else
+                        printf "%s: no coverage data found\n", dir
+                }'
+    done
+fi
+echo "==> coverage: done (report-only; no gate)"

@@ -1,0 +1,31 @@
+#!/bin/sh
+# Deterministic port of the cluster_smoke.sh / slo_smoke.sh drill arc
+# onto the virtual-time simulation (src/sim): the same 4-shard
+# kill -> eject -> alert fire -> revive -> probe recover -> alert clear
+# story, but on a manual clock — no wall sleeps, no scaled alert
+# windows racing a scheduler, byte-for-byte reproducible from one
+# seed, and finished in milliseconds instead of seconds.
+#
+# The wall-clock smokes still run in CI (they exercise the real
+# binary end to end); this is the flake-free version of the same
+# invariants, plus a replay of the checked-in fuzz corpus so every
+# pinned regression stays fixed:
+#
+#   1. chaos drill (fuzz_driver --drill): zero failed queries, the
+#      full eject/alert/recover/clear event arc, 4/4 shards healthy
+#      at the end, and an identical event-log digest on every run,
+#   2. corpus replay (fuzz_driver --corpus tests/corpus): every
+#      repro line runs clean through all differential oracles and
+#      global invariants.
+set -eu
+
+cd "$(dirname "$0")/.."
+bin=./build/tests/fuzz_driver
+if [ ! -x "$bin" ]; then
+    echo "sim_drill: $bin not built (run cmake --build build first)"
+    exit 1
+fi
+
+"$bin" --drill
+"$bin" --corpus tests/corpus
+echo "sim_drill: OK (virtual-time chaos drill + corpus replay clean)"

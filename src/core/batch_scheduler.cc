@@ -112,6 +112,14 @@ BatchScheduler::~BatchScheduler()
         executeMatchBatch(std::move(match_batch), FlushReason::Shutdown);
 }
 
+double
+BatchScheduler::nowSeconds() const
+{
+    if (config_.clock != nullptr)
+        return config_.clock->now();
+    return std::chrono::duration<double>(Clock::now() - epoch_).count();
+}
+
 template <typename ItemT>
 bool
 BatchScheduler::enqueue(Queue<ItemT> &queue, ItemT &&item,
@@ -121,7 +129,7 @@ BatchScheduler::enqueue(Queue<ItemT> &queue, ItemT &&item,
         item.deadline.remainingSeconds() <= config_.deadlineSlackSeconds;
     std::lock_guard<std::mutex> lock(mutex_);
     if (queue.pending.empty())
-        queue.oldest = item.enqueued;
+        queue.oldestSeconds = item.enqueuedSeconds;
     queue.pending.push_back(std::move(item));
     if (queue.pending.size() >= config_.maxBatchSize) {
         batch.swap(queue.pending);
@@ -148,7 +156,7 @@ BatchScheduler::scoreFrames(const std::vector<audio::FeatureVector> &frames,
     ScoreItem item;
     item.frames = &frames;
     item.deadline = deadline;
-    item.enqueued = Clock::now();
+    item.enqueuedSeconds = nowSeconds();
     auto future = item.promise.get_future();
 
     std::vector<ScoreItem> batch;
@@ -166,7 +174,7 @@ BatchScheduler::matchAgainstDatabase(
     MatchItem item;
     item.descriptors = &descriptors;
     item.deadline = deadline;
-    item.enqueued = Clock::now();
+    item.enqueuedSeconds = nowSeconds();
     auto future = item.promise.get_future();
 
     std::vector<MatchItem> batch;
@@ -177,18 +185,48 @@ BatchScheduler::matchAgainstDatabase(
 }
 
 void
+BatchScheduler::flushTimedOut()
+{
+    const double now = nowSeconds();
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!scoreQueue_.pending.empty() &&
+        now - scoreQueue_.oldestSeconds >= config_.maxWaitSeconds) {
+        std::vector<ScoreItem> batch;
+        batch.swap(scoreQueue_.pending);
+        lock.unlock();
+        executeScoreBatch(std::move(batch), FlushReason::Timeout);
+        lock.lock();
+    }
+    if (!matchQueue_.pending.empty() &&
+        now - matchQueue_.oldestSeconds >= config_.maxWaitSeconds) {
+        std::vector<MatchItem> batch;
+        batch.swap(matchQueue_.pending);
+        lock.unlock();
+        executeMatchBatch(std::move(batch), FlushReason::Timeout);
+        lock.lock();
+    }
+}
+
+void
 BatchScheduler::schedulerLoop()
 {
-    const auto max_wait = toDuration(config_.maxWaitSeconds);
     std::unique_lock<std::mutex> lock(mutex_);
+    // Clock mode: wall-time wake-ups would be meaningless; overdue
+    // partial batches are closed by external flushTimedOut() calls.
+    if (config_.clock != nullptr) {
+        while (!stop_)
+            cv_.wait(lock);
+        return;
+    }
     while (!stop_) {
         // Arm a wake-up at the oldest pending item's timeout, if any.
         bool armed = false;
-        Clock::time_point next{};
+        double next = 0.0;
         const auto consider = [&](const auto &queue) {
             if (queue.pending.empty())
                 return;
-            const auto due = queue.oldest + max_wait;
+            const double due =
+                queue.oldestSeconds + config_.maxWaitSeconds;
             if (!armed || due < next) {
                 next = due;
                 armed = true;
@@ -201,7 +239,7 @@ BatchScheduler::schedulerLoop()
             cv_.wait(lock);
             continue;
         }
-        cv_.wait_until(lock, next);
+        cv_.wait_until(lock, epoch_ + toDuration(next));
         if (stop_)
             break;
 
@@ -210,9 +248,9 @@ BatchScheduler::schedulerLoop()
         // these timeout flushes execute here, so a lone query's extra
         // latency is bounded by maxWaitSeconds without serializing the
         // kernels through this thread under load.
-        const auto now = Clock::now();
+        const double now = nowSeconds();
         if (!scoreQueue_.pending.empty() &&
-            now >= scoreQueue_.oldest + max_wait) {
+            now - scoreQueue_.oldestSeconds >= config_.maxWaitSeconds) {
             std::vector<ScoreItem> batch;
             batch.swap(scoreQueue_.pending);
             lock.unlock();
@@ -220,7 +258,7 @@ BatchScheduler::schedulerLoop()
             lock.lock();
         }
         if (!matchQueue_.pending.empty() &&
-            now >= matchQueue_.oldest + max_wait) {
+            now - matchQueue_.oldestSeconds >= config_.maxWaitSeconds) {
             std::vector<MatchItem> batch;
             batch.swap(matchQueue_.pending);
             lock.unlock();
@@ -244,7 +282,7 @@ BatchScheduler::executeScoreBatch(std::vector<ScoreItem> batch,
     span.attr("batch_size", std::to_string(batch.size()));
     span.attr("flush_reason", flushReasonName(reason));
 
-    const auto exec_start = Clock::now();
+    const double exec_start = nowSeconds();
 
     // Gather frames of every still-live item into one flat batch; an
     // item already past its deadline comes back cutShort unscored, the
@@ -277,8 +315,7 @@ BatchScheduler::executeScoreBatch(std::vector<ScoreItem> batch,
     // must already include this batch.
     std::vector<double> waits(batch.size());
     for (size_t i = 0; i < batch.size(); ++i)
-        waits[i] = std::chrono::duration<double>(
-            exec_start - batch[i].enqueued).count();
+        waits[i] = exec_start - batch[i].enqueuedSeconds;
     recordBatch(BatchKernel::Score, reason, batch.size(), waits);
 
     for (size_t i = 0; i < batch.size(); ++i) {
@@ -309,7 +346,7 @@ BatchScheduler::executeMatchBatch(std::vector<MatchItem> batch,
     span.attr("batch_size", std::to_string(batch.size()));
     span.attr("flush_reason", flushReasonName(reason));
 
-    const auto exec_start = Clock::now();
+    const double exec_start = nowSeconds();
 
     std::vector<const std::vector<vision::Descriptor> *> queries;
     std::vector<Deadline> deadlines;
@@ -327,8 +364,7 @@ BatchScheduler::executeMatchBatch(std::vector<MatchItem> batch,
     // Accounting first, scatter second — see executeScoreBatch.
     std::vector<double> waits(batch.size());
     for (size_t i = 0; i < batch.size(); ++i)
-        waits[i] = std::chrono::duration<double>(
-            exec_start - batch[i].enqueued).count();
+        waits[i] = exec_start - batch[i].enqueuedSeconds;
     recordBatch(BatchKernel::Match, reason, batch.size(), waits);
 
     for (size_t i = 0; i < batch.size(); ++i) {

@@ -50,6 +50,16 @@ struct BatchConfig
      * out a batching window they cannot afford.
      */
     double deadlineSlackSeconds = 0.005;
+
+    /**
+     * Virtual clock for deterministic tests; null = wall clock. When
+     * set, enqueue timestamps and the timeout window are judged on this
+     * clock and the scheduler thread never arms a wall-time wake-up —
+     * the test (or sim executor) advances the clock and calls
+     * flushTimedOut() to close overdue partial batches. Must outlive
+     * the scheduler.
+     */
+    const ManualTime *clock = nullptr;
 };
 
 /** Why a batch was closed. */
@@ -160,6 +170,14 @@ class BatchScheduler : public speech::FrameScoreBatcher,
     /** Items currently queued for @p kernel (thread-safe; for tests). */
     size_t pendingItems(BatchKernel kernel) const;
 
+    /**
+     * Clock-mode timeout pump: close every partial batch whose oldest
+     * item has waited at least maxWaitSeconds, executing it on the
+     * calling thread. Works on either clock, but it is the only way
+     * timeout flushes happen when BatchConfig::clock is set.
+     */
+    void flushTimedOut();
+
     const BatchConfig &config() const { return config_; }
 
   private:
@@ -168,7 +186,7 @@ class BatchScheduler : public speech::FrameScoreBatcher,
     template <typename OutcomeT> struct Item
     {
         Deadline deadline;
-        Clock::time_point enqueued;
+        double enqueuedSeconds = 0.0; ///< on nowSeconds()'s epoch
         std::promise<OutcomeT> promise;
     };
 
@@ -185,7 +203,7 @@ class BatchScheduler : public speech::FrameScoreBatcher,
     template <typename ItemT> struct Queue
     {
         std::vector<ItemT> pending;
-        Clock::time_point oldest{}; ///< enqueue time of pending.front()
+        double oldestSeconds = 0.0; ///< enqueue time of pending.front()
     };
 
     /**
@@ -209,9 +227,14 @@ class BatchScheduler : public speech::FrameScoreBatcher,
                      size_t batch_items,
                      const std::vector<double> &wait_seconds);
 
+    /** Seconds on the active clock: virtual when BatchConfig::clock is
+     *  set, otherwise wall seconds since construction. */
+    double nowSeconds() const;
+
     const speech::AcousticScorer *scorer_;
     const vision::ImmService *imm_;
     const BatchConfig config_;
+    const Clock::time_point epoch_{Clock::now()}; ///< wall-mode zero
 
     mutable std::mutex mutex_;
     std::condition_variable cv_;

@@ -37,6 +37,74 @@ routingPolicyFromName(const std::string &name, RoutingPolicy &out)
 }
 
 // --------------------------------------------------------------------
+// Routing-policy choice (shared with src/sim — see cluster.h)
+
+size_t
+chooseByPolicy(RoutingPolicy policy, const std::vector<uint8_t> &ok,
+               size_t ok_count, const std::vector<size_t> &loads,
+               uint64_t rr_turn, uint64_t affinity_lo, Rng &rng)
+{
+    switch (policy) {
+      case RoutingPolicy::RoundRobin: {
+        size_t turn = static_cast<size_t>(rr_turn % ok_count);
+        for (size_t i = 0; i < ok.size(); ++i) {
+            if (ok[i] && turn-- == 0)
+                return i;
+        }
+        break;
+      }
+      case RoutingPolicy::LeastOutstanding: {
+        // Rotating scan start so ties (the common idle case) spread
+        // round robin instead of piling onto the lowest index.
+        const size_t start = static_cast<size_t>(rr_turn % ok.size());
+        size_t best = SIZE_MAX;
+        size_t best_load = std::numeric_limits<size_t>::max();
+        for (size_t k = 0; k < ok.size(); ++k) {
+            const size_t i = (start + k) % ok.size();
+            if (!ok[i])
+                continue;
+            if (loads[i] < best_load) {
+                best = i;
+                best_load = loads[i];
+            }
+        }
+        return best;
+      }
+      case RoutingPolicy::PowerOfTwo: {
+        // Two uniform picks over the routable set, lesser load wins.
+        const size_t a_turn = static_cast<size_t>(rng.below(ok_count));
+        const size_t b_turn = static_cast<size_t>(rng.below(ok_count));
+        size_t a = SIZE_MAX, b = SIZE_MAX;
+        size_t seen = 0;
+        for (size_t i = 0; i < ok.size(); ++i) {
+            if (!ok[i])
+                continue;
+            if (seen == a_turn)
+                a = i;
+            if (seen == b_turn)
+                b = i;
+            ++seen;
+        }
+        return loads[b] < loads[a] ? b : a;
+      }
+      case RoutingPolicy::AffinityHash: {
+        // Hash over *all* shards (not just routable ones) so the home
+        // shard of a query never moves while the fleet is healthy;
+        // walk forward around the ring when the home shard is out.
+        const size_t home =
+            static_cast<size_t>(affinity_lo % ok.size());
+        for (size_t k = 0; k < ok.size(); ++k) {
+            const size_t i = (home + k) % ok.size();
+            if (ok[i])
+                return i;
+        }
+        break;
+      }
+    }
+    return SIZE_MAX;
+}
+
+// --------------------------------------------------------------------
 // BackendShard
 
 BackendShard::BackendShard(const SiriusPipeline &pipeline,
@@ -44,8 +112,8 @@ BackendShard::BackendShard(const SiriusPipeline &pipeline,
                            size_t index,
                            const ClusterHealthConfig &health,
                            EventLog *events)
-    : server_(pipeline, config), index_(index), health_(health),
-      events_(events), window_(std::max<size_t>(health.window, 1), 0)
+    : server_(pipeline, config), index_(index),
+      health_(index, health, events)
 {
 }
 
@@ -53,91 +121,6 @@ void
 BackendShard::setAdminDown(bool down)
 {
     adminDown_.store(down, std::memory_order_relaxed);
-}
-
-void
-BackendShard::recordOutcome(bool bad, double now_seconds)
-{
-    std::lock_guard<std::mutex> lock(mutex_);
-    // Outcomes of queries already in flight when the shard was ejected
-    // must not re-judge it (they would re-eject an empty window).
-    if (ejected_)
-        return;
-    if (filled_ == window_.size())
-        bad_ -= window_[head_];
-    else
-        ++filled_;
-    window_[head_] = bad ? 1 : 0;
-    bad_ += bad ? 1 : 0;
-    head_ = (head_ + 1) % window_.size();
-    if (filled_ >= health_.minSamples &&
-        static_cast<double>(bad_) / static_cast<double>(filled_) >
-            health_.ejectBadRate) {
-        ejected_ = true;
-        ejectedFlag_.store(true, std::memory_order_relaxed);
-        ejectedAt_ = now_seconds;
-        ejections_.fetch_add(1, std::memory_order_relaxed);
-        probeSuccesses_ = 0;
-        probeInFlight_ = false;
-        // A fresh window for the post-recovery era: the outcomes that
-        // got the shard ejected must not get it re-ejected instantly.
-        std::fill(window_.begin(), window_.end(), 0);
-        filled_ = 0;
-        bad_ = 0;
-        head_ = 0;
-        logMessage(LogLevel::Warn,
-                   "cluster: shard " + std::to_string(index_) +
-                       " ejected (bad-outcome rate over threshold)");
-        if (events_ != nullptr)
-            events_->note(now_seconds, "shard_eject",
-                          "shard " + std::to_string(index_) +
-                              " ejected from routing",
-                          {{"shard", std::to_string(index_)}});
-    }
-}
-
-bool
-BackendShard::claimProbe(double now_seconds)
-{
-    if (!ejectedFlag_.load(std::memory_order_relaxed))
-        return false; // cheap pre-check off the routing hot path
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (!ejected_ || probeInFlight_ ||
-        adminDown_.load(std::memory_order_relaxed))
-        return false;
-    if (now_seconds - ejectedAt_ < health_.probeAfterSeconds)
-        return false;
-    probeInFlight_ = true;
-    probes_.fetch_add(1, std::memory_order_relaxed);
-    return true;
-}
-
-void
-BackendShard::recordProbeOutcome(bool ok, double now_seconds)
-{
-    std::lock_guard<std::mutex> lock(mutex_);
-    probeInFlight_ = false;
-    if (!ejected_)
-        return;
-    if (ok) {
-        if (++probeSuccesses_ >= health_.recoveryProbes) {
-            ejected_ = false;
-            ejectedFlag_.store(false, std::memory_order_relaxed);
-            recoveries_.fetch_add(1, std::memory_order_relaxed);
-            probeSuccesses_ = 0;
-            logMessage(LogLevel::Info,
-                       "cluster: shard " + std::to_string(index_) +
-                           " recovered after probing");
-            if (events_ != nullptr)
-                events_->note(now_seconds, "shard_recover",
-                              "shard " + std::to_string(index_) +
-                                  " rejoined routing after probes",
-                              {{"shard", std::to_string(index_)}});
-        }
-    } else {
-        probeSuccesses_ = 0;
-        ejectedAt_ = now_seconds; // re-arm the cooldown
-    }
 }
 
 // --------------------------------------------------------------------
@@ -200,6 +183,10 @@ ClusterRouter::ClusterRouter(const SiriusPipeline &pipeline,
         // The router owns the fleet SLO (per-leg + per-delivery feeds);
         // a shard-level tracker would double-count every leg.
         shard_config.slo = nullptr;
+        // One virtual clock for the whole fleet (deadlines, batching
+        // windows, hedge due-times all advance together).
+        if (config_.clock != nullptr && shard_config.clock == nullptr)
+            shard_config.clock = config_.clock;
         // Shards contribute legs to the shared recorder; the router
         // makes the completing offer at delivery.
         shard_config.flight = config_.flight;
@@ -214,7 +201,10 @@ ClusterRouter::ClusterRouter(const SiriusPipeline &pipeline,
         failoversFrom_.push_back(
             std::make_unique<std::atomic<uint64_t>>(0));
     }
-    if (config_.hedgeSeconds > 0.0 && config_.shards > 1)
+    // Under an injected virtual clock there is no timer thread: the
+    // test (or sim executor) advances the clock and calls pollHedges().
+    if (config_.hedgeSeconds > 0.0 && config_.shards > 1 &&
+        config_.clock == nullptr)
         hedgeThread_ = std::thread([this] { hedgeLoop(); });
 }
 
@@ -255,75 +245,29 @@ ClusterRouter::pickShard(const Query &query, size_t avoid)
     if (count == 0)
         return SIZE_MAX;
 
-    switch (config_.policy) {
-      case RoutingPolicy::RoundRobin: {
-        size_t turn =
-            rrCursor_.fetch_add(1, std::memory_order_relaxed) % count;
-        for (size_t i = 0; i < ok.size(); ++i) {
-            if (ok[i] && turn-- == 0)
-                return i;
-        }
-        break;
-      }
-      case RoutingPolicy::LeastOutstanding: {
-        // Rotating scan start so ties (the common idle case) spread
-        // round robin instead of piling onto the lowest index.
-        const size_t start =
-            rrCursor_.fetch_add(1, std::memory_order_relaxed) %
-            ok.size();
-        size_t best = SIZE_MAX;
-        size_t best_load = std::numeric_limits<size_t>::max();
-        for (size_t k = 0; k < ok.size(); ++k) {
-            const size_t i = (start + k) % ok.size();
-            if (!ok[i])
-                continue;
-            const size_t load = shards_[i]->outstanding();
-            if (load < best_load) {
-                best = i;
-                best_load = load;
-            }
-        }
-        return best;
-      }
-      case RoutingPolicy::PowerOfTwo: {
-        // Two uniform picks over the routable set, lesser load wins.
-        size_t a_turn, b_turn;
-        {
-            std::lock_guard<std::mutex> lock(rngMutex_);
-            a_turn = static_cast<size_t>(rng_.below(count));
-            b_turn = static_cast<size_t>(rng_.below(count));
-        }
-        size_t a = SIZE_MAX, b = SIZE_MAX;
-        size_t seen = 0;
-        for (size_t i = 0; i < ok.size(); ++i) {
-            if (!ok[i])
-                continue;
-            if (seen == a_turn)
-                a = i;
-            if (seen == b_turn)
-                b = i;
-            ++seen;
-        }
-        return shards_[b]->outstanding() < shards_[a]->outstanding()
-            ? b
-            : a;
-      }
-      case RoutingPolicy::AffinityHash: {
-        // Hash over *all* shards (not just routable ones) so the home
-        // shard of a query never moves while the fleet is healthy;
-        // walk forward around the ring when the home shard is out.
+    std::vector<size_t> loads(shards_.size(), 0);
+    for (const auto &shard : shards_)
+        loads[shard->index()] = shard->outstanding();
+
+    uint64_t turn = 0;
+    if (config_.policy == RoutingPolicy::RoundRobin ||
+        config_.policy == RoutingPolicy::LeastOutstanding)
+        turn = rrCursor_.fetch_add(1, std::memory_order_relaxed);
+
+    uint64_t affinity_lo = 0;
+    if (config_.policy == RoutingPolicy::AffinityHash) {
         const CacheKey128 key =
             hashBytes128(query.text.data(), query.text.size());
-        const size_t home = key.lo % shards_.size();
-        for (size_t k = 0; k < shards_.size(); ++k) {
-            const size_t i = (home + k) % shards_.size();
-            if (ok[i])
-                return i;
-        }
-        break;
-      }
+        affinity_lo = key.lo;
     }
-    return SIZE_MAX;
+
+    if (config_.policy == RoutingPolicy::PowerOfTwo) {
+        std::lock_guard<std::mutex> lock(rngMutex_);
+        return chooseByPolicy(config_.policy, ok, count, loads, turn,
+                              affinity_lo, rng_);
+    }
+    return chooseByPolicy(config_.policy, ok, count, loads, turn,
+                          affinity_lo, rng_);
 }
 
 bool
@@ -614,21 +558,11 @@ ClusterRouter::handle(const Query &query)
 }
 
 void
-ClusterRouter::hedgeLoop()
+ClusterRouter::fireDueHedges(double now)
 {
     std::unique_lock<std::mutex> lock(hedgeMutex_);
-    while (!hedgeStop_) {
-        if (hedgePending_.empty()) {
-            hedgeWake_.wait(lock);
-            continue;
-        }
-        const double due = hedgePending_.begin()->first;
-        const double now = nowSeconds();
-        if (due > now) {
-            hedgeWake_.wait_for(
-                lock, std::chrono::duration<double>(due - now));
-            continue;
-        }
+    while (!hedgePending_.empty() &&
+           hedgePending_.begin()->first <= now) {
         auto weak = hedgePending_.begin()->second;
         hedgePending_.erase(hedgePending_.begin());
         lock.unlock();
@@ -652,6 +586,36 @@ ClusterRouter::hedgeLoop()
                                            std::memory_order_relaxed);
             }
         }
+        lock.lock();
+    }
+}
+
+void
+ClusterRouter::pollHedges()
+{
+    if (config_.clock == nullptr)
+        return;
+    fireDueHedges(nowSeconds());
+}
+
+void
+ClusterRouter::hedgeLoop()
+{
+    std::unique_lock<std::mutex> lock(hedgeMutex_);
+    while (!hedgeStop_) {
+        if (hedgePending_.empty()) {
+            hedgeWake_.wait(lock);
+            continue;
+        }
+        const double due = hedgePending_.begin()->first;
+        const double now = nowSeconds();
+        if (due > now) {
+            hedgeWake_.wait_for(
+                lock, std::chrono::duration<double>(due - now));
+            continue;
+        }
+        lock.unlock();
+        fireDueHedges(now);
         lock.lock();
     }
 }

@@ -44,6 +44,7 @@
 
 #include "common/rng.h"
 #include "core/concurrent_server.h"
+#include "core/shard_health.h"
 
 namespace sirius::core {
 
@@ -65,26 +66,26 @@ const char *routingPolicyName(RoutingPolicy policy);
 /** Parse a routingPolicyName back; returns false on an unknown name. */
 bool routingPolicyFromName(const std::string &name, RoutingPolicy &out);
 
-/** Ejection and probed-recovery thresholds of one shard's health. */
-struct ClusterHealthConfig
-{
-    /** Outcomes retained in the per-shard rolling window. */
-    size_t window = 64;
-    /** Outcomes required before the window can eject (avoids judging a
-     *  shard on its first unlucky query). */
-    size_t minSamples = 16;
-    /**
-     * Eject when bad outcomes (Failed results or deadline misses)
-     * exceed this fraction of the window. The default is deliberately
-     * high: transient overload makes misses, and ejecting a merely busy
-     * shard shrinks the fleet exactly when it is needed most.
-     */
-    double ejectBadRate = 0.5;
-    /** Cooldown before an ejected shard sees its first probe query. */
-    double probeAfterSeconds = 0.05;
-    /** Consecutive probe successes required to rejoin the fleet. */
-    int recoveryProbes = 3;
-};
+// ClusterHealthConfig (ejection/probe thresholds) and the rolling-window
+// state machine live in core/shard_health.h so the simulation harness
+// (src/sim) can run the identical health logic on a virtual clock.
+
+/**
+ * Pure routing-policy choice over a routable mask — the decision core
+ * of ClusterRouter::pickShard, shared with the deterministic simulator
+ * so both tiers route identically.
+ *
+ * @param ok        per-shard routable mask (1 = may receive the query)
+ * @param ok_count  number of set entries in @p ok (> 0)
+ * @param loads     per-shard outstanding request counts
+ * @param rr_turn   monotonically increasing turn counter (rr/least)
+ * @param affinity_lo low 64 bits of the query's content hash (affinity)
+ * @param rng       seeded stream for the power-of-two draws
+ * @return chosen shard index, or SIZE_MAX when nothing is routable
+ */
+size_t chooseByPolicy(RoutingPolicy policy, const std::vector<uint8_t> &ok,
+                      size_t ok_count, const std::vector<size_t> &loads,
+                      uint64_t rr_turn, uint64_t affinity_lo, Rng &rng);
 
 /** Sizing and policy of a ClusterRouter. */
 struct ClusterConfig
@@ -120,6 +121,16 @@ struct ClusterConfig
     double hedgeSeconds = 0.0;
 
     ClusterHealthConfig health; ///< ejection + probed recovery knobs
+
+    /**
+     * Virtual clock for deterministic tests; null = wall clock. When
+     * set, the health windows (ejection cooldowns), hedge due-times and
+     * the router's event/SLO timestamps all read this clock, and the
+     * hedge timer thread stops sleeping on wall time — the test (or
+     * sim executor) advances the clock and calls pollHedges() to fire
+     * any hedges that came due. Must outlive the router.
+     */
+    const ManualTime *clock = nullptr;
 
     /** Seed of the power-of-two-choices random draws. */
     uint64_t seed = 0xC1057E42ULL;
@@ -194,7 +205,7 @@ class BackendShard
     bool healthy() const
     {
         return !adminDown_.load(std::memory_order_relaxed) &&
-               !ejectedFlag_.load(std::memory_order_relaxed);
+               !health_.ejected();
     }
 
     /** True when killShard() took this shard out administratively. */
@@ -203,9 +214,9 @@ class BackendShard
         return adminDown_.load(std::memory_order_relaxed);
     }
 
-    uint64_t ejections() const { return ejections_.load(); }
-    uint64_t recoveries() const { return recoveries_.load(); }
-    uint64_t probes() const { return probes_.load(); }
+    uint64_t ejections() const { return health_.ejections(); }
+    uint64_t recoveries() const { return health_.recoveries(); }
+    uint64_t probes() const { return health_.probes(); }
 
   private:
     friend class ClusterRouter;
@@ -216,36 +227,32 @@ class BackendShard
     void setAdminDown(bool down);
 
     /** Fold one outcome into the window; may eject. */
-    void recordOutcome(bool bad, double now_seconds);
+    void recordOutcome(bool bad, double now_seconds)
+    {
+        health_.recordOutcome(bad, now_seconds);
+    }
 
     /** True when this call won the right to route one probe query. */
-    bool claimProbe(double now_seconds);
+    bool claimProbe(double now_seconds)
+    {
+        return health_.claimProbe(now_seconds, adminDown());
+    }
 
     /** Probe outcome: recover after a run of successes, else re-arm. */
-    void recordProbeOutcome(bool ok, double now_seconds);
+    void recordProbeOutcome(bool ok, double now_seconds)
+    {
+        health_.recordProbeOutcome(ok, now_seconds);
+    }
 
     ConcurrentServer server_;
     const size_t index_;
-    const ClusterHealthConfig health_;
-    EventLog *events_; ///< lifecycle events (eject/recover); may be null
 
     std::atomic<size_t> outstanding_{0};
     std::atomic<bool> adminDown_{false};
-    std::atomic<bool> ejectedFlag_{false}; ///< mirror of ejected_
 
-    std::mutex mutex_; ///< guards the window + ejection state below
-    std::vector<uint8_t> window_;
-    size_t head_ = 0;
-    size_t filled_ = 0;
-    size_t bad_ = 0;
-    bool ejected_ = false;
-    double ejectedAt_ = 0.0;
-    bool probeInFlight_ = false;
-    int probeSuccesses_ = 0;
-
-    std::atomic<uint64_t> ejections_{0};
-    std::atomic<uint64_t> recoveries_{0};
-    std::atomic<uint64_t> probes_{0};
+    /** The rolling-window eject/probe/recover machine (shared with the
+     *  simulator via core/shard_health.h). */
+    ShardHealthTracker health_;
 };
 
 /** Race-free snapshot of a ClusterRouter's statistics. */
@@ -345,6 +352,27 @@ class ClusterRouter
         return *shards_.at(index);
     }
 
+    /**
+     * Clock-mode hedge pump: fire every hedge whose due time has passed
+     * on the injected ClusterConfig::clock. No-op under the wall clock
+     * (the background hedge thread handles timing there). Tests and the
+     * sim executor call this after each ManualTime::advance().
+     */
+    void pollHedges();
+
+    /**
+     * Clock-mode batch pump: flush every shard's expired partial
+     * batches (see ConcurrentServer::pollBatches). Drivers advancing
+     * the injected clock call this alongside pollHedges() so queries
+     * parked in partial batches make progress.
+     */
+    void
+    pollBatches()
+    {
+        for (auto &shard : shards_)
+            shard->server().pollBatches();
+    }
+
     /** Copy of the statistics, consistent under concurrent traffic. */
     ClusterStats snapshot() const;
 
@@ -394,7 +422,14 @@ class ClusterRouter
 
     void hedgeLoop();
 
-    double nowSeconds() const { return collector_.nowSeconds(); }
+    /** Send the hedge leg of every pending entry due at @p now. */
+    void fireDueHedges(double now);
+
+    double nowSeconds() const
+    {
+        return config_.clock != nullptr ? config_.clock->now()
+                                        : collector_.nowSeconds();
+    }
 
     const SiriusPipeline &pipeline_;
     ClusterConfig config_;

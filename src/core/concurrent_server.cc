@@ -23,6 +23,11 @@ ConcurrentServer::ConcurrentServer(const SiriusPipeline &pipeline,
     if (config_.queueCapacity == 0)
         fatal("ConcurrentServer requires queueCapacity >= 1");
     if (config_.batching.enabled) {
+        // The server's virtual clock (when set) covers batching too,
+        // unless the batcher was given its own clock explicitly.
+        if (config_.clock != nullptr &&
+            config_.batching.clock == nullptr)
+            config_.batching.clock = config_.clock;
         batcher_ = std::make_unique<BatchScheduler>(
             &pipeline.asr().scorer(), &pipeline.imm(), config_.batching);
     }
@@ -64,7 +69,10 @@ ConcurrentServer::submit(const Query &query, const TraceBinding &binding,
     // before any work so an unsampled query never touches the collector
     // again.
     const Deadline deadline = config_.deadlineSeconds > 0.0
-        ? Deadline::after(config_.deadlineSeconds)
+        ? (config_.clock != nullptr
+               ? Deadline::afterManual(config_.deadlineSeconds,
+                                       *config_.clock)
+               : Deadline::after(config_.deadlineSeconds))
         : Deadline();
     const bool ownTrace = binding.traceId == 0;
     const uint64_t traceId =
@@ -75,7 +83,7 @@ ConcurrentServer::submit(const Query &query, const TraceBinding &binding,
     // so completion can hand the recorder one coherent copy.
     if (config_.flight != nullptr)
         trace.bufferSpans();
-    const double admitted = collector_.nowSeconds();
+    const double admitted = nowSeconds();
     pool_.submit([this, query, deadline, trace, admitted, ownTrace,
                   done = std::move(done)] {
         // The request leaves the queue the moment a worker picks it up.
@@ -118,7 +126,7 @@ ConcurrentServer::serve(const Query &query, const Deadline &deadline,
     // Queue wait is measured for every query; for sampled ones it also
     // becomes the trace's first child span (opened at admission, closed
     // here at dispatch).
-    const double dispatched = collector_.nowSeconds();
+    const double dispatched = nowSeconds();
     const double queue_wait =
         std::max(0.0, dispatched - admitted_seconds);
 
@@ -140,8 +148,7 @@ ConcurrentServer::serve(const Query &query, const Deadline &deadline,
     if (deadline.expired())
         result.deadlineExpired = true;
 
-    const double total_seconds =
-        collector_.nowSeconds() - admitted_seconds;
+    const double total_seconds = nowSeconds() - admitted_seconds;
     trace.closeRoot(
         "query", admitted_seconds, total_seconds,
         {{"type", queryTypeName(query.type)},

@@ -100,6 +100,15 @@ struct ConcurrentServerConfig
      * external TraceBinding, i.e. a cluster router owns the trace).
      */
     FlightRecorder *flight = nullptr;
+
+    /**
+     * Virtual clock for deterministic tests; null = wall clock. When
+     * set, per-query deadlines are armed with Deadline::afterManual and
+     * the admitted/dispatched/total timestamps read this clock, so a
+     * test can advance time explicitly (e.g. to expire a deadline)
+     * without sleeping. Must outlive the server.
+     */
+    const ManualTime *clock = nullptr;
 };
 
 /** Race-free snapshot of a ConcurrentServer's statistics. */
@@ -211,6 +220,21 @@ class ConcurrentServer
     /** The shared micro-batcher; null when batching is disabled. */
     const BatchScheduler *batcher() const { return batcher_.get(); }
 
+    /**
+     * Clock-mode batch pump: close every partial batch whose window
+     * has expired on the injected virtual clock. In clock mode the
+     * scheduler thread never arms wall-time wake-ups, so a driver that
+     * advances the clock must call this (or queries sitting in partial
+     * batches would wait forever). No-op when batching is disabled or
+     * running on the wall clock.
+     */
+    void
+    pollBatches()
+    {
+        if (batcher_ != nullptr && config_.clock != nullptr)
+            batcher_->flushTimedOut();
+    }
+
     /** The shared per-layer caches; null when caching is disabled. */
     const PipelineCaches *caches() const { return caches_.get(); }
 
@@ -230,6 +254,14 @@ class ConcurrentServer
     void serve(const Query &query, const Deadline &deadline,
                TraceContext trace, double admitted_seconds,
                bool own_trace, const Completion &done);
+
+    /** Seconds on the active clock: ConcurrentServerConfig::clock when
+     *  set, otherwise the trace collector's wall epoch. */
+    double nowSeconds() const
+    {
+        return config_.clock != nullptr ? config_.clock->now()
+                                        : collector_.nowSeconds();
+    }
 
     const SiriusPipeline &pipeline_;
     ConcurrentServerConfig config_;

@@ -1,0 +1,102 @@
+#include "core/shard_health.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.h"
+
+namespace sirius::core {
+
+ShardHealthTracker::ShardHealthTracker(size_t index,
+                                       const ClusterHealthConfig &health,
+                                       EventLog *events)
+    : index_(index), health_(health), events_(events),
+      window_(std::max<size_t>(health.window, 1), 0)
+{
+}
+
+void
+ShardHealthTracker::recordOutcome(bool bad, double now_seconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Outcomes of queries already in flight when the shard was ejected
+    // must not re-judge it (they would re-eject an empty window).
+    if (ejected_)
+        return;
+    if (filled_ == window_.size())
+        bad_ -= window_[head_];
+    else
+        ++filled_;
+    window_[head_] = bad ? 1 : 0;
+    bad_ += bad ? 1 : 0;
+    head_ = (head_ + 1) % window_.size();
+    if (filled_ >= health_.minSamples &&
+        static_cast<double>(bad_) / static_cast<double>(filled_) >
+            health_.ejectBadRate) {
+        ejected_ = true;
+        ejectedFlag_.store(true, std::memory_order_relaxed);
+        ejectedAt_ = now_seconds;
+        ejections_.fetch_add(1, std::memory_order_relaxed);
+        probeSuccesses_ = 0;
+        probeInFlight_ = false;
+        // A fresh window for the post-recovery era: the outcomes that
+        // got the shard ejected must not get it re-ejected instantly.
+        std::fill(window_.begin(), window_.end(), 0);
+        filled_ = 0;
+        bad_ = 0;
+        head_ = 0;
+        logMessage(LogLevel::Warn,
+                   "cluster: shard " + std::to_string(index_) +
+                       " ejected (bad-outcome rate over threshold)");
+        if (events_ != nullptr)
+            events_->note(now_seconds, "shard_eject",
+                          "shard " + std::to_string(index_) +
+                              " ejected from routing",
+                          {{"shard", std::to_string(index_)}});
+    }
+}
+
+bool
+ShardHealthTracker::claimProbe(double now_seconds, bool admin_down)
+{
+    if (!ejectedFlag_.load(std::memory_order_relaxed))
+        return false; // cheap pre-check off the routing hot path
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!ejected_ || probeInFlight_ || admin_down)
+        return false;
+    if (now_seconds - ejectedAt_ < health_.probeAfterSeconds)
+        return false;
+    probeInFlight_ = true;
+    probes_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+ShardHealthTracker::recordProbeOutcome(bool ok, double now_seconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    probeInFlight_ = false;
+    if (!ejected_)
+        return;
+    if (ok) {
+        if (++probeSuccesses_ >= health_.recoveryProbes) {
+            ejected_ = false;
+            ejectedFlag_.store(false, std::memory_order_relaxed);
+            recoveries_.fetch_add(1, std::memory_order_relaxed);
+            probeSuccesses_ = 0;
+            logMessage(LogLevel::Info,
+                       "cluster: shard " + std::to_string(index_) +
+                           " recovered after probing");
+            if (events_ != nullptr)
+                events_->note(now_seconds, "shard_recover",
+                              "shard " + std::to_string(index_) +
+                                  " rejoined routing after probes",
+                              {{"shard", std::to_string(index_)}});
+        }
+    } else {
+        probeSuccesses_ = 0;
+        ejectedAt_ = now_seconds; // re-arm the cooldown
+    }
+}
+
+} // namespace sirius::core

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * ShardHealthTracker: the rolling-window health state machine of one
+ * cluster shard, factored out of BackendShard so the real ejection /
+ * probed-recovery logic can run in two hosts:
+ *
+ *  - the live ClusterRouter tier (core/cluster.h), where outcomes are
+ *    stamped with wall-clock seconds from serving threads, and
+ *  - the deterministic simulation harness (src/sim), where the same
+ *    code runs single-threaded on a virtual clock so chaos drills are
+ *    byte-for-byte reproducible from a seed.
+ *
+ * The state machine: outcomes (bad = Failed result or deadline miss)
+ * fill a rolling window; when the bad rate exceeds the threshold the
+ * shard is ejected from routing, then probed with single live queries
+ * after a cooldown, and rejoins after a run of consecutive probe
+ * successes. All time is an explicit `now_seconds` parameter — the
+ * tracker never reads a clock, which is exactly what makes it reusable
+ * under virtual time.
+ */
+
+#ifndef SIRIUS_CORE_SHARD_HEALTH_H
+#define SIRIUS_CORE_SHARD_HEALTH_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/slo.h"
+
+namespace sirius::core {
+
+/** Ejection and probed-recovery thresholds of one shard's health. */
+struct ClusterHealthConfig
+{
+    /** Outcomes retained in the per-shard rolling window. */
+    size_t window = 64;
+    /** Outcomes required before the window can eject (avoids judging a
+     *  shard on its first unlucky query). */
+    size_t minSamples = 16;
+    /**
+     * Eject when bad outcomes (Failed results or deadline misses)
+     * exceed this fraction of the window. The default is deliberately
+     * high: transient overload makes misses, and ejecting a merely busy
+     * shard shrinks the fleet exactly when it is needed most.
+     */
+    double ejectBadRate = 0.5;
+    /** Cooldown before an ejected shard sees its first probe query. */
+    double probeAfterSeconds = 0.05;
+    /** Consecutive probe successes required to rejoin the fleet. */
+    int recoveryProbes = 3;
+};
+
+/**
+ * Rolling-window eject / probe / recover state of one shard.
+ *
+ * Thread-safe (the live router records outcomes from worker threads);
+ * under the single-threaded simulator the mutex is uncontended and
+ * costs nothing. Lifecycle transitions are written to the EventLog
+ * (when one is attached) as `shard_eject` / `shard_recover` events.
+ */
+class ShardHealthTracker
+{
+  public:
+    ShardHealthTracker(size_t index, const ClusterHealthConfig &health,
+                       EventLog *events = nullptr);
+
+    ShardHealthTracker(const ShardHealthTracker &) = delete;
+    ShardHealthTracker &operator=(const ShardHealthTracker &) = delete;
+
+    /** True while the shard is ejected from routing. */
+    bool
+    ejected() const
+    {
+        return ejectedFlag_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t ejections() const { return ejections_.load(); }
+    uint64_t recoveries() const { return recoveries_.load(); }
+    uint64_t probes() const { return probes_.load(); }
+
+    /**
+     * Fold one outcome into the window; may eject. Outcomes arriving
+     * while the shard is already ejected are ignored (queries in flight
+     * at ejection time must not re-judge an empty window).
+     */
+    void recordOutcome(bool bad, double now_seconds);
+
+    /**
+     * True when this call won the right to route one probe query to
+     * the ejected shard: the cooldown has passed, no other probe is in
+     * flight, and @p admin_down is false (an operator draining a shard
+     * must not have probes revive it).
+     */
+    bool claimProbe(double now_seconds, bool admin_down);
+
+    /** Probe outcome: recover after a run of successes, else re-arm
+     *  the cooldown. */
+    void recordProbeOutcome(bool ok, double now_seconds);
+
+  private:
+    const size_t index_;
+    const ClusterHealthConfig health_;
+    EventLog *events_; ///< lifecycle events (eject/recover); may be null
+
+    std::atomic<bool> ejectedFlag_{false}; ///< mirror of ejected_
+
+    std::mutex mutex_; ///< guards the window + ejection state below
+    std::vector<uint8_t> window_;
+    size_t head_ = 0;
+    size_t filled_ = 0;
+    size_t bad_ = 0;
+    bool ejected_ = false;
+    double ejectedAt_ = 0.0;
+    bool probeInFlight_ = false;
+    int probeSuccesses_ = 0;
+
+    std::atomic<uint64_t> ejections_{0};
+    std::atomic<uint64_t> recoveries_{0};
+    std::atomic<uint64_t> probes_{0};
+};
+
+} // namespace sirius::core
+
+#endif // SIRIUS_CORE_SHARD_HEALTH_H

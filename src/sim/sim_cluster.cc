@@ -1,0 +1,749 @@
+#include "sim/sim_cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+#include "core/shard_health.h"
+
+namespace sirius::sim {
+
+namespace {
+
+/** splitmix64 finalizer: the one-way mix behind every sim draw. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Uniform double in [0, 1) from a mixed hash (53-bit mantissa). */
+double
+unitDouble(uint64_t h)
+{
+    return static_cast<double>(h >> 11) *
+        (1.0 / 9007199254740992.0); // 2^-53
+}
+
+/** FNV-1a accumulator for the determinism digest. */
+struct Fnv
+{
+    uint64_t h = 1469598103934665603ULL;
+
+    void
+    add(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xFF;
+            h *= 1099511628211ULL;
+        }
+    }
+
+    void
+    addDouble(double d)
+    {
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(d), "double is 64-bit");
+        std::memcpy(&bits, &d, sizeof(bits));
+        add(bits);
+    }
+
+    void
+    add(const std::string &s)
+    {
+        for (char c : s) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 1099511628211ULL;
+        }
+        add(static_cast<uint64_t>(s.size()));
+    }
+};
+
+/**
+ * The single-run engine. One instance per runSimulation() call; all
+ * state lives for exactly one run, so runs can never contaminate each
+ * other (a property the determinism oracle re-checks anyway).
+ */
+class Engine
+{
+  public:
+    Engine(const SimConfig &config, const SimWorkload &workload)
+        : cfg_(config), load_(workload), exec_(clock_),
+          events_(1024),
+          p2cRng_(config.seed ^ 0xC1057E42ULL)
+    {
+        if (cfg_.shards == 0)
+            fatal("SimConfig requires shards >= 1");
+        if (cfg_.queueCapacity == 0)
+            cfg_.queueCapacity = 1;
+        if (cfg_.maxBatchSize == 0)
+            cfg_.maxBatchSize = 1;
+        if (cfg_.planeEnabled)
+            slo_ = std::make_unique<SloTracker>(sloConfig(), &events_);
+        shards_.reserve(cfg_.shards);
+        for (size_t i = 0; i < cfg_.shards; ++i) {
+            auto shard = std::make_unique<Shard>();
+            shard->index = i;
+            shard->freeWorkers =
+                std::max<size_t>(1, cfg_.workersPerShard);
+            shard->health = std::make_unique<core::ShardHealthTracker>(
+                i, cfg_.health,
+                cfg_.planeEnabled ? &events_ : nullptr);
+            CacheConfig cache;
+            cache.enabled = cfg_.cacheEnabled;
+            cache.shards = 1; // single-threaded: striping buys nothing
+            cache.byteBudget = cfg_.cacheBudgetBytes;
+            cache.ttlSeconds = cfg_.cacheTtlSeconds;
+            cache.clock = &clock_;
+            shard->cache = std::make_unique<
+                ShardedLruCache<uint64_t, uint64_t>>(cache, "sim");
+            shards_.push_back(std::move(shard));
+        }
+    }
+
+    SimResult
+    run()
+    {
+        scheduleWorkload();
+        scheduleDrill();
+        // 10M events is far above any sane run — a runaway-feedback
+        // guard so a buggy config fails loudly instead of spinning.
+        exec_.run(10000000);
+        if (!exec_.empty())
+            fatal("sim: event budget exhausted (feedback loop?)");
+        quiescePlane();
+        return harvest();
+    }
+
+  private:
+    /** One dispatched leg of one query. */
+    struct Leg
+    {
+        uint64_t queryId = 0;
+        size_t shard = 0;
+        int legIndex = 0;
+        bool probe = false;
+        int arm = 0; ///< 0 primary, 1 failover, 2 hedge, 3 probe
+        double dispatchedAt = 0.0;
+        double serviceStart = 0.0;
+        bool cacheHit = false;
+    };
+
+    struct QueryState
+    {
+        SimQueryOutcome out;
+        bool delivered = false;
+        int openLegs = 0;
+        int failoversLeft = 0;
+        bool hedgeFired = false;
+        size_t primaryShard = SIZE_MAX;
+    };
+
+    struct Shard
+    {
+        size_t index = 0;
+        bool adminDown = false;
+        bool faultArmed = false;
+        size_t freeWorkers = 1;
+        size_t outstanding = 0; ///< dispatched, not yet completed
+        size_t queuedLegs = 0;  ///< waiting (open batch + closed units)
+        uint64_t batchGen = 0;  ///< invalidates stale flush timers
+        std::vector<uint64_t> openBatch; ///< leg ids, in arrival order
+        std::deque<std::vector<uint64_t>> ready; ///< closed units
+        std::unique_ptr<core::ShardHealthTracker> health;
+        std::unique_ptr<ShardedLruCache<uint64_t, uint64_t>> cache;
+    };
+
+    SloConfig
+    sloConfig() const
+    {
+        // One availability objective with a single tight burn rule:
+        // windows are sized to the sim's virtual scale so a drill
+        // outage fires within tens of virtual milliseconds and clears
+        // shortly after recovery.
+        SloConfig slo;
+        SloObjective availability;
+        availability.name = "availability";
+        availability.signal = SloObjective::Signal::Availability;
+        availability.target = 0.999;
+        slo.objectives.push_back(availability);
+        SloAlertRule rule;
+        rule.name = "page";
+        rule.longWindowSeconds = 0.08;
+        rule.shortWindowSeconds = 0.02;
+        rule.burnThreshold = 10.0;
+        slo.rules.push_back(rule);
+        slo.bucketSeconds = 0.002;
+        slo.clock = &clock_;
+        return slo;
+    }
+
+    // ---- workload -------------------------------------------------
+
+    void
+    scheduleWorkload()
+    {
+        queries_.resize(load_.queries);
+        stats_.offered = load_.queries;
+        const double qps =
+            load_.arrivalRateQps > 0.0 ? load_.arrivalRateQps : 1.0;
+        Rng zipf_rng(cfg_.seed ^ 0x51A4F00DULL);
+        const size_t texts = std::max<size_t>(1, load_.distinctTexts);
+        const ZipfSampler zipf(texts,
+                               load_.zipfSkew > 0.0 ? load_.zipfSkew
+                                                    : 0.0);
+        double t = 0.0;
+        for (size_t i = 0; i < load_.queries; ++i) {
+            // Exponential gaps from a pure hash of the arrival index,
+            // so every differential arm sees identical arrival times.
+            double u = unitDouble(
+                mix64(cfg_.seed ^ (0xA221ULL + i * 0x9E37ULL)));
+            if (u <= 1e-12)
+                u = 1e-12;
+            t += -std::log(u) / qps;
+            const uint64_t text = load_.zipfSkew > 0.0
+                ? static_cast<uint64_t>(zipf.draw(zipf_rng))
+                : static_cast<uint64_t>(i % texts);
+            QueryState &q = queries_[i];
+            q.out.id = i;
+            q.out.textId = text;
+            exec_.at(t, [this, i] { admit(i); });
+        }
+    }
+
+    void
+    scheduleDrill()
+    {
+        if (cfg_.killAtSeconds <= 0.0 ||
+            cfg_.killShard >= cfg_.shards)
+            return;
+        const size_t target = cfg_.killShard;
+        exec_.at(cfg_.killAtSeconds, [this, target] {
+            Shard &s = *shards_[target];
+            if (cfg_.killByFault) {
+                s.faultArmed = true;
+                if (cfg_.planeEnabled)
+                    events_.note(exec_.now(), "drill",
+                                 "shard " + std::to_string(target) +
+                                     " faults armed",
+                                 {{"shard", std::to_string(target)},
+                                  {"enabled", "1"}});
+            } else {
+                s.adminDown = true;
+                if (cfg_.planeEnabled)
+                    events_.note(exec_.now(), "shard_kill",
+                                 "shard " + std::to_string(target) +
+                                     " administratively killed",
+                                 {{"shard", std::to_string(target)}});
+            }
+        });
+        if (cfg_.reviveAtSeconds > cfg_.killAtSeconds) {
+            exec_.at(cfg_.reviveAtSeconds, [this, target] {
+                Shard &s = *shards_[target];
+                if (cfg_.killByFault) {
+                    s.faultArmed = false;
+                    if (cfg_.planeEnabled)
+                        events_.note(exec_.now(), "drill",
+                                     "shard " + std::to_string(target) +
+                                         " faults disarmed",
+                                     {{"shard",
+                                       std::to_string(target)},
+                                      {"enabled", "0"}});
+                } else {
+                    s.adminDown = false;
+                    if (cfg_.planeEnabled)
+                        events_.note(exec_.now(), "shard_revive",
+                                     "shard " + std::to_string(target) +
+                                         " administratively revived",
+                                     {{"shard",
+                                       std::to_string(target)}});
+                }
+            });
+        }
+    }
+
+    // ---- routing --------------------------------------------------
+
+    size_t
+    pickShard(uint64_t text_id, size_t avoid)
+    {
+        // Routable set: healthy first, then non-admin-down — exactly
+        // ClusterRouter::pickShard's fallback ladder.
+        std::vector<uint8_t> ok(shards_.size(), 0);
+        size_t count = 0;
+        for (const auto &s : shards_) {
+            if (!s->adminDown && !s->health->ejected() &&
+                s->index != avoid) {
+                ok[s->index] = 1;
+                ++count;
+            }
+        }
+        if (count == 0) {
+            for (const auto &s : shards_) {
+                if (!s->adminDown && s->index != avoid) {
+                    ok[s->index] = 1;
+                    ++count;
+                }
+            }
+        }
+        if (count == 0)
+            return SIZE_MAX;
+
+        std::vector<size_t> loads(shards_.size(), 0);
+        for (const auto &s : shards_)
+            loads[s->index] = s->outstanding + s->queuedLegs;
+
+        uint64_t turn = 0;
+        if (cfg_.policy == core::RoutingPolicy::RoundRobin ||
+            cfg_.policy == core::RoutingPolicy::LeastOutstanding)
+            turn = rrTurn_++;
+        const uint64_t affinity_lo = mix64(text_id ^ 0xAF1217ULL);
+        return core::chooseByPolicy(cfg_.policy, ok, count, loads,
+                                    turn, affinity_lo, p2cRng_);
+    }
+
+    void
+    admit(uint64_t query_id)
+    {
+        QueryState &q = queries_[query_id];
+        q.out.submittedSeconds = exec_.now();
+        // A hedged query never also fails over — the hedge is its
+        // retry (same rule as the live router).
+        q.failoversLeft =
+            cfg_.hedgeSeconds > 0.0 && cfg_.shards > 1
+            ? 0
+            : cfg_.failoverRetries;
+
+        // Ejected shard due for probing gets this query as its probe.
+        bool probing = false;
+        for (const auto &s : shards_) {
+            if (s->health->claimProbe(exec_.now(), s->adminDown)) {
+                q.failoversLeft = std::max(q.failoversLeft, 1);
+                if (dispatch(query_id, s->index, true, 3)) {
+                    probing = true;
+                    q.primaryShard = s->index;
+                    ++stats_.probes;
+                } else {
+                    s->health->recordProbeOutcome(false, exec_.now());
+                }
+                break;
+            }
+        }
+        if (!probing) {
+            size_t target = pickShard(q.out.textId, SIZE_MAX);
+            size_t attempts = 0;
+            while (target != SIZE_MAX && attempts < cfg_.shards &&
+                   !dispatch(query_id, target, false, 0)) {
+                target = pickShard(q.out.textId, target);
+                ++attempts;
+            }
+            if (target == SIZE_MAX || attempts >= cfg_.shards) {
+                q.out.shed = true;
+                ++stats_.shed;
+                return;
+            }
+            q.primaryShard = target;
+        }
+        ++stats_.admitted;
+
+        if (cfg_.hedgeSeconds > 0.0 && cfg_.shards > 1) {
+            exec_.schedule(cfg_.hedgeSeconds, [this, query_id] {
+                fireHedge(query_id);
+            });
+        }
+    }
+
+    void
+    fireHedge(uint64_t query_id)
+    {
+        QueryState &q = queries_[query_id];
+        if (q.delivered || q.hedgeFired)
+            return;
+        q.hedgeFired = true;
+        const size_t next = pickShard(q.out.textId, q.primaryShard);
+        if (next != SIZE_MAX && dispatch(query_id, next, false, 2)) {
+            ++stats_.hedgesFired;
+            q.out.hedged = true;
+        }
+    }
+
+    // ---- shard execution ------------------------------------------
+
+    bool
+    dispatch(uint64_t query_id, size_t shard, bool probe, int arm)
+    {
+        Shard &s = *shards_[shard];
+        if (s.queuedLegs >= cfg_.queueCapacity)
+            return false;
+        QueryState &q = queries_[query_id];
+        Leg leg;
+        leg.queryId = query_id;
+        leg.shard = shard;
+        leg.legIndex = q.out.legs++;
+        leg.probe = probe;
+        leg.arm = arm;
+        leg.dispatchedAt = exec_.now();
+        const uint64_t leg_id = legs_.size();
+        legs_.push_back(leg);
+        ++q.openLegs;
+        ++s.outstanding;
+        ++s.queuedLegs;
+        ++stats_.legsDispatched;
+
+        if (!cfg_.batchEnabled) {
+            s.ready.push_back({leg_id});
+            pump(s);
+            return true;
+        }
+        s.openBatch.push_back(leg_id);
+        if (s.openBatch.size() >= cfg_.maxBatchSize) {
+            closeBatch(s);
+            pump(s);
+        } else if (s.openBatch.size() == 1) {
+            const uint64_t gen = s.batchGen;
+            const size_t index = s.index;
+            exec_.schedule(cfg_.batchWaitSeconds,
+                           [this, index, gen] {
+                               Shard &shard_ref = *shards_[index];
+                               if (shard_ref.batchGen == gen &&
+                                   !shard_ref.openBatch.empty()) {
+                                   closeBatch(shard_ref);
+                                   pump(shard_ref);
+                               }
+                           });
+        }
+        return true;
+    }
+
+    void
+    closeBatch(Shard &s)
+    {
+        ++s.batchGen; // stale flush timers become no-ops
+        s.ready.push_back(std::move(s.openBatch));
+        s.openBatch.clear();
+    }
+
+    void
+    pump(Shard &s)
+    {
+        while (s.freeWorkers > 0 && !s.ready.empty()) {
+            std::vector<uint64_t> unit = std::move(s.ready.front());
+            s.ready.pop_front();
+            s.queuedLegs -= unit.size();
+            --s.freeWorkers;
+
+            // Per-leg service: a cache hit answers near-free, a miss
+            // computes (and caches) the reference answer. The unit
+            // occupies a worker for its slowest leg plus the batch
+            // setup overhead — the amortization batching exists for.
+            double longest = 0.0;
+            std::vector<uint64_t> answers(unit.size());
+            for (size_t i = 0; i < unit.size(); ++i) {
+                Leg &leg = legs_[unit[i]];
+                leg.serviceStart = exec_.now();
+                uint64_t answer = 0;
+                const uint64_t text = queries_[leg.queryId].out.textId;
+                if (s.cache->get(text, answer)) {
+                    leg.cacheHit = true;
+                    longest = std::max(longest,
+                                       cfg_.cacheHitServiceSeconds);
+                } else {
+                    answer = expectedAnswer(text);
+                    s.cache->put(text, answer, 64);
+                    longest = std::max(
+                        longest, serviceSeconds(leg.queryId,
+                                                leg.legIndex));
+                }
+                answers[i] = answer;
+            }
+            const double duration =
+                (cfg_.batchEnabled ? cfg_.batchSetupSeconds : 0.0) +
+                longest;
+
+#ifdef SIRIUS_CANARY_BUG
+            // Planted defect #1: the batch scatter is off by one —
+            // each leg of a multi-item batch receives its neighbour's
+            // answer. tests/test_canary.cc proves the fuzzer's
+            // "answer == expectedAnswer(textId)" oracle catches this.
+            if (answers.size() > 1)
+                std::rotate(answers.begin(), answers.begin() + 1,
+                            answers.end());
+#endif
+
+            const size_t index = s.index;
+            exec_.schedule(duration, [this, index, unit, answers] {
+                Shard &shard_ref = *shards_[index];
+                ++shard_ref.freeWorkers;
+                for (size_t i = 0; i < unit.size(); ++i)
+                    completeLeg(unit[i], answers[i]);
+                pump(shard_ref);
+            });
+        }
+    }
+
+    double
+    serviceSeconds(uint64_t query_id, int leg_index) const
+    {
+        const uint64_t h = mix64(cfg_.seed ^
+                                 (query_id * 0x9E3779B1ULL) ^
+                                 (static_cast<uint64_t>(leg_index) *
+                                  0xC2B2AE35ULL));
+        return cfg_.serviceMinSeconds +
+            unitDouble(h) *
+            (cfg_.serviceMaxSeconds - cfg_.serviceMinSeconds);
+    }
+
+    bool
+    faultDraw(const Shard &s, uint64_t query_id, int leg_index) const
+    {
+        const double rate =
+            s.faultArmed ? cfg_.faults.drillFailRate
+                         : cfg_.faults.failRate;
+        if (rate <= 0.0)
+            return false;
+        const uint64_t h = mix64(
+            cfg_.seed ^ 0xFA171ULL ^ (query_id * 0x85EBCA77ULL) ^
+            (static_cast<uint64_t>(leg_index) * 0x27D4EB2FULL));
+        return unitDouble(h) < rate;
+    }
+
+    void
+    completeLeg(uint64_t leg_id, uint64_t answer)
+    {
+        const Leg &leg = legs_[leg_id];
+        QueryState &q = queries_[leg.queryId];
+        Shard &s = *shards_[leg.shard];
+        --s.outstanding;
+        --q.openLegs;
+
+        const bool failed = faultDraw(s, leg.queryId, leg.legIndex);
+        if (leg.probe)
+            s.health->recordProbeOutcome(!failed, exec_.now());
+        else
+            s.health->recordOutcome(failed, exec_.now());
+        // Fleet availability is judged per leg (a failed leg burns
+        // error budget even when failover rescues the query) — the
+        // same accounting rule as the live router.
+        if (slo_)
+            slo_->recordOutcome(!failed);
+
+        if (failed) {
+            if (!q.delivered && q.failoversLeft > 0) {
+                --q.failoversLeft;
+                const size_t next =
+                    pickShard(q.out.textId, leg.shard);
+                if (next != SIZE_MAX &&
+                    dispatch(leg.queryId, next, false, 1)) {
+                    ++stats_.failovers;
+                    q.out.failedOver = true;
+                    return; // the failover leg owns delivery now
+                }
+            }
+            // A failure is delivered only by the last leg standing.
+            if (!q.delivered && q.openLegs == 0)
+                deliver(leg_id, answer, true);
+            return;
+        }
+
+#ifdef SIRIUS_CANARY_BUG
+        // Planted defect #2: a winning hedge leg skips the delivered
+        // check, so a query whose primary already answered delivers a
+        // second time — the exactly-once invariant the fuzzer guards.
+        if (leg.arm == 2) {
+            deliver(leg_id, answer, false);
+            return;
+        }
+#endif
+        if (!q.delivered)
+            deliver(leg_id, answer, false);
+    }
+
+    void
+    deliver(uint64_t leg_id, uint64_t answer, bool failed)
+    {
+        const Leg &leg = legs_[leg_id];
+        QueryState &q = queries_[leg.queryId];
+        ++q.out.deliveries;
+        if (q.delivered) {
+            ++stats_.doubleDeliveries;
+            return; // keep the first delivery's outcome
+        }
+        q.delivered = true;
+        q.out.failed = failed;
+        q.out.answer = failed ? 0 : answer;
+        q.out.deliveredSeconds = exec_.now();
+        q.out.servedBy = leg.shard;
+        q.out.cacheHit = leg.cacheHit;
+        q.out.dispatchLagSeconds =
+            leg.dispatchedAt - q.out.submittedSeconds;
+        q.out.queueBatchSeconds =
+            leg.serviceStart - leg.dispatchedAt;
+        q.out.serviceSeconds = exec_.now() - leg.serviceStart;
+        if (failed)
+            ++stats_.failed;
+        else
+            ++stats_.completedOk;
+        if (leg.arm == 2)
+            ++stats_.hedgeWins;
+        if (slo_)
+            slo_->recordLatency(q.out.deliveredSeconds -
+                                q.out.submittedSeconds);
+    }
+
+    // ---- wrap-up --------------------------------------------------
+
+    void
+    quiescePlane()
+    {
+        if (!slo_)
+            return;
+        // Quiet-period evaluation so burn alerts can clear once the
+        // windows drain — the monitor loop's job in production,
+        // compressed to 40 virtual ticks here.
+        for (int i = 0; i < 40; ++i) {
+            clock_.advance(0.01);
+            slo_->evaluate();
+        }
+    }
+
+    SimResult
+    harvest()
+    {
+        SimResult out;
+        for (const auto &q : queries_)
+            out.queries.push_back(q.out);
+        for (const auto &s : shards_) {
+            stats_.ejections += s->health->ejections();
+            stats_.recoveries += s->health->recoveries();
+            stats_.healthyShardsAtEnd +=
+                (!s->adminDown && !s->health->ejected()) ? 1 : 0;
+            stats_.shardCaches.push_back(s->cache->stats());
+        }
+        if (slo_) {
+            stats_.slo = slo_->snapshot();
+            stats_.events = events_.snapshot();
+        }
+        out.stats = std::move(stats_);
+
+        Fnv fnv;
+        for (const auto &q : out.queries) {
+            fnv.add(q.id);
+            fnv.add(q.textId);
+            fnv.add(static_cast<uint64_t>(q.shed) |
+                    (static_cast<uint64_t>(q.failed) << 1) |
+                    (static_cast<uint64_t>(q.hedged) << 2) |
+                    (static_cast<uint64_t>(q.failedOver) << 3) |
+                    (static_cast<uint64_t>(q.cacheHit) << 4));
+            fnv.add(q.answer);
+            fnv.add(static_cast<uint64_t>(q.deliveries));
+            fnv.add(static_cast<uint64_t>(q.servedBy));
+            fnv.addDouble(q.submittedSeconds);
+            fnv.addDouble(q.deliveredSeconds);
+        }
+        fnv.add(out.stats.admitted);
+        fnv.add(out.stats.shed);
+        fnv.add(out.stats.completedOk);
+        fnv.add(out.stats.failed);
+        fnv.add(out.stats.legsDispatched);
+        fnv.add(out.stats.hedgesFired);
+        fnv.add(out.stats.hedgeWins);
+        fnv.add(out.stats.failovers);
+        fnv.add(out.stats.probes);
+        fnv.add(out.stats.ejections);
+        fnv.add(out.stats.recoveries);
+        for (const auto &event : out.stats.events) {
+            fnv.addDouble(event.timeSeconds);
+            fnv.add(event.kind);
+            fnv.add(event.message);
+            for (const auto &attr : event.attrs) {
+                fnv.add(attr.first);
+                fnv.add(attr.second);
+            }
+            out.eventLogText += EventLog::toJson(event);
+            out.eventLogText += '\n';
+        }
+        out.digest = fnv.h;
+        return out;
+    }
+
+    SimConfig cfg_;
+    SimWorkload load_;
+    ManualTime clock_;
+    VirtualExecutor exec_;
+    EventLog events_;
+    std::unique_ptr<SloTracker> slo_;
+    Rng p2cRng_;
+    uint64_t rrTurn_ = 0;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::vector<QueryState> queries_;
+    std::vector<Leg> legs_;
+    SimStats stats_;
+};
+
+} // namespace
+
+uint64_t
+expectedAnswer(uint64_t text_id)
+{
+    return mix64(text_id ^ 0xA25A25A25A25ULL);
+}
+
+SimResult
+runSimulation(const SimConfig &config, const SimWorkload &workload)
+{
+    Engine engine(config, workload);
+    return engine.run();
+}
+
+ChaosDrillReport
+runChaosDrill(uint64_t seed)
+{
+    SimConfig config;
+    config.shards = 4;
+    config.policy = core::RoutingPolicy::LeastOutstanding;
+    config.workersPerShard = 2;
+    config.queueCapacity = 64;
+    config.failoverRetries = 1;
+    config.batchEnabled = true;
+    config.maxBatchSize = 4;
+    config.batchWaitSeconds = 0.002;
+    config.cacheEnabled = true;
+    config.cacheBudgetBytes = 4096;
+    config.planeEnabled = true;
+    config.faults.failRate = 0.0;
+    config.faults.drillFailRate = 1.0;
+    config.seed = seed;
+    config.killAtSeconds = 0.05;
+    config.killShard = 0;
+    config.reviveAtSeconds = 0.16;
+    config.killByFault = true;
+
+    SimWorkload workload;
+    workload.queries = 400;
+    workload.arrivalRateQps = 2000.0;
+    workload.zipfSkew = 0.9;
+    workload.distinctTexts = 24;
+
+    ChaosDrillReport report;
+    report.result = runSimulation(config, workload);
+
+    for (const auto &event : report.result.stats.events) {
+        if (event.kind == "shard_eject")
+            report.ejected = true;
+        if (event.kind == "shard_recover")
+            report.recovered = true;
+        if (event.kind == "alert_fire")
+            report.alertFired = true;
+    }
+    report.alertCleared = !report.result.stats.slo.anyFiring();
+    return report;
+}
+
+} // namespace sirius::sim

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * SimCluster: the whole serving stack — routing, shard health,
+ * failover, hedging, micro-batching, per-shard result caches, fault
+ * drills, and the SLO/event observability plane — as a deterministic
+ * discrete-event model on a VirtualExecutor.
+ *
+ * What is *real* here and what is modeled:
+ *
+ *  - Real, bit-for-bit the production code: the routing-policy choice
+ *    (core::chooseByPolicy — the exact function ClusterRouter calls),
+ *    the shard health state machine (core::ShardHealthTracker — eject,
+ *    cooldown probe, recover), the result cache (ShardedLruCache with
+ *    its byte budget, TTL and ManualTime seam), the SLO engine
+ *    (SloTracker burn-rate alerts on its ManualTime seam), and the
+ *    EventLog. These run unmodified on the shared virtual clock.
+ *  - Modeled: thread orchestration. Worker pools, batch windows,
+ *    hedge timers and failover dispatch become virtual-time events
+ *    with hash-derived service times, so a drill that takes wall
+ *    seconds in scripts/slo_smoke.sh takes milliseconds here and two
+ *    same-seed runs are byte-for-byte identical.
+ *
+ * Every source of randomness (service time, fault draw) is a pure
+ * hash of stable identities — (seed, query id, leg index) — never a
+ * position in a shared RNG stream. That is what makes differential
+ * arms honest: toggling batching/caching/the plane presents the
+ * identical workload, so "answers must match" is a sound oracle. The
+ * answer itself is a pure function of the query's text id
+ * (expectedAnswer), so a scatter bug anywhere shows up as a direct
+ * value mismatch.
+ *
+ * With SIRIUS_CANARY_BUG defined (the sirius-sim-canary library) two
+ * deliberate defects are planted — an off-by-one in the batch
+ * result scatter and a double delivery on the hedge path — used by
+ * tests/test_canary.cc to prove the fuzzer actually catches and
+ * shrinks real bugs. Normal builds compile them out.
+ */
+
+#ifndef SIRIUS_SIM_SIM_CLUSTER_H
+#define SIRIUS_SIM_SIM_CLUSTER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/cache.h"
+#include "common/rng.h"
+#include "common/slo.h"
+#include "core/cluster.h"
+#include "sim/virtual_executor.h"
+
+namespace sirius::sim {
+
+/** Fault model of a simulated fleet. */
+struct SimFaults
+{
+    /** Baseline per-leg failure probability on every shard. */
+    double failRate = 0.0;
+    /** Per-leg failure probability on a drill-armed shard. */
+    double drillFailRate = 1.0;
+};
+
+/** Full configuration of one simulated cluster run. */
+struct SimConfig
+{
+    size_t shards = 4;
+    core::RoutingPolicy policy = core::RoutingPolicy::LeastOutstanding;
+    size_t workersPerShard = 2;
+    /** Legs a shard may hold queued (open batch + closed batches)
+     *  before admission sheds; >= 1. */
+    size_t queueCapacity = 32;
+    int failoverRetries = 1;
+    double hedgeSeconds = 0.0; ///< 0 disables hedging
+
+    bool batchEnabled = true;
+    size_t maxBatchSize = 4;
+    double batchWaitSeconds = 0.002; ///< partial-batch flush window
+
+    bool cacheEnabled = true;
+    size_t cacheBudgetBytes = 4096; ///< per shard
+    double cacheTtlSeconds = 0.0;   ///< 0 = no expiry
+
+    /** SLO tracker + event log + lifecycle events; when false the run
+     *  must be observationally identical (the plane-off oracle). */
+    bool planeEnabled = true;
+
+    core::ClusterHealthConfig health{
+        /*window=*/16, /*minSamples=*/8, /*ejectBadRate=*/0.5,
+        /*probeAfterSeconds=*/0.02, /*recoveryProbes=*/2};
+
+    SimFaults faults;
+    uint64_t seed = 1;
+
+    // Chaos-drill schedule, virtual seconds; killAtSeconds 0 disables.
+    double killAtSeconds = 0.0;
+    size_t killShard = 0;
+    double reviveAtSeconds = 0.0; ///< 0: stays down
+    /** true: arm the shard's faults (visible outage — health ejection
+     *  and SLO burn); false: administrative kill (clean drain). */
+    bool killByFault = true;
+
+    // Service-time model (virtual seconds).
+    double serviceMinSeconds = 0.004;
+    double serviceMaxSeconds = 0.010;
+    double cacheHitServiceSeconds = 0.0005;
+    double batchSetupSeconds = 0.001; ///< per executed batch
+};
+
+/** Arrival process of one simulated run. */
+struct SimWorkload
+{
+    size_t queries = 96;
+    double arrivalRateQps = 500.0; ///< deterministic exponential gaps
+    double zipfSkew = 0.9;         ///< 0 = round-robin text ids
+    size_t distinctTexts = 24;
+};
+
+/** Final state of one simulated query. */
+struct SimQueryOutcome
+{
+    uint64_t id = 0;
+    uint64_t textId = 0;
+    bool shed = false;   ///< rejected at admission (never dispatched)
+    bool failed = false; ///< delivered as a failure
+    uint64_t answer = 0; ///< valid when delivered and !failed
+    double submittedSeconds = 0.0;
+    double deliveredSeconds = 0.0;
+    int deliveries = 0;     ///< completions delivered; must be 1
+    size_t servedBy = SIZE_MAX; ///< shard of the winning leg
+    int legs = 0;           ///< legs ever dispatched
+    bool hedged = false;
+    bool failedOver = false;
+    bool cacheHit = false;  ///< winning leg hit the result cache
+
+    // Critical-path segments of the winning leg; they must sum to
+    // (delivered - submitted) — the span-arithmetic invariant.
+    double dispatchLagSeconds = 0.0; ///< submit -> winning leg dispatch
+    double queueBatchSeconds = 0.0;  ///< dispatch -> service start
+    double serviceSeconds = 0.0;     ///< service start -> delivery
+};
+
+/** Fleet-level counters of one simulated run. */
+struct SimStats
+{
+    uint64_t offered = 0;
+    uint64_t admitted = 0;
+    uint64_t shed = 0;
+    uint64_t completedOk = 0;
+    uint64_t failed = 0;
+    uint64_t legsDispatched = 0;
+    uint64_t hedgesFired = 0;
+    uint64_t hedgeWins = 0;
+    uint64_t failovers = 0;
+    uint64_t probes = 0;
+    uint64_t ejections = 0;
+    uint64_t recoveries = 0;
+    uint64_t doubleDeliveries = 0; ///< exactly-once violations
+    size_t healthyShardsAtEnd = 0;
+    std::vector<CacheStats> shardCaches; ///< one per shard
+    SloSnapshot slo;                     ///< empty when plane off
+    std::vector<EventLog::Event> events; ///< empty when plane off
+};
+
+/** Everything a run produces, digestible for determinism checks. */
+struct SimResult
+{
+    SimStats stats;
+    std::vector<SimQueryOutcome> queries; ///< indexed by query id
+    /** FNV-1a over every outcome field, counter, and event — two
+     *  same-seed runs must produce the identical digest. */
+    uint64_t digest = 0;
+    /** The retained event log as JSONL (one line per event) — the
+     *  byte-for-byte comparable artifact of a chaos drill. */
+    std::string eventLogText;
+};
+
+/** The reference answer for @p text_id — a pure function, so every
+ *  layer (cache, batch scatter, failover replica) must reproduce it. */
+uint64_t expectedAnswer(uint64_t text_id);
+
+/** Run one simulated cluster workload to completion (drains every
+ *  leg, then lets the SLO plane quiesce so alerts can clear). */
+SimResult runSimulation(const SimConfig &config,
+                        const SimWorkload &workload);
+
+/** Outcome of the canonical 4-shard kill/revive chaos drill. */
+struct ChaosDrillReport
+{
+    SimResult result;
+    bool ejected = false;      ///< health ejected the killed shard
+    bool alertFired = false;   ///< an SLO burn alert fired
+    bool recovered = false;    ///< probes brought the shard back
+    bool alertCleared = false; ///< no alert firing at end of run
+};
+
+/**
+ * The sim-harness port of scripts/slo_smoke.sh's drill: a 4-shard
+ * fleet under steady load, shard 0's fault injection armed mid-run
+ * and disarmed later; asserts the full kill -> eject -> alert fire ->
+ * revive -> recover -> alert clear arc from the event log. Entirely
+ * virtual time — zero wall-clock sleeps.
+ */
+ChaosDrillReport runChaosDrill(uint64_t seed);
+
+} // namespace sirius::sim
+
+#endif // SIRIUS_SIM_SIM_CLUSTER_H

@@ -1,0 +1,183 @@
+#include "sim/trial_config.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sirius::sim {
+
+namespace {
+
+std::string
+formatDouble(double v)
+{
+    // %.17g round-trips every IEEE double; trim to the shortest form
+    // that still parses back to the same bits so repro lines stay
+    // readable (0.002, not 0.0020000000000000001).
+    for (int precision = 1; precision <= 17; ++precision) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+        if (std::strtod(buf, nullptr) == v)
+            return buf;
+    }
+    return "0";
+}
+
+void
+append(std::string &out, const char *key, const std::string &value)
+{
+    if (!out.empty())
+        out += ',';
+    out += key;
+    out += '=';
+    out += value;
+}
+
+bool
+parseU64(const std::string &value, uint64_t &out)
+{
+    if (value.empty())
+        return false;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseU32(const std::string &value, uint32_t &out)
+{
+    uint64_t v = 0;
+    if (!parseU64(value, v) || v > UINT32_MAX)
+        return false;
+    out = static_cast<uint32_t>(v);
+    return true;
+}
+
+bool
+parseBool(const std::string &value, bool &out)
+{
+    if (value == "1")
+        out = true;
+    else if (value == "0")
+        out = false;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseDouble(const std::string &value, double &out)
+{
+    if (value.empty())
+        return false;
+    char *end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end == nullptr || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace
+
+std::string
+formatTrialConfig(const TrialConfig &config)
+{
+    std::string out;
+    append(out, "seed", std::to_string(config.seed));
+    append(out, "shards", std::to_string(config.shards));
+    append(out, "policy", std::to_string(config.policy));
+    append(out, "workers", std::to_string(config.workers));
+    append(out, "queue", std::to_string(config.queueCapacity));
+    append(out, "failover", std::to_string(config.failoverRetries));
+    append(out, "hedge", formatDouble(config.hedgeSeconds));
+    append(out, "batch", config.batch ? "1" : "0");
+    append(out, "batch_size", std::to_string(config.batchSize));
+    append(out, "batch_wait", formatDouble(config.batchWaitSeconds));
+    append(out, "cache", config.cache ? "1" : "0");
+    append(out, "cache_budget",
+           std::to_string(config.cacheBudgetBytes));
+    append(out, "cache_ttl", formatDouble(config.cacheTtlSeconds));
+    append(out, "plane", config.plane ? "1" : "0");
+    append(out, "fault_rate", formatDouble(config.faultRate));
+    append(out, "drill", config.drill ? "1" : "0");
+    append(out, "queries", std::to_string(config.queries));
+    append(out, "qps", formatDouble(config.arrivalQps));
+    append(out, "zipf", formatDouble(config.zipfSkew));
+    append(out, "texts", std::to_string(config.distinctTexts));
+    return out;
+}
+
+bool
+parseTrialConfig(const std::string &line, TrialConfig &out)
+{
+    TrialConfig parsed;
+    size_t pos = 0;
+    while (pos <= line.size()) {
+        size_t comma = line.find(',', pos);
+        if (comma == std::string::npos)
+            comma = line.size();
+        const std::string pair = line.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (pair.empty())
+            return false;
+        const size_t eq = pair.find('=');
+        if (eq == std::string::npos)
+            return false;
+        const std::string key = pair.substr(0, eq);
+        const std::string value = pair.substr(eq + 1);
+        bool ok;
+        if (key == "seed")
+            ok = parseU64(value, parsed.seed);
+        else if (key == "shards")
+            ok = parseU32(value, parsed.shards);
+        else if (key == "policy")
+            ok = parseU32(value, parsed.policy);
+        else if (key == "workers")
+            ok = parseU32(value, parsed.workers);
+        else if (key == "queue")
+            ok = parseU32(value, parsed.queueCapacity);
+        else if (key == "failover")
+            ok = parseU32(value, parsed.failoverRetries);
+        else if (key == "hedge")
+            ok = parseDouble(value, parsed.hedgeSeconds);
+        else if (key == "batch")
+            ok = parseBool(value, parsed.batch);
+        else if (key == "batch_size")
+            ok = parseU32(value, parsed.batchSize);
+        else if (key == "batch_wait")
+            ok = parseDouble(value, parsed.batchWaitSeconds);
+        else if (key == "cache")
+            ok = parseBool(value, parsed.cache);
+        else if (key == "cache_budget")
+            ok = parseU32(value, parsed.cacheBudgetBytes);
+        else if (key == "cache_ttl")
+            ok = parseDouble(value, parsed.cacheTtlSeconds);
+        else if (key == "plane")
+            ok = parseBool(value, parsed.plane);
+        else if (key == "fault_rate")
+            ok = parseDouble(value, parsed.faultRate);
+        else if (key == "drill")
+            ok = parseBool(value, parsed.drill);
+        else if (key == "queries")
+            ok = parseU32(value, parsed.queries);
+        else if (key == "qps")
+            ok = parseDouble(value, parsed.arrivalQps);
+        else if (key == "zipf")
+            ok = parseDouble(value, parsed.zipfSkew);
+        else if (key == "texts")
+            ok = parseU32(value, parsed.distinctTexts);
+        else
+            return false;
+        if (!ok)
+            return false;
+        if (comma == line.size())
+            break;
+    }
+    out = parsed;
+    return true;
+}
+
+} // namespace sirius::sim

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * TrialConfig: the flat, serializable knob set one fuzz trial explores,
+ * plus the TrialReport a trial hands back.
+ *
+ * This vocabulary lives in its own tiny library (sirius-trial) on
+ * purpose: the PropertyFuzzer (sirius-testing) speaks only TrialConfig
+ * and TrialReport through a callback, so it can drive either the
+ * normal simulation (sirius-sim) or the canary-bug build
+ * (sirius-sim-canary) without ever linking both into one binary —
+ * the two define the same symbols and would be an ODR violation.
+ *
+ * formatTrialConfig()/parseTrialConfig() round-trip a config through a
+ * single "k=v,k=v" line. That line IS the repro artifact: a shrunk
+ * failure prints one line, the line goes into tests/corpus/, and
+ * fuzz_driver --replay re-runs it forever after.
+ */
+
+#ifndef SIRIUS_SIM_TRIAL_CONFIG_H
+#define SIRIUS_SIM_TRIAL_CONFIG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sirius::sim {
+
+/** One fuzz trial's full knob set — workload AND cluster config. */
+struct TrialConfig
+{
+    uint64_t seed = 1;
+
+    // Cluster shape.
+    uint32_t shards = 4;
+    uint32_t policy = 1; ///< core::RoutingPolicy index
+    uint32_t workers = 2;
+    uint32_t queueCapacity = 32;
+    uint32_t failoverRetries = 1;
+    double hedgeSeconds = 0.0;
+
+    // Batching.
+    bool batch = true;
+    uint32_t batchSize = 4;
+    double batchWaitSeconds = 0.002;
+
+    // Caching.
+    bool cache = true;
+    uint32_t cacheBudgetBytes = 4096;
+    double cacheTtlSeconds = 0.0;
+
+    // Observability plane.
+    bool plane = true;
+
+    // Faults + drill.
+    double faultRate = 0.0;
+    bool drill = false; ///< kill/revive schedule on shard 0
+
+    // Workload.
+    uint32_t queries = 96;
+    double arrivalQps = 500.0;
+    double zipfSkew = 0.9;
+    uint32_t distinctTexts = 24;
+};
+
+/** One oracle violation: which check failed and the evidence. */
+struct TrialViolation
+{
+    std::string oracle; ///< stable id ("exactly_once", "diff_batch"...)
+    std::string detail; ///< human-readable evidence
+};
+
+/** What one trial found. */
+struct TrialReport
+{
+    bool ok = true;
+    std::vector<TrialViolation> violations;
+    uint64_t digest = 0;   ///< base-run determinism digest
+    uint64_t queries = 0;  ///< base-run offered queries (shrink metric)
+};
+
+/** Serialize to the one-line "k=v,k=v" repro form (stable key order,
+ *  shortest round-trip float formatting). */
+std::string formatTrialConfig(const TrialConfig &config);
+
+/** Parse a formatTrialConfig() line (unknown keys rejected).
+ *  @return false when malformed; @p out untouched on failure. */
+bool parseTrialConfig(const std::string &line, TrialConfig &out);
+
+} // namespace sirius::sim
+
+#endif // SIRIUS_SIM_TRIAL_CONFIG_H

@@ -1,0 +1,270 @@
+#include "sim/trial_run.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "sim/sim_cluster.h"
+
+namespace sirius::sim {
+
+namespace {
+
+SimConfig
+toSimConfig(const TrialConfig &t)
+{
+    SimConfig cfg;
+    cfg.shards = std::max<uint32_t>(1, t.shards);
+    cfg.policy = static_cast<core::RoutingPolicy>(
+        t.policy % core::kRoutingPolicies);
+    cfg.workersPerShard = std::max<uint32_t>(1, t.workers);
+    cfg.queueCapacity = std::max<uint32_t>(1, t.queueCapacity);
+    cfg.failoverRetries = t.failoverRetries;
+    cfg.hedgeSeconds = std::max(0.0, t.hedgeSeconds);
+    cfg.batchEnabled = t.batch;
+    cfg.maxBatchSize = std::max<uint32_t>(1, t.batchSize);
+    cfg.batchWaitSeconds = std::max(0.0001, t.batchWaitSeconds);
+    cfg.cacheEnabled = t.cache;
+    cfg.cacheBudgetBytes = t.cacheBudgetBytes;
+    cfg.cacheTtlSeconds = std::max(0.0, t.cacheTtlSeconds);
+    cfg.planeEnabled = t.plane;
+    cfg.faults.failRate =
+        std::clamp(t.faultRate, 0.0, 1.0);
+    cfg.seed = t.seed;
+    if (t.drill) {
+        // Kill shard 0 a quarter of the way into the arrival window,
+        // revive past the halfway mark — scaled to the workload so a
+        // shrunk two-query repro still exercises the schedule.
+        const double qps = t.arrivalQps > 0.0 ? t.arrivalQps : 1.0;
+        const double duration =
+            static_cast<double>(std::max<uint32_t>(1, t.queries)) /
+            qps;
+        cfg.killAtSeconds = std::max(0.005, 0.25 * duration);
+        cfg.reviveAtSeconds =
+            cfg.killAtSeconds + std::max(0.05, 0.3 * duration);
+        cfg.killShard = 0;
+        cfg.killByFault = true;
+    }
+    return cfg;
+}
+
+SimWorkload
+toWorkload(const TrialConfig &t)
+{
+    SimWorkload load;
+    load.queries = std::max<uint32_t>(1, t.queries);
+    load.arrivalRateQps = t.arrivalQps > 0.0 ? t.arrivalQps : 1.0;
+    load.zipfSkew = std::max(0.0, t.zipfSkew);
+    load.distinctTexts = std::max<uint32_t>(1, t.distinctTexts);
+    return load;
+}
+
+void
+addViolation(TrialReport &report, const std::string &oracle,
+             const std::string &detail)
+{
+    report.violations.push_back({oracle, detail});
+}
+
+void
+checkInvariants(TrialReport &report, const SimResult &result,
+                const SimConfig &cfg)
+{
+    const SimStats &s = result.stats;
+    if (s.offered != s.admitted + s.shed)
+        addViolation(report, "accounting",
+                     "offered " + std::to_string(s.offered) +
+                         " != admitted " + std::to_string(s.admitted) +
+                         " + shed " + std::to_string(s.shed));
+    if (s.admitted != s.completedOk + s.failed)
+        addViolation(report, "accounting",
+                     "admitted " + std::to_string(s.admitted) +
+                         " != ok " + std::to_string(s.completedOk) +
+                         " + failed " + std::to_string(s.failed));
+
+    uint64_t delivery_bugs = 0, answer_bugs = 0, path_bugs = 0;
+    std::string delivery_first, answer_first, path_first;
+    for (const auto &q : result.queries) {
+        const int expect = q.shed ? 0 : 1;
+        if (q.deliveries != expect && delivery_bugs++ == 0)
+            delivery_first = "query " + std::to_string(q.id) + " " +
+                std::to_string(q.deliveries) + " deliveries (want " +
+                std::to_string(expect) + ")";
+        if (!q.shed && !q.failed &&
+            q.answer != expectedAnswer(q.textId) && answer_bugs++ == 0)
+            answer_first = "query " + std::to_string(q.id) +
+                " answer " + std::to_string(q.answer) + " != " +
+                std::to_string(expectedAnswer(q.textId)) +
+                " for text " + std::to_string(q.textId);
+        if (!q.shed) {
+            const double span =
+                q.deliveredSeconds - q.submittedSeconds;
+            const double parts = q.dispatchLagSeconds +
+                q.queueBatchSeconds + q.serviceSeconds;
+            if (std::fabs(span - parts) > 1e-9 && path_bugs++ == 0)
+                path_first = "query " + std::to_string(q.id) +
+                    " segments " + std::to_string(parts) +
+                    " != span " + std::to_string(span);
+        }
+    }
+    if (delivery_bugs > 0 || s.doubleDeliveries > 0)
+        addViolation(report, "exactly_once",
+                     std::to_string(delivery_bugs) +
+                         " queries off (first: " + delivery_first +
+                         "), doubleDeliveries=" +
+                         std::to_string(s.doubleDeliveries));
+    if (answer_bugs > 0)
+        addViolation(report, "answer",
+                     std::to_string(answer_bugs) +
+                         " wrong answers (first: " + answer_first +
+                         ")");
+    if (path_bugs > 0)
+        addViolation(report, "critical_path",
+                     std::to_string(path_bugs) +
+                         " span mismatches (first: " + path_first +
+                         ")");
+
+    for (size_t i = 0; i < s.shardCaches.size(); ++i) {
+        if (s.shardCaches[i].bytes > cfg.cacheBudgetBytes) {
+            addViolation(
+                report, "cache_budget",
+                "shard " + std::to_string(i) + " holds " +
+                    std::to_string(s.shardCaches[i].bytes) +
+                    " bytes > budget " +
+                    std::to_string(cfg.cacheBudgetBytes));
+            break;
+        }
+    }
+
+    if (cfg.planeEnabled) {
+        bool fired = false;
+        for (const auto &event : s.events)
+            fired = fired || event.kind == "alert_fire";
+        if (fired && s.slo.anyFiring())
+            addViolation(report, "alert_clear",
+                         "burn alert still firing after the "
+                         "post-run quiet period");
+    }
+}
+
+/** Compare OK answers between the base run and a differential arm:
+ *  any query delivered OK in both must carry the same answer. */
+void
+diffAnswers(TrialReport &report, const SimResult &base,
+            const SimResult &arm, const std::string &oracle)
+{
+    uint64_t bugs = 0;
+    std::string first;
+    const size_t n = std::min(base.queries.size(), arm.queries.size());
+    if (base.queries.size() != arm.queries.size())
+        addViolation(report, oracle,
+                     "arm saw " + std::to_string(arm.queries.size()) +
+                         " queries, base " +
+                         std::to_string(base.queries.size()));
+    for (size_t i = 0; i < n; ++i) {
+        const auto &b = base.queries[i];
+        const auto &a = arm.queries[i];
+        const bool b_ok = !b.shed && !b.failed;
+        const bool a_ok = !a.shed && !a.failed;
+        if (b_ok && a_ok && b.answer != a.answer && bugs++ == 0)
+            first = "query " + std::to_string(i) + " base answer " +
+                std::to_string(b.answer) + " != arm " +
+                std::to_string(a.answer);
+    }
+    if (bugs > 0)
+        addViolation(report, oracle,
+                     std::to_string(bugs) +
+                         " answer mismatches (first: " + first + ")");
+}
+
+/** The plane must be write-only: toggling it may not change a single
+ *  outcome field or counter. */
+void
+diffPlane(TrialReport &report, const SimResult &base,
+          const SimResult &arm)
+{
+    const SimStats &b = base.stats;
+    const SimStats &a = arm.stats;
+    if (b.admitted != a.admitted || b.shed != a.shed ||
+        b.completedOk != a.completedOk || b.failed != a.failed ||
+        b.legsDispatched != a.legsDispatched ||
+        b.hedgesFired != a.hedgesFired ||
+        b.hedgeWins != a.hedgeWins || b.failovers != a.failovers ||
+        b.probes != a.probes || b.ejections != a.ejections ||
+        b.recoveries != a.recoveries) {
+        addViolation(report, "diff_plane",
+                     "fleet counters changed when the plane was "
+                     "disabled");
+        return;
+    }
+    for (size_t i = 0; i < base.queries.size(); ++i) {
+        const auto &x = base.queries[i];
+        const auto &y = arm.queries[i];
+        if (x.shed != y.shed || x.failed != y.failed ||
+            x.answer != y.answer || x.deliveries != y.deliveries ||
+            x.servedBy != y.servedBy || x.hedged != y.hedged ||
+            x.failedOver != y.failedOver ||
+            x.cacheHit != y.cacheHit ||
+            x.submittedSeconds != y.submittedSeconds ||
+            x.deliveredSeconds != y.deliveredSeconds) {
+            addViolation(report, "diff_plane",
+                         "query " + std::to_string(i) +
+                             " outcome changed when the plane was "
+                             "disabled");
+            return;
+        }
+    }
+}
+
+} // namespace
+
+TrialReport
+runTrial(const TrialConfig &config)
+{
+    TrialReport report;
+    const SimConfig base_cfg = toSimConfig(config);
+    const SimWorkload load = toWorkload(config);
+
+    const SimResult base = runSimulation(base_cfg, load);
+    report.digest = base.digest;
+    report.queries = base.stats.offered;
+
+    const SimResult again = runSimulation(base_cfg, load);
+    if (base.digest != again.digest)
+        addViolation(report, "determinism",
+                     "same-seed digests differ: " +
+                         std::to_string(base.digest) + " vs " +
+                         std::to_string(again.digest));
+
+    checkInvariants(report, base, base_cfg);
+
+    if (base_cfg.batchEnabled) {
+        SimConfig arm = base_cfg;
+        arm.batchEnabled = false;
+        diffAnswers(report, base, runSimulation(arm, load),
+                    "diff_batch");
+    }
+    if (base_cfg.cacheEnabled) {
+        SimConfig arm = base_cfg;
+        arm.cacheEnabled = false;
+        diffAnswers(report, base, runSimulation(arm, load),
+                    "diff_cache");
+    }
+    if (base_cfg.shards > 1) {
+        SimConfig arm = base_cfg;
+        arm.shards = 1;
+        arm.hedgeSeconds = 0.0; // single shard cannot hedge
+        diffAnswers(report, base, runSimulation(arm, load),
+                    "diff_single_shard");
+    }
+    if (base_cfg.planeEnabled) {
+        SimConfig arm = base_cfg;
+        arm.planeEnabled = false;
+        diffPlane(report, base, runSimulation(arm, load));
+    }
+
+    report.ok = report.violations.empty();
+    return report;
+}
+
+} // namespace sirius::sim

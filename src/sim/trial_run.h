@@ -1,0 +1,43 @@
+/**
+ * @file
+ * runTrial: execute one TrialConfig against the simulation and judge
+ * it with every differential oracle and global invariant.
+ *
+ * Declared separately from sim_cluster.h because this is the symbol
+ * the PropertyFuzzer's TrialFn callback binds to — implemented twice,
+ * once in sirius-sim and once (with the planted canary bugs compiled
+ * in) in sirius-sim-canary. A binary links exactly one of the two.
+ */
+
+#ifndef SIRIUS_SIM_TRIAL_RUN_H
+#define SIRIUS_SIM_TRIAL_RUN_H
+
+#include "sim/trial_config.h"
+
+namespace sirius::sim {
+
+/**
+ * Run @p config through the simulation and check:
+ *
+ *  - determinism: two same-seed runs produce the same digest;
+ *  - accounting: offered == admitted + shed and
+ *    admitted == completedOk + failed;
+ *  - exactly-once: every admitted query delivers exactly once (shed
+ *    queries deliver zero times), and no double deliveries counted;
+ *  - answers: every OK delivery returns expectedAnswer(textId), so a
+ *    scatter/cache/replica bug anywhere is a direct value mismatch;
+ *  - critical path: the winning leg's dispatch-lag + queue/batch +
+ *    service segments sum to (delivered - submitted);
+ *  - cache budget: no shard cache ever holds more bytes than its
+ *    configured budget;
+ *  - alert hygiene: if a burn alert ever fired, it has cleared by the
+ *    end of the post-run quiet period;
+ *  - differential arms (each compares OK-delivered answers; the plane
+ *    arm compares every outcome field): batching off ≡ on, cache off ≡
+ *    on, single-shard ≡ sharded-with-failover, plane off ≡ on.
+ */
+TrialReport runTrial(const TrialConfig &config);
+
+} // namespace sirius::sim
+
+#endif // SIRIUS_SIM_TRIAL_RUN_H

@@ -1,0 +1,81 @@
+#include "sim/virtual_executor.h"
+
+#include <utility>
+
+namespace sirius::sim {
+
+uint64_t
+VirtualExecutor::schedule(double delay_seconds, Task task)
+{
+    return at(now() + (delay_seconds > 0.0 ? delay_seconds : 0.0),
+              std::move(task));
+}
+
+uint64_t
+VirtualExecutor::at(double due_seconds, Task task)
+{
+    const double due = due_seconds > now() ? due_seconds : now();
+    const uint64_t seq = nextSeq_++;
+    queue_.emplace(Key{due, seq}, std::move(task));
+    dueBySeq_.emplace(seq, due);
+    return seq;
+}
+
+bool
+VirtualExecutor::cancel(uint64_t id)
+{
+    auto it = dueBySeq_.find(id);
+    if (it == dueBySeq_.end())
+        return false;
+    queue_.erase(Key{it->second, id});
+    dueBySeq_.erase(it);
+    return true;
+}
+
+void
+VirtualExecutor::advanceTo(double due)
+{
+    const double delta = due - clock_.now();
+    if (delta > 0.0)
+        clock_.advance(delta);
+}
+
+size_t
+VirtualExecutor::run(size_t max_events)
+{
+    size_t ran = 0;
+    while (!queue_.empty() && ran < max_events) {
+        auto it = queue_.begin();
+        const Key key = it->first;
+        Task task = std::move(it->second);
+        queue_.erase(it);
+        dueBySeq_.erase(key.second);
+        advanceTo(key.first);
+        ++ran;
+        ++executed_;
+        task();
+    }
+    return ran;
+}
+
+size_t
+VirtualExecutor::runUntil(double until_seconds)
+{
+    size_t ran = 0;
+    while (!queue_.empty() &&
+           queue_.begin()->first.first <= until_seconds) {
+        auto it = queue_.begin();
+        const Key key = it->first;
+        Task task = std::move(it->second);
+        queue_.erase(it);
+        dueBySeq_.erase(key.second);
+        advanceTo(key.first);
+        ++ran;
+        ++executed_;
+        task();
+    }
+    advanceTo(until_seconds);
+    return ran;
+}
+
+} // namespace sirius::sim

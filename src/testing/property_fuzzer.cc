@@ -1,0 +1,217 @@
+#include "testing/property_fuzzer.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace sirius::testing {
+
+namespace {
+
+/** First violation's oracle id — the bug identity shrinking preserves. */
+std::string
+firstOracle(const sim::TrialReport &report)
+{
+    return report.violations.empty() ? std::string()
+                                     : report.violations[0].oracle;
+}
+
+bool
+violatesOracle(const sim::TrialReport &report,
+               const std::string &oracle)
+{
+    for (const auto &v : report.violations)
+        if (v.oracle == oracle)
+            return true;
+    return false;
+}
+
+} // namespace
+
+PropertyFuzzer::PropertyFuzzer(TrialFn trial, FuzzOptions options)
+    : trial_(std::move(trial)), opts_(options)
+{
+}
+
+sim::TrialConfig
+PropertyFuzzer::generate(uint64_t seed)
+{
+    Rng rng(seed * 0x9E3779B97F4A7C15ULL + 0x5151ULL);
+    sim::TrialConfig t;
+    t.seed = seed;
+    t.shards = 1 + static_cast<uint32_t>(rng.below(6));
+    t.policy = static_cast<uint32_t>(rng.below(4));
+    t.workers = 1 + static_cast<uint32_t>(rng.below(3));
+    t.queueCapacity = 4 + static_cast<uint32_t>(rng.below(61));
+    t.failoverRetries = static_cast<uint32_t>(rng.below(3));
+    t.hedgeSeconds =
+        t.shards > 1 && rng.chance(0.3) ? rng.uniform(0.002, 0.02)
+                                        : 0.0;
+    t.batch = rng.chance(0.8);
+    t.batchSize = 1 + static_cast<uint32_t>(rng.below(8));
+    t.batchWaitSeconds = rng.uniform(0.0005, 0.004);
+    t.cache = rng.chance(0.8);
+    t.cacheBudgetBytes = 64u
+        << static_cast<uint32_t>(rng.below(6)); // 64B .. 2KiB
+    t.cacheTtlSeconds =
+        rng.chance(0.3) ? rng.uniform(0.005, 0.1) : 0.0;
+    t.plane = rng.chance(0.7);
+    t.faultRate = rng.chance(0.4) ? rng.uniform(0.0, 0.2) : 0.0;
+    t.drill = t.shards > 1 && rng.chance(0.3);
+    t.queries = 8 + static_cast<uint32_t>(rng.below(120));
+    t.arrivalQps = rng.uniform(100.0, 2000.0);
+    t.zipfSkew = rng.chance(0.7) ? rng.uniform(0.3, 1.2) : 0.0;
+    t.distinctTexts = 4 + static_cast<uint32_t>(rng.below(28));
+    return t;
+}
+
+FuzzResult
+PropertyFuzzer::run()
+{
+    FuzzResult out;
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < opts_.runs; ++i) {
+        if (opts_.maxSeconds > 0.0) {
+            const double elapsed =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            if (elapsed >= opts_.maxSeconds)
+                break;
+        }
+        const sim::TrialConfig config = generate(opts_.seed + i);
+        const sim::TrialReport report = trial_(config);
+        ++out.runs;
+        if (!report.ok) {
+            out.foundFailure = true;
+            if (opts_.shrink) {
+                out.failure = shrink(config, report, i);
+            } else {
+                out.failure.config = config;
+                out.failure.violations = report.violations;
+                out.failure.repro = sim::formatTrialConfig(config);
+                out.failure.runIndex = i;
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+FuzzFailure
+PropertyFuzzer::shrink(const sim::TrialConfig &config,
+                       const sim::TrialReport &report,
+                       size_t run_index)
+{
+    FuzzFailure failure;
+    failure.config = config;
+    failure.violations = report.violations;
+    failure.runIndex = run_index;
+    const std::string oracle = firstOracle(report);
+
+    // Candidate simplifications, cheapest-win first. Each mutates a
+    // copy; a candidate is kept only when the same oracle still
+    // fails, then the pass restarts so reductions compound.
+    using Mutate = bool (*)(sim::TrialConfig &);
+    static constexpr Mutate kMutations[] = {
+        [](sim::TrialConfig &t) {
+            if (t.queries <= 1)
+                return false;
+            t.queries /= 2;
+            return true;
+        },
+        [](sim::TrialConfig &t) {
+            return std::exchange(t.drill, false);
+        },
+        [](sim::TrialConfig &t) {
+            if (t.hedgeSeconds == 0.0)
+                return false;
+            t.hedgeSeconds = 0.0;
+            return true;
+        },
+        [](sim::TrialConfig &t) {
+            if (t.faultRate == 0.0)
+                return false;
+            t.faultRate = 0.0;
+            return true;
+        },
+        [](sim::TrialConfig &t) {
+            if (t.failoverRetries == 0)
+                return false;
+            t.failoverRetries = 0;
+            return true;
+        },
+        [](sim::TrialConfig &t) {
+            return std::exchange(t.cache, false);
+        },
+        [](sim::TrialConfig &t) {
+            return std::exchange(t.batch, false);
+        },
+        [](sim::TrialConfig &t) {
+            return std::exchange(t.plane, false);
+        },
+        [](sim::TrialConfig &t) {
+            if (t.shards <= 1)
+                return false;
+            t.shards = t.shards / 2;
+            return true;
+        },
+        [](sim::TrialConfig &t) {
+            if (t.batchSize <= 1)
+                return false;
+            t.batchSize /= 2;
+            return true;
+        },
+        [](sim::TrialConfig &t) {
+            if (t.workers <= 1)
+                return false;
+            t.workers = 1;
+            return true;
+        },
+        [](sim::TrialConfig &t) {
+            if (t.distinctTexts <= 1)
+                return false;
+            t.distinctTexts /= 2;
+            return true;
+        },
+        [](sim::TrialConfig &t) {
+            if (t.cacheTtlSeconds == 0.0)
+                return false;
+            t.cacheTtlSeconds = 0.0;
+            return true;
+        },
+        [](sim::TrialConfig &t) {
+            if (t.zipfSkew == 0.0)
+                return false;
+            t.zipfSkew = 0.0;
+            return true;
+        },
+    };
+
+    size_t trials = 0;
+    bool improved = true;
+    while (improved && trials < opts_.maxShrinkSteps) {
+        improved = false;
+        for (const auto &mutate : kMutations) {
+            if (trials >= opts_.maxShrinkSteps)
+                break;
+            sim::TrialConfig candidate = failure.config;
+            if (!mutate(candidate))
+                continue;
+            ++trials;
+            const sim::TrialReport check = trial_(candidate);
+            if (!check.ok && violatesOracle(check, oracle)) {
+                failure.config = candidate;
+                failure.violations = check.violations;
+                ++failure.shrinkSteps;
+                improved = true;
+                break; // restart the pass from the cheapest mutation
+            }
+        }
+    }
+    failure.repro = sim::formatTrialConfig(failure.config);
+    return failure;
+}
+
+} // namespace sirius::testing

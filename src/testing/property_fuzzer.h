@@ -1,0 +1,96 @@
+/**
+ * @file
+ * PropertyFuzzer: randomized workload+config generation, oracle-driven
+ * failure detection, and greedy shrinking to a one-line repro.
+ *
+ * The fuzzer owns the *search*: it derives a TrialConfig from each
+ * run's seed (every knob of the serving stack — shard count, routing
+ * policy, batch shape, cache budgets and TTLs, hedging, fault rates,
+ * kill/revive drills — plus the workload), hands it to a TrialFn, and
+ * inspects the TrialReport. What a trial *means* (the differential
+ * oracles and invariants) lives behind the callback, so this library
+ * links only sirius-trial + sirius-common and the same fuzzer drives
+ * both the normal simulation and the canary-bug build without ODR
+ * trouble.
+ *
+ * On failure the fuzzer shrinks: it repeatedly tries a simpler config
+ * (fewer queries, knobs off, fewer shards) and keeps each candidate
+ * only if the *same oracle* still fails — so the repro that comes out
+ * is the smallest config this greedy pass can find that still shows
+ * the original bug, printable as one formatTrialConfig() line.
+ */
+
+#ifndef SIRIUS_TESTING_PROPERTY_FUZZER_H
+#define SIRIUS_TESTING_PROPERTY_FUZZER_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/trial_config.h"
+
+namespace sirius::testing {
+
+/** The system under test: one trial in, one judged report out. */
+using TrialFn =
+    std::function<sim::TrialReport(const sim::TrialConfig &)>;
+
+/** Fuzzing campaign knobs. */
+struct FuzzOptions
+{
+    uint64_t seed = 1;  ///< campaign seed; run i uses seed + i
+    size_t runs = 200;  ///< trial budget
+    /** Wall-clock budget in seconds; 0 = unlimited (runs only).
+     *  Checked between trials, so the campaign overshoots by at most
+     *  one trial. */
+    double maxSeconds = 0.0;
+    bool shrink = true;
+    size_t maxShrinkSteps = 64; ///< trial budget of the shrink pass
+};
+
+/** A failing trial, after shrinking. */
+struct FuzzFailure
+{
+    sim::TrialConfig config; ///< smallest config still failing
+    std::vector<sim::TrialViolation> violations; ///< on that config
+    std::string repro;   ///< one line: formatTrialConfig(config)
+    size_t runIndex = 0; ///< which campaign run found it
+    size_t shrinkSteps = 0; ///< accepted simplifications
+};
+
+/** Campaign outcome. */
+struct FuzzResult
+{
+    size_t runs = 0; ///< trials executed (excluding shrink trials)
+    bool foundFailure = false;
+    FuzzFailure failure; ///< valid when foundFailure
+};
+
+class PropertyFuzzer
+{
+  public:
+    PropertyFuzzer(TrialFn trial, FuzzOptions options);
+
+    /** The config derived from @p seed — pure, so a campaign can be
+     *  replayed run-by-run. Exposed for tests. */
+    static sim::TrialConfig generate(uint64_t seed);
+
+    /** Run the campaign: stop at the first failure (shrunk when
+     *  options.shrink) or when the run/time budget is spent. */
+    FuzzResult run();
+
+    /** Shrink @p config, keeping only candidates that still violate
+     *  the same oracle as @p report's first violation. */
+    FuzzFailure shrink(const sim::TrialConfig &config,
+                       const sim::TrialReport &report,
+                       size_t run_index);
+
+  private:
+    TrialFn trial_;
+    FuzzOptions opts_;
+};
+
+} // namespace sirius::testing
+
+#endif // SIRIUS_TESTING_PROPERTY_FUZZER_H

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * fuzz_driver: command-line front end for the property fuzzer and the
+ * simulation chaos drill.
+ *
+ * Modes (first match wins):
+ *   --replay "k=v,..."   re-run one trial from a repro line; exit 1 on
+ *                        any oracle violation.
+ *   --corpus DIR         replay every repro line in every file of DIR
+ *                        (blank lines and #-comments skipped).
+ *   --drill              run the canonical 4-shard kill/revive chaos
+ *                        drill on virtual time and assert the full
+ *                        eject -> alert -> recover -> clear arc.
+ *   (default)            fuzz campaign; --profile smoke is the tier-1
+ *                        budget (200 runs), --profile nightly the long
+ *                        one (unbounded runs, wall-clock capped).
+ *
+ * Common flags: --seed N, --runs N, --minutes M (wall budget),
+ * --no-shrink.
+ *
+ * On a campaign failure the last line printed is the one-line repro:
+ *   FUZZ-REPRO seed=...,shards=...,...
+ * paste it into --replay (or a file under tests/corpus/) verbatim.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/sim_cluster.h"
+#include "sim/trial_run.h"
+#include "testing/property_fuzzer.h"
+
+namespace {
+
+using sirius::sim::TrialConfig;
+using sirius::sim::TrialReport;
+
+void
+printViolations(const TrialReport &report)
+{
+    for (const auto &v : report.violations)
+        std::printf("  VIOLATION [%s] %s\n", v.oracle.c_str(),
+                    v.detail.c_str());
+}
+
+int
+replayLine(const std::string &line, const char *origin)
+{
+    TrialConfig config;
+    if (!sirius::sim::parseTrialConfig(line, config)) {
+        std::printf("FAIL %s: unparseable repro line: %s\n", origin,
+                    line.c_str());
+        return 1;
+    }
+    const TrialReport report = sirius::sim::runTrial(config);
+    if (!report.ok) {
+        std::printf("FAIL %s: %zu violation(s) for %s\n", origin,
+                    report.violations.size(), line.c_str());
+        printViolations(report);
+        return 1;
+    }
+    std::printf("ok   %s: %s\n", origin, line.c_str());
+    return 0;
+}
+
+int
+replayCorpus(const std::string &dir)
+{
+    int failures = 0;
+    size_t lines = 0;
+    std::vector<std::filesystem::path> files;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir))
+        if (entry.is_regular_file())
+            files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+    for (const auto &path : files) {
+        std::ifstream in(path);
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.empty() || line[0] == '#')
+                continue;
+            ++lines;
+            failures += replayLine(line, path.filename().c_str());
+        }
+    }
+    std::printf("corpus: %zu repro line(s), %d failure(s)\n", lines,
+                failures);
+    if (lines == 0) {
+        std::printf("FAIL corpus: no repro lines found in %s\n",
+                    dir.c_str());
+        return 1;
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+int
+runDrill(uint64_t seed)
+{
+    const auto report = sirius::sim::runChaosDrill(seed);
+    const auto &stats = report.result.stats;
+    std::printf("chaos drill seed=%llu: offered=%llu ok=%llu "
+                "failed=%llu shed=%llu failovers=%llu probes=%llu "
+                "ejections=%llu recoveries=%llu events=%zu "
+                "digest=%016llx\n",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(stats.offered),
+                static_cast<unsigned long long>(stats.completedOk),
+                static_cast<unsigned long long>(stats.failed),
+                static_cast<unsigned long long>(stats.shed),
+                static_cast<unsigned long long>(stats.failovers),
+                static_cast<unsigned long long>(stats.probes),
+                static_cast<unsigned long long>(stats.ejections),
+                static_cast<unsigned long long>(stats.recoveries),
+                stats.events.size(),
+                static_cast<unsigned long long>(
+                    report.result.digest));
+    std::printf("  arc: ejected=%d alert_fired=%d recovered=%d "
+                "alert_cleared=%d healthy_at_end=%zu/4\n",
+                report.ejected ? 1 : 0, report.alertFired ? 1 : 0,
+                report.recovered ? 1 : 0, report.alertCleared ? 1 : 0,
+                stats.healthyShardsAtEnd);
+    const bool ok = report.ejected && report.alertFired &&
+        report.recovered && report.alertCleared &&
+        stats.healthyShardsAtEnd == 4;
+    std::printf("%s\n", ok ? "DRILL PASS" : "DRILL FAIL");
+    return ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint64_t seed = 1;
+    size_t runs = 200;
+    double minutes = 0.0;
+    bool shrink = true;
+    bool drill = false;
+    std::string replay;
+    std::string corpus;
+    std::string profile;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--seed")
+            seed = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--runs")
+            runs = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--minutes")
+            minutes = std::strtod(next(), nullptr);
+        else if (arg == "--profile")
+            profile = next();
+        else if (arg == "--replay")
+            replay = next();
+        else if (arg == "--corpus")
+            corpus = next();
+        else if (arg == "--drill")
+            drill = true;
+        else if (arg == "--no-shrink")
+            shrink = false;
+        else {
+            std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+            return 2;
+        }
+    }
+
+    if (!replay.empty())
+        return replayLine(replay, "--replay");
+    if (!corpus.empty())
+        return replayCorpus(corpus);
+    if (drill)
+        return runDrill(seed);
+
+    sirius::testing::FuzzOptions options;
+    options.seed = seed;
+    options.runs = runs;
+    options.shrink = shrink;
+    if (profile == "smoke") {
+        options.runs = 200;
+    } else if (profile == "nightly") {
+        options.runs = SIZE_MAX; // wall-clock capped instead
+        if (minutes <= 0.0)
+            minutes = 20.0;
+    } else if (!profile.empty()) {
+        std::fprintf(stderr,
+                     "--profile must be smoke or nightly, got %s\n",
+                     profile.c_str());
+        return 2;
+    }
+    if (minutes > 0.0)
+        options.maxSeconds = minutes * 60.0;
+
+    sirius::testing::PropertyFuzzer fuzzer(sirius::sim::runTrial,
+                                           options);
+    const auto result = fuzzer.run();
+    std::printf("fuzz: %zu run(s), seed=%llu\n", result.runs,
+                static_cast<unsigned long long>(seed));
+    if (!result.foundFailure) {
+        std::printf("FUZZ PASS\n");
+        return 0;
+    }
+    const auto &failure = result.failure;
+    std::printf("FUZZ FAIL at run %zu (%zu shrink step(s)):\n",
+                failure.runIndex, failure.shrinkSteps);
+    TrialReport final_report;
+    final_report.violations = failure.violations;
+    printViolations(final_report);
+    std::printf("FUZZ-REPRO %s\n", failure.repro.c_str());
+    return 1;
+}

@@ -574,6 +574,125 @@ TEST(Strings, FormatLikePrintf)
     EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
 }
 
+TEST(Strings, JsonStringRoundTripsThroughTheScanner)
+{
+    // Every event-log line and trace span goes through
+    // appendJsonString on the way out and JsonScanner on the way back
+    // (log replay, trace stitching); the pair must be lossless for
+    // anything a query or an answer can contain.
+    const std::vector<std::string> cases = {
+        "",
+        "plain",
+        "spaces and\ttabs",
+        "line\nbreak\rreturn",
+        "quote\"back\\slash",
+        "controls \x01\x02\x1f end",
+        "mixed: \"a\\b\"\n\t\x7f",
+    };
+    for (const auto &original : cases) {
+        std::string encoded;
+        appendJsonString(encoded, original);
+        ASSERT_GE(encoded.size(), 2u);
+        EXPECT_EQ(encoded.front(), '"');
+        EXPECT_EQ(encoded.back(), '"');
+        // The wire form must be a single line: raw newlines inside the
+        // literal would corrupt the JSONL framing.
+        EXPECT_EQ(encoded.find('\n'), std::string::npos);
+        JsonScanner scanner(encoded);
+        std::string decoded;
+        ASSERT_TRUE(scanner.parseString(decoded)) << encoded;
+        EXPECT_EQ(decoded, original);
+        EXPECT_TRUE(scanner.done());
+    }
+}
+
+TEST(Strings, JsonScannerReadsAFlatEventLogObject)
+{
+    std::string line = "{\"kind\": ";
+    appendJsonString(line, "shard_eject\"\n");
+    line += ", \"t\": 0.125, \"shard\": 3}";
+    JsonScanner scanner(line);
+    ASSERT_TRUE(scanner.expect('{'));
+    std::string key, kind;
+    ASSERT_TRUE(scanner.parseString(key));
+    EXPECT_EQ(key, "kind");
+    ASSERT_TRUE(scanner.expect(':'));
+    ASSERT_TRUE(scanner.parseString(kind));
+    EXPECT_EQ(kind, "shard_eject\"\n");
+    ASSERT_TRUE(scanner.expect(','));
+    double t = 0.0, shard = 0.0;
+    ASSERT_TRUE(scanner.parseString(key));
+    ASSERT_TRUE(scanner.expect(':'));
+    ASSERT_TRUE(scanner.parseNumber(t));
+    EXPECT_DOUBLE_EQ(t, 0.125);
+    ASSERT_TRUE(scanner.expect(','));
+    ASSERT_TRUE(scanner.parseString(key));
+    ASSERT_TRUE(scanner.expect(':'));
+    ASSERT_TRUE(scanner.parseNumber(shard));
+    EXPECT_DOUBLE_EQ(shard, 3.0);
+    ASSERT_TRUE(scanner.expect('}'));
+    EXPECT_TRUE(scanner.done());
+}
+
+TEST(Zipf, SkewedDrawsFavourLowRanks)
+{
+    // With s=1 over 16 items the head must dominate: rank 0 appears
+    // roughly 1/H(16) ~ 30% of the time, and the top four ranks
+    // together take the clear majority of draws.
+    ZipfSampler sampler(16, 1.0);
+    Rng rng(99);
+    std::vector<size_t> counts(sampler.size(), 0);
+    const size_t draws = 20000;
+    for (size_t i = 0; i < draws; ++i)
+        ++counts[sampler.draw(rng)];
+    EXPECT_GT(counts[0], counts[8] * 4);
+    EXPECT_GT(counts[0], draws / 5);
+    const size_t head =
+        counts[0] + counts[1] + counts[2] + counts[3];
+    EXPECT_GT(head, draws / 2);
+    // Heavier skew concentrates further: under s=2 the head item
+    // takes a strictly larger share than under s=1.
+    ZipfSampler heavy(16, 2.0);
+    Rng rng2(99);
+    std::vector<size_t> heavyCounts(heavy.size(), 0);
+    for (size_t i = 0; i < draws; ++i)
+        ++heavyCounts[heavy.draw(rng2)];
+    EXPECT_GT(heavyCounts[0], counts[0]);
+}
+
+TEST(Zipf, ZeroSkewIsUniform)
+{
+    ZipfSampler sampler(8, 0.0);
+    Rng rng(5);
+    std::vector<size_t> counts(sampler.size(), 0);
+    const size_t draws = 32000;
+    for (size_t i = 0; i < draws; ++i)
+        ++counts[sampler.draw(rng)];
+    const double expected =
+        static_cast<double>(draws) / static_cast<double>(counts.size());
+    for (const size_t count : counts) {
+        EXPECT_GT(static_cast<double>(count), expected * 0.85);
+        EXPECT_LT(static_cast<double>(count), expected * 1.15);
+    }
+}
+
+TEST(Zipf, DrawsAreDeterministicPerSeedAndSamplerIsShareable)
+{
+    // The sampler itself is immutable state: two Rngs with the same
+    // seed walking one shared sampler must produce identical streams,
+    // and a different seed must diverge somewhere.
+    ZipfSampler sampler(24, 0.9);
+    Rng a(1234), b(1234), c(4321);
+    bool diverged = false;
+    for (int i = 0; i < 256; ++i) {
+        const size_t fromA = sampler.draw(a);
+        EXPECT_EQ(fromA, sampler.draw(b));
+        if (fromA != sampler.draw(c))
+            diverged = true;
+    }
+    EXPECT_TRUE(diverged);
+}
+
 TEST(Timer, StopwatchMovesForward)
 {
     Stopwatch watch;

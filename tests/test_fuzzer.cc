@@ -1,0 +1,167 @@
+/**
+ * Tests for the PropertyFuzzer machinery itself: config generation,
+ * campaign control, and shrinking — driven both by synthetic TrialFn
+ * stubs (so shrink behaviour is fully controlled) and by the real
+ * simulation (a smoke-sized clean campaign).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/trial_run.h"
+#include "testing/property_fuzzer.h"
+
+namespace {
+
+using sirius::sim::TrialConfig;
+using sirius::sim::TrialReport;
+using sirius::testing::FuzzOptions;
+using sirius::testing::PropertyFuzzer;
+
+TEST(PropertyFuzzer, GenerationIsPureInTheSeed)
+{
+    const TrialConfig a = PropertyFuzzer::generate(42);
+    const TrialConfig b = PropertyFuzzer::generate(42);
+    EXPECT_EQ(sirius::sim::formatTrialConfig(a),
+              sirius::sim::formatTrialConfig(b));
+    const TrialConfig c = PropertyFuzzer::generate(43);
+    EXPECT_NE(sirius::sim::formatTrialConfig(a),
+              sirius::sim::formatTrialConfig(c));
+}
+
+TEST(PropertyFuzzer, GeneratedConfigsStayInBounds)
+{
+    for (uint64_t seed = 0; seed < 200; ++seed) {
+        const TrialConfig t = PropertyFuzzer::generate(seed);
+        EXPECT_GE(t.shards, 1u);
+        EXPECT_LE(t.shards, 6u);
+        EXPECT_LT(t.policy, 4u);
+        EXPECT_GE(t.workers, 1u);
+        EXPECT_GE(t.queueCapacity, 4u);
+        EXPECT_GE(t.batchSize, 1u);
+        EXPECT_GE(t.queries, 8u);
+        EXPECT_GE(t.distinctTexts, 4u);
+        EXPECT_GE(t.batchWaitSeconds, 0.0005);
+        EXPECT_LE(t.faultRate, 0.2);
+        if (t.drill || t.hedgeSeconds > 0.0)
+            EXPECT_GT(t.shards, 1u);
+    }
+}
+
+TEST(PropertyFuzzer, CleanSystemSurvivesACampaign)
+{
+    FuzzOptions options;
+    options.seed = 7;
+    options.runs = 25; // the full 200-run smoke lives in fuzz_driver
+    PropertyFuzzer fuzzer(sirius::sim::runTrial, options);
+    const auto result = fuzzer.run();
+    EXPECT_EQ(result.runs, 25u);
+    EXPECT_FALSE(result.foundFailure)
+        << result.failure.repro << " — "
+        << (result.failure.violations.empty()
+                ? "?"
+                : result.failure.violations[0].oracle + ": " +
+                    result.failure.violations[0].detail);
+}
+
+TEST(PropertyFuzzer, StopsAtFirstFailureAndReportsRepro)
+{
+    // Synthetic SUT: trials fail whenever queries is even.
+    auto trial = [](const TrialConfig &t) {
+        TrialReport report;
+        report.queries = t.queries;
+        if (t.queries % 2 == 0) {
+            report.ok = false;
+            report.violations.push_back({"parity", "even queries"});
+        }
+        return report;
+    };
+    FuzzOptions options;
+    options.runs = 500;
+    options.shrink = false;
+    PropertyFuzzer fuzzer(trial, options);
+    const auto result = fuzzer.run();
+    ASSERT_TRUE(result.foundFailure);
+    EXPECT_LE(result.runs, 500u);
+    EXPECT_EQ(result.failure.config.queries % 2, 0u);
+    TrialConfig parsed;
+    ASSERT_TRUE(
+        sirius::sim::parseTrialConfig(result.failure.repro, parsed));
+    EXPECT_EQ(parsed.queries, result.failure.config.queries);
+}
+
+TEST(PropertyFuzzer, ShrinkMinimizesWhilePreservingTheOracle)
+{
+    // Fails whenever queries >= 3: minimal failing count is 3 (via
+    // repeated halving from wherever the campaign first failed).
+    auto trial = [](const TrialConfig &t) {
+        TrialReport report;
+        report.queries = t.queries;
+        if (t.queries >= 3) {
+            report.ok = false;
+            report.violations.push_back(
+                {"too_many", std::to_string(t.queries)});
+        }
+        return report;
+    };
+    FuzzOptions options;
+    options.runs = 10;
+    options.shrink = true;
+    PropertyFuzzer fuzzer(trial, options);
+    const auto result = fuzzer.run();
+    ASSERT_TRUE(result.foundFailure);
+    EXPECT_GT(result.failure.shrinkSteps, 0u);
+    // Halving can't go below 3 without the failure vanishing.
+    EXPECT_GE(result.failure.config.queries, 3u);
+    EXPECT_LE(result.failure.config.queries, 5u);
+    // Every accessory knob was shrunk off along the way.
+    EXPECT_FALSE(result.failure.config.drill);
+    EXPECT_EQ(result.failure.config.hedgeSeconds, 0.0);
+    EXPECT_EQ(result.failure.config.faultRate, 0.0);
+    EXPECT_FALSE(result.failure.config.cache);
+    EXPECT_FALSE(result.failure.config.batch);
+    EXPECT_EQ(result.failure.config.shards, 1u);
+}
+
+TEST(PropertyFuzzer, ShrinkRefusesCandidatesThatChangeTheOracle)
+{
+    // Original bug fires only with batching ON; with batching off a
+    // *different* oracle trips. The shrinker must keep batch=true and
+    // never report the decoy oracle.
+    auto trial = [](const TrialConfig &t) {
+        TrialReport report;
+        report.queries = t.queries;
+        if (t.batch) {
+            report.ok = false;
+            report.violations.push_back({"batch_bug", "x"});
+        } else {
+            report.ok = false;
+            report.violations.push_back({"decoy", "y"});
+        }
+        return report;
+    };
+    FuzzOptions options;
+    options.runs = 50;
+    PropertyFuzzer fuzzer(trial, options);
+    const auto result = fuzzer.run();
+    ASSERT_TRUE(result.foundFailure);
+    EXPECT_TRUE(result.failure.config.batch);
+    ASSERT_FALSE(result.failure.violations.empty());
+    EXPECT_EQ(result.failure.violations[0].oracle, "batch_bug");
+}
+
+TEST(PropertyFuzzer, WallClockBudgetStopsTheCampaign)
+{
+    auto trial = [](const TrialConfig &) { return TrialReport{}; };
+    FuzzOptions options;
+    options.runs = SIZE_MAX; // would never stop on runs alone
+    options.maxSeconds = 0.05;
+    PropertyFuzzer fuzzer(trial, options);
+    const auto result = fuzzer.run();
+    EXPECT_FALSE(result.foundFailure);
+    EXPECT_GT(result.runs, 0u);
+    EXPECT_LT(result.runs, SIZE_MAX);
+}
+
+} // namespace
