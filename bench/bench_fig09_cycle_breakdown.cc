@@ -12,6 +12,7 @@
 
 #include "bench_util.h"
 #include "common/profiler.h"
+#include "common/simd.h"
 #include "core/pipeline.h"
 #include "core/query_set.h"
 
@@ -53,6 +54,7 @@ int
 main()
 {
     bench::banner("Figure 9: Cycle Breakdown per Service");
+    std::printf("%s\n", simd::describeDispatch().c_str());
 
     std::printf("building pipelines (GMM and DNN ASR backends)...\n");
     SiriusConfig gmm_config;

@@ -46,6 +46,7 @@
 #include "accel/latency.h"
 #include "bench_util.h"
 #include "common/flight_recorder.h"
+#include "common/simd.h"
 #include "common/slo.h"
 #include "common/timer.h"
 #include "core/cluster.h"
@@ -362,6 +363,7 @@ runShardScaling(const std::vector<size_t> &shard_counts,
 int
 main(int argc, char **argv)
 {
+    std::printf("%s\n", simd::describeDispatch().c_str());
     if (argc > 1 && std::strcmp(argv[1], "--measured") == 0) {
         std::vector<size_t> shard_counts;
         size_t batch_size = 8;

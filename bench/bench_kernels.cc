@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Microbenchmark for the SIMD kernel layer (common/simd.h): every
+ * dispatched kernel A/B'd against its scalar reference at the shapes
+ * the pipelines actually run (DNN hidden layers 256x256, GMM scoring
+ * over the full 37-state model, 64-d SURF descriptors, ...). Prints
+ * per-kernel GB/s and the speedup vs scalar, verifies the bitwise
+ * identity contract on the way, and attributes time to a Profiler so
+ * the breakdown composes with the Fig-9 harness.
+ *
+ * `--json` emits one machine-readable object (the format checked in as
+ * BENCH_kernels.json; see docs/BENCHMARKS.md for regeneration).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/profiler.h"
+#include "common/rng.h"
+#include "common/simd.h"
+#include "common/timer.h"
+
+using namespace sirius;
+using namespace sirius::simd;
+
+namespace {
+
+/** One kernel case: fills work buffers, runs one call, reports the
+ *  bytes one call streams (for GB/s). */
+struct KernelCase
+{
+    std::string name;
+    std::string shape;
+    double bytesPerCall = 0.0;
+    // Run one kernel invocation with @p table, writing into out.
+    void (*run)(const KernelTable &table, struct Workspace &ws) =
+        nullptr;
+};
+
+/** Shared pre-generated operands, sized for the largest case. */
+struct Workspace
+{
+    // matvec/matmul at the DNN hidden-layer shape.
+    static constexpr size_t kRows = 256, kCols = 256, kBatch = 32;
+    std::vector<float> a, b, v, outF32;
+    // GMM scoring: the full acoustic model flattened (37 states x 3
+    // components) over 39-d features, plus a 32-frame batch.
+    static constexpr size_t kComps = 111, kDim = 39, kFrames = 32;
+    std::vector<std::vector<float>> means, invVars;
+    std::vector<const float *> meanPtrs, invVarPtrs;
+    std::vector<float> logNorms, frame;
+    std::vector<double> xFrames, accF64, outF64;
+    // SURF: 64 descriptors of 64-d, plus a VGA integral table row.
+    static constexpr size_t kDescs = 64, kDescDim = 64;
+    static constexpr int kImgW = 640, kImgH = 480;
+    static constexpr int kHessianCount = 600;
+    std::vector<std::vector<float>> descs;
+    std::vector<const float *> descPtrs;
+    std::vector<double> integral;
+    std::vector<float> responses;
+    std::vector<uint8_t> laplacians;
+    // FFT: one 512-point pass + power spectrum.
+    static constexpr size_t kFft = 512;
+    std::vector<double> fftData, fftScratch, twiddles, norms;
+    // Viterbi and row ops.
+    static constexpr size_t kTags = 12;
+    static constexpr size_t kRow = 4096;
+    std::vector<double> prev, trans, best, rowAcc, rowX;
+    std::vector<int32_t> arg;
+    std::vector<float> relu;
+
+    explicit Workspace(Rng &rng)
+    {
+        const auto f32 = [&rng](size_t n) {
+            std::vector<float> out(n);
+            for (auto &x : out)
+                x = static_cast<float>(rng.uniform(-1.0, 1.0));
+            return out;
+        };
+        const auto f64 = [&rng](size_t n) {
+            std::vector<double> out(n);
+            for (auto &x : out)
+                x = rng.uniform(-1.0, 1.0);
+            return out;
+        };
+        a = f32(kRows * kCols);
+        b = f32(kCols * kBatch);
+        v = f32(kCols);
+        outF32.resize(kRows * kBatch);
+        for (size_t c = 0; c < kComps; ++c) {
+            means.push_back(f32(kDim));
+            auto iv = f32(kDim);
+            for (auto &x : iv)
+                x = 0.5f + x * x;
+            invVars.push_back(std::move(iv));
+            logNorms.push_back(
+                static_cast<float>(rng.uniform(-10.0, 0.0)));
+        }
+        for (size_t c = 0; c < kComps; ++c) {
+            meanPtrs.push_back(means[c].data());
+            invVarPtrs.push_back(invVars[c].data());
+        }
+        frame = f32(kDim);
+        xFrames = f64(kDim * kFrames);
+        accF64.resize(kFrames);
+        outF64.resize(kComps);
+        for (size_t i = 0; i < kDescs; ++i)
+            descs.push_back(f32(kDescDim));
+        for (size_t i = 0; i < kDescs; ++i)
+            descPtrs.push_back(descs[i].data());
+        integral = f64(static_cast<size_t>(kImgW + 1) * (kImgH + 1));
+        responses.resize(kHessianCount);
+        laplacians.resize(kHessianCount);
+        fftData = f64(2 * kFft);
+        fftScratch.resize(2 * kFft);
+        twiddles = f64(kFft);
+        norms.resize(kFft);
+        prev = f64(kTags);
+        trans = f64(kTags * kTags);
+        best.resize(kTags);
+        arg.resize(kTags);
+        rowAcc = f64(kRow);
+        rowX = f64(kRow);
+        relu = f32(2 * kRow);
+    }
+};
+
+const KernelCase kCases[] = {
+    {"matvec_f32", "256x256",
+     (Workspace::kRows * Workspace::kCols + Workspace::kCols +
+      Workspace::kRows) *
+         4.0,
+     [](const KernelTable &t, Workspace &ws) {
+         t.matvecF32(ws.a.data(), ws.kRows, ws.kCols, ws.v.data(),
+                     ws.outF32.data());
+     }},
+    {"matmul_f32", "256x256x32",
+     (Workspace::kRows * Workspace::kCols +
+      Workspace::kCols * Workspace::kBatch +
+      Workspace::kRows * Workspace::kBatch) *
+         4.0,
+     [](const KernelTable &t, Workspace &ws) {
+         t.matmulF32(ws.a.data(), ws.kRows, ws.kCols, ws.b.data(),
+                     ws.kBatch, ws.outF32.data());
+     }},
+    {"gmm_mixture_f64", "111x39",
+     Workspace::kComps * (Workspace::kDim * 8.0 + 12.0) +
+         Workspace::kDim * 4.0,
+     [](const KernelTable &t, Workspace &ws) {
+         t.gmmMixtureF64(ws.frame.data(), ws.kDim, ws.meanPtrs.data(),
+                         ws.invVarPtrs.data(), ws.logNorms.data(),
+                         ws.kComps, ws.outF64.data());
+     }},
+    {"gmm_lanes_f64", "32x39",
+     Workspace::kDim * Workspace::kFrames * 8.0 +
+         Workspace::kDim * 8.0 + Workspace::kFrames * 16.0,
+     [](const KernelTable &t, Workspace &ws) {
+         t.gmmLanesF64(ws.accF64.data(), ws.xFrames.data(), ws.kFrames,
+                       ws.means[0].data(), ws.invVars[0].data(),
+                       ws.kDim);
+     }},
+    {"desc_dist_f32", "64x64",
+     (Workspace::kDescs * Workspace::kDescDim + Workspace::kDescDim +
+      Workspace::kDescs) *
+         4.0,
+     [](const KernelTable &t, Workspace &ws) {
+         t.descDistF32(ws.descs[0].data(), ws.descPtrs.data(),
+                       ws.kDescs, ws.kDescDim, ws.outF32.data());
+     }},
+    {"hessian_row_f64", "600x9",
+     Workspace::kHessianCount * (32 * 8.0 + 5.0),
+     [](const KernelTable &t, Workspace &ws) {
+         t.hessianRowF64(ws.integral.data(), ws.kImgW + 1, 12, 5, 1,
+                         ws.kHessianCount, 9, 3,
+                         1.0 / 81.0, ws.responses.data(),
+                         ws.laplacians.data());
+     }},
+    {"fft_pass_f64", "512pt",
+     Workspace::kFft * 32.0 + Workspace::kFft * 8.0,
+     [](const KernelTable &t, Workspace &ws) {
+         std::memcpy(ws.fftScratch.data(), ws.fftData.data(),
+                     ws.fftData.size() * sizeof(double));
+         t.fftPassF64(ws.fftScratch.data(), ws.kFft, ws.kFft,
+                      ws.twiddles.data());
+     }},
+    {"complex_norm_f64", "512",
+     Workspace::kFft * 24.0,
+     [](const KernelTable &t, Workspace &ws) {
+         t.complexNormF64(ws.fftData.data(), ws.kFft, ws.norms.data());
+     }},
+    {"viterbi_step_f64", "12tags",
+     (Workspace::kTags * Workspace::kTags + 3 * Workspace::kTags) * 8.0,
+     [](const KernelTable &t, Workspace &ws) {
+         t.viterbiStepF64(ws.prev.data(), ws.trans.data(), ws.kTags,
+                          ws.best.data(), ws.arg.data());
+     }},
+    {"axpy_f64", "4096",
+     Workspace::kRow * 24.0,
+     [](const KernelTable &t, Workspace &ws) {
+         t.axpyF64(ws.rowAcc.data(), ws.rowX.data(), 0.001, ws.kRow);
+     }},
+    {"relu_f32", "8192",
+     2 * Workspace::kRow * 8.0,
+     [](const KernelTable &t, Workspace &ws) {
+         t.reluF32(ws.relu.data(), ws.relu.size());
+     }},
+};
+
+struct ArmTimes
+{
+    double scalarSpc; // seconds per call, scalar arm
+    double simdSpc;   // seconds per call, dispatched arm
+};
+
+/** Time both arms of one case with interleaved blocks. Alternating
+ *  short blocks sees host noise and frequency drift symmetrically
+ *  (back-to-back arms would not), and the per-call minimum over many
+ *  blocks estimates each arm's true cost.
+ *  @return best-block seconds per call for each arm. */
+ArmTimes
+timeCase(const KernelCase &c, const KernelTable &scalar,
+         const KernelTable &dispatched, Workspace &ws_scalar,
+         Workspace &ws_simd, Profiler &profiler,
+         const std::string &simd_arm, double min_seconds)
+{
+    // Warm up (and page in the buffers).
+    for (int i = 0; i < 3; ++i) {
+        c.run(scalar, ws_scalar);
+        c.run(dispatched, ws_simd);
+    }
+    constexpr int kBlock = 16;
+    ArmTimes best = {1e300, 1e300};
+    double spent = 0.0;
+    while (spent < 2.0 * min_seconds) {
+        {
+            auto scope = profiler.scope(c.name + "/scalar");
+            Stopwatch block;
+            for (int i = 0; i < kBlock; ++i)
+                c.run(scalar, ws_scalar);
+            const double spc = block.seconds() / kBlock;
+            spent += block.seconds();
+            if (spc < best.scalarSpc)
+                best.scalarSpc = spc;
+        }
+        {
+            auto scope = profiler.scope(c.name + "/" + simd_arm);
+            Stopwatch block;
+            for (int i = 0; i < kBlock; ++i)
+                c.run(dispatched, ws_simd);
+            const double spc = block.seconds() / kBlock;
+            spent += block.seconds();
+            if (spc < best.simdSpc)
+                best.simdSpc = spc;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    double min_seconds = 0.05;
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--json") {
+            json = true;
+        } else if (flag == "--min-ms" && i + 1 < argc) {
+            min_seconds = std::strtod(argv[++i], nullptr) / 1e3;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--json] [--min-ms N]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    const Isa best = bestSupportedIsa();
+    setIsa(best);
+    const KernelTable &dispatched = kernels();
+    const KernelTable &scalar = scalarKernels();
+
+    if (!json) {
+        bench::banner("bench_kernels: SIMD kernel layer vs scalar "
+                      "reference");
+        std::printf("%s\n\n", describeDispatch().c_str());
+        std::printf("%-18s %-10s %10s %10s %9s\n", "kernel", "shape",
+                    "scalar", "simd", "speedup");
+        std::printf("%-18s %-10s %10s %10s %9s\n", "", "", "GB/s",
+                    "GB/s", "");
+    }
+
+    Rng rng(0xBE9C4);
+    Profiler profiler;
+    std::string rows;
+    bool all_ok = true;
+    for (const KernelCase &c : kCases) {
+        // Fresh identically-seeded workspaces per arm so read-modify
+        // kernels (relu, axpy, fft) see the same inputs, letting us
+        // assert the bitwise-identity contract on the final state.
+        Rng seed_a = rng, seed_b = rng;
+        Workspace ws_scalar(seed_a), ws_simd(seed_b);
+        const ArmTimes times =
+            timeCase(c, scalar, dispatched, ws_scalar, ws_simd,
+                     profiler, isaName(best), min_seconds);
+        const double scalar_spc = times.scalarSpc;
+        const double simd_spc = times.simdSpc;
+
+        const bool identical =
+            std::memcmp(ws_scalar.outF32.data(), ws_simd.outF32.data(),
+                        ws_scalar.outF32.size() * sizeof(float)) == 0 &&
+            std::memcmp(ws_scalar.outF64.data(), ws_simd.outF64.data(),
+                        ws_scalar.outF64.size() * sizeof(double)) == 0 &&
+            std::memcmp(ws_scalar.fftScratch.data(),
+                        ws_simd.fftScratch.data(),
+                        ws_scalar.fftScratch.size() * sizeof(double)) ==
+                0 &&
+            std::memcmp(ws_scalar.relu.data(), ws_simd.relu.data(),
+                        ws_scalar.relu.size() * sizeof(float)) == 0 &&
+            std::memcmp(ws_scalar.responses.data(),
+                        ws_simd.responses.data(),
+                        ws_scalar.responses.size() * sizeof(float)) ==
+                0 &&
+            std::memcmp(ws_scalar.best.data(), ws_simd.best.data(),
+                        ws_scalar.best.size() * sizeof(double)) == 0;
+        all_ok = all_ok && identical;
+
+        const double scalar_gbps = c.bytesPerCall / scalar_spc / 1e9;
+        const double simd_gbps = c.bytesPerCall / simd_spc / 1e9;
+        const double speedup = scalar_spc / simd_spc;
+        if (json) {
+            char buf[256];
+            std::snprintf(buf, sizeof(buf),
+                          "    {\"kernel\": \"%s\", \"shape\": \"%s\", "
+                          "\"scalar_gbps\": %.2f, \"simd_gbps\": %.2f, "
+                          "\"speedup\": %.2f, \"bitwise_identical\": "
+                          "%s}",
+                          c.name.c_str(), c.shape.c_str(), scalar_gbps,
+                          simd_gbps, speedup,
+                          identical ? "true" : "false");
+            if (!rows.empty())
+                rows += ",\n";
+            rows += buf;
+        } else {
+            std::printf("%-18s %-10s %10.2f %10.2f %8.2fx%s\n",
+                        c.name.c_str(), c.shape.c_str(), scalar_gbps,
+                        simd_gbps, speedup,
+                        identical ? "" : "  BITWISE MISMATCH");
+        }
+    }
+
+    if (json) {
+        std::printf("{\n  \"bench\": \"bench_kernels\",\n"
+                    "  \"isa\": \"%s\",\n  \"dispatch\": \"%s\",\n"
+                    "  \"bitwise_identical\": %s,\n"
+                    "  \"kernels\": [\n%s\n  ]\n}\n",
+                    isaName(best), describeDispatch().c_str(),
+                    all_ok ? "true" : "false", rows.c_str());
+    } else {
+        bench::subhead("profiler breakdown (accumulated wall time)");
+        for (const auto &name : profiler.componentsByTime()) {
+            const auto comp = profiler.component(name);
+            std::printf("%-26s %8.1fms over %8llu regions\n",
+                        name.c_str(), comp.seconds * 1e3,
+                        static_cast<unsigned long long>(comp.calls));
+        }
+        std::printf("\nbitwise identity (simd vs scalar): %s\n",
+                    all_ok ? "PASS" : "FAIL");
+    }
+    return all_ok ? 0 : 1;
+}

@@ -24,6 +24,7 @@
 #include "accel/model.h"
 #include "accel/platform.h"
 #include "bench_util.h"
+#include "common/simd.h"
 #include "suite/suite.h"
 
 using namespace sirius;
@@ -122,6 +123,7 @@ printTables()
 int
 main(int argc, char **argv)
 {
+    std::printf("%s\n", sirius::simd::describeDispatch().c_str());
     for (size_t i = 0; i < kernels().size(); ++i) {
         benchmark::RegisterBenchmark(
             (std::string(kernels()[i]->name()) + "/serial").c_str(),

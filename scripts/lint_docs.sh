@@ -1,5 +1,5 @@
 #!/bin/sh
-# Docs lint, three gates:
+# Docs lint:
 #
 #   1. Every relative markdown link in the repo's docs resolves to a
 #      file or directory that exists (fragments are stripped first;
@@ -22,6 +22,10 @@
 #      docs/ or README.md. Field names are parsed out of the struct
 #      bodies, flags out of the argv loop, so adding a knob without
 #      documenting it fails this script (and CI).
+#   5. The SIMD dispatch surface is accurate both ways: every
+#      `SIRIUS_SIMD=<value>` the docs show is a spelling
+#      src/common/simd.cc accepts, and every registered `sirius_simd_*`
+#      metric is documented in docs/KERNELS.md.
 #
 # Scaffolding files that quote external material verbatim (ISSUE.md,
 # PAPER.md, PAPERS.md, SNIPPETS.md) are excluded.
@@ -135,6 +139,39 @@ for spec in \
             status=1
         fi
     done
+done
+
+# --- gate 5: the SIMD dispatch surface is documented accurately --------
+# (a) Every `SIRIUS_SIMD=<value>` a doc shows must be a value
+#     parseIsa()/resolveEnvironment() actually accept — a doc teaching
+#     an operator a rejected spelling is a support ticket. The accepted
+#     set is parsed out of src/common/simd.cc, not hardcoded here.
+# (b) Every `sirius_simd_*` metric registered in src/ must be mentioned
+#     in docs/KERNELS.md, mirroring gate 3 for the kernel layer.
+#     (Gate 2 already checks the docs -> src direction.)
+simd_values="$(grep -hoE '"(scalar|sse[0-9.]*|avx[0-9]*|neon|native)"' \
+        src/common/simd.cc | tr -d '"' | sort -u || true)"
+# shellcheck disable=SC2086
+doc_simd="$(grep -ohE 'SIRIUS_SIMD=[a-z0-9.|]+' $docs | sed 's/^SIRIUS_SIMD=//' |
+    tr '|' '\n' | sort -u || true)"
+for value in $doc_simd; do
+    if ! echo "$simd_values" | grep -qxF "$value"; then
+        echo "lint_docs: docs show SIRIUS_SIMD=$value but" \
+             "src/common/simd.cc does not accept '$value'"
+        status=1
+    fi
+done
+
+kernels_doc="docs/KERNELS.md"
+simd_metrics="$(grep -rhoE '"sirius_simd_[a-z0-9_]+"' \
+        --include='*.cc' --include='*.h' src/ | tr -d '"' | sort -u ||
+    true)"
+for metric in $simd_metrics; do
+    if [ ! -f "$kernels_doc" ] || ! grep -qF "$metric" "$kernels_doc"; then
+        echo "lint_docs: metric '$metric' is registered in src/ but" \
+             "not documented in $kernels_doc"
+        status=1
+    fi
 done
 
 flags="$(grep -oE '"--[a-z-]+"' examples/load_test.cc | tr -d '"' | sort -u)"

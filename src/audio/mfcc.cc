@@ -1,10 +1,12 @@
 #include "audio/mfcc.h"
 
+#include <algorithm>
 #include <cmath>
 #include <complex>
 
 #include "common/fft.h"
 #include "common/logging.h"
+#include "common/simd.h"
 
 namespace sirius::audio {
 
@@ -24,6 +26,23 @@ MfccExtractor::MfccExtractor(MfccConfig config, int sample_rate)
             std::cos(2.0 * kPi * i / (config_.frameSize - 1));
     }
     buildFilterbank();
+    buildDctTable();
+}
+
+void
+MfccExtractor::buildDctTable()
+{
+    const auto m = static_cast<double>(config_.numFilters);
+    const auto num_coeffs = static_cast<size_t>(config_.numCoeffs);
+    dctTable_.resize(static_cast<size_t>(config_.numFilters) *
+                     num_coeffs);
+    for (int f = 0; f < config_.numFilters; ++f) {
+        for (int k = 0; k < config_.numCoeffs; ++k) {
+            dctTable_[static_cast<size_t>(f) * num_coeffs +
+                      static_cast<size_t>(k)] =
+                std::cos(kPi * k * (f + 0.5) / m);
+        }
+    }
 }
 
 double
@@ -86,9 +105,13 @@ MfccExtractor::extract(const Waveform &wave) const
     if (pcm.size() < frame_size)
         return features;
 
+    const size_t bins = fftSize_ / 2 + 1;
+    const auto num_coeffs = static_cast<size_t>(config_.numCoeffs);
     std::vector<std::complex<double>> buf(fftSize_);
+    std::vector<double> power(bins);
     std::vector<double> filter_energy(
         static_cast<size_t>(config_.numFilters));
+    std::vector<double> cepstra(num_coeffs);
 
     for (size_t start = 0; start + frame_size <= pcm.size();
          start += shift) {
@@ -102,25 +125,35 @@ MfccExtractor::extract(const Waveform &wave) const
         }
         fft(buf);
 
-        // Mel filterbank energies over the power spectrum.
+        // Power spectrum (the re^2 + im^2 kernel) in one vector sweep;
+        // each bin's value is exactly the std::norm(buf[bin]) the mel
+        // loop historically computed inline.
+        simd::kernels().complexNormF64(
+            reinterpret_cast<const double *>(buf.data()), bins,
+            power.data());
+
+        // Mel filterbank energies. The triangle sweep itself stays
+        // scalar: filters hold sparse (bin, weight) runs, and each
+        // filter is a serial reduction.
         for (size_t f = 0; f < filterbank_.size(); ++f) {
             double acc = 0.0;
             for (const auto &[bin, weight] : filterbank_[f])
-                acc += weight * std::norm(buf[bin]);
+                acc += weight * power[bin];
             filter_energy[f] = std::log(acc + 1e-10);
         }
 
-        // DCT-II to cepstral coefficients.
-        FeatureVector coeffs(static_cast<size_t>(config_.numCoeffs));
-        const auto m = static_cast<double>(config_.numFilters);
-        for (int k = 0; k < config_.numCoeffs; ++k) {
-            double acc = 0.0;
-            for (int f = 0; f < config_.numFilters; ++f) {
-                acc += filter_energy[static_cast<size_t>(f)] *
-                    std::cos(kPi * k * (f + 0.5) / m);
-            }
-            coeffs[static_cast<size_t>(k)] = static_cast<float>(acc);
+        // DCT-II to cepstral coefficients: coefficient lanes accumulate
+        // side by side, each still summing filters f ascending —
+        // cepstra[k] += energy[f] * dctTable_[f][k].
+        std::fill(cepstra.begin(), cepstra.end(), 0.0);
+        for (size_t f = 0; f < filterbank_.size(); ++f) {
+            simd::kernels().axpyF64(cepstra.data(),
+                                    dctTable_.data() + f * num_coeffs,
+                                    filter_energy[f], num_coeffs);
         }
+        FeatureVector coeffs(num_coeffs);
+        for (size_t k = 0; k < num_coeffs; ++k)
+            coeffs[k] = static_cast<float>(cepstra[k]);
         features.push_back(std::move(coeffs));
     }
     return features;

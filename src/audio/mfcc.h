@@ -52,10 +52,17 @@ class MfccExtractor
     std::vector<double> window_;
     // filterbank_[m] holds (binIndex, weight) pairs of filter m.
     std::vector<std::vector<std::pair<size_t, double>>> filterbank_;
+    // DCT-II basis, filter-major: dctTable_[f * numCoeffs + k] =
+    // cos(pi * k * (f + 0.5) / numFilters). Precomputed with the exact
+    // expression the per-frame loop historically evaluated, so reading
+    // the table is bitwise-neutral; the contiguous k-minor layout is
+    // what the SIMD axpy kernel sweeps.
+    std::vector<double> dctTable_;
 
     static double hzToMel(double hz);
     static double melToHz(double mel);
     void buildFilterbank();
+    void buildDctTable();
 };
 
 } // namespace sirius::audio

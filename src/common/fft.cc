@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/simd.h"
 
 namespace sirius {
 
@@ -38,21 +39,25 @@ fft(std::vector<std::complex<double>> &data, bool inverse)
             std::swap(data[i], data[j]);
     }
 
+    // Twiddle factors are built with the historical incremental
+    // product (w *= wlen, NOT cos/sin per k) so the table holds the
+    // exact bit patterns the old in-loop chain produced; the
+    // SIMD-dispatched butterfly pass then vectorizes freely across k
+    // because every butterfly just reads its precomputed w[k].
     constexpr double pi = 3.141592653589793238462643;
+    std::vector<std::complex<double>> twiddles(n / 2);
     for (size_t len = 2; len <= n; len <<= 1) {
         const double ang = 2.0 * pi / static_cast<double>(len) *
             (inverse ? 1.0 : -1.0);
         const std::complex<double> wlen(std::cos(ang), std::sin(ang));
-        for (size_t i = 0; i < n; i += len) {
-            std::complex<double> w(1.0, 0.0);
-            for (size_t k = 0; k < len / 2; ++k) {
-                const auto u = data[i + k];
-                const auto v = data[i + k + len / 2] * w;
-                data[i + k] = u + v;
-                data[i + k + len / 2] = u - v;
-                w *= wlen;
-            }
+        std::complex<double> w(1.0, 0.0);
+        for (size_t k = 0; k < len / 2; ++k) {
+            twiddles[k] = w;
+            w *= wlen;
         }
+        simd::kernels().fftPassF64(
+            reinterpret_cast<double *>(data.data()), n, len,
+            reinterpret_cast<const double *>(twiddles.data()));
     }
 }
 

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstring>
 #include <limits>
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/simd.h"
 
 namespace sirius {
 
@@ -23,81 +23,17 @@ Matrix::fill(float value)
     std::fill(data_.begin(), data_.end(), value);
 }
 
-namespace {
-
-// Tile sizes for the register-blocked matmul below: IB x JB output
-// accumulators (32 floats) fit the SSE register file with room for the
-// broadcast operands, which is what keeps the k sweep out of memory.
-constexpr size_t kMatmulRowsPerTile = 4;
-constexpr size_t kMatmulColsPerTile = 8;
-
-} // namespace
-
 void
 matmul(const Matrix &a, const Matrix &b, Matrix &out)
 {
     if (a.cols() != b.rows())
         panic("matmul: inner dimensions differ");
     out = Matrix(a.rows(), b.cols());
-    const size_t n = a.rows(), k = a.cols(), m = b.cols();
-    constexpr size_t IB = kMatmulRowsPerTile, JB = kMatmulColsPerTile;
-
-    // Register-blocked ikj order. Every out(i,j) is still the sum of
-    // a(i,kk)*b(kk,j) over kk ascending — the same per-element addition
-    // order as matvec's inner loop, which is what makes batched DNN
-    // forwards bitwise-identical to serial ones (see FeedForwardNet).
-    // Blocking only changes *where* the partial sums live: a full tile
-    // keeps its IB x JB accumulators in registers for the whole k
-    // sweep instead of re-streaming the output row through memory on
-    // every kk step (~4x on the 128x128xB layers the ASR DNN runs).
-    size_t i0 = 0;
-    for (; i0 + IB <= n; i0 += IB) {
-        size_t j0 = 0;
-        for (; j0 + JB <= m; j0 += JB) {
-            float acc[IB][JB] = {};
-            for (size_t kk = 0; kk < k; ++kk) {
-                const float *b_row = b.row(kk) + j0;
-                for (size_t i = 0; i < IB; ++i) {
-                    const float a_ik = a.row(i0 + i)[kk];
-                    for (size_t j = 0; j < JB; ++j)
-                        acc[i][j] += a_ik * b_row[j];
-                }
-            }
-            for (size_t i = 0; i < IB; ++i)
-                std::memcpy(out.row(i0 + i) + j0, acc[i],
-                            JB * sizeof(float));
-        }
-        for (; j0 < m; ++j0) { // ragged column tail
-            for (size_t i = 0; i < IB; ++i) {
-                const float *a_row = a.row(i0 + i);
-                float acc = 0.0f;
-                for (size_t kk = 0; kk < k; ++kk)
-                    acc += a_row[kk] * b.row(kk)[j0];
-                out.row(i0 + i)[j0] = acc;
-            }
-        }
-    }
-    for (; i0 < n; ++i0) { // ragged row tail
-        const float *a_row = a.row(i0);
-        float *out_row = out.row(i0);
-        size_t j0 = 0;
-        for (; j0 + JB <= m; j0 += JB) {
-            float acc[JB] = {};
-            for (size_t kk = 0; kk < k; ++kk) {
-                const float a_ik = a_row[kk];
-                const float *b_row = b.row(kk) + j0;
-                for (size_t j = 0; j < JB; ++j)
-                    acc[j] += a_ik * b_row[j];
-            }
-            std::memcpy(out_row + j0, acc, JB * sizeof(float));
-        }
-        for (; j0 < m; ++j0) {
-            float acc = 0.0f;
-            for (size_t kk = 0; kk < k; ++kk)
-                acc += a_row[kk] * b.row(kk)[j0];
-            out_row[j0] = acc;
-        }
-    }
+    // The register-blocked loop nest lives in common/simd.cc (scalar
+    // table) and common/simd_body.h (vector tables); both honour the
+    // kk-ascending accumulation contract in matrix.h / simd.h.
+    simd::kernels().matmulF32(a.data(), a.rows(), a.cols(), b.data(),
+                              b.cols(), out.data());
 }
 
 void
@@ -105,21 +41,15 @@ matvec(const Matrix &m, const std::vector<float> &v, std::vector<float> &out)
 {
     if (m.cols() != v.size())
         panic("matvec: dimension mismatch");
-    out.assign(m.rows(), 0.0f);
-    for (size_t r = 0; r < m.rows(); ++r) {
-        const float *row = m.row(r);
-        float acc = 0.0f;
-        for (size_t c = 0; c < m.cols(); ++c)
-            acc += row[c] * v[c];
-        out[r] = acc;
-    }
+    out.resize(m.rows());
+    simd::kernels().matvecF32(m.data(), m.rows(), m.cols(), v.data(),
+                              out.data());
 }
 
 void
 reluInPlace(std::vector<float> &v)
 {
-    for (auto &x : v)
-        x = std::max(0.0f, x);
+    simd::kernels().reluF32(v.data(), v.size());
 }
 
 void

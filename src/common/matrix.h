@@ -51,12 +51,19 @@ class Matrix
 
 /**
  * out = a * b. Shapes must agree (a.cols == b.rows); out is resized.
- * Straightforward ikj-ordered triple loop; good enough cache behaviour for
- * the layer sizes used here.
+ *
+ * Dispatches to the register-blocked, runtime-SIMD kernel in
+ * common/simd.h (scalar / SSE4.2 / AVX2 / NEON). Whatever the ISA,
+ * every out(i,j) is the sum of a(i,kk)*b(kk,j) accumulated over kk
+ * STRICTLY ASCENDING — the accumulation-order contract documented in
+ * common/simd.h — so batched DNN forwards stay bitwise-identical to
+ * matvec-per-frame and results never depend on the host's vector
+ * width.
  */
 void matmul(const Matrix &a, const Matrix &b, Matrix &out);
 
-/** out[r] = sum_c m(r,c) * v[c]; v.size() must equal m.cols(). */
+/** out[r] = sum_c m(r,c) * v[c], c ascending (same contract as
+ *  matmul); v.size() must equal m.cols(). SIMD-dispatched. */
 void matvec(const Matrix &m, const std::vector<float> &v,
             std::vector<float> &out);
 

@@ -1,0 +1,523 @@
+#include "common/simd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define SIRIUS_SIMD_X86 1
+#endif
+
+namespace sirius::simd {
+
+// Vector tables live in per-ISA translation units compiled with the
+// matching -m flags (see src/common/CMakeLists.txt); they are only
+// entered after the runtime support probe below says the host can.
+#if defined(SIRIUS_SIMD_X86)
+const KernelTable &sseKernels();
+const KernelTable &avx2Kernels();
+#endif
+#if defined(__aarch64__)
+const KernelTable &neonKernels();
+#endif
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Scalar reference kernels. These are the loops that used to live at
+// the call sites, moved here verbatim — they ARE the bitwise ground
+// truth every vector table is differential-tested against.
+// ---------------------------------------------------------------------
+
+constexpr size_t kMatmulRowsPerTile = 4;
+constexpr size_t kMatmulColsPerTile = 8;
+
+void
+scalarMatmulF32(const float *a, size_t n, size_t k, const float *b,
+                size_t m, float *out)
+{
+    constexpr size_t IB = kMatmulRowsPerTile, JB = kMatmulColsPerTile;
+    size_t i0 = 0;
+    for (; i0 + IB <= n; i0 += IB) {
+        size_t j0 = 0;
+        for (; j0 + JB <= m; j0 += JB) {
+            float acc[IB][JB] = {};
+            for (size_t kk = 0; kk < k; ++kk) {
+                const float *b_row = b + kk * m + j0;
+                for (size_t i = 0; i < IB; ++i) {
+                    const float a_ik = a[(i0 + i) * k + kk];
+                    for (size_t j = 0; j < JB; ++j)
+                        acc[i][j] += a_ik * b_row[j];
+                }
+            }
+            for (size_t i = 0; i < IB; ++i) {
+                for (size_t j = 0; j < JB; ++j)
+                    out[(i0 + i) * m + j0 + j] = acc[i][j];
+            }
+        }
+        for (; j0 < m; ++j0) { // ragged column tail
+            for (size_t i = 0; i < IB; ++i) {
+                const float *a_row = a + (i0 + i) * k;
+                float acc = 0.0f;
+                for (size_t kk = 0; kk < k; ++kk)
+                    acc += a_row[kk] * b[kk * m + j0];
+                out[(i0 + i) * m + j0] = acc;
+            }
+        }
+    }
+    for (; i0 < n; ++i0) { // ragged row tail
+        const float *a_row = a + i0 * k;
+        float *out_row = out + i0 * m;
+        size_t j0 = 0;
+        for (; j0 + JB <= m; j0 += JB) {
+            float acc[JB] = {};
+            for (size_t kk = 0; kk < k; ++kk) {
+                const float a_ik = a_row[kk];
+                const float *b_row = b + kk * m + j0;
+                for (size_t j = 0; j < JB; ++j)
+                    acc[j] += a_ik * b_row[j];
+            }
+            for (size_t j = 0; j < JB; ++j)
+                out_row[j0 + j] = acc[j];
+        }
+        for (; j0 < m; ++j0) {
+            float acc = 0.0f;
+            for (size_t kk = 0; kk < k; ++kk)
+                acc += a_row[kk] * b[kk * m + j0];
+            out_row[j0] = acc;
+        }
+    }
+}
+
+void
+scalarMatvecF32(const float *m, size_t rows, size_t cols, const float *v,
+                float *out)
+{
+    for (size_t r = 0; r < rows; ++r) {
+        const float *row = m + r * cols;
+        float acc = 0.0f;
+        for (size_t c = 0; c < cols; ++c)
+            acc += row[c] * v[c];
+        out[r] = acc;
+    }
+}
+
+void
+scalarReluF32(float *data, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        data[i] = std::max(0.0f, data[i]);
+}
+
+void
+scalarAddRowF32(float *acc, const float *x, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        acc[i] += x[i];
+}
+
+void
+scalarAddScalarF32(float *data, size_t n, float b)
+{
+    for (size_t i = 0; i < n; ++i)
+        data[i] += b;
+}
+
+void
+scalarGmmLanesF64(double *acc, const double *x, size_t batch,
+                  const float *mean, const float *inv_var, size_t dim)
+{
+    for (size_t d = 0; d < dim; ++d) {
+        const double mean_d = mean[d];
+        const double inv_var_d = inv_var[d];
+        const double *xrow = x + d * batch;
+        for (size_t j = 0; j < batch; ++j) {
+            const double diff = xrow[j] - mean_d;
+            acc[j] -= 0.5 * diff * diff * inv_var_d;
+        }
+    }
+}
+
+void
+scalarGmmMixtureF64(const float *x, size_t dim, const float *const *means,
+                    const float *const *inv_vars, const float *log_norms,
+                    size_t count, double *out)
+{
+    for (size_t c = 0; c < count; ++c) {
+        double acc = static_cast<double>(log_norms[c]);
+        const float *mean = means[c];
+        const float *iv = inv_vars[c];
+        for (size_t d = 0; d < dim; ++d) {
+            const double diff = static_cast<double>(x[d]) - mean[d];
+            acc -= 0.5 * diff * diff * iv[d];
+        }
+        out[c] = acc;
+    }
+}
+
+void
+scalarDescDistF32(const float *q, const float *const *descs, size_t count,
+                  size_t dim, float *out)
+{
+    for (size_t i = 0; i < count; ++i) {
+        const float *b = descs[i];
+        float acc = 0.0f;
+        for (size_t d = 0; d < dim; ++d) {
+            const float diff = q[d] - b[d];
+            acc += diff * diff;
+        }
+        out[i] = acc;
+    }
+}
+
+void
+scalarDescNormalizeF32(float *desc, size_t n, double norm)
+{
+    for (size_t i = 0; i < n; ++i)
+        desc[i] =
+            static_cast<float>(static_cast<double>(desc[i]) / norm);
+}
+
+void
+scalarHessianRowF64(const double *table, size_t stride, int r, int c0,
+                    int step, int count, int filter_size, int lobe,
+                    double inv, float *responses, uint8_t *laplacians)
+{
+    const int b = (filter_size - 1) / 2;
+    const int l = lobe;
+    const auto at = [&](int row, int col) {
+        return table[static_cast<size_t>(row) * stride +
+                     static_cast<size_t>(col)];
+    };
+    // In-range boxSum: same ((d - b) - c) + a association and the same
+    // max(0, .) as IntegralImage::boxSum, minus the (never-taken for
+    // interior samples) clamping.
+    const auto box = [&](int row, int col, int rows, int cols) {
+        const double sum = at(row + rows, col + cols) -
+            at(row, col + cols) - at(row + rows, col) + at(row, col);
+        return std::max(0.0, sum);
+    };
+    for (int s = 0; s < count; ++s) {
+        const int c = c0 + s * step;
+        double dxx = box(r - l + 1, c - b, 2 * l - 1, filter_size) -
+            3.0 * box(r - l + 1, c - l / 2, 2 * l - 1, l);
+        double dyy = box(r - b, c - l + 1, filter_size, 2 * l - 1) -
+            3.0 * box(r - l / 2, c - l + 1, l, 2 * l - 1);
+        double dxy = box(r - l, c + 1, l, l) + box(r + 1, c - l, l, l) -
+            box(r - l, c - l, l, l) - box(r + 1, c + 1, l, l);
+        dxx *= inv;
+        dyy *= inv;
+        dxy *= inv;
+        const double det = dxx * dyy - 0.81 * dxy * dxy;
+        responses[s] = static_cast<float>(det);
+        laplacians[s] = (dxx + dyy) >= 0.0 ? 1 : 0;
+    }
+}
+
+void
+scalarAddRowF64(double *acc, const double *w, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        acc[i] += w[i];
+}
+
+void
+scalarAxpyF64(double *acc, const double *x, double scale, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        acc[i] += scale * x[i];
+}
+
+void
+scalarViterbiStepF64(const double *prev, const double *trans,
+                     size_t num_tags, double *best, int32_t *arg)
+{
+    for (size_t t = 0; t < num_tags; ++t) {
+        double b = -1e300;
+        int32_t a = 0;
+        for (size_t p = 0; p < num_tags; ++p) {
+            const double s = prev[p] + trans[p * num_tags + t];
+            if (s > b) {
+                b = s;
+                a = static_cast<int32_t>(p);
+            }
+        }
+        best[t] = b;
+        arg[t] = a;
+    }
+}
+
+void
+scalarFftPassF64(double *data, size_t n, size_t len,
+                 const double *twiddles)
+{
+    // std::complex is layout-compatible with double[2] by [complex.numbers].
+    auto *cdata = reinterpret_cast<std::complex<double> *>(data);
+    const auto *w =
+        reinterpret_cast<const std::complex<double> *>(twiddles);
+    const size_t half = len / 2;
+    for (size_t i = 0; i < n; i += len) {
+        for (size_t k = 0; k < half; ++k) {
+            const auto u = cdata[i + k];
+            const auto v = cdata[i + k + half] * w[k];
+            cdata[i + k] = u + v;
+            cdata[i + k + half] = u - v;
+        }
+    }
+}
+
+void
+scalarComplexNormF64(const double *data, size_t count, double *out)
+{
+    for (size_t i = 0; i < count; ++i) {
+        out[i] = data[2 * i] * data[2 * i] +
+            data[2 * i + 1] * data[2 * i + 1];
+    }
+}
+
+const KernelTable kScalarTable = {
+    Isa::Scalar,
+    "scalar",
+    &scalarMatmulF32,
+    &scalarMatvecF32,
+    &scalarReluF32,
+    &scalarAddRowF32,
+    &scalarAddScalarF32,
+    &scalarGmmLanesF64,
+    &scalarGmmMixtureF64,
+    &scalarDescDistF32,
+    &scalarDescNormalizeF32,
+    &scalarHessianRowF64,
+    &scalarAddRowF64,
+    &scalarAxpyF64,
+    &scalarViterbiStepF64,
+    &scalarFftPassF64,
+    &scalarComplexNormF64,
+};
+
+// ---------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------
+
+const KernelTable &
+tableFor(Isa isa)
+{
+    switch (isa) {
+#if defined(SIRIUS_SIMD_X86)
+      case Isa::Sse: return sseKernels();
+      case Isa::Avx2: return avx2Kernels();
+#endif
+#if defined(__aarch64__)
+      case Isa::Neon: return neonKernels();
+#endif
+      default: return kScalarTable;
+    }
+}
+
+std::string
+joinIsaNames(const std::vector<Isa> &isas)
+{
+    std::string out;
+    for (Isa isa : isas) {
+        if (!out.empty())
+            out += ',';
+        out += isaName(isa);
+    }
+    return out;
+}
+
+/** Resolve SIRIUS_SIMD to an ISA; never fails (warns + native). */
+Isa
+resolveEnvironment(std::string &env_note)
+{
+    const Isa best = bestSupportedIsa();
+    const char *env = std::getenv("SIRIUS_SIMD");
+    if (env == nullptr || *env == '\0') {
+        env_note = "unset";
+        return best;
+    }
+    env_note = env;
+    std::string lower;
+    for (const char *p = env; *p != '\0'; ++p)
+        lower += static_cast<char>(std::tolower(
+            static_cast<unsigned char>(*p)));
+    if (lower == "native")
+        return best;
+    Isa want;
+    if (!parseIsa(lower, want)) {
+        logMessage(LogLevel::Warn,
+                   "simd: unknown SIRIUS_SIMD value \"" + lower +
+                       "\" (want scalar|sse|avx2|neon|native); using "
+                       "native");
+        return best;
+    }
+    if (!isaSupported(want)) {
+        logMessage(LogLevel::Warn,
+                   "simd: SIRIUS_SIMD=" + lower +
+                       " not supported by this host; using native");
+        return best;
+    }
+    return want;
+}
+
+std::once_flag g_init_once;
+
+} // namespace
+
+const char *
+isaName(Isa isa)
+{
+    switch (isa) {
+      case Isa::Scalar: return "scalar";
+      case Isa::Sse: return "sse";
+      case Isa::Avx2: return "avx2";
+      case Isa::Neon: return "neon";
+    }
+    return "?";
+}
+
+bool
+parseIsa(const std::string &name, Isa &out)
+{
+    if (name == "scalar") out = Isa::Scalar;
+    else if (name == "sse" || name == "sse4.2") out = Isa::Sse;
+    else if (name == "avx2") out = Isa::Avx2;
+    else if (name == "neon") out = Isa::Neon;
+    else return false;
+    return true;
+}
+
+Isa
+bestSupportedIsa()
+{
+#if defined(SIRIUS_SIMD_X86)
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("avx2"))
+        return Isa::Avx2;
+    if (__builtin_cpu_supports("sse4.2"))
+        return Isa::Sse;
+    return Isa::Scalar;
+#elif defined(__aarch64__)
+    return Isa::Neon;
+#else
+    return Isa::Scalar;
+#endif
+}
+
+bool
+isaSupported(Isa isa)
+{
+    if (isa == Isa::Scalar)
+        return true;
+#if defined(SIRIUS_SIMD_X86)
+    __builtin_cpu_init();
+    if (isa == Isa::Sse)
+        return __builtin_cpu_supports("sse4.2") != 0;
+    if (isa == Isa::Avx2)
+        return __builtin_cpu_supports("avx2") != 0;
+    return false;
+#elif defined(__aarch64__)
+    return isa == Isa::Neon;
+#else
+    return false;
+#endif
+}
+
+std::vector<Isa>
+supportedIsas()
+{
+    std::vector<Isa> out{Isa::Scalar};
+    for (Isa isa : {Isa::Sse, Isa::Avx2, Isa::Neon}) {
+        if (isaSupported(isa))
+            out.push_back(isa);
+    }
+    return out;
+}
+
+namespace detail {
+
+std::atomic<const KernelTable *> g_table{nullptr};
+
+const KernelTable &
+initTable()
+{
+    std::call_once(g_init_once, [] {
+        std::string env_note;
+        const Isa isa = resolveEnvironment(env_note);
+        const KernelTable *t = &tableFor(isa);
+        // Don't clobber a setIsa() that raced ahead of first use.
+        const KernelTable *expected = nullptr;
+        g_table.compare_exchange_strong(expected, t,
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed);
+        logMessage(LogLevel::Info,
+                   "simd: dispatch isa=" +
+                       std::string(isaName(activeIsa())) +
+                       " supported=" + joinIsaNames(supportedIsas()) +
+                       " env=" + env_note);
+    });
+    return *g_table.load(std::memory_order_acquire);
+}
+
+} // namespace detail
+
+const KernelTable &
+scalarKernels()
+{
+    return kScalarTable;
+}
+
+Isa
+activeIsa()
+{
+    return kernels().isa;
+}
+
+bool
+setIsa(Isa isa)
+{
+    if (!isaSupported(isa))
+        return false;
+    detail::g_table.store(&tableFor(isa), std::memory_order_release);
+    return true;
+}
+
+Isa
+initFromEnvironment()
+{
+    std::string env_note;
+    const Isa isa = resolveEnvironment(env_note);
+    detail::g_table.store(&tableFor(isa), std::memory_order_release);
+    return isa;
+}
+
+std::string
+describeDispatch()
+{
+    std::string env_note = "unset";
+    if (const char *env = std::getenv("SIRIUS_SIMD"))
+        env_note = *env != '\0' ? env : "unset";
+    return std::string("simd: dispatch isa=") + isaName(activeIsa()) +
+        " supported=" + joinIsaNames(supportedIsas()) +
+        " env=" + env_note;
+}
+
+void
+exportMetrics(MetricsRegistry &registry, const MetricLabels &base)
+{
+    MetricLabels labels = base;
+    labels.emplace_back("isa", isaName(activeIsa()));
+    registry.gauge("sirius_simd_dispatch", labels).set(1.0);
+    for (Isa isa : supportedIsas()) {
+        MetricLabels sup = base;
+        sup.emplace_back("isa", isaName(isa));
+        registry.gauge("sirius_simd_supported", sup).set(1.0);
+    }
+}
+
+} // namespace sirius::simd

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD kernel layer for the Fig-9 dominant kernels.
+ *
+ * One process-wide KernelTable holds function pointers for every hot
+ * loop the paper's cycle breakdown blames (DNN matmul/matvec, GMM
+ * log-density scoring, SURF box filters and descriptor math, FFT
+ * butterflies, DCT/mel reductions, CRF Viterbi). The table is selected
+ * once at first use — scalar, SSE4.2 or AVX2 on x86 (probed via CPUID),
+ * NEON on aarch64 — and can be pinned with `SIRIUS_SIMD=scalar|sse|
+ * avx2|native` for A/B runs or programmatically with setIsa().
+ *
+ * ## The accumulation-order contract (bitwise identity)
+ *
+ * Every vector kernel MUST produce bit-identical results to its scalar
+ * reference (the exact loops that used to live at the call sites, kept
+ * verbatim as the Scalar table). The whole repo leans on this: golden
+ * e2e fixtures, the batch/cache/shard differential oracles, and the
+ * fuzzer's diff_simd arm all compare float outputs for equality.
+ *
+ * The rule that makes it possible: vectorize ACROSS INDEPENDENT OUTPUT
+ * ELEMENTS, never within one element's reduction. A SIMD lane owns one
+ * output (one neuron, one GMM frame or component, one descriptor
+ * candidate, one Viterbi target tag, one FFT butterfly) and performs
+ * exactly the scalar code's operation sequence for that output — same
+ * association, same inner-index ascending order, no FMA contraction
+ * (the build sets -ffp-contract=off globally), no reordered reductions.
+ * Loop tails fall back to the scalar sequence, continuing from the
+ * per-lane partial values, so ragged shapes stay identical too.
+ */
+
+#ifndef SIRIUS_COMMON_SIMD_H
+#define SIRIUS_COMMON_SIMD_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sirius {
+class MetricsRegistry;
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+} // namespace sirius
+
+namespace sirius::simd {
+
+/** Instruction sets a kernel table can be built for. */
+enum class Isa { Scalar = 0, Sse = 1, Avx2 = 2, Neon = 3 };
+
+/** Stable lowercase name ("scalar", "sse", "avx2", "neon"). */
+const char *isaName(Isa isa);
+
+/** Parse an isaName() string (also accepts "sse4.2"). "native" is NOT
+ *  accepted here — it is resolved by initFromEnvironment(). */
+bool parseIsa(const std::string &name, Isa &out);
+
+/** The widest ISA the running CPU supports. */
+Isa bestSupportedIsa();
+
+/** Whether @p isa can run on this host (Scalar always can). */
+bool isaSupported(Isa isa);
+
+/** All host-runnable ISAs, Scalar first, widest last. */
+std::vector<Isa> supportedIsas();
+
+/**
+ * The dispatch table: one function pointer per dominant kernel. All
+ * pointers are non-null in every table. Pointer/size arguments follow
+ * the call sites' row-major layouts; no alignment is required anywhere
+ * (kernels use unaligned loads), so callers may pass arbitrary slices.
+ */
+struct KernelTable
+{
+    Isa isa;
+    const char *name;
+
+    /** out[i*m+j] = sum_kk a[i*k+kk] * b[kk*m+j], kk ascending per
+     *  output element (the register-blocked matmul contract). Writes
+     *  every element of @p out. */
+    void (*matmulF32)(const float *a, size_t n, size_t k, const float *b,
+                      size_t m, float *out);
+
+    /** out[r] = sum_c m[r*cols+c] * v[c], c ascending per row. */
+    void (*matvecF32)(const float *m, size_t rows, size_t cols,
+                      const float *v, float *out);
+
+    /** data[i] = max(0, data[i]). */
+    void (*reluF32)(float *data, size_t n);
+
+    /** acc[i] += x[i]. */
+    void (*addRowF32)(float *acc, const float *x, size_t n);
+
+    /** data[i] += b. */
+    void (*addScalarF32)(float *data, size_t n, float b);
+
+    /** GMM batch scoring inner loop: for each frame lane j,
+     *  acc[j] -= 0.5 * diff * diff * invVar[d] with
+     *  diff = x[d*batch+j] - mean[d], for d = 0..dim-1 ascending —
+     *  the DiagGaussian::logDensity chain run across frame lanes. */
+    void (*gmmLanesF64)(double *acc, const double *x, size_t batch,
+                        const float *mean, const float *inv_var,
+                        size_t dim);
+
+    /** Full per-component log densities of ONE frame: out[c] starts at
+     *  log_norms[c] and subtracts 0.5*diff^2*invVar per dimension in
+     *  ascending d order (lanes run across components c). */
+    void (*gmmMixtureF64)(const float *x, size_t dim,
+                          const float *const *means,
+                          const float *const *inv_vars,
+                          const float *log_norms, size_t count,
+                          double *out);
+
+    /** out[i] = squared L2 distance between @p q and descs[i] (both
+     *  @p dim floats), accumulated in float with d ascending. */
+    void (*descDistF32)(const float *q, const float *const *descs,
+                        size_t count, size_t dim, float *out);
+
+    /** desc[i] = float(double(desc[i]) / norm) — SURF L2 rescale. */
+    void (*descNormalizeF32)(float *desc, size_t n, double norm);
+
+    /**
+     * SURF Hessian responses for @p count grid samples of one row.
+     * Sample i sits at integral-table column c0 + i*step, row r; the
+     * caller guarantees every box corner is inside the table (rows
+     * 0..height, cols 0..width inclusive), so no clamping happens.
+     * @p table is the (width+1)x(height+1) summed-area table with row
+     * stride @p stride, @p filter_size / @p lobe the SURF filter
+     * geometry, @p inv the 1/filter_size^2 normalizer. Writes
+     * responses[i] (float(det)) and laplacians[i] (dxx+dyy >= 0).
+     */
+    void (*hessianRowF64)(const double *table, size_t stride, int r,
+                          int c0, int step, int count, int filter_size,
+                          int lobe, double inv, float *responses,
+                          uint8_t *laplacians);
+
+    /** acc[i] += w[i]. */
+    void (*addRowF64)(double *acc, const double *w, size_t n);
+
+    /** acc[i] += scale * x[i]. */
+    void (*axpyF64)(double *acc, const double *x, double scale,
+                    size_t n);
+
+    /** One Viterbi step: for each target tag t (a lane),
+     *  best[t] = max_p prev[p] + trans[p*num_tags+t] with p ascending
+     *  and strict-> first-max tie-breaking; arg[t] = that argmax p. */
+    void (*viterbiStepF64)(const double *prev, const double *trans,
+                           size_t num_tags, double *best, int32_t *arg);
+
+    /**
+     * One radix-2 FFT stage over interleaved complex data (@p n
+     * complex values = 2n doubles): for every block of @p len and
+     * butterfly k, u = d[i+k], v = d[i+k+len/2] * w[k],
+     * d[i+k] = u+v, d[i+k+len/2] = u-v. @p twiddles holds len/2
+     * interleaved complex twiddle factors (built serially by the
+     * caller so the incremental w *= wlen product chain is preserved
+     * bit-for-bit). Data must be finite and non-overflowing — the
+     * vector path uses the naive complex product, which matches
+     * std::complex exactly only when no NaN/Inf recovery is needed.
+     */
+    void (*fftPassF64)(double *data, size_t n, size_t len,
+                       const double *twiddles);
+
+    /** out[i] = re_i*re_i + im_i*im_i over @p count interleaved
+     *  complex values (the power-spectrum kernel). */
+    void (*complexNormF64)(const double *data, size_t count,
+                           double *out);
+};
+
+/** The scalar reference table (always available; used by tests and
+ *  benchmarks as the ground truth). */
+const KernelTable &scalarKernels();
+
+namespace detail {
+extern std::atomic<const KernelTable *> g_table;
+/** Slow path: resolve SIRIUS_SIMD / CPUID once, log, publish. */
+const KernelTable &initTable();
+} // namespace detail
+
+/** The active kernel table. First call resolves SIRIUS_SIMD (scalar |
+ *  sse | avx2 | native; unknown or unsupported values warn and fall
+ *  back to native) and logs the decision at Info. */
+inline const KernelTable &
+kernels()
+{
+    const KernelTable *t =
+        detail::g_table.load(std::memory_order_acquire);
+    return t != nullptr ? *t : detail::initTable();
+}
+
+/** ISA of the active table. */
+Isa activeIsa();
+
+/** Pin the active table to @p isa.
+ *  @return false (no change) when the host can't run it. */
+bool setIsa(Isa isa);
+
+/** Re-resolve SIRIUS_SIMD (for tests that setenv() mid-process) and
+ *  make the result active. Returns the resolved ISA. */
+Isa initFromEnvironment();
+
+/** One line describing the dispatch decision, e.g.
+ *  "simd: dispatch isa=avx2 supported=scalar,sse,avx2 env=native". */
+std::string describeDispatch();
+
+/** Export sirius_simd_dispatch{isa=} = 1 for the active ISA and
+ *  sirius_simd_supported{isa=} = 1 per host-runnable ISA. */
+void exportMetrics(MetricsRegistry &registry, const MetricLabels &base);
+
+} // namespace sirius::simd
+
+#endif // SIRIUS_COMMON_SIMD_H

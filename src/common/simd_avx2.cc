@@ -1,0 +1,166 @@
+// AVX2 kernel table. This translation unit is compiled with -mavx2
+// (see src/common/CMakeLists.txt) and must only be entered after the
+// runtime probe in simd.cc confirms host support.
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include "common/simd_body.h"
+
+namespace sirius::simd {
+
+namespace {
+
+struct Avx2Traits
+{
+    using F32 = __m256;
+    using F64 = __m256d;
+    static constexpr size_t kF32 = 8;
+    static constexpr size_t kF64 = 4;
+
+    static F32 load32(const float *p) { return _mm256_loadu_ps(p); }
+    static void store32(float *p, F32 v) { _mm256_storeu_ps(p, v); }
+    static F32 set132(float v) { return _mm256_set1_ps(v); }
+    static F32 zero32() { return _mm256_setzero_ps(); }
+    static F32 add32(F32 a, F32 b) { return _mm256_add_ps(a, b); }
+    static F32 sub32(F32 a, F32 b) { return _mm256_sub_ps(a, b); }
+    static F32 mul32(F32 a, F32 b) { return _mm256_mul_ps(a, b); }
+    static F32 max32(F32 a, F32 b) { return _mm256_max_ps(a, b); }
+
+    static void
+    transpose32(F32 r[kF32])
+    {
+        const F32 t0 = _mm256_unpacklo_ps(r[0], r[1]);
+        const F32 t1 = _mm256_unpackhi_ps(r[0], r[1]);
+        const F32 t2 = _mm256_unpacklo_ps(r[2], r[3]);
+        const F32 t3 = _mm256_unpackhi_ps(r[2], r[3]);
+        const F32 t4 = _mm256_unpacklo_ps(r[4], r[5]);
+        const F32 t5 = _mm256_unpackhi_ps(r[4], r[5]);
+        const F32 t6 = _mm256_unpacklo_ps(r[6], r[7]);
+        const F32 t7 = _mm256_unpackhi_ps(r[6], r[7]);
+        const F32 s0 = _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(1, 0, 1, 0));
+        const F32 s1 = _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(3, 2, 3, 2));
+        const F32 s2 = _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(1, 0, 1, 0));
+        const F32 s3 = _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(3, 2, 3, 2));
+        const F32 s4 = _mm256_shuffle_ps(t4, t6, _MM_SHUFFLE(1, 0, 1, 0));
+        const F32 s5 = _mm256_shuffle_ps(t4, t6, _MM_SHUFFLE(3, 2, 3, 2));
+        const F32 s6 = _mm256_shuffle_ps(t5, t7, _MM_SHUFFLE(1, 0, 1, 0));
+        const F32 s7 = _mm256_shuffle_ps(t5, t7, _MM_SHUFFLE(3, 2, 3, 2));
+        r[0] = _mm256_permute2f128_ps(s0, s4, 0x20);
+        r[1] = _mm256_permute2f128_ps(s1, s5, 0x20);
+        r[2] = _mm256_permute2f128_ps(s2, s6, 0x20);
+        r[3] = _mm256_permute2f128_ps(s3, s7, 0x20);
+        r[4] = _mm256_permute2f128_ps(s0, s4, 0x31);
+        r[5] = _mm256_permute2f128_ps(s1, s5, 0x31);
+        r[6] = _mm256_permute2f128_ps(s2, s6, 0x31);
+        r[7] = _mm256_permute2f128_ps(s3, s7, 0x31);
+    }
+
+    static F64 load64(const double *p) { return _mm256_loadu_pd(p); }
+    static void store64(double *p, F64 v) { _mm256_storeu_pd(p, v); }
+    static F64 set164(double v) { return _mm256_set1_pd(v); }
+    static F64 zero64() { return _mm256_setzero_pd(); }
+    static F64 add64(F64 a, F64 b) { return _mm256_add_pd(a, b); }
+    static F64 sub64(F64 a, F64 b) { return _mm256_sub_pd(a, b); }
+    static F64 mul64(F64 a, F64 b) { return _mm256_mul_pd(a, b); }
+    static F64 div64(F64 a, F64 b) { return _mm256_div_pd(a, b); }
+    static F64 max64(F64 a, F64 b) { return _mm256_max_pd(a, b); }
+
+    static F64
+    cmpGt64(F64 a, F64 b)
+    {
+        return _mm256_cmp_pd(a, b, _CMP_GT_OQ);
+    }
+
+    static F64
+    cmpGe64(F64 a, F64 b)
+    {
+        return _mm256_cmp_pd(a, b, _CMP_GE_OQ);
+    }
+
+    static F64
+    blend64(F64 mask, F64 a, F64 b)
+    {
+        return _mm256_blendv_pd(b, a, mask);
+    }
+
+    static void
+    transpose64(F64 r[kF64])
+    {
+        const F64 t0 = _mm256_unpacklo_pd(r[0], r[1]); // a0 b0 a2 b2
+        const F64 t1 = _mm256_unpackhi_pd(r[0], r[1]); // a1 b1 a3 b3
+        const F64 t2 = _mm256_unpacklo_pd(r[2], r[3]); // c0 d0 c2 d2
+        const F64 t3 = _mm256_unpackhi_pd(r[2], r[3]); // c1 d1 c3 d3
+        r[0] = _mm256_permute2f128_pd(t0, t2, 0x20);
+        r[1] = _mm256_permute2f128_pd(t1, t3, 0x20);
+        r[2] = _mm256_permute2f128_pd(t0, t2, 0x31);
+        r[3] = _mm256_permute2f128_pd(t1, t3, 0x31);
+    }
+
+    static F64 dupEven64(F64 v) { return _mm256_movedup_pd(v); }
+    static F64 dupOdd64(F64 v) { return _mm256_permute_pd(v, 0xF); }
+    static F64 swapPairs64(F64 v) { return _mm256_permute_pd(v, 0x5); }
+
+    static F64
+    addsub64(F64 a, F64 b)
+    {
+        return _mm256_addsub_pd(a, b);
+    }
+
+    static F64
+    cvt32to64(const float *p)
+    {
+        return _mm256_cvtps_pd(_mm_loadu_ps(p));
+    }
+
+    static F64
+    gather32to64(const float *const rows[kF64], size_t idx)
+    {
+        const __m128 lo = _mm_unpacklo_ps(_mm_load_ss(rows[0] + idx),
+                                          _mm_load_ss(rows[1] + idx));
+        const __m128 hi = _mm_unpacklo_ps(_mm_load_ss(rows[2] + idx),
+                                          _mm_load_ss(rows[3] + idx));
+        return _mm256_cvtps_pd(_mm_movelh_ps(lo, hi));
+    }
+
+    static void
+    widenTile(const float *const rows[kF64], F64 out[2 * kF64])
+    {
+        const F32 r0 = _mm256_loadu_ps(rows[0]);
+        const F32 r1 = _mm256_loadu_ps(rows[1]);
+        const F32 r2 = _mm256_loadu_ps(rows[2]);
+        const F32 r3 = _mm256_loadu_ps(rows[3]);
+        const F32 t0 = _mm256_unpacklo_ps(r0, r1);
+        const F32 t1 = _mm256_unpackhi_ps(r0, r1);
+        const F32 t2 = _mm256_unpacklo_ps(r2, r3);
+        const F32 t3 = _mm256_unpackhi_ps(r2, r3);
+        // s_j lower lane = dim j across the 4 rows, upper = dim j+4.
+        const F32 s0 = _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(1, 0, 1, 0));
+        const F32 s1 = _mm256_shuffle_ps(t0, t2, _MM_SHUFFLE(3, 2, 3, 2));
+        const F32 s2 = _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(1, 0, 1, 0));
+        const F32 s3 = _mm256_shuffle_ps(t1, t3, _MM_SHUFFLE(3, 2, 3, 2));
+        out[0] = _mm256_cvtps_pd(_mm256_castps256_ps128(s0));
+        out[1] = _mm256_cvtps_pd(_mm256_castps256_ps128(s1));
+        out[2] = _mm256_cvtps_pd(_mm256_castps256_ps128(s2));
+        out[3] = _mm256_cvtps_pd(_mm256_castps256_ps128(s3));
+        out[4] = _mm256_cvtps_pd(_mm256_extractf128_ps(s0, 1));
+        out[5] = _mm256_cvtps_pd(_mm256_extractf128_ps(s1, 1));
+        out[6] = _mm256_cvtps_pd(_mm256_extractf128_ps(s2, 1));
+        out[7] = _mm256_cvtps_pd(_mm256_extractf128_ps(s3, 1));
+    }
+};
+
+} // namespace
+
+const KernelTable &
+avx2Kernels()
+{
+    static const KernelTable table =
+        detail::makeTable<Avx2Traits>(Isa::Avx2, "avx2");
+    return table;
+}
+
+} // namespace sirius::simd
+
+#endif // x86

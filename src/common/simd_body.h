@@ -1,0 +1,719 @@
+/**
+ * @file
+ * Templated vector kernel bodies, instantiated once per ISA.
+ *
+ * Each per-ISA translation unit (simd_sse.cc, simd_avx2.cc,
+ * simd_neon.cc — compiled with that ISA's flags) defines a traits
+ * struct V and calls detail::makeTable<V>() to stamp out the bodies
+ * below. The traits contract:
+ *
+ *   using F32 / F64           vector register types
+ *   kF32 / kF64               lane counts (kF32 == 2 * kF64)
+ *   load/store/set1/zero      unaligned load, store, broadcast, zeros
+ *   add/sub/mul/div/max       lane-wise arithmetic (max follows the
+ *                             x86 rule: max(a,b) = a > b ? a : b,
+ *                             returning b on NaN or equal — which is
+ *                             exactly std::max(b, a))
+ *   cmpGt64/cmpGe64           lane masks (all-ones / all-zero bits)
+ *   blend64(m, a, b)          per-lane m ? a : b
+ *   transpose32(r[kF32])      in-register square tile transpose
+ *   transpose64(r[kF64])      same, for the double registers
+ *   widenTile(rows, out)      load kF64 rows of 2*kF64 floats each,
+ *                             emit 2*kF64 transposed double vectors
+ *                             (out[j] = element j of every row) —
+ *                             exact widening, shared wide loads
+ *   gather32to64(rows, idx)   lane i = (double)rows[i][idx], built in
+ *                             registers (no store-buffer round trip)
+ *   dupEven64/dupOdd64        [a0,a0,a2,a2] / [a1,a1,a3,a3]
+ *   swapPairs64               [a1,a0,a3,a2]
+ *   addsub64(a, b)            even lanes a-b, odd lanes a+b
+ *   cvt32to64(p)              load kF64 floats, widen to doubles
+ *
+ * Every body follows the accumulation-order contract documented in
+ * simd.h: lanes are independent output elements; per lane the op
+ * sequence is exactly the scalar reference's. Tails run the scalar
+ * sequence, continuing from extracted lane partials where one exists.
+ */
+
+#ifndef SIRIUS_COMMON_SIMD_BODY_H
+#define SIRIUS_COMMON_SIMD_BODY_H
+
+#include "common/simd.h"
+
+namespace sirius::simd::detail {
+
+template <class V>
+void
+matmulF32(const float *a, size_t n, size_t k, const float *b, size_t m,
+          float *out)
+{
+    constexpr size_t W = V::kF32;
+    constexpr size_t IB = 4; // accumulator rows per tile (see matrix.cc)
+    size_t i0 = 0;
+    for (; i0 + IB <= n; i0 += IB) {
+        size_t j0 = 0;
+        for (; j0 + W <= m; j0 += W) {
+            typename V::F32 acc[IB];
+            for (size_t i = 0; i < IB; ++i)
+                acc[i] = V::zero32();
+            for (size_t kk = 0; kk < k; ++kk) {
+                const auto b_row = V::load32(b + kk * m + j0);
+                for (size_t i = 0; i < IB; ++i) {
+                    const auto a_ik = V::set132(a[(i0 + i) * k + kk]);
+                    acc[i] = V::add32(acc[i], V::mul32(a_ik, b_row));
+                }
+            }
+            for (size_t i = 0; i < IB; ++i)
+                V::store32(out + (i0 + i) * m + j0, acc[i]);
+        }
+        for (; j0 < m; ++j0) { // ragged column tail
+            for (size_t i = 0; i < IB; ++i) {
+                const float *a_row = a + (i0 + i) * k;
+                float acc = 0.0f;
+                for (size_t kk = 0; kk < k; ++kk)
+                    acc += a_row[kk] * b[kk * m + j0];
+                out[(i0 + i) * m + j0] = acc;
+            }
+        }
+    }
+    for (; i0 < n; ++i0) { // ragged row tail
+        const float *a_row = a + i0 * k;
+        float *out_row = out + i0 * m;
+        size_t j0 = 0;
+        for (; j0 + W <= m; j0 += W) {
+            auto acc = V::zero32();
+            for (size_t kk = 0; kk < k; ++kk) {
+                const auto a_ik = V::set132(a_row[kk]);
+                acc = V::add32(acc,
+                               V::mul32(a_ik, V::load32(b + kk * m + j0)));
+            }
+            V::store32(out_row + j0, acc);
+        }
+        for (; j0 < m; ++j0) {
+            float acc = 0.0f;
+            for (size_t kk = 0; kk < k; ++kk)
+                acc += a_row[kk] * b[kk * m + j0];
+            out_row[j0] = acc;
+        }
+    }
+}
+
+template <class V>
+void
+matvecF32(const float *m, size_t rows, size_t cols, const float *v,
+          float *out)
+{
+    constexpr size_t W = V::kF32;
+    size_t r0 = 0;
+    // A lane owns one output row. Row data is contiguous but lanes want
+    // column-major access, so load a WxW tile of W row slices,
+    // transpose in registers, then broadcast-multiply by v[c]: each
+    // lane's accumulation still walks c strictly ascending.
+    for (; r0 + W <= rows; r0 += W) {
+        auto acc = V::zero32();
+        size_t c = 0;
+        for (; c + W <= cols; c += W) {
+            typename V::F32 tile[W];
+            for (size_t i = 0; i < W; ++i)
+                tile[i] = V::load32(m + (r0 + i) * cols + c);
+            V::transpose32(tile);
+            for (size_t d = 0; d < W; ++d)
+                acc = V::add32(acc,
+                               V::mul32(tile[d], V::set132(v[c + d])));
+        }
+        float lanes[W];
+        V::store32(lanes, acc);
+        for (; c < cols; ++c) { // ragged column tail, scalar continue
+            for (size_t i = 0; i < W; ++i)
+                lanes[i] += m[(r0 + i) * cols + c] * v[c];
+        }
+        for (size_t i = 0; i < W; ++i)
+            out[r0 + i] = lanes[i];
+    }
+    for (; r0 < rows; ++r0) { // ragged row tail
+        const float *row = m + r0 * cols;
+        float acc = 0.0f;
+        for (size_t c = 0; c < cols; ++c)
+            acc += row[c] * v[c];
+        out[r0] = acc;
+    }
+}
+
+template <class V>
+void
+reluF32(float *data, size_t n)
+{
+    constexpr size_t W = V::kF32;
+    const auto zero = V::zero32();
+    size_t i = 0;
+    for (; i + W <= n; i += W)
+        V::store32(data + i, V::max32(V::load32(data + i), zero));
+    for (; i < n; ++i)
+        data[i] = data[i] > 0.0f ? data[i] : 0.0f;
+}
+
+template <class V>
+void
+addRowF32(float *acc, const float *x, size_t n)
+{
+    constexpr size_t W = V::kF32;
+    size_t i = 0;
+    for (; i + W <= n; i += W)
+        V::store32(acc + i,
+                   V::add32(V::load32(acc + i), V::load32(x + i)));
+    for (; i < n; ++i)
+        acc[i] += x[i];
+}
+
+template <class V>
+void
+addScalarF32(float *data, size_t n, float b)
+{
+    constexpr size_t W = V::kF32;
+    const auto bv = V::set132(b);
+    size_t i = 0;
+    for (; i + W <= n; i += W)
+        V::store32(data + i, V::add32(V::load32(data + i), bv));
+    for (; i < n; ++i)
+        data[i] += b;
+}
+
+/** One group of B register blocks (B * kF64 frames) of gmmLanesF64,
+ *  starting at frame j. B > 1 keeps several independent accumulator
+ *  chains in flight — the per-lane op order never changes, the
+ *  serial-latency-bound subtract chain just stops being the only
+ *  work the core has. */
+template <class V, size_t B>
+void
+gmmLanesGroup(double *acc, const double *x, size_t batch,
+              const float *mean, const float *inv_var, size_t dim,
+              size_t j)
+{
+    constexpr size_t W = V::kF64;
+    const auto half = V::set164(0.5);
+    typename V::F64 av[B];
+    for (size_t blk = 0; blk < B; ++blk)
+        av[blk] = V::load64(acc + j + blk * W);
+    for (size_t d = 0; d < dim; ++d) {
+        const auto mv = V::set164(mean[d]);
+        const auto iv = V::set164(inv_var[d]);
+        const double *xrow = x + d * batch + j;
+        for (size_t blk = 0; blk < B; ++blk) {
+            const auto diff = V::sub64(V::load64(xrow + blk * W), mv);
+            const auto term =
+                V::mul64(V::mul64(V::mul64(half, diff), diff), iv);
+            av[blk] = V::sub64(av[blk], term);
+        }
+    }
+    for (size_t blk = 0; blk < B; ++blk)
+        V::store64(acc + j + blk * W, av[blk]);
+}
+
+template <class V>
+void
+gmmLanesF64(double *acc, const double *x, size_t batch,
+            const float *mean, const float *inv_var, size_t dim)
+{
+    constexpr size_t W = V::kF64;
+    // Lanes are frames; per frame the d loop is the exact logDensity
+    // chain (0.5 * diff * diff * invVar, left-associated). Blocking
+    // over frames keeps each lane's accumulator in a register across
+    // the whole chain, so acc memory is touched once per block rather
+    // than once per dimension.
+    size_t j = 0;
+    for (; j + 8 * W <= batch; j += 8 * W)
+        gmmLanesGroup<V, 8>(acc, x, batch, mean, inv_var, dim, j);
+    for (; j + W <= batch; j += W)
+        gmmLanesGroup<V, 1>(acc, x, batch, mean, inv_var, dim, j);
+    for (; j < batch; ++j) { // frame tail, scalar chain
+        double a = acc[j];
+        for (size_t d = 0; d < dim; ++d) {
+            const double diff = x[d * batch + j] - mean[d];
+            a -= 0.5 * diff * diff * inv_var[d];
+        }
+        acc[j] = a;
+    }
+}
+
+/** One group of B register blocks (B * kF64 components) of
+ *  gmmMixtureF64, starting at component c0. Component parameter rows
+ *  are contiguous in d, so widen W dims per component with cvt32to64
+ *  and transpose in registers — both exact, so each lane still sees
+ *  the scalar d-ascending chain — instead of gathering the W lanes
+ *  one scalar load at a time. B > 1 interleaves independent
+ *  accumulator chains and amortises the x[d] broadcasts. */
+template <class V, size_t B>
+void
+gmmMixtureGroup(const float *x, const double *xw_full, size_t dim,
+                const float *const *means, const float *const *inv_vars,
+                const float *log_norms, size_t c0, double *out)
+{
+    constexpr size_t W = V::kF64;
+    const auto half = V::set164(0.5);
+    typename V::F64 acc[B];
+    for (size_t blk = 0; blk < B; ++blk) {
+        double lanes[W];
+        for (size_t i = 0; i < W; ++i)
+            lanes[i] =
+                static_cast<double>(log_norms[c0 + blk * W + i]);
+        acc[blk] = V::load64(lanes);
+    }
+    // The hot tile loop broadcasts the widened frame straight from
+    // memory (a pure load) instead of convert-then-broadcast shuffles.
+    // The driver widens the frame once per call when it fits its stack
+    // buffer (xw_full != nullptr); otherwise widen per chunk here.
+    constexpr size_t kXChunk = 128;
+    double xw_local[kXChunk];
+    size_t d = 0;
+    while (d + W <= dim) {
+        const size_t rem = ((dim - d) / W) * W;
+        const double *xw;
+        size_t dn;
+        if (xw_full != nullptr) {
+            xw = xw_full + d;
+            dn = rem;
+        } else {
+            dn = rem < kXChunk ? rem : kXChunk;
+            for (size_t i = 0; i < dn; ++i)
+                xw_local[i] = static_cast<double>(x[d + i]);
+            xw = xw_local;
+        }
+        // Stream the blocks one at a time so only one block's tiles
+        // are live — the blocks carry no data dependence, so the core
+        // overlaps their chains without the register pressure of
+        // materialising all B tiles at once. Within a block the mean
+        // tile is consumed into t[jd] = (0.5*diff)*diff before the
+        // inv-var tile is built — the subtraction chain still applies
+        // the identical terms in d order, but the two tiles are never
+        // live together.
+        for (size_t dc = 0; dc + W <= dn; dc += W) {
+            for (size_t blk = 0; blk < B; ++blk) {
+                typename V::F64 t[W];
+                {
+                    typename V::F64 mt[W];
+                    for (size_t i = 0; i < W; ++i)
+                        mt[i] = V::cvt32to64(means[c0 + blk * W + i] +
+                                             d + dc);
+                    V::transpose64(mt);
+                    for (size_t jd = 0; jd < W; ++jd) {
+                        const auto diff =
+                            V::sub64(V::set164(xw[dc + jd]), mt[jd]);
+                        t[jd] = V::mul64(V::mul64(half, diff), diff);
+                    }
+                }
+                typename V::F64 it[W];
+                for (size_t i = 0; i < W; ++i)
+                    it[i] = V::cvt32to64(inv_vars[c0 + blk * W + i] +
+                                         d + dc);
+                V::transpose64(it);
+                for (size_t jd = 0; jd < W; ++jd)
+                    acc[blk] = V::sub64(acc[blk],
+                                        V::mul64(t[jd], it[jd]));
+            }
+        }
+        d += dn;
+    }
+    // Dim tail: in-register lane gathers (gather32to64) avoid the
+    // store-forwarding stall of marshalling each lane through memory.
+    for (size_t blk = 0; blk < B; ++blk) {
+        const float *mrows[W], *irows[W];
+        for (size_t i = 0; i < W; ++i) {
+            mrows[i] = means[c0 + blk * W + i];
+            irows[i] = inv_vars[c0 + blk * W + i];
+        }
+        for (size_t dd = d; dd < dim; ++dd) {
+            const auto xd = V::set164(static_cast<double>(x[dd]));
+            const auto diff =
+                V::sub64(xd, V::gather32to64(mrows, dd));
+            const auto term =
+                V::mul64(V::mul64(V::mul64(half, diff), diff),
+                         V::gather32to64(irows, dd));
+            acc[blk] = V::sub64(acc[blk], term);
+        }
+    }
+    for (size_t blk = 0; blk < B; ++blk)
+        V::store64(out + c0 + blk * W, acc[blk]);
+}
+
+template <class V>
+void
+gmmMixtureF64(const float *x, size_t dim, const float *const *means,
+              const float *const *inv_vars, const float *log_norms,
+              size_t count, double *out)
+{
+    constexpr size_t W = V::kF64;
+    // Widen the frame once for the whole call when it fits on the
+    // stack; the groups then skip their per-chunk conversion loops.
+    constexpr size_t kWideCap = 256;
+    double xw[kWideCap];
+    const double *xw_full = nullptr;
+    if (dim <= kWideCap) {
+        for (size_t i = 0; i < dim; ++i)
+            xw[i] = static_cast<double>(x[i]);
+        xw_full = xw;
+    }
+    // Lanes are mixture components of one frame.
+    size_t c0 = 0;
+    for (; c0 + 3 * W <= count; c0 += 3 * W)
+        gmmMixtureGroup<V, 3>(x, xw_full, dim, means, inv_vars,
+                              log_norms, c0, out);
+    for (; c0 + W <= count; c0 += W)
+        gmmMixtureGroup<V, 1>(x, xw_full, dim, means, inv_vars,
+                              log_norms, c0, out);
+    if (c0 < count) {
+        if (count >= W) {
+            // Component tail: each out[c] is a pure function of
+            // component c's parameters, so re-running a full-width
+            // block that overlaps already-computed components rewrites
+            // them with bitwise-identical values. Cheaper than a
+            // scalar per-component loop over all dims.
+            gmmMixtureGroup<V, 1>(x, xw_full, dim, means, inv_vars,
+                                  log_norms, count - W, out);
+        } else {
+            for (; c0 < count; ++c0) { // scalar chain
+                double acc = static_cast<double>(log_norms[c0]);
+                const float *mean = means[c0];
+                const float *iv = inv_vars[c0];
+                for (size_t d = 0; d < dim; ++d) {
+                    const double diff =
+                        static_cast<double>(x[d]) - mean[d];
+                    acc -= 0.5 * diff * diff * iv[d];
+                }
+                out[c0] = acc;
+            }
+        }
+    }
+}
+
+template <class V>
+void
+descDistF32(const float *q, const float *const *descs, size_t count,
+            size_t dim, float *out)
+{
+    constexpr size_t W = V::kF32;
+    size_t i0 = 0;
+    // Lanes are candidate descriptors; the same transpose trick as
+    // matvecF32 keeps each lane's d loop strictly ascending.
+    for (; i0 + W <= count; i0 += W) {
+        auto acc = V::zero32();
+        size_t d = 0;
+        for (; d + W <= dim; d += W) {
+            typename V::F32 tile[W];
+            for (size_t i = 0; i < W; ++i)
+                tile[i] = V::load32(descs[i0 + i] + d);
+            V::transpose32(tile);
+            for (size_t j = 0; j < W; ++j) {
+                const auto diff =
+                    V::sub32(V::set132(q[d + j]), tile[j]);
+                acc = V::add32(acc, V::mul32(diff, diff));
+            }
+        }
+        float lanes[W];
+        V::store32(lanes, acc);
+        for (; d < dim; ++d) {
+            for (size_t i = 0; i < W; ++i) {
+                const float diff = q[d] - descs[i0 + i][d];
+                lanes[i] += diff * diff;
+            }
+        }
+        for (size_t i = 0; i < W; ++i)
+            out[i0 + i] = lanes[i];
+    }
+    for (; i0 < count; ++i0) {
+        const float *b = descs[i0];
+        float acc = 0.0f;
+        for (size_t d = 0; d < dim; ++d) {
+            const float diff = q[d] - b[d];
+            acc += diff * diff;
+        }
+        out[i0] = acc;
+    }
+}
+
+template <class V>
+void
+descNormalizeF32(float *desc, size_t n, double norm)
+{
+    constexpr size_t W = V::kF64;
+    const auto nv = V::set164(norm);
+    size_t i = 0;
+    for (; i + W <= n; i += W) {
+        const auto wide = V::div64(V::cvt32to64(desc + i), nv);
+        double lanes[W];
+        V::store64(lanes, wide);
+        for (size_t j = 0; j < W; ++j)
+            desc[i + j] = static_cast<float>(lanes[j]);
+    }
+    for (; i < n; ++i)
+        desc[i] =
+            static_cast<float>(static_cast<double>(desc[i]) / norm);
+}
+
+template <class V>
+void
+hessianRowF64(const double *table, size_t stride, int r, int c0,
+              int step, int count, int filter_size, int lobe,
+              double inv, float *responses, uint8_t *laplacians)
+{
+    constexpr size_t W = V::kF64;
+    const int b = (filter_size - 1) / 2;
+    const int l = lobe;
+    const auto zero = V::zero64();
+    const auto one = V::set164(1.0);
+    const auto invv = V::set164(inv);
+    const auto three = V::set164(3.0);
+    const auto c081 = V::set164(0.81);
+
+    size_t s0 = 0;
+    // kernelAt evaluates the Hessian for W sample lanes starting at
+    // s0; `cell` maps (row, col_off) to a vector of one table entry
+    // per lane. boxSum's ((d - b) - c) + a then max(0, .) keeps the
+    // same association and max semantics as std::max(0.0, sum).
+    const auto kernelAt = [&](size_t base, auto cell) {
+        const auto box = [&](int row, int col_off, int rows, int cols) {
+            const auto a = cell(row, col_off);
+            const auto bb = cell(row, col_off + cols);
+            const auto cc = cell(row + rows, col_off);
+            const auto dd = cell(row + rows, col_off + cols);
+            return V::max64(
+                V::add64(V::sub64(V::sub64(dd, bb), cc), a), zero);
+        };
+
+        auto dxx = V::sub64(
+            box(r - l + 1, -b, 2 * l - 1, filter_size),
+            V::mul64(three, box(r - l + 1, -l / 2, 2 * l - 1, l)));
+        auto dyy = V::sub64(
+            box(r - b, -l + 1, filter_size, 2 * l - 1),
+            V::mul64(three, box(r - l / 2, -l + 1, l, 2 * l - 1)));
+        auto dxy = V::sub64(
+            V::sub64(V::add64(box(r - l, 1, l, l), box(r + 1, -l, l, l)),
+                     box(r - l, -l, l, l)),
+            box(r + 1, 1, l, l));
+        dxx = V::mul64(dxx, invv);
+        dyy = V::mul64(dyy, invv);
+        dxy = V::mul64(dxy, invv);
+
+        const auto det = V::sub64(
+            V::mul64(dxx, dyy), V::mul64(V::mul64(c081, dxy), dxy));
+        const auto lap =
+            V::blend64(V::cmpGe64(V::add64(dxx, dyy), zero), one, zero);
+
+        double det_lanes[W], lap_lanes[W];
+        V::store64(det_lanes, det);
+        V::store64(lap_lanes, lap);
+        for (size_t i = 0; i < W; ++i) {
+            responses[base + i] = static_cast<float>(det_lanes[i]);
+            laplacians[base + i] = lap_lanes[i] != 0.0 ? 1 : 0;
+        }
+    };
+    if (step == 1) {
+        // Unit-stride samples: the W lanes of a cell are contiguous
+        // table entries, so one unaligned load replaces the gather.
+        for (; s0 + W <= static_cast<size_t>(count); s0 += W)
+            kernelAt(s0, [&](int row, int col_off) {
+                return V::load64(
+                    table + static_cast<size_t>(row) * stride +
+                    static_cast<ptrdiff_t>(
+                        c0 + static_cast<int>(s0) + col_off));
+            });
+    } else {
+        // Strided gather of one table cell across the W sample lanes,
+        // marshalled through a stack array (no gather instruction
+        // dependence; bit-exact scalar loads).
+        for (; s0 + W <= static_cast<size_t>(count); s0 += W)
+            kernelAt(s0, [&](int row, int col_off) {
+                double lanes[W];
+                for (size_t i = 0; i < W; ++i) {
+                    const int c =
+                        c0 + static_cast<int>(s0 + i) * step + col_off;
+                    lanes[i] =
+                        table[static_cast<size_t>(row) * stride +
+                              static_cast<size_t>(c)];
+                }
+                return V::load64(lanes);
+            });
+    }
+    for (; s0 < static_cast<size_t>(count); ++s0) { // sample tail
+        const int c = c0 + static_cast<int>(s0) * step;
+        const auto at = [&](int row, int col) {
+            return table[static_cast<size_t>(row) * stride +
+                         static_cast<size_t>(col)];
+        };
+        const auto box = [&](int row, int col, int rows, int cols) {
+            const double sum = at(row + rows, col + cols) -
+                at(row, col + cols) - at(row + rows, col) + at(row, col);
+            return 0.0 < sum ? sum : 0.0;
+        };
+        double dxx = box(r - l + 1, c - b, 2 * l - 1, filter_size) -
+            3.0 * box(r - l + 1, c - l / 2, 2 * l - 1, l);
+        double dyy = box(r - b, c - l + 1, filter_size, 2 * l - 1) -
+            3.0 * box(r - l / 2, c - l + 1, l, 2 * l - 1);
+        double dxy = box(r - l, c + 1, l, l) + box(r + 1, c - l, l, l) -
+            box(r - l, c - l, l, l) - box(r + 1, c + 1, l, l);
+        dxx *= inv;
+        dyy *= inv;
+        dxy *= inv;
+        responses[s0] =
+            static_cast<float>(dxx * dyy - 0.81 * dxy * dxy);
+        laplacians[s0] = (dxx + dyy) >= 0.0 ? 1 : 0;
+    }
+}
+
+template <class V>
+void
+addRowF64(double *acc, const double *w, size_t n)
+{
+    constexpr size_t W = V::kF64;
+    size_t i = 0;
+    for (; i + W <= n; i += W)
+        V::store64(acc + i,
+                   V::add64(V::load64(acc + i), V::load64(w + i)));
+    for (; i < n; ++i)
+        acc[i] += w[i];
+}
+
+template <class V>
+void
+axpyF64(double *acc, const double *x, double scale, size_t n)
+{
+    constexpr size_t W = V::kF64;
+    const auto sv = V::set164(scale);
+    size_t i = 0;
+    for (; i + W <= n; i += W)
+        V::store64(acc + i,
+                   V::add64(V::load64(acc + i),
+                            V::mul64(sv, V::load64(x + i))));
+    for (; i < n; ++i)
+        acc[i] += scale * x[i];
+}
+
+template <class V>
+void
+viterbiStepF64(const double *prev, const double *trans, size_t num_tags,
+               double *best, int32_t *arg)
+{
+    constexpr size_t W = V::kF64;
+    size_t t0 = 0;
+    // Lanes are target tags; the p loop keeps the scalar strict ">"
+    // so ties resolve to the first (lowest-p) maximum per lane.
+    for (; t0 + W <= num_tags; t0 += W) {
+        auto bestv = V::set164(-1e300);
+        auto argv = V::zero64();
+        for (size_t p = 0; p < num_tags; ++p) {
+            const auto s =
+                V::add64(V::set164(prev[p]),
+                         V::load64(trans + p * num_tags + t0));
+            const auto gt = V::cmpGt64(s, bestv);
+            bestv = V::blend64(gt, s, bestv);
+            argv = V::blend64(
+                gt, V::set164(static_cast<double>(p)), argv);
+        }
+        V::store64(best + t0, bestv);
+        double lanes[W];
+        V::store64(lanes, argv);
+        for (size_t i = 0; i < W; ++i)
+            arg[t0 + i] = static_cast<int32_t>(lanes[i]);
+    }
+    for (; t0 < num_tags; ++t0) { // target-tag tail
+        double b = -1e300;
+        int32_t a = 0;
+        for (size_t p = 0; p < num_tags; ++p) {
+            const double s = prev[p] + trans[p * num_tags + t0];
+            if (s > b) {
+                b = s;
+                a = static_cast<int32_t>(p);
+            }
+        }
+        best[t0] = b;
+        arg[t0] = a;
+    }
+}
+
+template <class V>
+void
+fftPassF64(double *data, size_t n, size_t len, const double *twiddles)
+{
+    constexpr size_t W = V::kF64;
+    constexpr size_t C = W / 2; // complex values per register
+    const size_t half = len / 2;
+    for (size_t i = 0; i < n; i += len) {
+        double *lo = data + 2 * i;
+        double *hi = data + 2 * (i + half);
+        size_t k = 0;
+        // Lanes are butterflies. v*w uses the naive complex product:
+        // even = vr*wr - vi*wi, odd = vi*wr + vr*wi (addition is
+        // commutative bit-for-bit, so this equals vr*wi + vi*wr).
+        for (; k + C <= half; k += C) {
+            const auto u = V::load64(lo + 2 * k);
+            const auto v = V::load64(hi + 2 * k);
+            const auto w = V::load64(twiddles + 2 * k);
+            const auto vw = V::addsub64(
+                V::mul64(v, V::dupEven64(w)),
+                V::mul64(V::swapPairs64(v), V::dupOdd64(w)));
+            V::store64(lo + 2 * k, V::add64(u, vw));
+            V::store64(hi + 2 * k, V::sub64(u, vw));
+        }
+        for (; k < half; ++k) { // butterfly tail
+            const double ur = lo[2 * k], ui = lo[2 * k + 1];
+            const double vr = hi[2 * k], vi = hi[2 * k + 1];
+            const double wr = twiddles[2 * k], wi = twiddles[2 * k + 1];
+            const double pr = vr * wr - vi * wi;
+            const double pi = vr * wi + vi * wr;
+            lo[2 * k] = ur + pr;
+            lo[2 * k + 1] = ui + pi;
+            hi[2 * k] = ur - pr;
+            hi[2 * k + 1] = ui - pi;
+        }
+    }
+}
+
+template <class V>
+void
+complexNormF64(const double *data, size_t count, double *out)
+{
+    constexpr size_t W = V::kF64;
+    constexpr size_t C = W / 2;
+    size_t i = 0;
+    for (; i + C <= count; i += C) {
+        const auto v = V::load64(data + 2 * i);
+        const auto sq = V::mul64(v, v);
+        // Even lanes now hold re*re + im*im in scalar order.
+        const auto sums = V::add64(sq, V::swapPairs64(sq));
+        double lanes[W];
+        V::store64(lanes, sums);
+        for (size_t c = 0; c < C; ++c)
+            out[i + c] = lanes[2 * c];
+    }
+    for (; i < count; ++i)
+        out[i] = data[2 * i] * data[2 * i] +
+            data[2 * i + 1] * data[2 * i + 1];
+}
+
+template <class V>
+KernelTable
+makeTable(Isa isa, const char *name)
+{
+    KernelTable t;
+    t.isa = isa;
+    t.name = name;
+    t.matmulF32 = &matmulF32<V>;
+    t.matvecF32 = &matvecF32<V>;
+    t.reluF32 = &reluF32<V>;
+    t.addRowF32 = &addRowF32<V>;
+    t.addScalarF32 = &addScalarF32<V>;
+    t.gmmLanesF64 = &gmmLanesF64<V>;
+    t.gmmMixtureF64 = &gmmMixtureF64<V>;
+    t.descDistF32 = &descDistF32<V>;
+    t.descNormalizeF32 = &descNormalizeF32<V>;
+    t.hessianRowF64 = &hessianRowF64<V>;
+    t.addRowF64 = &addRowF64<V>;
+    t.axpyF64 = &axpyF64<V>;
+    t.viterbiStepF64 = &viterbiStepF64<V>;
+    t.fftPassF64 = &fftPassF64<V>;
+    t.complexNormF64 = &complexNormF64<V>;
+    return t;
+}
+
+} // namespace sirius::simd::detail
+
+#endif // SIRIUS_COMMON_SIMD_BODY_H

@@ -1,0 +1,152 @@
+// NEON kernel table for aarch64 (NEON with double-precision lanes is
+// architecturally guaranteed there, so no runtime probe is needed).
+//
+// Lane semantics deliberately mirror the x86 tables so the bitwise
+// contract stays ISA-independent: max is compare+select (a > b ? a : b,
+// picking b on NaN or equal, exactly std::max(b, a)), and addsub is
+// expressed as a + (-b, +b) — IEEE negation is exact, so even lanes
+// equal a - b bit-for-bit.
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "common/simd_body.h"
+
+namespace sirius::simd {
+
+namespace {
+
+struct NeonTraits
+{
+    using F32 = float32x4_t;
+    using F64 = float64x2_t;
+    static constexpr size_t kF32 = 4;
+    static constexpr size_t kF64 = 2;
+
+    static F32 load32(const float *p) { return vld1q_f32(p); }
+    static void store32(float *p, F32 v) { vst1q_f32(p, v); }
+    static F32 set132(float v) { return vdupq_n_f32(v); }
+    static F32 zero32() { return vdupq_n_f32(0.0f); }
+    static F32 add32(F32 a, F32 b) { return vaddq_f32(a, b); }
+    static F32 sub32(F32 a, F32 b) { return vsubq_f32(a, b); }
+    static F32 mul32(F32 a, F32 b) { return vmulq_f32(a, b); }
+
+    static F32
+    max32(F32 a, F32 b)
+    {
+        return vbslq_f32(vcgtq_f32(a, b), a, b);
+    }
+
+    static void
+    transpose32(F32 r[kF32])
+    {
+        const float32x4x2_t p01 = vtrnq_f32(r[0], r[1]);
+        const float32x4x2_t p23 = vtrnq_f32(r[2], r[3]);
+        r[0] = vcombine_f32(vget_low_f32(p01.val[0]),
+                            vget_low_f32(p23.val[0]));
+        r[1] = vcombine_f32(vget_low_f32(p01.val[1]),
+                            vget_low_f32(p23.val[1]));
+        r[2] = vcombine_f32(vget_high_f32(p01.val[0]),
+                            vget_high_f32(p23.val[0]));
+        r[3] = vcombine_f32(vget_high_f32(p01.val[1]),
+                            vget_high_f32(p23.val[1]));
+    }
+
+    static F64 load64(const double *p) { return vld1q_f64(p); }
+    static void store64(double *p, F64 v) { vst1q_f64(p, v); }
+    static F64 set164(double v) { return vdupq_n_f64(v); }
+    static F64 zero64() { return vdupq_n_f64(0.0); }
+    static F64 add64(F64 a, F64 b) { return vaddq_f64(a, b); }
+    static F64 sub64(F64 a, F64 b) { return vsubq_f64(a, b); }
+    static F64 mul64(F64 a, F64 b) { return vmulq_f64(a, b); }
+    static F64 div64(F64 a, F64 b) { return vdivq_f64(a, b); }
+
+    static F64
+    max64(F64 a, F64 b)
+    {
+        return vbslq_f64(vcgtq_f64(a, b), a, b);
+    }
+
+    static F64
+    cmpGt64(F64 a, F64 b)
+    {
+        return vreinterpretq_f64_u64(vcgtq_f64(a, b));
+    }
+
+    static F64
+    cmpGe64(F64 a, F64 b)
+    {
+        return vreinterpretq_f64_u64(vcgeq_f64(a, b));
+    }
+
+    static F64
+    blend64(F64 mask, F64 a, F64 b)
+    {
+        return vbslq_f64(vreinterpretq_u64_f64(mask), a, b);
+    }
+
+    static void
+    transpose64(F64 r[kF64])
+    {
+        const F64 t0 = vzip1q_f64(r[0], r[1]);
+        const F64 t1 = vzip2q_f64(r[0], r[1]);
+        r[0] = t0;
+        r[1] = t1;
+    }
+
+    static F64 dupEven64(F64 v) { return vdupq_laneq_f64(v, 0); }
+    static F64 dupOdd64(F64 v) { return vdupq_laneq_f64(v, 1); }
+    static F64 swapPairs64(F64 v) { return vextq_f64(v, v, 1); }
+
+    static F64
+    addsub64(F64 a, F64 b)
+    {
+        const uint64x2_t flip = vcombine_u64(
+            vdup_n_u64(0x8000000000000000ULL), vdup_n_u64(0));
+        return vaddq_f64(
+            a, vreinterpretq_f64_u64(
+                   veorq_u64(vreinterpretq_u64_f64(b), flip)));
+    }
+
+    static F64
+    cvt32to64(const float *p)
+    {
+        return vcvt_f64_f32(vld1_f32(p));
+    }
+
+    static F64
+    gather32to64(const float *const rows[kF64], size_t idx)
+    {
+        float32x2_t v = vdup_n_f32(rows[0][idx]);
+        v = vset_lane_f32(rows[1][idx], v, 1);
+        return vcvt_f64_f32(v);
+    }
+
+    static void
+    widenTile(const float *const rows[kF64], F64 out[2 * kF64])
+    {
+        const F32 r0 = vld1q_f32(rows[0]);
+        const F32 r1 = vld1q_f32(rows[1]);
+        const F32 z0 = vzip1q_f32(r0, r1); // d0 pair, d1 pair
+        const F32 z1 = vzip2q_f32(r0, r1); // d2 pair, d3 pair
+        out[0] = vcvt_f64_f32(vget_low_f32(z0));
+        out[1] = vcvt_f64_f32(vget_high_f32(z0));
+        out[2] = vcvt_f64_f32(vget_low_f32(z1));
+        out[3] = vcvt_f64_f32(vget_high_f32(z1));
+    }
+};
+
+} // namespace
+
+const KernelTable &
+neonKernels()
+{
+    static const KernelTable table =
+        detail::makeTable<NeonTraits>(Isa::Neon, "neon");
+    return table;
+}
+
+} // namespace sirius::simd
+
+#endif // __aarch64__

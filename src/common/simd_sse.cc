@@ -1,0 +1,110 @@
+// SSE4.2 kernel table. This translation unit is compiled with
+// -msse4.2 (see src/common/CMakeLists.txt) and must only be entered
+// after the runtime probe in simd.cc confirms host support.
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include "common/simd_body.h"
+
+namespace sirius::simd {
+
+namespace {
+
+struct SseTraits
+{
+    using F32 = __m128;
+    using F64 = __m128d;
+    static constexpr size_t kF32 = 4;
+    static constexpr size_t kF64 = 2;
+
+    static F32 load32(const float *p) { return _mm_loadu_ps(p); }
+    static void store32(float *p, F32 v) { _mm_storeu_ps(p, v); }
+    static F32 set132(float v) { return _mm_set1_ps(v); }
+    static F32 zero32() { return _mm_setzero_ps(); }
+    static F32 add32(F32 a, F32 b) { return _mm_add_ps(a, b); }
+    static F32 sub32(F32 a, F32 b) { return _mm_sub_ps(a, b); }
+    static F32 mul32(F32 a, F32 b) { return _mm_mul_ps(a, b); }
+    static F32 max32(F32 a, F32 b) { return _mm_max_ps(a, b); }
+
+    static void
+    transpose32(F32 r[kF32])
+    {
+        _MM_TRANSPOSE4_PS(r[0], r[1], r[2], r[3]);
+    }
+
+    static F64 load64(const double *p) { return _mm_loadu_pd(p); }
+    static void store64(double *p, F64 v) { _mm_storeu_pd(p, v); }
+    static F64 set164(double v) { return _mm_set1_pd(v); }
+    static F64 zero64() { return _mm_setzero_pd(); }
+    static F64 add64(F64 a, F64 b) { return _mm_add_pd(a, b); }
+    static F64 sub64(F64 a, F64 b) { return _mm_sub_pd(a, b); }
+    static F64 mul64(F64 a, F64 b) { return _mm_mul_pd(a, b); }
+    static F64 div64(F64 a, F64 b) { return _mm_div_pd(a, b); }
+    static F64 max64(F64 a, F64 b) { return _mm_max_pd(a, b); }
+    static F64 cmpGt64(F64 a, F64 b) { return _mm_cmpgt_pd(a, b); }
+    static F64 cmpGe64(F64 a, F64 b) { return _mm_cmpge_pd(a, b); }
+
+    static F64
+    blend64(F64 mask, F64 a, F64 b)
+    {
+        return _mm_blendv_pd(b, a, mask);
+    }
+
+    static void
+    transpose64(F64 r[kF64])
+    {
+        const F64 t0 = _mm_unpacklo_pd(r[0], r[1]);
+        const F64 t1 = _mm_unpackhi_pd(r[0], r[1]);
+        r[0] = t0;
+        r[1] = t1;
+    }
+
+    static F64 dupEven64(F64 v) { return _mm_movedup_pd(v); }
+    static F64 dupOdd64(F64 v) { return _mm_unpackhi_pd(v, v); }
+    static F64 swapPairs64(F64 v) { return _mm_shuffle_pd(v, v, 0x1); }
+    static F64 addsub64(F64 a, F64 b) { return _mm_addsub_pd(a, b); }
+
+    static F64
+    cvt32to64(const float *p)
+    {
+        return _mm_cvtps_pd(_mm_castsi128_ps(
+            _mm_loadl_epi64(reinterpret_cast<const __m128i *>(p))));
+    }
+
+    static F64
+    gather32to64(const float *const rows[kF64], size_t idx)
+    {
+        const __m128 v = _mm_unpacklo_ps(_mm_load_ss(rows[0] + idx),
+                                         _mm_load_ss(rows[1] + idx));
+        return _mm_cvtps_pd(v);
+    }
+
+    static void
+    widenTile(const float *const rows[kF64], F64 out[2 * kF64])
+    {
+        const F32 r0 = _mm_loadu_ps(rows[0]);
+        const F32 r1 = _mm_loadu_ps(rows[1]);
+        const F32 t0 = _mm_unpacklo_ps(r0, r1); // d0 pair, d1 pair
+        const F32 t1 = _mm_unpackhi_ps(r0, r1); // d2 pair, d3 pair
+        out[0] = _mm_cvtps_pd(t0);
+        out[1] = _mm_cvtps_pd(_mm_movehl_ps(t0, t0));
+        out[2] = _mm_cvtps_pd(t1);
+        out[3] = _mm_cvtps_pd(_mm_movehl_ps(t1, t1));
+    }
+};
+
+} // namespace
+
+const KernelTable &
+sseKernels()
+{
+    static const KernelTable table =
+        detail::makeTable<SseTraits>(Isa::Sse, "sse");
+    return table;
+}
+
+} // namespace sirius::simd
+
+#endif // x86

@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "common/timer.h"
 
 namespace sirius::core {
@@ -229,6 +230,7 @@ ConcurrentServer::exportMetrics(MetricsRegistry &registry,
         stats_.exportTo(registry, base);
     }
     profiler_.exportTo(registry, base);
+    simd::exportMetrics(registry, base);
     registry.counter("sirius_requests_accepted_total", base)
         .add(accepted_.load(std::memory_order_relaxed));
     registry.counter("sirius_requests_rejected_total", base)

@@ -1,6 +1,7 @@
 #include "nlp/crf.h"
 
 #include <algorithm>
+#include <array>
 #include <cctype>
 #include <cmath>
 #include <numeric>
@@ -8,6 +9,7 @@
 #include "common/logging.h"
 #include "common/matrix.h"
 #include "common/rng.h"
+#include "common/simd.h"
 
 namespace sirius::nlp {
 
@@ -106,9 +108,9 @@ CrfTagger::emissionScores(const std::vector<std::string> &words,
         extractFeatures(words, i, feats);
         auto &row = scores[i];
         for (uint32_t f : feats) {
-            const double *w = &emitW_[static_cast<size_t>(f) * kNumTags];
-            for (size_t t = 0; t < kNumTags; ++t)
-                row[t] += w[t];
+            simd::kernels().addRowF64(
+                row.data(), &emitW_[static_cast<size_t>(f) * kNumTags],
+                kNumTags);
         }
     }
 }
@@ -212,20 +214,18 @@ CrfTagger::tag(const std::vector<std::string> &words) const
     std::vector<std::vector<int>> back(n, std::vector<int>(kNumTags, -1));
     for (size_t t = 0; t < kNumTags; ++t)
         delta[0][t] = initW_[t] + emit[0][t];
+    // Each Viterbi step maximizes over predecessors p with target tags
+    // t as SIMD lanes; the kernel keeps the scalar strict ">" so ties
+    // still break to the lowest p.
+    std::array<double, kNumTags> best;
+    std::array<int32_t, kNumTags> arg;
     for (size_t i = 1; i < n; ++i) {
+        simd::kernels().viterbiStepF64(delta[i - 1].data(),
+                                       transW_.data(), kNumTags,
+                                       best.data(), arg.data());
         for (size_t t = 0; t < kNumTags; ++t) {
-            double best = -1e300;
-            int arg = 0;
-            for (size_t p = 0; p < kNumTags; ++p) {
-                const double s = delta[i - 1][p] +
-                    transW_[p * kNumTags + t];
-                if (s > best) {
-                    best = s;
-                    arg = static_cast<int>(p);
-                }
-            }
-            delta[i][t] = best + emit[i][t];
-            back[i][t] = arg;
+            delta[i][t] = best[t] + emit[i][t];
+            back[i][t] = static_cast<int>(arg[t]);
         }
     }
     size_t best_t = 0;

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/simd.h"
 #include "core/shard_health.h"
 
 namespace sirius::sim {
@@ -692,7 +693,29 @@ class Engine
 uint64_t
 expectedAnswer(uint64_t text_id)
 {
-    return mix64(text_id ^ 0xA25A25A25A25ULL);
+    // Route the reference answer through the dispatched SIMD layer so
+    // the fuzzer's diff_simd arm observes the kernels end to end: a
+    // small deterministic complex vector is derived from the text id,
+    // pushed through the power-spectrum kernel, and the result bits
+    // are folded into the splitmix answer. Any vector kernel that
+    // breaks the bitwise-identity contract (common/simd.h) shifts the
+    // folded bits and shows up as an answer/digest mismatch against
+    // the scalar-pinned rerun.
+    double values[8];
+    uint64_t h = text_id ^ 0xA25A25A25A25ULL;
+    for (double &v : values) {
+        h = mix64(h);
+        v = unitDouble(h) - 0.5;
+    }
+    double norms[4];
+    simd::kernels().complexNormF64(values, 4, norms);
+    uint64_t folded = 0;
+    for (double n : norms) {
+        uint64_t bits = 0;
+        std::memcpy(&bits, &n, sizeof(bits));
+        folded = mix64(folded ^ bits);
+    }
+    return mix64(text_id ^ 0xA25A25A25A25ULL) ^ folded;
 }
 
 SimResult

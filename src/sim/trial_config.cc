@@ -107,6 +107,7 @@ formatTrialConfig(const TrialConfig &config)
     append(out, "qps", formatDouble(config.arrivalQps));
     append(out, "zipf", formatDouble(config.zipfSkew));
     append(out, "texts", std::to_string(config.distinctTexts));
+    append(out, "simd", config.simd ? "1" : "0");
     return out;
 }
 
@@ -169,6 +170,8 @@ parseTrialConfig(const std::string &line, TrialConfig &out)
             ok = parseDouble(value, parsed.zipfSkew);
         else if (key == "texts")
             ok = parseU32(value, parsed.distinctTexts);
+        else if (key == "simd")
+            ok = parseBool(value, parsed.simd);
         else
             return false;
         if (!ok)

@@ -51,6 +51,11 @@ struct TrialConfig
     // Observability plane.
     bool plane = true;
 
+    // Kernel dispatch: true runs the host's dispatched SIMD tables
+    // (and arms the diff_simd scalar rerun), false pins the scalar
+    // reference kernels for the whole trial.
+    bool simd = true;
+
     // Faults + drill.
     double faultRate = 0.0;
     bool drill = false; ///< kill/revive schedule on shard 0

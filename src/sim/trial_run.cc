@@ -4,6 +4,7 @@
 #include <cmath>
 #include <string>
 
+#include "common/simd.h"
 #include "sim/sim_cluster.h"
 
 namespace sirius::sim {
@@ -225,6 +226,14 @@ runTrial(const TrialConfig &config)
     const SimConfig base_cfg = toSimConfig(config);
     const SimWorkload load = toWorkload(config);
 
+    // Kernel-dispatch axis: simd=0 pins the scalar reference tables
+    // for the whole trial; simd=1 keeps the host's dispatched ISA and
+    // arms the diff_simd scalar rerun below. The entry ISA is restored
+    // before returning either way.
+    const simd::Isa entry_isa = simd::activeIsa();
+    if (!config.simd)
+        simd::setIsa(simd::Isa::Scalar);
+
     const SimResult base = runSimulation(base_cfg, load);
     report.digest = base.digest;
     report.queries = base.stats.offered;
@@ -262,6 +271,23 @@ runTrial(const TrialConfig &config)
         arm.planeEnabled = false;
         diffPlane(report, base, runSimulation(arm, load));
     }
+    if (config.simd && simd::activeIsa() != simd::Isa::Scalar) {
+        // The expectedAnswer() path runs through simd::kernels(), so
+        // rerunning the base config with the scalar tables pinned
+        // checks the bitwise-identity contract end to end: any vector
+        // kernel that drifts from its scalar reference changes answers
+        // and therefore the digest.
+        simd::setIsa(simd::Isa::Scalar);
+        const SimResult arm = runSimulation(base_cfg, load);
+        diffAnswers(report, base, arm, "diff_simd");
+        if (arm.digest != base.digest)
+            addViolation(report, "diff_simd",
+                         "scalar-pinned digest " +
+                             std::to_string(arm.digest) +
+                             " != dispatched digest " +
+                             std::to_string(base.digest));
+    }
+    simd::setIsa(entry_isa);
 
     report.ok = report.violations.empty();
     return report;

@@ -7,6 +7,7 @@
 #include "audio/phoneme.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/simd.h"
 
 namespace sirius::speech {
 
@@ -39,8 +40,8 @@ FeedForwardNet::forwardInternal(const std::vector<float> &input,
     for (size_t l = 0; l < weights_.size(); ++l) {
         std::vector<float> z;
         matvec(weights_[l], acts.back(), z);
-        for (size_t i = 0; i < z.size(); ++i)
-            z[i] += biases_[l][i];
+        simd::kernels().addRowF32(z.data(), biases_[l].data(),
+                                  z.size());
         if (l + 1 < weights_.size())
             reluInPlace(z);
         acts.push_back(std::move(z));
@@ -83,16 +84,11 @@ FeedForwardNet::forwardBatch(
     for (size_t l = 0; l < weights_.size(); ++l) {
         matmul(weights_[l], acts, z);
         for (size_t o = 0; o < z.rows(); ++o) {
-            float *row = z.row(o);
-            const float b = biases_[l][o];
-            for (size_t j = 0; j < batch; ++j)
-                row[j] += b;
+            simd::kernels().addScalarF32(z.row(o), batch,
+                                         biases_[l][o]);
         }
-        if (l + 1 < weights_.size()) {
-            float *data = z.data();
-            for (size_t i = 0; i < z.size(); ++i)
-                data[i] = std::max(0.0f, data[i]);
-        }
+        if (l + 1 < weights_.size())
+            simd::kernels().reluF32(z.data(), z.size());
         std::swap(acts, z);
     }
 

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/matrix.h"
 #include "common/rng.h"
+#include "common/simd.h"
 
 namespace sirius::speech {
 
@@ -180,8 +181,48 @@ std::vector<float>
 GmmAcousticModel::scoreAll(const audio::FeatureVector &feature) const
 {
     std::vector<float> scores(states_.size());
-    for (size_t p = 0; p < states_.size(); ++p)
-        scores[p] = static_cast<float>(states_[p].logLikelihood(feature));
+    if (states_.empty())
+        return scores;
+
+    // Flatten every (state, component) pair into one lane list so the
+    // density kernel vectorizes across ALL components of the model —
+    // per-state mixtures are tiny (1..3 after training caps them), too
+    // narrow to fill vector lanes on their own. Each lane still runs
+    // the exact DiagGaussian::logDensity chain, and the per-state
+    // logWeight + logSumExp epilogue below is Gmm::logLikelihood
+    // verbatim, so results match the old per-state path bit-for-bit.
+    size_t total = 0;
+    for (const auto &state : states_)
+        total += state.components().size();
+    std::vector<const float *> means(total), inv_vars(total);
+    std::vector<float> log_norms(total);
+    size_t i = 0;
+    for (const auto &state : states_) {
+        for (const auto &g : state.components()) {
+            means[i] = g.mean.data();
+            inv_vars[i] = g.invVar.data();
+            log_norms[i] = g.logNorm;
+            ++i;
+        }
+    }
+
+    std::vector<double> densities(total);
+    simd::kernels().gmmMixtureF64(feature.data(), feature.size(),
+                                  means.data(), inv_vars.data(),
+                                  log_norms.data(), total,
+                                  densities.data());
+
+    std::vector<double> terms;
+    size_t offset = 0;
+    for (size_t p = 0; p < states_.size(); ++p) {
+        const auto &log_weights = states_[p].logWeights();
+        const size_t k = log_weights.size();
+        terms.resize(k);
+        for (size_t c = 0; c < k; ++c)
+            terms[c] = log_weights[c] + densities[offset + c];
+        scores[p] = static_cast<float>(logSumExp(terms));
+        offset += k;
+    }
     return scores;
 }
 
@@ -223,18 +264,13 @@ GmmAcousticModel::scoreBatch(
             const DiagGaussian &g = comps[c];
             // Same chain as DiagGaussian::logDensity: start at logNorm,
             // subtract 0.5 * diff^2 * invVar per dimension in ascending
-            // d order; only the frame lanes run side by side.
+            // d order; only the frame lanes run side by side (that is
+            // exactly what the SIMD kernel vectorizes over).
             std::fill(acc.begin(), acc.end(),
                       static_cast<double>(g.logNorm));
-            for (size_t d = 0; d < dim; ++d) {
-                const double mean_d = g.mean[d];
-                const double inv_var_d = g.invVar[d];
-                const double *xrow = x.data() + d * batch;
-                for (size_t j = 0; j < batch; ++j) {
-                    const double diff = xrow[j] - mean_d;
-                    acc[j] -= 0.5 * diff * diff * inv_var_d;
-                }
-            }
+            simd::kernels().gmmLanesF64(acc.data(), x.data(), batch,
+                                        g.mean.data(), g.invVar.data(),
+                                        dim);
             // Weight added after the density chain completes, exactly
             // like logLikelihood's terms[k] = logW[k] + logDensity(x).
             const float lw = log_weights[c];

@@ -63,6 +63,9 @@ PropertyFuzzer::generate(uint64_t seed)
     t.arrivalQps = rng.uniform(100.0, 2000.0);
     t.zipfSkew = rng.chance(0.7) ? rng.uniform(0.3, 1.2) : 0.0;
     t.distinctTexts = 4 + static_cast<uint32_t>(rng.below(28));
+    // Mostly exercise the dispatched SIMD tables (which also arms the
+    // diff_simd scalar rerun); occasionally pin scalar outright.
+    t.simd = rng.chance(0.8);
     return t;
 }
 
@@ -150,6 +153,12 @@ PropertyFuzzer::shrink(const sim::TrialConfig &config,
         },
         [](sim::TrialConfig &t) {
             return std::exchange(t.plane, false);
+        },
+        // Pinning scalar kernels drops the diff_simd arm and takes the
+        // vector tables out of the repro entirely — if the failure
+        // survives, SIMD dispatch is exonerated.
+        [](sim::TrialConfig &t) {
+            return std::exchange(t.simd, false);
         },
         [](sim::TrialConfig &t) {
             if (t.shards <= 1)

@@ -37,6 +37,18 @@ class IntegralImage
     /** Haar wavelet response in y at (row, col) with side @p size. */
     double haarY(int row, int col, int size) const;
 
+    /** Raw summed-area table, (width+1) x (height+1) row-major — the
+     *  hot-path view the SIMD Hessian kernel sweeps. Entries are NOT
+     *  clamped; callers must stay within rows 0..height and cols
+     *  0..width (see KernelTable::hessianRowF64). */
+    const double *table() const { return table_.data(); }
+
+    /** Row stride of table(), i.e. width() + 1. */
+    size_t tableStride() const
+    {
+        return static_cast<size_t>(width_) + 1;
+    }
+
   private:
     int width_ = 0;
     int height_ = 0;

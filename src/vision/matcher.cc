@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/simd.h"
+
 namespace sirius::vision {
 
 namespace {
@@ -96,11 +98,22 @@ KdTree::searchNode(int node_idx, const Descriptor &query, NnResult &best,
     const Node &node = nodes_[static_cast<size_t>(node_idx)];
     if (node.splitDim < 0) {
         --leaves_left;
-        for (int i = node.begin; i < node.end; ++i) {
-            const int idx = order_[static_cast<size_t>(i)];
-            const float dist = descriptorDistanceSq(
-                query, descriptors_[static_cast<size_t>(idx)]);
-            consider(idx, dist, best);
+        // One SIMD sweep distances the whole leaf (candidate lanes);
+        // consider() then folds them in the original i-ascending order
+        // so best/second tie-breaking is untouched.
+        const int count = node.end - node.begin;
+        const float *cands[kLeafSize];
+        float dists[kLeafSize];
+        for (int i = 0; i < count; ++i) {
+            cands[i] = descriptors_[static_cast<size_t>(
+                order_[static_cast<size_t>(node.begin + i)])].data();
+        }
+        simd::kernels().descDistF32(query.data(), cands,
+                                    static_cast<size_t>(count),
+                                    query.size(), dists);
+        for (int i = 0; i < count; ++i) {
+            consider(order_[static_cast<size_t>(node.begin + i)],
+                     dists[i], best);
         }
         return;
     }
@@ -132,9 +145,18 @@ NnResult
 KdTree::nearest2Exact(const Descriptor &query) const
 {
     NnResult best;
-    for (size_t i = 0; i < descriptors_.size(); ++i) {
-        const float dist = descriptorDistanceSq(query, descriptors_[i]);
-        consider(static_cast<int>(i), dist, best);
+    constexpr size_t kBlock = 64;
+    const float *cands[kBlock];
+    float dists[kBlock];
+    for (size_t base = 0; base < descriptors_.size(); base += kBlock) {
+        const size_t count =
+            std::min(kBlock, descriptors_.size() - base);
+        for (size_t i = 0; i < count; ++i)
+            cands[i] = descriptors_[base + i].data();
+        simd::kernels().descDistF32(query.data(), cands, count,
+                                    query.size(), dists);
+        for (size_t i = 0; i < count; ++i)
+            consider(static_cast<int>(base + i), dists[i], best);
     }
     return best;
 }

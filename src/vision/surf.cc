@@ -1,7 +1,12 @@
 #include "vision/surf.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/simd.h"
 
 namespace sirius::vision {
 
@@ -58,30 +63,23 @@ buildLayer(const IntegralImage &integral, int step, int filter_size)
         const int r = ar * step;
         if (r <= b || r >= integral.height() - b)
             continue;
-        for (int ac = 0; ac < layer.width; ++ac) {
-            const int c = ac * step;
-            if (c <= b || c >= integral.width() - b)
-                continue;
-
-            double dxx =
-                integral.boxSum(r - l + 1, c - b, 2 * l - 1, filter_size) -
-                3.0 * integral.boxSum(r - l + 1, c - l / 2, 2 * l - 1, l);
-            double dyy =
-                integral.boxSum(r - b, c - l + 1, filter_size, 2 * l - 1) -
-                3.0 * integral.boxSum(r - l / 2, c - l + 1, l, 2 * l - 1);
-            double dxy = integral.boxSum(r - l, c + 1, l, l) +
-                integral.boxSum(r + 1, c - l, l, l) -
-                integral.boxSum(r - l, c - l, l, l) -
-                integral.boxSum(r + 1, c + 1, l, l);
-            dxx *= inv;
-            dyy *= inv;
-            dxy *= inv;
-
-            const double det = dxx * dyy - 0.81 * dxy * dxy;
-            const size_t idx = static_cast<size_t>(ar) * layer.width + ac;
-            layer.responses[idx] = static_cast<float>(det);
-            layer.laplacians[idx] = (dxx + dyy) >= 0.0 ? 1 : 0;
-        }
+        // Interior samples c = ac * step with b < c < width - b form one
+        // contiguous ac run; the dispatched kernel sweeps it with sample
+        // columns as lanes. Border samples keep their zero fill, exactly
+        // as the per-sample `continue` used to leave them.
+        const int ac_lo = b / step + 1;
+        const int ac_hi = std::min(layer.width - 1,
+                                   (integral.width() - b - 1) / step);
+        const int count = ac_hi - ac_lo + 1;
+        if (count <= 0)
+            continue;
+        const size_t idx =
+            static_cast<size_t>(ar) * layer.width +
+            static_cast<size_t>(ac_lo);
+        simd::kernels().hessianRowF64(
+            integral.table(), integral.tableStride(), r, ac_lo * step,
+            step, count, filter_size, l, inv, &layer.responses[idx],
+            &layer.laplacians[idx]);
     }
     return layer;
 }
@@ -173,12 +171,27 @@ assignOrientation(const IntegralImage &integral, const Keypoint &kp)
     const int r = static_cast<int>(std::lround(kp.y));
     const int c = static_cast<int>(std::lround(kp.x));
 
+    // The 13x13 circular-window weights only depend on the (i, j) grid
+    // offsets, so hoist the exp() calls into a one-time table. Entries
+    // are gaussianWeight(i, j, 2.5) verbatim.
+    static const std::array<double, 169> kOrientationGauss = [] {
+        std::array<double, 169> table{};
+        for (int i = -6; i <= 6; ++i) {
+            for (int j = -6; j <= 6; ++j) {
+                table[static_cast<size_t>((i + 6) * 13 + (j + 6))] =
+                    gaussianWeight(i, j, 2.5);
+            }
+        }
+        return table;
+    }();
+
     std::vector<double> res_x, res_y, angles;
     for (int i = -6; i <= 6; ++i) {
         for (int j = -6; j <= 6; ++j) {
             if (i * i + j * j >= 36)
                 continue;
-            const double g = gaussianWeight(i, j, 2.5);
+            const double g = kOrientationGauss[
+                static_cast<size_t>((i + 6) * 13 + (j + 6))];
             const double hx = g * integral.haarX(r + j * s, c + i * s,
                                                  4 * s);
             const double hy = g * integral.haarY(r + j * s, c + i * s,
@@ -219,12 +232,45 @@ assignOrientation(const IntegralImage &integral, const Keypoint &kp)
     return static_cast<float>(best_ori);
 }
 
+/** 20x20 grid of descriptor sample weights for one keypoint scale. */
+using DescGaussTable = std::array<double, 400>;
+
+/**
+ * Weight table for @p scale, memoized in @p cache since keypoint scales
+ * come from the small discrete set 1.2 * filterSize / 9. Entries are
+ * computed with the descriptor loop's exact expressions — including the
+ * (rx * scale) / scale round trip, which is not always bitwise `rx` —
+ * so table lookups reproduce the inline gaussianWeight calls exactly.
+ */
+const DescGaussTable &
+descriptorGaussTable(double scale,
+                     std::vector<std::pair<double, DescGaussTable>> &cache)
+{
+    for (const auto &entry : cache) {
+        if (entry.first == scale)
+            return entry.second;
+    }
+    cache.emplace_back(scale, DescGaussTable{});
+    DescGaussTable &table = cache.back().second;
+    for (int iy = 0; iy < 20; ++iy) {
+        for (int ix = 0; ix < 20; ++ix) {
+            const double rx = (ix - 10 + 0.5) * scale;
+            const double ry = (iy - 10 + 0.5) * scale;
+            table[static_cast<size_t>(iy * 20 + ix)] =
+                gaussianWeight(rx / scale, ry / scale, 3.3);
+        }
+    }
+    return table;
+}
+
 /** 64-d descriptor: 4x4 subregions of (sum dx, sum dy, sum|dx|, sum|dy|). */
 Descriptor
-computeDescriptor(const IntegralImage &integral, const Keypoint &kp)
+computeDescriptor(const IntegralImage &integral, const Keypoint &kp,
+                  std::vector<std::pair<double, DescGaussTable>> &cache)
 {
     Descriptor desc{};
     const double scale = std::max(1.0f, kp.scale);
+    const DescGaussTable &gauss = descriptorGaussTable(scale, cache);
     const int s = std::max(1, static_cast<int>(std::lround(scale)));
     const double co = std::cos(kp.orientation);
     const double si = std::sin(kp.orientation);
@@ -248,8 +294,8 @@ computeDescriptor(const IntegralImage &integral, const Keypoint &kp)
                     // Rotate the gradient into the keypoint frame.
                     const double dx = gx * co + gy * si;
                     const double dy = -gx * si + gy * co;
-                    const double g = gaussianWeight(rx / scale,
-                                                    ry / scale, 3.3);
+                    const double g = gauss[static_cast<size_t>(
+                        (sy * 5 + v) * 20 + (sx * 5 + u))];
                     sum_dx += g * dx;
                     sum_dy += g * dy;
                     sum_adx += g * std::fabs(dx);
@@ -269,8 +315,8 @@ computeDescriptor(const IntegralImage &integral, const Keypoint &kp)
         norm += static_cast<double>(v) * v;
     norm = std::sqrt(norm);
     if (norm > 1e-12) {
-        for (auto &v : desc)
-            v = static_cast<float>(v / norm);
+        simd::kernels().descNormalizeF32(desc.data(), desc.size(),
+                                         norm);
     }
     return desc;
 }
@@ -284,10 +330,12 @@ describeKeypoints(const IntegralImage &integral,
 {
     std::vector<Descriptor> descriptors;
     descriptors.reserve(keypoints.size());
+    std::vector<std::pair<double, DescGaussTable>> gauss_cache;
     for (auto &kp : keypoints) {
         kp.orientation = config.upright
             ? 0.0f : assignOrientation(integral, kp);
-        descriptors.push_back(computeDescriptor(integral, kp));
+        descriptors.push_back(
+            computeDescriptor(integral, kp, gauss_cache));
     }
     return descriptors;
 }

@@ -1,0 +1,529 @@
+/**
+ * @file
+ * Differential sweep for the SIMD kernel layer: every dispatched kernel
+ * must be BITWISE identical to the scalar reference on every ISA the
+ * host can run, across shapes, ragged tails, and unaligned slices. The
+ * repo's golden fixtures and the fuzzer's diff_simd arm all assume this
+ * contract (see common/simd.h), so the sweep compares bit patterns, not
+ * ULPs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/simd.h"
+
+using namespace sirius;
+using namespace sirius::simd;
+
+namespace {
+
+/** Every non-scalar table the host can run (empty on a scalar-only
+ *  host, in which case the sweeps degenerate to no-ops). */
+std::vector<const KernelTable *>
+vectorTables()
+{
+    std::vector<const KernelTable *> tables;
+    for (Isa isa : supportedIsas()) {
+        if (isa == Isa::Scalar)
+            continue;
+        EXPECT_TRUE(setIsa(isa));
+        tables.push_back(&kernels());
+    }
+    return tables;
+}
+
+::testing::AssertionResult
+bitsEqualF32(const std::vector<float> &got, const std::vector<float> &want,
+             const char *what)
+{
+    EXPECT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+        uint32_t g = 0, w = 0;
+        std::memcpy(&g, &got[i], sizeof(g));
+        std::memcpy(&w, &want[i], sizeof(w));
+        if (g != w) {
+            return ::testing::AssertionFailure()
+                << what << ": bit mismatch at [" << i << "]: got "
+                << got[i] << " want " << want[i];
+        }
+    }
+    return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult
+bitsEqualF64(const std::vector<double> &got,
+             const std::vector<double> &want, const char *what)
+{
+    EXPECT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+        uint64_t g = 0, w = 0;
+        std::memcpy(&g, &got[i], sizeof(g));
+        std::memcpy(&w, &want[i], sizeof(w));
+        if (g != w) {
+            return ::testing::AssertionFailure()
+                << what << ": bit mismatch at [" << i << "]: got "
+                << got[i] << " want " << want[i];
+        }
+    }
+    return ::testing::AssertionSuccess();
+}
+
+std::vector<float>
+randomF32(Rng &rng, size_t n)
+{
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = static_cast<float>(rng.uniform(-2.0, 2.0));
+    return v;
+}
+
+std::vector<double>
+randomF64(Rng &rng, size_t n)
+{
+    std::vector<double> v(n);
+    for (auto &x : v)
+        x = rng.uniform(-2.0, 2.0);
+    return v;
+}
+
+// Sizes hitting full vectors, ragged tails, and the sub-vector case for
+// every lane width in play (SSE 4/2, AVX2 8/4).
+const size_t kSizes[] = {1, 2, 3, 4, 5, 7, 8, 9, 13, 16, 17, 31, 33, 64,
+                         65, 100};
+
+} // namespace
+
+TEST(SimdDispatch, ScalarIsAlwaysSupportedAndFirst)
+{
+    const auto isas = supportedIsas();
+    ASSERT_FALSE(isas.empty());
+    EXPECT_EQ(isas.front(), Isa::Scalar);
+    EXPECT_TRUE(isaSupported(Isa::Scalar));
+    EXPECT_EQ(isas.back(), bestSupportedIsa());
+}
+
+TEST(SimdDispatch, ParseIsaRoundTripsAndRejectsNative)
+{
+    for (Isa isa : {Isa::Scalar, Isa::Sse, Isa::Avx2, Isa::Neon}) {
+        Isa parsed;
+        EXPECT_TRUE(parseIsa(isaName(isa), parsed)) << isaName(isa);
+        EXPECT_EQ(parsed, isa);
+    }
+    Isa out;
+    EXPECT_TRUE(parseIsa("sse4.2", out));
+    EXPECT_EQ(out, Isa::Sse);
+    EXPECT_FALSE(parseIsa("native", out));
+    EXPECT_FALSE(parseIsa("avx512", out));
+    EXPECT_FALSE(parseIsa("", out));
+}
+
+TEST(SimdDispatch, SetIsaRejectsUnsupported)
+{
+    // At least one of NEON / AVX2 is foreign to any single host.
+    const Isa foreign = isaSupported(Isa::Neon) ? Isa::Avx2 : Isa::Neon;
+    ASSERT_FALSE(isaSupported(foreign));
+    const Isa before = activeIsa();
+    EXPECT_FALSE(setIsa(foreign));
+    EXPECT_EQ(activeIsa(), before);
+}
+
+TEST(SimdDispatch, EnvironmentScalarForcesFallback)
+{
+    ASSERT_EQ(setenv("SIRIUS_SIMD", "scalar", 1), 0);
+    EXPECT_EQ(initFromEnvironment(), Isa::Scalar);
+    EXPECT_EQ(activeIsa(), Isa::Scalar);
+    EXPECT_EQ(kernels().isa, Isa::Scalar);
+    EXPECT_STREQ(kernels().name, "scalar");
+
+    // "native" resolves back to the widest supported table.
+    ASSERT_EQ(setenv("SIRIUS_SIMD", "native", 1), 0);
+    EXPECT_EQ(initFromEnvironment(), bestSupportedIsa());
+
+    // Unknown values warn and fall back to native rather than failing.
+    ASSERT_EQ(setenv("SIRIUS_SIMD", "avx999", 1), 0);
+    EXPECT_EQ(initFromEnvironment(), bestSupportedIsa());
+    ASSERT_EQ(unsetenv("SIRIUS_SIMD"), 0);
+    EXPECT_EQ(initFromEnvironment(), bestSupportedIsa());
+}
+
+TEST(SimdDispatch, DescribeDispatchNamesActiveIsa)
+{
+    setIsa(bestSupportedIsa());
+    const std::string line = describeDispatch();
+    EXPECT_NE(line.find("isa="), std::string::npos) << line;
+    EXPECT_NE(line.find(isaName(activeIsa())), std::string::npos) << line;
+    EXPECT_NE(line.find("supported="), std::string::npos) << line;
+}
+
+TEST(SimdDispatch, ExportMetricsPublishesDispatchGauge)
+{
+    setIsa(bestSupportedIsa());
+    MetricsRegistry registry;
+    simd::exportMetrics(registry, {});
+    const std::string text = registry.renderPrometheus();
+    EXPECT_NE(text.find("sirius_simd_dispatch{isa=\"" +
+                        std::string(isaName(activeIsa())) + "\"} 1"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("sirius_simd_supported{isa=\"scalar\"} 1"),
+              std::string::npos)
+        << text;
+}
+
+TEST(SimdDiff, MatmulF32)
+{
+    Rng rng(0x51D1);
+    const size_t shapes[][3] = {{1, 1, 1},  {2, 3, 4},   {4, 4, 4},
+                                {5, 7, 9},  {8, 16, 8},  {13, 1, 17},
+                                {3, 64, 5}, {16, 32, 33}, {6, 5, 8}};
+    for (const KernelTable *table : vectorTables()) {
+        for (const auto &s : shapes) {
+            const size_t n = s[0], k = s[1], m = s[2];
+            const auto a = randomF32(rng, n * k);
+            const auto b = randomF32(rng, k * m);
+            std::vector<float> want(n * m, -1.0f), got(n * m, 1.0f);
+            scalarKernels().matmulF32(a.data(), n, k, b.data(), m,
+                                      want.data());
+            table->matmulF32(a.data(), n, k, b.data(), m, got.data());
+            EXPECT_TRUE(bitsEqualF32(got, want, table->name))
+                << n << "x" << k << "x" << m;
+        }
+    }
+}
+
+TEST(SimdDiff, MatvecF32)
+{
+    Rng rng(0x51D2);
+    const size_t shapes[][2] = {{1, 1},  {3, 5},   {7, 64}, {8, 8},
+                                {13, 29}, {16, 100}, {17, 33}, {9, 1}};
+    for (const KernelTable *table : vectorTables()) {
+        for (const auto &s : shapes) {
+            const size_t rows = s[0], cols = s[1];
+            const auto m = randomF32(rng, rows * cols);
+            const auto v = randomF32(rng, cols);
+            std::vector<float> want(rows), got(rows);
+            scalarKernels().matvecF32(m.data(), rows, cols, v.data(),
+                                      want.data());
+            table->matvecF32(m.data(), rows, cols, v.data(), got.data());
+            EXPECT_TRUE(bitsEqualF32(got, want, table->name))
+                << rows << "x" << cols;
+        }
+    }
+}
+
+TEST(SimdDiff, ElementwiseF32)
+{
+    Rng rng(0x51D3);
+    for (const KernelTable *table : vectorTables()) {
+        for (size_t n : kSizes) {
+            auto base = randomF32(rng, n);
+            // Seed relu edge cases: negative zero and exact zero lanes.
+            if (n > 1)
+                base[n / 2] = -0.0f;
+            base[0] = 0.0f;
+
+            auto want = base, got = base;
+            scalarKernels().reluF32(want.data(), n);
+            table->reluF32(got.data(), n);
+            EXPECT_TRUE(bitsEqualF32(got, want, "reluF32")) << n;
+
+            const auto x = randomF32(rng, n);
+            want = base;
+            got = base;
+            scalarKernels().addRowF32(want.data(), x.data(), n);
+            table->addRowF32(got.data(), x.data(), n);
+            EXPECT_TRUE(bitsEqualF32(got, want, "addRowF32")) << n;
+
+            const auto bias = static_cast<float>(rng.uniform(-1.0, 1.0));
+            want = base;
+            got = base;
+            scalarKernels().addScalarF32(want.data(), n, bias);
+            table->addScalarF32(got.data(), n, bias);
+            EXPECT_TRUE(bitsEqualF32(got, want, "addScalarF32")) << n;
+        }
+    }
+}
+
+TEST(SimdDiff, GmmLanesF64)
+{
+    Rng rng(0x51D4);
+    for (const KernelTable *table : vectorTables()) {
+        for (size_t batch : {size_t{1}, size_t{2}, size_t{3}, size_t{4},
+                             size_t{5}, size_t{8}, size_t{13}}) {
+            for (size_t dim : {size_t{1}, size_t{13}, size_t{39}}) {
+                const auto x = randomF64(rng, dim * batch);
+                const auto mean = randomF32(rng, dim);
+                auto inv_var = randomF32(rng, dim);
+                for (auto &iv : inv_var)
+                    iv = std::abs(iv) + 0.5f;
+                auto want = randomF64(rng, batch);
+                auto got = want;
+                scalarKernels().gmmLanesF64(want.data(), x.data(), batch,
+                                            mean.data(), inv_var.data(),
+                                            dim);
+                table->gmmLanesF64(got.data(), x.data(), batch,
+                                   mean.data(), inv_var.data(), dim);
+                EXPECT_TRUE(bitsEqualF64(got, want, table->name))
+                    << batch << "x" << dim;
+            }
+        }
+    }
+}
+
+TEST(SimdDiff, GmmMixtureF64)
+{
+    Rng rng(0x51D5);
+    for (const KernelTable *table : vectorTables()) {
+        for (size_t count : {size_t{1}, size_t{2}, size_t{3}, size_t{7},
+                             size_t{8}, size_t{19}}) {
+            const size_t dim = 13;
+            const auto x = randomF32(rng, dim);
+            std::vector<std::vector<float>> means, inv_vars;
+            std::vector<const float *> mean_ptrs, iv_ptrs;
+            std::vector<float> log_norms;
+            for (size_t c = 0; c < count; ++c) {
+                means.push_back(randomF32(rng, dim));
+                auto iv = randomF32(rng, dim);
+                for (auto &v : iv)
+                    v = std::abs(v) + 0.5f;
+                inv_vars.push_back(std::move(iv));
+                log_norms.push_back(
+                    static_cast<float>(rng.uniform(-10.0, 0.0)));
+            }
+            for (size_t c = 0; c < count; ++c) {
+                mean_ptrs.push_back(means[c].data());
+                iv_ptrs.push_back(inv_vars[c].data());
+            }
+            std::vector<double> want(count), got(count);
+            scalarKernels().gmmMixtureF64(x.data(), dim,
+                                          mean_ptrs.data(),
+                                          iv_ptrs.data(),
+                                          log_norms.data(), count,
+                                          want.data());
+            table->gmmMixtureF64(x.data(), dim, mean_ptrs.data(),
+                                 iv_ptrs.data(), log_norms.data(), count,
+                                 got.data());
+            EXPECT_TRUE(bitsEqualF64(got, want, table->name)) << count;
+        }
+    }
+}
+
+TEST(SimdDiff, DescDistF32)
+{
+    Rng rng(0x51D6);
+    for (const KernelTable *table : vectorTables()) {
+        for (size_t count : {size_t{1}, size_t{2}, size_t{5}, size_t{8},
+                             size_t{13}}) {
+            for (size_t dim : {size_t{7}, size_t{33}, size_t{64}}) {
+                const auto q = randomF32(rng, dim);
+                std::vector<std::vector<float>> descs;
+                std::vector<const float *> ptrs;
+                for (size_t i = 0; i < count; ++i)
+                    descs.push_back(randomF32(rng, dim));
+                for (size_t i = 0; i < count; ++i)
+                    ptrs.push_back(descs[i].data());
+                std::vector<float> want(count), got(count);
+                scalarKernels().descDistF32(q.data(), ptrs.data(), count,
+                                            dim, want.data());
+                table->descDistF32(q.data(), ptrs.data(), count, dim,
+                                   got.data());
+                EXPECT_TRUE(bitsEqualF32(got, want, table->name))
+                    << count << "x" << dim;
+            }
+        }
+    }
+}
+
+TEST(SimdDiff, DescNormalizeF32)
+{
+    Rng rng(0x51D7);
+    for (const KernelTable *table : vectorTables()) {
+        for (size_t n : kSizes) {
+            const auto base = randomF32(rng, n);
+            const double norm = rng.uniform(0.25, 4.0);
+            auto want = base, got = base;
+            scalarKernels().descNormalizeF32(want.data(), n, norm);
+            table->descNormalizeF32(got.data(), n, norm);
+            EXPECT_TRUE(bitsEqualF32(got, want, table->name)) << n;
+        }
+    }
+}
+
+TEST(SimdDiff, HessianRowF64)
+{
+    Rng rng(0x51D8);
+    // A synthetic summed-area table; the kernel only reads values, so
+    // any finite contents exercise the box-filter arithmetic (including
+    // the max(0, .) clamp, which fires on non-monotone tables).
+    const int width = 64, height = 40;
+    const size_t stride = static_cast<size_t>(width) + 1;
+    const auto table_data =
+        randomF64(rng, stride * static_cast<size_t>(height + 1));
+
+    for (const KernelTable *table : vectorTables()) {
+        for (int filter_size : {9, 15, 21, 27}) {
+            const int b = (filter_size - 1) / 2;
+            const int lobe = filter_size / 3;
+            const double inv =
+                1.0 / (static_cast<double>(filter_size) *
+                       static_cast<double>(filter_size));
+            const int r = b + 2;
+            ASSERT_LT(r + b + 1, height + 1);
+            for (int step : {1, 2}) {
+                for (int count : {1, 2, 3, 5, 8}) {
+                    const int c0 = b + 1;
+                    const int c_max = c0 + (count - 1) * step;
+                    ASSERT_LT(c_max + b + 1, width + 1)
+                        << filter_size << "/" << step << "/" << count;
+                    std::vector<float> want_r(count), got_r(count);
+                    std::vector<uint8_t> want_l(count), got_l(count);
+                    scalarKernels().hessianRowF64(
+                        table_data.data(), stride, r, c0, step, count,
+                        filter_size, lobe, inv, want_r.data(),
+                        want_l.data());
+                    table->hessianRowF64(table_data.data(), stride, r,
+                                         c0, step, count, filter_size,
+                                         lobe, inv, got_r.data(),
+                                         got_l.data());
+                    EXPECT_TRUE(bitsEqualF32(got_r, want_r, table->name))
+                        << filter_size << "/" << step << "/" << count;
+                    EXPECT_EQ(got_l, want_l);
+                }
+            }
+        }
+    }
+}
+
+TEST(SimdDiff, RowOpsF64)
+{
+    Rng rng(0x51D9);
+    for (const KernelTable *table : vectorTables()) {
+        for (size_t n : kSizes) {
+            const auto base = randomF64(rng, n);
+            const auto x = randomF64(rng, n);
+
+            auto want = base, got = base;
+            scalarKernels().addRowF64(want.data(), x.data(), n);
+            table->addRowF64(got.data(), x.data(), n);
+            EXPECT_TRUE(bitsEqualF64(got, want, "addRowF64")) << n;
+
+            const double scale = rng.uniform(-3.0, 3.0);
+            want = base;
+            got = base;
+            scalarKernels().axpyF64(want.data(), x.data(), scale, n);
+            table->axpyF64(got.data(), x.data(), scale, n);
+            EXPECT_TRUE(bitsEqualF64(got, want, "axpyF64")) << n;
+        }
+    }
+}
+
+TEST(SimdDiff, ViterbiStepF64)
+{
+    Rng rng(0x51DA);
+    for (const KernelTable *table : vectorTables()) {
+        for (size_t num_tags : {size_t{1}, size_t{3}, size_t{5},
+                                size_t{8}, size_t{12}, size_t{16}}) {
+            for (int trial = 0; trial < 8; ++trial) {
+                // Draw scores from a tiny integer set so exact ties are
+                // common — the kernel must reproduce the scalar loop's
+                // strict-> first-max tie-breaking, argmax included.
+                std::vector<double> prev(num_tags),
+                    trans(num_tags * num_tags);
+                for (auto &p : prev)
+                    p = static_cast<double>(rng.below(4));
+                for (auto &t : trans)
+                    t = static_cast<double>(rng.below(4));
+                std::vector<double> want_b(num_tags), got_b(num_tags);
+                std::vector<int32_t> want_a(num_tags), got_a(num_tags);
+                scalarKernels().viterbiStepF64(prev.data(), trans.data(),
+                                               num_tags, want_b.data(),
+                                               want_a.data());
+                table->viterbiStepF64(prev.data(), trans.data(),
+                                      num_tags, got_b.data(),
+                                      got_a.data());
+                EXPECT_TRUE(bitsEqualF64(got_b, want_b, table->name))
+                    << num_tags;
+                EXPECT_EQ(got_a, want_a) << table->name << " tags="
+                                         << num_tags;
+            }
+        }
+    }
+}
+
+TEST(SimdDiff, FftPassF64)
+{
+    Rng rng(0x51DB);
+    for (const KernelTable *table : vectorTables()) {
+        for (size_t n : {size_t{4}, size_t{8}, size_t{32}, size_t{64}}) {
+            for (size_t len = 2; len <= n; len <<= 1) {
+                const auto base = randomF64(rng, 2 * n);
+                const auto twiddles = randomF64(rng, len);
+                auto want = base, got = base;
+                scalarKernels().fftPassF64(want.data(), n, len,
+                                           twiddles.data());
+                table->fftPassF64(got.data(), n, len, twiddles.data());
+                EXPECT_TRUE(bitsEqualF64(got, want, table->name))
+                    << "n=" << n << " len=" << len;
+            }
+        }
+    }
+}
+
+TEST(SimdDiff, ComplexNormF64)
+{
+    Rng rng(0x51DC);
+    for (const KernelTable *table : vectorTables()) {
+        for (size_t count : {size_t{1}, size_t{2}, size_t{3}, size_t{4},
+                             size_t{8}, size_t{33}}) {
+            const auto data = randomF64(rng, 2 * count);
+            std::vector<double> want(count), got(count);
+            scalarKernels().complexNormF64(data.data(), count,
+                                           want.data());
+            table->complexNormF64(data.data(), count, got.data());
+            EXPECT_TRUE(bitsEqualF64(got, want, table->name)) << count;
+        }
+    }
+}
+
+TEST(SimdDiff, UnalignedSlicesStayIdentical)
+{
+    Rng rng(0x51DD);
+    for (const KernelTable *table : vectorTables()) {
+        for (size_t n : {size_t{8}, size_t{16}, size_t{33}}) {
+            // Offset every pointer by one element so nothing is 16- or
+            // 32-byte aligned; kernels must use unaligned accesses.
+            auto acc_a = randomF32(rng, n + 1);
+            auto acc_b = acc_a;
+            const auto x = randomF32(rng, n + 1);
+            scalarKernels().addRowF32(acc_a.data() + 1, x.data() + 1, n);
+            table->addRowF32(acc_b.data() + 1, x.data() + 1, n);
+            EXPECT_TRUE(bitsEqualF32(acc_b, acc_a, "addRowF32+1")) << n;
+
+            auto dacc_a = randomF64(rng, n + 1);
+            auto dacc_b = dacc_a;
+            const auto dx = randomF64(rng, n + 1);
+            scalarKernels().axpyF64(dacc_a.data() + 1, dx.data() + 1,
+                                    1.5, n);
+            table->axpyF64(dacc_b.data() + 1, dx.data() + 1, 1.5, n);
+            EXPECT_TRUE(bitsEqualF64(dacc_b, dacc_a, "axpyF64+1")) << n;
+
+            // Matvec over an unaligned matrix slice (rows start at +1).
+            const size_t rows = 5;
+            const auto m = randomF32(rng, rows * n + 1);
+            const auto v = randomF32(rng, n + 1);
+            std::vector<float> want(rows), got(rows);
+            scalarKernels().matvecF32(m.data() + 1, rows, n,
+                                      v.data() + 1, want.data());
+            table->matvecF32(m.data() + 1, rows, n, v.data() + 1,
+                             got.data());
+            EXPECT_TRUE(bitsEqualF32(got, want, "matvecF32+1")) << n;
+        }
+    }
+}
